@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: checkpoint/restore vs live thread migration.
+ *
+ * Section 8: "Linux applications can be migrated among homogeneous
+ * machines using checkpoint/restore functionality. ... Our work
+ * contributes seamless thread migration among heterogeneous-ISA
+ * machines without the overheads of checkpoint/restore mechanisms."
+ *
+ * This harness quantifies that overhead on the same workload:
+ *  - C/R: snapshot the whole container (every memory page, eagerly),
+ *    ship it over the interconnect, restore; the application is down
+ *    for the entire snapshot+transfer+restore window, and C/R cannot
+ *    cross ISAs at all;
+ *  - live migration: transform one stack, resume immediately, and pull
+ *    only the pages actually touched afterwards.
+ */
+
+#include "common.hh"
+
+using namespace xisa;
+using namespace xisa::bench;
+
+int
+main()
+{
+    banner("Ablation", "checkpoint/restore vs live migration "
+                       "(Section 8 contrast)");
+    Interconnect net;
+    std::printf("\n%-6s %14s %14s %16s %14s %10s\n", "wl",
+                "ckpt bytes", "C/R pause(s)", "live pause(s)",
+                "pages pulled", "ratio");
+    for (WorkloadId wl : {WorkloadId::IS, WorkloadId::CG,
+                          WorkloadId::REDIS}) {
+        MultiIsaBinary bin =
+            compileModule(buildWorkload(wl, ProblemClass::B, 1));
+        OsConfig cfg = OsConfig::dualServer();
+
+        // Measure the checkpoint image mid-run.
+        size_t ckptBytes = 0;
+        {
+            ReplicatedOS os(bin, cfg);
+            os.load(0);
+            os.onQuantum = [&](ReplicatedOS &self) {
+                if (ckptBytes == 0 &&
+                    self.totalInstrs() > 1000000)
+                    ckptBytes = self.checkpoint().size();
+            };
+            os.run();
+        }
+        // C/R downtime: serialize + transfer + restore. Processing at
+        // ~2 GB/s per side plus the wire time.
+        double crPause = net.transferSeconds(ckptBytes) +
+                         2.0 * (static_cast<double>(ckptBytes) / 2e9);
+
+        // Live migration on the same workload at the same point.
+        double livePause = 0;
+        uint64_t pagesPulled = 0;
+        {
+            ReplicatedOS os(bin, cfg);
+            os.load(0);
+            bool fired = false;
+            os.onQuantum = [&](ReplicatedOS &self) {
+                if (!fired && self.totalInstrs() > 1000000) {
+                    self.migrateProcess(1);
+                    fired = true;
+                }
+            };
+            os.run();
+            for (const MigrationEvent &ev : os.migrations())
+                livePause += ev.resumeTime - ev.trapTime;
+            pagesPulled = os.dsm().stats().pagesTransferred;
+        }
+        std::printf("%-6s %14zu %14.5f %16.6f %14llu %9.0fx\n",
+                    workloadName(wl), ckptBytes, crPause, livePause,
+                    static_cast<unsigned long long>(pagesPulled),
+                    crPause / livePause);
+    }
+    std::printf("\nCheckpoint/restore pays for the whole image before "
+                "anything runs (and cannot\ncross ISAs); live migration "
+                "resumes after one stack transformation and pages\n"
+                "in only what is touched.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 1: slowdown of DBT emulation versus native execution.
+ *
+ * Top series: applications compiled for ARM (Aether64), emulated on the
+ * x86 (Xeno64) server, relative to running natively on the ARM server.
+ * Bottom series: the reverse. Sweeps NPB {SP, IS, FT, BT, CG} x classes
+ * {A,B,C} x threads {1,2,4,8}, plus the Redis check from Section 2
+ * (paper: 2.6x for ARM-emulation, 34x for x86-emulation).
+ */
+
+#include "common.hh"
+#include "emu/dbt.hh"
+
+using namespace xisa;
+using namespace xisa::bench;
+
+int
+main()
+{
+    banner("Figure 1", "emulation slowdown vs native (QEMU-style DBT)");
+    const std::vector<WorkloadId> wls = {WorkloadId::SP, WorkloadId::IS,
+                                         WorkloadId::FT, WorkloadId::BT,
+                                         WorkloadId::CG};
+    NodeSpec x86 = makeXenoServer();
+    NodeSpec arm = makeAetherServer();
+
+    std::printf("\n-- ARM binaries emulated on x86 (vs native ARM) --\n");
+    std::printf("%-4s %-6s %-7s %12s\n", "wl", "class", "threads",
+                "slowdown");
+    for (WorkloadId wl : wls) {
+        for (ProblemClass cls : classSweep()) {
+            for (int t : threadSweep()) {
+                MultiIsaBinary bin =
+                    compileModule(buildWorkload(wl, cls, t));
+                EmulationResult r =
+                    emulate(bin, IsaId::Aether64, x86, arm);
+                std::printf("%-4s %-6s %-7d %11.1fx\n",
+                            workloadName(wl), className(cls), t,
+                            r.slowdown);
+            }
+        }
+    }
+
+    std::printf("\n-- x86 binaries emulated on ARM (vs native x86) --\n");
+    std::printf("%-4s %-6s %-7s %12s\n", "wl", "class", "threads",
+                "slowdown");
+    for (WorkloadId wl : wls) {
+        for (ProblemClass cls : classSweep()) {
+            for (int t : threadSweep()) {
+                MultiIsaBinary bin =
+                    compileModule(buildWorkload(wl, cls, t));
+                EmulationResult r =
+                    emulate(bin, IsaId::Xeno64, arm, x86);
+                std::printf("%-4s %-6s %-7d %11.1fx\n",
+                            workloadName(wl), className(cls), t,
+                            r.slowdown);
+            }
+        }
+    }
+
+    // The Section 2 Redis data point.
+    {
+        MultiIsaBinary bin = compileModule(
+            buildWorkload(WorkloadId::REDIS, ProblemClass::A, 1));
+        EmulationResult armEmu =
+            emulate(bin, IsaId::Aether64, x86, arm);
+        EmulationResult x86Emu =
+            emulate(bin, IsaId::Xeno64, arm, x86);
+        std::printf("\n-- Redis (Section 2; paper: 2.6x / 34x) --\n");
+        std::printf("redis ARM-emulated-on-x86: %.1fx\n",
+                    armEmu.slowdown);
+        std::printf("redis x86-emulated-on-ARM: %.1fx\n",
+                    x86Emu.slowdown);
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figures 6-9: execution-time overhead of inserting migration points
+ * ("wrapper code") for CG and IS on both servers, classes A/B/C and
+ * 1/2/4/8 threads -- instrumented vs. uninstrumented binaries. The
+ * paper reports mostly <5%, occasionally negative (cache effects);
+ * our I-cache model reproduces both behaviours.
+ */
+
+#include "common.hh"
+
+using namespace xisa;
+using namespace xisa::bench;
+
+int
+main()
+{
+    banner("Figures 6-9", "migration-point wrapper-code overhead (%)");
+    for (WorkloadId wl : {WorkloadId::CG, WorkloadId::IS}) {
+        for (IsaId isa : {IsaId::Aether64, IsaId::Xeno64}) {
+            NodeSpec spec = isa == IsaId::Aether64 ? makeAetherServer()
+                                                   : makeXenoServer();
+            std::printf("\n-- %s on %s --\n", workloadName(wl),
+                        spec.name.c_str());
+            std::printf("%-6s %-7s %14s %14s %9s\n", "class", "threads",
+                        "base(s)", "instrumented(s)", "overhead");
+            for (ProblemClass cls : classSweep()) {
+                for (int t : threadSweep()) {
+                    Module mod = buildWorkload(wl, cls, t);
+                    CompileOptions plain;
+                    plain.boundaryMigPoints = false;
+                    MultiIsaBinary base = compileModule(mod, plain);
+                    MultiIsaBinary inst = compileModule(mod);
+                    double tBase =
+                        runSingleNode(base, spec).makespanSeconds;
+                    double tInst =
+                        runSingleNode(inst, spec).makespanSeconds;
+                    double overhead = (tInst / tBase - 1.0) * 100.0;
+                    std::printf("%-6s %-7d %14.6f %14.6f %8.2f%%\n",
+                                className(cls), t, tBase, tInst,
+                                overhead);
+                }
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 10: stack-transformation latency box plots for CG, EP, FT, IS.
+ *
+ * Each benchmark is ping-ponged between the two servers so that the
+ * transformation runs at many distinct migration points; for each
+ * transformation we record both the *measured wall-clock* of our
+ * transformation runtime (min/Q1/median/Q3/max, the paper's plot) and
+ * the simulated on-node latency from the calibrated cost model (which
+ * is what the paper's absolute axis corresponds to: <400us typical on
+ * x86, ~2x on ARM).
+ */
+
+#include "common.hh"
+#include "core/migprofile.hh"
+#include "core/stacktransform.hh"
+#include "util/stats.hh"
+
+using namespace xisa;
+using namespace xisa::bench;
+
+int
+main()
+{
+    banner("Figure 10", "stack transformation latency at migration "
+                        "points");
+    std::printf("\n%-4s %-9s %7s %42s %30s\n", "wl", "direction",
+                "count", "host-us (min/q1/med/q3/max)",
+                "sim-us (min/q1/med/q3/max)");
+    for (WorkloadId wl : {WorkloadId::CG, WorkloadId::EP, WorkloadId::FT,
+                          WorkloadId::IS}) {
+        // Compile with profile-guided loop migration points so the
+        // transformation runs at many distinct sites (as in the
+        // paper's instrumented binaries).
+        Module mod = buildWorkload(wl, ProblemClass::A, 1);
+        CompileOptions opts;
+        opts.loopMigPoints = planMigrationPoints(mod, 20000).points;
+        MultiIsaBinary bin = compileModule(std::move(mod), opts);
+        OsConfig cfg = OsConfig::dualServer();
+        cfg.quantum = 2000;
+        ReplicatedOS os(bin, cfg);
+        os.load(0);
+        os.onQuantum = [](ReplicatedOS &self) {
+            if (self.migrations().size() < 400)
+                self.migrateProcess(1 - self.threadNode(0));
+        };
+        os.run();
+
+        std::vector<double> hostUs[2], simUs[2];
+        for (const MigrationEvent &ev : os.migrations()) {
+            int dir = ev.fromNode == 0 ? 0 : 1; // 0: x86->arm
+            hostUs[dir].push_back(ev.transform.hostSeconds * 1e6);
+            const NodeSpec spec =
+                ev.fromNode == 0 ? makeXenoServer() : makeAetherServer();
+            double sim =
+                static_cast<double>(StackTransformer::costCycles(
+                    ev.transform, spec)) *
+                spec.secondsPerCycle() * 1e6;
+            simUs[dir].push_back(sim);
+        }
+        const char *names[2] = {"on-x86", "on-arm"};
+        for (int dir = 0; dir < 2; ++dir) {
+            BoxSummary host = boxSummary(hostUs[dir]);
+            BoxSummary sim = boxSummary(simUs[dir]);
+            std::printf("%-4s %-9s %7llu %42s %30s\n", workloadName(wl),
+                        names[dir],
+                        static_cast<unsigned long long>(host.count),
+                        host.str("%.1f").c_str(),
+                        sim.str("%.0f").c_str());
+        }
+    }
+    std::printf("\n(The transformation itself is the real runtime in "
+                "src/core; host-us is its\n measured latency on this "
+                "machine, sim-us the calibrated on-testbed cost.)\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses. Each bench binary
+ * regenerates one table or figure of the paper; these helpers keep the
+ * output format and run plumbing consistent.
+ *
+ * Set XISA_QUICK=1 in the environment to shrink sweeps (useful in CI);
+ * the full sweeps match the paper's configurations.
+ */
+
+#ifndef XISA_BENCH_COMMON_HH
+#define XISA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "compiler/compile.hh"
+#include "machine/node.hh"
+#include "os/os.hh"
+#include "workload/workloads.hh"
+
+namespace xisa::bench {
+
+/** True if the harness should run a reduced sweep. */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("XISA_QUICK");
+    return env && env[0] == '1';
+}
+
+/** Banner naming the paper artifact being regenerated. */
+inline void
+banner(const char *figure, const char *what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s -- %s\n", figure, what);
+    std::printf("(CrossBound reproduction; shapes comparable, absolute\n");
+    std::printf(" numbers are simulator-scale, see EXPERIMENTS.md)\n");
+    std::printf("==============================================================\n");
+}
+
+/** Run a workload to completion on a single node of the given spec. */
+inline OsRunResult
+runSingleNode(const MultiIsaBinary &bin, const NodeSpec &spec)
+{
+    OsConfig cfg;
+    cfg.nodes = {spec};
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    return os.run();
+}
+
+/** Thread sweep used by Figs. 1 and 6-9. */
+inline std::vector<int>
+threadSweep()
+{
+    return quickMode() ? std::vector<int>{1, 4}
+                       : std::vector<int>{1, 2, 4, 8};
+}
+
+/** Class sweep used by most figures. */
+inline std::vector<ProblemClass>
+classSweep()
+{
+    return quickMode()
+               ? std::vector<ProblemClass>{ProblemClass::A}
+               : std::vector<ProblemClass>{ProblemClass::A,
+                                           ProblemClass::B,
+                                           ProblemClass::C};
+}
+
+} // namespace xisa::bench
+
+#endif // XISA_BENCH_COMMON_HH

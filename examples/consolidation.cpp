@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Datacenter consolidation scenario (the paper's motivating use case).
+ *
+ * A burst of jobs arrives; the operator can either keep two x86
+ * servers (static assignment) or pair an x86 server with a
+ * FinFET-generation ARM server and let heterogeneous-ISA migration
+ * consolidate work dynamically. This example runs both configurations
+ * on the same job set and prints the energy/performance trade-off.
+ */
+
+#include <cstdio>
+
+#include "sched/jobsets.hh"
+
+using namespace xisa;
+
+int
+main()
+{
+    std::printf("calibrating job profiles on both servers "
+                "(compiles and runs every workload)...\n");
+    JobProfileTable table = JobProfileTable::calibrate();
+
+    for (WorkloadId wl : allWorkloads()) {
+        std::printf("  %-6s x86 %.4fs  arm %.4fs  (arm/x86 %.2fx)\n",
+                    workloadName(wl),
+                    table.baseSeconds(wl, IsaId::Xeno64),
+                    table.baseSeconds(wl, IsaId::Aether64),
+                    table.baseSeconds(wl, IsaId::Aether64) /
+                        table.baseSeconds(wl, IsaId::Xeno64));
+    }
+
+    auto jobs = makePeriodicSet(/*seed=*/7);
+    std::printf("\njob set: %zu jobs in 5 waves\n", jobs.size());
+
+    ClusterSim staticPool(makeX86X86Pool(), table);
+    ClusterSim hetPool(makeHeterogeneousPool(/*finfetArm=*/true), table);
+
+    ClusterResult s = staticPool.run(jobs, Policy::StaticBalanced);
+    ClusterResult d = hetPool.run(jobs, Policy::DynamicBalanced);
+
+    std::printf("\n%-28s %12s %12s %10s %8s\n", "configuration",
+                "energy(kJ)", "makespan(s)", "EDP(MJ*s)", "migr");
+    std::printf("%-28s %12.1f %12.1f %10.2f %8d\n",
+                "static x86 + x86", s.totalEnergy / 1e3, s.makespan,
+                s.edp / 1e9, s.migrations);
+    std::printf("%-28s %12.1f %12.1f %10.2f %8d\n",
+                "dynamic x86 + ARM (FinFET)", d.totalEnergy / 1e3,
+                d.makespan, d.edp / 1e9, d.migrations);
+    std::printf("\nenergy saved by heterogeneous migration: %.1f%%\n",
+                (1.0 - d.totalEnergy / s.totalEnergy) * 100.0);
+    std::printf("EDP change: %+.1f%%\n",
+                (d.edp / s.edp - 1.0) * 100.0);
+    return 0;
+}

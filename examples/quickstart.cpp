@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: build a program, compile it into a multi-ISA binary, run
+ * it in a heterogeneous OS-container, and migrate it between the ARM
+ * and x86 servers mid-execution.
+ *
+ *   $ ./examples/quickstart
+ *
+ * Walks through the whole public API surface:
+ *  1. ModuleBuilder / FuncBuilder  -- author a program in BIR;
+ *  2. compileModule()              -- produce the multi-ISA binary
+ *                                     (one text per ISA, one layout);
+ *  3. ReplicatedOS                 -- load the container on the x86
+ *                                     node and run;
+ *  4. migrateProcess()             -- ask the scheduler to move it to
+ *                                     the ARM node; the runtime
+ *                                     transforms the stack at the next
+ *                                     migration point.
+ */
+
+#include <cstdio>
+
+#include "compiler/compile.hh"
+#include "ir/builder.hh"
+#include "os/os.hh"
+
+using namespace xisa;
+
+int
+main()
+{
+    // --- 1. Author a program. -----------------------------------------
+    // long sum = 0; for (i = 0; i < 200000; i++) sum += i*i % 7;
+    // print(sum); return sum & 0xffff;
+    ModuleBuilder mb("quickstart");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t slot = f.declareAlloca(8, 8, "sum");
+    ValueId sum = f.allocaAddr(slot);
+    f.store(Type::I64, sum, f.constInt(0));
+    f.forLoopI(0, 200000, [&](ValueId i) {
+        ValueId sq = f.srem(f.mul(i, i), f.constInt(7));
+        f.store(Type::I64, sum, f.add(f.load(Type::I64, sum), sq));
+    });
+    ValueId result = f.load(Type::I64, sum);
+    f.callVoid(mb.builtin(Builtin::PrintI64), {result});
+    f.ret(f.band(result, f.constInt(0xffff)));
+    Module mod = mb.finish();
+
+    // --- 2. Compile to a multi-ISA binary. -----------------------------
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    std::printf("multi-ISA binary '%s':\n", bin.name.c_str());
+    std::printf("  aether64 text: %llu bytes, xeno64 text: %llu bytes\n",
+                (unsigned long long)bin.textBytes(IsaId::Aether64),
+                (unsigned long long)bin.textBytes(IsaId::Xeno64));
+    uint32_t mainId = bin.ir.findFunc("main");
+    std::printf("  'main' is at 0x%llx on BOTH ISAs (symbol "
+                "alignment)\n",
+                (unsigned long long)bin.funcAddr[0][mainId]);
+    std::printf("  %zu call sites carry cross-ISA stackmaps\n",
+                bin.callSite[0].size());
+
+    // --- 3. Run it on the x86 server of the dual-server testbed. -------
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(/*startNode=*/0);
+
+    // --- 4. Ask for a migration once it is underway. -------------------
+    bool asked = false;
+    os.onQuantum = [&](ReplicatedOS &self) {
+        if (!asked && self.totalInstrs() > 500000) {
+            std::printf("scheduler: requesting migration x86 -> ARM at "
+                        "t=%.6f s\n", self.now());
+            self.migrateProcess(1);
+            asked = true;
+        }
+    };
+    OsRunResult res = os.run();
+
+    std::printf("program output: %s\n", res.output.at(0).c_str());
+    std::printf("exit code: %lld, %llu instructions, %.6f s simulated\n",
+                (long long)res.exitCode,
+                (unsigned long long)res.totalInstrs,
+                res.makespanSeconds);
+    for (const MigrationEvent &ev : os.migrations()) {
+        std::printf("migrated node %d -> node %d: %u frames, %u live "
+                    "values, %llu bytes rewritten, resumed %.2f us "
+                    "after the request\n",
+                    ev.fromNode, ev.toNode, ev.transform.frames,
+                    ev.transform.liveValues,
+                    (unsigned long long)ev.transform.bytesCopied,
+                    (ev.resumeTime - ev.requestTime) * 1e6);
+    }
+    std::printf("final node of main thread: %d (ARM)\n",
+                os.threadNode(0));
+    return 0;
+}

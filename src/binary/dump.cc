@@ -1,0 +1,137 @@
+#include "binary/dump.hh"
+
+#include "isa/abi.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+std::string
+dumpHeaders(const MultiIsaBinary &bin)
+{
+    std::string out = strfmt("multi-ISA binary '%s' (%s layout)\n",
+                             bin.name.c_str(),
+                             bin.alignedLayout ? "aligned" : "unaligned");
+    out += strfmt("  .text    base 0x%08llx  aether64 %6llu B  xeno64 "
+                  "%6llu B\n",
+                  static_cast<unsigned long long>(vm::kTextBase),
+                  static_cast<unsigned long long>(
+                      bin.textBytes(IsaId::Aether64)),
+                  static_cast<unsigned long long>(
+                      bin.textBytes(IsaId::Xeno64)));
+    out += strfmt("  .rodata  base 0x%08llx\n",
+                  static_cast<unsigned long long>(vm::kRodataBase));
+    out += strfmt("  .data    base 0x%08llx  end 0x%08llx\n",
+                  static_cast<unsigned long long>(vm::kDataBase),
+                  static_cast<unsigned long long>(bin.dataEnd));
+    out += strfmt("  .tls     %llu bytes (common layout)\n",
+                  static_cast<unsigned long long>(bin.tlsSize));
+    out += strfmt("  call sites with stackmaps: %zu\n",
+                  bin.callSite[0].size());
+    out += "symbols:\n";
+    for (const IRFunction &f : bin.ir.functions) {
+        if (f.isBuiltin())
+            continue;
+        out += strfmt("  0x%08llx", static_cast<unsigned long long>(
+                                        bin.funcAddr[0][f.id]));
+        if (!bin.alignedLayout)
+            out += strfmt(" / 0x%08llx",
+                          static_cast<unsigned long long>(
+                              bin.funcAddr[1][f.id]));
+        out += strfmt("  %s\n", f.name.c_str());
+    }
+    for (const GlobalVar &g : bin.ir.globals) {
+        if (g.isTls)
+            out += strfmt("  tls+0x%06llx  %s\n",
+                          static_cast<unsigned long long>(
+                              bin.tlsOff[g.id]),
+                          g.name.c_str());
+        else
+            out += strfmt("  0x%08llx  %s\n",
+                          static_cast<unsigned long long>(
+                              bin.globalAddr[g.id]),
+                          g.name.c_str());
+    }
+    return out;
+}
+
+std::string
+dumpFunction(const MultiIsaBinary &bin, uint32_t funcId, IsaId isa)
+{
+    const IRFunction &f = bin.ir.func(funcId);
+    if (f.isBuiltin())
+        return strfmt("<%s: builtin at 0x%llx>\n", f.name.c_str(),
+                      static_cast<unsigned long long>(
+                          bin.funcAddr[static_cast<int>(isa)][funcId]));
+    const int i = static_cast<int>(isa);
+    const FuncImage &img = bin.image[i][funcId];
+    const AbiInfo &abi = AbiInfo::of(isa);
+    std::string out =
+        strfmt("%s <%s> (%s):  frame %u bytes, %zu callee-saved slots\n",
+               strfmt("0x%08llx", static_cast<unsigned long long>(
+                                      bin.funcAddr[i][funcId]))
+                   .c_str(),
+               f.name.c_str(), isaName(isa), img.frame.frameSize,
+               img.frame.savedGpr.size() + img.frame.savedFpr.size());
+    for (auto [r, off] : img.frame.savedGpr)
+        out += strfmt("    save %-4s at FP%+d\n", abi.gprName(r).c_str(),
+                      off);
+    for (size_t s = 0; s < img.frame.allocaFpOff.size(); ++s)
+        out += strfmt("    alloca '%s' at FP%+d (%u bytes)\n",
+                      f.allocas[s].name.c_str(), img.frame.allocaFpOff[s],
+                      f.allocas[s].size);
+    for (size_t k = 0; k < img.code.size(); ++k) {
+        out += strfmt("  %08llx:  %s\n",
+                      static_cast<unsigned long long>(
+                          bin.funcAddr[i][funcId] + img.instrOff[k]),
+                      disasm(img.code[k], isa).c_str());
+    }
+    return out;
+}
+
+std::string
+dumpCallSite(const MultiIsaBinary &bin, uint32_t siteId)
+{
+    std::string out = strfmt("call site %u:\n", siteId);
+    for (int i = 0; i < kNumIsas; ++i) {
+        IsaId isa = static_cast<IsaId>(i);
+        const CallSiteInfo &s = bin.site(isa, siteId);
+        const AbiInfo &abi = AbiInfo::of(isa);
+        out += strfmt("  [%s] in %s, resume 0x%llx%s\n", isaName(isa),
+                      bin.ir.func(s.funcId).name.c_str(),
+                      static_cast<unsigned long long>(s.retAddr),
+                      s.isMigrationPoint ? "  (migration point)" : "");
+        for (const LiveValue &lv : s.live) {
+            std::string loc;
+            switch (lv.loc.kind) {
+              case ValueLocation::Kind::Gpr:
+                loc = abi.gprName(lv.loc.reg);
+                break;
+              case ValueLocation::Kind::Fpr:
+                loc = abi.fprName(lv.loc.reg);
+                break;
+              case ValueLocation::Kind::FrameSlot:
+                loc = strfmt("FP%+d", lv.loc.fpOff);
+                break;
+            }
+            out += strfmt("    live %%%u:%s in %s\n", lv.irValue,
+                          typeName(lv.type), loc.c_str());
+        }
+    }
+    return out;
+}
+
+std::string
+dumpBinary(const MultiIsaBinary &bin)
+{
+    std::string out = dumpHeaders(bin);
+    for (const IRFunction &f : bin.ir.functions) {
+        if (f.isBuiltin())
+            continue;
+        out += "\n";
+        out += dumpFunction(bin, f.id, IsaId::Aether64);
+        out += dumpFunction(bin, f.id, IsaId::Xeno64);
+    }
+    return out;
+}
+
+} // namespace xisa

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * objdump-style rendering of multi-ISA binaries: section map, per-ISA
+ * disassembly with virtual addresses, frame layouts, and call-site
+ * stackmaps. The cross-ISA, side-by-side views make the "same program,
+ * two lowerings, one layout" property directly visible.
+ */
+
+#ifndef XISA_BINARY_DUMP_HH
+#define XISA_BINARY_DUMP_HH
+
+#include <string>
+
+#include "binary/multibinary.hh"
+
+namespace xisa {
+
+/** Section/header summary: layout bases, text sizes, symbol table. */
+std::string dumpHeaders(const MultiIsaBinary &bin);
+
+/** Disassembly of one function on one ISA, with addresses and frame. */
+std::string dumpFunction(const MultiIsaBinary &bin, uint32_t funcId,
+                         IsaId isa);
+
+/** The stackmap of one call site on both ISAs, side by side. */
+std::string dumpCallSite(const MultiIsaBinary &bin, uint32_t siteId);
+
+/** Full dump: headers + every user function on both ISAs. */
+std::string dumpBinary(const MultiIsaBinary &bin);
+
+} // namespace xisa
+
+#endif // XISA_BINARY_DUMP_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Compiler-generated migration metadata.
+ *
+ * This is CrossBound's equivalent of the paper's per-call-site live-value
+ * stackmaps plus DWARF frame-unwinding records (Section 5.3): enough
+ * information for the runtime to (a) walk a thread's stack frame by
+ * frame, and (b) relocate every live value from one ISA's frame layout
+ * and register assignment to the other's. Records are keyed by BIR value
+ * ids and call-site ids, which are assigned once on the IR and therefore
+ * identical across ISAs -- that shared key space is what makes the
+ * per-ISA metadata mutually translatable.
+ */
+
+#ifndef XISA_BINARY_METADATA_HH
+#define XISA_BINARY_METADATA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hh"
+#include "isa/isa.hh"
+
+namespace xisa {
+
+/** Where a live value resides at a call site. */
+struct ValueLocation {
+    enum class Kind : uint8_t {
+        Gpr,      ///< in a general-purpose register (must be callee-saved)
+        Fpr,      ///< in a floating-point register (must be callee-saved)
+        FrameSlot ///< in the frame at FP + offset
+    };
+    Kind kind = Kind::FrameSlot;
+    uint8_t reg = 0;     ///< register id for Gpr/Fpr
+    int32_t fpOff = 0;   ///< FP-relative offset for FrameSlot
+};
+
+/** One live value record at a call site. */
+struct LiveValue {
+    ValueId irValue = kNoValue; ///< cross-ISA key
+    Type type = Type::I64;
+    ValueLocation loc;
+};
+
+/**
+ * Per-function, per-ISA frame layout ("unwind info").
+ *
+ * Both ABIs store the caller's FP at [FP] and the return address at
+ * [FP+8] (Aether64 via its FP/LR pair, Xeno64 via push-return + push-FP),
+ * so the frame chain walks identically; everything below FP differs.
+ */
+struct FrameInfo {
+    uint32_t frameSize = 0;   ///< total frame bytes (16-aligned)
+    /** FP-relative slots where used callee-saved GPRs are saved. */
+    std::vector<std::pair<uint8_t, int32_t>> savedGpr;
+    /** FP-relative slots where used callee-saved FPRs are saved. */
+    std::vector<std::pair<uint8_t, int32_t>> savedFpr;
+    /** FP-relative offset of each alloca slot, indexed by slot id. */
+    std::vector<int32_t> allocaFpOff;
+    /** Bytes reserved at the stack bottom for outgoing stack args. */
+    uint32_t outArgBytes = 0;
+
+    /** Offset of the saved-FP slot relative to FP (always 0). */
+    static constexpr int32_t kSavedFpOff = 0;
+    /** Offset of the return-address slot relative to FP (always 8). */
+    static constexpr int32_t kRetAddrOff = 8;
+};
+
+/**
+ * Metadata for one call site on one ISA.
+ *
+ * `retAddr` is the virtual address execution resumes at after the call
+ * -- the value found in the return-address slot of the callee's frame,
+ * and the address the destination-ISA PC is set to when this frame is
+ * the migration point (the r^AB program-counter mapping of Section 4).
+ */
+struct CallSiteInfo {
+    uint32_t id = 0;
+    uint32_t funcId = 0;       ///< function containing the site
+    uint64_t retAddr = 0;      ///< resume virtual address on this ISA
+    bool isMigrationPoint = false;
+    std::vector<LiveValue> live; ///< values live across the call
+};
+
+/** Incoming stack argument i lives at FP + kIncomingArgBase + 8*i. */
+constexpr int32_t kIncomingArgBase = 16;
+
+} // namespace xisa
+
+#endif // XISA_BINARY_METADATA_HH

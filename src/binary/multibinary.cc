@@ -1,0 +1,179 @@
+#include "binary/multibinary.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+uint64_t
+MultiIsaBinary::codeAddr(IsaId isa, uint32_t funcId,
+                         uint32_t instrIdx) const
+{
+    int i = static_cast<int>(isa);
+    if (funcId >= funcAddr[i].size())
+        panic("codeAddr: bad function id %u", funcId);
+    const IRFunction &f = ir.func(funcId);
+    if (f.isBuiltin()) {
+        XISA_CHECK(instrIdx == 0, "builtins have a single code location");
+        return funcAddr[i][funcId];
+    }
+    const FuncImage &img = image[i][funcId];
+    if (instrIdx >= img.instrOff.size())
+        panic("codeAddr: instr %u out of range in f%u", instrIdx, funcId);
+    return funcAddr[i][funcId] + img.instrOff[instrIdx];
+}
+
+CodeLoc
+MultiIsaBinary::resolveCode(IsaId isa, uint64_t vaddr) const
+{
+    int i = static_cast<int>(isa);
+    if (vaddr >= vm::kRuntimeBase && vaddr < vm::kTextBase) {
+        uint64_t id = (vaddr - vm::kRuntimeBase) / vm::kRuntimeStride;
+        if (id >= ir.functions.size() || !ir.functions[id].isBuiltin() ||
+            funcAddr[i][id] != vaddr)
+            fatal("resolveCode: 0x%llx is not a builtin entry",
+                  static_cast<unsigned long long>(vaddr));
+        return {static_cast<uint32_t>(id), 0};
+    }
+    // Binary search over (sorted, disjoint) function images.
+    // funcAddr entries for builtins live below kTextBase so user
+    // functions form a contiguous ascending run.
+    uint32_t best = UINT32_MAX;
+    uint64_t bestAddr = 0;
+    for (uint32_t fid = 0; fid < funcAddr[i].size(); ++fid) {
+        if (ir.functions[fid].isBuiltin())
+            continue;
+        uint64_t a = funcAddr[i][fid];
+        if (a <= vaddr && a >= bestAddr &&
+            vaddr < a + image[i][fid].codeBytes()) {
+            best = fid;
+            bestAddr = a;
+        }
+    }
+    if (best == UINT32_MAX)
+        fatal("resolveCode: 0x%llx is not in %s text",
+              static_cast<unsigned long long>(vaddr), isaName(isa));
+    const FuncImage &img = image[i][best];
+    uint32_t off = static_cast<uint32_t>(vaddr - funcAddr[i][best]);
+    auto it = std::lower_bound(img.instrOff.begin(), img.instrOff.end(),
+                               off);
+    if (it == img.instrOff.end() || *it != off)
+        fatal("resolveCode: 0x%llx is not an instruction boundary",
+              static_cast<unsigned long long>(vaddr));
+    return {best, static_cast<uint32_t>(it - img.instrOff.begin())};
+}
+
+const CallSiteInfo &
+MultiIsaBinary::site(IsaId isa, uint32_t id) const
+{
+    const auto &map = callSite[static_cast<int>(isa)];
+    auto it = map.find(id);
+    if (it == map.end())
+        fatal("no call-site metadata for site %u on %s", id,
+              isaName(isa));
+    return it->second;
+}
+
+std::vector<MultiIsaBinary::DataImage>
+MultiIsaBinary::buildDataImages() const
+{
+    // One image for rodata, one for data+bss. Globals were laid out in
+    // ascending address order by the layout engine.
+    DataImage ro, rw;
+    ro.base = vm::kRodataBase;
+    rw.base = vm::kDataBase;
+    for (const GlobalVar &g : ir.globals) {
+        if (g.isTls)
+            continue;
+        DataImage &img = g.isConst ? ro : rw;
+        uint64_t off = globalAddr[g.id] - img.base;
+        uint64_t end = off + g.size;
+        if (img.bytes.size() < end)
+            img.bytes.resize(end, 0);
+        std::copy(g.init.begin(), g.init.end(), img.bytes.begin() + off);
+    }
+    std::vector<DataImage> out;
+    if (!ro.bytes.empty())
+        out.push_back(std::move(ro));
+    if (!rw.bytes.empty())
+        out.push_back(std::move(rw));
+    return out;
+}
+
+uint64_t
+MultiIsaBinary::textBytes(IsaId isa) const
+{
+    uint64_t total = 0;
+    for (const FuncImage &img : image[static_cast<int>(isa)])
+        total += img.codeBytes();
+    return total;
+}
+
+CodeMap::CodeMap(const MultiIsaBinary &bin, IsaId isa)
+    : bin_(&bin), isa_(isa)
+{
+    int i = static_cast<int>(isa);
+    for (uint32_t fid = 0; fid < bin.funcAddr[i].size(); ++fid) {
+        Entry e;
+        e.addr = bin.funcAddr[i][fid];
+        e.funcId = fid;
+        e.size = bin.ir.functions[fid].isBuiltin()
+                     ? 0
+                     : bin.image[i][fid].codeBytes();
+        entries_.push_back(e);
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry &a, const Entry &b) { return a.addr < b.addr; });
+}
+
+CodeLoc
+CodeMap::resolve(uint64_t vaddr) const
+{
+    XISA_CHECK(bin_, "CodeMap used before initialization");
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), vaddr,
+        [](uint64_t v, const Entry &e) { return v < e.addr; });
+    if (it == entries_.begin())
+        fatal("CodeMap: 0x%llx below all code",
+              static_cast<unsigned long long>(vaddr));
+    const Entry &e = *--it;
+    if (e.size == 0) {
+        if (vaddr != e.addr)
+            fatal("CodeMap: 0x%llx is not a builtin entry",
+                  static_cast<unsigned long long>(vaddr));
+        return {e.funcId, 0};
+    }
+    if (vaddr >= e.addr + e.size)
+        fatal("CodeMap: 0x%llx past the end of f%u",
+              static_cast<unsigned long long>(vaddr), e.funcId);
+    const FuncImage &img = bin_->image[static_cast<int>(isa_)][e.funcId];
+    uint32_t off = static_cast<uint32_t>(vaddr - e.addr);
+    auto oit = std::lower_bound(img.instrOff.begin(), img.instrOff.end(),
+                                off);
+    if (oit == img.instrOff.end() || *oit != off)
+        fatal("CodeMap: 0x%llx is mid-instruction",
+              static_cast<unsigned long long>(vaddr));
+    return {e.funcId, static_cast<uint32_t>(oit - img.instrOff.begin())};
+}
+
+bool
+CodeMap::contains(uint64_t vaddr) const
+{
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), vaddr,
+        [](uint64_t v, const Entry &e) { return v < e.addr; });
+    if (it == entries_.begin())
+        return false;
+    const Entry &e = *--it;
+    if (e.size == 0)
+        return vaddr == e.addr;
+    if (vaddr >= e.addr + e.size)
+        return false;
+    const FuncImage &img = bin_->image[static_cast<int>(isa_)][e.funcId];
+    uint32_t off = static_cast<uint32_t>(vaddr - e.addr);
+    return std::binary_search(img.instrOff.begin(), img.instrOff.end(),
+                              off);
+}
+
+} // namespace xisa

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The multi-ISA binary (Sections 4 and 5.2 of the paper).
+ *
+ * A MultiIsaBinary packages one natively compiled text image per ISA plus
+ * a single common virtual-address-space layout: every function and every
+ * global symbol has the same virtual address on both ISAs (when built in
+ * aligned mode), the TLS image has one common layout, and per-call-site
+ * metadata (stackmaps + frame info) is keyed identically across ISAs.
+ * The OS's heterogeneous binary loader aliases the per-ISA .text into
+ * the same virtual range, so code pointers are valid on either ISA.
+ */
+
+#ifndef XISA_BINARY_MULTIBINARY_HH
+#define XISA_BINARY_MULTIBINARY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "binary/metadata.hh"
+#include "ir/ir.hh"
+#include "isa/isa.hh"
+
+namespace xisa {
+
+/** Fixed virtual-address-space map shared by every process. */
+namespace vm {
+/** Runtime/builtin trampolines (the "libc" of the system). */
+constexpr uint64_t kRuntimeBase = 0x00300000ull;
+constexpr uint64_t kRuntimeStride = 64;
+/** Application .text. */
+constexpr uint64_t kTextBase = 0x00400000ull;
+/** .rodata. */
+constexpr uint64_t kRodataBase = 0x08000000ull;
+/** .data / .bss. */
+constexpr uint64_t kDataBase = 0x10000000ull;
+/** Heap (sbrk region). */
+constexpr uint64_t kHeapBase = 0x30000000ull;
+/** Per-thread TLS blocks. */
+constexpr uint64_t kTlsBase = 0x50000000ull;
+/** Per-thread user stacks, allocated downward from here. */
+constexpr uint64_t kStackRegion = 0x60000000ull;
+/** Bytes per thread stack. */
+constexpr uint64_t kStackSize = 512 * 1024;
+/** vDSO page; the migration-request flag lives at offset 0. */
+constexpr uint64_t kVdsoBase = 0x7ffff000ull;
+/** Sentinel return address: returning to it ends the thread. */
+constexpr uint64_t kThreadExitAddr = 0x00200000ull;
+/** Page size. */
+constexpr uint64_t kPageSize = 4096;
+
+/** Stack top (highest address, exclusive) of thread stack `slot`. */
+constexpr uint64_t
+stackTop(uint32_t slot)
+{
+    return kStackRegion + static_cast<uint64_t>(slot + 1) * kStackSize;
+}
+} // namespace vm
+
+/** One function's machine code on one ISA. */
+struct FuncImage {
+    std::vector<MachInstr> code;
+    /** Byte offset of each instruction; has code.size()+1 entries, the
+     *  last being the total encoded size. */
+    std::vector<uint32_t> instrOff;
+    FrameInfo frame;
+    /** First machine-instruction index of each BIR block (profiling). */
+    std::vector<uint32_t> blockStart;
+    /** Machine-instruction index of each migration-point flag check. */
+    std::vector<uint32_t> migChecks;
+
+    uint32_t codeBytes() const
+    {
+        return instrOff.empty() ? 0 : instrOff.back();
+    }
+};
+
+/** A location in code: function + instruction index. */
+struct CodeLoc {
+    uint32_t funcId = 0;
+    uint32_t instrIdx = 0;
+    bool operator==(const CodeLoc &o) const = default;
+};
+
+/** The multi-ISA binary produced by compileModule(). */
+struct MultiIsaBinary {
+    std::string name;
+    /** The IR it was compiled from (retained for the DBT baseline,
+     *  profiling, and diagnostics). */
+    Module ir;
+    /** Per-ISA, per-function images; empty for builtins. */
+    std::array<std::vector<FuncImage>, kNumIsas> image;
+    /** True if symbols were aligned to a common layout (Section 5.2.2);
+     *  false reproduces the natural per-ISA packing for Table 1. */
+    bool alignedLayout = true;
+    /** Entry virtual address per ISA per function (equal when aligned). */
+    std::array<std::vector<uint64_t>, kNumIsas> funcAddr;
+    /** End of the .text region per ISA. */
+    std::array<uint64_t, kNumIsas> textEnd = {};
+    /** Virtual address of each global; identical across ISAs. */
+    std::vector<uint64_t> globalAddr;
+    /** First address past .data/.bss (initial program break). */
+    uint64_t dataEnd = 0;
+    /** Offset of each TLS variable within a thread's TLS block (common
+     *  x86-style layout on both ISAs, cf. the muslc modification). */
+    std::vector<uint64_t> tlsOff;
+    uint64_t tlsSize = 0;
+    std::vector<uint8_t> tlsInit; ///< initial image of a TLS block
+    /** Call-site metadata per ISA, keyed by call-site id. */
+    std::array<std::unordered_map<uint32_t, CallSiteInfo>, kNumIsas>
+        callSite;
+
+    // --- Lookups --------------------------------------------------------
+
+    /** Code address of (funcId, instrIdx) on `isa`. */
+    uint64_t codeAddr(IsaId isa, uint32_t funcId, uint32_t instrIdx) const;
+    /**
+     * Resolve a code virtual address back to (funcId, instrIdx).
+     * Handles both application text and runtime trampolines (builtins,
+     * which resolve to instrIdx 0). fatal() on non-code addresses.
+     */
+    CodeLoc resolveCode(IsaId isa, uint64_t vaddr) const;
+    /** Call-site record by id; fatal() if missing. */
+    const CallSiteInfo &site(IsaId isa, uint32_t id) const;
+    /** Initial bytes of the .data/.rodata image (for the loader). */
+    struct DataImage {
+        uint64_t base = 0;
+        std::vector<uint8_t> bytes;
+    };
+    /** Build the initial data image (rodata + data, zero-filled bss). */
+    std::vector<DataImage> buildDataImages() const;
+
+    /** Total encoded text bytes on one ISA (diagnostics). */
+    uint64_t textBytes(IsaId isa) const;
+};
+
+/**
+ * Precomputed code-address index for one ISA of a binary. resolve() is
+ * on the interpreter's Ret hot path, so this trades setup time for
+ * O(log n) lookups (MultiIsaBinary::resolveCode is the slow, always-
+ * correct reference).
+ */
+class CodeMap
+{
+  public:
+    CodeMap() = default;
+    CodeMap(const MultiIsaBinary &bin, IsaId isa);
+
+    /** Resolve a code virtual address; fatal() on non-code addresses. */
+    CodeLoc resolve(uint64_t vaddr) const;
+    /** True if `vaddr` is a valid instruction boundary. */
+    bool contains(uint64_t vaddr) const;
+
+  private:
+    struct Entry {
+        uint64_t addr;
+        uint32_t funcId;
+        uint32_t size; ///< 0 for builtin entries (exact match only)
+    };
+    const MultiIsaBinary *bin_ = nullptr;
+    IsaId isa_ = IsaId::Aether64;
+    std::vector<Entry> entries_; ///< sorted by addr
+};
+
+} // namespace xisa
+
+#endif // XISA_BINARY_MULTIBINARY_HH

@@ -1,0 +1,363 @@
+#include "binary/serialize.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/bytes.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4e494258; // "XBIN"
+constexpr uint32_t kVersion = 1;
+
+// --- IR ------------------------------------------------------------------
+
+void
+writeInstr(ByteWriter &w, const IRInstr &in)
+{
+    w.u8(static_cast<uint8_t>(in.op));
+    w.u8(static_cast<uint8_t>(in.type));
+    w.u8(static_cast<uint8_t>(in.cond));
+    w.u32(in.dst);
+    w.u32(in.a);
+    w.u32(in.b);
+    w.i64(in.imm);
+    w.f64(in.fimm);
+    w.u32(in.target);
+    w.u32(in.target2);
+    w.u32(in.funcId);
+    w.u32(in.globalId);
+    w.u32(in.callSiteId);
+    w.list(in.args, [&](ValueId v) { w.u32(v); });
+}
+
+IRInstr
+readInstr(ByteReader &r)
+{
+    IRInstr in;
+    in.op = static_cast<IROp>(r.u8());
+    in.type = static_cast<Type>(r.u8());
+    in.cond = static_cast<Cond>(r.u8());
+    in.dst = r.u32();
+    in.a = r.u32();
+    in.b = r.u32();
+    in.imm = r.i64();
+    in.fimm = r.f64();
+    in.target = r.u32();
+    in.target2 = r.u32();
+    in.funcId = r.u32();
+    in.globalId = r.u32();
+    in.callSiteId = r.u32();
+    in.args = r.list<ValueId>([&] { return r.u32(); });
+    return in;
+}
+
+void
+writeModule(ByteWriter &w, const Module &mod)
+{
+    w.str(mod.name);
+    w.u32(mod.entryFuncId);
+    w.list(mod.globals, [&](const GlobalVar &g) {
+        w.str(g.name);
+        w.u32(g.id);
+        w.u64(g.size);
+        w.u32(g.align);
+        w.u8(g.isConst);
+        w.u8(g.isTls);
+        w.blob(g.init);
+    });
+    w.list(mod.functions, [&](const IRFunction &f) {
+        w.str(f.name);
+        w.u32(f.id);
+        w.u8(static_cast<uint8_t>(f.retType));
+        w.u8(static_cast<uint8_t>(f.builtin));
+        w.list(f.paramTypes,
+               [&](Type t) { w.u8(static_cast<uint8_t>(t)); });
+        w.list(f.vregTypes,
+               [&](Type t) { w.u8(static_cast<uint8_t>(t)); });
+        w.list(f.allocas, [&](const IRFunction::AllocaSlot &a) {
+            w.u32(a.size);
+            w.u32(a.align);
+            w.str(a.name);
+        });
+        w.list(f.blocks, [&](const BasicBlock &bb) {
+            w.u32(static_cast<uint32_t>(bb.loopDepth));
+            w.list(bb.instrs, [&](const IRInstr &in) {
+                writeInstr(w, in);
+            });
+        });
+    });
+}
+
+Module
+readModule(ByteReader &r)
+{
+    Module mod;
+    mod.name = r.str();
+    mod.entryFuncId = r.u32();
+    mod.globals = r.list<GlobalVar>([&] {
+        GlobalVar g;
+        g.name = r.str();
+        g.id = r.u32();
+        g.size = r.u64();
+        g.align = r.u32();
+        g.isConst = r.u8();
+        g.isTls = r.u8();
+        g.init = r.blob();
+        return g;
+    });
+    mod.functions = r.list<IRFunction>([&] {
+        IRFunction f;
+        f.name = r.str();
+        f.id = r.u32();
+        f.retType = static_cast<Type>(r.u8());
+        f.builtin = static_cast<Builtin>(r.u8());
+        f.paramTypes =
+            r.list<Type>([&] { return static_cast<Type>(r.u8()); });
+        f.vregTypes =
+            r.list<Type>([&] { return static_cast<Type>(r.u8()); });
+        f.allocas = r.list<IRFunction::AllocaSlot>([&] {
+            IRFunction::AllocaSlot a;
+            a.size = r.u32();
+            a.align = r.u32();
+            a.name = r.str();
+            return a;
+        });
+        f.blocks = r.list<BasicBlock>([&] {
+            BasicBlock bb;
+            bb.loopDepth = static_cast<int>(r.u32());
+            bb.instrs = r.list<IRInstr>([&] { return readInstr(r); });
+            return bb;
+        });
+        return f;
+    });
+    return mod;
+}
+
+// --- Machine code and metadata --------------------------------------------
+
+void
+writeMachInstr(ByteWriter &w, const MachInstr &in)
+{
+    w.u8(static_cast<uint8_t>(in.op));
+    w.u8(static_cast<uint8_t>(in.cond));
+    w.u8(in.rd);
+    w.u8(in.rn);
+    w.u8(in.rm);
+    w.i64(in.imm);
+    w.u32(in.target);
+    w.u32(in.callSiteId);
+    w.u8(in.size);
+    w.u8(static_cast<uint8_t>(in.reloc));
+}
+
+MachInstr
+readMachInstr(ByteReader &r)
+{
+    MachInstr in;
+    in.op = static_cast<MOp>(r.u8());
+    in.cond = static_cast<Cond>(r.u8());
+    in.rd = r.u8();
+    in.rn = r.u8();
+    in.rm = r.u8();
+    in.imm = r.i64();
+    in.target = r.u32();
+    in.callSiteId = r.u32();
+    in.size = r.u8();
+    in.reloc = static_cast<Reloc>(r.u8());
+    return in;
+}
+
+void
+writeFrame(ByteWriter &w, const FrameInfo &fr)
+{
+    w.u32(fr.frameSize);
+    w.u32(fr.outArgBytes);
+    w.list(fr.savedGpr, [&](const std::pair<uint8_t, int32_t> &s) {
+        w.u8(s.first);
+        w.u32(static_cast<uint32_t>(s.second));
+    });
+    w.list(fr.savedFpr, [&](const std::pair<uint8_t, int32_t> &s) {
+        w.u8(s.first);
+        w.u32(static_cast<uint32_t>(s.second));
+    });
+    w.list(fr.allocaFpOff,
+           [&](int32_t off) { w.u32(static_cast<uint32_t>(off)); });
+}
+
+FrameInfo
+readFrame(ByteReader &r)
+{
+    FrameInfo fr;
+    fr.frameSize = r.u32();
+    fr.outArgBytes = r.u32();
+    fr.savedGpr = r.list<std::pair<uint8_t, int32_t>>([&] {
+        uint8_t reg = r.u8();
+        int32_t off = static_cast<int32_t>(r.u32());
+        return std::pair<uint8_t, int32_t>{reg, off};
+    });
+    fr.savedFpr = r.list<std::pair<uint8_t, int32_t>>([&] {
+        uint8_t reg = r.u8();
+        int32_t off = static_cast<int32_t>(r.u32());
+        return std::pair<uint8_t, int32_t>{reg, off};
+    });
+    fr.allocaFpOff = r.list<int32_t>(
+        [&] { return static_cast<int32_t>(r.u32()); });
+    return fr;
+}
+
+void
+writeSite(ByteWriter &w, const CallSiteInfo &s)
+{
+    w.u32(s.id);
+    w.u32(s.funcId);
+    w.u64(s.retAddr);
+    w.u8(s.isMigrationPoint);
+    w.list(s.live, [&](const LiveValue &lv) {
+        w.u32(lv.irValue);
+        w.u8(static_cast<uint8_t>(lv.type));
+        w.u8(static_cast<uint8_t>(lv.loc.kind));
+        w.u8(lv.loc.reg);
+        w.u32(static_cast<uint32_t>(lv.loc.fpOff));
+    });
+}
+
+CallSiteInfo
+readSite(ByteReader &r)
+{
+    CallSiteInfo s;
+    s.id = r.u32();
+    s.funcId = r.u32();
+    s.retAddr = r.u64();
+    s.isMigrationPoint = r.u8();
+    s.live = r.list<LiveValue>([&] {
+        LiveValue lv;
+        lv.irValue = r.u32();
+        lv.type = static_cast<Type>(r.u8());
+        lv.loc.kind = static_cast<ValueLocation::Kind>(r.u8());
+        lv.loc.reg = r.u8();
+        lv.loc.fpOff = static_cast<int32_t>(r.u32());
+        return lv;
+    });
+    return s;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+saveBinary(const MultiIsaBinary &bin)
+{
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u32(kVersion);
+    w.str(bin.name);
+    w.u8(bin.alignedLayout);
+    writeModule(w, bin.ir);
+    for (int i = 0; i < kNumIsas; ++i) {
+        w.list(bin.image[i], [&](const FuncImage &img) {
+            w.list(img.code,
+                   [&](const MachInstr &in) { writeMachInstr(w, in); });
+            w.list(img.instrOff, [&](uint32_t off) { w.u32(off); });
+            writeFrame(w, img.frame);
+            w.list(img.blockStart, [&](uint32_t b) { w.u32(b); });
+            w.list(img.migChecks, [&](uint32_t m) { w.u32(m); });
+        });
+        w.list(bin.funcAddr[i], [&](uint64_t a) { w.u64(a); });
+        w.u64(bin.textEnd[i]);
+        std::vector<CallSiteInfo> sites;
+        sites.reserve(bin.callSite[i].size());
+        for (const auto &[id, site] : bin.callSite[i])
+            sites.push_back(site);
+        std::sort(sites.begin(), sites.end(),
+                  [](const CallSiteInfo &a, const CallSiteInfo &b) {
+                      return a.id < b.id;
+                  });
+        w.list(sites, [&](const CallSiteInfo &s) { writeSite(w, s); });
+    }
+    w.list(bin.globalAddr, [&](uint64_t a) { w.u64(a); });
+    w.u64(bin.dataEnd);
+    w.list(bin.tlsOff, [&](uint64_t o) { w.u64(o); });
+    w.u64(bin.tlsSize);
+    w.blob(bin.tlsInit);
+    return std::move(w.out);
+}
+
+MultiIsaBinary
+loadBinary(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    if (r.u32() != kMagic)
+        fatal("not a CrossBound multi-ISA binary (bad magic)");
+    if (uint32_t v = r.u32(); v != kVersion)
+        fatal("unsupported binary version %u (expected %u)", v,
+              kVersion);
+    MultiIsaBinary bin;
+    bin.name = r.str();
+    bin.alignedLayout = r.u8();
+    bin.ir = readModule(r);
+    bin.ir.verify();
+    for (int i = 0; i < kNumIsas; ++i) {
+        bin.image[i] = r.list<FuncImage>([&] {
+            FuncImage img;
+            img.code =
+                r.list<MachInstr>([&] { return readMachInstr(r); });
+            img.instrOff = r.list<uint32_t>([&] { return r.u32(); });
+            img.frame = readFrame(r);
+            img.blockStart = r.list<uint32_t>([&] { return r.u32(); });
+            img.migChecks = r.list<uint32_t>([&] { return r.u32(); });
+            return img;
+        });
+        bin.funcAddr[i] = r.list<uint64_t>([&] { return r.u64(); });
+        bin.textEnd[i] = r.u64();
+        auto sites = r.list<CallSiteInfo>([&] { return readSite(r); });
+        for (CallSiteInfo &s : sites)
+            bin.callSite[i].emplace(s.id, std::move(s));
+        if (bin.image[i].size() != bin.ir.functions.size() ||
+            bin.funcAddr[i].size() != bin.ir.functions.size())
+            fatal("binary image/function table size mismatch");
+    }
+    bin.globalAddr = r.list<uint64_t>([&] { return r.u64(); });
+    bin.dataEnd = r.u64();
+    bin.tlsOff = r.list<uint64_t>([&] { return r.u64(); });
+    bin.tlsSize = r.u64();
+    bin.tlsInit = r.blob();
+    if (!r.done())
+        fatal("trailing garbage after binary payload");
+    return bin;
+}
+
+void
+saveBinaryFile(const MultiIsaBinary &bin, const std::string &path)
+{
+    std::vector<uint8_t> bytes = saveBinary(bin);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (written != bytes.size())
+        fatal("short write to '%s'", path.c_str());
+}
+
+MultiIsaBinary
+loadBinaryFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '%s' for reading", path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size())
+        fatal("short read from '%s'", path.c_str());
+    return loadBinary(bytes);
+}
+
+} // namespace xisa

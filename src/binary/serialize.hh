@@ -1,0 +1,42 @@
+/**
+ * @file
+ * On-disk format for multi-ISA binaries.
+ *
+ * The paper's prototype emits one ELF per ISA plus metadata sections
+ * (stackmaps, unwind tables) consumed by the loader and the migration
+ * runtime. CrossBound's equivalent is a single container holding both
+ * texts, the common layout, and all cross-ISA metadata, so a binary can
+ * be compiled once and shipped to any kernel of the pool.
+ *
+ * Format: "XBIN" magic, a version word, then length-prefixed sections.
+ * Everything is little-endian. The reader validates structure eagerly
+ * and fatal()s with a diagnostic on any corruption.
+ */
+
+#ifndef XISA_BINARY_SERIALIZE_HH
+#define XISA_BINARY_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binary/multibinary.hh"
+
+namespace xisa {
+
+/** Serialize a multi-ISA binary to bytes. */
+std::vector<uint8_t> saveBinary(const MultiIsaBinary &bin);
+
+/** Reconstruct a multi-ISA binary from bytes produced by saveBinary().
+ *  fatal() on malformed input. */
+MultiIsaBinary loadBinary(const std::vector<uint8_t> &bytes);
+
+/** Write a binary to a file. fatal() on I/O errors. */
+void saveBinaryFile(const MultiIsaBinary &bin, const std::string &path);
+
+/** Read a binary from a file. fatal() on I/O errors or corruption. */
+MultiIsaBinary loadBinaryFile(const std::string &path);
+
+} // namespace xisa
+
+#endif // XISA_BINARY_SERIALIZE_HH

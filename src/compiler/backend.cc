@@ -1,0 +1,856 @@
+#include "compiler/backend.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "isa/abi.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+DataLayout
+computeDataLayout(const Module &mod)
+{
+    DataLayout dl;
+    dl.globalAddr.assign(mod.globals.size(), 0);
+    dl.tlsOff.assign(mod.globals.size(), 0);
+    uint64_t ro = vm::kRodataBase;
+    uint64_t rw = vm::kDataBase;
+    uint64_t tls = 0;
+    auto alignUp = [](uint64_t x, uint64_t a) {
+        return (x + a - 1) & ~(a - 1);
+    };
+    for (const GlobalVar &g : mod.globals) {
+        if (g.isTls) {
+            tls = alignUp(tls, g.align);
+            dl.tlsOff[g.id] = tls;
+            tls += g.size;
+        } else if (g.isConst) {
+            ro = alignUp(ro, g.align);
+            dl.globalAddr[g.id] = ro;
+            ro += g.size;
+        } else {
+            rw = alignUp(rw, g.align);
+            dl.globalAddr[g.id] = rw;
+            rw += g.size;
+        }
+    }
+    dl.tlsSize = alignUp(tls, 16);
+    dl.tlsInit.assign(dl.tlsSize, 0);
+    for (const GlobalVar &g : mod.globals)
+        if (g.isTls && !g.init.empty())
+            std::copy(g.init.begin(), g.init.end(),
+                      dl.tlsInit.begin() +
+                          static_cast<ptrdiff_t>(dl.tlsOff[g.id]));
+    dl.dataEnd = alignUp(rw, vm::kPageSize);
+    if (ro >= vm::kDataBase)
+        fatal(".rodata overflowed into .data (%llu bytes)",
+              static_cast<unsigned long long>(ro - vm::kRodataBase));
+    return dl;
+}
+
+namespace {
+
+/** Placeholder immediate for FuncAddr relocations: any real code address
+ *  is >= kRuntimeBase and < 2^31, i.e. the same encoding class. */
+constexpr int64_t kFuncAddrPlaceholder =
+    static_cast<int64_t>(vm::kTextBase);
+
+class Backend
+{
+  public:
+    Backend(const Module &mod, uint32_t funcId, IsaId isa,
+            const LivenessInfo &live, const DataLayout &data)
+        : mod_(mod), f_(mod.func(funcId)), isa_(isa),
+          abi_(AbiInfo::of(isa)), live_(live), data_(data)
+    {
+        if (isa == IsaId::Aether64) {
+            tmpI_[0] = 16; tmpI_[1] = 17; tmpI_[2] = 9;
+            tmpF_[0] = 5; tmpF_[1] = 6; tmpF_[2] = 7;
+        } else {
+            tmpI_[0] = 10; tmpI_[1] = 11; tmpI_[2] = 0;
+            tmpF_[0] = 13; tmpF_[1] = 14; tmpF_[2] = 15;
+        }
+    }
+
+    BackendOutput
+    run()
+    {
+        assignHomes();
+        layoutFrame();
+        emitPrologue();
+        for (uint32_t b = 0; b < f_.blocks.size(); ++b) {
+            out_.image.blockStart.push_back(
+                static_cast<uint32_t>(code().size()));
+            for (const IRInstr &in : f_.blocks[b].instrs)
+                emitInstr(in);
+        }
+        uint32_t epilogue = static_cast<uint32_t>(code().size());
+        emitEpilogue();
+        // Resolve block-id branch targets to instruction indices.
+        for (auto [idx, blockId] : blockFixups_) {
+            code()[idx].target = blockId == kEpilogueId
+                                     ? epilogue
+                                     : out_.image.blockStart[blockId];
+        }
+        finalizeOffsets();
+        out_.image.frame = frame_;
+        return std::move(out_);
+    }
+
+  private:
+    static constexpr uint32_t kEpilogueId = 0xfffffffeu;
+
+    /** Where a vreg permanently lives. */
+    struct Home {
+        ValueLocation::Kind kind = ValueLocation::Kind::FrameSlot;
+        uint8_t reg = 0;
+        int32_t off = 0;
+    };
+
+    std::vector<MachInstr> &code() { return out_.image.code; }
+
+    // --- Home assignment and frame layout -----------------------------
+
+    void
+    assignHomes()
+    {
+        const size_t nv = f_.vregTypes.size();
+        home_.resize(nv);
+        std::vector<size_t> order(nv);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return live_.useWeight[a] >
+                                    live_.useWeight[b];
+                         });
+        std::vector<uint8_t> gprPool = abi_.calleeSavedGpr;
+        std::vector<uint8_t> fprPool = abi_.calleeSavedFpr;
+        std::vector<bool> inReg(nv, false);
+        for (size_t v : order) {
+            if (!live_.liveAcrossCall[v] || live_.useWeight[v] == 0)
+                continue;
+            if (f_.vregTypes[v] == Type::F64) {
+                if (!fprPool.empty()) {
+                    home_[v] = {ValueLocation::Kind::Fpr, fprPool.front(),
+                                0};
+                    fprPool.erase(fprPool.begin());
+                    inReg[v] = true;
+                }
+            } else if (!gprPool.empty()) {
+                home_[v] = {ValueLocation::Kind::Gpr, gprPool.front(), 0};
+                gprPool.erase(gprPool.begin());
+                inReg[v] = true;
+            }
+        }
+        // Everything else gets a frame slot; the order the slots are
+        // carved out differs per ISA (see file comment).
+        spillOrder_.clear();
+        for (size_t v = 0; v < nv; ++v)
+            if (!inReg[v])
+                spillOrder_.push_back(static_cast<ValueId>(v));
+        if (isa_ == IsaId::Xeno64)
+            std::reverse(spillOrder_.begin(), spillOrder_.end());
+    }
+
+    void
+    layoutFrame()
+    {
+        int32_t off = 0;
+        for (size_t v = 0; v < home_.size(); ++v) {
+            if (home_[v].kind == ValueLocation::Kind::Gpr)
+                usedCalleeGpr_.push_back(home_[v].reg);
+            else if (home_[v].kind == ValueLocation::Kind::Fpr)
+                usedCalleeFpr_.push_back(home_[v].reg);
+        }
+        std::sort(usedCalleeGpr_.begin(), usedCalleeGpr_.end());
+        std::sort(usedCalleeFpr_.begin(), usedCalleeFpr_.end());
+        for (uint8_t r : usedCalleeGpr_) {
+            off -= 8;
+            frame_.savedGpr.emplace_back(r, off);
+        }
+        for (uint8_t r : usedCalleeFpr_) {
+            off -= 8;
+            frame_.savedFpr.emplace_back(r, off);
+        }
+
+        // Allocas: declaration order on Xeno64; alignment-major on
+        // Aether64.
+        std::vector<uint32_t> aorder(f_.allocas.size());
+        std::iota(aorder.begin(), aorder.end(), 0);
+        if (isa_ == IsaId::Aether64) {
+            std::stable_sort(aorder.begin(), aorder.end(),
+                             [&](uint32_t a, uint32_t b) {
+                                 return f_.allocas[a].align >
+                                        f_.allocas[b].align;
+                             });
+        }
+        frame_.allocaFpOff.assign(f_.allocas.size(), 0);
+        for (uint32_t slot : aorder) {
+            const auto &a = f_.allocas[slot];
+            off -= static_cast<int32_t>(a.size);
+            off &= ~static_cast<int32_t>(a.align - 1);
+            frame_.allocaFpOff[slot] = off;
+        }
+
+        for (ValueId v : spillOrder_) {
+            off -= 8;
+            home_[v] = {ValueLocation::Kind::FrameSlot, 0, off};
+        }
+
+        // Outgoing stack-argument area.
+        uint32_t maxStackArgs = 0;
+        for (const BasicBlock &bb : f_.blocks) {
+            for (const IRInstr &in : bb.instrs) {
+                if (in.op != IROp::Call && in.op != IROp::CallInd)
+                    continue;
+                uint32_t ints = 0, fps = 0, stack = 0;
+                for (ValueId arg : in.args) {
+                    if (f_.vregTypes[arg] == Type::F64) {
+                        if (fps++ >= abi_.fpArgRegs.size())
+                            ++stack;
+                    } else if (ints++ >= abi_.intArgRegs.size()) {
+                        ++stack;
+                    }
+                }
+                maxStackArgs = std::max(maxStackArgs, stack);
+            }
+        }
+        frame_.outArgBytes = maxStackArgs * 8;
+        uint32_t locals = static_cast<uint32_t>(-off);
+        frame_.frameSize =
+            (16 + locals + frame_.outArgBytes + 15) & ~15u;
+    }
+
+    // --- Emission helpers ----------------------------------------------
+
+    MachInstr &
+    emit(MachInstr in)
+    {
+        in.size = encodedSize(in, isa_);
+        code().push_back(in);
+        return code().back();
+    }
+
+    MachInstr &
+    emitOp(MOp op, uint8_t rd = 0, uint8_t rn = 0, uint8_t rm = 0,
+           int64_t imm = 0)
+    {
+        MachInstr in;
+        in.op = op;
+        in.rd = rd;
+        in.rn = rn;
+        in.rm = rm;
+        in.imm = imm;
+        return emit(in);
+    }
+
+    void
+    emitBranchToBlock(MOp op, uint32_t blockId, Cond cond = Cond::Always)
+    {
+        MachInstr in;
+        in.op = op;
+        in.cond = cond;
+        blockFixups_.emplace_back(code().size(), blockId);
+        emit(in);
+    }
+
+    /** Materialize a 64-bit immediate into a GPR. */
+    void
+    movImm(uint8_t rd, int64_t imm)
+    {
+        emitOp(MOp::MovImm, rd, 0, 0, imm);
+    }
+
+    /** Read vreg `v` into a GPR; returns the register holding it. */
+    uint8_t
+    readGpr(ValueId v, uint8_t tmp)
+    {
+        const Home &h = home_[v];
+        if (h.kind == ValueLocation::Kind::Gpr)
+            return h.reg;
+        XISA_CHECK(h.kind == ValueLocation::Kind::FrameSlot,
+                   "integer vreg with FPR home");
+        emitOp(MOp::Ldr, tmp, static_cast<uint8_t>(abi_.fpReg), 0, h.off);
+        return tmp;
+    }
+
+    uint8_t
+    readFpr(ValueId v, uint8_t tmp)
+    {
+        const Home &h = home_[v];
+        if (h.kind == ValueLocation::Kind::Fpr)
+            return h.reg;
+        XISA_CHECK(h.kind == ValueLocation::Kind::FrameSlot,
+                   "f64 vreg with GPR home");
+        emitOp(MOp::FLdr, tmp, static_cast<uint8_t>(abi_.fpReg), 0,
+               h.off);
+        return tmp;
+    }
+
+    /** Register the result of an op should be computed into. */
+    uint8_t
+    destGpr(ValueId v, uint8_t tmp) const
+    {
+        const Home &h = home_[v];
+        return h.kind == ValueLocation::Kind::Gpr ? h.reg : tmp;
+    }
+
+    uint8_t
+    destFpr(ValueId v, uint8_t tmp) const
+    {
+        const Home &h = home_[v];
+        return h.kind == ValueLocation::Kind::Fpr ? h.reg : tmp;
+    }
+
+    /** Commit a computed value to its home (no-op if already there). */
+    void
+    commitGpr(ValueId v, uint8_t reg)
+    {
+        const Home &h = home_[v];
+        if (h.kind == ValueLocation::Kind::Gpr) {
+            if (h.reg != reg)
+                emitOp(MOp::MovReg, h.reg, reg);
+            return;
+        }
+        emitOp(MOp::Str, reg, static_cast<uint8_t>(abi_.fpReg), 0, h.off);
+    }
+
+    void
+    commitFpr(ValueId v, uint8_t reg)
+    {
+        const Home &h = home_[v];
+        if (h.kind == ValueLocation::Kind::Fpr) {
+            if (h.reg != reg)
+                emitOp(MOp::FMovReg, h.reg, reg);
+            return;
+        }
+        emitOp(MOp::FStr, reg, static_cast<uint8_t>(abi_.fpReg), 0,
+               h.off);
+    }
+
+    // --- Prologue / epilogue --------------------------------------------
+
+    void
+    emitPrologue()
+    {
+        const uint8_t sp = static_cast<uint8_t>(abi_.spReg);
+        const uint8_t fp = static_cast<uint8_t>(abi_.fpReg);
+        if (isa_ == IsaId::Aether64) {
+            const uint8_t lr = static_cast<uint8_t>(abi_.linkReg);
+            emitOp(MOp::SubImm, sp, sp, 0, frame_.frameSize);
+            emitOp(MOp::Str, fp, sp, 0, frame_.frameSize - 16);
+            emitOp(MOp::Str, lr, sp, 0, frame_.frameSize - 8);
+            emitOp(MOp::AddImm, fp, sp, 0, frame_.frameSize - 16);
+        } else {
+            emitOp(MOp::Push, fp);
+            emitOp(MOp::MovReg, fp, sp);
+            emitOp(MOp::SubImm, sp, sp, 0, frame_.frameSize - 16);
+        }
+        for (auto [reg, off] : frame_.savedGpr)
+            emitOp(MOp::Str, reg, fp, 0, off);
+        for (auto [reg, off] : frame_.savedFpr)
+            emitOp(MOp::FStr, reg, fp, 0, off);
+
+        // Incoming arguments to homes.
+        uint32_t ints = 0, fps = 0, stack = 0;
+        for (size_t p = 0; p < f_.paramTypes.size(); ++p) {
+            ValueId v = static_cast<ValueId>(p);
+            if (f_.paramTypes[p] == Type::F64) {
+                if (fps < abi_.fpArgRegs.size()) {
+                    commitFpr(v, abi_.fpArgRegs[fps++]);
+                } else {
+                    emitOp(MOp::FLdr, tmpF_[0], fp, 0,
+                           kIncomingArgBase + 8 * stack++);
+                    commitFpr(v, tmpF_[0]);
+                }
+            } else {
+                if (ints < abi_.intArgRegs.size()) {
+                    commitGpr(v, abi_.intArgRegs[ints++]);
+                } else {
+                    emitOp(MOp::Ldr, tmpI_[0], fp, 0,
+                           kIncomingArgBase + 8 * stack++);
+                    commitGpr(v, tmpI_[0]);
+                }
+            }
+        }
+    }
+
+    void
+    emitEpilogue()
+    {
+        const uint8_t sp = static_cast<uint8_t>(abi_.spReg);
+        const uint8_t fp = static_cast<uint8_t>(abi_.fpReg);
+        for (auto [reg, off] : frame_.savedGpr)
+            emitOp(MOp::Ldr, reg, fp, 0, off);
+        for (auto [reg, off] : frame_.savedFpr)
+            emitOp(MOp::FLdr, reg, fp, 0, off);
+        if (isa_ == IsaId::Aether64) {
+            const uint8_t lr = static_cast<uint8_t>(abi_.linkReg);
+            emitOp(MOp::Ldr, lr, fp, 0, FrameInfo::kRetAddrOff);
+            emitOp(MOp::AddImm, sp, fp, 0, 16);
+            emitOp(MOp::Ldr, fp, fp, 0, FrameInfo::kSavedFpOff);
+        } else {
+            emitOp(MOp::MovReg, sp, fp);
+            emitOp(MOp::Pop, fp);
+        }
+        emitOp(MOp::Ret);
+    }
+
+    // --- Instruction selection --------------------------------------------
+
+    void
+    emitInstr(const IRInstr &in)
+    {
+        switch (in.op) {
+          case IROp::ConstInt: {
+            uint8_t rd = destGpr(in.dst, tmpI_[0]);
+            movImm(rd, in.imm);
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::ConstFloat: {
+            uint8_t fd = destFpr(in.dst, tmpF_[0]);
+            int64_t bits;
+            std::memcpy(&bits, &in.fimm, 8);
+            emitOp(MOp::FMovImm, fd, 0, 0, bits);
+            commitFpr(in.dst, fd);
+            break;
+          }
+          case IROp::Add: emitAlu(MOp::Add, in); break;
+          case IROp::Sub: emitAlu(MOp::Sub, in); break;
+          case IROp::Mul: emitAlu(MOp::Mul, in); break;
+          case IROp::SDiv: emitAlu(MOp::SDiv, in); break;
+          case IROp::UDiv: emitAlu(MOp::UDiv, in); break;
+          case IROp::SRem: emitAlu(MOp::SRem, in); break;
+          case IROp::URem: emitAlu(MOp::URem, in); break;
+          case IROp::And: emitAlu(MOp::And, in); break;
+          case IROp::Or: emitAlu(MOp::Orr, in); break;
+          case IROp::Xor: emitAlu(MOp::Eor, in); break;
+          case IROp::Shl: emitAlu(MOp::Lsl, in); break;
+          case IROp::LShr: emitAlu(MOp::Lsr, in); break;
+          case IROp::AShr: emitAlu(MOp::Asr, in); break;
+          case IROp::Neg: {
+            uint8_t ra = readGpr(in.a, tmpI_[0]);
+            uint8_t rd = destGpr(in.dst, tmpI_[1]);
+            emitOp(MOp::Neg, rd, ra);
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::FAdd: emitFAlu(MOp::FAdd, in); break;
+          case IROp::FSub: emitFAlu(MOp::FSub, in); break;
+          case IROp::FMul: emitFAlu(MOp::FMul, in); break;
+          case IROp::FDiv: emitFAlu(MOp::FDiv, in); break;
+          case IROp::FNeg: {
+            uint8_t fa = readFpr(in.a, tmpF_[0]);
+            uint8_t fd = destFpr(in.dst, tmpF_[1]);
+            emitOp(MOp::FNeg, fd, fa);
+            commitFpr(in.dst, fd);
+            break;
+          }
+          case IROp::ICmp: {
+            uint8_t ra = readGpr(in.a, tmpI_[0]);
+            uint8_t rb = readGpr(in.b, tmpI_[1]);
+            emitOp(MOp::Cmp, 0, ra, rb);
+            uint8_t rd = destGpr(in.dst, tmpI_[0]);
+            MachInstr cs;
+            cs.op = MOp::CSet;
+            cs.rd = rd;
+            cs.cond = in.cond;
+            emit(cs);
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::FCmp: {
+            uint8_t fa = readFpr(in.a, tmpF_[0]);
+            uint8_t fb = readFpr(in.b, tmpF_[1]);
+            emitOp(MOp::FCmp, 0, fa, fb);
+            uint8_t rd = destGpr(in.dst, tmpI_[0]);
+            MachInstr cs;
+            cs.op = MOp::CSet;
+            cs.rd = rd;
+            cs.cond = in.cond;
+            emit(cs);
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::SIToFP: {
+            uint8_t ra = readGpr(in.a, tmpI_[0]);
+            uint8_t fd = destFpr(in.dst, tmpF_[0]);
+            emitOp(MOp::SCvtF, fd, ra);
+            commitFpr(in.dst, fd);
+            break;
+          }
+          case IROp::FPToSI: {
+            uint8_t fa = readFpr(in.a, tmpF_[0]);
+            uint8_t rd = destGpr(in.dst, tmpI_[0]);
+            emitOp(MOp::FCvtS, rd, fa);
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::Copy: {
+            if (f_.vregTypes[in.dst] == Type::F64) {
+                uint8_t fa = readFpr(in.a, tmpF_[0]);
+                commitFpr(in.dst, fa);
+            } else {
+                uint8_t ra = readGpr(in.a, tmpI_[0]);
+                commitGpr(in.dst, ra);
+            }
+            break;
+          }
+          case IROp::AllocaAddr: {
+            uint8_t rd = destGpr(in.dst, tmpI_[0]);
+            emitOp(MOp::AddImm, rd, static_cast<uint8_t>(abi_.fpReg), 0,
+                   frame_.allocaFpOff[static_cast<size_t>(in.imm)]);
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::GlobalAddr: {
+            uint8_t rd = destGpr(in.dst, tmpI_[0]);
+            movImm(rd, static_cast<int64_t>(
+                           data_.globalAddr[in.globalId]));
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::TlsAddr: {
+            uint8_t rd = destGpr(in.dst, tmpI_[1]);
+            emitOp(MOp::TlsBase, tmpI_[0]);
+            emitOp(MOp::AddImm, rd, tmpI_[0], 0,
+                   static_cast<int64_t>(data_.tlsOff[in.globalId]));
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::FuncAddr: {
+            uint8_t rd = destGpr(in.dst, tmpI_[0]);
+            MachInstr mi;
+            mi.op = MOp::MovImm;
+            mi.rd = rd;
+            mi.imm = kFuncAddrPlaceholder;
+            mi.reloc = Reloc::FuncAddr;
+            mi.target = in.funcId;
+            emit(mi);
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::Load: emitLoad(in); break;
+          case IROp::Store: emitStore(in); break;
+          case IROp::LoadIdx: emitLoadIdx(in); break;
+          case IROp::StoreIdx: emitStoreIdx(in); break;
+          case IROp::AtomicAdd: {
+            uint8_t ra = readGpr(in.a, tmpI_[0]);
+            uint8_t rb = readGpr(in.b, tmpI_[1]);
+            uint8_t rd = destGpr(in.dst, tmpI_[2]);
+            emitOp(MOp::AtomicAdd, rd, ra, rb);
+            commitGpr(in.dst, rd);
+            break;
+          }
+          case IROp::Br:
+            emitBranchToBlock(MOp::B, in.target);
+            break;
+          case IROp::CondBr: {
+            uint8_t ra = readGpr(in.a, tmpI_[0]);
+            emitOp(MOp::CmpImm, 0, ra, 0, 0);
+            emitBranchToBlock(MOp::BCond, in.target, Cond::NE);
+            emitBranchToBlock(MOp::B, in.target2);
+            break;
+          }
+          case IROp::Ret: {
+            if (f_.retType != Type::Void) {
+                if (f_.retType == Type::F64) {
+                    uint8_t fa = readFpr(in.a, tmpF_[0]);
+                    if (fa != abi_.fpRetReg)
+                        emitOp(MOp::FMovReg,
+                               static_cast<uint8_t>(abi_.fpRetReg), fa);
+                } else {
+                    uint8_t ra = readGpr(in.a, tmpI_[0]);
+                    if (ra != abi_.retReg)
+                        emitOp(MOp::MovReg,
+                               static_cast<uint8_t>(abi_.retReg), ra);
+                }
+            }
+            emitBranchToBlock(MOp::B, kEpilogueId);
+            break;
+          }
+          case IROp::Call:
+          case IROp::CallInd:
+            emitCall(in);
+            break;
+          case IROp::MigPoint:
+            emitMigPoint(in);
+            break;
+        }
+    }
+
+    void
+    emitAlu(MOp op, const IRInstr &in)
+    {
+        uint8_t ra = readGpr(in.a, tmpI_[0]);
+        uint8_t rb = readGpr(in.b, tmpI_[1]);
+        uint8_t rd = destGpr(in.dst, tmpI_[2]);
+        emitOp(op, rd, ra, rb);
+        commitGpr(in.dst, rd);
+    }
+
+    void
+    emitFAlu(MOp op, const IRInstr &in)
+    {
+        uint8_t fa = readFpr(in.a, tmpF_[0]);
+        uint8_t fb = readFpr(in.b, tmpF_[1]);
+        uint8_t fd = destFpr(in.dst, tmpF_[2]);
+        emitOp(op, fd, fa, fb);
+        commitFpr(in.dst, fd);
+    }
+
+    void
+    emitLoad(const IRInstr &in)
+    {
+        uint8_t ra = readGpr(in.a, tmpI_[0]);
+        if (in.type == Type::F64) {
+            uint8_t fd = destFpr(in.dst, tmpF_[0]);
+            emitOp(MOp::FLdr, fd, ra, 0, in.imm);
+            commitFpr(in.dst, fd);
+            return;
+        }
+        uint8_t rd = destGpr(in.dst, tmpI_[1]);
+        MOp op = in.type == Type::I8 ? MOp::LdrB
+               : in.type == Type::I32 ? MOp::LdrS32
+                                      : MOp::Ldr;
+        emitOp(op, rd, ra, 0, in.imm);
+        commitGpr(in.dst, rd);
+    }
+
+    void
+    emitStore(const IRInstr &in)
+    {
+        uint8_t ra = readGpr(in.a, tmpI_[0]);
+        if (in.type == Type::F64) {
+            uint8_t fb = readFpr(in.b, tmpF_[0]);
+            emitOp(MOp::FStr, fb, ra, 0, in.imm);
+            return;
+        }
+        uint8_t rb = readGpr(in.b, tmpI_[1]);
+        MOp op = in.type == Type::I8 ? MOp::StrB
+               : in.type == Type::I32 ? MOp::Str32
+                                      : MOp::Str;
+        emitOp(op, rb, ra, 0, in.imm);
+    }
+
+    void
+    emitLoadIdx(const IRInstr &in)
+    {
+        uint8_t ra = readGpr(in.a, tmpI_[0]);
+        uint8_t rb = readGpr(in.b, tmpI_[1]);
+        if (in.type == Type::F64) {
+            uint8_t fd = destFpr(in.dst, tmpF_[0]);
+            emitOp(MOp::FLdrIdx, fd, ra, rb, in.imm);
+            commitFpr(in.dst, fd);
+            return;
+        }
+        uint8_t rd = destGpr(in.dst, tmpI_[2]);
+        MOp op = in.type == Type::I8 ? MOp::LdrBIdx
+               : in.type == Type::I32 ? MOp::Ldr32Idx
+                                      : MOp::LdrIdx;
+        emitOp(op, rd, ra, rb, in.imm);
+        if (in.type == Type::I32) {
+            // Ldr32Idx zero-extends; IR semantics sign-extend I32 loads.
+            emitOp(MOp::LslImm, rd, rd, 0, 32);
+            emitOp(MOp::AsrImm, rd, rd, 0, 32);
+        }
+        commitGpr(in.dst, rd);
+    }
+
+    void
+    emitStoreIdx(const IRInstr &in)
+    {
+        uint8_t ra = readGpr(in.a, tmpI_[0]);
+        uint8_t rb = readGpr(in.b, tmpI_[1]);
+        if (in.type == Type::F64) {
+            uint8_t fv = readFpr(in.args[0], tmpF_[0]);
+            emitOp(MOp::FStrIdx, fv, ra, rb, in.imm);
+            return;
+        }
+        uint8_t rv = readGpr(in.args[0], tmpI_[2]);
+        MOp op = in.type == Type::I8 ? MOp::StrBIdx
+               : in.type == Type::I32 ? MOp::Str32Idx
+                                      : MOp::StrIdx;
+        emitOp(op, rv, ra, rb, in.imm);
+    }
+
+    void
+    emitCall(const IRInstr &in)
+    {
+        const uint8_t sp = static_cast<uint8_t>(abi_.spReg);
+        // Classify arguments.
+        uint32_t ints = 0, fps = 0, stack = 0;
+        struct ArgPlace {
+            ValueId v;
+            bool isFp;
+            int reg;   // argument register, or -1 for stack
+            int slot;  // outgoing stack slot index
+        };
+        std::vector<ArgPlace> places;
+        for (ValueId arg : in.args) {
+            bool isFp = f_.vregTypes[arg] == Type::F64;
+            ArgPlace p{arg, isFp, -1, -1};
+            if (isFp) {
+                if (fps < abi_.fpArgRegs.size())
+                    p.reg = abi_.fpArgRegs[fps++];
+                else
+                    p.slot = static_cast<int>(stack++);
+            } else {
+                if (ints < abi_.intArgRegs.size())
+                    p.reg = abi_.intArgRegs[ints++];
+                else
+                    p.slot = static_cast<int>(stack++);
+            }
+            places.push_back(p);
+        }
+        // Stack arguments first (they use temporaries), then register
+        // arguments (straight from homes, clobbering nothing live).
+        for (const ArgPlace &p : places) {
+            if (p.slot < 0)
+                continue;
+            if (p.isFp) {
+                uint8_t fv = readFpr(p.v, tmpF_[0]);
+                emitOp(MOp::FStr, fv, sp, 0, 8 * p.slot);
+            } else {
+                uint8_t rv = readGpr(p.v, tmpI_[0]);
+                emitOp(MOp::Str, rv, sp, 0, 8 * p.slot);
+            }
+        }
+        for (const ArgPlace &p : places) {
+            if (p.reg < 0)
+                continue;
+            if (p.isFp) {
+                uint8_t fv = readFpr(p.v, static_cast<uint8_t>(p.reg));
+                if (fv != p.reg)
+                    emitOp(MOp::FMovReg, static_cast<uint8_t>(p.reg), fv);
+            } else {
+                uint8_t rv = readGpr(p.v, static_cast<uint8_t>(p.reg));
+                if (rv != p.reg)
+                    emitOp(MOp::MovReg, static_cast<uint8_t>(p.reg), rv);
+            }
+        }
+        // The call itself.
+        if (in.op == IROp::Call) {
+            MachInstr bl;
+            bl.op = MOp::Bl;
+            bl.target = in.funcId;
+            bl.callSiteId = in.callSiteId;
+            emit(bl);
+        } else {
+            uint8_t rt = readGpr(in.a, tmpI_[0]);
+            MachInstr blr;
+            blr.op = MOp::Blr;
+            blr.rn = rt;
+            blr.callSiteId = in.callSiteId;
+            emit(blr);
+        }
+        recordSite(in, /*isMigPoint=*/false);
+        // Result.
+        if (in.dst != kNoValue) {
+            if (in.type == Type::F64)
+                commitFpr(in.dst, static_cast<uint8_t>(abi_.fpRetReg));
+            else
+                commitGpr(in.dst, static_cast<uint8_t>(abi_.retReg));
+        }
+    }
+
+    void
+    emitMigPoint(const IRInstr &in)
+    {
+        out_.image.migChecks.push_back(
+            static_cast<uint32_t>(code().size()));
+        // The check's first instruction carries the site id so the
+        // interpreter can report every migration *opportunity* (taken
+        // or not) to the gap profiler.
+        MachInstr flagAddr;
+        flagAddr.op = MOp::MovImm;
+        flagAddr.rd = tmpI_[0];
+        flagAddr.imm = static_cast<int64_t>(vm::kVdsoBase);
+        flagAddr.callSiteId = in.callSiteId;
+        emit(flagAddr);
+        emitOp(MOp::Ldr, tmpI_[0], tmpI_[0], 0, 0);
+        emitOp(MOp::CmpImm, 0, tmpI_[0], 0, 0);
+        MachInstr skip;
+        skip.op = MOp::BCond;
+        skip.cond = Cond::EQ;
+        size_t skipIdx = code().size();
+        emit(skip);
+        MachInstr bl;
+        bl.op = MOp::Bl;
+        bl.target = kMigrateTarget;
+        bl.callSiteId = in.callSiteId;
+        emit(bl);
+        code()[skipIdx].target = static_cast<uint32_t>(code().size());
+        recordSite(in, /*isMigPoint=*/true);
+    }
+
+    void
+    recordSite(const IRInstr &in, bool isMigPoint)
+    {
+        CallSiteInfo site;
+        site.id = in.callSiteId;
+        site.funcId = f_.id;
+        site.retAddr = code().size(); // instruction index; layout fixes
+        site.isMigrationPoint = isMigPoint;
+        auto it = live_.liveAtSite.find(in.callSiteId);
+        XISA_CHECK(it != live_.liveAtSite.end(),
+                   "call site without liveness record");
+        for (ValueId v : it->second) {
+            LiveValue lv;
+            lv.irValue = v;
+            lv.type = f_.vregTypes[v];
+            lv.loc.kind = home_[v].kind;
+            lv.loc.reg = home_[v].reg;
+            lv.loc.fpOff = home_[v].off;
+            site.live.push_back(lv);
+        }
+        out_.sites.push_back(std::move(site));
+    }
+
+    void
+    finalizeOffsets()
+    {
+        auto &off = out_.image.instrOff;
+        off.clear();
+        uint32_t cur = 0;
+        for (const MachInstr &in : code()) {
+            off.push_back(cur);
+            cur += in.size;
+        }
+        off.push_back(cur);
+    }
+
+    const Module &mod_;
+    const IRFunction &f_;
+    IsaId isa_;
+    const AbiInfo &abi_;
+    const LivenessInfo &live_;
+    const DataLayout &data_;
+
+    std::vector<Home> home_;
+    std::vector<ValueId> spillOrder_;
+    std::vector<uint8_t> usedCalleeGpr_;
+    std::vector<uint8_t> usedCalleeFpr_;
+    FrameInfo frame_;
+    BackendOutput out_;
+    std::vector<std::pair<size_t, uint32_t>> blockFixups_;
+    uint8_t tmpI_[3];
+    uint8_t tmpF_[3];
+};
+
+} // namespace
+
+BackendOutput
+compileFunction(const Module &mod, uint32_t funcId, IsaId isa,
+                const LivenessInfo &live, const DataLayout &data)
+{
+    const IRFunction &f = mod.func(funcId);
+    if (f.isBuiltin())
+        panic("compileFunction: '%s' is a builtin", f.name.c_str());
+    return Backend(mod, funcId, isa, live, data).run();
+}
+
+} // namespace xisa

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-ISA code generation from BIR.
+ *
+ * Mirrors the paper's per-architecture LLVM backends (Section 5.2): the
+ * same IR is lowered independently for Aether64 and Xeno64, with each
+ * backend free to pick its own register assignment and frame layout --
+ * "there are no limitations preventing the compiler from ... optimizing
+ * the stack frame layout for each architecture" (Section 5.3). What must
+ * agree across ISAs is only the metadata key space: BIR value ids and
+ * call-site ids.
+ *
+ * Allocation model: every virtual register has a *home* -- a callee-saved
+ * register (hot values that live across calls, by loop-depth-weighted
+ * use count) or a frame slot. Caller-saved registers are used only as
+ * intra-instruction temporaries, so no save/restore code is needed
+ * around calls and every stackmap location is either a callee-saved
+ * register or a frame slot, exactly the two cases the paper's stack
+ * transformation runtime must handle.
+ *
+ * The two backends deliberately disagree on frame interior order
+ * (Aether64 sorts allocas by alignment then declaration and spills by
+ * ascending vreg; Xeno64 uses declaration order and descending vreg) so
+ * that cross-ISA stack transformation is never an identity copy.
+ */
+
+#ifndef XISA_COMPILER_BACKEND_HH
+#define XISA_COMPILER_BACKEND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "binary/multibinary.hh"
+#include "compiler/liveness.hh"
+#include "ir/ir.hh"
+#include "isa/isa.hh"
+
+namespace xisa {
+
+/** Addresses of data symbols, computed before code generation. */
+struct DataLayout {
+    std::vector<uint64_t> globalAddr; ///< by global id (0 for TLS vars)
+    std::vector<uint64_t> tlsOff;     ///< by global id (TLS vars only)
+    uint64_t tlsSize = 0;
+    std::vector<uint8_t> tlsInit;
+    uint64_t dataEnd = 0; ///< first address past .data/.bss
+};
+
+/** Lay out .rodata/.data/.bss/TLS; identical across ISAs. */
+DataLayout computeDataLayout(const Module &mod);
+
+/** Result of lowering one function for one ISA. */
+struct BackendOutput {
+    FuncImage image;
+    /**
+     * Call-site metadata. `retAddr` temporarily holds the machine
+     * instruction *index* of the resume point; the layout engine
+     * rewrites it to a virtual address once function addresses exist.
+     */
+    std::vector<CallSiteInfo> sites;
+};
+
+/** Lower `funcId` of `mod` to machine code for `isa`. */
+BackendOutput compileFunction(const Module &mod, uint32_t funcId,
+                              IsaId isa, const LivenessInfo &live,
+                              const DataLayout &data);
+
+} // namespace xisa
+
+#endif // XISA_COMPILER_BACKEND_HH

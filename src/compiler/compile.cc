@@ -1,0 +1,162 @@
+#include "compiler/compile.hh"
+
+#include <algorithm>
+
+#include "compiler/backend.hh"
+#include "compiler/liveness.hh"
+#include "compiler/opt.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+
+uint64_t
+alignUp(uint64_t x, uint64_t a)
+{
+    return (x + a - 1) & ~(a - 1);
+}
+
+/**
+ * The symbol-alignment engine. In aligned mode every user function gets
+ * one address on both ISAs and is padded to the larger encoding; in
+ * unaligned mode each ISA packs its own text naturally.
+ */
+void
+placeFunctions(MultiIsaBinary &bin)
+{
+    const size_t nf = bin.ir.functions.size();
+    for (int i = 0; i < kNumIsas; ++i)
+        bin.funcAddr[i].assign(nf, 0);
+
+    for (const IRFunction &f : bin.ir.functions) {
+        if (f.isBuiltin()) {
+            uint64_t addr = vm::kRuntimeBase + f.id * vm::kRuntimeStride;
+            for (int i = 0; i < kNumIsas; ++i)
+                bin.funcAddr[i][f.id] = addr;
+        }
+    }
+
+    if (bin.alignedLayout) {
+        uint64_t cur = vm::kTextBase;
+        for (const IRFunction &f : bin.ir.functions) {
+            if (f.isBuiltin())
+                continue;
+            cur = alignUp(cur, 16);
+            for (int i = 0; i < kNumIsas; ++i)
+                bin.funcAddr[i][f.id] = cur;
+            uint64_t size = std::max(bin.image[0][f.id].codeBytes(),
+                                     bin.image[1][f.id].codeBytes());
+            cur += alignUp(size, 16);
+        }
+        bin.textEnd[0] = bin.textEnd[1] = cur;
+    } else {
+        for (int i = 0; i < kNumIsas; ++i) {
+            uint64_t cur = vm::kTextBase;
+            for (const IRFunction &f : bin.ir.functions) {
+                if (f.isBuiltin())
+                    continue;
+                cur = alignUp(cur, 16);
+                bin.funcAddr[i][f.id] = cur;
+                cur += alignUp(bin.image[i][f.id].codeBytes(), 16);
+            }
+            bin.textEnd[i] = cur;
+        }
+    }
+    for (int i = 0; i < kNumIsas; ++i)
+        if (bin.textEnd[i] > vm::kRodataBase)
+            fatal(".text overflowed into .rodata (%llu bytes)",
+                  static_cast<unsigned long long>(bin.textEnd[i] -
+                                                  vm::kTextBase));
+}
+
+/** Patch FuncAddr relocations now that function addresses exist. */
+void
+patchRelocations(MultiIsaBinary &bin)
+{
+    for (int i = 0; i < kNumIsas; ++i) {
+        for (FuncImage &img : bin.image[i]) {
+            for (MachInstr &in : img.code) {
+                if (in.reloc != Reloc::FuncAddr)
+                    continue;
+                in.imm = static_cast<int64_t>(bin.funcAddr[i][in.target]);
+                uint8_t newSize =
+                    encodedSize(in, static_cast<IsaId>(i));
+                XISA_CHECK(newSize == in.size,
+                           "relocation changed encoding size");
+                in.reloc = Reloc::None;
+            }
+        }
+    }
+}
+
+} // namespace
+
+MultiIsaBinary
+compileModule(Module mod, const CompileOptions &opts)
+{
+    // Optimize first: the optimizer must not move/duplicate migration
+    // points, and running it before insertion keeps block ids from the
+    // profile valid.
+    if (opts.optimize)
+        optimizeModule(mod);
+    if (opts.boundaryMigPoints)
+        insertBoundaryMigPoints(mod);
+    for (const MigPointSpec &spec : opts.loopMigPoints)
+        insertMigPointAtBlock(mod, spec);
+    assignCallSiteIds(mod);
+    mod.verify();
+
+    DataLayout dl = computeDataLayout(mod);
+
+    MultiIsaBinary bin;
+    bin.name = mod.name;
+    bin.alignedLayout = opts.alignedLayout;
+    bin.globalAddr = dl.globalAddr;
+    bin.dataEnd = dl.dataEnd;
+    bin.tlsOff = dl.tlsOff;
+    bin.tlsSize = dl.tlsSize;
+    bin.tlsInit = dl.tlsInit;
+
+    const size_t nf = mod.functions.size();
+    for (int i = 0; i < kNumIsas; ++i)
+        bin.image[i].resize(nf);
+    std::array<std::vector<std::vector<CallSiteInfo>>, kNumIsas> sites;
+    for (int i = 0; i < kNumIsas; ++i)
+        sites[i].resize(nf);
+
+    for (const IRFunction &f : mod.functions) {
+        if (f.isBuiltin())
+            continue;
+        LivenessInfo live = computeLiveness(f);
+        for (int i = 0; i < kNumIsas; ++i) {
+            BackendOutput out = compileFunction(mod, f.id,
+                                                static_cast<IsaId>(i),
+                                                live, dl);
+            bin.image[i][f.id] = std::move(out.image);
+            sites[i][f.id] = std::move(out.sites);
+        }
+    }
+
+    bin.ir = std::move(mod);
+    placeFunctions(bin);
+    patchRelocations(bin);
+
+    // Turn per-site instruction indices into resume virtual addresses.
+    for (int i = 0; i < kNumIsas; ++i) {
+        for (size_t fid = 0; fid < nf; ++fid) {
+            for (CallSiteInfo &site : sites[i][fid]) {
+                const FuncImage &img = bin.image[i][fid];
+                uint32_t idx = static_cast<uint32_t>(site.retAddr);
+                XISA_CHECK(idx < img.instrOff.size(),
+                           "resume index out of range");
+                site.retAddr =
+                    bin.funcAddr[i][fid] + img.instrOff[idx];
+                bin.callSite[i].emplace(site.id, std::move(site));
+            }
+        }
+    }
+    return bin;
+}
+
+} // namespace xisa

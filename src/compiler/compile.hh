@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The multi-ISA compiler driver -- the toolchain of the paper's Figure 2.
+ *
+ * Pipeline: (1) insert migration points at function boundaries and any
+ * profile-chosen loop blocks, (2) assign cross-ISA call-site ids,
+ * (3) lay out data symbols (identical across ISAs), (4) lower every
+ * function independently per ISA with liveness-driven stackmaps,
+ * (5) run the symbol-alignment engine that gives every function one
+ * common virtual address, padding each to the larger of its per-ISA
+ * encodings (the role of the paper's gold-linker-script alignment tool),
+ * and (6) patch code-address relocations and finalize metadata.
+ */
+
+#ifndef XISA_COMPILER_COMPILE_HH
+#define XISA_COMPILER_COMPILE_HH
+
+#include <vector>
+
+#include "binary/multibinary.hh"
+#include "compiler/migpass.hh"
+#include "ir/ir.hh"
+
+namespace xisa {
+
+/** Options controlling compileModule(). */
+struct CompileOptions {
+    /** Align symbols to a common cross-ISA layout (Section 5.2.2).
+     *  Disable to reproduce the natural per-ISA packing of Table 1's
+     *  "unaligned" baseline; unaligned binaries cannot migrate. */
+    bool alignedLayout = true;
+    /** Insert migration points at function boundaries. Disable to
+     *  measure the uninstrumented baseline of Figs. 6-9. */
+    bool boundaryMigPoints = true;
+    /** Additional profile-chosen loop blocks to instrument. */
+    std::vector<MigPointSpec> loopMigPoints;
+    /** Run the machine-independent optimizer (Figure 2's "standard
+     *  compiler optimizations") before lowering. */
+    bool optimize = true;
+};
+
+/** Compile a BIR module into a multi-ISA binary. */
+MultiIsaBinary compileModule(Module mod, const CompileOptions &opts = {});
+
+} // namespace xisa
+
+#endif // XISA_COMPILER_COMPILE_HH

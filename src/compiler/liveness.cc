@@ -1,0 +1,177 @@
+#include "compiler/liveness.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+void
+forEachUse(const IRInstr &in, const std::function<void(ValueId)> &fn)
+{
+    switch (in.op) {
+      case IROp::ConstInt: case IROp::ConstFloat: case IROp::AllocaAddr:
+      case IROp::GlobalAddr: case IROp::TlsAddr: case IROp::FuncAddr:
+      case IROp::Br: case IROp::MigPoint:
+        break;
+      case IROp::Neg: case IROp::FNeg: case IROp::SIToFP:
+      case IROp::FPToSI: case IROp::Copy: case IROp::Load:
+        fn(in.a);
+        break;
+      case IROp::CondBr:
+        fn(in.a);
+        break;
+      case IROp::Ret:
+        if (in.a != kNoValue)
+            fn(in.a);
+        break;
+      case IROp::Call:
+        for (ValueId v : in.args)
+            fn(v);
+        break;
+      case IROp::CallInd:
+        fn(in.a);
+        for (ValueId v : in.args)
+            fn(v);
+        break;
+      case IROp::StoreIdx:
+        fn(in.a);
+        fn(in.b);
+        fn(in.args[0]);
+        break;
+      default:
+        // All two-operand forms (ALU, compares, Store, LoadIdx,
+        // AtomicAdd).
+        if (in.a != kNoValue)
+            fn(in.a);
+        if (in.b != kNoValue)
+            fn(in.b);
+        break;
+    }
+}
+
+ValueId
+instrDef(const IRInstr &in)
+{
+    switch (in.op) {
+      case IROp::Store: case IROp::StoreIdx: case IROp::Br:
+      case IROp::CondBr: case IROp::Ret: case IROp::MigPoint:
+        return kNoValue;
+      default:
+        return in.dst;
+    }
+}
+
+uint32_t
+assignCallSiteIds(Module &mod)
+{
+    uint32_t next = 1;
+    for (IRFunction &f : mod.functions) {
+        for (BasicBlock &bb : f.blocks) {
+            for (IRInstr &in : bb.instrs) {
+                if (in.op == IROp::Call || in.op == IROp::CallInd ||
+                    in.op == IROp::MigPoint)
+                    in.callSiteId = next++;
+            }
+        }
+    }
+    return next - 1;
+}
+
+LivenessInfo
+computeLiveness(const IRFunction &f)
+{
+    const size_t nv = f.vregTypes.size();
+    const size_t nb = f.blocks.size();
+    LivenessInfo info;
+    info.liveAcrossCall.assign(nv, false);
+    info.useWeight.assign(nv, 0);
+
+    // Use weights for the allocator's hotness heuristic.
+    for (const BasicBlock &bb : f.blocks) {
+        uint64_t w = 1;
+        for (int d = 0; d < std::min(bb.loopDepth, 6); ++d)
+            w *= 10;
+        for (const IRInstr &in : bb.instrs) {
+            forEachUse(in, [&](ValueId v) { info.useWeight[v] += w; });
+            if (ValueId d = instrDef(in); d != kNoValue)
+                info.useWeight[d] += w;
+        }
+    }
+
+    // Backward dataflow to a fixed point. Sets are plain bool vectors;
+    // functions here are small enough that this is fast.
+    std::vector<std::vector<bool>> liveIn(nb), liveOut(nb);
+    for (size_t b = 0; b < nb; ++b) {
+        liveIn[b].assign(nv, false);
+        liveOut[b].assign(nv, false);
+    }
+
+    auto successors = [&](const BasicBlock &bb) {
+        std::vector<uint32_t> succ;
+        const IRInstr &term = bb.instrs.back();
+        if (term.op == IROp::Br) {
+            succ.push_back(term.target);
+        } else if (term.op == IROp::CondBr) {
+            succ.push_back(term.target);
+            succ.push_back(term.target2);
+        }
+        return succ;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = nb; b-- > 0;) {
+            const BasicBlock &bb = f.blocks[b];
+            std::vector<bool> out(nv, false);
+            for (uint32_t s : successors(bb))
+                for (size_t v = 0; v < nv; ++v)
+                    if (liveIn[s][v])
+                        out[v] = true;
+            std::vector<bool> live = out;
+            for (size_t i = bb.instrs.size(); i-- > 0;) {
+                const IRInstr &in = bb.instrs[i];
+                if (ValueId d = instrDef(in); d != kNoValue)
+                    live[d] = false;
+                forEachUse(in, [&](ValueId v) { live[v] = true; });
+            }
+            if (out != liveOut[b] || live != liveIn[b]) {
+                liveOut[b] = std::move(out);
+                liveIn[b] = std::move(live);
+                changed = true;
+            }
+        }
+    }
+
+    // Per-site live sets: walk each block backwards once more.
+    for (size_t b = 0; b < nb; ++b) {
+        const BasicBlock &bb = f.blocks[b];
+        std::vector<bool> live = liveOut[b];
+        for (size_t i = bb.instrs.size(); i-- > 0;) {
+            const IRInstr &in = bb.instrs[i];
+            if (in.callSiteId != 0 &&
+                (in.op == IROp::Call || in.op == IROp::CallInd ||
+                 in.op == IROp::MigPoint)) {
+                // Values live after the call, excluding its result:
+                // exactly the set that must survive the call and hence
+                // appear in the stackmap.
+                std::vector<ValueId> vs;
+                for (size_t v = 0; v < nv; ++v) {
+                    if (live[v] && static_cast<ValueId>(v) != in.dst) {
+                        vs.push_back(static_cast<ValueId>(v));
+                        info.liveAcrossCall[v] = true;
+                    }
+                }
+                info.liveAtSite.emplace(in.callSiteId, std::move(vs));
+            }
+            if (ValueId d = instrDef(in); d != kNoValue)
+                live[d] = false;
+            forEachUse(in, [&](ValueId v) { live[v] = true; });
+        }
+    }
+    return info;
+}
+
+} // namespace xisa

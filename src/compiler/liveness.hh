@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Call-site liveness analysis over BIR (the paper's Section 5.3 "analysis
+ * pass ... run over the LLVM bitcode to collect live values at function
+ * call sites").
+ *
+ * Classic backward dataflow on the function's virtual registers. The
+ * result feeds two consumers: the stackmap emitter (which values must be
+ * recorded at each call site) and the register allocator (which values
+ * are live across calls and therefore profit from callee-saved homes).
+ */
+
+#ifndef XISA_COMPILER_LIVENESS_HH
+#define XISA_COMPILER_LIVENESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace xisa {
+
+/** Result of liveness analysis for one function. */
+struct LivenessInfo {
+    /** Values live immediately after each call site (excluding the call
+     *  result), keyed by call-site id. Sorted ascending. */
+    std::unordered_map<uint32_t, std::vector<ValueId>> liveAtSite;
+    /** Per-vreg: live across at least one call or migration point. */
+    std::vector<bool> liveAcrossCall;
+    /** Per-vreg static use count weighted by 10^loopDepth. */
+    std::vector<uint64_t> useWeight;
+};
+
+/** Apply `fn` to every vreg the instruction uses. */
+void forEachUse(const IRInstr &in, const std::function<void(ValueId)> &fn);
+
+/** The vreg the instruction defines, or kNoValue. */
+ValueId instrDef(const IRInstr &in);
+
+/**
+ * Compute liveness for `f`. Call-site ids must already be assigned
+ * (assignCallSiteIds()); sites with id 0 are ignored.
+ */
+LivenessInfo computeLiveness(const IRFunction &f);
+
+/**
+ * Assign globally unique, cross-ISA-stable call-site ids to every Call,
+ * CallInd, and MigPoint in the module. Returns the number of sites.
+ */
+uint32_t assignCallSiteIds(Module &mod);
+
+} // namespace xisa
+
+#endif // XISA_COMPILER_LIVENESS_HH

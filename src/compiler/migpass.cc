@@ -1,0 +1,57 @@
+#include "compiler/migpass.hh"
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+uint32_t
+insertBoundaryMigPoints(Module &mod)
+{
+    uint32_t inserted = 0;
+    for (IRFunction &f : mod.functions) {
+        if (f.isBuiltin())
+            continue;
+        if (!f.blocks.empty() && !f.blocks[0].instrs.empty() &&
+            f.blocks[0].instrs.front().op == IROp::MigPoint)
+            continue; // already instrumented
+        IRInstr mp;
+        mp.op = IROp::MigPoint;
+        f.blocks[0].instrs.insert(f.blocks[0].instrs.begin(), mp);
+        ++inserted;
+        for (BasicBlock &bb : f.blocks) {
+            if (bb.instrs.back().op == IROp::Ret) {
+                bb.instrs.insert(bb.instrs.end() - 1, mp);
+                ++inserted;
+            }
+        }
+    }
+    return inserted;
+}
+
+void
+insertMigPointAtBlock(Module &mod, const MigPointSpec &spec)
+{
+    IRFunction &f = mod.func(spec.funcId);
+    if (f.isBuiltin())
+        fatal("cannot instrument builtin '%s'", f.name.c_str());
+    if (spec.blockId >= f.blocks.size())
+        fatal("insertMigPointAtBlock: block %u out of range in %s",
+              spec.blockId, f.name.c_str());
+    IRInstr mp;
+    mp.op = IROp::MigPoint;
+    BasicBlock &bb = f.blocks[spec.blockId];
+    bb.instrs.insert(bb.instrs.begin(), mp);
+}
+
+uint32_t
+countMigPoints(const Module &mod)
+{
+    uint32_t n = 0;
+    for (const IRFunction &f : mod.functions)
+        for (const BasicBlock &bb : f.blocks)
+            for (const IRInstr &in : bb.instrs)
+                n += in.op == IROp::MigPoint;
+    return n;
+}
+
+} // namespace xisa

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Migration-point insertion (Section 5.2.1 of the paper).
+ *
+ * Migration points are inserted at equivalence points only. Function
+ * boundaries are natural equivalence points, so insertBoundaryMigPoints()
+ * places one at every function entry and before every return. Additional
+ * points can be placed at loop-body heads to shorten the migration
+ * response time; the profile-guided planner that chooses those blocks
+ * (the paper's Valgrind-based tool) lives in core/migprofile.hh and
+ * calls insertMigPointAtBlock().
+ */
+
+#ifndef XISA_COMPILER_MIGPASS_HH
+#define XISA_COMPILER_MIGPASS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace xisa {
+
+/** (function id, block id) pair naming a loop block to instrument. */
+struct MigPointSpec {
+    uint32_t funcId = 0;
+    uint32_t blockId = 0;
+    bool operator==(const MigPointSpec &o) const = default;
+};
+
+/**
+ * Insert a MigPoint at the entry and before every Ret of each
+ * non-builtin function. Returns the number of points inserted.
+ * Idempotent: functions already carrying boundary points are skipped.
+ */
+uint32_t insertBoundaryMigPoints(Module &mod);
+
+/** Insert a MigPoint at the head of the given block. */
+void insertMigPointAtBlock(Module &mod, const MigPointSpec &spec);
+
+/** Total static MigPoint count in the module. */
+uint32_t countMigPoints(const Module &mod);
+
+} // namespace xisa
+
+#endif // XISA_COMPILER_MIGPASS_HH

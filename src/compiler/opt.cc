@@ -1,0 +1,649 @@
+#include "compiler/opt.hh"
+
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/liveness.hh" // forEachUse / instrDef
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+
+/** What a block-local walk currently knows about a vreg. */
+struct Fact {
+    enum class Kind { None, ConstI, ConstF, CopyOf } kind = Kind::None;
+    int64_t i = 0;
+    double f = 0;
+    ValueId src = kNoValue;
+};
+
+bool
+isPure(IROp op)
+{
+    switch (op) {
+      case IROp::ConstInt: case IROp::ConstFloat:
+      case IROp::Add: case IROp::Sub: case IROp::Mul: case IROp::SDiv:
+      case IROp::UDiv: case IROp::SRem: case IROp::URem:
+      case IROp::And: case IROp::Or: case IROp::Xor: case IROp::Shl:
+      case IROp::LShr: case IROp::AShr: case IROp::Neg:
+      case IROp::FAdd: case IROp::FSub: case IROp::FMul:
+      case IROp::FDiv: case IROp::FNeg:
+      case IROp::ICmp: case IROp::FCmp:
+      case IROp::SIToFP: case IROp::FPToSI: case IROp::Copy:
+      case IROp::AllocaAddr: case IROp::GlobalAddr: case IROp::TlsAddr:
+      case IROp::FuncAddr:
+      case IROp::Load: case IROp::LoadIdx:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+evalIntCond(Cond cond, int64_t a, int64_t b)
+{
+    uint64_t ua = static_cast<uint64_t>(a);
+    uint64_t ub = static_cast<uint64_t>(b);
+    switch (cond) {
+      case Cond::EQ: return a == b;
+      case Cond::NE: return a != b;
+      case Cond::LT: return a < b;
+      case Cond::LE: return a <= b;
+      case Cond::GT: return a > b;
+      case Cond::GE: return a >= b;
+      case Cond::ULT: return ua < ub;
+      case Cond::ULE: return ua <= ub;
+      case Cond::UGT: return ua > ub;
+      case Cond::UGE: return ua >= ub;
+      case Cond::Always: return true;
+    }
+    return false;
+}
+
+/** Wrapping two's-complement arithmetic (matches both interpreters). */
+int64_t
+wrap(uint64_t v)
+{
+    return static_cast<int64_t>(v);
+}
+
+class FunctionOptimizer
+{
+  public:
+    explicit FunctionOptimizer(IRFunction &f) : f_(f) {}
+
+    OptStats
+    run()
+    {
+        for (BasicBlock &bb : f_.blocks)
+            optimizeBlock(bb);
+        while (removeDeadCode())
+            ;
+        return stats_;
+    }
+
+  private:
+    // --- Block-local constant/copy facts --------------------------------
+
+    void
+    kill(ValueId v)
+    {
+        facts_.erase(v);
+        // Any CopyOf fact whose source was redefined is stale too.
+        for (auto it = facts_.begin(); it != facts_.end();) {
+            if (it->second.kind == Fact::Kind::CopyOf &&
+                it->second.src == v)
+                it = facts_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    const Fact *
+    factOf(ValueId v) const
+    {
+        auto it = facts_.find(v);
+        return it == facts_.end() ? nullptr : &it->second;
+    }
+
+    bool
+    constI(ValueId v, int64_t &out) const
+    {
+        const Fact *f = factOf(v);
+        if (f && f->kind == Fact::Kind::ConstI) {
+            out = f->i;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    constF(ValueId v, double &out) const
+    {
+        const Fact *f = factOf(v);
+        if (f && f->kind == Fact::Kind::ConstF) {
+            out = f->f;
+            return true;
+        }
+        return false;
+    }
+
+    /** Replace uses that are plain copies of another vreg. */
+    void
+    propagateCopies(IRInstr &in)
+    {
+        auto fwd = [&](ValueId &v) {
+            if (v == kNoValue)
+                return;
+            const Fact *f = factOf(v);
+            if (f && f->kind == Fact::Kind::CopyOf) {
+                v = f->src;
+                ++stats_.copiesPropagated;
+            }
+        };
+        switch (in.op) {
+          case IROp::ConstInt: case IROp::ConstFloat:
+          case IROp::AllocaAddr: case IROp::GlobalAddr:
+          case IROp::TlsAddr: case IROp::FuncAddr: case IROp::Br:
+          case IROp::MigPoint:
+            return;
+          default:
+            break;
+        }
+        if (in.a != kNoValue)
+            fwd(in.a);
+        if (in.b != kNoValue && in.op != IROp::Ret)
+            fwd(in.b);
+        for (ValueId &arg : in.args)
+            fwd(arg);
+    }
+
+    /** Turn `in` into `dst = const`. */
+    void
+    toConstInt(IRInstr &in, int64_t value)
+    {
+        Type t = f_.vregTypes[in.dst];
+        in = IRInstr{};
+        in.op = IROp::ConstInt;
+        in.type = t;
+        in.imm = value;
+        ++stats_.constantsFolded;
+    }
+
+    void
+    toConstFloat(IRInstr &in, double value)
+    {
+        in = IRInstr{};
+        in.op = IROp::ConstFloat;
+        in.type = Type::F64;
+        in.fimm = value;
+        ++stats_.constantsFolded;
+    }
+
+    /** Turn `in` into `dst = copy src` (only when the types agree --
+     *  mixed Ptr/I64 operands stay as the original instruction). */
+    void
+    toCopy(IRInstr &in, ValueId src)
+    {
+        Type t = f_.vregTypes[in.dst];
+        if (f_.vregTypes[src] != t)
+            return;
+        in = IRInstr{};
+        in.op = IROp::Copy;
+        in.type = t;
+        in.a = src;
+        ++stats_.identitiesSimplified;
+    }
+
+    /**
+     * Fold / simplify one instruction. May replace it and may append a
+     * helper ConstInt to `out` first (strength reduction needs a shift
+     * amount). dst/type fields are fixed up by the caller.
+     */
+    void
+    simplify(IRInstr &in, std::vector<IRInstr> &out)
+    {
+        int64_t ca = 0, cb = 0;
+        double fa = 0, fb = 0;
+        const bool aI = in.a != kNoValue && constI(in.a, ca);
+        const bool bI = in.b != kNoValue && constI(in.b, cb);
+        const bool aF = in.a != kNoValue && constF(in.a, fa);
+        const bool bF = in.b != kNoValue && constF(in.b, fb);
+
+        auto newConstReg = [&](int64_t value) {
+            f_.vregTypes.push_back(Type::I64);
+            ValueId v = static_cast<ValueId>(f_.vregTypes.size() - 1);
+            IRInstr c;
+            c.op = IROp::ConstInt;
+            c.type = Type::I64;
+            c.dst = v;
+            c.imm = value;
+            out.push_back(c);
+            return v;
+        };
+
+        ValueId dst = in.dst;
+        switch (in.op) {
+          case IROp::Add:
+            if (aI && bI) { toConstInt(in, wrap(ca + cb)); break; }
+            if (bI && cb == 0) { toCopy(in, in.a); break; }
+            if (aI && ca == 0) { toCopy(in, in.b); break; }
+            break;
+          case IROp::Sub:
+            if (aI && bI) { toConstInt(in, wrap(ca - cb)); break; }
+            if (bI && cb == 0) { toCopy(in, in.a); break; }
+            break;
+          case IROp::Mul:
+            if (aI && bI) {
+                toConstInt(in, wrap(static_cast<uint64_t>(ca) *
+                                    static_cast<uint64_t>(cb)));
+                break;
+            }
+            if (bI && cb == 1) { toCopy(in, in.a); break; }
+            if (aI && ca == 1) { toCopy(in, in.b); break; }
+            if ((bI && cb == 0) || (aI && ca == 0)) {
+                toConstInt(in, 0);
+                break;
+            }
+            if (bI && cb > 1 && std::has_single_bit(
+                                    static_cast<uint64_t>(cb))) {
+                ValueId sh = newConstReg(
+                    std::countr_zero(static_cast<uint64_t>(cb)));
+                in.op = IROp::Shl;
+                in.b = sh;
+                ++stats_.strengthReduced;
+                break;
+            }
+            break;
+          case IROp::UDiv:
+            if (aI && bI && cb != 0) {
+                toConstInt(in, wrap(static_cast<uint64_t>(ca) /
+                                    static_cast<uint64_t>(cb)));
+                break;
+            }
+            if (bI && cb > 1 && std::has_single_bit(
+                                    static_cast<uint64_t>(cb))) {
+                ValueId sh = newConstReg(
+                    std::countr_zero(static_cast<uint64_t>(cb)));
+                in.op = IROp::LShr;
+                in.b = sh;
+                ++stats_.strengthReduced;
+                break;
+            }
+            break;
+          case IROp::URem:
+            if (aI && bI && cb != 0) {
+                toConstInt(in, wrap(static_cast<uint64_t>(ca) %
+                                    static_cast<uint64_t>(cb)));
+                break;
+            }
+            if (bI && cb > 1 && std::has_single_bit(
+                                    static_cast<uint64_t>(cb))) {
+                ValueId mask = newConstReg(cb - 1);
+                in.op = IROp::And;
+                in.b = mask;
+                ++stats_.strengthReduced;
+                break;
+            }
+            break;
+          case IROp::SDiv:
+            if (aI && bI && cb != 0 &&
+                !(ca == INT64_MIN && cb == -1)) {
+                toConstInt(in, ca / cb);
+            }
+            break;
+          case IROp::SRem:
+            if (aI && bI && cb != 0 &&
+                !(ca == INT64_MIN && cb == -1)) {
+                toConstInt(in, ca % cb);
+            }
+            break;
+          case IROp::And:
+            if (aI && bI) { toConstInt(in, ca & cb); break; }
+            if ((bI && cb == 0) || (aI && ca == 0)) {
+                toConstInt(in, 0);
+                break;
+            }
+            break;
+          case IROp::Or:
+            if (aI && bI) { toConstInt(in, ca | cb); break; }
+            if (bI && cb == 0) { toCopy(in, in.a); break; }
+            if (aI && ca == 0) { toCopy(in, in.b); break; }
+            break;
+          case IROp::Xor:
+            if (aI && bI) { toConstInt(in, ca ^ cb); break; }
+            if (bI && cb == 0) { toCopy(in, in.a); break; }
+            if (aI && ca == 0) { toCopy(in, in.b); break; }
+            break;
+          case IROp::Shl:
+            if (aI && bI) {
+                toConstInt(in, wrap(static_cast<uint64_t>(ca)
+                                    << (cb & 63)));
+                break;
+            }
+            if (bI && cb == 0) { toCopy(in, in.a); break; }
+            break;
+          case IROp::LShr:
+            if (aI && bI) {
+                toConstInt(in, wrap(static_cast<uint64_t>(ca) >>
+                                    (cb & 63)));
+                break;
+            }
+            if (bI && cb == 0) { toCopy(in, in.a); break; }
+            break;
+          case IROp::AShr:
+            if (aI && bI) { toConstInt(in, ca >> (cb & 63)); break; }
+            if (bI && cb == 0) { toCopy(in, in.a); break; }
+            break;
+          case IROp::Neg:
+            if (aI)
+                toConstInt(in, wrap(-static_cast<uint64_t>(ca)));
+            break;
+          case IROp::ICmp:
+            if (aI && bI)
+                toConstInt(in, evalIntCond(in.cond, ca, cb) ? 1 : 0);
+            break;
+          case IROp::FCmp:
+            if (aF && bF && !std::isnan(fa) && !std::isnan(fb) &&
+                in.cond != Cond::ULT && in.cond != Cond::ULE &&
+                in.cond != Cond::UGT && in.cond != Cond::UGE) {
+                toConstInt(in, evalIntCond(in.cond,
+                                           fa < fb ? -1 : (fa == fb ? 0
+                                                                    : 1),
+                                           0)
+                                   ? 1
+                                   : 0);
+            }
+            break;
+          case IROp::FAdd:
+            if (aF && bF) toConstFloat(in, fa + fb);
+            break;
+          case IROp::FSub:
+            if (aF && bF) toConstFloat(in, fa - fb);
+            break;
+          case IROp::FMul:
+            if (aF && bF) toConstFloat(in, fa * fb);
+            break;
+          case IROp::FDiv:
+            if (aF && bF) toConstFloat(in, fa / fb);
+            break;
+          case IROp::FNeg:
+            if (aF) toConstFloat(in, -fa);
+            break;
+          case IROp::SIToFP:
+            if (aI) toConstFloat(in, static_cast<double>(ca));
+            break;
+          case IROp::FPToSI:
+            if (aF && fa >= -9.2e18 && fa <= 9.2e18)
+                toConstInt(in, static_cast<int64_t>(fa));
+            break;
+          default:
+            break;
+        }
+        in.dst = dst;
+    }
+
+    void
+    optimizeBlock(BasicBlock &bb)
+    {
+        facts_.clear();
+        std::vector<IRInstr> out;
+        out.reserve(bb.instrs.size());
+        for (IRInstr in : bb.instrs) {
+            propagateCopies(in);
+            if (instrDef(in) != kNoValue)
+                simplify(in, out);
+
+            // Update facts.
+            ValueId def = instrDef(in);
+            if (def != kNoValue) {
+                kill(def);
+                Fact fact;
+                if (in.op == IROp::ConstInt) {
+                    fact.kind = Fact::Kind::ConstI;
+                    fact.i = in.imm;
+                    facts_[def] = fact;
+                } else if (in.op == IROp::ConstFloat) {
+                    fact.kind = Fact::Kind::ConstF;
+                    fact.f = in.fimm;
+                    facts_[def] = fact;
+                } else if (in.op == IROp::Copy && in.a != def) {
+                    fact.kind = Fact::Kind::CopyOf;
+                    fact.src = in.a;
+                    facts_[def] = fact;
+                }
+            }
+            out.push_back(std::move(in));
+        }
+        bb.instrs = std::move(out);
+    }
+
+    // --- Dead code elimination -------------------------------------------
+
+    bool
+    removeDeadCode()
+    {
+        std::vector<uint32_t> uses(f_.vregTypes.size(), 0);
+        for (const BasicBlock &bb : f_.blocks)
+            for (const IRInstr &in : bb.instrs)
+                forEachUse(in,
+                           [&](ValueId v) { ++uses[v]; });
+        bool changed = false;
+        for (BasicBlock &bb : f_.blocks) {
+            std::vector<IRInstr> kept;
+            kept.reserve(bb.instrs.size());
+            for (IRInstr &in : bb.instrs) {
+                ValueId def = instrDef(in);
+                bool dead = def != kNoValue && uses[def] == 0 &&
+                            isPure(in.op);
+                if (dead) {
+                    ++stats_.deadInstrsRemoved;
+                    changed = true;
+                } else {
+                    kept.push_back(std::move(in));
+                }
+            }
+            bb.instrs = std::move(kept);
+        }
+        return changed;
+    }
+
+    IRFunction &f_;
+    std::unordered_map<ValueId, Fact> facts_;
+    OptStats stats_;
+};
+
+} // namespace
+
+uint32_t
+promoteAllocas(IRFunction &f)
+{
+    if (f.isBuiltin() || f.allocas.empty())
+        return 0;
+    const size_t numSlots = f.allocas.size();
+
+    struct SlotInfo {
+        bool ok = true;
+        Type access = Type::Void;
+    };
+    std::vector<SlotInfo> slots(numSlots);
+    for (size_t s = 0; s < numSlots; ++s)
+        if (f.allocas[s].size != 8)
+            slots[s].ok = false;
+
+    // Map address vregs to their slot; a candidate address vreg must be
+    // defined exactly once, by AllocaAddr.
+    std::vector<uint32_t> defs(f.vregTypes.size(), 0);
+    std::unordered_map<ValueId, uint32_t> addrSlot;
+    for (const BasicBlock &bb : f.blocks) {
+        for (const IRInstr &in : bb.instrs) {
+            if (ValueId d = instrDef(in); d != kNoValue)
+                ++defs[d];
+            if (in.op == IROp::AllocaAddr)
+                addrSlot[in.dst] = static_cast<uint32_t>(in.imm);
+        }
+    }
+    for (auto it = addrSlot.begin(); it != addrSlot.end();) {
+        if (defs[it->first] != 1) {
+            slots[it->second].ok = false;
+            it = addrSlot.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    auto mergeAccess = [&](uint32_t slot, Type t) {
+        if (t != Type::I64 && t != Type::F64 && t != Type::Ptr) {
+            slots[slot].ok = false;
+            return;
+        }
+        if (slots[slot].access == Type::Void)
+            slots[slot].access = t;
+        else if (slots[slot].access != t)
+            slots[slot].ok = false;
+    };
+
+    // Escape analysis: any use of an address vreg other than "direct
+    // base of an offset-0 load/store" disqualifies its slot.
+    for (const BasicBlock &bb : f.blocks) {
+        for (const IRInstr &in : bb.instrs) {
+            auto isAddr = [&](ValueId v) {
+                return v != kNoValue && addrSlot.count(v) != 0;
+            };
+            if (in.op == IROp::Load && isAddr(in.a)) {
+                uint32_t slot = addrSlot[in.a];
+                if (in.imm != 0 ||
+                    f.vregTypes[in.dst] != in.type)
+                    slots[slot].ok = false;
+                else
+                    mergeAccess(slot, in.type);
+                continue;
+            }
+            if (in.op == IROp::Store && isAddr(in.a)) {
+                uint32_t slot = addrSlot[in.a];
+                if (in.imm != 0 || in.b == in.a ||
+                    f.vregTypes[in.b] != in.type)
+                    slots[slot].ok = false;
+                else
+                    mergeAccess(slot, in.type);
+                if (isAddr(in.b))
+                    slots[addrSlot[in.b]].ok = false; // address escapes
+                continue;
+            }
+            // Every other appearance of an address vreg is an escape.
+            forEachUse(in, [&](ValueId v) {
+                if (isAddr(v))
+                    slots[addrSlot[v]].ok = false;
+            });
+        }
+    }
+
+    uint32_t promoted = 0;
+    std::vector<ValueId> slotReg(numSlots, kNoValue);
+    for (size_t s = 0; s < numSlots; ++s) {
+        if (!slots[s].ok || slots[s].access == Type::Void)
+            continue;
+        f.vregTypes.push_back(slots[s].access);
+        slotReg[s] = static_cast<ValueId>(f.vregTypes.size() - 1);
+        ++promoted;
+    }
+    if (promoted == 0)
+        return 0;
+
+    // Rewrite accesses and drop the AllocaAddr / promoted slots.
+    std::vector<uint32_t> newSlotIdx(numSlots, 0);
+    std::vector<IRFunction::AllocaSlot> keptSlots;
+    for (size_t s = 0; s < numSlots; ++s) {
+        newSlotIdx[s] = static_cast<uint32_t>(keptSlots.size());
+        if (slotReg[s] == kNoValue)
+            keptSlots.push_back(f.allocas[s]);
+    }
+    for (BasicBlock &bb : f.blocks) {
+        std::vector<IRInstr> out;
+        out.reserve(bb.instrs.size());
+        for (IRInstr &in : bb.instrs) {
+            if (in.op == IROp::AllocaAddr) {
+                uint32_t slot = static_cast<uint32_t>(in.imm);
+                if (slotReg[slot] != kNoValue)
+                    continue; // address vreg has no remaining uses
+                in.imm = newSlotIdx[slot];
+                out.push_back(std::move(in));
+                continue;
+            }
+            auto promotedSlotOf = [&](ValueId v) -> ValueId {
+                auto it = addrSlot.find(v);
+                if (it == addrSlot.end())
+                    return kNoValue;
+                return slotReg[it->second];
+            };
+            if (in.op == IROp::Load) {
+                ValueId pv = promotedSlotOf(in.a);
+                if (pv != kNoValue) {
+                    IRInstr copy;
+                    copy.op = IROp::Copy;
+                    copy.type = f.vregTypes[in.dst];
+                    copy.dst = in.dst;
+                    copy.a = pv;
+                    out.push_back(copy);
+                    continue;
+                }
+            }
+            if (in.op == IROp::Store) {
+                ValueId pv = promotedSlotOf(in.a);
+                if (pv != kNoValue) {
+                    IRInstr copy;
+                    copy.op = IROp::Copy;
+                    copy.type = f.vregTypes[pv];
+                    copy.dst = pv;
+                    copy.a = in.b;
+                    out.push_back(copy);
+                    continue;
+                }
+            }
+            out.push_back(std::move(in));
+        }
+        bb.instrs = std::move(out);
+    }
+    f.allocas = std::move(keptSlots);
+    return promoted;
+}
+
+OptStats
+optimizeFunction(IRFunction &f)
+{
+    if (f.isBuiltin())
+        return {};
+    OptStats stats = FunctionOptimizer(f).run();
+    stats.allocasPromoted = promoteAllocas(f);
+    if (stats.allocasPromoted > 0) {
+        // Clean up the copy chains the promotion introduced.
+        OptStats more = FunctionOptimizer(f).run();
+        stats.constantsFolded += more.constantsFolded;
+        stats.copiesPropagated += more.copiesPropagated;
+        stats.strengthReduced += more.strengthReduced;
+        stats.identitiesSimplified += more.identitiesSimplified;
+        stats.deadInstrsRemoved += more.deadInstrsRemoved;
+    }
+    return stats;
+}
+
+OptStats
+optimizeModule(Module &mod)
+{
+    OptStats total;
+    for (IRFunction &f : mod.functions) {
+        OptStats s = optimizeFunction(f);
+        total.constantsFolded += s.constantsFolded;
+        total.copiesPropagated += s.copiesPropagated;
+        total.strengthReduced += s.strengthReduced;
+        total.identitiesSimplified += s.identitiesSimplified;
+        total.deadInstrsRemoved += s.deadInstrsRemoved;
+    }
+    mod.verify();
+    return total;
+}
+
+} // namespace xisa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Machine-independent BIR optimizations -- the "standard compiler
+ * optimizations" stage of the paper's Figure 2 pipeline, which runs
+ * over the IR before the per-ISA backends so both ISAs lower the same
+ * optimized program (keeping the cross-ISA metadata key space shared).
+ *
+ * Passes (all deliberately conservative for the non-SSA IR):
+ *  - block-local constant folding and copy propagation: within a basic
+ *    block, operands whose defining instruction is a still-valid
+ *    ConstInt/ConstFloat/Copy are folded or forwarded; any
+ *    redefinition invalidates the fact;
+ *  - strength reduction: multiply/divide/remainder by powers of two
+ *    become shifts/masks when the constant is known;
+ *  - algebraic identities: x+0, x*1, x*0, x&0, x|0, x^0, x<<0;
+ *  - dead code elimination: side-effect-free instructions whose results
+ *    are never used anywhere in the function are removed, to a fixed
+ *    point.
+ */
+
+#ifndef XISA_COMPILER_OPT_HH
+#define XISA_COMPILER_OPT_HH
+
+#include <cstdint>
+
+#include "ir/ir.hh"
+
+namespace xisa {
+
+/** Statistics from one optimization run. */
+struct OptStats {
+    uint32_t allocasPromoted = 0;
+    uint32_t constantsFolded = 0;
+    uint32_t copiesPropagated = 0;
+    uint32_t strengthReduced = 0;
+    uint32_t identitiesSimplified = 0;
+    uint32_t deadInstrsRemoved = 0;
+
+    uint32_t
+    total() const
+    {
+        return allocasPromoted + constantsFolded + copiesPropagated +
+               strengthReduced + identitiesSimplified +
+               deadInstrsRemoved;
+    }
+};
+
+/**
+ * mem2reg: promote 8-byte stack slots whose address never escapes
+ * (used only as the direct base of offset-0 loads and stores of one
+ * access type) to virtual registers. This is what moves MiniC's
+ * C-style locals out of allocas and into registers -- and therefore
+ * into the live-value stackmaps the migration runtime relocates.
+ * Returns the number of slots promoted.
+ */
+uint32_t promoteAllocas(IRFunction &f);
+
+/** Optimize one function in place. */
+OptStats optimizeFunction(IRFunction &f);
+
+/** Optimize every non-builtin function of the module in place. */
+OptStats optimizeModule(Module &mod);
+
+} // namespace xisa
+
+#endif // XISA_COMPILER_OPT_HH

@@ -1,0 +1,149 @@
+#include "core/migprofile.hh"
+
+#include <algorithm>
+
+#include "os/os.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+
+/** Observer recording per-thread gaps between check executions. */
+class GapObserver : public MigCheckObserver
+{
+  public:
+    explicit GapObserver(GapProfile &out) : out_(out) {}
+
+    void
+    onMigCheck(const ThreadContext &ctx, uint32_t,
+               uint64_t instrsNow) override
+    {
+        uint64_t now = instrsNow;
+        auto [it, fresh] = last_.try_emplace(&ctx, now);
+        if (!fresh) {
+            uint64_t gap = now - it->second;
+            if (gap > 0) {
+                out_.hist.add(static_cast<double>(gap));
+                out_.maxGap = std::max(out_.maxGap, gap);
+                sum_ += gap;
+            }
+            it->second = now;
+        }
+        ++out_.checksExecuted;
+    }
+
+    void
+    finalize()
+    {
+        out_.meanGap = out_.checksExecuted > 1
+                           ? sum_ / (out_.checksExecuted - 1)
+                           : 0;
+    }
+
+  private:
+    GapProfile &out_;
+    std::unordered_map<const ThreadContext *, uint64_t> last_;
+    uint64_t sum_ = 0;
+};
+
+} // namespace
+
+GapProfile
+profileMigrationGaps(Module mod, const CompileOptions &opts)
+{
+    GapProfile out;
+    MultiIsaBinary bin = compileModule(std::move(mod), opts);
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.profile = true;
+    ReplicatedOS os(bin, cfg);
+    GapObserver obs(out);
+    os.interp(0).setMigCheckObserver(&obs);
+    os.load(0);
+    OsRunResult res = os.run();
+    obs.finalize();
+    out.totalInstrs = res.totalInstrs;
+
+    // Attribute per-instruction counts to IR blocks.
+    const auto &profile = os.interp(0).profile();
+    for (uint32_t fid = 0; fid < profile.size(); ++fid) {
+        const FuncImage &img = bin.image[1][fid]; // Xeno64 image
+        if (img.blockStart.empty())
+            continue;
+        for (uint32_t idx = 0; idx < profile[fid].size(); ++idx) {
+            uint64_t count = profile[fid][idx];
+            if (count == 0)
+                continue;
+            auto it = std::upper_bound(img.blockStart.begin(),
+                                       img.blockStart.end(), idx);
+            // Prologue instructions precede blockStart[0]; attribute
+            // them to the entry block.
+            uint32_t block =
+                it == img.blockStart.begin()
+                    ? 0
+                    : static_cast<uint32_t>(it -
+                                            img.blockStart.begin()) -
+                          1;
+            out.blockWeight[GapProfile::blockKey(fid, block)] += count;
+        }
+    }
+    return out;
+}
+
+MigPointPlan
+planMigrationPoints(const Module &mod, uint64_t gapTarget,
+                    int maxIterations)
+{
+    MigPointPlan plan;
+    CompileOptions opts;
+    plan.before = profileMigrationGaps(mod, opts);
+    plan.after = plan.before;
+
+    while (plan.after.maxGap > gapTarget &&
+           plan.iterations < maxIterations) {
+        // Pick the heaviest not-yet-instrumented loop block, preferring
+        // the shallowest loop depth: a point in an outer loop bounds
+        // the gap with far fewer executed checks than one in an inner
+        // loop (the Section 5.2.1 overhead trade-off). Blocks lighter
+        // than the target are skipped first (they cannot cause an
+        // over-target gap on their own) but reconsidered if nothing
+        // heavy remains -- sequences of light loops can still add up.
+        uint64_t bestWeight = 0;
+        MigPointSpec best;
+        for (uint64_t minWeight : {gapTarget / 2, uint64_t{1}}) {
+            int bestDepth = INT32_MAX;
+            for (const auto &[key, weight] : plan.after.blockWeight) {
+                MigPointSpec spec;
+                spec.funcId = static_cast<uint32_t>(key >> 32);
+                spec.blockId = static_cast<uint32_t>(key & 0xffffffffu);
+                const IRFunction &f = mod.func(spec.funcId);
+                if (f.isBuiltin() ||
+                    f.blocks[spec.blockId].loopDepth == 0)
+                    continue;
+                if (std::find(plan.points.begin(), plan.points.end(),
+                              spec) != plan.points.end())
+                    continue;
+                if (weight < minWeight)
+                    continue;
+                int depth = f.blocks[spec.blockId].loopDepth;
+                if (depth < bestDepth ||
+                    (depth == bestDepth && weight > bestWeight)) {
+                    bestDepth = depth;
+                    bestWeight = weight;
+                    best = spec;
+                }
+            }
+            if (bestWeight > 0)
+                break;
+        }
+        if (bestWeight == 0)
+            break; // nothing left to instrument
+        plan.points.push_back(best);
+        ++plan.iterations;
+        opts.loopMigPoints = plan.points;
+        plan.after = profileMigrationGaps(mod, opts);
+    }
+    return plan;
+}
+
+} // namespace xisa

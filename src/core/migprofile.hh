@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Migration-point frequency analysis and planning (Section 5.2.1).
+ *
+ * The paper builds a Valgrind tool that counts instructions between
+ * migration points, then inserts extra points so an application can
+ * migrate roughly once per scheduling quantum. Our analog instruments
+ * the machine interpreter: every executed migration-point check reports
+ * to a MigGapProfiler, which histograms the instruction gaps (the
+ * "Pre"/"Post" distributions of Figs. 3-5). The planner then iterates:
+ * profile, pick the hottest loop block, insert a point there, re-profile
+ * -- until the largest observed gap is below the target.
+ */
+
+#ifndef XISA_CORE_MIGPROFILE_HH
+#define XISA_CORE_MIGPROFILE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "ir/ir.hh"
+#include "machine/interp.hh"
+#include "util/stats.hh"
+
+namespace xisa {
+
+/** Result of one profiling run. */
+struct GapProfile {
+    /** Distribution of instruction gaps between consecutive executed
+     *  migration-point checks (decades 10^0 .. 10^10). */
+    DecadeHistogram hist{0, 10};
+    uint64_t maxGap = 0;
+    uint64_t meanGap = 0;
+    uint64_t checksExecuted = 0;
+    uint64_t totalInstrs = 0;
+    /** Dynamic instructions attributed to each (funcId, irBlock). */
+    std::unordered_map<uint64_t, uint64_t> blockWeight;
+
+    static uint64_t
+    blockKey(uint32_t funcId, uint32_t block)
+    {
+        return (static_cast<uint64_t>(funcId) << 32) | block;
+    }
+};
+
+/**
+ * Compile `mod` with `opts` and profile one run on the Xeno64 node.
+ * The module is taken by value; the caller's copy is untouched.
+ */
+GapProfile profileMigrationGaps(Module mod, const CompileOptions &opts);
+
+/** Result of the iterative planner. */
+struct MigPointPlan {
+    std::vector<MigPointSpec> points; ///< loop blocks to instrument
+    GapProfile before;                ///< boundary-points-only profile
+    GapProfile after;                 ///< profile with `points` added
+    int iterations = 0;
+};
+
+/**
+ * Choose loop blocks to instrument so that the maximum instruction gap
+ * between migration opportunities drops below `gapTarget` (the paper's
+ * ~one-per-scheduling-quantum goal, scaled to our problem sizes).
+ */
+MigPointPlan planMigrationPoints(const Module &mod, uint64_t gapTarget,
+                                 int maxIterations = 24);
+
+} // namespace xisa
+
+#endif // XISA_CORE_MIGPROFILE_HH

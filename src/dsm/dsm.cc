@@ -1,0 +1,389 @@
+#include "dsm/dsm.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+/** Protocol message header size modeled for control traffic. */
+constexpr uint64_t kMsgHeader = 64;
+} // namespace
+
+DsmSpace::DsmSpace(int numNodes, Interconnect *net,
+                   std::vector<double> freqGHz, DsmMode mode)
+    : numNodes_(numNodes), net_(net), freqGHz_(std::move(freqGHz)),
+      mode_(mode)
+{
+    if (numNodes < 1)
+        fatal("DsmSpace needs at least one node");
+    if (freqGHz_.size() != static_cast<size_t>(numNodes))
+        fatal("DsmSpace: %zu frequencies for %d nodes", freqGHz_.size(),
+              numNodes);
+    XISA_CHECK(net_ != nullptr, "DsmSpace needs an interconnect");
+    mem_.resize(static_cast<size_t>(numNodes));
+    ports_.reserve(static_cast<size_t>(numNodes));
+    for (int n = 0; n < numNodes; ++n)
+        ports_.emplace_back(*this, n);
+}
+
+MemPort &
+DsmSpace::port(int node)
+{
+    return ports_[static_cast<size_t>(node)];
+}
+
+DsmSpace::Dir &
+DsmSpace::dir(uint64_t vpage)
+{
+    auto it = dirs_.find(vpage);
+    if (it == dirs_.end()) {
+        Dir d;
+        d.state.assign(static_cast<size_t>(numNodes_),
+                       PageState::Invalid);
+        it = dirs_.emplace(vpage, std::move(d)).first;
+    }
+    return it->second;
+}
+
+bool
+DsmSpace::isVdso(uint64_t vpage) const
+{
+    return vpage == vm::kVdsoBase / vm::kPageSize;
+}
+
+int
+DsmSpace::anyHolder(const Dir &d) const
+{
+    int shared = -1;
+    for (int n = 0; n < numNodes_; ++n) {
+        if (d.state[static_cast<size_t>(n)] == PageState::Modified)
+            return n;
+        if (d.state[static_cast<size_t>(n)] == PageState::Shared)
+            shared = n;
+    }
+    return shared;
+}
+
+uint64_t
+DsmSpace::faultRead(int node, uint64_t vpage)
+{
+    if (isVdso(vpage))
+        return 0; // replicated by kernel broadcast, never faults
+    Dir &d = dir(vpage);
+    if (d.state[static_cast<size_t>(node)] != PageState::Invalid)
+        return 0;
+    ++stats_.readFaults;
+    int holder = anyHolder(d);
+    if (holder < 0) {
+        // Cold anonymous page: materializes zero-filled locally.
+        d.state[static_cast<size_t>(node)] = PageState::Shared;
+        mem_[static_cast<size_t>(node)].page(vpage);
+        return 0;
+    }
+    std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
+                mem_[static_cast<size_t>(holder)].page(vpage),
+                vm::kPageSize);
+    if (d.state[static_cast<size_t>(holder)] == PageState::Modified)
+        d.state[static_cast<size_t>(holder)] = PageState::Shared;
+    d.state[static_cast<size_t>(node)] = PageState::Shared;
+    ++stats_.pagesTransferred;
+    stats_.bytesTransferred += vm::kPageSize;
+    uint64_t cyc = net_->charge(vm::kPageSize + kMsgHeader,
+                                freqGHz_[static_cast<size_t>(node)]);
+    stats_.extraCycles += cyc;
+    return cyc;
+}
+
+uint64_t
+DsmSpace::faultWrite(int node, uint64_t vpage)
+{
+    if (isVdso(vpage))
+        return 0;
+    Dir &d = dir(vpage);
+    if (d.state[static_cast<size_t>(node)] == PageState::Modified)
+        return 0;
+    ++stats_.writeFaults;
+    uint64_t cyc = 0;
+    if (d.state[static_cast<size_t>(node)] == PageState::Invalid) {
+        int holder = anyHolder(d);
+        if (holder >= 0) {
+            std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
+                        mem_[static_cast<size_t>(holder)].page(vpage),
+                        vm::kPageSize);
+            ++stats_.pagesTransferred;
+            stats_.bytesTransferred += vm::kPageSize;
+            cyc += net_->charge(vm::kPageSize + kMsgHeader,
+                                freqGHz_[static_cast<size_t>(node)]);
+        } else {
+            mem_[static_cast<size_t>(node)].page(vpage);
+        }
+    }
+    // Invalidate every other copy.
+    for (int n = 0; n < numNodes_; ++n) {
+        if (n == node)
+            continue;
+        if (d.state[static_cast<size_t>(n)] != PageState::Invalid) {
+            d.state[static_cast<size_t>(n)] = PageState::Invalid;
+            mem_[static_cast<size_t>(n)].dropPage(vpage);
+            ++stats_.invalidations;
+            cyc += net_->charge(kMsgHeader,
+                                freqGHz_[static_cast<size_t>(node)]);
+        }
+    }
+    d.state[static_cast<size_t>(node)] = PageState::Modified;
+    stats_.extraCycles += cyc;
+    return cyc;
+}
+
+int
+DsmSpace::homeOf(int toucher, uint64_t vpage)
+{
+    auto [it, fresh] = home_.try_emplace(vpage, toucher);
+    if (fresh)
+        dir(vpage).state[static_cast<size_t>(toucher)] =
+            PageState::Modified;
+    return it->second;
+}
+
+uint64_t
+DsmSpace::Port::read(uint64_t addr, void *dst, unsigned n)
+{
+    uint64_t cyc = 0;
+    uint8_t *d = static_cast<uint8_t *>(dst);
+    uint64_t left = n;
+    while (left > 0) {
+        uint64_t vpage = addr / vm::kPageSize;
+        uint64_t inPage = std::min<uint64_t>(
+            left, vm::kPageSize - addr % vm::kPageSize);
+        if (dsm_.mode_ == DsmMode::RemoteAccess &&
+            !dsm_.isVdso(vpage)) {
+            int home = dsm_.homeOf(node_, vpage);
+            if (home != node_) {
+                // Word-granular remote load over the interconnect.
+                cyc += dsm_.net_->charge(
+                    64 + inPage,
+                    dsm_.freqGHz_[static_cast<size_t>(node_)]);
+                ++dsm_.stats_.readFaults;
+                dsm_.stats_.extraCycles += cyc;
+            }
+            dsm_.mem_[static_cast<size_t>(home)].read(addr, d, inPage);
+        } else {
+            cyc += dsm_.faultRead(node_, vpage);
+            dsm_.mem_[static_cast<size_t>(node_)].read(addr, d, inPage);
+        }
+        addr += inPage;
+        d += inPage;
+        left -= inPage;
+    }
+    return cyc;
+}
+
+uint64_t
+DsmSpace::Port::write(uint64_t addr, const void *src, unsigned n)
+{
+    uint64_t cyc = 0;
+    const uint8_t *s = static_cast<const uint8_t *>(src);
+    uint64_t left = n;
+    while (left > 0) {
+        uint64_t vpage = addr / vm::kPageSize;
+        uint64_t inPage = std::min<uint64_t>(
+            left, vm::kPageSize - addr % vm::kPageSize);
+        if (dsm_.mode_ == DsmMode::RemoteAccess &&
+            !dsm_.isVdso(vpage)) {
+            int home = dsm_.homeOf(node_, vpage);
+            if (home != node_) {
+                cyc += dsm_.net_->charge(
+                    64 + inPage,
+                    dsm_.freqGHz_[static_cast<size_t>(node_)]);
+                ++dsm_.stats_.writeFaults;
+                dsm_.stats_.extraCycles += cyc;
+            }
+            dsm_.mem_[static_cast<size_t>(home)].write(addr, s, inPage);
+        } else {
+            cyc += dsm_.faultWrite(node_, vpage);
+            dsm_.mem_[static_cast<size_t>(node_)].write(addr, s, inPage);
+        }
+        addr += inPage;
+        s += inPage;
+        left -= inPage;
+    }
+    return cyc;
+}
+
+void
+DsmSpace::populate(int homeNode, uint64_t addr, const void *src, size_t n)
+{
+    const uint8_t *s = static_cast<const uint8_t *>(src);
+    while (n > 0) {
+        uint64_t vpage = addr / vm::kPageSize;
+        size_t inPage = std::min<size_t>(
+            n, vm::kPageSize - addr % vm::kPageSize);
+        dir(vpage).state[static_cast<size_t>(homeNode)] =
+            PageState::Modified;
+        home_.try_emplace(vpage, homeNode);
+        mem_[static_cast<size_t>(homeNode)].write(addr, s, inPage);
+        addr += inPage;
+        s += inPage;
+        n -= inPage;
+    }
+}
+
+void
+DsmSpace::populateZero(int homeNode, uint64_t addr, size_t n)
+{
+    while (n > 0) {
+        uint64_t vpage = addr / vm::kPageSize;
+        size_t inPage = std::min<size_t>(
+            n, vm::kPageSize - addr % vm::kPageSize);
+        dir(vpage).state[static_cast<size_t>(homeNode)] =
+            PageState::Modified;
+        home_.try_emplace(vpage, homeNode);
+        mem_[static_cast<size_t>(homeNode)].page(vpage);
+        addr += inPage;
+        n -= inPage;
+    }
+}
+
+void
+DsmSpace::broadcastWrite64(uint64_t addr, uint64_t value)
+{
+    uint64_t vpage = addr / vm::kPageSize;
+    Dir &d = dir(vpage);
+    for (int n = 0; n < numNodes_; ++n) {
+        mem_[static_cast<size_t>(n)].write(addr, &value, 8);
+        d.state[static_cast<size_t>(n)] = PageState::Shared;
+    }
+}
+
+void
+DsmSpace::peek(uint64_t addr, void *dst, size_t n)
+{
+    uint8_t *d = static_cast<uint8_t *>(dst);
+    while (n > 0) {
+        uint64_t vpage = addr / vm::kPageSize;
+        size_t inPage = std::min<size_t>(
+            n, vm::kPageSize - addr % vm::kPageSize);
+        auto it = dirs_.find(vpage);
+        int holder = it == dirs_.end() ? -1 : anyHolder(it->second);
+        if (holder < 0)
+            std::memset(d, 0, inPage);
+        else
+            mem_[static_cast<size_t>(holder)].read(addr, d, inPage);
+        addr += inPage;
+        d += inPage;
+        n -= inPage;
+    }
+}
+
+uint64_t
+DsmSpace::poke(int node, uint64_t addr, const void *src, size_t n)
+{
+    return port(node).write(addr, src, static_cast<unsigned>(n));
+}
+
+uint64_t
+DsmSpace::pull(int node, uint64_t addr, void *dst, size_t n)
+{
+    return port(node).read(addr, dst, static_cast<unsigned>(n));
+}
+
+PageState
+DsmSpace::state(int node, uint64_t vpage) const
+{
+    auto it = dirs_.find(vpage);
+    if (it == dirs_.end())
+        return PageState::Invalid;
+    return it->second.state[static_cast<size_t>(node)];
+}
+
+int
+DsmSpace::modifiedOwner(uint64_t vpage) const
+{
+    auto it = dirs_.find(vpage);
+    if (it == dirs_.end())
+        return -1;
+    for (int n = 0; n < numNodes_; ++n)
+        if (it->second.state[static_cast<size_t>(n)] ==
+            PageState::Modified)
+            return n;
+    return -1;
+}
+
+void
+DsmSpace::checkInvariants() const
+{
+    for (const auto &[vpage, d] : dirs_) {
+        int modified = 0, shared = 0;
+        for (int n = 0; n < numNodes_; ++n) {
+            if (d.state[static_cast<size_t>(n)] == PageState::Modified)
+                ++modified;
+            else if (d.state[static_cast<size_t>(n)] == PageState::Shared)
+                ++shared;
+        }
+        if (modified > 1)
+            panic("DSM invariant: page 0x%llx has %d Modified copies",
+                  static_cast<unsigned long long>(vpage), modified);
+        if (modified == 1 && shared > 0 &&
+            vpage != vm::kVdsoBase / vm::kPageSize)
+            panic("DSM invariant: page 0x%llx Modified with %d Shared",
+                  static_cast<unsigned long long>(vpage), shared);
+    }
+}
+
+
+void
+DsmSpace::saveState(ByteWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(numNodes_));
+    for (int n = 0; n < numNodes_; ++n) {
+        const auto &pages = mem_[static_cast<size_t>(n)].pageMap();
+        w.u32(static_cast<uint32_t>(pages.size()));
+        for (const auto &[vpage, bytes] : pages) {
+            w.u64(vpage);
+            w.raw(bytes.data(), bytes.size());
+        }
+    }
+    w.u32(static_cast<uint32_t>(dirs_.size()));
+    for (const auto &[vpage, d] : dirs_) {
+        w.u64(vpage);
+        for (int n = 0; n < numNodes_; ++n)
+            w.u8(static_cast<uint8_t>(d.state[static_cast<size_t>(n)]));
+    }
+    w.u32(static_cast<uint32_t>(home_.size()));
+    for (const auto &[vpage, node] : home_) {
+        w.u64(vpage);
+        w.u32(static_cast<uint32_t>(node));
+    }
+}
+
+void
+DsmSpace::loadState(ByteReader &r)
+{
+    if (r.u32() != static_cast<uint32_t>(numNodes_))
+        fatal("DSM snapshot node count mismatch");
+    for (int n = 0; n < numNodes_; ++n) {
+        uint32_t count = r.u32();
+        for (uint32_t p = 0; p < count; ++p) {
+            uint64_t vpage = r.u64();
+            uint8_t *page = mem_[static_cast<size_t>(n)].page(vpage);
+            r.raw(page, vm::kPageSize);
+        }
+    }
+    uint32_t dirCount = r.u32();
+    for (uint32_t i = 0; i < dirCount; ++i) {
+        uint64_t vpage = r.u64();
+        Dir &d = dir(vpage);
+        for (int n = 0; n < numNodes_; ++n)
+            d.state[static_cast<size_t>(n)] =
+                static_cast<PageState>(r.u8());
+    }
+    uint32_t homeCount = r.u32();
+    for (uint32_t i = 0; i < homeCount; ++i) {
+        uint64_t vpage = r.u64();
+        home_[vpage] = static_cast<int>(r.u32());
+    }
+    checkInvariants();
+}
+} // namespace xisa

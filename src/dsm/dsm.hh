@@ -1,0 +1,168 @@
+/**
+ * @file
+ * hDSM -- heterogeneous distributed shared memory (Section 5.1).
+ *
+ * Page-granular MSI coherence across nodes: each virtual page has a
+ * directory entry tracking per-node state (Invalid / Shared / Modified).
+ * A read fault copies the page from its current owner and leaves both
+ * copies Shared; a write fault additionally invalidates every other
+ * copy. Pages therefore migrate on demand -- no stop-the-world -- which
+ * is what lets threads of one process keep running on the source node
+ * while others have already migrated. Transfer costs are charged through
+ * the Interconnect model to the faulting access.
+ *
+ * Because application data has one common format across ISAs (the whole
+ * point of the multi-ISA binary), pages are moved as raw bytes with no
+ * conversion -- contrast Mermaid/IVY, which convert page contents.
+ *
+ * The vDSO page is special-cased: it is the kernel/user shared page for
+ * migration requests, kept replicated on every node by kernel broadcast
+ * writes, and never faults.
+ */
+
+#ifndef XISA_DSM_DSM_HH
+#define XISA_DSM_DSM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/interconnect.hh"
+#include "machine/mem.hh"
+#include "util/bytes.hh"
+
+namespace xisa {
+
+/** Per-node MSI state of a page. */
+enum class PageState : uint8_t { Invalid = 0, Shared, Modified };
+
+/**
+ * Memory-sharing strategy. The paper chose a full DSM protocol over the
+ * PCIe interconnect's load/store shared memory "due to the higher
+ * latencies for each single operation"; RemoteAccess models that
+ * rejected alternative (every non-local access pays a round trip and no
+ * page ever moves) for the ablation bench.
+ */
+enum class DsmMode : uint8_t { MigratePages, RemoteAccess };
+
+/** Protocol and traffic statistics of one DSM space. */
+struct DsmStats {
+    uint64_t readFaults = 0;
+    uint64_t writeFaults = 0;
+    uint64_t invalidations = 0;
+    uint64_t pagesTransferred = 0;
+    uint64_t bytesTransferred = 0;
+    /** Protocol-added cycles charged to faulting accesses. */
+    uint64_t extraCycles = 0;
+};
+
+/**
+ * One process's distributed address space spanning all nodes.
+ *
+ * Single-owner on construction; ports (one per node) implement MemPort
+ * for the interpreters.
+ */
+class DsmSpace
+{
+  public:
+    /**
+     * @param numNodes number of kernels sharing the space
+     * @param net interconnect cost model (shared, not owned)
+     * @param freqGHz per-node clock, for cycle conversion, indexed by
+     *        node id
+     */
+    DsmSpace(int numNodes, Interconnect *net,
+             std::vector<double> freqGHz,
+             DsmMode mode = DsmMode::MigratePages);
+
+    /** MemPort for accesses performed on `node`. */
+    MemPort &port(int node);
+
+    /**
+     * Install initial bytes on `homeNode` (loader use); the pages become
+     * Modified there with no cost.
+     */
+    void populate(int homeNode, uint64_t addr, const void *src, size_t n);
+    /** Reserve a zero page range on `homeNode` (bss/stack/heap). */
+    void populateZero(int homeNode, uint64_t addr, size_t n);
+
+    /**
+     * Kernel broadcast write (vDSO migration flag): updates every node's
+     * copy directly, bypassing the protocol.
+     */
+    void broadcastWrite64(uint64_t addr, uint64_t value);
+
+    /** Read bytes with no protocol action or cost (kernel/debug use;
+     *  reads the most recent copy). */
+    void peek(uint64_t addr, void *dst, size_t n);
+    /** Write bytes through the protocol on behalf of `node` (runtime
+     *  use, e.g. stack transformation); returns charged cycles. */
+    uint64_t poke(int node, uint64_t addr, const void *src, size_t n);
+    /** Read bytes through the protocol on behalf of `node`. */
+    uint64_t pull(int node, uint64_t addr, void *dst, size_t n);
+
+    const DsmStats &stats() const { return stats_; }
+    void resetStats() { stats_ = DsmStats{}; }
+
+    /** Per-node page state (for tests and diagnostics). */
+    PageState state(int node, uint64_t vpage) const;
+    /** Node currently owning the page (Modified), or -1 if none. */
+    int modifiedOwner(uint64_t vpage) const;
+    /** Check protocol invariants for every known page; panics on
+     *  violation (used by property tests). */
+    void checkInvariants() const;
+
+    int numNodes() const { return numNodes_; }
+    DsmMode mode() const { return mode_; }
+
+    /** Serialize every page, directory entry, and home assignment
+     *  (container checkpoints). */
+    void saveState(ByteWriter &w) const;
+    /** Restore a saveState() snapshot into this (fresh) space. */
+    void loadState(ByteReader &r);
+
+  private:
+    struct Dir {
+        std::vector<PageState> state; ///< per node
+    };
+
+    class Port : public MemPort
+    {
+      public:
+        Port(DsmSpace &dsm, int node) : dsm_(dsm), node_(node) {}
+        uint64_t read(uint64_t addr, void *dst, unsigned n) override;
+        uint64_t write(uint64_t addr, const void *src,
+                       unsigned n) override;
+
+      private:
+        DsmSpace &dsm_;
+        int node_;
+    };
+
+    Dir &dir(uint64_t vpage);
+    /** RemoteAccess mode: resolve (or claim) the page's home node. */
+    int homeOf(int toucher, uint64_t vpage);
+    /** Ensure `node` has a readable copy; returns charged cycles. */
+    uint64_t faultRead(int node, uint64_t vpage);
+    /** Ensure `node` has an exclusive copy; returns charged cycles. */
+    uint64_t faultWrite(int node, uint64_t vpage);
+    /** Any node with a valid copy, preferring Modified; -1 if none. */
+    int anyHolder(const Dir &d) const;
+    bool isVdso(uint64_t vpage) const;
+
+    int numNodes_;
+    Interconnect *net_;
+    std::vector<double> freqGHz_;
+    DsmMode mode_ = DsmMode::MigratePages;
+    /** RemoteAccess mode: home node of each page (first toucher). */
+    std::unordered_map<uint64_t, int> home_;
+    std::vector<SimMemory> mem_;   ///< per-node backing store
+    std::vector<Port> ports_;
+    std::unordered_map<uint64_t, Dir> dirs_;
+    DsmStats stats_;
+};
+
+} // namespace xisa
+
+#endif // XISA_DSM_DSM_HH

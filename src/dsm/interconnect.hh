@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Model of the inter-server link.
+ *
+ * The paper's testbed joins the ARM and x86 boards with a Dolphin ICS
+ * PXH810 PCIe interconnect (up to 64 Gb/s, ~1 us end-to-end latency).
+ * We model a message as latency + size/bandwidth and convert to cycles
+ * at the requesting node's clock. The paper chose a full DSM protocol
+ * over load/store PCIe shared memory because per-operation latencies are
+ * too high; the bench_ablation_dsm harness reproduces that trade-off by
+ * comparing page migration against always-remote access through this
+ * same model.
+ */
+
+#ifndef XISA_DSM_INTERCONNECT_HH
+#define XISA_DSM_INTERCONNECT_HH
+
+#include <cstdint>
+
+namespace xisa {
+
+/** Latency/bandwidth message-cost model plus traffic counters. */
+class Interconnect
+{
+  public:
+    struct Config {
+        double latencyUs = 1.2;   ///< one-way message latency
+        double gbitPerSec = 40.0; ///< effective bandwidth
+    };
+
+    Interconnect() = default;
+    explicit Interconnect(const Config &cfg) : cfg_(cfg) {}
+
+    /** Seconds to move `bytes` one way (latency + serialization). */
+    double
+    transferSeconds(uint64_t bytes) const
+    {
+        return cfg_.latencyUs * 1e-6 +
+               static_cast<double>(bytes) * 8.0 /
+                   (cfg_.gbitPerSec * 1e9);
+    }
+
+    /** Same cost expressed in cycles of a `freqGHz` clock; also counts
+     *  the message in the traffic statistics. */
+    uint64_t
+    charge(uint64_t bytes, double freqGHz)
+    {
+        ++messages_;
+        bytes_ += bytes;
+        return static_cast<uint64_t>(transferSeconds(bytes) * freqGHz *
+                                     1e9);
+    }
+
+    uint64_t messages() const { return messages_; }
+    uint64_t bytes() const { return bytes_; }
+    void resetStats() { messages_ = 0; bytes_ = 0; }
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    uint64_t messages_ = 0;
+    uint64_t bytes_ = 0;
+};
+
+} // namespace xisa
+
+#endif // XISA_DSM_INTERCONNECT_HH

@@ -1,0 +1,1233 @@
+#include "frontend/minic.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/builder.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+
+// --- Lexer -----------------------------------------------------------------
+
+enum class Tok { Ident, IntLit, FloatLit, Punct, Eof };
+
+struct Token {
+    Tok kind = Tok::Eof;
+    std::string text;
+    int64_t intVal = 0;
+    double fltVal = 0;
+    int line = 1;
+    int col = 1;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        for (;;) {
+            skipSpace();
+            Token t;
+            t.line = line_;
+            t.col = col_;
+            if (pos_ >= src_.size()) {
+                t.kind = Tok::Eof;
+                out.push_back(t);
+                return out;
+            }
+            char c = src_[pos_];
+            if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+                while (pos_ < src_.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            src_[pos_])) ||
+                        src_[pos_] == '_'))
+                    t.text += get();
+                t.kind = Tok::Ident;
+            } else if (std::isdigit(static_cast<unsigned char>(c))) {
+                lexNumber(t);
+            } else {
+                lexPunct(t);
+            }
+            out.push_back(std::move(t));
+        }
+    }
+
+  private:
+    char
+    get()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    void
+    skipSpace()
+    {
+        for (;;) {
+            while (pos_ < src_.size() &&
+                   std::isspace(static_cast<unsigned char>(src_[pos_])))
+                get();
+            if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+                src_[pos_ + 1] == '/') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    get();
+                continue;
+            }
+            if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+                src_[pos_ + 1] == '*') {
+                get();
+                get();
+                while (pos_ + 1 < src_.size() &&
+                       !(src_[pos_] == '*' && src_[pos_ + 1] == '/'))
+                    get();
+                if (pos_ + 1 >= src_.size())
+                    fatal("minic:%d:%d: unterminated comment", line_,
+                          col_);
+                get();
+                get();
+                continue;
+            }
+            return;
+        }
+    }
+
+    void
+    lexNumber(Token &t)
+    {
+        std::string num;
+        bool isFloat = false;
+        if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
+            (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+            num += get();
+            num += get();
+            while (pos_ < src_.size() &&
+                   std::isxdigit(static_cast<unsigned char>(src_[pos_])))
+                num += get();
+            t.kind = Tok::IntLit;
+            t.intVal = static_cast<int64_t>(
+                std::strtoull(num.c_str(), nullptr, 16));
+            return;
+        }
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_])))
+            num += get();
+        if (pos_ < src_.size() && src_[pos_] == '.') {
+            isFloat = true;
+            num += get();
+            while (pos_ < src_.size() &&
+                   std::isdigit(static_cast<unsigned char>(src_[pos_])))
+                num += get();
+        }
+        if (pos_ < src_.size() &&
+            (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+            isFloat = true;
+            num += get();
+            if (pos_ < src_.size() &&
+                (src_[pos_] == '+' || src_[pos_] == '-'))
+                num += get();
+            while (pos_ < src_.size() &&
+                   std::isdigit(static_cast<unsigned char>(src_[pos_])))
+                num += get();
+        }
+        if (isFloat) {
+            t.kind = Tok::FloatLit;
+            t.fltVal = std::strtod(num.c_str(), nullptr);
+        } else {
+            t.kind = Tok::IntLit;
+            t.intVal = static_cast<int64_t>(
+                std::strtoull(num.c_str(), nullptr, 10));
+        }
+    }
+
+    void
+    lexPunct(Token &t)
+    {
+        static const char *two[] = {"==", "!=", "<=", ">=", "&&", "||",
+                                    "<<", ">>", "+=", "-=", "*=", "/=",
+                                    "%="};
+        t.kind = Tok::Punct;
+        if (pos_ + 1 < src_.size()) {
+            std::string pair = src_.substr(pos_, 2);
+            for (const char *p : two) {
+                if (pair == p) {
+                    t.text = pair;
+                    get();
+                    get();
+                    return;
+                }
+            }
+        }
+        t.text = std::string(1, get());
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+// --- Types -----------------------------------------------------------------
+
+/** A MiniC type: long / double / void, with an optional pointer level. */
+struct Ty {
+    enum class Base { Long, Double, Void } base = Base::Long;
+    int ptr = 0; // 0 = scalar, 1 = pointer-to-base
+
+    bool isPtr() const { return ptr > 0; }
+    bool isLong() const { return !isPtr() && base == Base::Long; }
+    bool isDouble() const { return !isPtr() && base == Base::Double; }
+    bool isVoid() const { return !isPtr() && base == Base::Void; }
+
+    Type
+    irType() const
+    {
+        if (isPtr())
+            return Type::Ptr;
+        switch (base) {
+          case Base::Long: return Type::I64;
+          case Base::Double: return Type::F64;
+          case Base::Void: return Type::Void;
+        }
+        return Type::Void;
+    }
+
+    /** Memory access type when this is the pointee. */
+    Type
+    elemAccess() const
+    {
+        return base == Base::Double ? Type::F64 : Type::I64;
+    }
+
+    std::string
+    str() const
+    {
+        std::string s = base == Base::Long ? "long"
+                      : base == Base::Double ? "double"
+                                             : "void";
+        for (int i = 0; i < ptr; ++i)
+            s += "*";
+        return s;
+    }
+};
+
+/** An evaluated expression: an rvalue, optionally backed by an address
+ *  (lvalues defer their load until the value is actually needed). */
+struct Val {
+    Ty type;
+    ValueId rv = kNoValue;   ///< materialized rvalue, if any
+    ValueId addr = kNoValue; ///< address, if this is an lvalue
+};
+
+// --- Parser / code generator -------------------------------------------------
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> toks, const std::string &name)
+        : toks_(std::move(toks)), mb_(name)
+    {}
+
+    Module
+    run()
+    {
+        prescanFunctions();
+        while (!at(Tok::Eof))
+            topLevel();
+        return mb_.finish("main");
+    }
+
+  private:
+    struct FuncSig {
+        Ty ret;
+        std::vector<Ty> params;
+        FuncBuilder *fb = nullptr;
+        uint32_t id = 0;
+    };
+    struct Local {
+        uint32_t slot = 0; ///< alloca slot
+        Ty type;
+        bool isArray = false;
+    };
+    struct GlobalSym {
+        uint32_t id = 0;
+        Ty type;
+        bool isArray = false;
+        bool isTls = false;
+    };
+    struct LoopCtx {
+        uint32_t continueTarget;
+        uint32_t breakTarget;
+    };
+
+    // --- Token helpers -----------------------------------------------------
+
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = pos_ + ahead;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    bool at(Tok k) const { return peek().kind == k; }
+    bool
+    atPunct(const char *p) const
+    {
+        return peek().kind == Tok::Punct && peek().text == p;
+    }
+    bool
+    atIdent(const char *name) const
+    {
+        return peek().kind == Tok::Ident && peek().text == name;
+    }
+    Token
+    next()
+    {
+        Token t = peek();
+        if (pos_ < toks_.size() - 1)
+            ++pos_;
+        return t;
+    }
+    void
+    expectPunct(const char *p)
+    {
+        if (!atPunct(p))
+            fail("expected '%s', got '%s'", p, peek().text.c_str());
+        next();
+    }
+    std::string
+    expectIdent()
+    {
+        if (!at(Tok::Ident))
+            fail("expected identifier, got '%s'", peek().text.c_str());
+        return next().text;
+    }
+    template <typename... Args>
+    [[noreturn]] void
+    fail(const char *fmt, Args... args)
+    {
+        std::string msg = strfmt(fmt, args...);
+        fatal("minic:%d:%d: %s", peek().line, peek().col, msg.c_str());
+    }
+
+    bool
+    atType() const
+    {
+        return atIdent("long") || atIdent("double") || atIdent("void");
+    }
+
+    Ty
+    parseType()
+    {
+        Ty ty;
+        std::string base = expectIdent();
+        if (base == "long")
+            ty.base = Ty::Base::Long;
+        else if (base == "double")
+            ty.base = Ty::Base::Double;
+        else if (base == "void")
+            ty.base = Ty::Base::Void;
+        else
+            fail("unknown type '%s'", base.c_str());
+        while (atPunct("*")) {
+            next();
+            ++ty.ptr;
+        }
+        if (ty.ptr > 1)
+            fail("only single-level pointers are supported");
+        if (ty.isVoid() && ty.ptr)
+            fail("void* is not supported; use long*");
+        return ty;
+    }
+
+    // --- Pre-scan: function signatures for forward references -------------
+
+    void
+    prescanFunctions()
+    {
+        size_t save = pos_;
+        int depth = 0;
+        while (!at(Tok::Eof)) {
+            if (atPunct("{")) {
+                ++depth;
+                next();
+                continue;
+            }
+            if (atPunct("}")) {
+                --depth;
+                next();
+                continue;
+            }
+            if (depth != 0 || !atType()) {
+                next();
+                continue;
+            }
+            size_t declStart = pos_;
+            Ty ret = parseType();
+            if (!at(Tok::Ident)) {
+                continue; // stray type token; body parse will complain
+            }
+            std::string name = next().text;
+            if (!atPunct("(")) {
+                pos_ = declStart;
+                // A global declaration; skip to ';'.
+                while (!atPunct(";") && !at(Tok::Eof))
+                    next();
+                continue;
+            }
+            next(); // '('
+            FuncSig sig;
+            sig.ret = ret;
+            std::vector<Type> irParams;
+            if (!atPunct(")")) {
+                for (;;) {
+                    Ty pt = parseType();
+                    expectIdent();
+                    sig.params.push_back(pt);
+                    irParams.push_back(pt.irType());
+                    if (atPunct(","))
+                        next();
+                    else
+                        break;
+                }
+            }
+            expectPunct(")");
+            if (funcs_.count(name))
+                fail("duplicate function '%s'", name.c_str());
+            sig.fb = &mb_.defineFunc(name, ret.irType(), irParams);
+            sig.id = mb_.findFunc(name);
+            funcs_[name] = sig;
+        }
+        pos_ = save;
+    }
+
+    // --- Top level ---------------------------------------------------------
+
+    void
+    topLevel()
+    {
+        bool isTls = false;
+        if (atIdent("thread")) {
+            next();
+            isTls = true;
+        }
+        if (!atType())
+            fail("expected a declaration, got '%s'",
+                 peek().text.c_str());
+        Ty ty = parseType();
+        std::string name = expectIdent();
+        if (atPunct("(")) {
+            if (isTls)
+                fail("functions cannot be thread-local");
+            parseFunctionBody(name);
+            return;
+        }
+        // Global variable.
+        if (globals_.count(name) || funcs_.count(name))
+            fail("duplicate symbol '%s'", name.c_str());
+        GlobalSym g;
+        g.type = ty;
+        g.isTls = isTls;
+        uint64_t bytes = 8;
+        if (atPunct("[")) {
+            next();
+            if (!at(Tok::IntLit))
+                fail("array size must be an integer literal");
+            int64_t n = next().intVal;
+            if (n <= 0)
+                fail("array size must be positive");
+            bytes = static_cast<uint64_t>(n) * 8;
+            g.isArray = true;
+            expectPunct("]");
+        }
+        g.id = mb_.addGlobal(name, bytes, 8, false, isTls);
+        globals_[name] = g;
+        expectPunct(";");
+    }
+
+    void
+    parseFunctionBody(const std::string &name)
+    {
+        FuncSig &sig = funcs_.at(name);
+        f_ = sig.fb;
+        curSig_ = &sig;
+        scopes_.clear();
+        scopes_.emplace_back(); // parameter scope
+        loops_.clear();
+
+        // Re-parse the parameter list, binding names to allocas.
+        expectPunct("(") /* never fails: prescan validated */;
+        size_t idx = 0;
+        if (!atPunct(")")) {
+            for (;;) {
+                parseType();
+                std::string pname = expectIdent();
+                Local loc;
+                loc.type = sig.params[idx];
+                loc.slot = f_->declareAlloca(8, 8, pname);
+                declareLocal(pname, loc);
+                f_->store(loc.type.irType() == Type::F64 ? Type::F64
+                          : loc.type.isPtr() ? Type::Ptr
+                                             : Type::I64,
+                          f_->allocaAddr(loc.slot),
+                          f_->param(idx));
+                ++idx;
+                if (atPunct(","))
+                    next();
+                else
+                    break;
+            }
+        }
+        expectPunct(")");
+        parseBlock();
+        // Implicit return for void functions / fallthrough.
+        if (sig.ret.isVoid()) {
+            f_->ret();
+        } else {
+            Val zero = makeInt(0);
+            f_->ret(coerce(zero, sig.ret).rv);
+        }
+        f_ = nullptr;
+        curSig_ = nullptr;
+    }
+
+    // --- Statements ----------------------------------------------------------
+
+    void
+    parseBlock()
+    {
+        expectPunct("{");
+        scopes_.emplace_back();
+        while (!atPunct("}"))
+            parseStatement();
+        scopes_.pop_back();
+        next();
+    }
+
+    void
+    declareLocal(const std::string &name, const Local &loc)
+    {
+        auto &scope = scopes_.back();
+        if (scope.count(name))
+            fail("duplicate local '%s' in this scope", name.c_str());
+        scope[name] = loc;
+    }
+
+    const Local *
+    findLocal(const std::string &name) const
+    {
+        for (size_t s = scopes_.size(); s-- > 0;) {
+            auto it = scopes_[s].find(name);
+            if (it != scopes_[s].end())
+                return &it->second;
+        }
+        return nullptr;
+    }
+
+    void
+    parseStatement()
+    {
+        if (atPunct("{")) {
+            parseBlock();
+            return;
+        }
+        if (atPunct(";")) {
+            next();
+            return;
+        }
+        if (atType()) {
+            parseLocalDecl();
+            return;
+        }
+        if (atIdent("if")) {
+            parseIf();
+            return;
+        }
+        if (atIdent("while")) {
+            parseWhile();
+            return;
+        }
+        if (atIdent("for")) {
+            parseFor();
+            return;
+        }
+        if (atIdent("return")) {
+            next();
+            if (curSig_->ret.isVoid()) {
+                expectPunct(";");
+                f_->ret();
+            } else {
+                Val v = rvalue(parseExpr());
+                expectPunct(";");
+                f_->ret(coerce(v, curSig_->ret).rv);
+            }
+            startDeadBlock();
+            return;
+        }
+        if (atIdent("break") || atIdent("continue")) {
+            bool isBreak = next().text == "break";
+            expectPunct(";");
+            if (loops_.empty())
+                fail("%s outside of a loop",
+                     isBreak ? "break" : "continue");
+            f_->br(isBreak ? loops_.back().breakTarget
+                           : loops_.back().continueTarget);
+            startDeadBlock();
+            return;
+        }
+        if (atIdent("migrate_point") && peek(1).text == "(") {
+            next();
+            expectPunct("(");
+            expectPunct(")");
+            expectPunct(";");
+            f_->migPoint();
+            return;
+        }
+        parseSimpleStatement();
+        expectPunct(";");
+    }
+
+    /** Assignment or expression statement (no trailing ';'). */
+    void
+    parseSimpleStatement()
+    {
+        Val lhs = parseExpr();
+        static const char *assigns[] = {"=", "+=", "-=", "*=", "/=",
+                                        "%="};
+        for (const char *a : assigns) {
+            if (atPunct(a)) {
+                if (lhs.addr == kNoValue)
+                    fail("left side of '%s' is not assignable", a);
+                next();
+                Val rhs = rvalue(parseExpr());
+                if (a[0] != '=') {
+                    // Compound: lhs OP rhs.
+                    Val cur = rvalue(lhs);
+                    std::string op(1, a[0]);
+                    rhs = binaryOp(op, cur, rhs);
+                }
+                rhs = coerce(rhs, lhs.type);
+                f_->store(lhs.type.isPtr() ? Type::Ptr
+                          : lhs.type.isDouble() ? Type::F64
+                                                : Type::I64,
+                          lhs.addr, rhs.rv);
+                return;
+            }
+        }
+        // Plain expression statement: value discarded.
+    }
+
+    void
+    parseLocalDecl()
+    {
+        Ty ty = parseType();
+        for (;;) {
+            std::string name = expectIdent();
+            Local loc;
+            loc.type = ty;
+            if (atPunct("[")) {
+                next();
+                if (!at(Tok::IntLit))
+                    fail("array size must be an integer literal");
+                int64_t n = next().intVal;
+                if (n <= 0)
+                    fail("array size must be positive");
+                expectPunct("]");
+                loc.isArray = true;
+                loc.slot = f_->declareAlloca(
+                    static_cast<uint32_t>(n) * 8, 8, name);
+            } else {
+                loc.slot = f_->declareAlloca(8, 8, name);
+            }
+            declareLocal(name, loc);
+            if (atPunct("=")) {
+                if (loc.isArray)
+                    fail("array initializers are not supported");
+                next();
+                Val v = coerce(rvalue(parseExpr()), ty);
+                f_->store(ty.isPtr() ? Type::Ptr
+                          : ty.isDouble() ? Type::F64
+                                          : Type::I64,
+                          f_->allocaAddr(loc.slot), v.rv);
+            }
+            if (atPunct(",")) {
+                next();
+                continue;
+            }
+            break;
+        }
+        expectPunct(";");
+    }
+
+    void
+    parseIf()
+    {
+        next();
+        expectPunct("(");
+        ValueId cond = truth(rvalue(parseExpr()));
+        expectPunct(")");
+        uint32_t thenB = f_->newBlock();
+        uint32_t elseB = f_->newBlock();
+        uint32_t join = f_->newBlock();
+        f_->condBr(cond, thenB, elseB);
+        f_->setBlock(thenB);
+        parseStatement();
+        f_->br(join);
+        f_->setBlock(elseB);
+        if (atIdent("else")) {
+            next();
+            parseStatement();
+        }
+        f_->br(join);
+        f_->setBlock(join);
+    }
+
+    void
+    parseWhile()
+    {
+        next();
+        uint32_t head = f_->newBlock();
+        uint32_t body = f_->newBlock();
+        uint32_t exit = f_->newBlock();
+        f_->br(head);
+        f_->setBlock(head);
+        expectPunct("(");
+        ValueId cond = truth(rvalue(parseExpr()));
+        expectPunct(")");
+        f_->condBr(cond, body, exit);
+        f_->setBlock(body);
+        loops_.push_back({head, exit});
+        parseStatement();
+        loops_.pop_back();
+        f_->br(head);
+        f_->setBlock(exit);
+    }
+
+    void
+    parseFor()
+    {
+        next();
+        expectPunct("(");
+        scopes_.emplace_back(); // for-scope: the induction variable
+        if (atPunct(";")) {
+            next();
+        } else if (atType()) {
+            parseLocalDecl(); // consumes the ';'
+        } else {
+            parseSimpleStatement();
+            expectPunct(";");
+        }
+        uint32_t head = f_->newBlock();
+        uint32_t body = f_->newBlock();
+        uint32_t step = f_->newBlock();
+        uint32_t exit = f_->newBlock();
+        f_->br(head);
+        f_->setBlock(head);
+        ValueId cond;
+        if (atPunct(";")) {
+            cond = f_->constInt(1);
+        } else {
+            cond = truth(rvalue(parseExpr()));
+        }
+        expectPunct(";");
+        f_->condBr(cond, body, exit);
+        // Step clause is parsed now but must execute after the body:
+        // stash the tokens and re-parse them at the step block.
+        size_t stepStart = pos_;
+        int parens = 0;
+        while (!(atPunct(")") && parens == 0)) {
+            if (atPunct("("))
+                ++parens;
+            if (atPunct(")"))
+                --parens;
+            if (at(Tok::Eof))
+                fail("unterminated for-clause");
+            next();
+        }
+        size_t stepEnd = pos_;
+        expectPunct(")");
+        f_->setBlock(body);
+        loops_.push_back({step, exit});
+        parseStatement();
+        loops_.pop_back();
+        f_->br(step);
+        f_->setBlock(step);
+        if (stepEnd > stepStart) {
+            size_t save = pos_;
+            pos_ = stepStart;
+            parseSimpleStatement();
+            if (pos_ != stepEnd)
+                fail("malformed for-step clause");
+            pos_ = save;
+        }
+        f_->br(head);
+        f_->setBlock(exit);
+        scopes_.pop_back();
+    }
+
+    /** After an unconditional transfer: park emission in a fresh,
+     *  unreachable block so trailing statements stay legal. */
+    void
+    startDeadBlock()
+    {
+        uint32_t dead = f_->newBlock();
+        f_->setBlock(dead);
+    }
+
+    // --- Expressions -----------------------------------------------------------
+
+    Val
+    makeInt(int64_t v)
+    {
+        Val out;
+        out.type = Ty{Ty::Base::Long, 0};
+        out.rv = f_->constInt(v);
+        return out;
+    }
+
+    /** Materialize the rvalue of a (possibly lvalue) Val. */
+    Val
+    rvalue(Val v)
+    {
+        if (v.rv != kNoValue)
+            return v;
+        XISA_CHECK(v.addr != kNoValue, "value with neither rv nor addr");
+        Type access = v.type.isPtr() ? Type::Ptr
+                    : v.type.isDouble() ? Type::F64
+                                        : Type::I64;
+        v.rv = f_->load(access, v.addr);
+        return v;
+    }
+
+    /** Convert to `want` (long<->double, long<->ptr reinterpret). */
+    Val
+    coerce(Val v, Ty want)
+    {
+        v = rvalue(v);
+        if (v.type.isDouble() && !want.isDouble()) {
+            v.rv = f_->fptosi(v.rv);
+            v.type = want;
+            if (want.isPtr())
+                fail("cannot convert double to pointer");
+            return v;
+        }
+        if (!v.type.isDouble() && want.isDouble()) {
+            v.rv = f_->sitofp(v.rv);
+            v.type = want;
+            return v;
+        }
+        v.type = want; // long <-> pointer: same representation
+        return v;
+    }
+
+    /** 0/1 truth value of any scalar. */
+    ValueId
+    truth(Val v)
+    {
+        if (v.type.isDouble())
+            return f_->fcmp(Cond::NE, v.rv, f_->constFloat(0.0));
+        return f_->icmp(Cond::NE, v.rv, f_->constInt(0));
+    }
+
+    Val
+    binaryOp(const std::string &op, Val lhs, Val rhs)
+    {
+        // Pointer arithmetic: ptr +/- long scales by the 8-byte element.
+        if (lhs.type.isPtr() && (op == "+" || op == "-") &&
+            rhs.type.isLong()) {
+            Val out;
+            out.type = lhs.type;
+            ValueId scaled = f_->mulImm(rhs.rv, 8);
+            out.rv = op == "+" ? f_->add(lhs.rv, scaled)
+                               : f_->sub(lhs.rv, scaled);
+            return out;
+        }
+        bool flt = lhs.type.isDouble() || rhs.type.isDouble();
+        Ty ty = flt ? Ty{Ty::Base::Double, 0} : Ty{Ty::Base::Long, 0};
+        if (flt) {
+            lhs = coerce(lhs, ty);
+            rhs = coerce(rhs, ty);
+        }
+        Val out;
+        out.type = ty;
+        auto cmp = [&](Cond c) {
+            out.type = Ty{Ty::Base::Long, 0};
+            out.rv = flt ? f_->fcmp(c, lhs.rv, rhs.rv)
+                         : f_->icmp(c, lhs.rv, rhs.rv);
+        };
+        if (op == "+")
+            out.rv = flt ? f_->fadd(lhs.rv, rhs.rv)
+                         : f_->add(lhs.rv, rhs.rv);
+        else if (op == "-")
+            out.rv = flt ? f_->fsub(lhs.rv, rhs.rv)
+                         : f_->sub(lhs.rv, rhs.rv);
+        else if (op == "*")
+            out.rv = flt ? f_->fmul(lhs.rv, rhs.rv)
+                         : f_->mul(lhs.rv, rhs.rv);
+        else if (op == "/")
+            out.rv = flt ? f_->fdiv(lhs.rv, rhs.rv)
+                         : f_->sdiv(lhs.rv, rhs.rv);
+        else if (op == "%") {
+            if (flt)
+                fail("%% is integer-only");
+            out.rv = f_->srem(lhs.rv, rhs.rv);
+        } else if (op == "&")
+            out.rv = f_->band(lhs.rv, rhs.rv);
+        else if (op == "|")
+            out.rv = f_->bor(lhs.rv, rhs.rv);
+        else if (op == "^")
+            out.rv = f_->bxor(lhs.rv, rhs.rv);
+        else if (op == "<<")
+            out.rv = f_->shl(lhs.rv, rhs.rv);
+        else if (op == ">>")
+            out.rv = f_->ashr(lhs.rv, rhs.rv);
+        else if (op == "==")
+            cmp(Cond::EQ);
+        else if (op == "!=")
+            cmp(Cond::NE);
+        else if (op == "<")
+            cmp(Cond::LT);
+        else if (op == "<=")
+            cmp(Cond::LE);
+        else if (op == ">")
+            cmp(Cond::GT);
+        else if (op == ">=")
+            cmp(Cond::GE);
+        else
+            fail("unsupported operator '%s'", op.c_str());
+        if ((op == "&" || op == "|" || op == "^" || op == "<<" ||
+             op == ">>") &&
+            flt)
+            fail("bitwise operators are integer-only");
+        return out;
+    }
+
+    int
+    precedence(const std::string &op) const
+    {
+        if (op == "||") return 1;
+        if (op == "&&") return 2;
+        if (op == "|") return 3;
+        if (op == "^") return 4;
+        if (op == "&") return 5;
+        if (op == "==" || op == "!=") return 6;
+        if (op == "<" || op == "<=" || op == ">" || op == ">=") return 7;
+        if (op == "<<" || op == ">>") return 8;
+        if (op == "+" || op == "-") return 9;
+        if (op == "*" || op == "/" || op == "%") return 10;
+        return 0;
+    }
+
+    Val
+    parseExpr(int minPrec = 1)
+    {
+        Val lhs = parseUnary();
+        for (;;) {
+            if (!at(Tok::Punct))
+                return lhs;
+            std::string op = peek().text;
+            int prec = precedence(op);
+            if (prec < minPrec)
+                return lhs;
+            next();
+            if (op == "&&" || op == "||") {
+                lhs = shortCircuit(op, rvalue(lhs), prec);
+                continue;
+            }
+            Val rhs = rvalue(parseExpr(prec + 1));
+            lhs = binaryOp(op, rvalue(lhs), rhs);
+        }
+    }
+
+    Val
+    shortCircuit(const std::string &op, Val lhs, int prec)
+    {
+        ValueId res = f_->newReg(Type::I64);
+        ValueId lhsTruth = truth(lhs);
+        if (op == "&&") {
+            f_->ifThenElse(
+                lhsTruth,
+                [&] {
+                    Val rhs = rvalue(parseExpr(prec + 1));
+                    f_->copy(res, truth(rhs));
+                },
+                [&] { f_->copy(res, f_->constInt(0)); });
+        } else {
+            f_->ifThenElse(
+                lhsTruth, [&] { f_->copy(res, f_->constInt(1)); },
+                [&] {
+                    Val rhs = rvalue(parseExpr(prec + 1));
+                    f_->copy(res, truth(rhs));
+                });
+        }
+        Val out;
+        out.type = Ty{Ty::Base::Long, 0};
+        out.rv = res;
+        return out;
+    }
+
+    Val
+    parseUnary()
+    {
+        if (atPunct("-")) {
+            next();
+            Val v = rvalue(parseUnary());
+            Val out;
+            out.type = v.type;
+            out.rv = v.type.isDouble() ? f_->fneg(v.rv) : f_->neg(v.rv);
+            return out;
+        }
+        if (atPunct("!")) {
+            next();
+            Val v = rvalue(parseUnary());
+            Val out;
+            out.type = Ty{Ty::Base::Long, 0};
+            out.rv = v.type.isDouble()
+                         ? f_->fcmp(Cond::EQ, v.rv, f_->constFloat(0.0))
+                         : f_->icmp(Cond::EQ, v.rv, f_->constInt(0));
+            return out;
+        }
+        if (atPunct("~")) {
+            next();
+            Val v = rvalue(parseUnary());
+            if (v.type.isDouble())
+                fail("~ is integer-only");
+            Val out;
+            out.type = v.type;
+            out.rv = f_->bxor(v.rv, f_->constInt(-1));
+            return out;
+        }
+        if (atPunct("*")) {
+            next();
+            Val p = rvalue(parseUnary());
+            if (!p.type.isPtr())
+                fail("cannot dereference a non-pointer");
+            Val out;
+            out.type = Ty{p.type.base, 0};
+            out.addr = p.rv;
+            return out;
+        }
+        if (atPunct("&")) {
+            next();
+            Val v = parseUnary();
+            if (v.addr == kNoValue)
+                fail("cannot take the address of a temporary");
+            Val out;
+            out.type = Ty{v.type.base, 1};
+            out.rv = v.addr;
+            return out;
+        }
+        // Cast: (long) / (double) / (long*) / (double*).
+        if (atPunct("(") &&
+            (peek(1).text == "long" || peek(1).text == "double")) {
+            next();
+            Ty ty = parseType();
+            expectPunct(")");
+            Val v = rvalue(parseUnary());
+            return coerce(v, ty);
+        }
+        return parsePostfix();
+    }
+
+    Val
+    parsePostfix()
+    {
+        Val v = parsePrimary();
+        for (;;) {
+            if (atPunct("[")) {
+                next();
+                Val idx = coerce(rvalue(parseExpr()),
+                                 Ty{Ty::Base::Long, 0});
+                expectPunct("]");
+                if (!v.type.isPtr())
+                    fail("indexing a non-pointer");
+                Val out;
+                out.type = Ty{v.type.base, 0};
+                Val base = rvalue(v);
+                out.addr =
+                    f_->add(base.rv, f_->mulImm(idx.rv, 8));
+                v = out;
+                continue;
+            }
+            return v;
+        }
+    }
+
+    Val
+    parsePrimary()
+    {
+        if (at(Tok::IntLit))
+            return makeInt(next().intVal);
+        if (at(Tok::FloatLit)) {
+            Val v;
+            v.type = Ty{Ty::Base::Double, 0};
+            v.rv = f_->constFloat(next().fltVal);
+            return v;
+        }
+        if (atPunct("(")) {
+            next();
+            Val v = parseExpr();
+            expectPunct(")");
+            return v;
+        }
+        if (!at(Tok::Ident))
+            fail("expected an expression, got '%s'",
+                 peek().text.c_str());
+        std::string name = next().text;
+        if (atPunct("("))
+            return parseCall(name);
+
+        // Variable reference.
+        if (const Local *found = findLocal(name)) {
+            const Local &loc = *found;
+            Val v;
+            if (loc.isArray) {
+                v.type = Ty{loc.type.base, 1};
+                v.rv = f_->allocaAddr(loc.slot);
+            } else {
+                v.type = loc.type;
+                v.addr = f_->allocaAddr(loc.slot);
+            }
+            return v;
+        }
+        auto git = globals_.find(name);
+        if (git != globals_.end()) {
+            const GlobalSym &g = git->second;
+            ValueId base = g.isTls ? f_->tlsAddr(g.id)
+                                   : f_->globalAddr(g.id);
+            Val v;
+            if (g.isArray) {
+                v.type = Ty{g.type.base, 1};
+                v.rv = base;
+            } else {
+                v.type = g.type;
+                v.addr = base;
+            }
+            return v;
+        }
+        auto fit = funcs_.find(name);
+        if (fit != funcs_.end()) {
+            // Function reference (for thread_spawn): its code address.
+            Val v;
+            v.type = Ty{Ty::Base::Long, 1};
+            v.rv = f_->funcAddr(fit->second.id);
+            return v;
+        }
+        fail("unknown identifier '%s'", name.c_str());
+    }
+
+    Val
+    parseCall(const std::string &name)
+    {
+        expectPunct("(");
+        std::vector<Val> args;
+        if (!atPunct(")")) {
+            for (;;) {
+                args.push_back(rvalue(parseExpr()));
+                if (atPunct(","))
+                    next();
+                else
+                    break;
+            }
+        }
+        expectPunct(")");
+
+        // User functions first, then runtime builtins by name.
+        uint32_t funcId;
+        Ty retTy;
+        std::vector<Ty> paramTys;
+        auto fit = funcs_.find(name);
+        if (fit != funcs_.end()) {
+            funcId = fit->second.id;
+            retTy = fit->second.ret;
+            paramTys = fit->second.params;
+        } else {
+            funcId = builtinByName(name);
+            const IRFunction &sig = mb_.signature(funcId);
+            retTy = sig.retType == Type::F64
+                        ? Ty{Ty::Base::Double, 0}
+                        : sig.retType == Type::Void
+                              ? Ty{Ty::Base::Void, 0}
+                              : Ty{Ty::Base::Long,
+                                   sig.retType == Type::Ptr ? 1 : 0};
+            for (Type t : sig.paramTypes)
+                paramTys.push_back(
+                    t == Type::F64
+                        ? Ty{Ty::Base::Double, 0}
+                        : Ty{Ty::Base::Long, t == Type::Ptr ? 1 : 0});
+        }
+        if (args.size() != paramTys.size())
+            fail("'%s' expects %zu arguments, got %zu", name.c_str(),
+                 paramTys.size(), args.size());
+        std::vector<ValueId> irArgs;
+        for (size_t i = 0; i < args.size(); ++i)
+            irArgs.push_back(coerce(args[i], paramTys[i]).rv);
+        Val out;
+        out.type = retTy;
+        if (retTy.isVoid()) {
+            f_->callVoid(funcId, irArgs);
+            out.rv = kNoValue;
+        } else {
+            out.rv = f_->call(funcId, irArgs);
+        }
+        return out;
+    }
+
+    uint32_t
+    builtinByName(const std::string &name)
+    {
+        static const std::map<std::string, Builtin> builtins = {
+            {"malloc", Builtin::Malloc},
+            {"free", Builtin::Free},
+            {"print_i64", Builtin::PrintI64},
+            {"print_f64", Builtin::PrintF64},
+            {"thread_spawn", Builtin::ThreadSpawn},
+            {"thread_join", Builtin::ThreadJoin},
+            {"barrier_wait", Builtin::BarrierWait},
+            {"memcpy", Builtin::Memcpy},
+            {"memset", Builtin::Memset},
+            {"exit", Builtin::Exit},
+            {"thread_id", Builtin::ThreadId},
+            {"node_id", Builtin::NodeId},
+        };
+        auto it = builtins.find(name);
+        if (it == builtins.end())
+            fail("unknown function '%s'", name.c_str());
+        return mb_.builtin(it->second);
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    ModuleBuilder mb_;
+    std::map<std::string, FuncSig> funcs_;
+    std::map<std::string, GlobalSym> globals_;
+    std::vector<std::map<std::string, Local>> scopes_;
+    std::vector<LoopCtx> loops_;
+    FuncBuilder *f_ = nullptr;
+    FuncSig *curSig_ = nullptr;
+};
+
+} // namespace
+
+Module
+compileMiniC(const std::string &source, const std::string &moduleName)
+{
+    Lexer lex(source);
+    Parser parser(lex.run(), moduleName);
+    return parser.run();
+}
+
+} // namespace xisa

@@ -1,0 +1,713 @@
+#include "ir/builder.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+// ---------------------------------------------------------------------
+// FuncBuilder
+// ---------------------------------------------------------------------
+
+FuncBuilder::FuncBuilder(ModuleBuilder &parent, IRFunction &fn)
+    : parent_(parent), fn_(&fn)
+{
+    fn_->blocks.emplace_back(); // entry block
+    cur_ = 0;
+}
+
+ValueId
+FuncBuilder::param(size_t idx) const
+{
+    if (idx >= fn_->paramTypes.size())
+        panic("param index %zu out of range in %s", idx,
+              fn_->name.c_str());
+    return static_cast<ValueId>(idx);
+}
+
+ValueId
+FuncBuilder::newReg(Type type)
+{
+    if (type == Type::Void)
+        panic("newReg: void vreg");
+    fn_->vregTypes.push_back(type);
+    return static_cast<ValueId>(fn_->vregTypes.size() - 1);
+}
+
+uint32_t
+FuncBuilder::declareAlloca(uint32_t size, uint32_t align,
+                           const std::string &name)
+{
+    fn_->allocas.push_back({size, align, name});
+    return static_cast<uint32_t>(fn_->allocas.size() - 1);
+}
+
+uint32_t
+FuncBuilder::newBlock()
+{
+    fn_->blocks.emplace_back();
+    fn_->blocks.back().loopDepth = loopDepth_;
+    return static_cast<uint32_t>(fn_->blocks.size() - 1);
+}
+
+void
+FuncBuilder::setBlock(uint32_t block)
+{
+    if (block >= fn_->blocks.size())
+        panic("setBlock: block %u out of range", block);
+    cur_ = block;
+}
+
+IRInstr &
+FuncBuilder::emit(IRInstr instr)
+{
+    BasicBlock &bb = fn_->blocks[cur_];
+    if (!bb.instrs.empty() && irIsTerminator(bb.instrs.back().op))
+        panic("emit after terminator in %s block %u", fn_->name.c_str(),
+              cur_);
+    bb.instrs.push_back(std::move(instr));
+    return bb.instrs.back();
+}
+
+Type
+FuncBuilder::typeOf(ValueId v) const
+{
+    if (v == kNoValue || v >= fn_->vregTypes.size())
+        panic("typeOf: bad vreg %u in %s", v, fn_->name.c_str());
+    return fn_->vregTypes[v];
+}
+
+ValueId
+FuncBuilder::constInt(int64_t value, Type type)
+{
+    ValueId dst = newReg(type);
+    IRInstr in;
+    in.op = IROp::ConstInt;
+    in.type = type;
+    in.dst = dst;
+    in.imm = value;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::constFloat(double value)
+{
+    ValueId dst = newReg(Type::F64);
+    IRInstr in;
+    in.op = IROp::ConstFloat;
+    in.type = Type::F64;
+    in.dst = dst;
+    in.fimm = value;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::emitBin(IROp op, ValueId a, ValueId b)
+{
+    ValueId dst = newReg(typeOf(a));
+    IRInstr in;
+    in.op = op;
+    in.type = typeOf(a);
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::emitBinF(IROp op, ValueId a, ValueId b)
+{
+    ValueId dst = newReg(Type::F64);
+    IRInstr in;
+    in.op = op;
+    in.type = Type::F64;
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    emit(in);
+    return dst;
+}
+
+ValueId FuncBuilder::add(ValueId a, ValueId b)
+{ return emitBin(IROp::Add, a, b); }
+ValueId FuncBuilder::sub(ValueId a, ValueId b)
+{ return emitBin(IROp::Sub, a, b); }
+ValueId FuncBuilder::mul(ValueId a, ValueId b)
+{ return emitBin(IROp::Mul, a, b); }
+ValueId FuncBuilder::sdiv(ValueId a, ValueId b)
+{ return emitBin(IROp::SDiv, a, b); }
+ValueId FuncBuilder::udiv(ValueId a, ValueId b)
+{ return emitBin(IROp::UDiv, a, b); }
+ValueId FuncBuilder::srem(ValueId a, ValueId b)
+{ return emitBin(IROp::SRem, a, b); }
+ValueId FuncBuilder::urem(ValueId a, ValueId b)
+{ return emitBin(IROp::URem, a, b); }
+ValueId FuncBuilder::band(ValueId a, ValueId b)
+{ return emitBin(IROp::And, a, b); }
+ValueId FuncBuilder::bor(ValueId a, ValueId b)
+{ return emitBin(IROp::Or, a, b); }
+ValueId FuncBuilder::bxor(ValueId a, ValueId b)
+{ return emitBin(IROp::Xor, a, b); }
+ValueId FuncBuilder::shl(ValueId a, ValueId b)
+{ return emitBin(IROp::Shl, a, b); }
+ValueId FuncBuilder::lshr(ValueId a, ValueId b)
+{ return emitBin(IROp::LShr, a, b); }
+ValueId FuncBuilder::ashr(ValueId a, ValueId b)
+{ return emitBin(IROp::AShr, a, b); }
+
+ValueId
+FuncBuilder::neg(ValueId a)
+{
+    ValueId dst = newReg(typeOf(a));
+    IRInstr in;
+    in.op = IROp::Neg;
+    in.type = typeOf(a);
+    in.dst = dst;
+    in.a = a;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::addImm(ValueId a, int64_t imm)
+{
+    return add(a, constInt(imm, typeOf(a)));
+}
+
+ValueId
+FuncBuilder::mulImm(ValueId a, int64_t imm)
+{
+    return mul(a, constInt(imm, typeOf(a)));
+}
+
+ValueId FuncBuilder::fadd(ValueId a, ValueId b)
+{ return emitBinF(IROp::FAdd, a, b); }
+ValueId FuncBuilder::fsub(ValueId a, ValueId b)
+{ return emitBinF(IROp::FSub, a, b); }
+ValueId FuncBuilder::fmul(ValueId a, ValueId b)
+{ return emitBinF(IROp::FMul, a, b); }
+ValueId FuncBuilder::fdiv(ValueId a, ValueId b)
+{ return emitBinF(IROp::FDiv, a, b); }
+
+ValueId
+FuncBuilder::fneg(ValueId a)
+{
+    ValueId dst = newReg(Type::F64);
+    IRInstr in;
+    in.op = IROp::FNeg;
+    in.type = Type::F64;
+    in.dst = dst;
+    in.a = a;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::sitofp(ValueId a)
+{
+    ValueId dst = newReg(Type::F64);
+    IRInstr in;
+    in.op = IROp::SIToFP;
+    in.type = Type::F64;
+    in.dst = dst;
+    in.a = a;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::fptosi(ValueId a)
+{
+    ValueId dst = newReg(Type::I64);
+    IRInstr in;
+    in.op = IROp::FPToSI;
+    in.type = Type::I64;
+    in.dst = dst;
+    in.a = a;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::icmp(Cond cond, ValueId a, ValueId b)
+{
+    ValueId dst = newReg(Type::I64);
+    IRInstr in;
+    in.op = IROp::ICmp;
+    in.type = Type::I64;
+    in.cond = cond;
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::fcmp(Cond cond, ValueId a, ValueId b)
+{
+    ValueId dst = newReg(Type::I64);
+    IRInstr in;
+    in.op = IROp::FCmp;
+    in.type = Type::I64;
+    in.cond = cond;
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    emit(in);
+    return dst;
+}
+
+void
+FuncBuilder::copy(ValueId dst, ValueId src)
+{
+    IRInstr in;
+    in.op = IROp::Copy;
+    in.type = typeOf(dst);
+    in.dst = dst;
+    in.a = src;
+    emit(in);
+}
+
+ValueId
+FuncBuilder::allocaAddr(uint32_t slot)
+{
+    ValueId dst = newReg(Type::Ptr);
+    IRInstr in;
+    in.op = IROp::AllocaAddr;
+    in.type = Type::Ptr;
+    in.dst = dst;
+    in.imm = slot;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::globalAddr(uint32_t globalId)
+{
+    ValueId dst = newReg(Type::Ptr);
+    IRInstr in;
+    in.op = IROp::GlobalAddr;
+    in.type = Type::Ptr;
+    in.dst = dst;
+    in.globalId = globalId;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::tlsAddr(uint32_t globalId)
+{
+    ValueId dst = newReg(Type::Ptr);
+    IRInstr in;
+    in.op = IROp::TlsAddr;
+    in.type = Type::Ptr;
+    in.dst = dst;
+    in.globalId = globalId;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::funcAddr(uint32_t funcId)
+{
+    ValueId dst = newReg(Type::Ptr);
+    IRInstr in;
+    in.op = IROp::FuncAddr;
+    in.type = Type::Ptr;
+    in.dst = dst;
+    in.funcId = funcId;
+    emit(in);
+    return dst;
+}
+
+ValueId
+FuncBuilder::load(Type type, ValueId addr, int64_t off)
+{
+    Type regType = type == Type::F64 ? Type::F64
+                 : type == Type::Ptr ? Type::Ptr
+                                     : Type::I64;
+    ValueId dst = newReg(regType);
+    IRInstr in;
+    in.op = IROp::Load;
+    in.type = type;
+    in.dst = dst;
+    in.a = addr;
+    in.imm = off;
+    emit(in);
+    return dst;
+}
+
+void
+FuncBuilder::store(Type type, ValueId addr, ValueId value, int64_t off)
+{
+    IRInstr in;
+    in.op = IROp::Store;
+    in.type = type;
+    in.a = addr;
+    in.b = value;
+    in.imm = off;
+    emit(in);
+}
+
+ValueId
+FuncBuilder::loadIdx(Type type, ValueId base, ValueId index, int64_t scale)
+{
+    Type regType = type == Type::F64 ? Type::F64
+                 : type == Type::Ptr ? Type::Ptr
+                                     : Type::I64;
+    ValueId dst = newReg(regType);
+    IRInstr in;
+    in.op = IROp::LoadIdx;
+    in.type = type;
+    in.dst = dst;
+    in.a = base;
+    in.b = index;
+    in.imm = scale;
+    emit(in);
+    return dst;
+}
+
+void
+FuncBuilder::storeIdx(Type type, ValueId base, ValueId index,
+                      ValueId value, int64_t scale)
+{
+    IRInstr in;
+    in.op = IROp::StoreIdx;
+    in.type = type;
+    in.a = base;
+    in.b = index;
+    in.imm = scale;
+    in.args.push_back(value);
+    emit(in);
+}
+
+ValueId
+FuncBuilder::atomicAdd(ValueId addr, ValueId value)
+{
+    ValueId dst = newReg(Type::I64);
+    IRInstr in;
+    in.op = IROp::AtomicAdd;
+    in.type = Type::I64;
+    in.dst = dst;
+    in.a = addr;
+    in.b = value;
+    emit(in);
+    return dst;
+}
+
+void
+FuncBuilder::br(uint32_t block)
+{
+    IRInstr in;
+    in.op = IROp::Br;
+    in.target = block;
+    emit(in);
+}
+
+void
+FuncBuilder::condBr(ValueId cond, uint32_t thenBlock, uint32_t elseBlock)
+{
+    IRInstr in;
+    in.op = IROp::CondBr;
+    in.a = cond;
+    in.target = thenBlock;
+    in.target2 = elseBlock;
+    emit(in);
+}
+
+void
+FuncBuilder::ret(ValueId value)
+{
+    IRInstr in;
+    in.op = IROp::Ret;
+    in.a = value;
+    emit(in);
+}
+
+ValueId
+FuncBuilder::call(uint32_t funcId, const std::vector<ValueId> &args)
+{
+    const IRFunction &callee = parent_.calleeRef(funcId);
+    ValueId dst = kNoValue;
+    if (callee.retType != Type::Void)
+        dst = newReg(callee.retType);
+    IRInstr in;
+    in.op = IROp::Call;
+    in.type = callee.retType;
+    in.dst = dst;
+    in.funcId = funcId;
+    in.args = args;
+    emit(in);
+    return dst;
+}
+
+void
+FuncBuilder::callVoid(uint32_t funcId, const std::vector<ValueId> &args)
+{
+    IRInstr in;
+    in.op = IROp::Call;
+    in.type = Type::Void;
+    in.dst = kNoValue;
+    in.funcId = funcId;
+    in.args = args;
+    emit(in);
+}
+
+ValueId
+FuncBuilder::callInd(Type retType, ValueId targetAddr,
+                     const std::vector<ValueId> &args)
+{
+    ValueId dst = retType == Type::Void ? kNoValue : newReg(retType);
+    IRInstr in;
+    in.op = IROp::CallInd;
+    in.type = retType;
+    in.dst = dst;
+    in.a = targetAddr;
+    in.args = args;
+    emit(in);
+    return dst;
+}
+
+void
+FuncBuilder::migPoint()
+{
+    IRInstr in;
+    in.op = IROp::MigPoint;
+    emit(in);
+}
+
+void
+FuncBuilder::forLoop(ValueId lo, ValueId hi,
+                     const std::function<void(ValueId)> &body,
+                     int64_t step)
+{
+    ValueId iv = newReg(Type::I64);
+    copy(iv, lo);
+    ++loopDepth_;
+    uint32_t head = newBlock();
+    uint32_t bodyBlock = newBlock();
+    br(head);
+    setBlock(head);
+    ValueId cont = icmp(step > 0 ? Cond::LT : Cond::GT, iv, hi);
+    --loopDepth_;
+    uint32_t exit = newBlock();
+    ++loopDepth_;
+    condBr(cont, bodyBlock, exit);
+    setBlock(bodyBlock);
+    body(iv);
+    // iv += step; loop back.
+    ValueId stepped = addImm(iv, step);
+    copy(iv, stepped);
+    br(head);
+    --loopDepth_;
+    setBlock(exit);
+}
+
+void
+FuncBuilder::forLoopI(int64_t lo, int64_t hi,
+                      const std::function<void(ValueId)> &body,
+                      int64_t step)
+{
+    forLoop(constInt(lo), constInt(hi), body, step);
+}
+
+void
+FuncBuilder::whileLoop(const std::function<ValueId()> &cond,
+                       const std::function<void()> &body)
+{
+    ++loopDepth_;
+    uint32_t head = newBlock();
+    uint32_t bodyBlock = newBlock();
+    br(head);
+    setBlock(head);
+    ValueId c = cond();
+    --loopDepth_;
+    uint32_t exit = newBlock();
+    ++loopDepth_;
+    condBr(c, bodyBlock, exit);
+    setBlock(bodyBlock);
+    body();
+    br(head);
+    --loopDepth_;
+    setBlock(exit);
+}
+
+void
+FuncBuilder::ifThen(ValueId cond, const std::function<void()> &then)
+{
+    uint32_t thenBlock = newBlock();
+    uint32_t join = newBlock();
+    condBr(cond, thenBlock, join);
+    setBlock(thenBlock);
+    then();
+    br(join);
+    setBlock(join);
+}
+
+void
+FuncBuilder::ifThenElse(ValueId cond, const std::function<void()> &then,
+                        const std::function<void()> &other)
+{
+    uint32_t thenBlock = newBlock();
+    uint32_t elseBlock = newBlock();
+    uint32_t join = newBlock();
+    condBr(cond, thenBlock, elseBlock);
+    setBlock(thenBlock);
+    then();
+    br(join);
+    setBlock(elseBlock);
+    other();
+    br(join);
+    setBlock(join);
+}
+
+// ---------------------------------------------------------------------
+// ModuleBuilder
+// ---------------------------------------------------------------------
+
+ModuleBuilder::ModuleBuilder(std::string name)
+{
+    mod_.name = std::move(name);
+    declareBuiltins();
+}
+
+void
+ModuleBuilder::declareBuiltins()
+{
+    auto declare = [&](Builtin which, const char *name, Type ret,
+                       std::vector<Type> params) {
+        IRFunction f;
+        f.name = name;
+        f.id = static_cast<uint32_t>(funcs_.size());
+        f.retType = ret;
+        f.paramTypes = std::move(params);
+        f.vregTypes = f.paramTypes;
+        f.builtin = which;
+        builtinIds_[static_cast<int>(which)] = f.id;
+        funcs_.push_back(std::make_unique<IRFunction>(std::move(f)));
+    };
+    declare(Builtin::Malloc, "malloc", Type::Ptr, {Type::I64});
+    declare(Builtin::Free, "free", Type::Void, {Type::Ptr});
+    declare(Builtin::PrintI64, "print_i64", Type::Void, {Type::I64});
+    declare(Builtin::PrintF64, "print_f64", Type::Void, {Type::F64});
+    declare(Builtin::ThreadSpawn, "thread_spawn", Type::I64,
+            {Type::Ptr, Type::I64});
+    declare(Builtin::ThreadJoin, "thread_join", Type::Void, {Type::I64});
+    declare(Builtin::BarrierWait, "barrier_wait", Type::Void,
+            {Type::I64, Type::I64});
+    declare(Builtin::Memcpy, "memcpy", Type::Void,
+            {Type::Ptr, Type::Ptr, Type::I64});
+    declare(Builtin::Memset, "memset", Type::Void,
+            {Type::Ptr, Type::I64, Type::I64});
+    declare(Builtin::Exit, "exit", Type::Void, {Type::I64});
+    declare(Builtin::ThreadId, "thread_id", Type::I64, {});
+    declare(Builtin::NodeId, "node_id", Type::I64, {});
+}
+
+FuncBuilder &
+ModuleBuilder::defineFunc(const std::string &name, Type retType,
+                          const std::vector<Type> &params)
+{
+    for (const auto &f : funcs_)
+        if (f->name == name)
+            fatal("defineFunc: duplicate function '%s'", name.c_str());
+    auto fn = std::make_unique<IRFunction>();
+    fn->name = name;
+    fn->id = static_cast<uint32_t>(funcs_.size());
+    fn->retType = retType;
+    fn->paramTypes = params;
+    fn->vregTypes = params;
+    funcs_.push_back(std::move(fn));
+    funcBuilders_.push_back(std::unique_ptr<FuncBuilder>(
+        new FuncBuilder(*this, *funcs_.back())));
+    return *funcBuilders_.back();
+}
+
+uint32_t
+ModuleBuilder::addGlobal(const std::string &name, uint64_t size,
+                         uint32_t align, bool isConst, bool isTls)
+{
+    GlobalVar g;
+    g.name = name;
+    g.id = static_cast<uint32_t>(mod_.globals.size());
+    g.size = size;
+    g.align = align;
+    g.isConst = isConst;
+    g.isTls = isTls;
+    mod_.globals.push_back(std::move(g));
+    return mod_.globals.back().id;
+}
+
+uint32_t
+ModuleBuilder::addGlobalData(const std::string &name,
+                             std::vector<uint8_t> init, uint32_t align,
+                             bool isConst)
+{
+    uint32_t id = addGlobal(name, init.size(), align, isConst, false);
+    mod_.globals[id].init = std::move(init);
+    return id;
+}
+
+uint32_t
+ModuleBuilder::addGlobalI64s(const std::string &name,
+                             const std::vector<int64_t> &values,
+                             bool isConst)
+{
+    std::vector<uint8_t> bytes(values.size() * 8);
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    return addGlobalData(name, std::move(bytes), 8, isConst);
+}
+
+uint32_t
+ModuleBuilder::addGlobalF64s(const std::string &name,
+                             const std::vector<double> &values,
+                             bool isConst)
+{
+    std::vector<uint8_t> bytes(values.size() * 8);
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    return addGlobalData(name, std::move(bytes), 8, isConst);
+}
+
+uint32_t
+ModuleBuilder::builtin(Builtin which) const
+{
+    return builtinIds_[static_cast<int>(which)];
+}
+
+uint32_t
+ModuleBuilder::findFunc(const std::string &name) const
+{
+    for (const auto &f : funcs_)
+        if (f->name == name)
+            return f->id;
+    fatal("ModuleBuilder: no function named '%s'", name.c_str());
+}
+
+const IRFunction &
+ModuleBuilder::calleeRef(uint32_t funcId) const
+{
+    if (funcId >= funcs_.size())
+        fatal("call target %u not yet declared", funcId);
+    return *funcs_[funcId];
+}
+
+Module
+ModuleBuilder::finish(const std::string &entryName)
+{
+    mod_.functions.clear();
+    mod_.functions.reserve(funcs_.size());
+    for (auto &f : funcs_)
+        mod_.functions.push_back(std::move(*f));
+    funcs_.clear();
+    funcBuilders_.clear();
+    mod_.entryFuncId = mod_.findFunc(entryName);
+    mod_.verify();
+    return std::move(mod_);
+}
+
+} // namespace xisa

@@ -1,0 +1,521 @@
+#include "ir/interp.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+
+constexpr uint64_t kPageSize = 4096;
+constexpr uint64_t kGlobalBase = 0x10000000ull;
+constexpr uint64_t kTlsBase = 0x20000000ull;
+constexpr uint64_t kHeapBase = 0x30000000ull;
+constexpr uint64_t kStackTop = 0x7fff0000ull;
+constexpr uint64_t kCodeBase = 0x40000000ull;
+constexpr uint64_t kCodeStride = 16;
+
+uint64_t
+alignUp(uint64_t x, uint64_t a)
+{
+    return (x + a - 1) & ~(a - 1);
+}
+
+bool
+evalIntCond(Cond cond, int64_t a, int64_t b)
+{
+    uint64_t ua = static_cast<uint64_t>(a);
+    uint64_t ub = static_cast<uint64_t>(b);
+    switch (cond) {
+      case Cond::EQ: return a == b;
+      case Cond::NE: return a != b;
+      case Cond::LT: return a < b;
+      case Cond::LE: return a <= b;
+      case Cond::GT: return a > b;
+      case Cond::GE: return a >= b;
+      case Cond::ULT: return ua < ub;
+      case Cond::ULE: return ua <= ub;
+      case Cond::UGT: return ua > ub;
+      case Cond::UGE: return ua >= ub;
+      case Cond::Always: return true;
+    }
+    return false;
+}
+
+bool
+evalFloatCond(Cond cond, double a, double b)
+{
+    switch (cond) {
+      case Cond::EQ: return a == b;
+      case Cond::NE: return a != b;
+      case Cond::LT: return a < b;
+      case Cond::LE: return a <= b;
+      case Cond::GT: return a > b;
+      case Cond::GE: return a >= b;
+      default:
+        fatal("fcmp with unsigned condition %s", condName(cond));
+    }
+}
+
+} // namespace
+
+IRInterp::IRInterp(const Module &mod, uint64_t maxInstrs)
+    : mod_(mod), maxInstrs_(maxInstrs)
+{
+    heapNext_ = kHeapBase;
+    stackNext_ = kStackTop;
+    allocGlobals();
+}
+
+uint64_t
+IRInterp::allocGlobals()
+{
+    uint64_t next = kGlobalBase;
+    uint64_t tlsNext = kTlsBase;
+    globalAddrs_.resize(mod_.globals.size());
+    tlsAddrs_.resize(mod_.globals.size());
+    for (const GlobalVar &g : mod_.globals) {
+        if (g.isTls) {
+            tlsNext = alignUp(tlsNext, g.align);
+            tlsAddrs_[g.id] = tlsNext;
+            if (!g.init.empty())
+                memWrite(tlsNext, g.init.data(), g.init.size());
+            tlsNext += g.size;
+        } else {
+            next = alignUp(next, g.align);
+            globalAddrs_[g.id] = next;
+            if (!g.init.empty())
+                memWrite(next, g.init.data(), g.init.size());
+            next += g.size;
+        }
+    }
+    return next;
+}
+
+uint8_t *
+IRInterp::pagePtr(uint64_t addr)
+{
+    uint64_t page = addr / kPageSize;
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        it = pages_.emplace(page, std::vector<uint8_t>(kPageSize, 0)).first;
+    return it->second.data() + (addr % kPageSize);
+}
+
+void
+IRInterp::memWrite(uint64_t addr, const void *src, size_t n)
+{
+    const uint8_t *s = static_cast<const uint8_t *>(src);
+    while (n > 0) {
+        size_t chunk = std::min<size_t>(n, kPageSize - addr % kPageSize);
+        std::memcpy(pagePtr(addr), s, chunk);
+        addr += chunk;
+        s += chunk;
+        n -= chunk;
+    }
+}
+
+void
+IRInterp::memRead(uint64_t addr, void *dst, size_t n)
+{
+    uint8_t *d = static_cast<uint8_t *>(dst);
+    while (n > 0) {
+        size_t chunk = std::min<size_t>(n, kPageSize - addr % kPageSize);
+        std::memcpy(d, pagePtr(addr), chunk);
+        addr += chunk;
+        d += chunk;
+        n -= chunk;
+    }
+}
+
+uint64_t
+IRInterp::loadZext(uint64_t addr, int size)
+{
+    uint64_t v = 0;
+    memRead(addr, &v, static_cast<size_t>(size));
+    return v;
+}
+
+void
+IRInterp::storeTrunc(uint64_t addr, uint64_t value, int size)
+{
+    memWrite(addr, &value, static_cast<size_t>(size));
+}
+
+std::vector<uint8_t>
+IRInterp::readGlobal(uint32_t globalId, uint64_t len)
+{
+    const GlobalVar &g = mod_.global(globalId);
+    if (len == 0)
+        len = g.size;
+    std::vector<uint8_t> out(len);
+    uint64_t base = g.isTls ? tlsAddrs_[globalId] : globalAddrs_[globalId];
+    memRead(base, out.data(), out.size());
+    return out;
+}
+
+IRRunResult
+IRInterp::run(uint32_t funcId, const std::vector<int64_t> &args)
+{
+    result_ = IRRunResult{};
+    stopRequested_ = false;
+    result_.retVal = callFunction(funcId, args);
+    return result_;
+}
+
+int64_t
+IRInterp::execBuiltin(const IRFunction &f, const std::vector<int64_t> &args)
+{
+    switch (f.builtin) {
+      case Builtin::Malloc: {
+        uint64_t size = static_cast<uint64_t>(args[0]);
+        heapNext_ = alignUp(heapNext_, 16);
+        uint64_t addr = heapNext_;
+        heapNext_ += alignUp(std::max<uint64_t>(size, 1), 16);
+        return static_cast<int64_t>(addr);
+      }
+      case Builtin::Free:
+        return 0;
+      case Builtin::PrintI64:
+        result_.output.push_back(
+            strfmt("%lld", static_cast<long long>(args[0])));
+        return 0;
+      case Builtin::PrintF64: {
+        double d;
+        std::memcpy(&d, &args[0], 8);
+        result_.output.push_back(strfmt("%.6g", d));
+        return 0;
+      }
+      case Builtin::Memcpy: {
+        std::vector<uint8_t> tmp(static_cast<size_t>(args[2]));
+        memRead(static_cast<uint64_t>(args[1]), tmp.data(), tmp.size());
+        memWrite(static_cast<uint64_t>(args[0]), tmp.data(), tmp.size());
+        return 0;
+      }
+      case Builtin::Memset: {
+        std::vector<uint8_t> tmp(static_cast<size_t>(args[2]),
+                                 static_cast<uint8_t>(args[1]));
+        memWrite(static_cast<uint64_t>(args[0]), tmp.data(), tmp.size());
+        return 0;
+      }
+      case Builtin::Exit:
+        result_.exited = true;
+        result_.exitCode = args[0];
+        stopRequested_ = true;
+        return 0;
+      case Builtin::ThreadId:
+        return 0;
+      case Builtin::NodeId:
+        return 0;
+      case Builtin::BarrierWait:
+        return 0; // single-threaded: barriers are no-ops
+      case Builtin::ThreadSpawn:
+      case Builtin::ThreadJoin:
+        fatal("IRInterp does not support threads (builtin '%s')",
+              f.name.c_str());
+      case Builtin::None:
+        break;
+    }
+    panic("execBuiltin: not a builtin");
+}
+
+int64_t
+IRInterp::callFunction(uint32_t funcId, const std::vector<int64_t> &args)
+{
+    const IRFunction &f = mod_.func(funcId);
+    if (f.isBuiltin())
+        return execBuiltin(f, args);
+    if (args.size() != f.numParams())
+        fatal("IRInterp: call to '%s' with %zu args, expected %zu",
+              f.name.c_str(), args.size(), f.numParams());
+
+    Frame frame;
+    frame.funcId = funcId;
+    frame.regs.resize(f.vregTypes.size());
+    for (Slot &s : frame.regs)
+        s.i = 0;
+    for (size_t i = 0; i < args.size(); ++i)
+        frame.regs[i].i = args[i];
+    frame.stackBase = stackNext_;
+    frame.allocaAddrs.reserve(f.allocas.size());
+    for (const IRFunction::AllocaSlot &slot : f.allocas) {
+        stackNext_ -= slot.size;
+        stackNext_ &= ~static_cast<uint64_t>(slot.align - 1);
+        frame.allocaAddrs.push_back(stackNext_);
+    }
+
+    uint32_t block = 0;
+    size_t idx = 0;
+    bool returned = false;
+    int64_t retVal = 0;
+    while (!returned && !stopRequested_) {
+        if (idx >= f.blocks[block].instrs.size())
+            panic("IRInterp: fell off block %u of %s", block,
+                  f.name.c_str());
+        const IRInstr &in = f.blocks[block].instrs[idx];
+        if (++result_.instrCount > maxInstrs_)
+            fatal("IRInterp: instruction budget exceeded (%llu)",
+                  static_cast<unsigned long long>(maxInstrs_));
+        step(frame, in, block, idx, returned, retVal);
+    }
+    stackNext_ = frame.stackBase;
+    return retVal;
+}
+
+void
+IRInterp::step(Frame &frame, const IRInstr &in, uint32_t &block,
+               size_t &idx, bool &returned, int64_t &retVal)
+{
+    const IRFunction &f = mod_.func(frame.funcId);
+    auto &regs = frame.regs;
+    auto I = [&](ValueId v) -> int64_t & { return regs[v].i; };
+    auto F = [&](ValueId v) -> double & { return regs[v].f; };
+    bool jumped = false;
+
+    switch (in.op) {
+      case IROp::ConstInt: I(in.dst) = in.imm; break;
+      case IROp::ConstFloat: F(in.dst) = in.fimm; break;
+      // Integer arithmetic wraps modulo 2^64 (workload PRNGs rely on
+      // it), so compute in unsigned to avoid signed-overflow UB.
+      case IROp::Add:
+        I(in.dst) = static_cast<int64_t>(static_cast<uint64_t>(I(in.a)) +
+                                         static_cast<uint64_t>(I(in.b)));
+        break;
+      case IROp::Sub:
+        I(in.dst) = static_cast<int64_t>(static_cast<uint64_t>(I(in.a)) -
+                                         static_cast<uint64_t>(I(in.b)));
+        break;
+      case IROp::Mul:
+        I(in.dst) = static_cast<int64_t>(static_cast<uint64_t>(I(in.a)) *
+                                         static_cast<uint64_t>(I(in.b)));
+        break;
+      case IROp::SDiv:
+        if (I(in.b) == 0)
+            fatal("IRInterp: division by zero in %s", f.name.c_str());
+        I(in.dst) = I(in.a) / I(in.b);
+        break;
+      case IROp::UDiv:
+        if (I(in.b) == 0)
+            fatal("IRInterp: division by zero in %s", f.name.c_str());
+        I(in.dst) = static_cast<int64_t>(static_cast<uint64_t>(I(in.a)) /
+                                         static_cast<uint64_t>(I(in.b)));
+        break;
+      case IROp::SRem:
+        if (I(in.b) == 0)
+            fatal("IRInterp: remainder by zero in %s", f.name.c_str());
+        I(in.dst) = I(in.a) % I(in.b);
+        break;
+      case IROp::URem:
+        if (I(in.b) == 0)
+            fatal("IRInterp: remainder by zero in %s", f.name.c_str());
+        I(in.dst) = static_cast<int64_t>(static_cast<uint64_t>(I(in.a)) %
+                                         static_cast<uint64_t>(I(in.b)));
+        break;
+      case IROp::And: I(in.dst) = I(in.a) & I(in.b); break;
+      case IROp::Or: I(in.dst) = I(in.a) | I(in.b); break;
+      case IROp::Xor: I(in.dst) = I(in.a) ^ I(in.b); break;
+      case IROp::Shl:
+        I(in.dst) = static_cast<int64_t>(static_cast<uint64_t>(I(in.a))
+                                         << (I(in.b) & 63));
+        break;
+      case IROp::LShr:
+        I(in.dst) = static_cast<int64_t>(static_cast<uint64_t>(I(in.a)) >>
+                                         (I(in.b) & 63));
+        break;
+      case IROp::AShr: I(in.dst) = I(in.a) >> (I(in.b) & 63); break;
+      case IROp::Neg:
+        I(in.dst) = static_cast<int64_t>(
+            -static_cast<uint64_t>(I(in.a)));
+        break;
+      case IROp::FAdd: F(in.dst) = F(in.a) + F(in.b); break;
+      case IROp::FSub: F(in.dst) = F(in.a) - F(in.b); break;
+      case IROp::FMul: F(in.dst) = F(in.a) * F(in.b); break;
+      case IROp::FDiv: F(in.dst) = F(in.a) / F(in.b); break;
+      case IROp::FNeg: F(in.dst) = -F(in.a); break;
+      case IROp::ICmp:
+        I(in.dst) = evalIntCond(in.cond, I(in.a), I(in.b)) ? 1 : 0;
+        break;
+      case IROp::FCmp:
+        I(in.dst) = evalFloatCond(in.cond, F(in.a), F(in.b)) ? 1 : 0;
+        break;
+      case IROp::SIToFP: F(in.dst) = static_cast<double>(I(in.a)); break;
+      case IROp::FPToSI: I(in.dst) = static_cast<int64_t>(F(in.a)); break;
+      case IROp::Copy: regs[in.dst] = regs[in.a]; break;
+      case IROp::AllocaAddr:
+        I(in.dst) = static_cast<int64_t>(
+            frame.allocaAddrs[static_cast<size_t>(in.imm)]);
+        break;
+      case IROp::GlobalAddr:
+        I(in.dst) = static_cast<int64_t>(globalAddrs_[in.globalId]);
+        break;
+      case IROp::TlsAddr:
+        I(in.dst) = static_cast<int64_t>(tlsAddrs_[in.globalId]);
+        break;
+      case IROp::FuncAddr:
+        I(in.dst) = static_cast<int64_t>(kCodeBase +
+                                         in.funcId * kCodeStride);
+        break;
+      case IROp::Load: {
+        uint64_t addr = static_cast<uint64_t>(I(in.a) + in.imm);
+        switch (in.type) {
+          case Type::I8: I(in.dst) = static_cast<int64_t>(
+              loadZext(addr, 1)); break;
+          case Type::I32: I(in.dst) = static_cast<int64_t>(
+              static_cast<int32_t>(loadZext(addr, 4))); break;
+          case Type::I64: case Type::Ptr:
+            I(in.dst) = static_cast<int64_t>(loadZext(addr, 8)); break;
+          case Type::F64: {
+            uint64_t bits = loadZext(addr, 8);
+            std::memcpy(&F(in.dst), &bits, 8);
+            break;
+          }
+          default: panic("load: bad type");
+        }
+        break;
+      }
+      case IROp::Store: {
+        uint64_t addr = static_cast<uint64_t>(I(in.a) + in.imm);
+        switch (in.type) {
+          case Type::I8: storeTrunc(addr,
+              static_cast<uint64_t>(I(in.b)), 1); break;
+          case Type::I32: storeTrunc(addr,
+              static_cast<uint64_t>(I(in.b)), 4); break;
+          case Type::I64: case Type::Ptr: storeTrunc(addr,
+              static_cast<uint64_t>(I(in.b)), 8); break;
+          case Type::F64: {
+            uint64_t bits;
+            std::memcpy(&bits, &F(in.b), 8);
+            storeTrunc(addr, bits, 8);
+            break;
+          }
+          default: panic("store: bad type");
+        }
+        break;
+      }
+      case IROp::LoadIdx: {
+        uint64_t addr = static_cast<uint64_t>(I(in.a) + I(in.b) * in.imm);
+        switch (in.type) {
+          case Type::I8: I(in.dst) = static_cast<int64_t>(
+              loadZext(addr, 1)); break;
+          case Type::I32: I(in.dst) = static_cast<int64_t>(
+              static_cast<int32_t>(loadZext(addr, 4))); break;
+          case Type::I64: case Type::Ptr:
+            I(in.dst) = static_cast<int64_t>(loadZext(addr, 8)); break;
+          case Type::F64: {
+            uint64_t bits = loadZext(addr, 8);
+            std::memcpy(&F(in.dst), &bits, 8);
+            break;
+          }
+          default: panic("load_idx: bad type");
+        }
+        break;
+      }
+      case IROp::StoreIdx: {
+        uint64_t addr = static_cast<uint64_t>(I(in.a) + I(in.b) * in.imm);
+        ValueId v = in.args[0];
+        switch (in.type) {
+          case Type::I8: storeTrunc(addr,
+              static_cast<uint64_t>(I(v)), 1); break;
+          case Type::I32: storeTrunc(addr,
+              static_cast<uint64_t>(I(v)), 4); break;
+          case Type::I64: case Type::Ptr: storeTrunc(addr,
+              static_cast<uint64_t>(I(v)), 8); break;
+          case Type::F64: {
+            uint64_t bits;
+            std::memcpy(&bits, &F(v), 8);
+            storeTrunc(addr, bits, 8);
+            break;
+          }
+          default: panic("store_idx: bad type");
+        }
+        break;
+      }
+      case IROp::AtomicAdd: {
+        uint64_t addr = static_cast<uint64_t>(I(in.a));
+        int64_t old = static_cast<int64_t>(loadZext(addr, 8));
+        storeTrunc(addr, static_cast<uint64_t>(old + I(in.b)), 8);
+        I(in.dst) = old;
+        break;
+      }
+      case IROp::Br:
+        block = in.target;
+        idx = 0;
+        jumped = true;
+        break;
+      case IROp::CondBr:
+        block = I(in.a) != 0 ? in.target : in.target2;
+        idx = 0;
+        jumped = true;
+        break;
+      case IROp::Ret:
+        returned = true;
+        if (f.retType != Type::Void) {
+            if (f.retType == Type::F64)
+                std::memcpy(&retVal, &F(in.a), 8);
+            else
+                retVal = I(in.a);
+        }
+        break;
+      case IROp::Call: {
+        std::vector<int64_t> args;
+        args.reserve(in.args.size());
+        const IRFunction &callee = mod_.func(in.funcId);
+        for (size_t i = 0; i < in.args.size(); ++i) {
+            ValueId arg = in.args[i];
+            if (f.vregTypes[arg] == Type::F64) {
+                int64_t bits;
+                std::memcpy(&bits, &F(arg), 8);
+                args.push_back(bits);
+            } else {
+                args.push_back(I(arg));
+            }
+        }
+        int64_t r = callFunction(in.funcId, args);
+        if (in.dst != kNoValue) {
+            if (callee.retType == Type::F64)
+                std::memcpy(&F(in.dst), &r, 8);
+            else
+                I(in.dst) = r;
+        }
+        break;
+      }
+      case IROp::CallInd: {
+        uint64_t addr = static_cast<uint64_t>(I(in.a));
+        if (addr < kCodeBase || (addr - kCodeBase) % kCodeStride != 0)
+            fatal("IRInterp: indirect call to non-code address 0x%llx",
+                  static_cast<unsigned long long>(addr));
+        uint32_t funcId =
+            static_cast<uint32_t>((addr - kCodeBase) / kCodeStride);
+        if (funcId >= mod_.functions.size())
+            fatal("IRInterp: indirect call to bad function %u", funcId);
+        std::vector<int64_t> args;
+        const IRFunction &callee = mod_.func(funcId);
+        for (size_t i = 0; i < in.args.size(); ++i) {
+            ValueId arg = in.args[i];
+            if (f.vregTypes[arg] == Type::F64) {
+                int64_t bits;
+                std::memcpy(&bits, &F(arg), 8);
+                args.push_back(bits);
+            } else {
+                args.push_back(I(arg));
+            }
+        }
+        int64_t r = callFunction(funcId, args);
+        if (in.dst != kNoValue) {
+            if (callee.retType == Type::F64)
+                std::memcpy(&F(in.dst), &r, 8);
+            else
+                I(in.dst) = r;
+        }
+        break;
+      }
+      case IROp::MigPoint:
+        break; // no-op at the IR level
+    }
+
+    if (!jumped && !returned)
+        ++idx;
+}
+
+} // namespace xisa

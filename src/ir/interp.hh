@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A reference interpreter for BIR.
+ *
+ * Executes a module directly at the IR level, with an idealized flat
+ * memory and host-side builtins. It exists for differential testing: the
+ * per-ISA backends plus machine interpreters must produce exactly the
+ * same observable output (printed values, return code, final global
+ * state) as this interpreter for every workload. Single-threaded only;
+ * thread builtins are rejected.
+ */
+
+#ifndef XISA_IR_INTERP_HH
+#define XISA_IR_INTERP_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace xisa {
+
+/** Observable result of an IR-level run. */
+struct IRRunResult {
+    int64_t retVal = 0;            ///< entry function return value
+    int64_t exitCode = 0;          ///< value passed to exit(), if any
+    bool exited = false;           ///< exit() was called
+    std::vector<std::string> output; ///< print_* builtin records
+    uint64_t instrCount = 0;       ///< IR instructions executed
+};
+
+/** Reference IR interpreter. */
+class IRInterp
+{
+  public:
+    /**
+     * @param mod module to execute (must outlive the interpreter)
+     * @param maxInstrs execution budget; exceeding it is fatal()
+     */
+    explicit IRInterp(const Module &mod, uint64_t maxInstrs = 1ull << 32);
+
+    /** Run `funcId` with integer/pointer arguments. */
+    IRRunResult run(uint32_t funcId, const std::vector<int64_t> &args = {});
+
+    /** Run the module entry function. */
+    IRRunResult runEntry() { return run(mod_.entryFuncId); }
+
+    /** Read bytes of a global after a run (for state comparison). */
+    std::vector<uint8_t> readGlobal(uint32_t globalId, uint64_t len = 0);
+
+  private:
+    /** 64-bit value: integer or double, by static type. */
+    union Slot {
+        int64_t i;
+        double f;
+    };
+
+    struct Frame {
+        uint32_t funcId = 0;
+        std::vector<Slot> regs;
+        std::vector<uint64_t> allocaAddrs;
+        uint64_t stackBase = 0; ///< bump-stack position to restore
+    };
+
+    uint64_t allocGlobals();
+    int64_t callFunction(uint32_t funcId, const std::vector<int64_t> &args);
+    int64_t execBuiltin(const IRFunction &f,
+                        const std::vector<int64_t> &args);
+    void step(Frame &frame, const IRInstr &in, uint32_t &block,
+              size_t &idx, bool &returned, int64_t &retVal);
+
+    // Flat byte memory keyed by 4 KiB page.
+    uint8_t *pagePtr(uint64_t addr);
+    void memWrite(uint64_t addr, const void *src, size_t n);
+    void memRead(uint64_t addr, void *dst, size_t n);
+    uint64_t loadZext(uint64_t addr, int size);
+    void storeTrunc(uint64_t addr, uint64_t value, int size);
+
+    const Module &mod_;
+    uint64_t maxInstrs_;
+    std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+    std::vector<uint64_t> globalAddrs_;
+    std::vector<uint64_t> tlsAddrs_;
+    uint64_t heapNext_ = 0;
+    uint64_t stackNext_ = 0;
+    IRRunResult result_;
+    bool stopRequested_ = false;
+};
+
+} // namespace xisa
+
+#endif // XISA_IR_INTERP_HH

@@ -1,0 +1,442 @@
+#include "ir/ir.hh"
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+int
+typeSize(Type type)
+{
+    switch (type) {
+      case Type::Void: return 0;
+      case Type::I8: return 1;
+      case Type::I32: return 4;
+      case Type::I64: return 8;
+      case Type::F64: return 8;
+      case Type::Ptr: return 8;
+    }
+    return 0;
+}
+
+int
+typeAlign(Type type)
+{
+    return type == Type::Void ? 1 : typeSize(type);
+}
+
+const char *
+typeName(Type type)
+{
+    switch (type) {
+      case Type::Void: return "void";
+      case Type::I8: return "i8";
+      case Type::I32: return "i32";
+      case Type::I64: return "i64";
+      case Type::F64: return "f64";
+      case Type::Ptr: return "ptr";
+    }
+    return "?";
+}
+
+bool
+isIntLike(Type type)
+{
+    return type == Type::I8 || type == Type::I32 || type == Type::I64 ||
+           type == Type::Ptr;
+}
+
+const char *
+irOpName(IROp op)
+{
+    switch (op) {
+      case IROp::ConstInt: return "const";
+      case IROp::ConstFloat: return "fconst";
+      case IROp::Add: return "add";
+      case IROp::Sub: return "sub";
+      case IROp::Mul: return "mul";
+      case IROp::SDiv: return "sdiv";
+      case IROp::UDiv: return "udiv";
+      case IROp::SRem: return "srem";
+      case IROp::URem: return "urem";
+      case IROp::And: return "and";
+      case IROp::Or: return "or";
+      case IROp::Xor: return "xor";
+      case IROp::Shl: return "shl";
+      case IROp::LShr: return "lshr";
+      case IROp::AShr: return "ashr";
+      case IROp::Neg: return "neg";
+      case IROp::FAdd: return "fadd";
+      case IROp::FSub: return "fsub";
+      case IROp::FMul: return "fmul";
+      case IROp::FDiv: return "fdiv";
+      case IROp::FNeg: return "fneg";
+      case IROp::ICmp: return "icmp";
+      case IROp::FCmp: return "fcmp";
+      case IROp::SIToFP: return "sitofp";
+      case IROp::FPToSI: return "fptosi";
+      case IROp::Copy: return "copy";
+      case IROp::AllocaAddr: return "alloca_addr";
+      case IROp::GlobalAddr: return "global_addr";
+      case IROp::TlsAddr: return "tls_addr";
+      case IROp::FuncAddr: return "func_addr";
+      case IROp::Load: return "load";
+      case IROp::Store: return "store";
+      case IROp::LoadIdx: return "load_idx";
+      case IROp::StoreIdx: return "store_idx";
+      case IROp::AtomicAdd: return "atomic_add";
+      case IROp::Br: return "br";
+      case IROp::CondBr: return "cond_br";
+      case IROp::Ret: return "ret";
+      case IROp::Call: return "call";
+      case IROp::CallInd: return "call_ind";
+      case IROp::MigPoint: return "migpoint";
+    }
+    return "?";
+}
+
+bool
+irIsTerminator(IROp op)
+{
+    return op == IROp::Br || op == IROp::CondBr || op == IROp::Ret;
+}
+
+const IRFunction &
+Module::func(uint32_t id) const
+{
+    if (id >= functions.size())
+        panic("Module::func: bad function id %u", id);
+    return functions[id];
+}
+
+IRFunction &
+Module::func(uint32_t id)
+{
+    if (id >= functions.size())
+        panic("Module::func: bad function id %u", id);
+    return functions[id];
+}
+
+const GlobalVar &
+Module::global(uint32_t id) const
+{
+    if (id >= globals.size())
+        panic("Module::global: bad global id %u", id);
+    return globals[id];
+}
+
+uint32_t
+Module::findFunc(const std::string &name) const
+{
+    for (const IRFunction &f : functions)
+        if (f.name == name)
+            return f.id;
+    fatal("Module '%s' has no function named '%s'", this->name.c_str(),
+          name.c_str());
+}
+
+size_t
+Module::numUserFuncs() const
+{
+    size_t n = 0;
+    for (const IRFunction &f : functions)
+        if (!f.isBuiltin())
+            ++n;
+    return n;
+}
+
+namespace {
+
+class Verifier
+{
+  public:
+    explicit Verifier(const Module &mod) : mod_(mod) {}
+
+    void
+    run()
+    {
+        for (size_t i = 0; i < mod_.functions.size(); ++i) {
+            if (mod_.functions[i].id != i)
+                fail("function %zu has mismatched id %u", i,
+                     mod_.functions[i].id);
+        }
+        for (size_t i = 0; i < mod_.globals.size(); ++i) {
+            const GlobalVar &g = mod_.globals[i];
+            if (g.id != i)
+                fail("global %zu has mismatched id %u", i, g.id);
+            if (g.size == 0)
+                fail("global '%s' has zero size", g.name.c_str());
+            if (g.init.size() > g.size)
+                fail("global '%s' init larger than size", g.name.c_str());
+        }
+        if (mod_.entryFuncId >= mod_.functions.size())
+            fail("entry function id %u out of range", mod_.entryFuncId);
+        for (const IRFunction &f : mod_.functions)
+            checkFunction(f);
+    }
+
+  private:
+    template <typename... Args>
+    [[noreturn]] void
+    fail(const char *fmt, Args... args)
+    {
+        std::string msg = strfmt(fmt, args...);
+        fatal("verify(%s%s): %s", mod_.name.c_str(), where_.c_str(),
+              msg.c_str());
+    }
+
+    void
+    checkValue(const IRFunction &f, ValueId v, const char *what)
+    {
+        if (v == kNoValue || v >= f.vregTypes.size())
+            fail("%s operand missing or out of range (v%u)", what, v);
+    }
+
+    void
+    checkValueType(const IRFunction &f, ValueId v, Type type,
+                   const char *what)
+    {
+        checkValue(f, v, what);
+        if (f.vregTypes[v] != type)
+            fail("%s operand v%u has type %s, expected %s", what, v,
+                 typeName(f.vregTypes[v]), typeName(type));
+    }
+
+    void
+    checkIntLike(const IRFunction &f, ValueId v, const char *what)
+    {
+        checkValue(f, v, what);
+        if (!isIntLike(f.vregTypes[v]))
+            fail("%s operand v%u must be integer-like, has %s", what, v,
+                 typeName(f.vregTypes[v]));
+    }
+
+    void
+    checkCallSignature(const IRFunction &f, const IRInstr &in,
+                       const IRFunction &callee)
+    {
+        if (in.args.size() != callee.numParams())
+            fail("call to '%s' passes %zu args, expects %zu",
+                 callee.name.c_str(), in.args.size(), callee.numParams());
+        for (size_t i = 0; i < in.args.size(); ++i) {
+            Type want = callee.paramTypes[i];
+            checkValue(f, in.args[i], "call arg");
+            Type got = f.vregTypes[in.args[i]];
+            // Ptr and I64 interconvert freely (addresses are integers).
+            bool ok = got == want ||
+                      (isIntLike(got) && isIntLike(want) &&
+                       typeSize(got) == typeSize(want));
+            if (!ok)
+                fail("call to '%s' arg %zu has type %s, expects %s",
+                     callee.name.c_str(), i, typeName(got),
+                     typeName(want));
+        }
+        if (callee.retType != Type::Void) {
+            if (in.dst == kNoValue)
+                return; // discarding a result is allowed
+            checkValue(f, in.dst, "call result");
+        } else if (in.dst != kNoValue) {
+            fail("call to void '%s' must not have a result",
+                 callee.name.c_str());
+        }
+    }
+
+    void
+    checkInstr(const IRFunction &f, const IRInstr &in, bool isLast)
+    {
+        if (irIsTerminator(in.op) != isLast)
+            fail("%s: terminator placement violation (op %s)",
+                 f.name.c_str(), irOpName(in.op));
+
+        switch (in.op) {
+          case IROp::ConstInt:
+            checkIntLike(f, in.dst, "const dst");
+            break;
+          case IROp::ConstFloat:
+            checkValueType(f, in.dst, Type::F64, "fconst dst");
+            break;
+          case IROp::Add: case IROp::Sub: case IROp::Mul:
+          case IROp::SDiv: case IROp::UDiv: case IROp::SRem:
+          case IROp::URem: case IROp::And: case IROp::Or:
+          case IROp::Xor: case IROp::Shl: case IROp::LShr:
+          case IROp::AShr:
+            checkIntLike(f, in.dst, "alu dst");
+            checkIntLike(f, in.a, "alu lhs");
+            checkIntLike(f, in.b, "alu rhs");
+            break;
+          case IROp::Neg:
+            checkIntLike(f, in.dst, "neg dst");
+            checkIntLike(f, in.a, "neg src");
+            break;
+          case IROp::FAdd: case IROp::FSub: case IROp::FMul:
+          case IROp::FDiv:
+            checkValueType(f, in.dst, Type::F64, "falu dst");
+            checkValueType(f, in.a, Type::F64, "falu lhs");
+            checkValueType(f, in.b, Type::F64, "falu rhs");
+            break;
+          case IROp::FNeg:
+            checkValueType(f, in.dst, Type::F64, "fneg dst");
+            checkValueType(f, in.a, Type::F64, "fneg src");
+            break;
+          case IROp::ICmp:
+            checkIntLike(f, in.dst, "icmp dst");
+            checkIntLike(f, in.a, "icmp lhs");
+            checkIntLike(f, in.b, "icmp rhs");
+            break;
+          case IROp::FCmp:
+            checkIntLike(f, in.dst, "fcmp dst");
+            checkValueType(f, in.a, Type::F64, "fcmp lhs");
+            checkValueType(f, in.b, Type::F64, "fcmp rhs");
+            break;
+          case IROp::SIToFP:
+            checkValueType(f, in.dst, Type::F64, "sitofp dst");
+            checkIntLike(f, in.a, "sitofp src");
+            break;
+          case IROp::FPToSI:
+            checkIntLike(f, in.dst, "fptosi dst");
+            checkValueType(f, in.a, Type::F64, "fptosi src");
+            break;
+          case IROp::Copy:
+            checkValue(f, in.dst, "copy dst");
+            checkValue(f, in.a, "copy src");
+            if (f.vregTypes[in.dst] != f.vregTypes[in.a])
+                fail("copy between mismatched types");
+            break;
+          case IROp::AllocaAddr:
+            checkValueType(f, in.dst, Type::Ptr, "alloca_addr dst");
+            if (static_cast<size_t>(in.imm) >= f.allocas.size())
+                fail("alloca_addr slot %lld out of range",
+                     static_cast<long long>(in.imm));
+            break;
+          case IROp::GlobalAddr:
+            checkValueType(f, in.dst, Type::Ptr, "global_addr dst");
+            if (in.globalId >= mod_.globals.size())
+                fail("global_addr id %u out of range", in.globalId);
+            if (mod_.globals[in.globalId].isTls)
+                fail("global_addr on TLS var '%s' (use tls_addr)",
+                     mod_.globals[in.globalId].name.c_str());
+            break;
+          case IROp::TlsAddr:
+            checkValueType(f, in.dst, Type::Ptr, "tls_addr dst");
+            if (in.globalId >= mod_.globals.size() ||
+                !mod_.globals[in.globalId].isTls)
+                fail("tls_addr target %u is not a TLS var", in.globalId);
+            break;
+          case IROp::FuncAddr:
+            checkValueType(f, in.dst, Type::Ptr, "func_addr dst");
+            if (in.funcId >= mod_.functions.size())
+                fail("func_addr id %u out of range", in.funcId);
+            break;
+          case IROp::Load:
+            checkValue(f, in.dst, "load dst");
+            checkValueType(f, in.a, Type::Ptr, "load addr");
+            if (in.type == Type::Void)
+                fail("load with void access type");
+            break;
+          case IROp::Store:
+            checkValueType(f, in.a, Type::Ptr, "store addr");
+            checkValue(f, in.b, "store value");
+            if (in.type == Type::Void)
+                fail("store with void access type");
+            break;
+          case IROp::LoadIdx:
+            checkValue(f, in.dst, "load_idx dst");
+            checkValueType(f, in.a, Type::Ptr, "load_idx base");
+            checkIntLike(f, in.b, "load_idx index");
+            if (in.imm <= 0)
+                fail("load_idx scale must be positive");
+            break;
+          case IROp::StoreIdx:
+            checkValueType(f, in.a, Type::Ptr, "store_idx base");
+            checkIntLike(f, in.b, "store_idx index");
+            if (in.args.size() != 1)
+                fail("store_idx needs exactly one value arg");
+            checkValue(f, in.args[0], "store_idx value");
+            if (in.imm <= 0)
+                fail("store_idx scale must be positive");
+            break;
+          case IROp::AtomicAdd:
+            checkValueType(f, in.dst, Type::I64, "atomic_add dst");
+            checkValueType(f, in.a, Type::Ptr, "atomic_add addr");
+            checkValueType(f, in.b, Type::I64, "atomic_add value");
+            break;
+          case IROp::Br:
+            if (in.target >= f.blocks.size())
+                fail("br target %u out of range", in.target);
+            break;
+          case IROp::CondBr:
+            checkIntLike(f, in.a, "cond_br cond");
+            if (in.target >= f.blocks.size() ||
+                in.target2 >= f.blocks.size())
+                fail("cond_br target out of range");
+            break;
+          case IROp::Ret:
+            if (f.retType == Type::Void) {
+                if (in.a != kNoValue)
+                    fail("ret with value in void function");
+            } else {
+                checkValue(f, in.a, "ret value");
+            }
+            break;
+          case IROp::Call: {
+            if (in.funcId >= mod_.functions.size())
+                fail("call target %u out of range", in.funcId);
+            checkCallSignature(f, in, mod_.functions[in.funcId]);
+            break;
+          }
+          case IROp::CallInd:
+            checkValueType(f, in.a, Type::Ptr, "call_ind target");
+            for (ValueId arg : in.args)
+                checkValue(f, arg, "call_ind arg");
+            break;
+          case IROp::MigPoint:
+            break;
+        }
+    }
+
+    void
+    checkFunction(const IRFunction &f)
+    {
+        where_ = strfmt(", fn %s", f.name.c_str());
+        if (f.isBuiltin()) {
+            if (!f.blocks.empty())
+                fail("builtin has a body");
+            return;
+        }
+        if (f.blocks.empty())
+            fail("non-builtin function has no blocks");
+        if (f.paramTypes.size() > f.vregTypes.size())
+            fail("fewer vregs than parameters");
+        for (size_t i = 0; i < f.paramTypes.size(); ++i)
+            if (f.vregTypes[i] != f.paramTypes[i])
+                fail("vreg %zu type differs from parameter type", i);
+        for (Type t : f.vregTypes)
+            if (t == Type::Void)
+                fail("void vreg");
+        for (const IRFunction::AllocaSlot &slot : f.allocas) {
+            if (slot.size == 0)
+                fail("zero-size alloca");
+            if (slot.align == 0 || (slot.align & (slot.align - 1)))
+                fail("alloca alignment must be a power of two");
+        }
+        for (const BasicBlock &bb : f.blocks) {
+            if (bb.instrs.empty())
+                fail("empty basic block");
+            for (size_t i = 0; i < bb.instrs.size(); ++i)
+                checkInstr(f, bb.instrs[i], i + 1 == bb.instrs.size());
+        }
+        where_.clear();
+    }
+
+    const Module &mod_;
+    std::string where_;
+};
+
+} // namespace
+
+void
+Module::verify() const
+{
+    Verifier(*this).run();
+}
+
+} // namespace xisa

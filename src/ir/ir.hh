@@ -1,0 +1,199 @@
+/**
+ * @file
+ * BIR -- the Boundary Intermediate Representation.
+ *
+ * BIR plays the role LLVM bitcode plays in the paper's toolchain
+ * (Section 5.2): workloads are expressed once in BIR, the migration-point
+ * insertion pass runs on BIR, call-site liveness is computed on BIR, and
+ * per-ISA backends lower BIR to Aether64 / Xeno64 machine code with
+ * stackmap metadata keyed by BIR value ids (which is what makes the
+ * metadata comparable across ISAs).
+ *
+ * BIR is a typed, non-SSA register machine: each function owns a set of
+ * mutable virtual registers; basic blocks end in exactly one terminator.
+ */
+
+#ifndef XISA_IR_IR_HH
+#define XISA_IR_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh" // for Cond
+
+namespace xisa {
+
+/** Primitive BIR types. Sizes/alignments are ISA-independent (see §5.2.2
+ *  footnote 2 of the paper: ARM64 and x86-64 agree on primitives). */
+enum class Type : uint8_t { Void, I8, I32, I64, F64, Ptr };
+
+/** Size of a type in bytes (Void is 0). */
+int typeSize(Type type);
+/** Natural alignment of a type in bytes. */
+int typeAlign(Type type);
+/** Short type name ("i64", "ptr", ...). */
+const char *typeName(Type type);
+/** True for I8/I32/I64/Ptr. */
+bool isIntLike(Type type);
+
+/** Index of a virtual register within a function. */
+using ValueId = uint32_t;
+/** Sentinel for "no value". */
+constexpr ValueId kNoValue = ~0u;
+
+/** BIR operations. */
+enum class IROp : uint8_t {
+    // Constants.
+    ConstInt,   ///< dst = imm (I8/I32/I64/Ptr)
+    ConstFloat, ///< dst = fimm (F64)
+    // Integer arithmetic: dst = a OP b.
+    Add, Sub, Mul, SDiv, UDiv, SRem, URem,
+    And, Or, Xor, Shl, LShr, AShr,
+    Neg,        ///< dst = -a
+    // Floating point: dst = a OP b.
+    FAdd, FSub, FMul, FDiv,
+    FNeg,       ///< dst = -a
+    // Comparison: dst (I64, 0/1) = a <cond> b.
+    ICmp, FCmp,
+    // Conversions.
+    SIToFP,     ///< dst (F64) = (double)a
+    FPToSI,     ///< dst (I64) = (int64)a, truncating
+    Copy,       ///< dst = a (same type)
+    // Memory. Allocas are declared on the function; AllocaAddr takes the
+    // slot's address. Loads/stores carry the access type in `type` and a
+    // constant displacement in `imm`.
+    AllocaAddr, ///< dst (Ptr) = address of alloca slot `imm`
+    GlobalAddr, ///< dst (Ptr) = address of global `globalId`
+    TlsAddr,    ///< dst (Ptr) = current thread's address of TLS var
+    FuncAddr,   ///< dst (Ptr) = code address of function `funcId`
+    Load,       ///< dst = *(type*)(a + imm)
+    Store,      ///< *(type*)(a + imm) = b
+    LoadIdx,    ///< dst = *(type*)(a + b * imm)   (imm = scale)
+    StoreIdx,   ///< *(type*)(a + b * imm) = c     (c in `args[0]`)
+    AtomicAdd,  ///< dst = fetch_add((i64*)a, b), sequentially consistent
+    // Control flow (terminators, except Call/CallInd).
+    Br,         ///< goto block `target`
+    CondBr,     ///< if (a != 0) goto `target` else goto `target2`
+    Ret,        ///< return a (or nothing for Void functions)
+    // Calls (non-terminators).
+    Call,       ///< dst = funcId(args...)
+    CallInd,    ///< dst = (*a)(args...) -- a holds a code address
+    // The paper's migration point (Section 5.2.1): lowered by the
+    // backend to a flag check plus a guarded call-out to the migration
+    // runtime; a stackmap is attached to the call-out.
+    MigPoint,
+};
+
+/** Textual mnemonic of a BIR op. */
+const char *irOpName(IROp op);
+/** True for Br/CondBr/Ret. */
+bool irIsTerminator(IROp op);
+
+/** One BIR instruction. */
+struct IRInstr {
+    IROp op = IROp::ConstInt;
+    Type type = Type::Void;  ///< result type / memory access type
+    Cond cond = Cond::EQ;    ///< for ICmp / FCmp
+    ValueId dst = kNoValue;
+    ValueId a = kNoValue;
+    ValueId b = kNoValue;
+    int64_t imm = 0;
+    double fimm = 0.0;
+    uint32_t target = 0;     ///< block id (Br/CondBr)
+    uint32_t target2 = 0;    ///< block id (CondBr else)
+    uint32_t funcId = 0;     ///< callee (Call) / function (FuncAddr)
+    uint32_t globalId = 0;   ///< global (GlobalAddr) / TLS var (TlsAddr)
+    std::vector<ValueId> args; ///< call arguments / StoreIdx value
+    uint32_t callSiteId = 0; ///< unique id assigned before codegen
+};
+
+/** A basic block: straight-line instructions ending in a terminator. */
+struct BasicBlock {
+    std::vector<IRInstr> instrs;
+    /** Optimization hint: nesting depth of enclosing loops. */
+    int loopDepth = 0;
+};
+
+/**
+ * Builtins are runtime-provided functions executed natively by the
+ * simulated OS (the role of musl-libc in the prototype). Per the paper's
+ * limitations (Section 5.4), threads cannot migrate while inside one.
+ */
+enum class Builtin : uint8_t {
+    None = 0,
+    Malloc,      ///< ptr malloc(i64 size)
+    Free,        ///< void free(ptr)
+    PrintI64,    ///< void print_i64(i64)
+    PrintF64,    ///< void print_f64(f64)
+    ThreadSpawn, ///< i64 tid = thread_spawn(ptr fn, i64 arg)
+    ThreadJoin,  ///< void thread_join(i64 tid)
+    BarrierWait, ///< void barrier_wait(i64 barrierId, i64 nThreads)
+    Memcpy,      ///< void memcpy(ptr dst, ptr src, i64 n)
+    Memset,      ///< void memset(ptr dst, i64 byte, i64 n)
+    Exit,        ///< void exit(i64 code)
+    ThreadId,    ///< i64 thread_id()
+    NodeId,      ///< i64 node_id() -- which machine am I running on?
+};
+
+/** A BIR function. */
+struct IRFunction {
+    std::string name;
+    uint32_t id = 0;
+    Type retType = Type::Void;
+    std::vector<Type> paramTypes; ///< params are vregs [0, nparams)
+    std::vector<Type> vregTypes;  ///< all vregs including params
+    /** Stack slot declared at entry. */
+    struct AllocaSlot {
+        uint32_t size = 0;
+        uint32_t align = 8;
+        std::string name;
+    };
+    std::vector<AllocaSlot> allocas;
+    std::vector<BasicBlock> blocks; ///< block 0 is the entry
+    Builtin builtin = Builtin::None;
+
+    bool isBuiltin() const { return builtin != Builtin::None; }
+    size_t numParams() const { return paramTypes.size(); }
+};
+
+/** A global (or thread-local) variable. */
+struct GlobalVar {
+    std::string name;
+    uint32_t id = 0;
+    uint64_t size = 0;
+    uint32_t align = 8;
+    bool isConst = false; ///< placed in .rodata
+    bool isTls = false;   ///< placed in the common-format TLS image
+    /** Initial bytes; zero-filled (.bss-style) if shorter than size. */
+    std::vector<uint8_t> init;
+};
+
+/** A whole program. */
+struct Module {
+    std::string name;
+    std::vector<IRFunction> functions;
+    std::vector<GlobalVar> globals;
+    uint32_t entryFuncId = 0;
+
+    const IRFunction &func(uint32_t id) const;
+    IRFunction &func(uint32_t id);
+    const GlobalVar &global(uint32_t id) const;
+
+    /** Find a function id by name; fatal() if absent. */
+    uint32_t findFunc(const std::string &name) const;
+
+    /**
+     * Validate structural invariants: operand/vreg ranges, types,
+     * terminator placement, branch targets, call signatures.
+     * Throws FatalError with a diagnostic on the first violation.
+     */
+    void verify() const;
+
+    /** Number of non-builtin functions. */
+    size_t numUserFuncs() const;
+};
+
+} // namespace xisa
+
+#endif // XISA_IR_IR_HH

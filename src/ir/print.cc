@@ -1,0 +1,171 @@
+#include "ir/print.hh"
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+
+std::string
+reg(const IRFunction &f, ValueId v)
+{
+    if (v == kNoValue)
+        return "_";
+    if (v < f.vregTypes.size())
+        return strfmt("%%%u:%s", v, typeName(f.vregTypes[v]));
+    return strfmt("%%%u:?", v);
+}
+
+} // namespace
+
+std::string
+printInstr(const IRFunction &f, const IRInstr &in)
+{
+    std::string out;
+    if (instrHasResult(in) && in.dst != kNoValue)
+        out += strfmt("%s = ", reg(f, in.dst).c_str());
+    out += irOpName(in.op);
+    switch (in.op) {
+      case IROp::ConstInt:
+        out += strfmt(" %lld", static_cast<long long>(in.imm));
+        break;
+      case IROp::ConstFloat:
+        out += strfmt(" %g", in.fimm);
+        break;
+      case IROp::ICmp: case IROp::FCmp:
+        out += strfmt(".%s %s, %s", condName(in.cond),
+                      reg(f, in.a).c_str(), reg(f, in.b).c_str());
+        break;
+      case IROp::AllocaAddr:
+        out += strfmt(" slot%lld", static_cast<long long>(in.imm));
+        break;
+      case IROp::GlobalAddr: case IROp::TlsAddr:
+        out += strfmt(" @g%u", in.globalId);
+        break;
+      case IROp::FuncAddr:
+        out += strfmt(" @f%u", in.funcId);
+        break;
+      case IROp::Load:
+        out += strfmt(".%s [%s + %lld]", typeName(in.type),
+                      reg(f, in.a).c_str(),
+                      static_cast<long long>(in.imm));
+        break;
+      case IROp::Store:
+        out += strfmt(".%s [%s + %lld], %s", typeName(in.type),
+                      reg(f, in.a).c_str(),
+                      static_cast<long long>(in.imm),
+                      reg(f, in.b).c_str());
+        break;
+      case IROp::LoadIdx:
+        out += strfmt(".%s [%s + %s*%lld]", typeName(in.type),
+                      reg(f, in.a).c_str(), reg(f, in.b).c_str(),
+                      static_cast<long long>(in.imm));
+        break;
+      case IROp::StoreIdx:
+        out += strfmt(".%s [%s + %s*%lld], %s", typeName(in.type),
+                      reg(f, in.a).c_str(), reg(f, in.b).c_str(),
+                      static_cast<long long>(in.imm),
+                      reg(f, in.args[0]).c_str());
+        break;
+      case IROp::Br:
+        out += strfmt(" bb%u", in.target);
+        break;
+      case IROp::CondBr:
+        out += strfmt(" %s, bb%u, bb%u", reg(f, in.a).c_str(),
+                      in.target, in.target2);
+        break;
+      case IROp::Ret:
+        if (in.a != kNoValue)
+            out += strfmt(" %s", reg(f, in.a).c_str());
+        break;
+      case IROp::Call: {
+        out += strfmt(" @f%u(", in.funcId);
+        for (size_t i = 0; i < in.args.size(); ++i)
+            out += strfmt("%s%s", i ? ", " : "",
+                          reg(f, in.args[i]).c_str());
+        out += ")";
+        break;
+      }
+      case IROp::CallInd: {
+        out += strfmt(" *%s(", reg(f, in.a).c_str());
+        for (size_t i = 0; i < in.args.size(); ++i)
+            out += strfmt("%s%s", i ? ", " : "",
+                          reg(f, in.args[i]).c_str());
+        out += ")";
+        break;
+      }
+      case IROp::MigPoint:
+        break;
+      default:
+        // Binary/unary value forms.
+        if (in.a != kNoValue)
+            out += strfmt(" %s", reg(f, in.a).c_str());
+        if (in.b != kNoValue)
+            out += strfmt(", %s", reg(f, in.b).c_str());
+        break;
+    }
+    if (in.callSiteId)
+        out += strfmt("  ; site %u", in.callSiteId);
+    return out;
+}
+
+bool
+instrHasResult(const IRInstr &in)
+{
+    switch (in.op) {
+      case IROp::Store: case IROp::StoreIdx: case IROp::Br:
+      case IROp::CondBr: case IROp::Ret: case IROp::MigPoint:
+        return false;
+      case IROp::Call: case IROp::CallInd:
+        return in.dst != kNoValue;
+      default:
+        return true;
+    }
+}
+
+std::string
+printFunction(const Module &mod, const IRFunction &f)
+{
+    std::string out = strfmt("func @f%u %s(", f.id, f.name.c_str());
+    for (size_t i = 0; i < f.paramTypes.size(); ++i)
+        out += strfmt("%s%%%zu:%s", i ? ", " : "", i,
+                      typeName(f.paramTypes[i]));
+    out += strfmt(") -> %s", typeName(f.retType));
+    if (f.isBuiltin()) {
+        out += "  ; builtin\n";
+        return out;
+    }
+    out += strfmt("  ; %zu vregs\n", f.vregTypes.size());
+    for (size_t s = 0; s < f.allocas.size(); ++s)
+        out += strfmt("  alloca slot%zu: %u bytes align %u (%s)\n", s,
+                      f.allocas[s].size, f.allocas[s].align,
+                      f.allocas[s].name.c_str());
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+        out += strfmt("bb%zu:", b);
+        if (f.blocks[b].loopDepth)
+            out += strfmt("  ; loop depth %d", f.blocks[b].loopDepth);
+        out += "\n";
+        for (const IRInstr &in : f.blocks[b].instrs)
+            out += strfmt("    %s\n", printInstr(f, in).c_str());
+    }
+    (void)mod;
+    return out;
+}
+
+std::string
+printModule(const Module &mod)
+{
+    std::string out = strfmt("module %s (entry @f%u)\n",
+                             mod.name.c_str(), mod.entryFuncId);
+    for (const GlobalVar &g : mod.globals)
+        out += strfmt("global @g%u %s: %llu bytes align %u%s%s\n", g.id,
+                      g.name.c_str(),
+                      static_cast<unsigned long long>(g.size), g.align,
+                      g.isConst ? " const" : "",
+                      g.isTls ? " tls" : "");
+    for (const IRFunction &f : mod.functions)
+        out += printFunction(mod, f);
+    return out;
+}
+
+} // namespace xisa

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable rendering of BIR modules (the `llvm-dis` role):
+ * one line per instruction, vregs as %N with types, blocks labelled and
+ * annotated with loop depth. Used by diagnostics, the objdump-style
+ * tool, and tests that assert on structural properties.
+ */
+
+#ifndef XISA_IR_PRINT_HH
+#define XISA_IR_PRINT_HH
+
+#include <string>
+
+#include "ir/ir.hh"
+
+namespace xisa {
+
+/** True if the instruction produces a result value. */
+bool instrHasResult(const IRInstr &in);
+
+/** Render one instruction, e.g. "%5:i64 = add %3, %4". */
+std::string printInstr(const IRFunction &f, const IRInstr &in);
+
+/** Render a whole function with block labels. */
+std::string printFunction(const Module &mod, const IRFunction &f);
+
+/** Render the whole module (globals + functions). */
+std::string printModule(const Module &mod);
+
+} // namespace xisa
+
+#endif // XISA_IR_PRINT_HH

@@ -1,0 +1,406 @@
+#include "isa/isa.hh"
+
+#include <cstdlib>
+
+#include "isa/abi.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+const char *
+isaName(IsaId isa)
+{
+    return isa == IsaId::Aether64 ? "aether64" : "xeno64";
+}
+
+const char *
+condName(Cond cond)
+{
+    switch (cond) {
+      case Cond::EQ: return "eq";
+      case Cond::NE: return "ne";
+      case Cond::LT: return "lt";
+      case Cond::LE: return "le";
+      case Cond::GT: return "gt";
+      case Cond::GE: return "ge";
+      case Cond::ULT: return "ult";
+      case Cond::ULE: return "ule";
+      case Cond::UGT: return "ugt";
+      case Cond::UGE: return "uge";
+      case Cond::Always: return "al";
+    }
+    return "?";
+}
+
+Cond
+negateCond(Cond cond)
+{
+    switch (cond) {
+      case Cond::EQ: return Cond::NE;
+      case Cond::NE: return Cond::EQ;
+      case Cond::LT: return Cond::GE;
+      case Cond::LE: return Cond::GT;
+      case Cond::GT: return Cond::LE;
+      case Cond::GE: return Cond::LT;
+      case Cond::ULT: return Cond::UGE;
+      case Cond::ULE: return Cond::UGT;
+      case Cond::UGT: return Cond::ULE;
+      case Cond::UGE: return Cond::ULT;
+      case Cond::Always:
+        panic("negateCond: cannot negate 'always'");
+    }
+    panic("negateCond: bad condition");
+}
+
+const char *
+mopName(MOp op)
+{
+    switch (op) {
+      case MOp::Nop: return "nop";
+      case MOp::MovImm: return "movi";
+      case MOp::MovReg: return "mov";
+      case MOp::Add: return "add";
+      case MOp::Sub: return "sub";
+      case MOp::Mul: return "mul";
+      case MOp::SDiv: return "sdiv";
+      case MOp::UDiv: return "udiv";
+      case MOp::SRem: return "srem";
+      case MOp::URem: return "urem";
+      case MOp::And: return "and";
+      case MOp::Orr: return "orr";
+      case MOp::Eor: return "eor";
+      case MOp::Lsl: return "lsl";
+      case MOp::Lsr: return "lsr";
+      case MOp::Asr: return "asr";
+      case MOp::AddImm: return "addi";
+      case MOp::SubImm: return "subi";
+      case MOp::MulImm: return "muli";
+      case MOp::AndImm: return "andi";
+      case MOp::OrrImm: return "orri";
+      case MOp::EorImm: return "eori";
+      case MOp::LslImm: return "lsli";
+      case MOp::LsrImm: return "lsri";
+      case MOp::AsrImm: return "asri";
+      case MOp::Neg: return "neg";
+      case MOp::Cmp: return "cmp";
+      case MOp::CmpImm: return "cmpi";
+      case MOp::CSet: return "cset";
+      case MOp::FAdd: return "fadd";
+      case MOp::FSub: return "fsub";
+      case MOp::FMul: return "fmul";
+      case MOp::FDiv: return "fdiv";
+      case MOp::FNeg: return "fneg";
+      case MOp::FMovReg: return "fmov";
+      case MOp::FMovImm: return "fmovi";
+      case MOp::FCmp: return "fcmp";
+      case MOp::SCvtF: return "scvtf";
+      case MOp::FCvtS: return "fcvts";
+      case MOp::Ldr: return "ldr";
+      case MOp::Ldr32: return "ldr32";
+      case MOp::LdrS32: return "ldrs32";
+      case MOp::LdrB: return "ldrb";
+      case MOp::Str: return "str";
+      case MOp::Str32: return "str32";
+      case MOp::StrB: return "strb";
+      case MOp::FLdr: return "fldr";
+      case MOp::FStr: return "fstr";
+      case MOp::LdrIdx: return "ldrx";
+      case MOp::Ldr32Idx: return "ldr32x";
+      case MOp::LdrBIdx: return "ldrbx";
+      case MOp::StrIdx: return "strx";
+      case MOp::Str32Idx: return "str32x";
+      case MOp::StrBIdx: return "strbx";
+      case MOp::FLdrIdx: return "fldrx";
+      case MOp::FStrIdx: return "fstrx";
+      case MOp::Push: return "push";
+      case MOp::Pop: return "pop";
+      case MOp::B: return "b";
+      case MOp::BCond: return "b.cc";
+      case MOp::Bl: return "bl";
+      case MOp::Blr: return "blr";
+      case MOp::Ret: return "ret";
+      case MOp::AtomicAdd: return "xadd";
+      case MOp::TlsBase: return "tlsbase";
+      case MOp::SysCall: return "syscall";
+      case MOp::Hlt: return "hlt";
+      case MOp::NumOps: break;
+    }
+    return "?";
+}
+
+bool
+mopTouchesMemory(MOp op)
+{
+    switch (op) {
+      case MOp::Ldr: case MOp::Ldr32: case MOp::LdrS32: case MOp::LdrB:
+      case MOp::Str: case MOp::Str32: case MOp::StrB:
+      case MOp::FLdr: case MOp::FStr:
+      case MOp::LdrIdx: case MOp::Ldr32Idx: case MOp::LdrBIdx:
+      case MOp::StrIdx: case MOp::Str32Idx: case MOp::StrBIdx:
+      case MOp::FLdrIdx: case MOp::FStrIdx:
+      case MOp::Push: case MOp::Pop:
+      case MOp::AtomicAdd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+mopIsControl(MOp op)
+{
+    switch (op) {
+      case MOp::B: case MOp::BCond: case MOp::Bl: case MOp::Blr:
+      case MOp::Ret: case MOp::Hlt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+/** Bytes of significant immediate, in 16-bit granules (>=1). */
+int
+immGranules16(int64_t imm)
+{
+    uint64_t u = static_cast<uint64_t>(imm);
+    int granules = 1;
+    for (int g = 3; g >= 1; --g) {
+        if ((u >> (16 * g)) & 0xffff) {
+            granules = g + 1;
+            break;
+        }
+    }
+    // All-ones upper halves (small negative numbers) encode in one
+    // granule via movn-style encodings.
+    if (imm < 0 && imm >= -0x8000)
+        granules = 1;
+    return granules;
+}
+
+uint8_t
+xenoImmBytes(int64_t imm)
+{
+    if (imm == 0)
+        return 0;
+    if (imm >= -128 && imm < 128)
+        return 1;
+    if (imm >= INT32_MIN && imm <= INT32_MAX)
+        return 4;
+    return 8;
+}
+
+uint8_t
+xenoSize(const MachInstr &in)
+{
+    // Model of x86-64 density: short stack ops, REX prefix for high
+    // registers, opcode escape for "SSE-like" FP ops, displacement and
+    // immediate bytes as needed.
+    auto rex = [&](bool useRm) -> int {
+        return (in.rd >= 8 || in.rn >= 8 || (useRm && in.rm >= 8)) ? 1 : 0;
+    };
+    switch (in.op) {
+      case MOp::Nop:
+        return 1;
+      case MOp::Push: case MOp::Pop:
+        return static_cast<uint8_t>(1 + (in.rd >= 8 ? 1 : 0));
+      case MOp::Ret:
+        return 1;
+      case MOp::Hlt: case MOp::SysCall:
+        return 2;
+      case MOp::B:
+        return 5;
+      case MOp::BCond:
+        return 6;
+      case MOp::Bl:
+        return 5;
+      case MOp::Blr:
+        return static_cast<uint8_t>(2 + (in.rn >= 8 ? 1 : 0));
+      case MOp::MovImm: {
+        int64_t imm = in.imm;
+        if (imm >= INT32_MIN && imm <= INT32_MAX)
+            return static_cast<uint8_t>(5 + (in.rd >= 8 ? 1 : 0));
+        return static_cast<uint8_t>(9 + (in.rd >= 8 ? 1 : 0)); // movabs
+      }
+      case MOp::FMovImm:
+        // Materialized via a rip-relative constant load.
+        return 8;
+      case MOp::TlsBase:
+        return 9; // segment-override mov
+      case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
+      case MOp::FNeg: case MOp::FMovReg: case MOp::FCmp:
+      case MOp::SCvtF: case MOp::FCvtS:
+        return static_cast<uint8_t>(4 + rex(true));
+      case MOp::FLdr: case MOp::FStr:
+        return static_cast<uint8_t>(4 + rex(false) + xenoImmBytes(in.imm));
+      case MOp::FLdrIdx: case MOp::FStrIdx:
+        return static_cast<uint8_t>(5 + rex(true));
+      case MOp::Ldr: case MOp::Ldr32: case MOp::LdrS32: case MOp::LdrB:
+      case MOp::Str: case MOp::Str32: case MOp::StrB:
+        return static_cast<uint8_t>(2 + rex(false) + xenoImmBytes(in.imm));
+      case MOp::LdrIdx: case MOp::Ldr32Idx: case MOp::LdrBIdx:
+      case MOp::StrIdx: case MOp::Str32Idx: case MOp::StrBIdx:
+        return static_cast<uint8_t>(3 + rex(true)); // SIB byte
+      case MOp::AtomicAdd:
+        return static_cast<uint8_t>(4 + rex(true)); // lock xadd
+      case MOp::CSet:
+        return 4; // setcc + movzx
+      case MOp::Cmp:
+        return static_cast<uint8_t>(2 + rex(true));
+      case MOp::CmpImm:
+        return static_cast<uint8_t>(2 + rex(false) + xenoImmBytes(in.imm));
+      case MOp::AddImm: case MOp::SubImm: case MOp::AndImm:
+      case MOp::OrrImm: case MOp::EorImm:
+        return static_cast<uint8_t>(2 + rex(false) +
+                                    std::max<uint8_t>(1,
+                                        xenoImmBytes(in.imm)));
+      case MOp::MulImm:
+        return static_cast<uint8_t>(3 + rex(false) +
+                                    std::max<uint8_t>(1,
+                                        xenoImmBytes(in.imm)));
+      case MOp::LslImm: case MOp::LsrImm: case MOp::AsrImm:
+        return static_cast<uint8_t>(3 + rex(false));
+      case MOp::SDiv: case MOp::UDiv: case MOp::SRem: case MOp::URem:
+        // cqo + idiv, plus the moves the 2-address form needs.
+        return static_cast<uint8_t>(5 + rex(true));
+      default:
+        // Generic 2-address ALU register form.
+        return static_cast<uint8_t>(2 + rex(true));
+    }
+}
+
+uint8_t
+aetherSize(const MachInstr &in)
+{
+    // Fixed-width RISC; wide immediates become movz/movk sequences and
+    // large displacements need an address-materialization instruction.
+    switch (in.op) {
+      case MOp::MovImm:
+        return static_cast<uint8_t>(4 * immGranules16(in.imm));
+      case MOp::FMovImm:
+        return 8; // adrp + ldr from a literal pool
+      case MOp::AddImm: case MOp::SubImm: case MOp::CmpImm:
+      case MOp::AndImm: case MOp::OrrImm: case MOp::EorImm:
+      case MOp::MulImm:
+        return static_cast<uint8_t>(
+            (in.imm >= -2048 && in.imm < 2048) ? 4 : 8);
+      case MOp::Ldr: case MOp::Ldr32: case MOp::LdrS32: case MOp::LdrB:
+      case MOp::Str: case MOp::Str32: case MOp::StrB:
+      case MOp::FLdr: case MOp::FStr:
+        return static_cast<uint8_t>(
+            (in.imm >= -256 && in.imm < 16384) ? 4 : 8);
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+uint8_t
+encodedSize(const MachInstr &instr, IsaId isa)
+{
+    uint8_t size =
+        isa == IsaId::Aether64 ? aetherSize(instr) : xenoSize(instr);
+    XISA_CHECK(size >= 1 && size <= 16, "instruction size out of range");
+    return size;
+}
+
+std::string
+disasm(const MachInstr &in, IsaId isa)
+{
+    const AbiInfo &abi = AbiInfo::of(isa);
+    auto g = [&](int r) { return abi.gprName(r); };
+    auto f = [&](int r) { return abi.fprName(r); };
+    const char *name = mopName(in.op);
+
+    switch (in.op) {
+      case MOp::Nop: case MOp::Ret: case MOp::Hlt:
+        return name;
+      case MOp::MovImm:
+        return strfmt("%s %s, #%lld", name, g(in.rd).c_str(),
+                      static_cast<long long>(in.imm));
+      case MOp::MovReg: case MOp::Neg:
+        return strfmt("%s %s, %s", name, g(in.rd).c_str(),
+                      g(in.rn).c_str());
+      case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::SDiv:
+      case MOp::UDiv: case MOp::SRem: case MOp::URem: case MOp::And:
+      case MOp::Orr: case MOp::Eor: case MOp::Lsl: case MOp::Lsr:
+      case MOp::Asr:
+        return strfmt("%s %s, %s, %s", name, g(in.rd).c_str(),
+                      g(in.rn).c_str(), g(in.rm).c_str());
+      case MOp::AddImm: case MOp::SubImm: case MOp::MulImm:
+      case MOp::AndImm: case MOp::OrrImm: case MOp::EorImm:
+      case MOp::LslImm: case MOp::LsrImm: case MOp::AsrImm:
+        return strfmt("%s %s, %s, #%lld", name, g(in.rd).c_str(),
+                      g(in.rn).c_str(), static_cast<long long>(in.imm));
+      case MOp::Cmp:
+        return strfmt("%s %s, %s", name, g(in.rn).c_str(),
+                      g(in.rm).c_str());
+      case MOp::CmpImm:
+        return strfmt("%s %s, #%lld", name, g(in.rn).c_str(),
+                      static_cast<long long>(in.imm));
+      case MOp::CSet:
+        return strfmt("%s %s, %s", name, g(in.rd).c_str(),
+                      condName(in.cond));
+      case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
+        return strfmt("%s %s, %s, %s", name, f(in.rd).c_str(),
+                      f(in.rn).c_str(), f(in.rm).c_str());
+      case MOp::FNeg: case MOp::FMovReg:
+        return strfmt("%s %s, %s", name, f(in.rd).c_str(),
+                      f(in.rn).c_str());
+      case MOp::FMovImm:
+        return strfmt("%s %s, #0x%llx", name, f(in.rd).c_str(),
+                      static_cast<unsigned long long>(in.imm));
+      case MOp::FCmp:
+        return strfmt("%s %s, %s", name, f(in.rn).c_str(),
+                      f(in.rm).c_str());
+      case MOp::SCvtF:
+        return strfmt("%s %s, %s", name, f(in.rd).c_str(),
+                      g(in.rn).c_str());
+      case MOp::FCvtS:
+        return strfmt("%s %s, %s", name, g(in.rd).c_str(),
+                      f(in.rn).c_str());
+      case MOp::Ldr: case MOp::Ldr32: case MOp::LdrS32: case MOp::LdrB:
+        return strfmt("%s %s, [%s, #%lld]", name, g(in.rd).c_str(),
+                      g(in.rn).c_str(), static_cast<long long>(in.imm));
+      case MOp::Str: case MOp::Str32: case MOp::StrB:
+        return strfmt("%s %s, [%s, #%lld]", name, g(in.rd).c_str(),
+                      g(in.rn).c_str(), static_cast<long long>(in.imm));
+      case MOp::FLdr: case MOp::FStr:
+        return strfmt("%s %s, [%s, #%lld]", name, f(in.rd).c_str(),
+                      g(in.rn).c_str(), static_cast<long long>(in.imm));
+      case MOp::LdrIdx: case MOp::Ldr32Idx: case MOp::LdrBIdx:
+      case MOp::StrIdx: case MOp::Str32Idx: case MOp::StrBIdx:
+        return strfmt("%s %s, [%s, %s, #%lld]", name, g(in.rd).c_str(),
+                      g(in.rn).c_str(), g(in.rm).c_str(),
+                      static_cast<long long>(in.imm));
+      case MOp::FLdrIdx: case MOp::FStrIdx:
+        return strfmt("%s %s, [%s, %s, #%lld]", name, f(in.rd).c_str(),
+                      g(in.rn).c_str(), g(in.rm).c_str(),
+                      static_cast<long long>(in.imm));
+      case MOp::Push: case MOp::Pop:
+        return strfmt("%s %s", name, g(in.rd).c_str());
+      case MOp::B:
+        return strfmt("%s .%u", name, in.target);
+      case MOp::BCond:
+        return strfmt("b.%s .%u", condName(in.cond), in.target);
+      case MOp::Bl:
+        return strfmt("%s @f%u (site %u)", name, in.target, in.callSiteId);
+      case MOp::Blr:
+        return strfmt("%s %s (site %u)", name, g(in.rn).c_str(),
+                      in.callSiteId);
+      case MOp::AtomicAdd:
+        return strfmt("%s %s, [%s], %s", name, g(in.rd).c_str(),
+                      g(in.rn).c_str(), g(in.rm).c_str());
+      case MOp::TlsBase:
+        return strfmt("%s %s", name, g(in.rd).c_str());
+      case MOp::SysCall:
+        return strfmt("%s #%lld", name, static_cast<long long>(in.imm));
+      case MOp::NumOps:
+        break;
+    }
+    return "?";
+}
+
+} // namespace xisa

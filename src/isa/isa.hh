@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The two synthetic 64-bit ISAs of CrossBound.
+ *
+ * The paper migrates threads between ARMv8 (APM X-Gene 1) and x86-64
+ * (Xeon E5-1650v2). We reproduce the properties that make that hard with
+ * two synthetic ISAs that differ in exactly those dimensions:
+ *
+ *  - Aether64 (ARM-like): 31 GPRs, link register, 8 register arguments,
+ *    10 callee-saved GPRs plus 8 callee-saved FPRs, fixed 4-byte
+ *    instruction encoding.
+ *  - Xeno64 (x86-like): 16 GPRs, return address pushed on the stack,
+ *    6 register arguments, 6 callee-saved GPRs and no callee-saved FPRs,
+ *    variable 1-15 byte instruction encoding.
+ *
+ * Both share little-endian byte order and identical primitive type sizes
+ * and alignments, matching the ARM64/x86-64 pair of the paper (see
+ * Section 5.2.2, footnote 2).
+ */
+
+#ifndef XISA_ISA_ISA_HH
+#define XISA_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace xisa {
+
+/** Identifier of a synthetic instruction set architecture. */
+enum class IsaId : uint8_t {
+    Aether64 = 0, ///< ARM-like RISC
+    Xeno64 = 1,   ///< x86-like CISC
+};
+
+/** Number of ISAs supported (array sizing helper). */
+constexpr int kNumIsas = 2;
+
+/** Short lowercase name, e.g. "aether64". */
+const char *isaName(IsaId isa);
+
+/** The other ISA of the pair. */
+constexpr IsaId
+otherIsa(IsaId isa)
+{
+    return isa == IsaId::Aether64 ? IsaId::Xeno64 : IsaId::Aether64;
+}
+
+/** Condition codes used by BCond / CSet after a Cmp / FCmp. */
+enum class Cond : uint8_t {
+    EQ, NE,
+    LT, LE, GT, GE,       // signed
+    ULT, ULE, UGT, UGE,   // unsigned
+    Always,
+};
+
+/** Textual name of a condition code. */
+const char *condName(Cond cond);
+
+/** Logical negation of a condition code. */
+Cond negateCond(Cond cond);
+
+/**
+ * Machine operations. One shared enum keeps the interpreters small; each
+ * backend emits only the subset that is legal for its ISA (e.g. Push/Pop
+ * are Xeno64-only, three-address ALU forms are Aether64-only) and the
+ * verifier in machine/interp.cc enforces this.
+ */
+enum class MOp : uint8_t {
+    Nop,
+    // Data movement.
+    MovImm,   ///< rd = imm
+    MovReg,   ///< rd = rn
+    // Integer ALU, register forms: rd = rn OP rm.
+    Add, Sub, Mul, SDiv, UDiv, SRem, URem,
+    And, Orr, Eor, Lsl, Lsr, Asr,
+    // Integer ALU, immediate forms: rd = rn OP imm.
+    AddImm, SubImm, MulImm, AndImm, OrrImm, EorImm,
+    LslImm, LsrImm, AsrImm,
+    Neg,      ///< rd = -rn
+    // Compares and conditional materialization.
+    Cmp,      ///< flags = compare(rn, rm)
+    CmpImm,   ///< flags = compare(rn, imm)
+    CSet,     ///< rd = cond ? 1 : 0
+    // Floating point (f64). Register fields index the FPR file.
+    FAdd, FSub, FMul, FDiv,   ///< fd = fn OP fm
+    FNeg,                     ///< fd = -fn
+    FMovReg,                  ///< fd = fn
+    FMovImm,                  ///< fd = bit pattern imm
+    FCmp,                     ///< flags = compare(fn, fm)
+    SCvtF,    ///< fd = (double)(int64)rn   (rn is a GPR)
+    FCvtS,    ///< rd = (int64)fn, truncating (rd is a GPR)
+    // Memory. Address is rn + imm (displacement) unless noted.
+    Ldr,      ///< rd = mem64[rn + imm]
+    Ldr32,    ///< rd = zext(mem32[rn + imm])
+    LdrS32,   ///< rd = sext(mem32[rn + imm])
+    LdrB,     ///< rd = zext(mem8[rn + imm])
+    Str,      ///< mem64[rn + imm] = rd
+    Str32,    ///< mem32[rn + imm] = low32(rd)
+    StrB,     ///< mem8[rn + imm] = low8(rd)
+    FLdr,     ///< fd = mem64[rn + imm] (as f64)
+    FStr,     ///< mem64[rn + imm] = fd
+    LdrIdx,   ///< rd = mem64[rn + rm * imm]   (imm is the scale)
+    Ldr32Idx, ///< rd = zext(mem32[rn + rm * imm])
+    LdrBIdx,  ///< rd = zext(mem8[rn + rm * imm])
+    StrIdx,   ///< mem64[rn + rm * imm] = rd
+    Str32Idx, ///< mem32[rn + rm * imm] = low32(rd)
+    StrBIdx,  ///< mem8[rn + rm * imm] = low8(rd)
+    FLdrIdx,  ///< fd = mem64[rn + rm * imm]
+    FStrIdx,  ///< mem64[rn + rm * imm] = fd
+    // Stack push/pop (Xeno64 only): SP-relative with SP update.
+    Push,     ///< sp -= 8; mem64[sp] = rd
+    Pop,      ///< rd = mem64[sp]; sp += 8
+    // Control flow. `target` is an instruction index (B/BCond) or a
+    // function id (Bl).
+    B,        ///< goto target
+    BCond,    ///< if (cond) goto target
+    Bl,       ///< call function `target`; callSiteId identifies the site
+    Blr,      ///< indirect call, callee code address in rn
+    Ret,      ///< return to caller
+    // Concurrency and system.
+    AtomicAdd, ///< rd = fetch_add(mem64[rn], rm) (sequentially consistent)
+    TlsBase,   ///< rd = TLS base address of the current thread
+    SysCall,   ///< kernel call, number in imm, args per argument regs
+    Hlt,       ///< terminate the current thread
+    NumOps,
+};
+
+/** Textual mnemonic of an operation. */
+const char *mopName(MOp op);
+
+/** True if the op reads or writes simulated memory. */
+bool mopTouchesMemory(MOp op);
+
+/** True if the op is a control transfer (B/BCond/Bl/Blr/Ret/Hlt). */
+bool mopIsControl(MOp op);
+
+/**
+ * Link-time relocation attached to a MovImm whose value is a code
+ * address that is only known after the layout engine has placed all
+ * functions. The placeholder immediate is chosen so the encoded size
+ * class cannot change when the final address is patched in.
+ */
+enum class Reloc : uint8_t {
+    None = 0,
+    FuncAddr, ///< imm := entry address of function `target`
+};
+
+/**
+ * One decoded machine instruction.
+ *
+ * This is the unit both interpreters execute. `size` is the encoded byte
+ * size on the owning ISA (fixed 4 on Aether64, variable on Xeno64) and is
+ * what gives functions different byte footprints per ISA -- the reason
+ * the multi-ISA symbol alignment engine must pad functions.
+ */
+struct MachInstr {
+    MOp op = MOp::Nop;
+    Cond cond = Cond::Always;
+    uint8_t rd = 0;       ///< destination register (GPR or FPR by op)
+    uint8_t rn = 0;       ///< first source / base register
+    uint8_t rm = 0;       ///< second source / index register
+    int64_t imm = 0;      ///< immediate / displacement / scale / sysno
+    uint32_t target = 0;  ///< branch target index / callee / reloc symbol
+    uint32_t callSiteId = 0; ///< nonzero on Bl/Blr at stackmapped sites
+    uint8_t size = 0;     ///< encoded size in bytes (set by encoder)
+    Reloc reloc = Reloc::None; ///< pending link-time patch, if any
+};
+
+/** Pseudo function id marking a call-out to the migration runtime. */
+constexpr uint32_t kMigrateTarget = 0xffffffffu;
+
+/**
+ * Encoded byte size of an instruction on the given ISA.
+ *
+ * Aether64 is a fixed-width RISC: every instruction is 4 bytes, except
+ * that wide immediates are materialized as movz/movk sequences, so
+ * MovImm/FMovImm cost 4 bytes per 16 bits of significant immediate.
+ * Xeno64 models x86-64 density: 1-2 byte opcodes, a REX-like prefix when
+ * any register id >= 8, 1/4/8-byte immediates, 1-byte Push/Pop/Ret.
+ */
+uint8_t encodedSize(const MachInstr &instr, IsaId isa);
+
+/** Human-readable rendering, e.g. "add x3, x4, x5". */
+std::string disasm(const MachInstr &instr, IsaId isa);
+
+} // namespace xisa
+
+#endif // XISA_ISA_ISA_HH

@@ -1,0 +1,66 @@
+#include "machine/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.lineBytes == 0 || (cfg.lineBytes & (cfg.lineBytes - 1)))
+        fatal("cache line size must be a power of two");
+    if (cfg.assoc == 0 || cfg.sizeBytes % (cfg.lineBytes * cfg.assoc))
+        fatal("cache size must be a multiple of lineBytes * assoc");
+    numSets_ = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
+    lineShift_ = static_cast<uint32_t>(std::countr_zero(cfg.lineBytes));
+    lines_.assign(static_cast<size_t>(numSets_) * cfg.assoc, Line{});
+}
+
+uint32_t
+Cache::access(uint64_t addr)
+{
+    ++stats_.accesses;
+    ++clock_;
+    uint64_t lineAddr = addr >> lineShift_;
+    uint32_t set = static_cast<uint32_t>(lineAddr % numSets_);
+    uint64_t tag = lineAddr / numSets_;
+    Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+    Line *victim = base;
+    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = clock_;
+            return 0;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return cfg_.missPenalty;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+uint32_t
+accessThrough(Cache &l1, Cache &l2, uint64_t addr, uint32_t memPenalty)
+{
+    uint32_t penalty = l1.access(addr);
+    if (penalty == 0)
+        return 0;
+    uint32_t p2 = l2.access(addr);
+    return p2 == 0 ? penalty : penalty + p2 + memPenalty;
+}
+
+} // namespace xisa

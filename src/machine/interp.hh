@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The machine-code interpreters for Aether64 and Xeno64.
+ *
+ * One Interp instance executes one ISA's text of a multi-ISA binary on
+ * one node's timing model. The interpreter is the "CPU": it implements
+ * full call/return semantics (link register on Aether64, pushed return
+ * addresses on Xeno64), charges per-op cycle costs plus I-/D-cache and
+ * DSM penalties, and stops -- returning control to the OS layer -- on
+ * builtin call-outs, migration call-outs, syscalls, thread exit, or
+ * budget expiry. It never performs OS work itself.
+ */
+
+#ifndef XISA_MACHINE_INTERP_HH
+#define XISA_MACHINE_INTERP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "binary/multibinary.hh"
+#include "isa/abi.hh"
+#include "machine/mem.hh"
+#include "machine/node.hh"
+
+namespace xisa {
+
+/** Architectural condition flags produced by Cmp/CmpImm/FCmp. */
+struct Flags {
+    bool eq = false;
+    bool lt = false;  ///< signed less-than
+    bool ult = false; ///< unsigned less-than
+};
+
+/** Evaluate a condition code against the flags. */
+bool evalCond(Cond cond, const Flags &flags);
+
+/** Architectural state of one thread (the paper's R_i). */
+struct ThreadContext {
+    uint64_t gpr[kMaxGpr] = {};
+    double fpr[kMaxFpr] = {};
+    Flags flags;
+    CodeLoc pc;
+    uint64_t tlsBase = 0;
+    IsaId isa = IsaId::Xeno64;
+
+    // Accounting.
+    uint64_t instrs = 0;
+    uint64_t cycles = 0;
+    uint64_t dsmExtraCycles = 0; ///< cycles added by hDSM faults
+
+    uint64_t &sp(const AbiInfo &abi) { return gpr[abi.spReg]; }
+    uint64_t &fp(const AbiInfo &abi) { return gpr[abi.fpReg]; }
+};
+
+/** Why Interp::run() returned. */
+enum class StopReason {
+    Budget,      ///< instruction budget exhausted
+    Halt,        ///< thread finished (Hlt or return to exit sentinel)
+    BuiltinTrap, ///< Bl/Blr to a builtin; OS must execute it
+    MigrateTrap, ///< Bl to the migration runtime (flag was set)
+    Syscall,     ///< explicit SysCall instruction
+};
+
+/** Result of one run() slice. */
+struct StepResult {
+    StopReason reason = StopReason::Budget;
+    uint64_t instrsRun = 0;
+    uint64_t cyclesRun = 0;
+    uint32_t trapFuncId = 0;   ///< builtin function id (BuiltinTrap)
+    uint32_t trapCallSite = 0; ///< call-site id (MigrateTrap / calls)
+    int64_t sysno = 0;         ///< syscall number (Syscall)
+    uint64_t exitValue = 0;    ///< return value of the thread (Halt)
+};
+
+/** Observer of migration-point flag checks (for the gap profiler). */
+class MigCheckObserver
+{
+  public:
+    virtual ~MigCheckObserver() = default;
+    /**
+     * Called each time a thread executes a migration-point check.
+     * @param instrsNow the thread's live instruction count (ctx.instrs
+     *        is only folded in at the end of a run slice)
+     */
+    virtual void onMigCheck(const ThreadContext &ctx, uint32_t siteId,
+                            uint64_t instrsNow) = 0;
+};
+
+/** Machine-code interpreter for one ISA of one binary. */
+class Interp
+{
+  public:
+    /**
+     * @param bin the multi-ISA binary to execute
+     * @param isa which text image to run
+     * @param spec timing model of the node this interpreter belongs to
+     */
+    Interp(const MultiIsaBinary &bin, IsaId isa, const NodeSpec &spec);
+
+    /**
+     * Run `ctx` for at most `maxInstrs` instructions.
+     *
+     * @param mem  memory path (local or DSM-backed)
+     * @param core private core state (caches, counters) to charge
+     * @param l2   the node's shared L2
+     *
+     * On BuiltinTrap/MigrateTrap/Syscall the PC is left AT the trapping
+     * instruction; the OS completes the operation and calls
+     * finishTrap() (or performs a migration) to advance.
+     */
+    StepResult run(ThreadContext &ctx, MemPort &mem, Core &core,
+                   Cache &l2, uint64_t maxInstrs);
+
+    /**
+     * Complete a trapped call-out: write an integer or FP result (per
+     * the callee's return type), and advance the PC past the call.
+     */
+    void finishTrap(ThreadContext &ctx, Type retType, int64_t intResult,
+                    double fpResult);
+
+    /** Read the arguments of a trapped builtin call per the ABI. */
+    std::vector<int64_t> readTrapArgs(const ThreadContext &ctx,
+                                      const IRFunction &callee) const;
+
+    /** Install (or clear) the migration-check observer. */
+    void setMigCheckObserver(MigCheckObserver *obs) { observer_ = obs; }
+
+    /** Enable per-machine-instruction execution counting. */
+    void enableProfile();
+    /** Profile counts: [funcId][machine instr index]. */
+    const std::vector<std::vector<uint64_t>> &profile() const
+    {
+        return profile_;
+    }
+
+    const MultiIsaBinary &binary() const { return bin_; }
+    IsaId isa() const { return isa_; }
+    const CodeMap &codeMap() const { return codeMap_; }
+
+  private:
+    const MultiIsaBinary &bin_;
+    IsaId isa_;
+    const AbiInfo &abi_;
+    const NodeSpec &spec_;
+    CodeMap codeMap_;
+    MigCheckObserver *observer_ = nullptr;
+    bool profiling_ = false;
+    std::vector<std::vector<uint64_t>> profile_;
+};
+
+} // namespace xisa
+
+#endif // XISA_MACHINE_INTERP_HH

@@ -1,0 +1,64 @@
+#include "machine/mem.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xisa {
+
+uint8_t *
+SimMemory::at(uint64_t addr)
+{
+    return page(addr / vm::kPageSize) + addr % vm::kPageSize;
+}
+
+bool
+SimMemory::hasPage(uint64_t vpage) const
+{
+    return pages_.count(vpage) != 0;
+}
+
+uint8_t *
+SimMemory::page(uint64_t vpage)
+{
+    auto it = pages_.find(vpage);
+    if (it == pages_.end())
+        it = pages_.emplace(vpage,
+                            std::vector<uint8_t>(vm::kPageSize, 0)).first;
+    return it->second.data();
+}
+
+void
+SimMemory::dropPage(uint64_t vpage)
+{
+    pages_.erase(vpage);
+}
+
+void
+SimMemory::read(uint64_t addr, void *dst, size_t n)
+{
+    uint8_t *d = static_cast<uint8_t *>(dst);
+    while (n > 0) {
+        size_t chunk =
+            std::min<size_t>(n, vm::kPageSize - addr % vm::kPageSize);
+        std::memcpy(d, at(addr), chunk);
+        addr += chunk;
+        d += chunk;
+        n -= chunk;
+    }
+}
+
+void
+SimMemory::write(uint64_t addr, const void *src, size_t n)
+{
+    const uint8_t *s = static_cast<const uint8_t *>(src);
+    while (n > 0) {
+        size_t chunk =
+            std::min<size_t>(n, vm::kPageSize - addr % vm::kPageSize);
+        std::memcpy(at(addr), s, chunk);
+        addr += chunk;
+        s += chunk;
+        n -= chunk;
+    }
+}
+
+} // namespace xisa

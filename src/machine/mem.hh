@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Simulated byte-addressable memory.
+ *
+ * SimMemory is one node's physical backing store: a sparse map of 4 KiB
+ * pages allocated on first touch. MemPort is the access interface the
+ * interpreters use; LocalMemPort binds directly to a SimMemory (single-
+ * node execution), while dsm/DsmSpace provides ports that run the hDSM
+ * coherence protocol between nodes and charge transfer latency.
+ */
+
+#ifndef XISA_MACHINE_MEM_HH
+#define XISA_MACHINE_MEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "binary/multibinary.hh" // for vm::kPageSize
+
+namespace xisa {
+
+/** Sparse paged memory; pages materialize zero-filled on first touch. */
+class SimMemory
+{
+  public:
+    /** Pointer to the byte at `addr`, allocating its page if needed. */
+    uint8_t *at(uint64_t addr);
+    /** True if the page containing `addr` exists. */
+    bool hasPage(uint64_t vpage) const;
+    /** Raw page pointer (allocating); `vpage` is addr / kPageSize. */
+    uint8_t *page(uint64_t vpage);
+    /** Discard a page (used by hDSM invalidation). */
+    void dropPage(uint64_t vpage);
+    /** Number of resident pages. */
+    size_t residentPages() const { return pages_.size(); }
+
+    /** Cross-page-safe bulk copy out of memory. */
+    void read(uint64_t addr, void *dst, size_t n);
+    /** Cross-page-safe bulk copy into memory. */
+    void write(uint64_t addr, const void *src, size_t n);
+
+    /** All resident pages, keyed by virtual page number (snapshots). */
+    const std::unordered_map<uint64_t, std::vector<uint8_t>> &
+    pageMap() const
+    {
+        return pages_;
+    }
+
+  private:
+    std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+};
+
+/** Abstract memory access path used by the interpreters. Returns the
+ *  extra latency (cycles) the access incurred beyond the cache model. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+    virtual uint64_t read(uint64_t addr, void *dst, unsigned n) = 0;
+    virtual uint64_t write(uint64_t addr, const void *src, unsigned n) = 0;
+
+    // Convenience typed accessors.
+    uint64_t
+    load64(uint64_t addr, uint64_t &extra)
+    {
+        uint64_t v = 0;
+        extra += read(addr, &v, 8);
+        return v;
+    }
+    void
+    store64(uint64_t addr, uint64_t v, uint64_t &extra)
+    {
+        extra += write(addr, &v, 8);
+    }
+};
+
+/** MemPort bound directly to one SimMemory; zero extra latency. */
+class LocalMemPort : public MemPort
+{
+  public:
+    explicit LocalMemPort(SimMemory &mem) : mem_(mem) {}
+
+    uint64_t
+    read(uint64_t addr, void *dst, unsigned n) override
+    {
+        mem_.read(addr, dst, n);
+        return 0;
+    }
+
+    uint64_t
+    write(uint64_t addr, const void *src, unsigned n) override
+    {
+        mem_.write(addr, src, n);
+        return 0;
+    }
+
+  private:
+    SimMemory &mem_;
+};
+
+} // namespace xisa
+
+#endif // XISA_MACHINE_MEM_HH

@@ -1,0 +1,93 @@
+#include "machine/node.hh"
+
+namespace xisa {
+
+namespace {
+
+/** Fill a cost table from a small set of class costs. */
+std::array<uint8_t, static_cast<size_t>(MOp::NumOps)>
+makeCosts(uint8_t alu, uint8_t mul, uint8_t div, uint8_t fp, uint8_t fdiv,
+          uint8_t mem, uint8_t branch, uint8_t atomic, uint8_t sys)
+{
+    std::array<uint8_t, static_cast<size_t>(MOp::NumOps)> c{};
+    auto set = [&](MOp op, uint8_t v) {
+        c[static_cast<size_t>(op)] = v;
+    };
+    for (size_t i = 0; i < c.size(); ++i)
+        c[i] = alu; // default
+    set(MOp::Mul, mul);
+    set(MOp::MulImm, mul);
+    set(MOp::SDiv, div);
+    set(MOp::UDiv, div);
+    set(MOp::SRem, div);
+    set(MOp::URem, div);
+    set(MOp::FAdd, fp);
+    set(MOp::FSub, fp);
+    set(MOp::FMul, fp);
+    set(MOp::FNeg, alu);
+    set(MOp::FMovReg, alu);
+    set(MOp::FMovImm, alu);
+    set(MOp::FCmp, fp);
+    set(MOp::SCvtF, fp);
+    set(MOp::FCvtS, fp);
+    set(MOp::FDiv, fdiv);
+    for (MOp op : {MOp::Ldr, MOp::Ldr32, MOp::LdrS32, MOp::LdrB,
+                   MOp::Str, MOp::Str32, MOp::StrB, MOp::FLdr, MOp::FStr,
+                   MOp::LdrIdx, MOp::Ldr32Idx, MOp::LdrBIdx, MOp::StrIdx,
+                   MOp::Str32Idx, MOp::StrBIdx, MOp::FLdrIdx,
+                   MOp::FStrIdx, MOp::Push, MOp::Pop})
+        set(op, mem);
+    for (MOp op : {MOp::B, MOp::BCond, MOp::Bl, MOp::Blr, MOp::Ret})
+        set(op, branch);
+    set(MOp::AtomicAdd, atomic);
+    set(MOp::SysCall, sys);
+    set(MOp::Hlt, 1);
+    set(MOp::Nop, 1);
+    return c;
+}
+
+} // namespace
+
+NodeSpec
+makeXenoServer()
+{
+    NodeSpec s;
+    s.name = "xeno-e5";
+    s.isa = IsaId::Xeno64;
+    s.cores = 6;
+    s.freqGHz = 3.5;
+    s.l1i = {32 * 1024, 8, 64, 8};
+    s.l1d = {32 * 1024, 8, 64, 8};
+    s.l2 = {1024 * 1024, 16, 64, 22};
+    s.memPenaltyCycles = 180;
+    // Wide out-of-order core: most ops retire in ~1 effective cycle.
+    s.opCost = makeCosts(/*alu=*/1, /*mul=*/3, /*div=*/18, /*fp=*/3,
+                         /*fdiv=*/14, /*mem=*/1, /*branch=*/1,
+                         /*atomic=*/8, /*sys=*/60);
+    s.idleWatts = 42.0;
+    s.maxWatts = 118.0;
+    return s;
+}
+
+NodeSpec
+makeAetherServer()
+{
+    NodeSpec s;
+    s.name = "aether-xgene";
+    s.isa = IsaId::Aether64;
+    s.cores = 8;
+    s.freqGHz = 2.4;
+    s.l1i = {32 * 1024, 8, 64, 10};
+    s.l1d = {32 * 1024, 8, 64, 10};
+    s.l2 = {256 * 1024, 8, 64, 30};
+    s.memPenaltyCycles = 220;
+    // Narrow in-order core: roughly 2x the per-op cost of the Xeon.
+    s.opCost = makeCosts(/*alu=*/2, /*mul=*/5, /*div=*/28, /*fp=*/5,
+                         /*fdiv=*/24, /*mem=*/2, /*branch=*/2,
+                         /*atomic=*/12, /*sys=*/80);
+    s.idleWatts = 48.0;
+    s.maxWatts = 72.0;
+    return s;
+}
+
+} // namespace xisa

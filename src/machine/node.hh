@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hardware node models: cores, caches, per-op timing, and power.
+ *
+ * Two presets stand in for the paper's testbed: makeXenoServer() models
+ * the Xeon E5-1650 v2 (6 cores @ 3.5 GHz, wide out-of-order, so low
+ * per-op cycle costs) and makeAetherServer() models the APM X-Gene 1
+ * (8 cores @ 2.4 GHz, in-order-ish, roughly 2x the per-op cycle cost).
+ * Power is a utilization-proportional model calibrated to the paper's
+ * Figure 11 traces; the McPAT FinFET projection of Section 7 is a
+ * multiplicative scale applied to the ARM node's power by the consumer.
+ */
+
+#ifndef XISA_MACHINE_NODE_HH
+#define XISA_MACHINE_NODE_HH
+
+#include <array>
+#include <string>
+
+#include "machine/cache.hh"
+#include "isa/isa.hh"
+
+namespace xisa {
+
+/** Static description of a server node. */
+struct NodeSpec {
+    std::string name;
+    IsaId isa = IsaId::Xeno64;
+    int cores = 1;
+    double freqGHz = 1.0;
+    CacheConfig l1i, l1d, l2;
+    uint32_t memPenaltyCycles = 120; ///< beyond-L2 access penalty
+    /** Base cycle cost per operation (before cache penalties). */
+    std::array<uint8_t, static_cast<size_t>(MOp::NumOps)> opCost = {};
+    double idleWatts = 10.0;
+    double maxWatts = 20.0;
+
+    uint8_t
+    cost(MOp op) const
+    {
+        return opCost[static_cast<size_t>(op)];
+    }
+
+    /** Seconds per cycle. */
+    double
+    secondsPerCycle() const
+    {
+        return 1e-9 / freqGHz;
+    }
+
+    /**
+     * Electrical power at a given core utilization in [0,1].
+     * @param utilization fraction of cores busy
+     * @param scale technology projection factor (e.g. 0.1 for the
+     *        McPAT FinFET projection of the ARM part)
+     */
+    double
+    power(double utilization, double scale = 1.0) const
+    {
+        double u = utilization < 0 ? 0 : (utilization > 1 ? 1 : utilization);
+        return scale * (idleWatts + (maxWatts - idleWatts) * u);
+    }
+};
+
+/** One core's private timing state. */
+struct Core {
+    Cache l1i;
+    Cache l1d;
+    /** Core-local cycle counter (advances while a thread runs here). */
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    /** Cycles spent actually executing (for utilization accounting). */
+    uint64_t busyCycles = 0;
+
+    explicit Core(const NodeSpec &spec)
+        : l1i(spec.l1i), l1d(spec.l1d)
+    {}
+};
+
+/** Xeon-E5-1650v2-like x86 server node (Xeno64). */
+NodeSpec makeXenoServer();
+/** APM-X-Gene-1-like ARM server node (Aether64). */
+NodeSpec makeAetherServer();
+
+} // namespace xisa
+
+#endif // XISA_MACHINE_NODE_HH

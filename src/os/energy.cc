@@ -1,0 +1,76 @@
+#include "os/energy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+EnergyMeter::EnergyMeter(std::vector<NodeSpec> specs, double binSeconds)
+    : specs_(std::move(specs)), binSeconds_(binSeconds)
+{
+    if (binSeconds_ <= 0)
+        fatal("EnergyMeter bin width must be positive");
+    busy_.resize(specs_.size());
+}
+
+void
+EnergyMeter::addBusy(int node, double t0, double t1)
+{
+    if (t1 <= t0)
+        return;
+    auto &bins = busy_[static_cast<size_t>(node)];
+    size_t first = static_cast<size_t>(t0 / binSeconds_);
+    size_t last = static_cast<size_t>(t1 / binSeconds_);
+    if (bins.size() <= last)
+        bins.resize(last + 1, 0.0);
+    for (size_t b = first; b <= last; ++b) {
+        double lo = std::max(t0, static_cast<double>(b) * binSeconds_);
+        double hi =
+            std::min(t1, static_cast<double>(b + 1) * binSeconds_);
+        if (hi > lo)
+            bins[b] += hi - lo;
+    }
+}
+
+double
+EnergyMeter::busySeconds(int node) const
+{
+    double total = 0;
+    for (double b : busy_[static_cast<size_t>(node)])
+        total += b;
+    return total;
+}
+
+double
+EnergyMeter::utilization(int node, size_t bin) const
+{
+    const auto &bins = busy_[static_cast<size_t>(node)];
+    if (bin >= bins.size())
+        return 0.0;
+    double cap = binSeconds_ * specs_[static_cast<size_t>(node)].cores;
+    return std::min(1.0, bins[bin] / cap);
+}
+
+std::vector<double>
+EnergyMeter::powerSeries(int node, double horizon, double scale) const
+{
+    size_t nbins = static_cast<size_t>(std::ceil(horizon / binSeconds_));
+    std::vector<double> out(nbins);
+    const NodeSpec &s = specs_[static_cast<size_t>(node)];
+    for (size_t b = 0; b < nbins; ++b)
+        out[b] = s.power(utilization(node, b), scale);
+    return out;
+}
+
+double
+EnergyMeter::energyJoules(int node, double horizon, double scale) const
+{
+    double e = 0;
+    for (double p : powerSeries(node, horizon, scale))
+        e += p * binSeconds_;
+    return e;
+}
+
+} // namespace xisa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Energy accounting for the node pool.
+ *
+ * Replaces the paper's RAPL / I2C power-regulator / shunt-resistor DAQ
+ * instrumentation (Section 6): per-node busy time is binned on a fixed
+ * grid, converted to utilization, and mapped through the node's
+ * utilization-proportional power model. The bin series doubles as the
+ * power/load trace of Fig. 11 and integrates to the energy totals of
+ * Figs. 12/13. A per-node technology scale supports the McPAT FinFET
+ * projection the paper applies to the ARM part.
+ */
+
+#ifndef XISA_OS_ENERGY_HH
+#define XISA_OS_ENERGY_HH
+
+#include <vector>
+
+#include "machine/node.hh"
+
+namespace xisa {
+
+/** Bins per-node core-busy seconds onto a fixed time grid. */
+class EnergyMeter
+{
+  public:
+    /**
+     * @param specs node descriptions (copied)
+     * @param binSeconds sampling grid (default 10 ms, the paper's
+     *        100 Hz acquisition rate)
+     */
+    explicit EnergyMeter(std::vector<NodeSpec> specs,
+                         double binSeconds = 0.01);
+
+    /** Record that one core of `node` was busy during [t0, t1). */
+    void addBusy(int node, double t0, double t1);
+
+    /** Total core-busy seconds accumulated on a node. */
+    double busySeconds(int node) const;
+
+    /** Utilization (0..1, all cores) of a node in bin `bin`. */
+    double utilization(int node, size_t bin) const;
+
+    /** Per-bin power draw (W) up to `horizon` seconds. */
+    std::vector<double> powerSeries(int node, double horizon,
+                                    double scale = 1.0) const;
+
+    /** Integrated energy (J) of a node over [0, horizon). */
+    double energyJoules(int node, double horizon,
+                        double scale = 1.0) const;
+
+    double binSeconds() const { return binSeconds_; }
+    int numNodes() const { return static_cast<int>(specs_.size()); }
+    const NodeSpec &spec(int node) const
+    {
+        return specs_[static_cast<size_t>(node)];
+    }
+
+  private:
+    std::vector<NodeSpec> specs_;
+    double binSeconds_;
+    std::vector<std::vector<double>> busy_; ///< per node, per bin
+};
+
+} // namespace xisa
+
+#endif // XISA_OS_ENERGY_HH

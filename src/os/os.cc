@@ -1,0 +1,587 @@
+#include "os/os.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+
+uint64_t
+alignUp64(uint64_t x, uint64_t a)
+{
+    return (x + a - 1) & ~(a - 1);
+}
+
+/** Modeled size of a thread-context migration message. */
+constexpr uint64_t kContextMsgBytes = 1024;
+
+} // namespace
+
+OsConfig
+OsConfig::dualServer()
+{
+    OsConfig cfg;
+    cfg.nodes = {makeXenoServer(), makeAetherServer()};
+    return cfg;
+}
+
+ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
+    : bin_(bin), cfg_(std::move(cfg)), net_(cfg_.net), xform_(bin),
+      meter_(cfg_.nodes, cfg_.energyBinSeconds)
+{
+    if (cfg_.nodes.empty())
+        fatal("ReplicatedOS needs at least one node");
+    std::vector<double> freqs;
+    for (const NodeSpec &s : cfg_.nodes)
+        freqs.push_back(s.freqGHz);
+    dsm_ = std::make_unique<DsmSpace>(static_cast<int>(cfg_.nodes.size()),
+                                      &net_, freqs, cfg_.dsmMode);
+    for (const NodeSpec &s : cfg_.nodes) {
+        nodes_.emplace_back(s, bin_);
+        if (cfg_.profile)
+            nodes_.back().interp->enableProfile();
+    }
+}
+
+ReplicatedOS::~ReplicatedOS() = default;
+
+Interp &
+ReplicatedOS::interp(int node)
+{
+    return *nodes_[static_cast<size_t>(node)].interp;
+}
+
+double
+ReplicatedOS::coreTime(int node, int core) const
+{
+    const NodeRuntime &nr = nodes_[static_cast<size_t>(node)];
+    return static_cast<double>(nr.cores[static_cast<size_t>(core)].cycles) *
+           nr.spec.secondsPerCycle();
+}
+
+void
+ReplicatedOS::setCoreTimeAtLeast(int node, int core, double seconds)
+{
+    NodeRuntime &nr = nodes_[static_cast<size_t>(node)];
+    uint64_t cycles = static_cast<uint64_t>(seconds / 1e-9 * nr.spec.freqGHz);
+    Core &c = nr.cores[static_cast<size_t>(core)];
+    c.cycles = std::max(c.cycles, cycles);
+}
+
+int
+ReplicatedOS::pickCore(int node) const
+{
+    const NodeRuntime &nr = nodes_[static_cast<size_t>(node)];
+    int best = 0;
+    for (int c = 1; c < static_cast<int>(nr.cores.size()); ++c)
+        if (nr.cores[static_cast<size_t>(c)].cycles <
+            nr.cores[static_cast<size_t>(best)].cycles)
+            best = c;
+    return best;
+}
+
+double
+ReplicatedOS::now() const
+{
+    double t = 0;
+    for (size_t n = 0; n < nodes_.size(); ++n)
+        for (size_t c = 0; c < nodes_[n].cores.size(); ++c)
+            t = std::max(t, coreTime(static_cast<int>(n),
+                                     static_cast<int>(c)));
+    return t;
+}
+
+int
+ReplicatedOS::threadNode(int tid) const
+{
+    return threads_[static_cast<size_t>(tid)]->node;
+}
+
+bool
+ReplicatedOS::finished() const
+{
+    if (!loaded_)
+        return false;
+    if (exited_)
+        return true;
+    for (const auto &t : threads_)
+        if (t->state != ThreadState::Done)
+            return false;
+    return true;
+}
+
+void
+ReplicatedOS::setupInitialStack(OsThread &t)
+{
+    const AbiInfo &abi = AbiInfo::of(t.ctx.isa);
+    uint64_t top = vm::stackTop(t.stackSlot);
+    if (abi.retAddrOnStack) {
+        uint64_t sp = top - 8;
+        uint64_t sentinel = vm::kThreadExitAddr;
+        dsm_->poke(t.node, sp, &sentinel, 8);
+        t.ctx.gpr[abi.spReg] = sp;
+    } else {
+        t.ctx.gpr[abi.spReg] = top;
+        t.ctx.gpr[abi.linkReg] = vm::kThreadExitAddr;
+    }
+}
+
+int
+ReplicatedOS::createThread(int node, uint32_t funcId,
+                           const std::vector<uint64_t> &intArgs)
+{
+    auto thread = std::make_unique<OsThread>();
+    OsThread &t = *thread;
+    t.tid = static_cast<int>(threads_.size());
+    t.node = node;
+    t.core = pickCore(node);
+    t.stackSlot = nextStackSlot_++;
+    t.ctx.isa = nodes_[static_cast<size_t>(node)].spec.isa;
+    t.ctx.pc = {funcId, 0};
+    t.kcont.isa = t.ctx.isa;
+    t.kcont.node = node;
+
+    // TLS block: one common-format image per thread, page-separated.
+    uint64_t stride = alignUp64(std::max<uint64_t>(bin_.tlsSize, 16),
+                                vm::kPageSize);
+    t.ctx.tlsBase = vm::kTlsBase + static_cast<uint64_t>(t.tid) * stride;
+    if (!bin_.tlsInit.empty())
+        dsm_->populate(node, t.ctx.tlsBase, bin_.tlsInit.data(),
+                       bin_.tlsInit.size());
+
+    setupInitialStack(t);
+    const AbiInfo &abi = AbiInfo::of(t.ctx.isa);
+    XISA_CHECK(intArgs.size() <= abi.intArgRegs.size(),
+               "too many thread arguments");
+    for (size_t i = 0; i < intArgs.size(); ++i)
+        t.ctx.gpr[abi.intArgRegs[i]] = intArgs[i];
+
+    threads_.push_back(std::move(thread));
+    return t.tid;
+}
+
+void
+ReplicatedOS::load(int startNode)
+{
+    XISA_CHECK(!loaded_, "container already loaded");
+    if (!bin_.alignedLayout)
+        warn("loading an unaligned binary: migration is unsupported");
+    for (const auto &img : bin_.buildDataImages())
+        dsm_->populate(startNode, img.base, img.bytes.data(),
+                       img.bytes.size());
+    dsm_->broadcastWrite64(vm::kVdsoBase, 0);
+    createThread(startNode, bin_.ir.entryFuncId, {});
+    loaded_ = true;
+}
+
+void
+ReplicatedOS::chargeKernel(OsThread &t, uint64_t cycles)
+{
+    NodeRuntime &nr = nodes_[static_cast<size_t>(t.node)];
+    Core &core = nr.cores[static_cast<size_t>(t.core)];
+    double t0 = coreTime(t.node, t.core);
+    core.cycles += cycles;
+    core.busyCycles += cycles;
+    meter_.addBusy(t.node, t0, coreTime(t.node, t.core));
+}
+
+ReplicatedOS::OsThread *
+ReplicatedOS::pickNext()
+{
+    lastRun_.resize(threads_.size(), 0);
+    OsThread *best = nullptr;
+    double bestTime = 0;
+    for (auto &tp : threads_) {
+        if (tp->state != ThreadState::Ready)
+            continue;
+        double ct = coreTime(tp->node, tp->core);
+        if (!best || ct < bestTime ||
+            (ct == bestTime && lastRun_[static_cast<size_t>(tp->tid)] <
+                                   lastRun_[static_cast<size_t>(
+                                       best->tid)])) {
+            best = tp.get();
+            bestTime = ct;
+        }
+    }
+    if (best)
+        lastRun_[static_cast<size_t>(best->tid)] = ++runSeq_;
+    return best;
+}
+
+OsRunResult
+ReplicatedOS::run()
+{
+    XISA_CHECK(loaded_, "run() before load()");
+    while (!finished()) {
+        OsThread *t = pickNext();
+        if (!t)
+            panic("deadlock: blocked threads but nothing runnable");
+        runQuantum(*t);
+        if (totalInstrs_ > cfg_.maxTotalInstrs)
+            fatal("global instruction budget exceeded");
+    }
+    OsRunResult res;
+    res.finished = true;
+    res.exitedExplicitly = exited_;
+    res.exitCode = exited_ ? exitCode_
+                           : static_cast<int64_t>(threads_[0]->exitValue);
+    res.output = output_;
+    res.totalInstrs = totalInstrs_;
+    res.makespanSeconds = now();
+    return res;
+}
+
+bool
+ReplicatedOS::runUntil(double seconds)
+{
+    XISA_CHECK(loaded_, "runUntil() before load()");
+    while (!finished()) {
+        OsThread *t = pickNext();
+        if (!t)
+            panic("deadlock: blocked threads but nothing runnable");
+        if (coreTime(t->node, t->core) >= seconds)
+            return true;
+        runQuantum(*t);
+        if (totalInstrs_ > cfg_.maxTotalInstrs)
+            fatal("global instruction budget exceeded");
+    }
+    return false;
+}
+
+void
+ReplicatedOS::runQuantum(OsThread &t)
+{
+    NodeRuntime &nr = nodes_[static_cast<size_t>(t.node)];
+    Core &core = nr.cores[static_cast<size_t>(t.core)];
+    double t0 = coreTime(t.node, t.core);
+    StepResult r = nr.interp->run(t.ctx, dsm_->port(t.node), core, nr.l2,
+                                  cfg_.quantum);
+    totalInstrs_ += r.instrsRun;
+    meter_.addBusy(t.node, t0, coreTime(t.node, t.core));
+
+    switch (r.reason) {
+      case StopReason::Budget:
+        break;
+      case StopReason::Halt:
+        finishThread(t, r.exitValue);
+        break;
+      case StopReason::BuiltinTrap:
+        execBuiltin(t, r.trapFuncId);
+        break;
+      case StopReason::MigrateTrap:
+        handleMigrateTrap(t, r.trapCallSite);
+        break;
+      case StopReason::Syscall:
+        fatal("unexpected raw syscall %lld",
+              static_cast<long long>(r.sysno));
+    }
+    if (onQuantum)
+        onQuantum(*this);
+}
+
+void
+ReplicatedOS::finishThread(OsThread &t, uint64_t exitValue)
+{
+    t.state = ThreadState::Done;
+    t.exitValue = exitValue;
+    double tFinish = coreTime(t.node, t.core);
+    for (auto &other : threads_) {
+        if (other->state == ThreadState::Blocked &&
+            other->kcont.kind == KernelContinuation::Kind::Join &&
+            other->kcont.joinTid == t.tid)
+            wake(*other, tFinish);
+    }
+}
+
+void
+ReplicatedOS::wake(OsThread &t, double atTime)
+{
+    XISA_CHECK(t.state == ThreadState::Blocked, "wake of runnable thread");
+    // Complete the kernel service on the kernel it started on (the
+    // heterogeneous continuation), then return to user space.
+    nodes_[static_cast<size_t>(t.node)].interp->finishTrap(
+        t.ctx, Type::Void, 0, 0);
+    t.kcont.kind = KernelContinuation::Kind::None;
+    t.kcont.pendingBuiltin = 0;
+    t.state = ThreadState::Ready;
+    setCoreTimeAtLeast(t.node, t.core, atTime);
+}
+
+void
+ReplicatedOS::execBuiltin(OsThread &t, uint32_t funcId)
+{
+    const IRFunction &callee = bin_.ir.func(funcId);
+    NodeRuntime &nr = nodes_[static_cast<size_t>(t.node)];
+    Interp &in = *nr.interp;
+    std::vector<int64_t> args = in.readTrapArgs(t.ctx, callee);
+    chargeKernel(t, nr.spec.cost(MOp::SysCall));
+
+    switch (callee.builtin) {
+      case Builtin::Malloc: {
+        uint64_t want = alignUp64(
+            std::max<uint64_t>(static_cast<uint64_t>(args[0]), 16), 16);
+        uint64_t addr = 0;
+        auto it = freeLists_.find(want);
+        if (it != freeLists_.end() && !it->second.empty()) {
+            addr = it->second.back();
+            it->second.pop_back();
+        } else {
+            addr = heapBrk_;
+            heapBrk_ += want;
+            if (heapBrk_ >= vm::kTlsBase)
+                fatal("heap exhausted");
+        }
+        allocSizes_[addr] = want;
+        in.finishTrap(t.ctx, Type::Ptr, static_cast<int64_t>(addr), 0);
+        break;
+      }
+      case Builtin::Free: {
+        uint64_t addr = static_cast<uint64_t>(args[0]);
+        if (addr != 0) {
+            auto it = allocSizes_.find(addr);
+            if (it == allocSizes_.end())
+                fatal("free() of non-heap pointer 0x%llx",
+                      static_cast<unsigned long long>(addr));
+            freeLists_[it->second].push_back(addr);
+            allocSizes_.erase(it);
+        }
+        in.finishTrap(t.ctx, Type::Void, 0, 0);
+        break;
+      }
+      case Builtin::PrintI64:
+        output_.push_back(strfmt("%lld", static_cast<long long>(args[0])));
+        in.finishTrap(t.ctx, Type::Void, 0, 0);
+        break;
+      case Builtin::PrintF64: {
+        double d;
+        std::memcpy(&d, &args[0], 8);
+        output_.push_back(strfmt("%.6g", d));
+        in.finishTrap(t.ctx, Type::Void, 0, 0);
+        break;
+      }
+      case Builtin::Memcpy: {
+        uint64_t dst = static_cast<uint64_t>(args[0]);
+        uint64_t src = static_cast<uint64_t>(args[1]);
+        uint64_t n = static_cast<uint64_t>(args[2]);
+        std::vector<uint8_t> buf(static_cast<size_t>(n));
+        uint64_t extra = dsm_->pull(t.node, src, buf.data(), buf.size());
+        extra += dsm_->poke(t.node, dst, buf.data(), buf.size());
+        chargeKernel(t, extra + n / 4 * nr.spec.cost(MOp::Ldr));
+        in.finishTrap(t.ctx, Type::Void, 0, 0);
+        break;
+      }
+      case Builtin::Memset: {
+        uint64_t dst = static_cast<uint64_t>(args[0]);
+        uint64_t n = static_cast<uint64_t>(args[2]);
+        std::vector<uint8_t> buf(static_cast<size_t>(n),
+                                 static_cast<uint8_t>(args[1]));
+        uint64_t extra = dsm_->poke(t.node, dst, buf.data(), buf.size());
+        chargeKernel(t, extra + n / 8 * nr.spec.cost(MOp::Str));
+        in.finishTrap(t.ctx, Type::Void, 0, 0);
+        break;
+      }
+      case Builtin::ThreadSpawn: {
+        uint64_t fnAddr = static_cast<uint64_t>(args[0]);
+        CodeLoc loc = in.codeMap().resolve(fnAddr);
+        XISA_CHECK(loc.instrIdx == 0, "thread entry mid-function");
+        int child = createThread(t.node, loc.funcId,
+                                 {static_cast<uint64_t>(args[1])});
+        OsThread &ct = *threads_[static_cast<size_t>(child)];
+        setCoreTimeAtLeast(ct.node, ct.core, coreTime(t.node, t.core));
+        in.finishTrap(t.ctx, Type::I64, child, 0);
+        break;
+      }
+      case Builtin::ThreadJoin: {
+        int target = static_cast<int>(args[0]);
+        if (target < 0 || target >= static_cast<int>(threads_.size()))
+            fatal("join of unknown thread %d", target);
+        if (threads_[static_cast<size_t>(target)]->state ==
+            ThreadState::Done) {
+            in.finishTrap(t.ctx, Type::Void, 0, 0);
+        } else {
+            t.state = ThreadState::Blocked;
+            t.kcont.kind = KernelContinuation::Kind::Join;
+            t.kcont.joinTid = target;
+            t.kcont.isa = t.ctx.isa;
+            t.kcont.node = t.node;
+            t.kcont.pendingBuiltin = funcId;
+        }
+        break;
+      }
+      case Builtin::BarrierWait: {
+        int64_t key = args[0];
+        int64_t count = args[1];
+        Barrier &b = barriers_[key];
+        if (b.needed == 0)
+            b.needed = count;
+        else if (b.needed != count)
+            fatal("barrier %lld joined with inconsistent count",
+                  static_cast<long long>(key));
+        b.waiting.push_back(t.tid);
+        if (static_cast<int64_t>(b.waiting.size()) == b.needed) {
+            double releaseTime = coreTime(t.node, t.core);
+            // Everyone leaves together; the last arriver just resumes.
+            for (int tid : b.waiting) {
+                OsThread &w = *threads_[static_cast<size_t>(tid)];
+                if (tid == t.tid) {
+                    in.finishTrap(t.ctx, Type::Void, 0, 0);
+                } else {
+                    wake(w, releaseTime);
+                }
+            }
+            barriers_.erase(key);
+        } else {
+            t.state = ThreadState::Blocked;
+            t.kcont.kind = KernelContinuation::Kind::Barrier;
+            t.kcont.barrierKey = key;
+            t.kcont.isa = t.ctx.isa;
+            t.kcont.node = t.node;
+            t.kcont.pendingBuiltin = funcId;
+        }
+        break;
+      }
+      case Builtin::Exit:
+        exited_ = true;
+        exitCode_ = args[0];
+        for (auto &tp : threads_)
+            tp->state = ThreadState::Done;
+        break;
+      case Builtin::ThreadId:
+        in.finishTrap(t.ctx, Type::I64, t.tid, 0);
+        break;
+      case Builtin::NodeId:
+        in.finishTrap(t.ctx, Type::I64, t.node, 0);
+        break;
+      case Builtin::None:
+        panic("builtin trap on non-builtin function");
+    }
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+ReplicatedOS::heapObjects() const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    out.reserve(allocSizes_.size());
+    for (const auto &[addr, size] : allocSizes_)
+        out.emplace_back(addr, size);
+    return out;
+}
+
+double
+ReplicatedOS::l1iMissRatio(int node) const
+{
+    CacheStats total;
+    for (const Core &c : nodes_[static_cast<size_t>(node)].cores) {
+        total.accesses += c.l1i.stats().accesses;
+        total.misses += c.l1i.stats().misses;
+    }
+    return total.missRatio();
+}
+
+double
+ReplicatedOS::l1dMissRatio(int node) const
+{
+    CacheStats total;
+    for (const Core &c : nodes_[static_cast<size_t>(node)].cores) {
+        total.accesses += c.l1d.stats().accesses;
+        total.misses += c.l1d.stats().misses;
+    }
+    return total.missRatio();
+}
+
+void
+ReplicatedOS::updateVdsoFlag()
+{
+    bool pending = false;
+    for (const auto &tp : threads_)
+        pending |= tp->migrationTarget >= 0 &&
+                   tp->state != ThreadState::Done;
+    dsm_->broadcastWrite64(vm::kVdsoBase, pending ? 1 : 0);
+}
+
+void
+ReplicatedOS::migrateProcess(int destNode)
+{
+    for (auto &tp : threads_)
+        if (tp->state != ThreadState::Done)
+            migrateThread(tp->tid, destNode);
+}
+
+void
+ReplicatedOS::migrateThread(int tid, int destNode)
+{
+    OsThread &t = *threads_[static_cast<size_t>(tid)];
+    if (t.state == ThreadState::Done)
+        return;
+    XISA_CHECK(destNode >= 0 &&
+                   destNode < static_cast<int>(nodes_.size()),
+               "bad destination node");
+    t.migrationTarget = destNode;
+    // Response time is measured on the thread's own clock: cores
+    // advance asynchronously, so the global max would overstate it.
+    t.migrationRequestTime = coreTime(t.node, t.core);
+    updateVdsoFlag();
+}
+
+void
+ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
+{
+    NodeRuntime &src = nodes_[static_cast<size_t>(t.node)];
+    int dest = t.migrationTarget;
+    if (dest < 0 || dest == t.node) {
+        // Spurious check (flag was set for some other thread).
+        src.interp->finishTrap(t.ctx, Type::Void, 0, 0);
+        return;
+    }
+    NodeRuntime &dst = nodes_[static_cast<size_t>(dest)];
+    MigrationEvent ev;
+    ev.tid = t.tid;
+    ev.fromNode = t.node;
+    ev.toNode = dest;
+    ev.siteId = siteId;
+    ev.requestTime = t.migrationRequestTime;
+    ev.trapTime = coreTime(t.node, t.core);
+
+    ThreadContext newCtx;
+    if (dst.spec.isa != t.ctx.isa) {
+        // User-space stack transformation on the source node
+        // (Section 5.3), then the kernel thread-migration service.
+        TransformStats stats;
+        newCtx = xform_.transform(t.ctx, siteId, dst.spec.isa, *dsm_,
+                                  t.node, vm::stackTop(t.stackSlot),
+                                  &stats);
+        chargeKernel(t, StackTransformer::costCycles(stats, src.spec) +
+                            stats.cycles);
+        ev.transform = stats;
+    } else {
+        // Homogeneous-ISA migration: state moves unmodified.
+        newCtx = t.ctx;
+        ++newCtx.pc.instrIdx; // resume after the migration call-out
+    }
+    newCtx.instrs = t.ctx.instrs;
+    newCtx.cycles = t.ctx.cycles;
+    newCtx.dsmExtraCycles = t.ctx.dsmExtraCycles;
+
+    double srcDone = coreTime(t.node, t.core);
+    net_.charge(kContextMsgBytes, dst.spec.freqGHz);
+    t.node = dest;
+    t.core = pickCore(dest);
+    t.ctx = newCtx;
+    // Heterogeneous continuation: kernel-side state is recreated on the
+    // destination kernel rather than migrated.
+    t.kcont = KernelContinuation{};
+    t.kcont.isa = dst.spec.isa;
+    t.kcont.node = dest;
+    setCoreTimeAtLeast(t.node, t.core,
+                       srcDone + net_.transferSeconds(kContextMsgBytes));
+    t.migrationTarget = -1;
+    updateVdsoFlag();
+
+    ev.resumeTime = coreTime(t.node, t.core);
+    migrations_.push_back(ev);
+}
+
+} // namespace xisa

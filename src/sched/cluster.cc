@@ -1,0 +1,290 @@
+#include "sched/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+const char *
+policyName(Policy p)
+{
+    switch (p) {
+      case Policy::StaticBalanced: return "static-balanced";
+      case Policy::StaticUnbalanced: return "static-unbalanced";
+      case Policy::DynamicBalanced: return "dynamic-balanced";
+      case Policy::DynamicUnbalanced: return "dynamic-unbalanced";
+    }
+    return "?";
+}
+
+ClusterSim::ClusterSim(std::vector<Machine> machines,
+                       const JobProfileTable &profiles, Config cfg)
+    : machines_(std::move(machines)), profiles_(profiles), cfg_(cfg)
+{
+    if (machines_.empty())
+        fatal("ClusterSim needs at least one machine");
+}
+
+int
+ClusterSim::capacity(int m) const
+{
+    return machines_[static_cast<size_t>(m)].spec.cores;
+}
+
+double
+ClusterSim::load(const MachineState &ms, int m) const
+{
+    // The paper's policies balance the NUMBER of threads between the
+    // machines (weighted for the unbalanced variants), not per-core
+    // utilization; capacity only constrains what can start.
+    int queued = 0;
+    for (const Job &j : ms.queue)
+        queued += j.threads;
+    double weight = machines_[static_cast<size_t>(m)].loadWeight;
+    return (ms.usedThreads + queued) / weight;
+}
+
+bool
+ClusterSim::tryStart(MachineState &ms, int m, const Job &job, double now)
+{
+    if (ms.usedThreads + job.threads > capacity(m))
+        return false;
+    RunningJob rj;
+    rj.job = job;
+    rj.durationHere =
+        profiles_.seconds(job.wl, job.cls, job.threads,
+                          machines_[static_cast<size_t>(m)].spec.isa);
+    rj.startedAt = now;
+    ms.running.push_back(rj);
+    ms.usedThreads += job.threads;
+    return true;
+}
+
+int
+ClusterSim::pickMachine(const std::vector<MachineState> &st,
+                        Policy, int threads) const
+{
+    // Least weighted load after hypothetically placing the job.
+    int best = 0;
+    double bestLoad = std::numeric_limits<double>::infinity();
+    for (size_t m = 0; m < machines_.size(); ++m) {
+        int queued = 0;
+        for (const Job &j : st[m].queue)
+            queued += j.threads;
+        double l = (st[m].usedThreads + queued + threads) /
+                   machines_[m].loadWeight;
+        if (l < bestLoad) {
+            bestLoad = l;
+            best = static_cast<int>(m);
+        }
+    }
+    return best;
+}
+
+double
+ClusterSim::migrationCost(const Job &job) const
+{
+    Interconnect net(cfg_.net);
+    double bytes =
+        cfg_.workingSetBytesPerScale * classScale(job.cls);
+    return cfg_.migrationFixedSeconds +
+           net.transferSeconds(static_cast<uint64_t>(bytes));
+}
+
+ClusterResult
+ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
+{
+    std::vector<Job> arrivals = jobs;
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Job &a, const Job &b) {
+                         return a.arrival < b.arrival;
+                     });
+    std::vector<MachineState> st(machines_.size());
+    size_t next = 0;
+    double now = 0;
+    double nextTick = cfg_.rebalancePeriod;
+    int migrations = 0;
+    double turnaroundSum = 0;
+    size_t completed = 0;
+    double lastCompletion = 0;
+    constexpr double kEps = 1e-9;
+
+    auto anyWork = [&] {
+        if (next < arrivals.size())
+            return true;
+        for (const MachineState &ms : st)
+            if (!ms.running.empty() || !ms.queue.empty())
+                return true;
+        return false;
+    };
+
+    auto startFromQueue = [&](int m) {
+        MachineState &ms = st[static_cast<size_t>(m)];
+        for (size_t q = 0; q < ms.queue.size();) {
+            if (tryStart(ms, m, ms.queue[q], now))
+                ms.queue.erase(ms.queue.begin() +
+                               static_cast<ptrdiff_t>(q));
+            else
+                ++q;
+        }
+    };
+
+    while (anyWork()) {
+        // Next event time.
+        double tNext = std::numeric_limits<double>::infinity();
+        if (next < arrivals.size())
+            tNext = std::min(tNext, arrivals[next].arrival);
+        for (const MachineState &ms : st)
+            for (const RunningJob &rj : ms.running)
+                tNext = std::min(tNext,
+                                 now + rj.remainingFraction *
+                                           rj.durationHere);
+        bool anyRunning = false;
+        for (const MachineState &ms : st)
+            anyRunning |= !ms.running.empty();
+        if (dynamic(policy) && anyRunning)
+            tNext = std::min(tNext, nextTick);
+        XISA_CHECK(std::isfinite(tNext), "cluster sim stuck");
+        if (tNext < now)
+            tNext = now;
+
+        // Accrue energy over [now, tNext).
+        double dt = tNext - now;
+        for (size_t m = 0; m < st.size(); ++m) {
+            const Machine &mach = machines_[m];
+            double power;
+            if (st[m].running.empty() && st[m].queue.empty()) {
+                power = mach.spec.idleWatts * cfg_.sleepFraction *
+                        mach.powerScale;
+            } else {
+                double util = std::min(
+                    1.0, st[m].usedThreads /
+                             static_cast<double>(
+                                 capacity(static_cast<int>(m))));
+                power = mach.spec.power(util, mach.powerScale);
+            }
+            st[m].energy += power * dt;
+        }
+
+        // Advance job progress.
+        for (MachineState &ms : st)
+            for (RunningJob &rj : ms.running)
+                rj.remainingFraction -= dt / rj.durationHere;
+        now = tNext;
+
+        // Completions.
+        for (size_t m = 0; m < st.size(); ++m) {
+            MachineState &ms = st[m];
+            for (size_t r = 0; r < ms.running.size();) {
+                if (ms.running[r].remainingFraction <= kEps) {
+                    turnaroundSum += now - ms.running[r].job.arrival;
+                    ++completed;
+                    lastCompletion = now;
+                    ms.usedThreads -= ms.running[r].job.threads;
+                    ms.running.erase(ms.running.begin() +
+                                     static_cast<ptrdiff_t>(r));
+                } else {
+                    ++r;
+                }
+            }
+            startFromQueue(static_cast<int>(m));
+        }
+
+        // Arrivals.
+        while (next < arrivals.size() &&
+               arrivals[next].arrival <= now + kEps) {
+            const Job &job = arrivals[next++];
+            int m = pickMachine(st, policy, job.threads);
+            if (!tryStart(st[static_cast<size_t>(m)], m, job, now))
+                st[static_cast<size_t>(m)].queue.push_back(job);
+        }
+
+        // Rebalance tick (dynamic policies only).
+        if (dynamic(policy) && now + kEps >= nextTick) {
+            nextTick = now + cfg_.rebalancePeriod;
+            for (int moves = 0; moves < 64; ++moves) {
+                int hi = 0, lo = 0;
+                for (size_t m = 1; m < st.size(); ++m) {
+                    if (load(st[m], static_cast<int>(m)) >
+                        load(st[static_cast<size_t>(hi)], hi))
+                        hi = static_cast<int>(m);
+                    if (load(st[m], static_cast<int>(m)) <
+                        load(st[static_cast<size_t>(lo)], lo))
+                        lo = static_cast<int>(m);
+                }
+                if (hi == lo)
+                    break;
+                MachineState &from = st[static_cast<size_t>(hi)];
+                MachineState &to = st[static_cast<size_t>(lo)];
+                double gap = load(from, hi) - load(to, lo);
+                if (gap <= 1.0)
+                    break;
+                double wFrom =
+                    machines_[static_cast<size_t>(hi)].loadWeight;
+                double wTo =
+                    machines_[static_cast<size_t>(lo)].loadWeight;
+                // Only move a job if it strictly reduces the peak load
+                // (otherwise the pair would oscillate forever).
+                auto improves = [&](int threads) {
+                    double newFrom = load(from, hi) - threads / wFrom;
+                    double newTo = load(to, lo) + threads / wTo;
+                    return std::max(newFrom, newTo) + 1e-9 <
+                           std::max(load(from, hi), load(to, lo));
+                };
+                // Prefer moving a queued job (free); else migrate a
+                // running one (charges migration overhead).
+                if (!from.queue.empty() &&
+                    improves(from.queue.front().threads)) {
+                    Job job = from.queue.front();
+                    from.queue.erase(from.queue.begin());
+                    if (!tryStart(to, lo, job, now))
+                        to.queue.push_back(job);
+                    continue;
+                }
+                bool moved = false;
+                for (size_t r = 0; r < from.running.size(); ++r) {
+                    RunningJob rj = from.running[r];
+                    if (to.usedThreads + rj.job.threads > capacity(lo))
+                        continue;
+                    if (!improves(rj.job.threads))
+                        continue;
+                    from.usedThreads -= rj.job.threads;
+                    from.running.erase(from.running.begin() +
+                                       static_cast<ptrdiff_t>(r));
+                    double destDuration = profiles_.seconds(
+                        rj.job.wl, rj.job.cls, rj.job.threads,
+                        machines_[static_cast<size_t>(lo)].spec.isa);
+                    double remSeconds =
+                        rj.remainingFraction * destDuration +
+                        migrationCost(rj.job);
+                    rj.durationHere = destDuration;
+                    rj.remainingFraction = remSeconds / destDuration;
+                    to.running.push_back(rj);
+                    to.usedThreads += rj.job.threads;
+                    ++migrations;
+                    moved = true;
+                    break;
+                }
+                if (!moved)
+                    break;
+            }
+        }
+    }
+
+    ClusterResult res;
+    res.makespan = lastCompletion;
+    for (const MachineState &ms : st) {
+        res.energyJoules.push_back(ms.energy);
+        res.totalEnergy += ms.energy;
+    }
+    res.edp = res.totalEnergy * res.makespan;
+    res.migrations = migrations;
+    res.avgTurnaround =
+        completed ? turnaroundSum / static_cast<double>(completed) : 0;
+    return res;
+}
+
+} // namespace xisa

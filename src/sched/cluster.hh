@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Cluster-level scheduling simulation (Section 6 "Job Scheduling",
+ * Figs. 12 and 13).
+ *
+ * The paper compares, over randomized job sets:
+ *  - static policies that assign jobs at arrival and can never move
+ *    them: two identical x86 servers (the baseline), or an x86+ARM pair
+ *    balanced / unbalanced by thread count;
+ *  - dynamic policies enabled by heterogeneous-ISA migration: balanced
+ *    and unbalanced (x86 kept busier), re-evaluated periodically with
+ *    jobs migrating between the servers.
+ *
+ * Machines accrue energy through the utilization-proportional power
+ * model; an idle machine with nothing queued drops into a low-power
+ * state (the consolidation premise of Section 2). The ARM machine's
+ * power can be scaled by the McPAT FinFET projection (x0.1), as in the
+ * paper's evaluation. Migration charges a cost derived from the
+ * measured stack-transformation latency plus working-set transfer over
+ * the interconnect model.
+ */
+
+#ifndef XISA_SCHED_CLUSTER_HH
+#define XISA_SCHED_CLUSTER_HH
+
+#include <vector>
+
+#include "dsm/interconnect.hh"
+#include "machine/node.hh"
+#include "sched/profile.hh"
+
+namespace xisa {
+
+/** One server in the pool. */
+struct Machine {
+    NodeSpec spec;
+    /** Technology scale on power (0.1 = FinFET-projected ARM). */
+    double powerScale = 1.0;
+    /** Relative load weight for unbalanced policies (x86 > ARM). */
+    double loadWeight = 1.0;
+};
+
+/** One job of the workload mix. */
+struct Job {
+    int id = 0;
+    WorkloadId wl = WorkloadId::CG;
+    ProblemClass cls = ProblemClass::A;
+    int threads = 1;
+    double arrival = 0; ///< seconds
+};
+
+/** Scheduling policies of the paper's comparison. */
+enum class Policy {
+    StaticBalanced,    ///< assign at arrival, balance threads, no moves
+    StaticUnbalanced,  ///< assign at arrival, weight-biased, no moves
+    DynamicBalanced,   ///< balance threads; migrate to rebalance
+    DynamicUnbalanced, ///< weight-biased; migrate to rebalance
+};
+
+const char *policyName(Policy p);
+
+/** Result of simulating one job set under one policy. */
+struct ClusterResult {
+    std::vector<double> energyJoules; ///< per machine
+    double totalEnergy = 0;
+    double makespan = 0;
+    double edp = 0; ///< totalEnergy * makespan
+    int migrations = 0;
+    double avgTurnaround = 0;
+};
+
+/** Discrete-event cluster simulator. */
+class ClusterSim
+{
+  public:
+    struct Config {
+        /** Rebalance period for dynamic policies (seconds). */
+        double rebalancePeriod = 1.0;
+        /** Fixed per-migration overhead (stack transformation, context
+         *  message, scheduler latency), seconds. */
+        double migrationFixedSeconds = 0.05;
+        /** Working set shipped on migration, bytes per class unit
+         *  (multiplied by classScale). */
+        double workingSetBytesPerScale = 2.0 * 1024 * 1024;
+        /** Power drawn by an idle machine with an empty queue, as a
+         *  fraction of idle power. 1.0 matches the paper's testbed
+         *  (machines stay up for the whole experiment); lower values
+         *  model the consolidation low-power states of Section 2. */
+        double sleepFraction = 1.0;
+        Interconnect::Config net;
+    };
+
+    ClusterSim(std::vector<Machine> machines,
+               const JobProfileTable &profiles)
+        : ClusterSim(std::move(machines), profiles, Config())
+    {}
+    ClusterSim(std::vector<Machine> machines,
+               const JobProfileTable &profiles, Config cfg);
+
+    /** Simulate one job set under one policy. */
+    ClusterResult run(const std::vector<Job> &jobs, Policy policy);
+
+  private:
+    struct RunningJob {
+        Job job;
+        double remainingFraction = 1.0;
+        double durationHere = 0; ///< full-job seconds on this machine
+        double startedAt = 0;
+    };
+    struct MachineState {
+        std::vector<RunningJob> running;
+        std::vector<Job> queue;
+        int usedThreads = 0;
+        double energy = 0;
+    };
+
+    int capacity(int m) const;
+    bool tryStart(MachineState &ms, int m, const Job &job, double now);
+    int pickMachine(const std::vector<MachineState> &st, Policy policy,
+                    int threads) const;
+    double load(const MachineState &ms, int m) const;
+    bool dynamic(Policy p) const
+    {
+        return p == Policy::DynamicBalanced ||
+               p == Policy::DynamicUnbalanced;
+    }
+    double migrationCost(const Job &job) const;
+
+    std::vector<Machine> machines_;
+    const JobProfileTable &profiles_;
+    Config cfg_;
+};
+
+} // namespace xisa
+
+#endif // XISA_SCHED_CLUSTER_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Randomized job-set generators matching Section 7's experiments:
+ * sustained workloads (40 jobs, back-to-back) and periodic workloads
+ * (5 waves of up to 14 jobs, spaced 60-240 s apart). Jobs are drawn
+ * uniformly from the benchmark mix, classes A/B/C, 1-4 threads.
+ */
+
+#ifndef XISA_SCHED_JOBSETS_HH
+#define XISA_SCHED_JOBSETS_HH
+
+#include <vector>
+
+#include "sched/cluster.hh"
+#include "util/rng.hh"
+
+namespace xisa {
+
+/** 40 jobs, all available at t=0 (scheduled as capacity frees up). */
+std::vector<Job> makeSustainedSet(uint64_t seed, int numJobs = 40);
+
+/** 5 waves of up to `maxPerWave` jobs, spaced uniformly 60-240 s. */
+std::vector<Job> makePeriodicSet(uint64_t seed, int waves = 5,
+                                 int maxPerWave = 14);
+
+/** The two-machine pools of the paper's comparison. */
+std::vector<Machine> makeX86X86Pool();
+std::vector<Machine> makeHeterogeneousPool(bool finfetArm = true,
+                                           double x86Weight = 1.0);
+
+} // namespace xisa
+
+#endif // XISA_SCHED_JOBSETS_HH

@@ -1,0 +1,77 @@
+#include "sched/profile.hh"
+
+#include "compiler/compile.hh"
+#include "machine/node.hh"
+#include "os/os.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+JobProfileTable
+JobProfileTable::calibrate()
+{
+    JobProfileTable table;
+    for (WorkloadId wl : allWorkloads()) {
+        Module mod = buildWorkload(wl, ProblemClass::A, 1);
+        MultiIsaBinary bin = compileModule(std::move(mod));
+        std::array<double, kNumIsas> secs{};
+        for (int node = 0; node < kNumIsas; ++node) {
+            OsConfig cfg;
+            cfg.nodes = {node == 0 ? makeXenoServer()
+                                   : makeAetherServer()};
+            ReplicatedOS os(bin, cfg);
+            os.load(0);
+            OsRunResult res = os.run();
+            IsaId isa = cfg.nodes[0].isa;
+            secs[static_cast<int>(isa)] = res.makespanSeconds;
+        }
+        table.base_[wl] = secs;
+    }
+    return table;
+}
+
+JobProfileTable
+JobProfileTable::synthetic()
+{
+    JobProfileTable table;
+    double ms = 1e-3;
+    int i = 0;
+    for (WorkloadId wl : allWorkloads()) {
+        double x86 = (1.0 + 0.35 * i) * ms;
+        double arm = x86 * (2.6 + 0.08 * (i % 5));
+        std::array<double, kNumIsas> secs{};
+        secs[static_cast<int>(IsaId::Xeno64)] = x86;
+        secs[static_cast<int>(IsaId::Aether64)] = arm;
+        table.base_[wl] = secs;
+        ++i;
+    }
+    return table;
+}
+
+double
+JobProfileTable::parallelEfficiency(int threads)
+{
+    return 1.0 / (1.0 + 0.07 * (threads - 1));
+}
+
+double
+JobProfileTable::baseSeconds(WorkloadId wl, IsaId isa) const
+{
+    auto it = base_.find(wl);
+    if (it == base_.end())
+        fatal("JobProfileTable: workload '%s' not calibrated",
+              workloadName(wl));
+    return it->second[static_cast<int>(isa)];
+}
+
+double
+JobProfileTable::seconds(WorkloadId wl, ProblemClass cls, int threads,
+                         IsaId isa) const
+{
+    double serial = baseSeconds(wl, isa) * classScale(cls) * kTimeScale;
+    if (threads <= 1)
+        return serial;
+    return serial / (threads * parallelEfficiency(threads));
+}
+
+} // namespace xisa

@@ -1,0 +1,97 @@
+#include "serial/padmig.hh"
+
+#include <cstring>
+
+#include "os/os.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+
+namespace {
+/** Reflection + boxing cost per 8-byte word on the source. */
+constexpr uint64_t kSerializeCyclesPerWord = 70;
+/** Allocation + reflection cost per word on the destination. */
+constexpr uint64_t kDeserializeCyclesPerWord = 90;
+/** Wire-format header per object. */
+constexpr uint64_t kObjectHeaderBytes = 24;
+} // namespace
+
+SerializeResult
+SerializingMigrator::migrate(DsmSpace &dsm, int srcNode, int destNode,
+                             const std::vector<StateObject> &objects,
+                             const NodeSpec &srcSpec,
+                             const NodeSpec &destSpec)
+{
+    XISA_CHECK(net_, "SerializingMigrator needs an interconnect");
+    SerializeResult res;
+    std::vector<uint8_t> wire;
+    std::vector<uint8_t> raw;
+
+    // Serialize: read each object and convert words to the neutral
+    // (big-endian) wire format.
+    for (const StateObject &obj : objects) {
+        raw.resize(obj.bytes);
+        dsm.pull(srcNode, obj.addr, raw.data(), raw.size());
+        size_t off = wire.size();
+        wire.resize(off + obj.bytes);
+        size_t words = obj.bytes / 8;
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t v;
+            std::memcpy(&v, raw.data() + w * 8, 8);
+            v = __builtin_bswap64(v);
+            std::memcpy(wire.data() + off + w * 8, &v, 8);
+        }
+        // Tail bytes move unconverted.
+        for (size_t b = words * 8; b < obj.bytes; ++b)
+            wire[off + b] = raw[b];
+        res.bytes += obj.bytes + kObjectHeaderBytes;
+        res.serializeCycles += words * kSerializeCyclesPerWord +
+                               kSerializeCyclesPerWord;
+        ++res.objects;
+    }
+    res.serializeSeconds = static_cast<double>(res.serializeCycles) *
+                           srcSpec.secondsPerCycle();
+
+    // Transfer the wire image.
+    net_->charge(res.bytes, destSpec.freqGHz);
+    res.transferSeconds = net_->transferSeconds(res.bytes);
+
+    // De-serialize on the destination: convert back and write through
+    // the destination node's port so the pages land there.
+    size_t off = 0;
+    for (const StateObject &obj : objects) {
+        raw.resize(obj.bytes);
+        size_t words = obj.bytes / 8;
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t v;
+            std::memcpy(&v, wire.data() + off + w * 8, 8);
+            v = __builtin_bswap64(v);
+            std::memcpy(raw.data() + w * 8, &v, 8);
+        }
+        for (size_t b = words * 8; b < obj.bytes; ++b)
+            raw[b] = wire[off + b];
+        dsm.poke(destNode, obj.addr, raw.data(), raw.size());
+        off += obj.bytes;
+        res.deserializeCycles += words * kDeserializeCyclesPerWord +
+                                 kDeserializeCyclesPerWord;
+    }
+    res.deserializeSeconds = static_cast<double>(res.deserializeCycles) *
+                             destSpec.secondsPerCycle();
+    return res;
+}
+
+std::vector<StateObject>
+captureState(const MultiIsaBinary &bin, const ReplicatedOS &os)
+{
+    std::vector<StateObject> objs;
+    for (const GlobalVar &g : bin.ir.globals) {
+        if (g.isConst || g.isTls)
+            continue;
+        objs.push_back({bin.globalAddr[g.id], g.size});
+    }
+    for (auto [addr, size] : os.heapObjects())
+        objs.push_back({addr, size});
+    return objs;
+}
+
+} // namespace xisa

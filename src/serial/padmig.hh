@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Serialization-based migration baseline (PadMig, Section 6/7, Fig. 11).
+ *
+ * PadMig migrates Java applications by reflecting over the object graph,
+ * serializing it to a neutral wire format, shipping it, and
+ * de-serializing on the destination. The paper's Fig. 11 shows this
+ * costing ~8 s of a 23 s run, versus immediate resumption with
+ * multi-ISA binaries.
+ *
+ * Our analog walks the application's state objects (globals + live heap
+ * blocks), genuinely converts every word to a big-endian neutral format
+ * (and back on the destination), charges per-word reflection costs on
+ * both sides, and moves the bytes through the same Interconnect model
+ * the native path uses. The contrast with the native migration -- which
+ * moves only the transformed stack eagerly and pages on demand -- is
+ * exactly the paper's point: common-format state needs no conversion.
+ */
+
+#ifndef XISA_SERIAL_PADMIG_HH
+#define XISA_SERIAL_PADMIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "binary/multibinary.hh"
+#include "dsm/dsm.hh"
+#include "machine/node.hh"
+
+namespace xisa {
+
+class ReplicatedOS;
+
+/** One serializable region of application state. */
+struct StateObject {
+    uint64_t addr = 0;
+    uint64_t bytes = 0;
+};
+
+/** Cost/size breakdown of one serialization-based migration. */
+struct SerializeResult {
+    uint64_t objects = 0;
+    uint64_t bytes = 0;
+    uint64_t serializeCycles = 0;   ///< on the source clock
+    uint64_t deserializeCycles = 0; ///< on the destination clock
+    double serializeSeconds = 0;
+    double transferSeconds = 0;
+    double deserializeSeconds = 0;
+
+    double
+    totalSeconds() const
+    {
+        return serializeSeconds + transferSeconds + deserializeSeconds;
+    }
+};
+
+/** PadMig-style whole-state migrator. */
+class SerializingMigrator
+{
+  public:
+    explicit SerializingMigrator(Interconnect *net) : net_(net) {}
+
+    /**
+     * Serialize `objects` out of `dsm` (as seen from srcNode), convert
+     * to the neutral format, transfer, de-serialize onto destNode. The
+     * destination copies are actually written, so correctness is
+     * testable, not just costed.
+     */
+    SerializeResult migrate(DsmSpace &dsm, int srcNode, int destNode,
+                            const std::vector<StateObject> &objects,
+                            const NodeSpec &srcSpec,
+                            const NodeSpec &destSpec);
+
+  private:
+    Interconnect *net_;
+};
+
+/**
+ * Capture the serializable state of a running container: all writable
+ * globals plus live heap allocations (the reflection-discovered object
+ * graph of PadMig).
+ */
+std::vector<StateObject> captureState(const MultiIsaBinary &bin,
+                                      const ReplicatedOS &os);
+
+} // namespace xisa
+
+#endif // XISA_SERIAL_PADMIG_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Little-endian byte-stream writer/reader shared by the binary format,
+ * the DSM snapshotter, and container checkpoints. The reader
+ * bounds-checks every access and fatal()s with a diagnostic on
+ * truncation or implausible lengths, so corrupt inputs fail loudly.
+ */
+
+#ifndef XISA_UTIL_BYTES_HH
+#define XISA_UTIL_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+/** Append-only little-endian encoder. */
+class ByteWriter
+{
+  public:
+    std::vector<uint8_t> out;
+
+    void
+    raw(const void *src, size_t n)
+    {
+        const uint8_t *s = static_cast<const uint8_t *>(src);
+        out.insert(out.end(), s, s + n);
+    }
+    void u8(uint8_t v) { raw(&v, 1); }
+    void u32(uint32_t v) { raw(&v, 4); }
+    void u64(uint64_t v) { raw(&v, 8); }
+    void i64(int64_t v) { raw(&v, 8); }
+    void f64(double v) { raw(&v, 8); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+    void
+    blob(const std::vector<uint8_t> &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size());
+    }
+
+    template <typename T, typename Fn>
+    void
+    list(const std::vector<T> &v, Fn fn)
+    {
+        u32(static_cast<uint32_t>(v.size()));
+        for (const T &e : v)
+            fn(e);
+    }
+};
+
+/** Bounds-checked little-endian decoder. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &data) : data_(data) {}
+
+    void
+    raw(void *dst, size_t n)
+    {
+        if (pos_ + n > data_.size())
+            fatal("byte stream truncated at offset %zu", pos_);
+        std::memcpy(dst, data_.data() + pos_, n);
+        pos_ += n;
+    }
+    uint8_t u8() { uint8_t v; raw(&v, 1); return v; }
+    uint32_t u32() { uint32_t v; raw(&v, 4); return v; }
+    uint64_t u64() { uint64_t v; raw(&v, 8); return v; }
+    int64_t i64() { int64_t v; raw(&v, 8); return v; }
+    double f64() { double v; raw(&v, 8); return v; }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        if (n > 1u << 20)
+            fatal("byte-stream string length %u implausible", n);
+        std::string s(n, '\0');
+        raw(s.data(), n);
+        return s;
+    }
+
+    std::vector<uint8_t>
+    blob()
+    {
+        uint64_t n = u64();
+        if (pos_ + n > data_.size())
+            fatal("byte-stream blob of %llu bytes truncated",
+                  static_cast<unsigned long long>(n));
+        std::vector<uint8_t> v(data_.begin() +
+                                   static_cast<ptrdiff_t>(pos_),
+                               data_.begin() +
+                                   static_cast<ptrdiff_t>(pos_ + n));
+        pos_ += n;
+        return v;
+    }
+
+    template <typename T, typename Fn>
+    std::vector<T>
+    list(Fn fn)
+    {
+        uint32_t n = u32();
+        if (n > 1u << 24)
+            fatal("byte-stream list of %u entries implausible", n);
+        std::vector<T> v;
+        v.reserve(n);
+        for (uint32_t i = 0; i < n; ++i)
+            v.push_back(fn());
+        return v;
+    }
+
+    bool done() const { return pos_ == data_.size(); }
+    size_t position() const { return pos_; }
+
+  private:
+    const std::vector<uint8_t> &data_;
+    size_t pos_ = 0;
+};
+
+} // namespace xisa
+
+#endif // XISA_UTIL_BYTES_HH

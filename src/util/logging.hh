@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status and error reporting for the CrossBound libraries.
+ *
+ * Follows the gem5 convention: inform()/warn() report conditions to the
+ * user without stopping execution; fatal() is for user errors (bad
+ * configuration, invalid arguments) and throws FatalError; panic() is for
+ * internal invariant violations (library bugs) and throws PanicError.
+ * Both error paths throw rather than abort so the test suite can assert
+ * on them.
+ */
+
+#ifndef XISA_UTIL_LOGGING_HH
+#define XISA_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace xisa {
+
+/** Error caused by user input: bad configuration, invalid arguments. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error caused by a violated internal invariant (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Verbosity levels for user-facing messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global verbosity. Defaults to Warn. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of strfmt(). */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Informative message the user should know but not worry about. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something may not behave as well as it should. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Developer-facing debug chatter, hidden unless LogLevel::Debug. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** User error: report and throw FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Library bug: report and throw PanicError. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace xisa
+
+/**
+ * Invariant check that survives NDEBUG builds. Use for conditions that
+ * indicate a CrossBound bug, never for user-input validation.
+ */
+#define XISA_CHECK(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::xisa::panic("check failed: %s (%s:%d): %s", #cond, __FILE__,  \
+                          __LINE__, msg);                                   \
+    } while (0)
+
+#endif // XISA_UTIL_LOGGING_HH

@@ -1,0 +1,134 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace xisa {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++count_;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStat::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+std::string
+BoxSummary::str(const char *numFmt) const
+{
+    std::string fmt = strfmt("%s/%s/%s/%s/%s", numFmt, numFmt, numFmt,
+                             numFmt, numFmt);
+    return strfmt(fmt.c_str(), min, q1, median, q3, max);
+}
+
+namespace {
+
+// Type-7 quantile (linear interpolation), matching numpy's default.
+double
+quantileSorted(const std::vector<double> &xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    if (xs.size() == 1)
+        return xs[0];
+    double pos = q * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+} // namespace
+
+BoxSummary
+boxSummary(std::vector<double> samples)
+{
+    BoxSummary box;
+    box.count = samples.size();
+    if (samples.empty())
+        return box;
+    std::sort(samples.begin(), samples.end());
+    box.min = samples.front();
+    box.q1 = quantileSorted(samples, 0.25);
+    box.median = quantileSorted(samples, 0.50);
+    box.q3 = quantileSorted(samples, 0.75);
+    box.max = samples.back();
+    return box;
+}
+
+DecadeHistogram::DecadeHistogram(int lo, int hi) : lo_(lo), hi_(hi)
+{
+    if (hi < lo)
+        fatal("DecadeHistogram: hi decade %d < lo decade %d", hi, lo);
+    buckets_.assign(static_cast<size_t>(hi - lo + 1), 0);
+}
+
+void
+DecadeHistogram::add(double x)
+{
+    if (x <= 0)
+        fatal("DecadeHistogram: sample must be positive, got %g", x);
+    int decade = static_cast<int>(std::floor(std::log10(x)));
+    decade = std::clamp(decade, lo_, hi_);
+    ++buckets_[static_cast<size_t>(decade - lo_)];
+    ++total_;
+}
+
+uint64_t
+DecadeHistogram::bucket(int decade) const
+{
+    if (decade < lo_ || decade > hi_)
+        return 0;
+    return buckets_[static_cast<size_t>(decade - lo_)];
+}
+
+std::string
+DecadeHistogram::str() const
+{
+    std::string out;
+    for (int d = lo_; d <= hi_; ++d)
+        out += strfmt("10^%d: %llu\n", d,
+                      static_cast<unsigned long long>(bucket(d)));
+    return out;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        if (x <= 0)
+            fatal("geomean: sample must be positive, got %g", x);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace xisa

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Container checkpoint/restore tests: mid-run snapshots resume exactly,
+ * kernel service state (heap, barriers, blocked threads) survives, and
+ * mismatched restores are rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "ir/interp.hh"
+#include "os/os.hh"
+#include "util/logging.hh"
+#include "workload/workloads.hh"
+
+namespace xisa {
+namespace {
+
+/** Run until ~instrs, checkpoint, and return (bytes, outputs so far). */
+std::vector<uint8_t>
+checkpointMidRun(const MultiIsaBinary &bin, const OsConfig &cfg,
+                 uint64_t when)
+{
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    std::vector<uint8_t> ckpt;
+    os.onQuantum = [&](ReplicatedOS &self) {
+        if (ckpt.empty() && self.totalInstrs() >= when)
+            ckpt = self.checkpoint();
+    };
+    os.run();
+    return ckpt;
+}
+
+TEST(Checkpoint, MidRunRestoreResumesExactly)
+{
+    Module mod = buildWorkload(WorkloadId::REDIS, ProblemClass::A, 1);
+    IRRunResult ref = IRInterp(mod, 1ull << 34).runEntry();
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    OsConfig cfg = OsConfig::dualServer();
+
+    std::vector<uint8_t> ckpt = checkpointMidRun(bin, cfg, 200000);
+    ASSERT_FALSE(ckpt.empty());
+
+    ReplicatedOS resumed(bin, cfg);
+    resumed.restore(ckpt);
+    ASSERT_FALSE(resumed.finished());
+    OsRunResult res = resumed.run();
+    EXPECT_EQ(res.output, ref.output);
+    EXPECT_EQ(res.exitCode, ref.retVal);
+}
+
+TEST(Checkpoint, InstructionTotalsCarryAcrossRestore)
+{
+    MultiIsaBinary bin = compileModule(
+        buildWorkload(WorkloadId::EP, ProblemClass::A, 1));
+    OsConfig cfg = OsConfig::dualServer();
+    OsRunResult straight;
+    {
+        ReplicatedOS os(bin, cfg);
+        os.load(0);
+        straight = os.run();
+    }
+    std::vector<uint8_t> ckpt = checkpointMidRun(bin, cfg, 300000);
+    ReplicatedOS resumed(bin, cfg);
+    resumed.restore(ckpt);
+    OsRunResult res = resumed.run();
+    EXPECT_EQ(res.totalInstrs, straight.totalInstrs);
+    EXPECT_EQ(res.output, straight.output);
+}
+
+TEST(Checkpoint, MultithreadedBarriersAndBlockedThreadsSurvive)
+{
+    Module mod = buildWorkload(WorkloadId::CG, ProblemClass::A, 4);
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    OsConfig cfg = OsConfig::dualServer();
+    OsRunResult straight;
+    {
+        ReplicatedOS os(bin, cfg);
+        os.load(0);
+        straight = os.run();
+    }
+    // Checkpoint deep inside the barrier-heavy phase.
+    std::vector<uint8_t> ckpt = checkpointMidRun(bin, cfg, 400000);
+    ASSERT_FALSE(ckpt.empty());
+    ReplicatedOS resumed(bin, cfg);
+    resumed.restore(ckpt);
+    OsRunResult res = resumed.run();
+    EXPECT_EQ(res.output, straight.output);
+}
+
+TEST(Checkpoint, RestoredContainerCanStillMigrate)
+{
+    Module mod = buildWorkload(WorkloadId::IS, ProblemClass::A, 1);
+    IRRunResult ref = IRInterp(mod, 1ull << 34).runEntry();
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    OsConfig cfg = OsConfig::dualServer();
+    std::vector<uint8_t> ckpt = checkpointMidRun(bin, cfg, 200000);
+    ReplicatedOS resumed(bin, cfg);
+    resumed.restore(ckpt);
+    resumed.migrateProcess(1); // cross-ISA live migration after restore
+    OsRunResult res = resumed.run();
+    EXPECT_EQ(res.output, ref.output);
+    EXPECT_GE(resumed.migrations().size(), 1u);
+}
+
+TEST(Checkpoint, RejectsMismatchedConfigurations)
+{
+    MultiIsaBinary bin = compileModule(
+        buildWorkload(WorkloadId::EP, ProblemClass::A, 1));
+    std::vector<uint8_t> ckpt =
+        checkpointMidRun(bin, OsConfig::dualServer(), 100000);
+
+    // Wrong node pool (single node).
+    {
+        OsConfig cfg;
+        cfg.nodes = {makeXenoServer()};
+        ReplicatedOS os(bin, cfg);
+        EXPECT_THROW(os.restore(ckpt), FatalError);
+    }
+    // Wrong binary.
+    {
+        MultiIsaBinary other = compileModule(
+            buildWorkload(WorkloadId::IS, ProblemClass::A, 1));
+        ReplicatedOS os(other, OsConfig::dualServer());
+        EXPECT_THROW(os.restore(ckpt), FatalError);
+    }
+    // Corrupt payload.
+    {
+        std::vector<uint8_t> bad = ckpt;
+        bad.resize(bad.size() / 3);
+        ReplicatedOS os(bin, OsConfig::dualServer());
+        EXPECT_THROW(os.restore(bad), FatalError);
+    }
+    // Restore into a loaded container.
+    {
+        ReplicatedOS os(bin, OsConfig::dualServer());
+        os.load(0);
+        EXPECT_THROW(os.restore(ckpt), PanicError);
+    }
+}
+
+TEST(Checkpoint, SizeReflectsTheEagerMemoryCopy)
+{
+    // The checkpoint carries the whole memory image -- the overhead the
+    // paper's live migration avoids. IS class B touches ~1.5 MB.
+    MultiIsaBinary bin = compileModule(
+        buildWorkload(WorkloadId::IS, ProblemClass::B, 1));
+    std::vector<uint8_t> ckpt =
+        checkpointMidRun(bin, OsConfig::dualServer(), 2000000);
+    EXPECT_GT(ckpt.size(), 1000u * 1000u);
+}
+
+} // namespace
+} // namespace xisa

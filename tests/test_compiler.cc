@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Compiler tests: liveness, backend structure, symbol alignment, and
+ * end-to-end differential execution (compiled code on both ISAs must
+ * match the reference IR interpreter exactly).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/backend.hh"
+#include "compiler/compile.hh"
+#include "compiler/liveness.hh"
+#include "compiler/migpass.hh"
+#include "testprogs.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+namespace {
+
+using testing::makeArithProgram;
+using testing::makeDeepRecursionProgram;
+using testing::makeFloatProgram;
+using testing::makePointerProgram;
+using testing::makeThreadedProgram;
+using testing::makeTlsHeapProgram;
+using testing::runCompiled;
+using testing::runReference;
+
+// --- Liveness ---------------------------------------------------------
+
+TEST(Liveness, ValueLiveAcrossCallIsRecorded)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &g = mb.defineFunc("g", Type::I64, {});
+    g.ret(g.constInt(1));
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId x = f.constInt(5);           // live across the call
+    ValueId y = f.call(mb.findFunc("g"), {});
+    f.ret(f.add(x, y));
+    Module mod = mb.finish();
+    assignCallSiteIds(mod);
+    const IRFunction &fn = mod.func(mod.findFunc("main"));
+    LivenessInfo live = computeLiveness(fn);
+    ASSERT_EQ(live.liveAtSite.size(), 1u);
+    const auto &vals = live.liveAtSite.begin()->second;
+    EXPECT_EQ(vals.size(), 1u);
+    EXPECT_EQ(vals[0], x);
+    EXPECT_TRUE(live.liveAcrossCall[x]);
+    EXPECT_FALSE(live.liveAcrossCall[y]);
+}
+
+TEST(Liveness, DeadValuesNotInStackmap)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &g = mb.defineFunc("g", Type::I64, {});
+    g.ret(g.constInt(1));
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId dead = f.constInt(99);
+    (void)dead;
+    ValueId y = f.call(mb.findFunc("g"), {});
+    f.ret(y);
+    Module mod = mb.finish();
+    assignCallSiteIds(mod);
+    LivenessInfo live = computeLiveness(mod.func(mod.findFunc("main")));
+    EXPECT_TRUE(live.liveAtSite.begin()->second.empty());
+}
+
+TEST(Liveness, LoopCarriedValuesStayLive)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &g = mb.defineFunc("g", Type::Void, {});
+    g.ret();
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t slot = f.declareAlloca(8, 8, "acc");
+    ValueId acc = f.allocaAddr(slot); // live through the whole loop
+    f.store(Type::I64, acc, f.constInt(0));
+    f.forLoopI(0, 3, [&](ValueId) {
+        f.callVoid(mb.findFunc("g"), {});
+        f.store(Type::I64, acc,
+                f.addImm(f.load(Type::I64, acc), 1));
+    });
+    f.ret(f.load(Type::I64, acc));
+    Module mod = mb.finish();
+    assignCallSiteIds(mod);
+    LivenessInfo live = computeLiveness(mod.func(mod.findFunc("main")));
+    bool found = false;
+    for (const auto &[id, vals] : live.liveAtSite)
+        for (ValueId v : vals)
+            found |= v == acc;
+    EXPECT_TRUE(found);
+}
+
+// --- Binary structure ---------------------------------------------------
+
+TEST(MultiBinary, AlignedLayoutGivesIdenticalAddresses)
+{
+    MultiIsaBinary bin = compileModule(makeArithProgram(10));
+    ASSERT_TRUE(bin.alignedLayout);
+    for (const IRFunction &fn : bin.ir.functions) {
+        EXPECT_EQ(bin.funcAddr[0][fn.id], bin.funcAddr[1][fn.id])
+            << fn.name;
+    }
+    // The layout invariant: padded slots never overlap the next symbol.
+    for (int i = 0; i < kNumIsas; ++i) {
+        uint64_t prevEnd = 0;
+        for (const IRFunction &fn : bin.ir.functions) {
+            if (fn.isBuiltin())
+                continue;
+            uint64_t addr = bin.funcAddr[i][fn.id];
+            EXPECT_GE(addr, prevEnd);
+            prevEnd = addr + bin.image[i][fn.id].codeBytes();
+        }
+    }
+}
+
+TEST(MultiBinary, UnalignedLayoutPacksNaturally)
+{
+    CompileOptions opts;
+    opts.alignedLayout = false;
+    MultiIsaBinary bin = compileModule(makeArithProgram(10), opts);
+    // Text sizes differ between ISAs, so at least one non-first user
+    // function must land at different addresses.
+    bool differs = false;
+    for (const IRFunction &fn : bin.ir.functions)
+        if (!fn.isBuiltin())
+            differs |= bin.funcAddr[0][fn.id] != bin.funcAddr[1][fn.id];
+    EXPECT_TRUE(differs);
+    // Unaligned text is never larger than aligned text.
+    MultiIsaBinary aligned = compileModule(makeArithProgram(10));
+    for (int i = 0; i < kNumIsas; ++i)
+        EXPECT_LE(bin.textEnd[i], aligned.textEnd[i]);
+}
+
+TEST(MultiBinary, CallSitesExistOnBothIsasWithSameKeys)
+{
+    MultiIsaBinary bin = compileModule(makeArithProgram(10));
+    ASSERT_FALSE(bin.callSite[0].empty());
+    EXPECT_EQ(bin.callSite[0].size(), bin.callSite[1].size());
+    for (const auto &[id, site] : bin.callSite[0]) {
+        const CallSiteInfo &other = bin.site(IsaId::Xeno64, id);
+        EXPECT_EQ(site.funcId, other.funcId);
+        EXPECT_EQ(site.isMigrationPoint, other.isMigrationPoint);
+        EXPECT_EQ(site.live.size(), other.live.size());
+        // Same BIR values recorded, possibly in different locations.
+        std::set<ValueId> a, b;
+        for (const LiveValue &lv : site.live)
+            a.insert(lv.irValue);
+        for (const LiveValue &lv : other.live)
+            b.insert(lv.irValue);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(MultiBinary, ResolveCodeRoundTrips)
+{
+    MultiIsaBinary bin = compileModule(makeArithProgram(10));
+    for (int i = 0; i < kNumIsas; ++i) {
+        IsaId isa = static_cast<IsaId>(i);
+        CodeMap map(bin, isa);
+        for (const IRFunction &fn : bin.ir.functions) {
+            if (fn.isBuiltin())
+                continue;
+            const FuncImage &img = bin.image[i][fn.id];
+            for (uint32_t idx = 0; idx < img.code.size(); ++idx) {
+                uint64_t addr = bin.codeAddr(isa, fn.id, idx);
+                CodeLoc loc = map.resolve(addr);
+                EXPECT_EQ(loc.funcId, fn.id);
+                EXPECT_EQ(loc.instrIdx, idx);
+            }
+        }
+        EXPECT_FALSE(map.contains(vm::kTextBase - 1));
+    }
+}
+
+TEST(MultiBinary, FrameLayoutsDifferAcrossIsas)
+{
+    MultiIsaBinary bin = compileModule(makePointerProgram());
+    uint32_t mainId = bin.ir.findFunc("main");
+    const FrameInfo &a = bin.image[0][mainId].frame;
+    const FrameInfo &x = bin.image[1][mainId].frame;
+    ASSERT_EQ(a.allocaFpOff.size(), x.allocaFpOff.size());
+    ASSERT_GE(a.allocaFpOff.size(), 2u);
+    // Different alloca placement and/or frame size: the transformation
+    // must never degenerate into memcpy.
+    bool differs = a.frameSize != x.frameSize;
+    for (size_t s = 0; s < a.allocaFpOff.size(); ++s)
+        differs |= a.allocaFpOff[s] != x.allocaFpOff[s];
+    EXPECT_TRUE(differs);
+}
+
+TEST(MultiBinary, MigrationPointsAtFunctionBoundaries)
+{
+    Module mod = makeArithProgram(10);
+    size_t before = countMigPoints(mod);
+    EXPECT_EQ(before, 0u);
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    uint32_t migSites = 0;
+    for (const auto &[id, site] : bin.callSite[0])
+        migSites += site.isMigrationPoint;
+    // gcd: entry + 2 rets; main: entry + 1 ret => 6 (plus the loop
+    // structure adds none).
+    EXPECT_GE(migSites, 5u);
+    // Every function has at least one check recorded in its image.
+    for (const IRFunction &fn : bin.ir.functions) {
+        if (fn.isBuiltin())
+            continue;
+        EXPECT_FALSE(bin.image[0][fn.id].migChecks.empty()) << fn.name;
+    }
+}
+
+// --- Differential execution ----------------------------------------------
+
+class ExecutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutionTest, ArithMatchesReference)
+{
+    Module mod = makeArithProgram(100);
+    IRRunResult ref = runReference(mod);
+    OsRunResult got = runCompiled(mod, GetParam());
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_EQ(got.output, ref.output);
+}
+
+TEST_P(ExecutionTest, FloatMatchesReference)
+{
+    Module mod = makeFloatProgram(64);
+    IRRunResult ref = runReference(mod);
+    OsRunResult got = runCompiled(mod, GetParam());
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_EQ(got.output, ref.output);
+}
+
+TEST_P(ExecutionTest, PointerProgramMatchesReference)
+{
+    Module mod = makePointerProgram();
+    IRRunResult ref = runReference(mod);
+    OsRunResult got = runCompiled(mod, GetParam());
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_EQ(got.output, ref.output);
+}
+
+TEST_P(ExecutionTest, TlsHeapMatchesReference)
+{
+    Module mod = makeTlsHeapProgram();
+    IRRunResult ref = runReference(mod);
+    OsRunResult got = runCompiled(mod, GetParam());
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_EQ(got.output, ref.output);
+}
+
+TEST_P(ExecutionTest, DeepRecursionMatchesReference)
+{
+    Module mod = makeDeepRecursionProgram(50);
+    IRRunResult ref = runReference(mod);
+    OsRunResult got = runCompiled(mod, GetParam());
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_EQ(got.output, ref.output);
+}
+
+TEST_P(ExecutionTest, UnalignedBinariesAlsoExecuteCorrectly)
+{
+    Module mod = makeArithProgram(50);
+    IRRunResult ref = runReference(mod);
+    CompileOptions opts;
+    opts.alignedLayout = false;
+    OsRunResult got = runCompiled(mod, GetParam(), opts);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+}
+
+TEST_P(ExecutionTest, UninstrumentedBinariesAlsoExecuteCorrectly)
+{
+    Module mod = makeArithProgram(50);
+    IRRunResult ref = runReference(mod);
+    CompileOptions opts;
+    opts.boundaryMigPoints = false;
+    OsRunResult got = runCompiled(mod, GetParam(), opts);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStartNodes, ExecutionTest,
+                         ::testing::Values(0, 1),
+                         [](const auto &info) {
+                             return info.param == 0
+                                        ? std::string("xeno")
+                                        : std::string("aether");
+                         });
+
+TEST(Execution, ThreadedSumIsCorrectOnBothIsas)
+{
+    // sum 0..99 = 4950 with 4 worker threads.
+    Module mod = makeThreadedProgram(4, 100);
+    for (int node : {0, 1}) {
+        OsRunResult got = runCompiled(mod, node);
+        EXPECT_EQ(got.exitCode, 4950) << "node " << node;
+        ASSERT_EQ(got.output.size(), 1u);
+        EXPECT_EQ(got.output[0], "4950");
+    }
+}
+
+TEST(Execution, InstructionCountsDifferAcrossIsas)
+{
+    // Sanity: the two backends really generate different code.
+    Module mod = makeArithProgram(100);
+    OsRunResult a = runCompiled(mod, 0);
+    OsRunResult b = runCompiled(mod, 1);
+    EXPECT_NE(a.totalInstrs, b.totalInstrs);
+}
+
+} // namespace
+} // namespace xisa

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Core-runtime tests: transformation cost model, gap profiling, and the
+ * migration-point planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/migprofile.hh"
+#include "core/stacktransform.hh"
+#include "workload/workloads.hh"
+
+namespace xisa {
+namespace {
+
+TEST(TransformCost, MonotoneInFramesValuesAndBytes)
+{
+    NodeSpec x86 = makeXenoServer();
+    TransformStats small;
+    small.frames = 2;
+    small.liveValues = 4;
+    small.bytesCopied = 128;
+    TransformStats big = small;
+    big.frames = 8;
+    EXPECT_GT(StackTransformer::costCycles(big, x86),
+              StackTransformer::costCycles(small, x86));
+    big = small;
+    big.liveValues = 40;
+    EXPECT_GT(StackTransformer::costCycles(big, x86),
+              StackTransformer::costCycles(small, x86));
+    big = small;
+    big.bytesCopied = 1 << 20;
+    EXPECT_GT(StackTransformer::costCycles(big, x86),
+              StackTransformer::costCycles(small, x86));
+}
+
+TEST(TransformCost, ArmLikeCorePaysMorePerTransform)
+{
+    TransformStats work;
+    work.frames = 5;
+    work.liveValues = 20;
+    work.bytesCopied = 512;
+    uint64_t x86 = StackTransformer::costCycles(work, makeXenoServer());
+    uint64_t arm =
+        StackTransformer::costCycles(work, makeAetherServer());
+    EXPECT_GT(arm, x86);
+    // Wall-clock ratio close to the paper's ~2x.
+    double x86Sec = static_cast<double>(x86) *
+                    makeXenoServer().secondsPerCycle();
+    double armSec = static_cast<double>(arm) *
+                    makeAetherServer().secondsPerCycle();
+    EXPECT_GT(armSec / x86Sec, 1.5);
+    EXPECT_LT(armSec / x86Sec, 3.5);
+}
+
+TEST(GapProfiler, BoundaryPointsLeaveLargeGapsInLoops)
+{
+    Module mod = buildWorkload(WorkloadId::CG, ProblemClass::A, 1);
+    GapProfile prof = profileMigrationGaps(mod, CompileOptions{});
+    // Serial CG executes few boundary points: entries/exits of main,
+    // cg_init and cg_worker only.
+    EXPECT_GE(prof.checksExecuted, 4u);
+    EXPECT_GT(prof.maxGap, 10000u)
+        << "CG's main loops should dwarf the boundary-point spacing";
+    EXPECT_FALSE(prof.blockWeight.empty());
+    EXPECT_GT(prof.totalInstrs, 100000u);
+}
+
+TEST(GapPlanner, InsertedLoopPointsShrinkTheMaxGap)
+{
+    Module mod = buildWorkload(WorkloadId::CG, ProblemClass::A, 1);
+    const uint64_t target = 20000;
+    MigPointPlan plan = planMigrationPoints(mod, target);
+    EXPECT_FALSE(plan.points.empty());
+    EXPECT_LT(plan.after.maxGap, plan.before.maxGap);
+    EXPECT_LE(plan.after.maxGap, target)
+        << "planner should reach the target on CG";
+    // More checks executed after instrumentation.
+    EXPECT_GT(plan.after.checksExecuted, plan.before.checksExecuted);
+}
+
+TEST(GapPlanner, PointsTargetLoopBlocks)
+{
+    Module mod = buildWorkload(WorkloadId::IS, ProblemClass::A, 1);
+    MigPointPlan plan = planMigrationPoints(mod, 30000);
+    for (const MigPointSpec &spec : plan.points) {
+        const IRFunction &f = mod.func(spec.funcId);
+        EXPECT_FALSE(f.isBuiltin());
+        EXPECT_GT(f.blocks[spec.blockId].loopDepth, 0) << f.name;
+    }
+}
+
+} // namespace
+} // namespace xisa

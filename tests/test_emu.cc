@@ -1,0 +1,111 @@
+/**
+ * @file
+ * DBT baseline tests: translation shapes, helper asymmetry, and the
+ * Fig. 1 slowdown structure (x86-on-ARM >> ARM-on-x86; FP-heavy codes
+ * suffer most).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "emu/dbt.hh"
+#include "workload/workloads.hh"
+
+namespace xisa {
+namespace {
+
+TEST(Translator, IntegerAluIsNearOneToOneForRiscGuest)
+{
+    Translator x(IsaId::Aether64, IsaId::Xeno64);
+    MachInstr add;
+    add.op = MOp::Add;
+    EXPECT_EQ(x.translate(add).size(), 1u);
+}
+
+TEST(Translator, CiscGuestPaysForFlagMaterialization)
+{
+    Translator x(IsaId::Xeno64, IsaId::Aether64);
+    MachInstr add;
+    add.op = MOp::Add;
+    EXPECT_GE(x.translate(add).size(), 3u);
+}
+
+TEST(Translator, MemoryGoesThroughSoftmmu)
+{
+    for (auto [g, h] : {std::pair{IsaId::Aether64, IsaId::Xeno64},
+                        std::pair{IsaId::Xeno64, IsaId::Aether64}}) {
+        Translator x(g, h);
+        MachInstr ldr;
+        ldr.op = MOp::Ldr;
+        EXPECT_GE(x.translate(ldr).size(), 6u) << isaName(g);
+    }
+}
+
+TEST(Translator, FloatingPointUsesHelpers)
+{
+    Translator toArm(IsaId::Xeno64, IsaId::Aether64);
+    Translator toX86(IsaId::Aether64, IsaId::Xeno64);
+    EXPECT_GT(toArm.helperCycles(MOp::FMul), 0u);
+    EXPECT_GT(toX86.helperCycles(MOp::FMul), 0u);
+    // Softfloat on the weak ARM-like host costs much more.
+    EXPECT_GT(toArm.helperCycles(MOp::FMul),
+              2 * toX86.helperCycles(MOp::FMul));
+    EXPECT_EQ(toArm.helperCycles(MOp::Add), 0u);
+}
+
+TEST(Translator, TranslationOfCiscGuestCostsMore)
+{
+    Translator toArm(IsaId::Xeno64, IsaId::Aether64);
+    Translator toX86(IsaId::Aether64, IsaId::Xeno64);
+    MachInstr mov;
+    mov.op = MOp::MovReg;
+    EXPECT_GT(toArm.translateCycles(mov), toX86.translateCycles(mov));
+}
+
+TEST(Emulate, SlowdownExceedsOneInBothDirections)
+{
+    MultiIsaBinary bin = compileModule(
+        buildWorkload(WorkloadId::REDIS, ProblemClass::A, 1));
+    EmulationResult armOnX86 = emulate(bin, IsaId::Aether64,
+                                       makeXenoServer(),
+                                       makeAetherServer());
+    EmulationResult x86OnArm = emulate(bin, IsaId::Xeno64,
+                                       makeAetherServer(),
+                                       makeXenoServer());
+    EXPECT_GT(armOnX86.slowdown, 1.0);
+    EXPECT_GT(x86OnArm.slowdown, 5.0);
+    // The paper's asymmetry: emulating x86 on ARM is far worse (2.6x
+    // vs 34x for Redis).
+    EXPECT_GT(x86OnArm.slowdown, 4 * armOnX86.slowdown);
+    EXPECT_GT(armOnX86.guestInstrs, 0u);
+    EXPECT_GT(armOnX86.translationCycles, 0u);
+}
+
+TEST(Emulate, FpHeavyCodeSuffersMoreThanIntegerCode)
+{
+    MultiIsaBinary ft = compileModule(
+        buildWorkload(WorkloadId::FT, ProblemClass::A, 1));
+    MultiIsaBinary is = compileModule(
+        buildWorkload(WorkloadId::IS, ProblemClass::A, 1));
+    EmulationResult ftSlow = emulate(ft, IsaId::Xeno64,
+                                     makeAetherServer(),
+                                     makeXenoServer());
+    EmulationResult isSlow = emulate(is, IsaId::Xeno64,
+                                     makeAetherServer(),
+                                     makeXenoServer());
+    EXPECT_GT(ftSlow.slowdown, isSlow.slowdown);
+}
+
+TEST(Emulate, NativeTimingComesFromRealExecution)
+{
+    MultiIsaBinary bin = compileModule(
+        buildWorkload(WorkloadId::EP, ProblemClass::A, 1));
+    EmulationResult r = emulate(bin, IsaId::Aether64, makeXenoServer(),
+                                makeAetherServer());
+    EXPECT_GT(r.nativeSeconds, 0.0);
+    EXPECT_GT(r.emulatedSeconds, r.nativeSeconds);
+    EXPECT_GT(r.staticInstrsTranslated, 100u);
+}
+
+} // namespace
+} // namespace xisa

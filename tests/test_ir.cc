@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Unit tests for ir/: builder, verifier, and the reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ir/builder.hh"
+#include "ir/interp.hh"
+#include "ir/ir.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+namespace {
+
+TEST(Types, SizesMatchBothRealIsas)
+{
+    EXPECT_EQ(typeSize(Type::I8), 1);
+    EXPECT_EQ(typeSize(Type::I32), 4);
+    EXPECT_EQ(typeSize(Type::I64), 8);
+    EXPECT_EQ(typeSize(Type::F64), 8);
+    EXPECT_EQ(typeSize(Type::Ptr), 8);
+    EXPECT_EQ(typeSize(Type::Void), 0);
+    EXPECT_EQ(typeAlign(Type::I32), 4);
+    EXPECT_EQ(typeAlign(Type::Void), 1);
+}
+
+// --- Builder + verifier ---------------------------------------------------
+
+TEST(Builder, BuildsAVerifiableModule)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId a = f.constInt(40);
+    ValueId b = f.constInt(2);
+    f.ret(f.add(a, b));
+    Module mod = mb.finish();
+    EXPECT_EQ(mod.entryFuncId, mod.findFunc("main"));
+    EXPECT_EQ(mod.numUserFuncs(), 1u);
+}
+
+TEST(Builder, RejectsDuplicateFunctionNames)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::Void, {});
+    f.ret();
+    EXPECT_THROW(mb.defineFunc("main", Type::Void, {}), FatalError);
+}
+
+TEST(Builder, EmitAfterTerminatorPanics)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::Void, {});
+    f.ret();
+    EXPECT_THROW(f.constInt(1), PanicError);
+}
+
+TEST(Verifier, CatchesMissingTerminator)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    f.constInt(1); // no terminator
+    EXPECT_THROW(mb.finish(), FatalError);
+}
+
+TEST(Verifier, CatchesBranchOutOfRange)
+{
+    Module mod;
+    mod.name = "t";
+    IRFunction f;
+    f.name = "main";
+    f.id = 0;
+    f.retType = Type::Void;
+    BasicBlock bb;
+    IRInstr br;
+    br.op = IROp::Br;
+    br.target = 7; // no such block
+    bb.instrs.push_back(br);
+    f.blocks.push_back(bb);
+    mod.functions.push_back(f);
+    EXPECT_THROW(mod.verify(), FatalError);
+}
+
+TEST(Verifier, CatchesTypeMismatchInFloatOps)
+{
+    Module mod;
+    mod.name = "t";
+    IRFunction f;
+    f.name = "main";
+    f.id = 0;
+    f.retType = Type::Void;
+    f.vregTypes = {Type::I64, Type::F64, Type::F64};
+    BasicBlock bb;
+    IRInstr fa;
+    fa.op = IROp::FAdd;
+    fa.dst = 1;
+    fa.a = 0; // I64 operand into FAdd
+    fa.b = 2;
+    bb.instrs.push_back(fa);
+    IRInstr ret;
+    ret.op = IROp::Ret;
+    bb.instrs.push_back(ret);
+    f.blocks.push_back(bb);
+    mod.functions.push_back(f);
+    EXPECT_THROW(mod.verify(), FatalError);
+}
+
+TEST(Verifier, CatchesCallArityMismatch)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &g = mb.defineFunc("g", Type::I64, {Type::I64});
+    g.ret(g.param(0));
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    // Hand-roll a bad call to bypass builder checks.
+    IRInstr call;
+    call.op = IROp::Call;
+    call.funcId = mb.findFunc("g");
+    call.dst = f.newReg(Type::I64);
+    f.fn().blocks[f.currentBlock()].instrs.push_back(call);
+    f.ret(call.dst);
+    EXPECT_THROW(mb.finish(), FatalError);
+}
+
+// --- Reference interpreter ------------------------------------------------
+
+TEST(IRInterp, ArithmeticAndReturn)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId x = f.constInt(6);
+    ValueId y = f.constInt(7);
+    f.ret(f.mul(x, y));
+    Module mod = mb.finish();
+    IRInterp interp(mod);
+    EXPECT_EQ(interp.runEntry().retVal, 42);
+}
+
+TEST(IRInterp, LoopSumViaForHelper)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t slot = f.declareAlloca(8, 8, "acc");
+    ValueId accAddr = f.allocaAddr(slot);
+    f.store(Type::I64, accAddr, f.constInt(0));
+    f.forLoopI(1, 101, [&](ValueId iv) {
+        ValueId acc = f.load(Type::I64, accAddr);
+        f.store(Type::I64, accAddr, f.add(acc, iv));
+    });
+    f.ret(f.load(Type::I64, accAddr));
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 5050);
+}
+
+TEST(IRInterp, RecursionFactorial)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &fact = mb.defineFunc("fact", Type::I64, {Type::I64});
+    {
+        ValueId n = fact.param(0);
+        ValueId isBase = fact.icmp(Cond::LE, n, fact.constInt(1));
+        uint32_t baseB = fact.newBlock();
+        uint32_t recB = fact.newBlock();
+        fact.condBr(isBase, baseB, recB);
+        fact.setBlock(baseB);
+        fact.ret(fact.constInt(1));
+        fact.setBlock(recB);
+        ValueId nm1 = fact.sub(n, fact.constInt(1));
+        ValueId sub = fact.call(mb.findFunc("fact"), {nm1});
+        fact.ret(fact.mul(n, sub));
+    }
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    f.ret(f.call(mb.findFunc("fact"), {f.constInt(10)}));
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 3628800);
+}
+
+TEST(IRInterp, GlobalsAndIndexedAccess)
+{
+    ModuleBuilder mb("t");
+    uint32_t arr = mb.addGlobalI64s("arr", {10, 20, 30, 40});
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId base = f.globalAddr(arr);
+    uint32_t slot = f.declareAlloca(8, 8, "sum");
+    ValueId sumAddr = f.allocaAddr(slot);
+    f.store(Type::I64, sumAddr, f.constInt(0));
+    f.forLoopI(0, 4, [&](ValueId i) {
+        ValueId v = f.loadIdx(Type::I64, base, i, 8);
+        ValueId s = f.load(Type::I64, sumAddr);
+        f.store(Type::I64, sumAddr, f.add(s, v));
+        // Also scale each element in place: arr[i] *= 2.
+        f.storeIdx(Type::I64, base, i, f.mulImm(v, 2), 8);
+    });
+    f.ret(f.load(Type::I64, sumAddr));
+    Module mod = mb.finish();
+    IRInterp interp(mod);
+    EXPECT_EQ(interp.runEntry().retVal, 100);
+    std::vector<uint8_t> bytes = interp.readGlobal(arr);
+    int64_t first;
+    std::memcpy(&first, bytes.data(), 8);
+    EXPECT_EQ(first, 20);
+}
+
+TEST(IRInterp, FloatMathAndConversions)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId a = f.constFloat(2.5);
+    ValueId b = f.constFloat(4.0);
+    ValueId c = f.fmul(a, b);            // 10.0
+    ValueId d = f.fdiv(c, f.constFloat(4.0)); // 2.5
+    ValueId e = f.fadd(d, f.sitofp(f.constInt(7))); // 9.5
+    f.ret(f.fptosi(e)); // truncates to 9
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 9);
+}
+
+TEST(IRInterp, BuiltinsPrintMallocMemset)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId buf = f.call(mb.builtin(Builtin::Malloc), {f.constInt(64)});
+    f.callVoid(mb.builtin(Builtin::Memset),
+               {buf, f.constInt(0xab), f.constInt(64)});
+    ValueId v = f.load(Type::I8, buf, 63);
+    f.callVoid(mb.builtin(Builtin::PrintI64), {v});
+    f.callVoid(mb.builtin(Builtin::PrintF64), {f.constFloat(1.5)});
+    f.ret(v);
+    Module mod = mb.finish();
+    IRRunResult r = IRInterp(mod).runEntry();
+    EXPECT_EQ(r.retVal, 0xab);
+    ASSERT_EQ(r.output.size(), 2u);
+    EXPECT_EQ(r.output[0], "171");
+    EXPECT_EQ(r.output[1], "1.5");
+}
+
+TEST(IRInterp, MemcpyBetweenGlobals)
+{
+    ModuleBuilder mb("t");
+    uint32_t src = mb.addGlobalI64s("src", {1, 2, 3});
+    uint32_t dst = mb.addGlobal("dst", 24);
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    f.callVoid(mb.builtin(Builtin::Memcpy),
+               {f.globalAddr(dst), f.globalAddr(src), f.constInt(24)});
+    f.ret(f.load(Type::I64, f.globalAddr(dst), 16));
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 3);
+}
+
+TEST(IRInterp, IndirectCallThroughFuncAddr)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &g = mb.defineFunc("g", Type::I64, {Type::I64});
+    g.ret(g.addImm(g.param(0), 100));
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId fp = f.funcAddr(mb.findFunc("g"));
+    f.ret(f.callInd(Type::I64, fp, {f.constInt(11)}));
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 111);
+}
+
+TEST(IRInterp, TlsVariablesAreAddressable)
+{
+    ModuleBuilder mb("t");
+    uint32_t tls = mb.addGlobal("counter", 8, 8, false, /*isTls=*/true);
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId addr = f.tlsAddr(tls);
+    f.store(Type::I64, addr, f.constInt(77));
+    f.ret(f.load(Type::I64, addr));
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 77);
+}
+
+TEST(IRInterp, AtomicAddReturnsOldValue)
+{
+    ModuleBuilder mb("t");
+    uint32_t g = mb.addGlobalI64s("ctr", {5});
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId old = f.atomicAdd(f.globalAddr(g), f.constInt(3));
+    ValueId now = f.load(Type::I64, f.globalAddr(g));
+    f.ret(f.add(f.mulImm(old, 100), now)); // 5*100 + 8
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 508);
+}
+
+TEST(IRInterp, ExitBuiltinStopsExecution)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    f.callVoid(mb.builtin(Builtin::Exit), {f.constInt(42)});
+    f.callVoid(mb.builtin(Builtin::PrintI64), {f.constInt(1)});
+    f.ret(f.constInt(0));
+    Module mod = mb.finish();
+    IRRunResult r = IRInterp(mod).runEntry();
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.exitCode, 42);
+    EXPECT_TRUE(r.output.empty()); // nothing printed after exit
+}
+
+TEST(IRInterp, InstructionBudgetCatchesInfiniteLoops)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::Void, {});
+    uint32_t loop = f.newBlock();
+    f.br(loop);
+    f.setBlock(loop);
+    f.constInt(0);
+    f.br(loop);
+    Module mod = mb.finish();
+    IRInterp interp(mod, /*maxInstrs=*/10000);
+    EXPECT_THROW(interp.runEntry(), FatalError);
+}
+
+TEST(IRInterp, IfThenElseHelper)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("pick", Type::I64, {Type::I64});
+    uint32_t slot = f.declareAlloca(8, 8, "out");
+    ValueId out = f.allocaAddr(slot);
+    ValueId isNeg = f.icmp(Cond::LT, f.param(0), f.constInt(0));
+    f.ifThenElse(
+        isNeg, [&] { f.store(Type::I64, out, f.constInt(-1)); },
+        [&] { f.store(Type::I64, out, f.constInt(1)); });
+    f.ret(f.load(Type::I64, out));
+    FuncBuilder &m = mb.defineFunc("main", Type::I64, {});
+    ValueId a = m.call(mb.findFunc("pick"), {m.constInt(-5)});
+    ValueId b = m.call(mb.findFunc("pick"), {m.constInt(5)});
+    m.ret(m.sub(a, b)); // -1 - 1 = -2
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, -2);
+}
+
+TEST(IRInterp, WhileLoopHelper)
+{
+    // Collatz steps for n=27 is 111.
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t nSlot = f.declareAlloca(8, 8, "n");
+    uint32_t cSlot = f.declareAlloca(8, 8, "c");
+    ValueId n = f.allocaAddr(nSlot);
+    ValueId c = f.allocaAddr(cSlot);
+    f.store(Type::I64, n, f.constInt(27));
+    f.store(Type::I64, c, f.constInt(0));
+    f.whileLoop(
+        [&] {
+            return f.icmp(Cond::NE, f.load(Type::I64, n), f.constInt(1));
+        },
+        [&] {
+            ValueId v = f.load(Type::I64, n);
+            ValueId odd = f.band(v, f.constInt(1));
+            f.ifThenElse(
+                odd,
+                [&] {
+                    f.store(Type::I64, n,
+                            f.addImm(f.mulImm(v, 3), 1));
+                },
+                [&] {
+                    f.store(Type::I64, n, f.ashr(v, f.constInt(1)));
+                });
+            f.store(Type::I64, c,
+                    f.addImm(f.load(Type::I64, c), 1));
+        });
+    f.ret(f.load(Type::I64, c));
+    Module mod = mb.finish();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 111);
+}
+
+TEST(IRInterp, LoopDepthTrackedForMigrationPass)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::Void, {});
+    int sawDepth2 = 0;
+    f.forLoopI(0, 2, [&](ValueId) {
+        f.forLoopI(0, 2, [&](ValueId) {
+            sawDepth2 = f.fn().blocks[f.currentBlock()].loopDepth;
+        });
+    });
+    f.ret();
+    EXPECT_EQ(sawDepth2, 2);
+    Module mod = mb.finish();
+    EXPECT_EQ(mod.func(mod.entryFuncId).blocks[0].loopDepth, 0);
+}
+
+} // namespace
+} // namespace xisa

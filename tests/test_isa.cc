@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for isa/: ABI descriptors, encoding sizes, conditions,
+ * disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/abi.hh"
+#include "isa/isa.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+namespace {
+
+TEST(IsaBasics, NamesAndPairing)
+{
+    EXPECT_STREQ(isaName(IsaId::Aether64), "aether64");
+    EXPECT_STREQ(isaName(IsaId::Xeno64), "xeno64");
+    EXPECT_EQ(otherIsa(IsaId::Aether64), IsaId::Xeno64);
+    EXPECT_EQ(otherIsa(IsaId::Xeno64), IsaId::Aether64);
+}
+
+TEST(Conditions, NegationIsInvolutive)
+{
+    for (Cond c : {Cond::EQ, Cond::NE, Cond::LT, Cond::LE, Cond::GT,
+                   Cond::GE, Cond::ULT, Cond::ULE, Cond::UGT, Cond::UGE})
+        EXPECT_EQ(negateCond(negateCond(c)), c);
+    EXPECT_THROW(negateCond(Cond::Always), PanicError);
+}
+
+class AbiTest : public ::testing::TestWithParam<IsaId> {};
+
+TEST_P(AbiTest, RegisterIdsAreInRange)
+{
+    const AbiInfo &abi = AbiInfo::of(GetParam());
+    EXPECT_GE(abi.spReg, 0);
+    EXPECT_LT(abi.spReg, abi.numGpr);
+    EXPECT_GE(abi.fpReg, 0);
+    EXPECT_LT(abi.fpReg, abi.numGpr);
+    for (int r : abi.intArgRegs)
+        EXPECT_LT(r, abi.numGpr);
+    for (int r : abi.calleeSavedGpr)
+        EXPECT_LT(r, abi.numGpr);
+    for (int r : abi.scratchGpr)
+        EXPECT_LT(r, abi.numGpr);
+    for (int r : abi.calleeSavedFpr)
+        EXPECT_LT(r, abi.numFpr);
+}
+
+TEST_P(AbiTest, SpecialRegistersNotAllocatable)
+{
+    const AbiInfo &abi = AbiInfo::of(GetParam());
+    std::set<int> special = {abi.spReg, abi.fpReg};
+    if (abi.linkReg >= 0)
+        special.insert(abi.linkReg);
+    for (int r : abi.scratchGpr)
+        EXPECT_FALSE(special.count(r)) << "scratch reg " << r;
+    for (int r : abi.calleeSavedGpr)
+        EXPECT_FALSE(special.count(r)) << "callee-saved reg " << r;
+}
+
+TEST_P(AbiTest, CalleeSavedAndScratchDisjoint)
+{
+    const AbiInfo &abi = AbiInfo::of(GetParam());
+    std::set<int> saved(abi.calleeSavedGpr.begin(),
+                        abi.calleeSavedGpr.end());
+    for (int r : abi.scratchGpr)
+        EXPECT_FALSE(saved.count(r)) << "reg " << r << " in both sets";
+    for (int r : abi.intArgRegs)
+        EXPECT_FALSE(saved.count(r)) << "arg reg " << r << " callee-saved";
+}
+
+TEST_P(AbiTest, FramePointerIsCalleeSaved)
+{
+    const AbiInfo &abi = AbiInfo::of(GetParam());
+    EXPECT_TRUE(abi.isCalleeSavedGpr(abi.fpReg));
+}
+
+TEST_P(AbiTest, StackAlignmentIsSixteen)
+{
+    EXPECT_EQ(AbiInfo::of(GetParam()).stackAlign, 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothIsas, AbiTest,
+                         ::testing::Values(IsaId::Aether64, IsaId::Xeno64),
+                         [](const auto &info) {
+                             return std::string(isaName(info.param));
+                         });
+
+TEST(Abi, TheTwoAbisActuallyDiffer)
+{
+    // The whole point of the paper: the ABIs must differ in the
+    // dimensions that make migration hard.
+    const AbiInfo &a = AbiInfo::of(IsaId::Aether64);
+    const AbiInfo &x = AbiInfo::of(IsaId::Xeno64);
+    EXPECT_NE(a.numGpr, x.numGpr);
+    EXPECT_NE(a.intArgRegs.size(), x.intArgRegs.size());
+    EXPECT_NE(a.calleeSavedGpr.size(), x.calleeSavedGpr.size());
+    EXPECT_NE(a.retAddrOnStack, x.retAddrOnStack);
+    EXPECT_GE(a.linkReg, 0);
+    EXPECT_LT(x.linkReg, 0);
+    EXPECT_FALSE(a.calleeSavedFpr.empty());
+    EXPECT_TRUE(x.calleeSavedFpr.empty());
+}
+
+TEST(Encoding, AetherIsFixedWidthMultipleOfFour)
+{
+    MachInstr in;
+    for (int op = 0; op < static_cast<int>(MOp::NumOps); ++op) {
+        in.op = static_cast<MOp>(op);
+        in.imm = 12;
+        uint8_t s = encodedSize(in, IsaId::Aether64);
+        EXPECT_EQ(s % 4, 0) << mopName(in.op);
+        EXPECT_GE(s, 4) << mopName(in.op);
+    }
+}
+
+TEST(Encoding, AetherWideImmediatesCostMore)
+{
+    MachInstr in;
+    in.op = MOp::MovImm;
+    in.imm = 5;
+    EXPECT_EQ(encodedSize(in, IsaId::Aether64), 4);
+    in.imm = 0x12345;
+    EXPECT_EQ(encodedSize(in, IsaId::Aether64), 8);
+    in.imm = 0x123456789ll;
+    EXPECT_EQ(encodedSize(in, IsaId::Aether64), 12);
+    in.imm = 0x123456789abcdef0ll;
+    EXPECT_EQ(encodedSize(in, IsaId::Aether64), 16);
+    in.imm = -42; // small negatives encode with movn
+    EXPECT_EQ(encodedSize(in, IsaId::Aether64), 4);
+}
+
+TEST(Encoding, XenoIsVariableWidth)
+{
+    MachInstr push;
+    push.op = MOp::Push;
+    push.rd = 3;
+    EXPECT_EQ(encodedSize(push, IsaId::Xeno64), 1);
+    push.rd = 12; // REX prefix
+    EXPECT_EQ(encodedSize(push, IsaId::Xeno64), 2);
+
+    MachInstr ret;
+    ret.op = MOp::Ret;
+    EXPECT_EQ(encodedSize(ret, IsaId::Xeno64), 1);
+
+    MachInstr movabs;
+    movabs.op = MOp::MovImm;
+    movabs.rd = 0;
+    movabs.imm = 0x123456789abcdef0ll;
+    EXPECT_EQ(encodedSize(movabs, IsaId::Xeno64), 9);
+}
+
+TEST(Encoding, XenoDisplacementWidthMatters)
+{
+    MachInstr ldr;
+    ldr.op = MOp::Ldr;
+    ldr.rd = 0;
+    ldr.rn = 5;
+    ldr.imm = 0;
+    uint8_t zero = encodedSize(ldr, IsaId::Xeno64);
+    ldr.imm = 100;
+    uint8_t byteDisp = encodedSize(ldr, IsaId::Xeno64);
+    ldr.imm = 100000;
+    uint8_t wordDisp = encodedSize(ldr, IsaId::Xeno64);
+    EXPECT_LT(zero, byteDisp);
+    EXPECT_LT(byteDisp, wordDisp);
+}
+
+TEST(Encoding, AllSizesWithinArchitecturalBounds)
+{
+    // Property sweep: every op, several immediates, both ISAs.
+    for (int op = 0; op < static_cast<int>(MOp::NumOps); ++op) {
+        for (int64_t imm : {0ll, 1ll, -1ll, 127ll, 1000ll, 1ll << 40}) {
+            MachInstr in;
+            in.op = static_cast<MOp>(op);
+            in.imm = imm == 0 && (in.op == MOp::LdrIdx) ? 8 : imm;
+            for (IsaId isa : {IsaId::Aether64, IsaId::Xeno64}) {
+                uint8_t s = encodedSize(in, isa);
+                EXPECT_GE(s, 1);
+                EXPECT_LE(s, 16);
+            }
+        }
+    }
+}
+
+TEST(Disasm, RendersRegistersWithAbiNames)
+{
+    MachInstr add;
+    add.op = MOp::Add;
+    add.rd = 3;
+    add.rn = 4;
+    add.rm = 5;
+    EXPECT_EQ(disasm(add, IsaId::Aether64), "add x3, x4, x5");
+    EXPECT_EQ(disasm(add, IsaId::Xeno64), "add bx, sp, bp");
+
+    MachInstr ldr;
+    ldr.op = MOp::Ldr;
+    ldr.rd = 0;
+    ldr.rn = 31;
+    ldr.imm = 16;
+    EXPECT_EQ(disasm(ldr, IsaId::Aether64), "ldr x0, [sp, #16]");
+}
+
+TEST(Disasm, EveryOpProducesText)
+{
+    for (int op = 0; op < static_cast<int>(MOp::NumOps); ++op) {
+        MachInstr in;
+        in.op = static_cast<MOp>(op);
+        for (IsaId isa : {IsaId::Aether64, IsaId::Xeno64}) {
+            std::string text = disasm(in, isa);
+            EXPECT_FALSE(text.empty());
+            EXPECT_NE(text, "?") << "op " << op;
+        }
+    }
+}
+
+} // namespace
+} // namespace xisa

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * MiniC front-end tests: language features end-to-end (source ->
+ * BIR -> both ISAs -> migration), plus diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "frontend/minic.hh"
+#include "ir/interp.hh"
+#include "os/os.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+namespace {
+
+IRRunResult
+runRef(const std::string &src)
+{
+    Module mod = compileMiniC(src);
+    return IRInterp(mod, 1ull << 33).runEntry();
+}
+
+OsRunResult
+runMachine(const std::string &src, int node = 0, bool migrate = false)
+{
+    Module mod = compileMiniC(src);
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.quantum = 400;
+    ReplicatedOS os(bin, cfg);
+    os.load(node);
+    if (migrate) {
+        os.onQuantum = [](ReplicatedOS &self) {
+            self.migrateProcess(1 - self.threadNode(0));
+        };
+    }
+    return os.run();
+}
+
+TEST(MiniC, FibonacciRecursion)
+{
+    const char *src = R"(
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        long main() {
+            print_i64(fib(15));
+            return fib(10);
+        }
+    )";
+    IRRunResult r = runRef(src);
+    EXPECT_EQ(r.retVal, 55);
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_EQ(r.output[0], "610");
+}
+
+TEST(MiniC, LoopsBreakContinueAndCompoundAssign)
+{
+    const char *src = R"(
+        long main() {
+            long sum = 0;
+            for (long i = 0; i < 100; i += 1) {
+                if (i % 2 == 0) continue;
+                if (i > 50) break;
+                sum += i;
+            }
+            long j = 10;
+            while (j) { sum -= 1; j = j - 1; }
+            return sum;
+        }
+    )";
+    // Odd numbers 1..49 sum to 625, minus 10.
+    EXPECT_EQ(runRef(src).retVal, 615);
+}
+
+TEST(MiniC, PointersArraysAndAddressOf)
+{
+    const char *src = R"(
+        void bump(long* p, long delta) { *p = *p + delta; }
+        long main() {
+            long x = 5;
+            long buf[8];
+            for (long i = 0; i < 8; i += 1) buf[i] = i * i;
+            bump(&x, 100);
+            bump(buf + 3, 1000);
+            long* p = buf;
+            return x + p[3] + buf[7];
+        }
+    )";
+    EXPECT_EQ(runRef(src).retVal, 105 + 1009 + 49);
+}
+
+TEST(MiniC, GlobalsAndThreadLocals)
+{
+    const char *src = R"(
+        long table[16];
+        long counter;
+        thread long mine;
+        long main() {
+            mine = 7;
+            counter = 1;
+            for (long i = 0; i < 16; i += 1) table[i] = i + mine;
+            long s = 0;
+            for (long i = 0; i < 16; i += 1) s += table[i];
+            return s + counter;
+        }
+    )";
+    EXPECT_EQ(runRef(src).retVal, 16 * 7 + 120 + 1);
+}
+
+TEST(MiniC, DoublesCastsAndMixedArithmetic)
+{
+    const char *src = R"(
+        double avg(double a, double b) { return (a + b) / 2.0; }
+        long main() {
+            double x = avg(3.0, 4.0);     // 3.5
+            double y = x * 2 + 1;         // 8.0 (int promoted)
+            long t = (long)(y + 0.5);
+            print_f64(y);
+            return t + (long)avg(10.0, 20.0);
+        }
+    )";
+    IRRunResult r = runRef(src);
+    EXPECT_EQ(r.retVal, 8 + 15);
+    EXPECT_EQ(r.output[0], "8");
+}
+
+TEST(MiniC, ShortCircuitEvaluation)
+{
+    const char *src = R"(
+        long g;
+        long touch() { g += 1; return 1; }
+        long main() {
+            g = 0;
+            long a = 0 && touch();  // touch not called
+            long b = 1 || touch();  // touch not called
+            long c = 1 && touch();  // called once
+            return g * 100 + a * 10 + b + c;
+        }
+    )";
+    EXPECT_EQ(runRef(src).retVal, 100 + 0 + 1 + 1);
+}
+
+TEST(MiniC, HeapAndBuiltins)
+{
+    const char *src = R"(
+        long main() {
+            long* a = malloc(64);
+            memset(a, 0, 64);
+            for (long i = 0; i < 8; i += 1) a[i] = i * 3;
+            long* b = malloc(64);
+            memcpy(b, a, 64);
+            long s = 0;
+            for (long i = 0; i < 8; i += 1) s += b[i];
+            free(a);
+            free(b);
+            return s;
+        }
+    )";
+    EXPECT_EQ(runRef(src).retVal, 84);
+}
+
+TEST(MiniC, ThreadsAndBarriers)
+{
+    const char *src = R"(
+        long partial[8];
+        long nthreads;
+        void worker(long t) {
+            long s = 0;
+            for (long i = t * 250; i < t * 250 + 250; i += 1) s += i;
+            partial[t] = s;
+            barrier_wait(1, nthreads + 1);
+        }
+        long main() {
+            nthreads = 4;
+            long tids[4];
+            for (long t = 0; t < 4; t += 1)
+                tids[t] = thread_spawn(worker, t);
+            barrier_wait(1, nthreads + 1);
+            for (long t = 0; t < 4; t += 1) thread_join(tids[t]);
+            long total = 0;
+            for (long t = 0; t < 4; t += 1) total += partial[t];
+            return total;  // sum 0..999
+        }
+    )";
+    OsRunResult r = runMachine(src);
+    EXPECT_EQ(r.exitCode, 999 * 1000 / 2);
+}
+
+TEST(MiniC, CompiledOutputMatchesReferenceOnBothIsas)
+{
+    const char *src = R"(
+        long collatz(long n) {
+            long steps = 0;
+            while (n != 1) {
+                if (n & 1) { n = 3 * n + 1; } else { n = n / 2; }
+                steps += 1;
+            }
+            return steps;
+        }
+        long main() {
+            long best = 0;
+            for (long i = 1; i < 200; i += 1) {
+                long s = collatz(i);
+                if (s > best) best = s;
+            }
+            print_i64(best);
+            return best;
+        }
+    )";
+    IRRunResult ref = runRef(src);
+    for (int node : {0, 1}) {
+        OsRunResult got = runMachine(src, node);
+        EXPECT_EQ(got.exitCode, ref.retVal) << "node " << node;
+        EXPECT_EQ(got.output, ref.output) << "node " << node;
+    }
+}
+
+TEST(MiniC, ProgramsSurviveAdversarialMigration)
+{
+    const char *src = R"(
+        long sieve[2048];
+        long main() {
+            long limit = 2048;
+            for (long i = 0; i < limit; i += 1) sieve[i] = 1;
+            sieve[0] = 0; sieve[1] = 0;
+            for (long p = 2; p * p < limit; p += 1) {
+                migrate_point();
+                if (sieve[p]) {
+                    for (long m = p * p; m < limit; m += p)
+                        sieve[m] = 0;
+                }
+            }
+            long count = 0;
+            for (long i = 0; i < limit; i += 1) count += sieve[i];
+            print_i64(count);
+            return count;
+        }
+    )";
+    IRRunResult ref = runRef(src);
+    EXPECT_EQ(ref.retVal, 309); // primes below 2048
+    OsRunResult got = runMachine(src, 0, /*migrate=*/true);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_EQ(got.output, ref.output);
+}
+
+TEST(MiniC, DiagnosticsCarryLineAndColumn)
+{
+    try {
+        compileMiniC("long main() {\n  return x;\n}");
+        FAIL() << "expected a diagnostic";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("minic:2:"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("unknown identifier"),
+                  std::string::npos);
+    }
+}
+
+TEST(MiniC, RejectsBadPrograms)
+{
+    // Missing semicolon.
+    EXPECT_THROW(compileMiniC("long main() { return 1 }"), FatalError);
+    // Assignment to a temporary.
+    EXPECT_THROW(compileMiniC("long main() { 1 + 2 = 3; return 0; }"),
+                 FatalError);
+    // Dereference of a non-pointer.
+    EXPECT_THROW(
+        compileMiniC("long main() { long x = 1; return *x; }"),
+        FatalError);
+    // break outside a loop.
+    EXPECT_THROW(compileMiniC("long main() { break; return 0; }"),
+                 FatalError);
+    // Unknown function.
+    EXPECT_THROW(compileMiniC("long main() { return nope(); }"),
+                 FatalError);
+    // Wrong arity.
+    EXPECT_THROW(compileMiniC("long f(long a) { return a; }\n"
+                              "long main() { return f(1, 2); }"),
+                 FatalError);
+    // No main.
+    EXPECT_THROW(compileMiniC("long f() { return 1; }"), FatalError);
+}
+
+} // namespace
+} // namespace xisa

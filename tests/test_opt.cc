@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Optimizer tests: targeted transformations, semantic preservation
+ * (differential against the unoptimized program across all workloads),
+ * and measurable instruction-count reductions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/opt.hh"
+#include "frontend/minic.hh"
+#include "ir/builder.hh"
+#include "ir/interp.hh"
+#include "os/os.hh"
+#include "workload/workloads.hh"
+
+namespace xisa {
+namespace {
+
+int64_t
+runMain(const Module &mod)
+{
+    return IRInterp(mod, 1ull << 34).runEntry().retVal;
+}
+
+TEST(Optimizer, FoldsConstantArithmetic)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId a = f.constInt(6);
+    ValueId b = f.constInt(7);
+    ValueId c = f.mul(a, b);
+    ValueId d = f.add(c, f.constInt(8));
+    f.ret(d);
+    Module mod = mb.finish();
+    OptStats stats = optimizeModule(mod);
+    EXPECT_GE(stats.constantsFolded, 2u);
+    EXPECT_EQ(runMain(mod), 50);
+    // After folding + DCE, main's entry block shrinks.
+    const IRFunction &fn = mod.func(mod.entryFuncId);
+    size_t instrs = 0;
+    for (const BasicBlock &bb : fn.blocks)
+        instrs += bb.instrs.size();
+    EXPECT_LE(instrs, 3u); // two consts die; one const + ret remain
+}
+
+TEST(Optimizer, StrengthReducesPowerOfTwoMultiply)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {Type::I64});
+    ValueId x = f.mulImm(f.param(0), 8);
+    ValueId y = f.urem(x, f.constInt(16));
+    f.ret(f.add(x, y));
+    Module mod = mb.finish();
+    OptStats stats = optimizeModule(mod);
+    EXPECT_GE(stats.strengthReduced, 2u);
+    bool sawMul = false, sawShl = false, sawAnd = false;
+    for (const BasicBlock &bb : mod.func(mod.entryFuncId).blocks) {
+        for (const IRInstr &in : bb.instrs) {
+            sawMul |= in.op == IROp::Mul;
+            sawShl |= in.op == IROp::Shl;
+            sawAnd |= in.op == IROp::And;
+        }
+    }
+    EXPECT_FALSE(sawMul);
+    EXPECT_TRUE(sawShl);
+    EXPECT_TRUE(sawAnd);
+    EXPECT_EQ(IRInterp(mod).run(mod.entryFuncId, {5}).retVal,
+              40 + 40 % 16);
+}
+
+TEST(Optimizer, SimplifiesAlgebraicIdentities)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {Type::I64});
+    ValueId zero = f.constInt(0);
+    ValueId one = f.constInt(1);
+    ValueId a = f.add(f.param(0), zero);   // x + 0
+    ValueId b = f.mul(a, one);             // x * 1
+    ValueId c = f.bxor(b, zero);           // x ^ 0
+    ValueId d = f.mul(c, zero);            // x * 0 -> 0
+    f.ret(f.add(c, d));
+    Module mod = mb.finish();
+    OptStats stats = optimizeModule(mod);
+    EXPECT_GE(stats.identitiesSimplified, 3u);
+    EXPECT_EQ(IRInterp(mod).run(mod.entryFuncId, {123}).retVal, 123);
+}
+
+TEST(Optimizer, RemovesDeadPureCode)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    for (int i = 0; i < 10; ++i)
+        f.mul(f.constInt(i), f.constInt(i + 1)); // all dead
+    f.ret(f.constInt(9));
+    Module mod = mb.finish();
+    OptStats stats = optimizeModule(mod);
+    EXPECT_GE(stats.deadInstrsRemoved, 10u);
+    size_t instrs = 0;
+    for (const BasicBlock &bb : mod.func(mod.entryFuncId).blocks)
+        instrs += bb.instrs.size();
+    EXPECT_EQ(instrs, 2u); // const + ret
+}
+
+TEST(Optimizer, NeverRemovesSideEffects)
+{
+    ModuleBuilder mb("t");
+    uint32_t g = mb.addGlobal("g", 8);
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    // A store whose stored value is otherwise dead, and a discarded
+    // atomic, must both survive.
+    f.store(Type::I64, f.globalAddr(g), f.constInt(7));
+    f.atomicAdd(f.globalAddr(g), f.constInt(5));
+    f.callVoid(mb.builtin(Builtin::PrintI64),
+               {f.load(Type::I64, f.globalAddr(g))});
+    f.ret(f.load(Type::I64, f.globalAddr(g)));
+    Module mod = mb.finish();
+    optimizeModule(mod);
+    IRRunResult r = IRInterp(mod).runEntry();
+    EXPECT_EQ(r.retVal, 12);
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_EQ(r.output[0], "12");
+}
+
+TEST(Optimizer, CopyPropagationRespectsRedefinition)
+{
+    // y = copy x; x = 99; use(y) must still see the old x.
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId x = f.newReg(Type::I64);
+    ValueId y = f.newReg(Type::I64);
+    f.copy(x, f.constInt(5));
+    f.copy(y, x);
+    f.copy(x, f.constInt(99));
+    f.ret(f.add(y, x)); // 5 + 99
+    Module mod = mb.finish();
+    optimizeModule(mod);
+    EXPECT_EQ(runMain(mod), 104);
+}
+
+TEST(Optimizer, FoldsFloatExpressions)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId a = f.fmul(f.constFloat(2.5), f.constFloat(4.0));
+    ValueId b = f.fadd(a, f.sitofp(f.constInt(2)));
+    f.ret(f.fptosi(b)); // 12
+    Module mod = mb.finish();
+    OptStats stats = optimizeModule(mod);
+    EXPECT_GE(stats.constantsFolded, 3u);
+    EXPECT_EQ(runMain(mod), 12);
+}
+
+class OptWorkloadTest : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(OptWorkloadTest, OptimizationPreservesSemantics)
+{
+    Module plain = buildWorkload(GetParam(), ProblemClass::A, 1);
+    Module opt = buildWorkload(GetParam(), ProblemClass::A, 1);
+    optimizeModule(opt);
+    IRRunResult a = IRInterp(plain, 1ull << 34).runEntry();
+    IRRunResult b = IRInterp(opt, 1ull << 34).runEntry();
+    EXPECT_EQ(a.output, b.output) << workloadName(GetParam());
+    EXPECT_EQ(a.retVal, b.retVal) << workloadName(GetParam());
+}
+
+TEST_P(OptWorkloadTest, OptimizationNeverSlowsExecutionDown)
+{
+    // Strength reduction can add instructions (an extra constant) while
+    // removing expensive ones, so the honest metric is simulated
+    // cycles on a node, not the instruction count.
+    Module mod = buildWorkload(GetParam(), ProblemClass::A, 1);
+    CompileOptions off;
+    off.optimize = false;
+    off.boundaryMigPoints = false;
+    CompileOptions on;
+    on.boundaryMigPoints = false;
+    MultiIsaBinary plain = compileModule(mod, off);
+    MultiIsaBinary opt = compileModule(mod, on);
+    OsConfig cfg;
+    cfg.nodes = {makeXenoServer()};
+    double tPlain, tOpt;
+    {
+        ReplicatedOS os(plain, cfg);
+        os.load(0);
+        tPlain = os.run().makespanSeconds;
+    }
+    {
+        ReplicatedOS os(opt, cfg);
+        os.load(0);
+        tOpt = os.run().makespanSeconds;
+    }
+    EXPECT_LE(tOpt, tPlain * 1.01) << workloadName(GetParam());
+}
+
+TEST(Optimizer, SpeedsUpTheFoldHeavyKernels)
+{
+    // CG's index arithmetic folds substantially.
+    Module mod = buildWorkload(WorkloadId::CG, ProblemClass::A, 1);
+    Module opt = buildWorkload(WorkloadId::CG, ProblemClass::A, 1);
+    OptStats stats = optimizeModule(opt);
+    EXPECT_GT(stats.total(), 10u);
+    IRRunResult a = IRInterp(mod, 1ull << 34).runEntry();
+    IRRunResult b = IRInterp(opt, 1ull << 34).runEntry();
+    EXPECT_LT(b.instrCount, a.instrCount);
+}
+
+TEST_P(OptWorkloadTest, OptimizedBinariesStillMigrateCorrectly)
+{
+    Module mod = buildWorkload(GetParam(), ProblemClass::A, 1);
+    IRRunResult ref = IRInterp(mod, 1ull << 34).runEntry();
+    MultiIsaBinary bin = compileModule(std::move(mod)); // optimize=true
+    OsConfig cfg = OsConfig::dualServer();
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    int fired = 0;
+    os.onQuantum = [&](ReplicatedOS &self) {
+        if (self.totalInstrs() >
+                static_cast<uint64_t>(fired + 1) * 120000 &&
+            fired < 2) {
+            self.migrateProcess(1 - self.threadNode(0));
+            ++fired;
+        }
+    };
+    OsRunResult got = os.run();
+    EXPECT_EQ(got.output, ref.output) << workloadName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, OptWorkloadTest, ::testing::ValuesIn(allWorkloads()),
+    [](const auto &info) { return std::string(workloadName(info.param)); });
+
+
+TEST(Mem2Reg, PromotesNonEscapingScalars)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t slot = f.declareAlloca(8, 8, "x");
+    ValueId a = f.allocaAddr(slot);
+    f.store(Type::I64, a, f.constInt(5));
+    ValueId v = f.load(Type::I64, a);
+    f.ret(v);
+    Module mod = mb.finish();
+    IRFunction &fn = mod.func(mod.entryFuncId);
+    EXPECT_EQ(promoteAllocas(fn), 1u);
+    EXPECT_TRUE(fn.allocas.empty());
+    mod.verify();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 5);
+}
+
+TEST(Mem2Reg, EscapedAddressesStayInMemory)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &g = mb.defineFunc("g", Type::Void, {Type::Ptr});
+    g.store(Type::I64, g.param(0), g.constInt(9));
+    g.ret();
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t esc = f.declareAlloca(8, 8, "escapes");
+    uint32_t arr = f.declareAlloca(32, 8, "array");
+    ValueId a = f.allocaAddr(esc);
+    f.callVoid(mb.findFunc("g"), {a});      // address escapes
+    ValueId b = f.allocaAddr(arr);
+    f.storeIdx(Type::I64, b, f.constInt(1), f.constInt(3), 8);
+    f.ret(f.load(Type::I64, a));
+    Module mod = mb.finish();
+    IRFunction &fn = mod.func(mod.findFunc("main"));
+    EXPECT_EQ(promoteAllocas(fn), 0u);
+    EXPECT_EQ(fn.allocas.size(), 2u);
+    mod.verify();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 9);
+}
+
+TEST(Mem2Reg, SlotIndicesStayValidAfterPartialPromotion)
+{
+    ModuleBuilder mb("t");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t keep = f.declareAlloca(64, 8, "big");   // not promotable
+    uint32_t go = f.declareAlloca(8, 8, "scalar");   // promotable
+    uint32_t keep2 = f.declareAlloca(16, 8, "pair"); // not promotable
+    ValueId s = f.allocaAddr(go);
+    f.store(Type::I64, s, f.constInt(3));
+    ValueId kb = f.allocaAddr(keep);
+    f.store(Type::I64, kb, f.constInt(10), 8);
+    ValueId k2 = f.allocaAddr(keep2);
+    f.store(Type::I64, k2, f.constInt(20), 8);
+    f.ret(f.add(f.load(Type::I64, s),
+                f.add(f.load(Type::I64, kb, 8),
+                      f.load(Type::I64, k2, 8))));
+    Module mod = mb.finish();
+    IRFunction &fn = mod.func(mod.entryFuncId);
+    EXPECT_EQ(promoteAllocas(fn), 1u);
+    EXPECT_EQ(fn.allocas.size(), 2u);
+    mod.verify();
+    EXPECT_EQ(IRInterp(mod).runEntry().retVal, 33);
+}
+
+TEST(Mem2Reg, PromotedMiniCLocalsAppearInStackmaps)
+{
+    // After mem2reg, a MiniC loop counter is a vreg, so at migration
+    // points it shows up as a live value (possibly in a callee-saved
+    // register) rather than as anonymous alloca bytes.
+    const char *src = R"(
+        long work(long n) {
+            long acc = 7;
+            for (long i = 0; i < n; i += 1) {
+                migrate_point();
+                acc = acc + i * i;
+            }
+            return acc;
+        }
+        long main() { return work(50); }
+    )";
+    Module mod = compileMiniC(src);
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    bool sawLiveAtMigPoint = false;
+    for (const auto &[id, site] : bin.callSite[0])
+        if (site.isMigrationPoint && site.live.size() >= 2)
+            sawLiveAtMigPoint = true;
+    EXPECT_TRUE(sawLiveAtMigPoint)
+        << "promoted locals should be live values at the loop's "
+           "migration point";
+    // And the program still migrates correctly.
+    IRRunResult ref = IRInterp(bin.ir, 1ull << 33).runEntry();
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.quantum = 120;
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    os.onQuantum = [](ReplicatedOS &self) {
+        self.migrateProcess(1 - self.threadNode(0));
+    };
+    OsRunResult got = os.run();
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_GE(os.migrations().size(), 2u);
+}
+
+} // namespace
+} // namespace xisa

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * OS-layer tests: energy metering, kernel services (heap, threads,
+ * barriers), and container lifecycle details.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "ir/builder.hh"
+#include "os/energy.hh"
+#include "os/os.hh"
+#include "util/logging.hh"
+
+namespace xisa {
+namespace {
+
+TEST(EnergyMeter, BinsBusyTimeOnTheGrid)
+{
+    EnergyMeter meter({makeXenoServer()}, 0.01);
+    meter.addBusy(0, 0.005, 0.025); // spans bins 0,1,2
+    EXPECT_NEAR(meter.busySeconds(0), 0.02, 1e-12);
+    // Bin 1 is fully busy for one core out of six.
+    EXPECT_NEAR(meter.utilization(0, 1), 0.01 / (0.01 * 6), 1e-9);
+    EXPECT_DOUBLE_EQ(meter.utilization(0, 9), 0.0);
+}
+
+TEST(EnergyMeter, EnergyIntegratesIdlePlusActive)
+{
+    NodeSpec spec = makeXenoServer();
+    EnergyMeter meter({spec}, 0.01);
+    // No activity: 1 second of pure idle.
+    double idle = meter.energyJoules(0, 1.0);
+    EXPECT_NEAR(idle, spec.idleWatts * 1.0, spec.idleWatts * 0.02);
+    // Saturate all cores for the first half.
+    for (int c = 0; c < spec.cores; ++c)
+        meter.addBusy(0, 0.0, 0.5);
+    double loaded = meter.energyJoules(0, 1.0);
+    EXPECT_NEAR(loaded,
+                spec.maxWatts * 0.5 + spec.idleWatts * 0.5,
+                spec.maxWatts * 0.02);
+    // The FinFET projection scales everything.
+    EXPECT_NEAR(meter.energyJoules(0, 1.0, 0.1), loaded * 0.1,
+                loaded * 0.001);
+}
+
+TEST(EnergyMeter, PowerSeriesIsTheFig11Trace)
+{
+    NodeSpec spec = makeAetherServer();
+    EnergyMeter meter({spec}, 0.01);
+    meter.addBusy(0, 0.02, 0.03);
+    std::vector<double> series = meter.powerSeries(0, 0.05);
+    ASSERT_EQ(series.size(), 5u);
+    EXPECT_DOUBLE_EQ(series[0], spec.idleWatts);
+    EXPECT_GT(series[2], spec.idleWatts);
+    EXPECT_DOUBLE_EQ(series[4], spec.idleWatts);
+}
+
+TEST(OsServices, MallocReusesFreedBlocks)
+{
+    ModuleBuilder mb("heap");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId a = f.call(mb.builtin(Builtin::Malloc), {f.constInt(100)});
+    f.callVoid(mb.builtin(Builtin::Free), {a});
+    ValueId b = f.call(mb.builtin(Builtin::Malloc), {f.constInt(100)});
+    // Same block comes back: a == b.
+    ValueId same = f.icmp(Cond::EQ, a, b);
+    f.ret(same);
+    MultiIsaBinary bin = compileModule(mb.finish());
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(0);
+    EXPECT_EQ(os.run().exitCode, 1);
+}
+
+TEST(OsServices, FreeOfWildPointerIsFatal)
+{
+    ModuleBuilder mb("wild");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    f.callVoid(mb.builtin(Builtin::Free), {f.constInt(0x123456)});
+    f.ret(f.constInt(0));
+    MultiIsaBinary bin = compileModule(mb.finish());
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(0);
+    EXPECT_THROW(os.run(), FatalError);
+}
+
+TEST(OsServices, ExitTerminatesAllThreads)
+{
+    ModuleBuilder mb("exit");
+    FuncBuilder &spin = mb.defineFunc("spin", Type::Void, {Type::I64});
+    {
+        // Infinite loop: only exit() can end the process.
+        uint32_t loop = spin.newBlock();
+        spin.br(loop);
+        spin.setBlock(loop);
+        spin.constInt(0);
+        spin.br(loop);
+    }
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    f.callVoid(mb.builtin(Builtin::ThreadSpawn),
+               {f.funcAddr(mb.findFunc("spin")), f.constInt(0)});
+    f.callVoid(mb.builtin(Builtin::Exit), {f.constInt(5)});
+    f.ret(f.constInt(0));
+    MultiIsaBinary bin = compileModule(mb.finish());
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(0);
+    OsRunResult res = os.run();
+    EXPECT_TRUE(res.exitedExplicitly);
+    EXPECT_EQ(res.exitCode, 5);
+}
+
+TEST(OsServices, NodeIdObservesMigration)
+{
+    // The program prints node_id() before and after the scheduler
+    // migrates it: the paper's "same syscalls, same environment" --
+    // but a different kernel underneath.
+    ModuleBuilder mb("nodeid");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId before = f.call(mb.builtin(Builtin::NodeId), {});
+    f.callVoid(mb.builtin(Builtin::PrintI64), {before});
+    // Busy loop long enough to span the migration.
+    uint32_t slot = f.declareAlloca(8, 8, "acc");
+    ValueId acc = f.allocaAddr(slot);
+    f.store(Type::I64, acc, f.constInt(0));
+    f.forLoopI(0, 3000, [&](ValueId i) {
+        // Explicit migration point in the loop (the role the planner's
+        // inserted points play in real binaries).
+        f.migPoint();
+        f.store(Type::I64, acc, f.add(f.load(Type::I64, acc), i));
+    });
+    ValueId after = f.call(mb.builtin(Builtin::NodeId), {});
+    f.callVoid(mb.builtin(Builtin::PrintI64), {after});
+    f.ret(f.load(Type::I64, acc));
+    MultiIsaBinary bin = compileModule(mb.finish());
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.quantum = 500;
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    int fired = 0;
+    os.onQuantum = [&](ReplicatedOS &self) {
+        if (fired++ == 2)
+            self.migrateProcess(1);
+    };
+    OsRunResult res = os.run();
+    ASSERT_EQ(res.output.size(), 2u);
+    EXPECT_EQ(res.output[0], "0");
+    EXPECT_EQ(res.output[1], "1");
+    EXPECT_EQ(res.exitCode, 3000ll * 2999 / 2);
+}
+
+TEST(OsServices, JoinOnSelfDeadlockPanics)
+{
+    ModuleBuilder mb("dead");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId self = f.call(mb.builtin(Builtin::ThreadId), {});
+    f.callVoid(mb.builtin(Builtin::ThreadJoin), {self});
+    f.ret(f.constInt(0));
+    MultiIsaBinary bin = compileModule(mb.finish());
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(0);
+    EXPECT_THROW(os.run(), PanicError);
+}
+
+TEST(OsServices, InstructionBudgetGuardsRunaways)
+{
+    ModuleBuilder mb("spin");
+    FuncBuilder &f = mb.defineFunc("main", Type::Void, {});
+    uint32_t loop = f.newBlock();
+    f.br(loop);
+    f.setBlock(loop);
+    f.constInt(0);
+    f.br(loop);
+    MultiIsaBinary bin = compileModule(mb.finish());
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.maxTotalInstrs = 50000;
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    EXPECT_THROW(os.run(), FatalError);
+}
+
+TEST(OsServices, UnbalancedCoresTrackBusyTime)
+{
+    // A serial program should light up exactly one core's meter.
+    ModuleBuilder mb("busy");
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t slot = f.declareAlloca(8, 8, "acc");
+    ValueId acc = f.allocaAddr(slot);
+    f.store(Type::I64, acc, f.constInt(0));
+    f.forLoopI(0, 20000, [&](ValueId i) {
+        f.store(Type::I64, acc, f.add(f.load(Type::I64, acc), i));
+    });
+    f.ret(f.load(Type::I64, acc));
+    MultiIsaBinary bin = compileModule(mb.finish());
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(0);
+    os.run();
+    EXPECT_GT(os.energy().busySeconds(0), 0.0);
+    EXPECT_DOUBLE_EQ(os.energy().busySeconds(1), 0.0);
+}
+
+} // namespace
+} // namespace xisa

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Scheduler tests: profile calibration, job-set generation, cluster
+ * simulation invariants, and policy behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/cluster.hh"
+#include "sched/jobsets.hh"
+#include "sched/profile.hh"
+
+namespace xisa {
+namespace {
+
+/** Real calibration is expensive and exercised by the JobProfile
+ *  tests; the ClusterSim tests use the synthetic table. */
+const JobProfileTable &
+table()
+{
+    static JobProfileTable t = JobProfileTable::synthetic();
+    return t;
+}
+
+/** One shared *real* calibration for the JobProfile tests. */
+const JobProfileTable &
+calibrated()
+{
+    static JobProfileTable t = JobProfileTable::calibrate();
+    return t;
+}
+
+TEST(JobProfile, ArmIsSlowerThanX86ForEveryWorkload)
+{
+    for (WorkloadId wl : allWorkloads()) {
+        double x86 = calibrated().baseSeconds(wl, IsaId::Xeno64);
+        double arm = calibrated().baseSeconds(wl, IsaId::Aether64);
+        EXPECT_GT(x86, 0.0) << workloadName(wl);
+        EXPECT_GT(arm, 1.5 * x86) << workloadName(wl);
+        EXPECT_LT(arm, 8.0 * x86) << workloadName(wl);
+    }
+}
+
+TEST(JobProfile, ClassesAndThreadsScaleSensibly)
+{
+    double a = table().seconds(WorkloadId::CG, ProblemClass::A, 1,
+                               IsaId::Xeno64);
+    double b = table().seconds(WorkloadId::CG, ProblemClass::B, 1,
+                               IsaId::Xeno64);
+    double c = table().seconds(WorkloadId::CG, ProblemClass::C, 1,
+                               IsaId::Xeno64);
+    EXPECT_DOUBLE_EQ(b, 4 * a);
+    EXPECT_DOUBLE_EQ(c, 16 * a);
+    double t4 = table().seconds(WorkloadId::CG, ProblemClass::A, 4,
+                                IsaId::Xeno64);
+    EXPECT_LT(t4, a);      // faster than serial
+    EXPECT_GT(t4, a / 4);  // but not perfectly
+}
+
+TEST(JobSets, SustainedSetsAreDeterministicPerSeed)
+{
+    auto a = makeSustainedSet(7);
+    auto b = makeSustainedSet(7);
+    auto c = makeSustainedSet(8);
+    ASSERT_EQ(a.size(), 40u);
+    EXPECT_EQ(a.size(), b.size());
+    bool same = true, diff = false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        same &= a[i].wl == b[i].wl && a[i].cls == b[i].cls;
+        diff |= a[i].wl != c[i].wl || a[i].cls != c[i].cls;
+    }
+    EXPECT_TRUE(same);
+    EXPECT_TRUE(diff);
+    for (const Job &j : a) {
+        EXPECT_DOUBLE_EQ(j.arrival, 0.0);
+        EXPECT_GE(j.threads, 1);
+        EXPECT_LE(j.threads, 4);
+        if (!supportsThreads(j.wl))
+            EXPECT_EQ(j.threads, 1);
+    }
+}
+
+TEST(JobSets, PeriodicWavesAreSpacedSixtyToTwoForty)
+{
+    auto jobs = makePeriodicSet(3);
+    ASSERT_FALSE(jobs.empty());
+    std::vector<double> waves;
+    for (const Job &j : jobs)
+        if (waves.empty() || j.arrival != waves.back())
+            waves.push_back(j.arrival);
+    ASSERT_EQ(waves.size(), 5u);
+    for (size_t w = 1; w < waves.size(); ++w) {
+        double gap = waves[w] - waves[w - 1];
+        EXPECT_GE(gap, 60.0);
+        EXPECT_LE(gap, 240.0);
+    }
+}
+
+TEST(ClusterSim, AllJobsCompleteUnderEveryPolicy)
+{
+    auto jobs = makeSustainedSet(1, 20);
+    for (Policy p : {Policy::StaticBalanced, Policy::StaticUnbalanced,
+                     Policy::DynamicBalanced,
+                     Policy::DynamicUnbalanced}) {
+        ClusterSim sim(makeHeterogeneousPool(), table());
+        ClusterResult r = sim.run(jobs, p);
+        EXPECT_GT(r.makespan, 0.0) << policyName(p);
+        EXPECT_GT(r.totalEnergy, 0.0) << policyName(p);
+        EXPECT_GT(r.avgTurnaround, 0.0) << policyName(p);
+        ASSERT_EQ(r.energyJoules.size(), 2u);
+        EXPECT_NEAR(r.energyJoules[0] + r.energyJoules[1],
+                    r.totalEnergy, 1e-6);
+        EXPECT_NEAR(r.edp, r.totalEnergy * r.makespan, 1e-6);
+    }
+}
+
+TEST(ClusterSim, StaticPoliciesNeverMigrate)
+{
+    auto jobs = makeSustainedSet(2, 24);
+    ClusterSim sim(makeHeterogeneousPool(), table());
+    EXPECT_EQ(sim.run(jobs, Policy::StaticBalanced).migrations, 0);
+    EXPECT_EQ(sim.run(jobs, Policy::StaticUnbalanced).migrations, 0);
+}
+
+TEST(ClusterSim, DynamicPolicyMigratesOnPeriodicLoad)
+{
+    auto jobs = makePeriodicSet(5);
+    ClusterSim sim(makeHeterogeneousPool(), table());
+    ClusterResult r = sim.run(jobs, Policy::DynamicBalanced);
+    EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(ClusterSim, FinfetProjectionCutsArmEnergy)
+{
+    auto jobs = makeSustainedSet(3, 20);
+    ClusterSim projected(makeHeterogeneousPool(true), table());
+    ClusterSim measured(makeHeterogeneousPool(false), table());
+    ClusterResult a = projected.run(jobs, Policy::StaticBalanced);
+    ClusterResult b = measured.run(jobs, Policy::StaticBalanced);
+    EXPECT_LT(a.energyJoules[1], 0.75 * b.energyJoules[1]);
+    EXPECT_NEAR(a.energyJoules[0], b.energyJoules[0],
+                0.01 * b.energyJoules[0]);
+}
+
+TEST(ClusterSim, HomogeneousPoolBalancesEvenly)
+{
+    auto jobs = makeSustainedSet(4, 30);
+    ClusterSim sim(makeX86X86Pool(), table());
+    ClusterResult r = sim.run(jobs, Policy::StaticBalanced);
+    // Two identical machines: energies within 40% of each other.
+    double ratio = r.energyJoules[0] / r.energyJoules[1];
+    EXPECT_GT(ratio, 0.6);
+    EXPECT_LT(ratio, 1.7);
+}
+
+} // namespace
+} // namespace xisa

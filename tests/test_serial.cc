@@ -1,0 +1,113 @@
+/**
+ * @file
+ * PadMig baseline tests: wire-format round trip, cost structure, and
+ * state capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "os/os.hh"
+#include "serial/padmig.hh"
+#include "workload/workloads.hh"
+
+namespace xisa {
+namespace {
+
+TEST(PadMig, RoundTripPreservesEveryByte)
+{
+    Interconnect net;
+    DsmSpace dsm(2, &net, {3.5, 2.4});
+    std::vector<uint8_t> pattern(3000);
+    for (size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<uint8_t>(i * 7 + 3);
+    uint64_t base = 0x10000000ull;
+    dsm.populate(0, base, pattern.data(), pattern.size());
+
+    SerializingMigrator mig(&net);
+    SerializeResult res =
+        mig.migrate(dsm, 0, 1, {{base, pattern.size()}},
+                    makeXenoServer(), makeAetherServer());
+    EXPECT_EQ(res.objects, 1u);
+    EXPECT_GT(res.bytes, pattern.size());
+
+    std::vector<uint8_t> back(pattern.size());
+    dsm.port(1).read(base, back.data(),
+                     static_cast<unsigned>(back.size()));
+    EXPECT_EQ(back, pattern);
+    // Destination now owns the pages.
+    EXPECT_EQ(dsm.modifiedOwner(base / vm::kPageSize), 1);
+}
+
+TEST(PadMig, CostsScaleWithStateSize)
+{
+    Interconnect net;
+    DsmSpace dsm(2, &net, {3.5, 2.4});
+    uint64_t base = 0x10000000ull;
+    std::vector<uint8_t> big(1 << 20, 0xaa);
+    dsm.populate(0, base, big.data(), big.size());
+
+    SerializingMigrator mig(&net);
+    SerializeResult small =
+        mig.migrate(dsm, 0, 1, {{base, 4096}}, makeXenoServer(),
+                    makeAetherServer());
+    SerializeResult large =
+        mig.migrate(dsm, 0, 1, {{base, big.size()}}, makeXenoServer(),
+                    makeAetherServer());
+    EXPECT_GT(large.totalSeconds(), 50 * small.totalSeconds());
+    EXPECT_GT(large.serializeSeconds, 0.0);
+    EXPECT_GT(large.deserializeSeconds, large.serializeSeconds)
+        << "destination reflection+allocation costs more per word";
+    EXPECT_GT(large.transferSeconds, 0.0);
+}
+
+TEST(PadMig, CaptureStateSeesGlobalsAndHeap)
+{
+    Module mod = buildWorkload(WorkloadId::REDIS, ProblemClass::A, 1);
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(0);
+    os.run();
+    std::vector<StateObject> objs = captureState(bin, os);
+    ASSERT_FALSE(objs.empty());
+    uint64_t total = 0;
+    for (const StateObject &o : objs)
+        total += o.bytes;
+    // Redis tables: 2 x 16384 x 8 bytes of globals at minimum.
+    EXPECT_GE(total, 2u * 16384 * 8);
+}
+
+TEST(PadMig, SerializationDwarfsNativeStackTransform)
+{
+    // The Fig. 11 contrast: whole-state serialization costs orders of
+    // magnitude more time than transforming a stack.
+    Module mod = buildWorkload(WorkloadId::IS, ProblemClass::B, 1);
+    MultiIsaBinary bin = compileModule(std::move(mod));
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(0);
+    // Run partway, then compare both migration mechanisms' costs.
+    bool fired = false;
+    double padmigSeconds = 0;
+    double nativeSeconds = 0;
+    os.onQuantum = [&](ReplicatedOS &self) {
+        if (fired || self.totalInstrs() < 400000)
+            return;
+        fired = true;
+        SerializingMigrator mig(&self.net());
+        SerializeResult sr =
+            mig.migrate(self.dsm(), 0, 1, captureState(bin, self),
+                        makeXenoServer(), makeAetherServer());
+        padmigSeconds = sr.totalSeconds();
+        self.migrateProcess(1);
+    };
+    os.run();
+    ASSERT_TRUE(fired);
+    ASSERT_EQ(os.migrations().size(), 1u);
+    const MigrationEvent &ev = os.migrations()[0];
+    nativeSeconds = ev.resumeTime - ev.trapTime;
+    EXPECT_GT(padmigSeconds, 10 * nativeSeconds)
+        << "padmig=" << padmigSeconds << " native=" << nativeSeconds;
+}
+
+} // namespace
+} // namespace xisa

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for util/: logging, formatting, statistics, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace xisa {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+    EXPECT_EQ(strfmt("%05d", 7), "00007");
+    EXPECT_EQ(strfmt("%.3f", 1.5), "1.500");
+    EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error %d", 1), FatalError);
+    try {
+        fatal("code %d", 99);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "code 99");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, CheckMacroFiresOnFalse)
+{
+    EXPECT_THROW(XISA_CHECK(1 == 2, "math broke"), PanicError);
+    EXPECT_NO_THROW(XISA_CHECK(1 == 1, "fine"));
+}
+
+TEST(RunningStat, TracksMinMaxMeanCount)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(BoxSummary, MatchesNumpyType7Quantiles)
+{
+    // numpy.percentile([1..5], [25,50,75]) == [2, 3, 4]
+    BoxSummary box = boxSummary({5, 3, 1, 2, 4});
+    EXPECT_DOUBLE_EQ(box.min, 1);
+    EXPECT_DOUBLE_EQ(box.q1, 2);
+    EXPECT_DOUBLE_EQ(box.median, 3);
+    EXPECT_DOUBLE_EQ(box.q3, 4);
+    EXPECT_DOUBLE_EQ(box.max, 5);
+    EXPECT_EQ(box.count, 5u);
+}
+
+TEST(BoxSummary, InterpolatesBetweenOrderStatistics)
+{
+    // numpy.percentile([1,2,3,4], 25) == 1.75
+    BoxSummary box = boxSummary({1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(box.q1, 1.75);
+    EXPECT_DOUBLE_EQ(box.median, 2.5);
+    EXPECT_DOUBLE_EQ(box.q3, 3.25);
+}
+
+TEST(BoxSummary, HandlesDegenerateInputs)
+{
+    BoxSummary empty = boxSummary({});
+    EXPECT_EQ(empty.count, 0u);
+    BoxSummary one = boxSummary({7.0});
+    EXPECT_DOUBLE_EQ(one.min, 7.0);
+    EXPECT_DOUBLE_EQ(one.median, 7.0);
+    EXPECT_DOUBLE_EQ(one.max, 7.0);
+}
+
+TEST(DecadeHistogram, BucketsByPowerOfTen)
+{
+    DecadeHistogram h(0, 6);
+    h.add(1);      // 10^0
+    h.add(9.99);   // 10^0
+    h.add(10);     // 10^1
+    h.add(12345);  // 10^4
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(DecadeHistogram, ClampsOutOfRangeSamples)
+{
+    DecadeHistogram h(2, 4);
+    h.add(5);        // below 10^2 -> clamped to decade 2
+    h.add(1e9);      // above 10^4 -> clamped to decade 4
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(5), 0u); // out of range reads return 0
+}
+
+TEST(DecadeHistogram, RejectsNonPositive)
+{
+    DecadeHistogram h(0, 3);
+    EXPECT_THROW(h.add(0), FatalError);
+    EXPECT_THROW(h.add(-5), FatalError);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4, 9}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_THROW(geomean({1, -1}), FatalError);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng rng(42);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.between(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all values hit
+}
+
+TEST(Rng, UniformCoversUnitInterval)
+{
+    Rng rng(7);
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+        sum += u;
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace xisa

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Workload tests: every kernel verifies, runs identically under the
+ * reference IR interpreter and under compiled execution on both ISAs,
+ * is deterministic across thread counts, and survives migration
+ * mid-run with unchanged results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "ir/interp.hh"
+#include "os/os.hh"
+#include "util/logging.hh"
+#include "workload/workloads.hh"
+
+namespace xisa {
+namespace {
+
+OsRunResult
+runOn(const Module &mod, int node)
+{
+    MultiIsaBinary bin = compileModule(mod);
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(node);
+    return os.run();
+}
+
+class WorkloadTest : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(WorkloadTest, SerialMatchesReferenceOnBothIsas)
+{
+    Module mod = buildWorkload(GetParam(), ProblemClass::A, 1);
+    IRInterp ref(mod, 1ull << 34);
+    IRRunResult expect = ref.runEntry();
+    ASSERT_FALSE(expect.output.empty());
+    for (int node : {0, 1}) {
+        OsRunResult got = runOn(mod, node);
+        EXPECT_EQ(got.exitCode, expect.retVal)
+            << workloadName(GetParam()) << " node " << node;
+        EXPECT_EQ(got.output, expect.output)
+            << workloadName(GetParam()) << " node " << node;
+    }
+}
+
+TEST_P(WorkloadTest, SerialSurvivesMigrationMidRun)
+{
+    Module mod = buildWorkload(GetParam(), ProblemClass::A, 1);
+    IRRunResult expect = IRInterp(mod, 1ull << 34).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(0);
+    int fired = 0;
+    os.onQuantum = [&](ReplicatedOS &self) {
+        // Bounce the container between the servers a few times.
+        if (self.totalInstrs() > static_cast<uint64_t>(fired + 1) *
+                                     150000 &&
+            fired < 3) {
+            self.migrateProcess(1 - self.threadNode(0));
+            ++fired;
+        }
+    };
+    OsRunResult got = os.run();
+    EXPECT_EQ(got.exitCode, expect.retVal) << workloadName(GetParam());
+    EXPECT_EQ(got.output, expect.output) << workloadName(GetParam());
+    EXPECT_GE(os.migrations().size(), 1u) << workloadName(GetParam());
+    os.dsm().checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, WorkloadTest, ::testing::ValuesIn(allWorkloads()),
+    [](const auto &info) { return std::string(workloadName(info.param)); });
+
+class ThreadedWorkloadTest : public ::testing::TestWithParam<WorkloadId>
+{};
+
+TEST_P(ThreadedWorkloadTest, ThreadCountDoesNotChangeResults)
+{
+    // The checksum printed by T=1 must match T=2 and T=4: reductions
+    // are staged deterministically.
+    Module serial = buildWorkload(GetParam(), ProblemClass::A, 1);
+    IRRunResult expect = IRInterp(serial, 1ull << 34).runEntry();
+    for (int threads : {2, 4}) {
+        Module mod = buildWorkload(GetParam(), ProblemClass::A, threads);
+        OsRunResult got = runOn(mod, 0);
+        EXPECT_EQ(got.output, expect.output)
+            << workloadName(GetParam()) << " T=" << threads;
+    }
+}
+
+TEST_P(ThreadedWorkloadTest, ThreadedRunSurvivesProcessMigration)
+{
+    Module serial = buildWorkload(GetParam(), ProblemClass::A, 1);
+    IRRunResult expect = IRInterp(serial, 1ull << 34).runEntry();
+    Module mod = buildWorkload(GetParam(), ProblemClass::A, 4);
+    MultiIsaBinary bin = compileModule(mod);
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(1);
+    bool fired = false;
+    os.onQuantum = [&](ReplicatedOS &self) {
+        if (!fired && self.totalInstrs() > 200000) {
+            self.migrateProcess(0);
+            fired = true;
+        }
+    };
+    OsRunResult got = os.run();
+    EXPECT_EQ(got.output, expect.output) << workloadName(GetParam());
+    os.dsm().checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NpbKernels, ThreadedWorkloadTest,
+    ::testing::ValuesIn(npbWorkloads()),
+    [](const auto &info) { return std::string(workloadName(info.param)); });
+
+TEST(Workloads, ClassesScaleTheWork)
+{
+    // Larger classes execute proportionally more instructions.
+    Module a = buildWorkload(WorkloadId::IS, ProblemClass::A, 1);
+    Module b = buildWorkload(WorkloadId::IS, ProblemClass::B, 1);
+    IRRunResult ra = IRInterp(a, 1ull << 34).runEntry();
+    IRRunResult rb = IRInterp(b, 1ull << 34).runEntry();
+    EXPECT_GT(rb.instrCount, 3 * ra.instrCount);
+    EXPECT_LT(rb.instrCount, 6 * ra.instrCount);
+}
+
+TEST(Workloads, IsSortProducesZeroViolations)
+{
+    Module mod = buildWorkload(WorkloadId::IS, ProblemClass::A, 1);
+    IRRunResult r = IRInterp(mod, 1ull << 34).runEntry();
+    EXPECT_EQ(r.retVal, 0); // violation count
+    ASSERT_EQ(r.output.size(), 2u);
+    EXPECT_EQ(r.output[0], "0");
+}
+
+TEST(Workloads, SerialOnlyKernelsRejectThreads)
+{
+    EXPECT_THROW(buildWorkload(WorkloadId::REDIS, ProblemClass::A, 2),
+                 FatalError);
+    EXPECT_THROW(buildWorkload(WorkloadId::BZIP, ProblemClass::A, 4),
+                 FatalError);
+    EXPECT_THROW(buildWorkload(WorkloadId::CG, ProblemClass::A, 99),
+                 FatalError);
+}
+
+} // namespace
+} // namespace xisa

@@ -1,0 +1,245 @@
+#include "testprogs.hh"
+
+namespace xisa::testing {
+
+Module
+makeArithProgram(int64_t n)
+{
+    ModuleBuilder mb("arith");
+
+    FuncBuilder &gcd = mb.defineFunc("gcd", Type::I64,
+                                     {Type::I64, Type::I64});
+    {
+        ValueId a = gcd.param(0);
+        ValueId b = gcd.param(1);
+        ValueId bZero = gcd.icmp(Cond::EQ, b, gcd.constInt(0));
+        uint32_t baseB = gcd.newBlock();
+        uint32_t recB = gcd.newBlock();
+        gcd.condBr(bZero, baseB, recB);
+        gcd.setBlock(baseB);
+        gcd.ret(a);
+        gcd.setBlock(recB);
+        ValueId rem = gcd.srem(a, b);
+        gcd.ret(gcd.call(mb.findFunc("gcd"), {b, rem}));
+    }
+
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t accSlot = f.declareAlloca(8, 8, "acc");
+    ValueId acc = f.allocaAddr(accSlot);
+    f.store(Type::I64, acc, f.constInt(0));
+    f.forLoopI(0, n, [&](ValueId i) {
+        ValueId sq = f.mul(i, i);
+        f.store(Type::I64, acc, f.add(f.load(Type::I64, acc), sq));
+    });
+    ValueId sum = f.load(Type::I64, acc);
+    f.callVoid(mb.builtin(Builtin::PrintI64), {sum});
+    ValueId g = f.call(mb.findFunc("gcd"), {f.constInt(252), sum});
+    f.callVoid(mb.builtin(Builtin::PrintI64), {g});
+    f.ret(f.add(sum, g));
+    return mb.finish();
+}
+
+Module
+makeFloatProgram(int64_t n)
+{
+    ModuleBuilder mb("floaty");
+    FuncBuilder &dot = mb.defineFunc("dot", Type::F64,
+                                     {Type::Ptr, Type::Ptr, Type::I64});
+    {
+        uint32_t sSlot = dot.declareAlloca(8, 8, "s");
+        ValueId s = dot.allocaAddr(sSlot);
+        dot.store(Type::F64, s, dot.constFloat(0.0));
+        dot.forLoop(dot.constInt(0), dot.param(2), [&](ValueId i) {
+            ValueId x = dot.loadIdx(Type::F64, dot.param(0), i, 8);
+            ValueId y = dot.loadIdx(Type::F64, dot.param(1), i, 8);
+            dot.store(Type::F64, s,
+                      dot.fadd(dot.load(Type::F64, s), dot.fmul(x, y)));
+        });
+        dot.ret(dot.load(Type::F64, s));
+    }
+
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId bytes = f.mulImm(f.constInt(n), 8);
+    ValueId a = f.call(mb.builtin(Builtin::Malloc), {bytes});
+    ValueId b = f.call(mb.builtin(Builtin::Malloc), {bytes});
+    f.forLoopI(0, n, [&](ValueId i) {
+        ValueId x = f.sitofp(i);
+        f.storeIdx(Type::F64, a, i, f.fmul(x, f.constFloat(0.5)), 8);
+        f.storeIdx(Type::F64, b, i,
+                   f.fadd(x, f.constFloat(1.0)), 8);
+    });
+    ValueId d = f.call(mb.findFunc("dot"),
+                       {a, b, f.constInt(n)});
+    f.callVoid(mb.builtin(Builtin::PrintF64), {d});
+    f.ret(f.fptosi(d));
+    return mb.finish();
+}
+
+Module
+makePointerProgram()
+{
+    ModuleBuilder mb("ptr");
+    // bump(ptr p, i64 delta): *p += delta (pointer to caller's alloca).
+    FuncBuilder &bump = mb.defineFunc("bump", Type::Void,
+                                      {Type::Ptr, Type::I64});
+    bump.store(Type::I64, bump.param(0),
+               bump.add(bump.load(Type::I64, bump.param(0)),
+                        bump.param(1)));
+    bump.ret();
+
+    // twice(ptr p): calls bump twice through another frame.
+    FuncBuilder &twice = mb.defineFunc("twice", Type::Void, {Type::Ptr});
+    twice.callVoid(mb.findFunc("bump"), {twice.param(0),
+                                         twice.constInt(10)});
+    twice.callVoid(mb.findFunc("bump"), {twice.param(0),
+                                         twice.constInt(100)});
+    twice.ret();
+
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t xSlot = f.declareAlloca(8, 8, "x");
+    uint32_t arrSlot = f.declareAlloca(64, 16, "arr");
+    ValueId x = f.allocaAddr(xSlot);
+    ValueId arr = f.allocaAddr(arrSlot);
+    f.store(Type::I64, x, f.constInt(1));
+    f.forLoopI(0, 8, [&](ValueId i) {
+        f.storeIdx(Type::I64, arr, i, f.mulImm(i, 3), 8);
+    });
+    f.callVoid(mb.findFunc("twice"), {x});
+    // Also pass an interior pointer: &arr[4].
+    ValueId inner = f.add(arr, f.constInt(32));
+    f.callVoid(mb.findFunc("bump"), {inner, f.constInt(1000)});
+    ValueId sum = f.load(Type::I64, x);
+    f.forLoopI(0, 8, [&](ValueId i) {
+        ValueId v = f.loadIdx(Type::I64, arr, i, 8);
+        f.store(Type::I64, x, f.add(f.load(Type::I64, x), v));
+    });
+    ValueId result = f.load(Type::I64, x);
+    f.callVoid(mb.builtin(Builtin::PrintI64), {sum});
+    f.callVoid(mb.builtin(Builtin::PrintI64), {result});
+    f.ret(result);
+    return mb.finish();
+}
+
+Module
+makeTlsHeapProgram()
+{
+    ModuleBuilder mb("tlsheap");
+    uint32_t tlsCtr = mb.addGlobal("tls_ctr", 8, 8, false, true);
+    uint32_t gArr = mb.addGlobalI64s("garr", {3, 1, 4, 1, 5, 9, 2, 6});
+
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId tls = f.tlsAddr(tlsCtr);
+    f.store(Type::I64, tls, f.constInt(7));
+    ValueId heap = f.call(mb.builtin(Builtin::Malloc), {f.constInt(64)});
+    f.callVoid(mb.builtin(Builtin::Memcpy),
+               {heap, f.globalAddr(gArr), f.constInt(64)});
+    uint32_t sSlot = f.declareAlloca(8, 8, "s");
+    ValueId s = f.allocaAddr(sSlot);
+    f.store(Type::I64, s, f.load(Type::I64, tls));
+    f.forLoopI(0, 8, [&](ValueId i) {
+        ValueId v = f.loadIdx(Type::I64, heap, i, 8);
+        f.store(Type::I64, s, f.add(f.load(Type::I64, s), v));
+    });
+    ValueId r = f.load(Type::I64, s);
+    f.callVoid(mb.builtin(Builtin::PrintI64), {r});
+    f.callVoid(mb.builtin(Builtin::Free), {heap});
+    f.ret(r);
+    return mb.finish();
+}
+
+Module
+makeDeepRecursionProgram(int64_t depth)
+{
+    ModuleBuilder mb("deep");
+    // down(n): local = n*2 in an alloca; r = n<=0 ? 0 : down(n-1);
+    // return local + r + calleeHot where calleeHot is a value that
+    // stays live across the recursive call (callee-saved candidate).
+    FuncBuilder &down = mb.defineFunc("down", Type::I64, {Type::I64});
+    {
+        ValueId n = down.param(0);
+        uint32_t slot = down.declareAlloca(16, 8, "local");
+        ValueId local = down.allocaAddr(slot);
+        down.store(Type::I64, local, down.mulImm(n, 2));
+        ValueId hot = down.add(down.mulImm(n, 7), down.constInt(13));
+        ValueId isBase = down.icmp(Cond::LE, n, down.constInt(0));
+        uint32_t baseB = down.newBlock();
+        uint32_t recB = down.newBlock();
+        down.condBr(isBase, baseB, recB);
+        down.setBlock(baseB);
+        down.ret(down.constInt(0));
+        down.setBlock(recB);
+        ValueId r =
+            down.call(mb.findFunc("down"),
+                      {down.sub(n, down.constInt(1))});
+        ValueId l = down.load(Type::I64, local);
+        down.ret(down.add(down.add(l, r), hot));
+    }
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    ValueId r = f.call(mb.findFunc("down"), {f.constInt(depth)});
+    f.callVoid(mb.builtin(Builtin::PrintI64), {r});
+    f.ret(r);
+    return mb.finish();
+}
+
+Module
+makeThreadedProgram(int64_t nthreads, int64_t elems)
+{
+    ModuleBuilder mb("threads");
+    uint32_t gSum = mb.addGlobal("gsum", 8);
+    uint32_t gN = mb.addGlobalI64s("gn", {elems});
+    uint32_t gT = mb.addGlobalI64s("gt", {nthreads});
+
+    // worker(slice): adds slice's partial sum of i over [lo,hi) into
+    // gsum atomically, then barriers with main.
+    FuncBuilder &w = mb.defineFunc("worker", Type::I64, {Type::I64});
+    {
+        ValueId slice = w.param(0);
+        ValueId n = w.load(Type::I64, w.globalAddr(gN));
+        ValueId t = w.load(Type::I64, w.globalAddr(gT));
+        ValueId chunk = w.sdiv(n, t);
+        ValueId lo = w.mul(slice, chunk);
+        ValueId isLast = w.icmp(Cond::EQ, slice,
+                                w.sub(t, w.constInt(1)));
+        uint32_t hiSlot = w.declareAlloca(8, 8, "hi");
+        ValueId hiAddr = w.allocaAddr(hiSlot);
+        w.ifThenElse(
+            isLast, [&] { w.store(Type::I64, hiAddr, n); },
+            [&] {
+                w.store(Type::I64, hiAddr, w.add(lo, chunk));
+            });
+        uint32_t accSlot = w.declareAlloca(8, 8, "acc");
+        ValueId acc = w.allocaAddr(accSlot);
+        w.store(Type::I64, acc, w.constInt(0));
+        w.forLoop(lo, w.load(Type::I64, hiAddr), [&](ValueId i) {
+            w.store(Type::I64, acc,
+                    w.add(w.load(Type::I64, acc), i));
+        });
+        ValueId partial = w.load(Type::I64, acc);
+        w.atomicAdd(w.globalAddr(gSum), partial);
+        w.callVoid(mb.builtin(Builtin::BarrierWait),
+                   {w.constInt(1), w.addImm(t, 1)});
+        w.ret(partial);
+    }
+
+    FuncBuilder &f = mb.defineFunc("main", Type::I64, {});
+    uint32_t tidSlot = f.declareAlloca(8 * 16, 8, "tids");
+    ValueId tids = f.allocaAddr(tidSlot);
+    ValueId fn = f.funcAddr(mb.findFunc("worker"));
+    f.forLoopI(0, nthreads, [&](ValueId i) {
+        ValueId tid =
+            f.call(mb.builtin(Builtin::ThreadSpawn), {fn, i});
+        f.storeIdx(Type::I64, tids, i, tid, 8);
+    });
+    f.callVoid(mb.builtin(Builtin::BarrierWait),
+               {f.constInt(1), f.constInt(nthreads + 1)});
+    f.forLoopI(0, nthreads, [&](ValueId i) {
+        f.callVoid(mb.builtin(Builtin::ThreadJoin),
+                   {f.loadIdx(Type::I64, tids, i, 8)});
+    });
+    ValueId total = f.load(Type::I64, f.globalAddr(gSum));
+    f.callVoid(mb.builtin(Builtin::PrintI64), {total});
+    f.ret(total);
+    return mb.finish();
+}
+
+} // namespace xisa::testing

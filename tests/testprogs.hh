@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared mini-programs and helpers for the test suites.
+ */
+
+#ifndef XISA_TESTS_TESTPROGS_HH
+#define XISA_TESTS_TESTPROGS_HH
+
+#include "compiler/compile.hh"
+#include "ir/builder.hh"
+#include "ir/interp.hh"
+#include "os/os.hh"
+
+namespace xisa::testing {
+
+/** Compile `mod` and run it on the dual-server testbed from `node`. */
+inline OsRunResult
+runCompiled(const Module &mod, int startNode,
+            const CompileOptions &opts = {})
+{
+    MultiIsaBinary bin = compileModule(mod, opts);
+    ReplicatedOS os(bin, OsConfig::dualServer());
+    os.load(startNode);
+    return os.run();
+}
+
+/** Run `mod` under the reference IR interpreter. */
+inline IRRunResult
+runReference(const Module &mod)
+{
+    IRInterp interp(mod);
+    return interp.runEntry();
+}
+
+/**
+ * sum of i*i for i in [0,n) plus a recursive gcd, printing results.
+ * Exercises loops, recursion, globals, and prints.
+ */
+Module makeArithProgram(int64_t n);
+
+/** Float-heavy kernel: dot products and running sums with prints. */
+Module makeFloatProgram(int64_t n);
+
+/**
+ * Passes pointers to stack allocas down a call chain that mutates them
+ * -- the stack-transformation stress case.
+ */
+Module makePointerProgram();
+
+/** TLS counters plus heap arrays, printing a checksum. */
+Module makeTlsHeapProgram();
+
+/**
+ * A deep recursion (depth `depth`) with live values in every frame and
+ * a migration-point-rich leaf. Returns a value that depends on every
+ * frame's locals.
+ */
+Module makeDeepRecursionProgram(int64_t depth);
+
+/** Multi-threaded sum over a shared array using atomic adds + barrier.
+ *  Spawns `nthreads` workers. */
+Module makeThreadedProgram(int64_t nthreads, int64_t elems);
+
+} // namespace xisa::testing
+
+#endif // XISA_TESTS_TESTPROGS_HH
