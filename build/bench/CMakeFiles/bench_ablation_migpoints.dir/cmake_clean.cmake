@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_migpoints.dir/bench_ablation_migpoints.cc.o"
+  "CMakeFiles/bench_ablation_migpoints.dir/bench_ablation_migpoints.cc.o.d"
+  "bench_ablation_migpoints"
+  "bench_ablation_migpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_migpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

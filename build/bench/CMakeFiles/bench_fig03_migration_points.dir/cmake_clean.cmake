@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_migration_points.dir/bench_fig03_migration_points.cc.o"
+  "CMakeFiles/bench_fig03_migration_points.dir/bench_fig03_migration_points.cc.o.d"
+  "bench_fig03_migration_points"
+  "bench_fig03_migration_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_migration_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

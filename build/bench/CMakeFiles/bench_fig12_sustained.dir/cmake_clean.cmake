@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sustained.dir/bench_fig12_sustained.cc.o"
+  "CMakeFiles/bench_fig12_sustained.dir/bench_fig12_sustained.cc.o.d"
+  "bench_fig12_sustained"
+  "bench_fig12_sustained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sustained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_periodic.dir/bench_fig13_periodic.cc.o"
+  "CMakeFiles/bench_fig13_periodic.dir/bench_fig13_periodic.cc.o.d"
+  "bench_fig13_periodic"
+  "bench_fig13_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

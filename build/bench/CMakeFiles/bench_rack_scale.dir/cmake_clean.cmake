@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rack_scale.dir/bench_rack_scale.cc.o"
+  "CMakeFiles/bench_rack_scale.dir/bench_rack_scale.cc.o.d"
+  "bench_rack_scale"
+  "bench_rack_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rack_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

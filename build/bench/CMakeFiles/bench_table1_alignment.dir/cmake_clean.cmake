@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_alignment.dir/bench_table1_alignment.cc.o"
+  "CMakeFiles/bench_table1_alignment.dir/bench_table1_alignment.cc.o.d"
+  "bench_table1_alignment"
+  "bench_table1_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_lab.dir/migration_lab.cpp.o"
+  "CMakeFiles/migration_lab.dir/migration_lab.cpp.o.d"
+  "migration_lab"
+  "migration_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_app.dir/minic_app.cpp.o"
+  "CMakeFiles/minic_app.dir/minic_app.cpp.o.d"
+  "minic_app"
+  "minic_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objdump_tool.dir/objdump_tool.cpp.o"
+  "CMakeFiles/objdump_tool.dir/objdump_tool.cpp.o.d"
+  "objdump_tool"
+  "objdump_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objdump_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_migration.dir/redis_migration.cpp.o"
+  "CMakeFiles/redis_migration.dir/redis_migration.cpp.o.d"
+  "redis_migration"
+  "redis_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("isa")
+subdirs("ir")
+subdirs("frontend")
+subdirs("binary")
+subdirs("compiler")
+subdirs("machine")
+subdirs("dsm")
+subdirs("core")
+subdirs("os")
+subdirs("workload")
+subdirs("emu")
+subdirs("serial")
+subdirs("sched")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_binary.dir/dump.cc.o"
+  "CMakeFiles/xisa_binary.dir/dump.cc.o.d"
+  "CMakeFiles/xisa_binary.dir/multibinary.cc.o"
+  "CMakeFiles/xisa_binary.dir/multibinary.cc.o.d"
+  "CMakeFiles/xisa_binary.dir/serialize.cc.o"
+  "CMakeFiles/xisa_binary.dir/serialize.cc.o.d"
+  "libxisa_binary.a"
+  "libxisa_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/backend.cc" "src/compiler/CMakeFiles/xisa_compiler.dir/backend.cc.o" "gcc" "src/compiler/CMakeFiles/xisa_compiler.dir/backend.cc.o.d"
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/xisa_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/xisa_compiler.dir/compile.cc.o.d"
+  "/root/repo/src/compiler/liveness.cc" "src/compiler/CMakeFiles/xisa_compiler.dir/liveness.cc.o" "gcc" "src/compiler/CMakeFiles/xisa_compiler.dir/liveness.cc.o.d"
+  "/root/repo/src/compiler/migpass.cc" "src/compiler/CMakeFiles/xisa_compiler.dir/migpass.cc.o" "gcc" "src/compiler/CMakeFiles/xisa_compiler.dir/migpass.cc.o.d"
+  "/root/repo/src/compiler/opt.cc" "src/compiler/CMakeFiles/xisa_compiler.dir/opt.cc.o" "gcc" "src/compiler/CMakeFiles/xisa_compiler.dir/opt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binary/CMakeFiles/xisa_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xisa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xisa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xisa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_compiler.dir/backend.cc.o"
+  "CMakeFiles/xisa_compiler.dir/backend.cc.o.d"
+  "CMakeFiles/xisa_compiler.dir/compile.cc.o"
+  "CMakeFiles/xisa_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/xisa_compiler.dir/liveness.cc.o"
+  "CMakeFiles/xisa_compiler.dir/liveness.cc.o.d"
+  "CMakeFiles/xisa_compiler.dir/migpass.cc.o"
+  "CMakeFiles/xisa_compiler.dir/migpass.cc.o.d"
+  "CMakeFiles/xisa_compiler.dir/opt.cc.o"
+  "CMakeFiles/xisa_compiler.dir/opt.cc.o.d"
+  "libxisa_compiler.a"
+  "libxisa_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

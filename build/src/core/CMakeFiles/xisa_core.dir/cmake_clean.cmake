@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_core.dir/stacktransform.cc.o"
+  "CMakeFiles/xisa_core.dir/stacktransform.cc.o.d"
+  "libxisa_core.a"
+  "libxisa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_migprofile.dir/migprofile.cc.o"
+  "CMakeFiles/xisa_migprofile.dir/migprofile.cc.o.d"
+  "libxisa_migprofile.a"
+  "libxisa_migprofile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_migprofile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

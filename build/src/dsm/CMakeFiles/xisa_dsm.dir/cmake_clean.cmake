@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_dsm.dir/dsm.cc.o"
+  "CMakeFiles/xisa_dsm.dir/dsm.cc.o.d"
+  "libxisa_dsm.a"
+  "libxisa_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

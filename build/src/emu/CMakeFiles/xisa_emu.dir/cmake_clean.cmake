@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_emu.dir/dbt.cc.o"
+  "CMakeFiles/xisa_emu.dir/dbt.cc.o.d"
+  "libxisa_emu.a"
+  "libxisa_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

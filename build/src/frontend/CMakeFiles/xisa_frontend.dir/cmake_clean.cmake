@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_frontend.dir/minic.cc.o"
+  "CMakeFiles/xisa_frontend.dir/minic.cc.o.d"
+  "libxisa_frontend.a"
+  "libxisa_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

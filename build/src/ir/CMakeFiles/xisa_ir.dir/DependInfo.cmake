@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/xisa_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/xisa_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/ir/CMakeFiles/xisa_ir.dir/interp.cc.o" "gcc" "src/ir/CMakeFiles/xisa_ir.dir/interp.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/xisa_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/xisa_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/print.cc" "src/ir/CMakeFiles/xisa_ir.dir/print.cc.o" "gcc" "src/ir/CMakeFiles/xisa_ir.dir/print.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/xisa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xisa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_ir.dir/builder.cc.o"
+  "CMakeFiles/xisa_ir.dir/builder.cc.o.d"
+  "CMakeFiles/xisa_ir.dir/interp.cc.o"
+  "CMakeFiles/xisa_ir.dir/interp.cc.o.d"
+  "CMakeFiles/xisa_ir.dir/ir.cc.o"
+  "CMakeFiles/xisa_ir.dir/ir.cc.o.d"
+  "CMakeFiles/xisa_ir.dir/print.cc.o"
+  "CMakeFiles/xisa_ir.dir/print.cc.o.d"
+  "libxisa_ir.a"
+  "libxisa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

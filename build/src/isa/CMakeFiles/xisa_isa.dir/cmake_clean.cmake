@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_isa.dir/abi.cc.o"
+  "CMakeFiles/xisa_isa.dir/abi.cc.o.d"
+  "CMakeFiles/xisa_isa.dir/isa.cc.o"
+  "CMakeFiles/xisa_isa.dir/isa.cc.o.d"
+  "libxisa_isa.a"
+  "libxisa_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache.cc" "src/machine/CMakeFiles/xisa_machine.dir/cache.cc.o" "gcc" "src/machine/CMakeFiles/xisa_machine.dir/cache.cc.o.d"
+  "/root/repo/src/machine/interp.cc" "src/machine/CMakeFiles/xisa_machine.dir/interp.cc.o" "gcc" "src/machine/CMakeFiles/xisa_machine.dir/interp.cc.o.d"
+  "/root/repo/src/machine/mem.cc" "src/machine/CMakeFiles/xisa_machine.dir/mem.cc.o" "gcc" "src/machine/CMakeFiles/xisa_machine.dir/mem.cc.o.d"
+  "/root/repo/src/machine/node.cc" "src/machine/CMakeFiles/xisa_machine.dir/node.cc.o" "gcc" "src/machine/CMakeFiles/xisa_machine.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binary/CMakeFiles/xisa_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xisa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xisa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xisa_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_machine.dir/cache.cc.o"
+  "CMakeFiles/xisa_machine.dir/cache.cc.o.d"
+  "CMakeFiles/xisa_machine.dir/interp.cc.o"
+  "CMakeFiles/xisa_machine.dir/interp.cc.o.d"
+  "CMakeFiles/xisa_machine.dir/mem.cc.o"
+  "CMakeFiles/xisa_machine.dir/mem.cc.o.d"
+  "CMakeFiles/xisa_machine.dir/node.cc.o"
+  "CMakeFiles/xisa_machine.dir/node.cc.o.d"
+  "libxisa_machine.a"
+  "libxisa_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

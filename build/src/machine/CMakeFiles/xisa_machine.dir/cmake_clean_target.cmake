@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxisa_machine.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/checkpoint.cc" "src/os/CMakeFiles/xisa_os.dir/checkpoint.cc.o" "gcc" "src/os/CMakeFiles/xisa_os.dir/checkpoint.cc.o.d"
+  "/root/repo/src/os/energy.cc" "src/os/CMakeFiles/xisa_os.dir/energy.cc.o" "gcc" "src/os/CMakeFiles/xisa_os.dir/energy.cc.o.d"
+  "/root/repo/src/os/os.cc" "src/os/CMakeFiles/xisa_os.dir/os.cc.o" "gcc" "src/os/CMakeFiles/xisa_os.dir/os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/xisa_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xisa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/xisa_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xisa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xisa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xisa_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_os.dir/checkpoint.cc.o"
+  "CMakeFiles/xisa_os.dir/checkpoint.cc.o.d"
+  "CMakeFiles/xisa_os.dir/energy.cc.o"
+  "CMakeFiles/xisa_os.dir/energy.cc.o.d"
+  "CMakeFiles/xisa_os.dir/os.cc.o"
+  "CMakeFiles/xisa_os.dir/os.cc.o.d"
+  "libxisa_os.a"
+  "libxisa_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_sched.dir/cluster.cc.o"
+  "CMakeFiles/xisa_sched.dir/cluster.cc.o.d"
+  "CMakeFiles/xisa_sched.dir/jobsets.cc.o"
+  "CMakeFiles/xisa_sched.dir/jobsets.cc.o.d"
+  "CMakeFiles/xisa_sched.dir/profile.cc.o"
+  "CMakeFiles/xisa_sched.dir/profile.cc.o.d"
+  "libxisa_sched.a"
+  "libxisa_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

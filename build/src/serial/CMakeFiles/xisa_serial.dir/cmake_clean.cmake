@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_serial.dir/padmig.cc.o"
+  "CMakeFiles/xisa_serial.dir/padmig.cc.o.d"
+  "libxisa_serial.a"
+  "libxisa_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

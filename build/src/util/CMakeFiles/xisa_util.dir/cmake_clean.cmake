@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_util.dir/logging.cc.o"
+  "CMakeFiles/xisa_util.dir/logging.cc.o.d"
+  "CMakeFiles/xisa_util.dir/stats.cc.o"
+  "CMakeFiles/xisa_util.dir/stats.cc.o.d"
+  "libxisa_util.a"
+  "libxisa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

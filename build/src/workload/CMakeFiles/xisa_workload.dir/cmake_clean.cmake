@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_workload.dir/workloads.cc.o"
+  "CMakeFiles/xisa_workload.dir/workloads.cc.o.d"
+  "libxisa_workload.a"
+  "libxisa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

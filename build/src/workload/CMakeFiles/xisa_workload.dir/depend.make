@@ -1,0 +1,2 @@
+# Empty dependencies file for xisa_workload.
+# This may be replaced when dependencies are built.

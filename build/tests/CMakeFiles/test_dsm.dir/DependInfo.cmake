@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dsm.cc" "tests/CMakeFiles/test_dsm.dir/test_dsm.cc.o" "gcc" "tests/CMakeFiles/test_dsm.dir/test_dsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xisa_migprofile.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/xisa_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/xisa_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/xisa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/xisa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/xisa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/xisa_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xisa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/xisa_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xisa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/xisa_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xisa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xisa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xisa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa_testprogs.dir/testprogs.cc.o"
+  "CMakeFiles/xisa_testprogs.dir/testprogs.cc.o.d"
+  "libxisa_testprogs.a"
+  "libxisa_testprogs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa_testprogs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
