@@ -59,6 +59,9 @@ main()
         {
             ReplicatedOS os(bin, cfg);
             os.load(0);
+            // Epoch over the container's registry: reads below are
+            // deltas across the run, not lifetime totals.
+            obs::ScopedStatEpoch epoch(os.statRegistry());
             bool fired = false;
             os.onQuantum = [&](ReplicatedOS &self) {
                 if (!fired && self.totalInstrs() > 1000000) {
@@ -69,7 +72,8 @@ main()
             os.run();
             for (const MigrationEvent &ev : os.migrations())
                 livePause += ev.resumeTime - ev.trapTime;
-            pagesPulled = os.dsm().stats().pagesTransferred;
+            pagesPulled = static_cast<uint64_t>(
+                epoch.delta("dsm.page_transfers"));
         }
         std::printf("%-6s %14zu %14.5f %16.6f %14llu %9.0fx\n",
                     workloadName(wl), ckptBytes, crPause, livePause,

@@ -30,11 +30,12 @@ struct TraceResult {
     double pauseSeconds = 0;       ///< application stopped for this long
     std::vector<double> power[2];  ///< per node
     std::vector<double> load[2];
-    DsmStats dsm;
+    uint64_t pagesMoved = 0;       ///< hDSM transfers during the run
+    uint64_t bytesMoved = 0;
 };
 
 TraceResult
-runScenario(bool padmigStyle)
+runScenario(bool padmigStyle, const ObsOptions *obsOut = nullptr)
 {
     Module mod = buildWorkload(WorkloadId::IS, ProblemClass::B, 1);
     MultiIsaBinary bin = compileModule(std::move(mod));
@@ -42,6 +43,9 @@ runScenario(bool padmigStyle)
     cfg.energyBinSeconds = 2e-4; // finer grid: ms-scale kernels
     ReplicatedOS os(bin, cfg);
     os.load(0);
+    if (obsOut)
+        obs::Tracer::global().clear(); // trace this scenario only
+    obs::ScopedStatEpoch epoch(os.statRegistry());
 
     TraceResult out;
     bool fired = false;
@@ -78,7 +82,12 @@ runScenario(bool padmigStyle)
             out.load[n].push_back(os.energy().utilization(n, b) * 100);
         out.binSeconds = os.energy().binSeconds();
     }
-    out.dsm = os.dsm().stats();
+    out.pagesMoved =
+        static_cast<uint64_t>(epoch.delta("dsm.page_transfers"));
+    out.bytesMoved =
+        static_cast<uint64_t>(epoch.delta("dsm.bytes_transferred"));
+    if (obsOut)
+        writeObsOutputs(*obsOut, os.statRegistry());
     return out;
 }
 
@@ -91,8 +100,8 @@ printTrace(const char *name, const TraceResult &tr)
                 tr.totalSeconds, tr.pauseSeconds);
     std::printf("hDSM after migration: %llu pages / %.1f MB moved on "
                 "demand\n",
-                static_cast<unsigned long long>(tr.dsm.pagesTransferred),
-                static_cast<double>(tr.dsm.bytesTransferred) / 1e6);
+                static_cast<unsigned long long>(tr.pagesMoved),
+                static_cast<double>(tr.bytesMoved) / 1e6);
     std::printf("%8s %10s %9s %10s %9s\n", "t(ms)", "x86P(W)",
                 "x86L(%)", "armP(W)", "armL(%)");
     size_t bins = std::max(tr.power[0].size(), tr.power[1].size());
@@ -110,12 +119,13 @@ printTrace(const char *name, const TraceResult &tr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsOptions obsOpts = parseObsArgs(argc, argv);
     banner("Figure 11", "PadMig (serialization) vs multi-ISA binary "
                         "migration, NPB IS B serial");
     TraceResult padmig = runScenario(true);
-    TraceResult native = runScenario(false);
+    TraceResult native = runScenario(false, &obsOpts);
     printTrace("PadMig-style serialization migration", padmig);
     printTrace("CrossBound native migration", native);
     std::printf("\nSummary: serialization pauses the application %.0fx "

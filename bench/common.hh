@@ -13,10 +13,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "compiler/compile.hh"
 #include "machine/node.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "os/os.hh"
 #include "workload/workloads.hh"
 
@@ -69,6 +73,88 @@ classSweep()
                : std::vector<ProblemClass>{ProblemClass::A,
                                            ProblemClass::B,
                                            ProblemClass::C};
+}
+
+/**
+ * Observability flags shared by the harnesses:
+ *   --stats            dump the stat registry (human form) to stdout
+ *   --stats-json FILE  write the stat registry as JSON
+ *   --trace-out FILE   enable the event tracer and write Chrome
+ *                      trace-event JSON (chrome://tracing / Perfetto)
+ */
+struct ObsOptions {
+    std::string statsJsonPath;
+    std::string traceOutPath;
+    bool dumpStats = false;
+};
+
+/** Parse the observability flags; exits on unknown arguments. Passing
+ *  --trace-out arms the tracer for the whole run. */
+inline ObsOptions
+parseObsArgs(int argc, char **argv)
+{
+    ObsOptions o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--stats-json") {
+            o.statsJsonPath = val();
+        } else if (a == "--trace-out") {
+            o.traceOutPath = val();
+        } else if (a == "--stats") {
+            o.dumpStats = true;
+        } else {
+            std::fprintf(stderr,
+                         "unknown argument: %s\n"
+                         "usage: %s [--stats] [--stats-json FILE] "
+                         "[--trace-out FILE]\n",
+                         a.c_str(), argv[0]);
+            std::exit(2);
+        }
+    }
+    if (!o.traceOutPath.empty())
+        obs::setTraceEnabled(true);
+    return o;
+}
+
+/** Emit whatever outputs the flags requested from `reg` and the global
+ *  tracer; call once at the end of the harness. */
+inline void
+writeObsOutputs(const ObsOptions &o, obs::StatRegistry &reg)
+{
+    if (o.dumpStats)
+        reg.dump(std::cout);
+    if (!o.statsJsonPath.empty()) {
+        std::ofstream f(o.statsJsonPath);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         o.statsJsonPath.c_str());
+            std::exit(1);
+        }
+        reg.dumpJson(f);
+        std::printf("stats json: %s\n", o.statsJsonPath.c_str());
+    }
+    if (!o.traceOutPath.empty()) {
+        std::ofstream f(o.traceOutPath);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         o.traceOutPath.c_str());
+            std::exit(1);
+        }
+        obs::Tracer::global().exportChromeTrace(f);
+        std::printf("trace: %s (%zu events, %llu overwritten)\n",
+                    o.traceOutPath.c_str(),
+                    obs::Tracer::global().size(),
+                    static_cast<unsigned long long>(
+                        obs::Tracer::global().dropped()));
+    }
 }
 
 } // namespace xisa::bench

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "isa/abi.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace xisa {
@@ -26,6 +27,18 @@ StackTransformer::siteByRetAddr(IsaId isa, uint64_t retAddr) const
         fatal("stack walk: return address 0x%llx is not a call site",
               static_cast<unsigned long long>(retAddr));
     return it->second;
+}
+
+void
+StackTransformer::registerStats(obs::StatRegistry &reg,
+                                const std::string &prefix)
+{
+    reg.attach(prefix + ".transforms", transforms_);
+    reg.attach(prefix + ".frames", frames_);
+    reg.attach(prefix + ".live_values", liveValues_);
+    reg.attach(prefix + ".pointers_fixed", pointersFixed_);
+    reg.attach(prefix + ".bytes_copied", bytesCopied_);
+    reg.attach(prefix + ".host_us", hostUs_);
 }
 
 uint64_t
@@ -92,6 +105,20 @@ StackTransformer::transform(const ThreadContext &src, uint32_t siteId,
     }
     const size_t numFrames = frames.size();
     work.frames = static_cast<uint32_t>(numFrames);
+
+#if XISA_TRACE
+    // One instant per discovered frame, innermost first, on the ambient
+    // track -- renders the walked call chain under the transform span.
+    if (obs::traceEnabled()) {
+        const obs::TraceCursor cur = obs::traceCursor();
+        for (const Frame &fr : frames) {
+            const char *fn = obs::intern("frame " +
+                                         bin_.ir.func(fr.funcId).name);
+            obs::Tracer::global().instant(cur.track, "stacktransform",
+                                          fn, cur.tsSeconds);
+        }
+    }
+#endif
 
     // ---- 2. Pick the destination half of the stack region. -----------
     const uint64_t stackBase = stackTopAddr - vm::kStackSize;
@@ -286,6 +313,14 @@ StackTransformer::transform(const ThreadContext &src, uint32_t siteId,
                                       t0)
             .count();
     work.cycles = dsmCycles;
+
+    ++transforms_;
+    frames_.add(work.frames);
+    liveValues_.add(work.liveValues);
+    pointersFixed_.add(work.pointersFixed);
+    bytesCopied_.add(work.bytesCopied);
+    hostUs_.add(work.hostSeconds * 1e6);
+
     if (stats)
         *stats = work;
     return dst;

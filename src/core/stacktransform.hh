@@ -32,6 +32,7 @@
 #define XISA_CORE_STACKTRANSFORM_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "dsm/dsm.hh"
 #include "machine/interp.hh"
 #include "machine/node.hh"
+#include "obs/registry.hh"
 
 namespace xisa {
 
@@ -83,6 +85,13 @@ class StackTransformer
     static uint64_t costCycles(const TransformStats &work,
                                const NodeSpec &spec);
 
+    /**
+     * Attach cumulative work counters (`<prefix>.transforms`, `.frames`,
+     * `.live_values`, `.pointers_fixed`, `.bytes_copied`) plus a
+     * `<prefix>.host_us` histogram of real transformation wall-clock.
+     */
+    void registerStats(obs::StatRegistry &reg, const std::string &prefix);
+
     const MultiIsaBinary &binary() const { return bin_; }
 
   private:
@@ -103,6 +112,14 @@ class StackTransformer
                kNumIsas> byRetAddr_;
     /** Code-address indices, one per ISA. */
     std::array<CodeMap, kNumIsas> codeMaps_;
+
+    // Cumulative work across all transforms (registry-backed).
+    obs::Counter transforms_;
+    obs::Counter frames_;
+    obs::Counter liveValues_;
+    obs::Counter pointersFixed_;
+    obs::Counter bytesCopied_;
+    obs::Histogram hostUs_; ///< real wall-clock per transform, in us
 };
 
 } // namespace xisa

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace xisa {
@@ -9,6 +10,22 @@ namespace xisa {
 namespace {
 /** Protocol message header size modeled for control traffic. */
 constexpr uint64_t kMsgHeader = 64;
+
+#if XISA_TRACE
+/** Record a DSM fault as a span at the ambient cursor, advancing the
+ *  cursor by the charged cycles converted at `freqGHz`. */
+void
+traceFault(const char *name, uint64_t cyc, double freqGHz)
+{
+    if (!obs::traceEnabled())
+        return;
+    obs::TraceCursor &cur = obs::traceCursor();
+    double dur = static_cast<double>(cyc) * 1e-9 / freqGHz;
+    obs::Tracer::global().begin(cur.track, "dsm", name, cur.tsSeconds);
+    obs::Tracer::global().end(cur.track, cur.tsSeconds + dur);
+    cur.tsSeconds += dur;
+}
+#endif
 } // namespace
 
 DsmSpace::DsmSpace(int numNodes, Interconnect *net,
@@ -26,6 +43,51 @@ DsmSpace::DsmSpace(int numNodes, Interconnect *net,
     ports_.reserve(static_cast<size_t>(numNodes));
     for (int n = 0; n < numNodes; ++n)
         ports_.emplace_back(*this, n);
+    nodeStats_ = std::vector<NodeStats>(static_cast<size_t>(numNodes));
+}
+
+DsmStats
+DsmSpace::stats() const
+{
+    return {readFaults_.value(),     writeFaults_.value(),
+            invalidations_.value(),  pageTransfers_.value(),
+            bytesTransferred_.value(), extraCycles_.value()};
+}
+
+void
+DsmSpace::resetStats()
+{
+    readFaults_.reset();
+    writeFaults_.reset();
+    invalidations_.reset();
+    pageTransfers_.reset();
+    bytesTransferred_.reset();
+    extraCycles_.reset();
+    for (NodeStats &ns : nodeStats_) {
+        ns.readFaults.reset();
+        ns.writeFaults.reset();
+        ns.invalidations.reset();
+        ns.pagesIn.reset();
+    }
+}
+
+void
+DsmSpace::registerStats(obs::StatRegistry &reg)
+{
+    reg.attach("dsm.read_faults", readFaults_);
+    reg.attach("dsm.write_faults", writeFaults_);
+    reg.attach("dsm.invalidations", invalidations_);
+    reg.attach("dsm.page_transfers", pageTransfers_);
+    reg.attach("dsm.bytes_transferred", bytesTransferred_);
+    reg.attach("dsm.extra_cycles", extraCycles_);
+    for (int n = 0; n < numNodes_; ++n) {
+        std::string p = "node" + std::to_string(n) + ".dsm";
+        NodeStats &ns = nodeStats_[static_cast<size_t>(n)];
+        reg.attach(p + ".read_faults", ns.readFaults);
+        reg.attach(p + ".write_faults", ns.writeFaults);
+        reg.attach(p + ".invalidations", ns.invalidations);
+        reg.attach(p + ".pages_in", ns.pagesIn);
+    }
 }
 
 MemPort &
@@ -74,7 +136,9 @@ DsmSpace::faultRead(int node, uint64_t vpage)
     Dir &d = dir(vpage);
     if (d.state[static_cast<size_t>(node)] != PageState::Invalid)
         return 0;
-    ++stats_.readFaults;
+    NodeStats &ns = nodeStats_[static_cast<size_t>(node)];
+    ++readFaults_;
+    ++ns.readFaults;
     int holder = anyHolder(d);
     if (holder < 0) {
         // Cold anonymous page: materializes zero-filled locally.
@@ -88,11 +152,15 @@ DsmSpace::faultRead(int node, uint64_t vpage)
     if (d.state[static_cast<size_t>(holder)] == PageState::Modified)
         d.state[static_cast<size_t>(holder)] = PageState::Shared;
     d.state[static_cast<size_t>(node)] = PageState::Shared;
-    ++stats_.pagesTransferred;
-    stats_.bytesTransferred += vm::kPageSize;
+    ++pageTransfers_;
+    ++ns.pagesIn;
+    bytesTransferred_.add(vm::kPageSize);
     uint64_t cyc = net_->charge(vm::kPageSize + kMsgHeader,
                                 freqGHz_[static_cast<size_t>(node)]);
-    stats_.extraCycles += cyc;
+    extraCycles_.add(cyc);
+#if XISA_TRACE
+    traceFault("read_fault", cyc, freqGHz_[static_cast<size_t>(node)]);
+#endif
     return cyc;
 }
 
@@ -104,7 +172,9 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
     Dir &d = dir(vpage);
     if (d.state[static_cast<size_t>(node)] == PageState::Modified)
         return 0;
-    ++stats_.writeFaults;
+    NodeStats &ns = nodeStats_[static_cast<size_t>(node)];
+    ++writeFaults_;
+    ++ns.writeFaults;
     uint64_t cyc = 0;
     if (d.state[static_cast<size_t>(node)] == PageState::Invalid) {
         int holder = anyHolder(d);
@@ -112,8 +182,9 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
             std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
                         mem_[static_cast<size_t>(holder)].page(vpage),
                         vm::kPageSize);
-            ++stats_.pagesTransferred;
-            stats_.bytesTransferred += vm::kPageSize;
+            ++pageTransfers_;
+            ++ns.pagesIn;
+            bytesTransferred_.add(vm::kPageSize);
             cyc += net_->charge(vm::kPageSize + kMsgHeader,
                                 freqGHz_[static_cast<size_t>(node)]);
         } else {
@@ -127,13 +198,17 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
         if (d.state[static_cast<size_t>(n)] != PageState::Invalid) {
             d.state[static_cast<size_t>(n)] = PageState::Invalid;
             mem_[static_cast<size_t>(n)].dropPage(vpage);
-            ++stats_.invalidations;
+            ++invalidations_;
+            ++nodeStats_[static_cast<size_t>(n)].invalidations;
             cyc += net_->charge(kMsgHeader,
                                 freqGHz_[static_cast<size_t>(node)]);
         }
     }
     d.state[static_cast<size_t>(node)] = PageState::Modified;
-    stats_.extraCycles += cyc;
+    extraCycles_.add(cyc);
+#if XISA_TRACE
+    traceFault("write_fault", cyc, freqGHz_[static_cast<size_t>(node)]);
+#endif
     return cyc;
 }
 
@@ -165,8 +240,9 @@ DsmSpace::Port::read(uint64_t addr, void *dst, unsigned n)
                 cyc += dsm_.net_->charge(
                     64 + inPage,
                     dsm_.freqGHz_[static_cast<size_t>(node_)]);
-                ++dsm_.stats_.readFaults;
-                dsm_.stats_.extraCycles += cyc;
+                ++dsm_.readFaults_;
+                ++dsm_.nodeStats_[static_cast<size_t>(node_)].readFaults;
+                dsm_.extraCycles_.add(cyc);
             }
             dsm_.mem_[static_cast<size_t>(home)].read(addr, d, inPage);
         } else {
@@ -197,8 +273,9 @@ DsmSpace::Port::write(uint64_t addr, const void *src, unsigned n)
                 cyc += dsm_.net_->charge(
                     64 + inPage,
                     dsm_.freqGHz_[static_cast<size_t>(node_)]);
-                ++dsm_.stats_.writeFaults;
-                dsm_.stats_.extraCycles += cyc;
+                ++dsm_.writeFaults_;
+                ++dsm_.nodeStats_[static_cast<size_t>(node_)].writeFaults;
+                dsm_.extraCycles_.add(cyc);
             }
             dsm_.mem_[static_cast<size_t>(home)].write(addr, s, inPage);
         } else {

@@ -30,6 +30,7 @@
 
 #include "dsm/interconnect.hh"
 #include "machine/mem.hh"
+#include "obs/registry.hh"
 #include "util/bytes.hh"
 
 namespace xisa {
@@ -46,7 +47,12 @@ enum class PageState : uint8_t { Invalid = 0, Shared, Modified };
  */
 enum class DsmMode : uint8_t { MigratePages, RemoteAccess };
 
-/** Protocol and traffic statistics of one DSM space. */
+/**
+ * Protocol and traffic statistics of one DSM space. Deprecated as
+ * storage: the live counts are registry-backed obs::Counters owned by
+ * the DsmSpace; this struct remains as the value type the stats() shim
+ * materializes for existing callers.
+ */
 struct DsmStats {
     uint64_t readFaults = 0;
     uint64_t writeFaults = 0;
@@ -102,8 +108,16 @@ class DsmSpace
     /** Read bytes through the protocol on behalf of `node`. */
     uint64_t pull(int node, uint64_t addr, void *dst, size_t n);
 
-    const DsmStats &stats() const { return stats_; }
-    void resetStats() { stats_ = DsmStats{}; }
+    /** Deprecated shim materializing the registry-backed counters. */
+    DsmStats stats() const;
+    /** Deprecated: prefer resetting through the owning StatRegistry. */
+    void resetStats();
+    /**
+     * Attach the protocol counters to `reg`: aggregates under `dsm.*`
+     * plus per-node breakdowns under `node<N>.dsm.*` (read_faults,
+     * write_faults, invalidations, pages_in).
+     */
+    void registerStats(obs::StatRegistry &reg);
 
     /** Per-node page state (for tests and diagnostics). */
     PageState state(int node, uint64_t vpage) const;
@@ -160,7 +174,22 @@ class DsmSpace
     std::vector<SimMemory> mem_;   ///< per-node backing store
     std::vector<Port> ports_;
     std::unordered_map<uint64_t, Dir> dirs_;
-    DsmStats stats_;
+
+    /** Per-node protocol counters, registered as `node<N>.dsm.*`. */
+    struct NodeStats {
+        obs::Counter readFaults;
+        obs::Counter writeFaults;
+        obs::Counter invalidations; ///< copies invalidated ON this node
+        obs::Counter pagesIn;       ///< pages copied TO this node
+    };
+
+    obs::Counter readFaults_;
+    obs::Counter writeFaults_;
+    obs::Counter invalidations_;
+    obs::Counter pageTransfers_;
+    obs::Counter bytesTransferred_;
+    obs::Counter extraCycles_;
+    std::vector<NodeStats> nodeStats_; ///< sized numNodes_ at ctor
 };
 
 } // namespace xisa

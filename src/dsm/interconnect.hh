@@ -16,6 +16,9 @@
 #define XISA_DSM_INTERCONNECT_HH
 
 #include <cstdint>
+#include <string>
+
+#include "obs/registry.hh"
 
 namespace xisa {
 
@@ -46,20 +49,33 @@ class Interconnect
     charge(uint64_t bytes, double freqGHz)
     {
         ++messages_;
-        bytes_ += bytes;
+        bytes_.add(bytes);
         return static_cast<uint64_t>(transferSeconds(bytes) * freqGHz *
                                      1e9);
     }
 
-    uint64_t messages() const { return messages_; }
-    uint64_t bytes() const { return bytes_; }
-    void resetStats() { messages_ = 0; bytes_ = 0; }
+    /** Deprecated shims reading the registry-backed counters. */
+    uint64_t messages() const { return messages_.value(); }
+    uint64_t bytes() const { return bytes_.value(); }
+    /** Deprecated: prefer resetting through the owning StatRegistry. */
+    void resetStats()
+    {
+        messages_.reset();
+        bytes_.reset();
+    }
+    /** Attach the traffic counters as `<prefix>.messages/.bytes`. */
+    void
+    registerStats(obs::StatRegistry &reg, const std::string &prefix)
+    {
+        reg.attach(prefix + ".messages", messages_);
+        reg.attach(prefix + ".bytes", bytes_);
+    }
     const Config &config() const { return cfg_; }
 
   private:
     Config cfg_;
-    uint64_t messages_ = 0;
-    uint64_t bytes_ = 0;
+    obs::Counter messages_;
+    obs::Counter bytes_;
 };
 
 } // namespace xisa

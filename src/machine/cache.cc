@@ -17,10 +17,17 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
     lines_.assign(static_cast<size_t>(numSets_) * cfg.assoc, Line{});
 }
 
+void
+Cache::registerStats(obs::StatRegistry &reg, const std::string &prefix)
+{
+    reg.attach(prefix + ".accesses", accesses_);
+    reg.attach(prefix + ".misses", misses_);
+}
+
 uint32_t
 Cache::access(uint64_t addr)
 {
-    ++stats_.accesses;
+    ++accesses_;
     ++clock_;
     uint64_t lineAddr = addr >> lineShift_;
     uint32_t set = static_cast<uint32_t>(lineAddr % numSets_);
@@ -39,7 +46,7 @@ Cache::access(uint64_t addr)
             victim = &line;
         }
     }
-    ++stats_.misses;
+    ++misses_;
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = clock_;

@@ -13,7 +13,10 @@
 #define XISA_MACHINE_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "obs/registry.hh"
 
 namespace xisa {
 
@@ -25,7 +28,11 @@ struct CacheConfig {
     uint32_t missPenalty = 10; ///< cycles added on miss at this level
 };
 
-/** Hit/miss counters. */
+/**
+ * Hit/miss summary. Deprecated as storage: the live counts are
+ * registry-backed obs::Counters owned by the Cache; this struct remains
+ * as the value type the stats() shim materializes for existing callers.
+ */
 struct CacheStats {
     uint64_t accesses = 0;
     uint64_t misses = 0;
@@ -51,8 +58,23 @@ class Cache
      */
     uint32_t access(uint64_t addr);
 
-    const CacheStats &stats() const { return stats_; }
-    void resetStats() { stats_ = CacheStats{}; }
+    /** Deprecated shim over the registry-backed counters. */
+    CacheStats stats() const
+    {
+        return {accesses_.value(), misses_.value()};
+    }
+    /** Deprecated: prefer resetting through the owning StatRegistry. */
+    void resetStats()
+    {
+        accesses_.reset();
+        misses_.reset();
+    }
+    /**
+     * Attach this cache's counters to `reg` as `<prefix>.accesses` /
+     * `<prefix>.misses` (e.g. "node0.l1d.misses"). Idempotent per cache
+     * only via distinct prefixes; registering twice panics.
+     */
+    void registerStats(obs::StatRegistry &reg, const std::string &prefix);
     /** Invalidate all lines (e.g. when a thread migrates in). */
     void flush();
     const CacheConfig &config() const { return cfg_; }
@@ -69,7 +91,8 @@ class Cache
     uint32_t lineShift_;
     std::vector<Line> lines_; ///< numSets_ * assoc, set-major
     uint64_t clock_ = 0;
-    CacheStats stats_;
+    obs::Counter accesses_;
+    obs::Counter misses_;
 };
 
 /** L1 + shared-L2 access chain; returns total penalty cycles. */

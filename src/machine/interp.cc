@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace xisa {
@@ -110,6 +111,17 @@ Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
     uint32_t idx = ctx.pc.instrIdx;
     auto syncPc = [&] { ctx.pc.instrIdx = idx; };
 
+#if XISA_TRACE
+    const bool tracing = obs::traceEnabled();
+    const double tsPerCycle = spec_.secondsPerCycle();
+    // Virtual time of this core as of the current instruction; keeps
+    // the ambient cursor honest so DSM fault spans land mid-quantum.
+    auto nowTs = [&](uint64_t cyc) {
+        return static_cast<double>(core.cycles + res.cyclesRun + cyc) *
+               tsPerCycle;
+    };
+#endif
+
     while (res.instrsRun < maxInstrs) {
         XISA_CHECK(idx < img->code.size(), "PC past end of function");
         const MachInstr &in = img->code[idx];
@@ -130,12 +142,20 @@ Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
         };
         auto load = [&](uint64_t addr, unsigned n) -> uint64_t {
             dataAccess(addr);
+#if XISA_TRACE
+            if (tracing)
+                obs::traceCursor().tsSeconds = nowTs(cyc + extra);
+#endif
             uint64_t v = 0;
             extra += mem.read(addr, &v, n);
             return v;
         };
         auto store = [&](uint64_t addr, uint64_t v, unsigned n) {
             dataAccess(addr);
+#if XISA_TRACE
+            if (tracing)
+                obs::traceCursor().tsSeconds = nowTs(cyc + extra);
+#endif
             extra += mem.write(addr, &v, n);
         };
 
@@ -411,6 +431,12 @@ Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
             if (in.target == kMigrateTarget) {
                 syncPc();
                 res.trapCallSite = in.callSiteId;
+#if XISA_TRACE
+                if (tracing)
+                    obs::Tracer::global().instant(
+                        obs::traceCursor().track, "interp",
+                        "migpoint_hit", nowTs(cyc));
+#endif
                 return finish(StopReason::MigrateTrap);
             }
             const IRFunction &callee = bin_.ir.func(in.target);

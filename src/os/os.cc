@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace xisa {
@@ -44,6 +45,32 @@ ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
         if (cfg_.profile)
             nodes_.back().interp->enableProfile();
     }
+
+    // Attach every component stat to this container's registry. Done
+    // after nodes_ is fully built so vector growth cannot move a
+    // registered cache (moves re-point the entry, but why rely on it).
+    net_.registerStats(stats_, "net");
+    dsm_->registerStats(stats_);
+    xform_.registerStats(stats_, "stacktransform");
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+        std::string np = "node" + std::to_string(n);
+        NodeRuntime &nr = nodes_[n];
+        for (size_t c = 0; c < nr.cores.size(); ++c) {
+            std::string cp = np + ".core" + std::to_string(c);
+            nr.cores[c].l1i.registerStats(stats_, cp + ".l1i");
+            nr.cores[c].l1d.registerStats(stats_, cp + ".l1d");
+        }
+        nr.l2.registerStats(stats_, np + ".l2");
+    }
+    stats_.attach("os.quanta", quanta_);
+    stats_.attach("os.builtin_calls", builtinCalls_);
+    stats_.attach("os.thread_spawns", threadSpawns_);
+    stats_.attach("os.migrations", migrationsDone_);
+    stats_.attach("os.spurious_migrate_traps", spuriousMigrateTraps_);
+    stats_.attach("os.threads", liveThreads_);
+    stats_.attach("os.migrate.response_us", migrateResponseUs_);
+    stats_.attach("machine.instrs", instrsStat_);
+    stats_.attach("sched.migrate_requests", migrateRequests_);
 }
 
 ReplicatedOS::~ReplicatedOS() = default;
@@ -159,6 +186,14 @@ ReplicatedOS::createThread(int node, uint32_t funcId,
     for (size_t i = 0; i < intArgs.size(); ++i)
         t.ctx.gpr[abi.intArgRegs[i]] = intArgs[i];
 
+    ++threadSpawns_;
+    liveThreads_.add(1);
+#if XISA_TRACE
+    if (obs::traceEnabled())
+        obs::Tracer::global().nameTrack(t.tid,
+                                        "tid" + std::to_string(t.tid));
+#endif
+
     threads_.push_back(std::move(thread));
     return t.tid;
 }
@@ -257,9 +292,24 @@ ReplicatedOS::runQuantum(OsThread &t)
     NodeRuntime &nr = nodes_[static_cast<size_t>(t.node)];
     Core &core = nr.cores[static_cast<size_t>(t.core)];
     double t0 = coreTime(t.node, t.core);
+    ++quanta_;
+#if XISA_TRACE
+    const bool tracing = obs::traceEnabled();
+    if (tracing) {
+        // The ambient cursor lets the layers below (interpreter memory
+        // accesses -> DSM faults) timestamp their own events.
+        obs::setTraceCursor(t.tid, t0);
+        obs::Tracer::global().begin(t.tid, "interp", "quantum", t0);
+    }
+#endif
     StepResult r = nr.interp->run(t.ctx, dsm_->port(t.node), core, nr.l2,
                                   cfg_.quantum);
     totalInstrs_ += r.instrsRun;
+    instrsStat_.add(r.instrsRun);
+#if XISA_TRACE
+    if (tracing)
+        obs::Tracer::global().end(t.tid, coreTime(t.node, t.core));
+#endif
     meter_.addBusy(t.node, t0, coreTime(t.node, t.core));
 
     switch (r.reason) {
@@ -287,6 +337,7 @@ ReplicatedOS::finishThread(OsThread &t, uint64_t exitValue)
 {
     t.state = ThreadState::Done;
     t.exitValue = exitValue;
+    liveThreads_.add(-1);
     double tFinish = coreTime(t.node, t.core);
     for (auto &other : threads_) {
         if (other->state == ThreadState::Blocked &&
@@ -317,6 +368,16 @@ ReplicatedOS::execBuiltin(OsThread &t, uint32_t funcId)
     NodeRuntime &nr = nodes_[static_cast<size_t>(t.node)];
     Interp &in = *nr.interp;
     std::vector<int64_t> args = in.readTrapArgs(t.ctx, callee);
+    ++builtinCalls_;
+#if XISA_TRACE
+    const bool tracing = obs::traceEnabled();
+    if (tracing) {
+        double bt0 = coreTime(t.node, t.core);
+        obs::setTraceCursor(t.tid, bt0);
+        obs::Tracer::global().begin(t.tid, "os",
+                                    obs::intern(callee.name), bt0);
+    }
+#endif
     chargeKernel(t, nr.spec.cost(MOp::SysCall));
 
     switch (callee.builtin) {
@@ -448,6 +509,7 @@ ReplicatedOS::execBuiltin(OsThread &t, uint32_t funcId)
         exitCode_ = args[0];
         for (auto &tp : threads_)
             tp->state = ThreadState::Done;
+        liveThreads_.set(0);
         break;
       case Builtin::ThreadId:
         in.finishTrap(t.ctx, Type::I64, t.tid, 0);
@@ -458,6 +520,10 @@ ReplicatedOS::execBuiltin(OsThread &t, uint32_t funcId)
       case Builtin::None:
         panic("builtin trap on non-builtin function");
     }
+#if XISA_TRACE
+    if (tracing)
+        obs::Tracer::global().end(t.tid, coreTime(t.node, t.core));
+#endif
 }
 
 std::vector<std::pair<uint64_t, uint64_t>>
@@ -523,6 +589,9 @@ ReplicatedOS::migrateThread(int tid, int destNode)
     // Response time is measured on the thread's own clock: cores
     // advance asynchronously, so the global max would overstate it.
     t.migrationRequestTime = coreTime(t.node, t.core);
+    ++migrateRequests_;
+    OBS_TRACE_INSTANT(t.tid, "sched", "migrate_request",
+                      t.migrationRequestTime);
     updateVdsoFlag();
 }
 
@@ -533,6 +602,9 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     int dest = t.migrationTarget;
     if (dest < 0 || dest == t.node) {
         // Spurious check (flag was set for some other thread).
+        ++spuriousMigrateTraps_;
+        OBS_TRACE_INSTANT(t.tid, "os.migrate", "spurious_trap",
+                          coreTime(t.node, t.core));
         src.interp->finishTrap(t.ctx, Type::Void, 0, 0);
         return;
     }
@@ -544,17 +616,25 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     ev.siteId = siteId;
     ev.requestTime = t.migrationRequestTime;
     ev.trapTime = coreTime(t.node, t.core);
+    OBS_TRACE_BEGIN(t.tid, "os.migrate", "migrate", ev.trapTime);
 
     ThreadContext newCtx;
     if (dst.spec.isa != t.ctx.isa) {
         // User-space stack transformation on the source node
         // (Section 5.3), then the kernel thread-migration service.
+        OBS_TRACE_BEGIN(t.tid, "stacktransform", "transform",
+                        ev.trapTime);
+#if XISA_TRACE
+        if (obs::traceEnabled())
+            obs::setTraceCursor(t.tid, ev.trapTime);
+#endif
         TransformStats stats;
         newCtx = xform_.transform(t.ctx, siteId, dst.spec.isa, *dsm_,
                                   t.node, vm::stackTop(t.stackSlot),
                                   &stats);
         chargeKernel(t, StackTransformer::costCycles(stats, src.spec) +
                             stats.cycles);
+        OBS_TRACE_END(t.tid, coreTime(t.node, t.core));
         ev.transform = stats;
     } else {
         // Homogeneous-ISA migration: state moves unmodified.
@@ -566,6 +646,9 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     newCtx.dsmExtraCycles = t.ctx.dsmExtraCycles;
 
     double srcDone = coreTime(t.node, t.core);
+    OBS_TRACE_BEGIN(t.tid, "os.migrate", "send_context", srcDone);
+    OBS_TRACE_END(t.tid,
+                  srcDone + net_.transferSeconds(kContextMsgBytes));
     net_.charge(kContextMsgBytes, dst.spec.freqGHz);
     t.node = dest;
     t.core = pickCore(dest);
@@ -581,6 +664,9 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     updateVdsoFlag();
 
     ev.resumeTime = coreTime(t.node, t.core);
+    OBS_TRACE_END(t.tid, ev.resumeTime);
+    ++migrationsDone_;
+    migrateResponseUs_.add((ev.resumeTime - ev.requestTime) * 1e6);
     migrations_.push_back(ev);
 }
 

@@ -41,6 +41,7 @@
 #include "dsm/dsm.hh"
 #include "machine/interp.hh"
 #include "machine/node.hh"
+#include "obs/registry.hh"
 #include "os/energy.hh"
 
 namespace xisa {
@@ -122,6 +123,13 @@ class ReplicatedOS
     }
     EnergyMeter &energy() { return meter_; }
     Interconnect &net() { return net_; }
+    /**
+     * This container's stat registry. Every component counter (per-node
+     * caches, DSM protocol, interconnect, stack transformer, OS
+     * services) is attached here at construction; dump()/dumpJson()
+     * renders them all, resetAll() subsumes the per-class resetStats().
+     */
+    obs::StatRegistry &statRegistry() { return stats_; }
     Interp &interp(int node);
     int threadNode(int tid) const;
     int numThreads() const { return static_cast<int>(threads_.size()); }
@@ -221,6 +229,10 @@ class ReplicatedOS
     void setupInitialStack(OsThread &t);
     void updateVdsoFlag();
 
+    /** Must stay the FIRST member: destroyed last, so component stats
+     *  (declared below, destroyed first) detach from a live registry. */
+    obs::StatRegistry stats_;
+
     const MultiIsaBinary &bin_;
     OsConfig cfg_;
     Interconnect net_;
@@ -238,6 +250,18 @@ class ReplicatedOS
     std::vector<std::string> output_;
     std::vector<MigrationEvent> migrations_;
     uint64_t totalInstrs_ = 0;
+
+    // OS-service stats (registered under os.* / machine.* / sched.*).
+    obs::Counter quanta_;
+    obs::Counter builtinCalls_;
+    obs::Counter threadSpawns_;
+    obs::Counter migrationsDone_;
+    obs::Counter spuriousMigrateTraps_;
+    obs::Counter migrateRequests_; ///< sched.migrate_requests
+    obs::Counter instrsStat_;      ///< machine.instrs
+    obs::Gauge liveThreads_;
+    obs::Histogram migrateResponseUs_; ///< request -> resume, us
+
     uint32_t nextStackSlot_ = 0;
     bool exited_ = false;
     int64_t exitCode_ = 0;

@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace xisa {
+
+namespace {
+/** Viewer track for one job's lifetime span (start -> completion). */
+constexpr int kJobTrackBase = 1000;
+} // namespace
 
 const char *
 policyName(Policy p)
@@ -26,6 +33,11 @@ ClusterSim::ClusterSim(std::vector<Machine> machines,
 {
     if (machines_.empty())
         fatal("ClusterSim needs at least one machine");
+    stats_.attach("sched.jobs_started", jobsStarted_);
+    stats_.attach("sched.jobs_completed", jobsCompleted_);
+    stats_.attach("sched.enqueues", enqueues_);
+    stats_.attach("sched.migrations", migrationsStat_);
+    stats_.attach("sched.rebalance_ticks", rebalanceTicks_);
 }
 
 int
@@ -60,6 +72,9 @@ ClusterSim::tryStart(MachineState &ms, int m, const Job &job, double now)
     rj.startedAt = now;
     ms.running.push_back(rj);
     ms.usedThreads += job.threads;
+    ++jobsStarted_;
+    OBS_TRACE_BEGIN(kJobTrackBase + job.id, "sched",
+                    obs::intern("job" + std::to_string(job.id)), now);
     return true;
 }
 
@@ -182,6 +197,9 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
                 if (ms.running[r].remainingFraction <= kEps) {
                     turnaroundSum += now - ms.running[r].job.arrival;
                     ++completed;
+                    ++jobsCompleted_;
+                    OBS_TRACE_END(kJobTrackBase + ms.running[r].job.id,
+                                  now);
                     lastCompletion = now;
                     ms.usedThreads -= ms.running[r].job.threads;
                     ms.running.erase(ms.running.begin() +
@@ -198,13 +216,16 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
                arrivals[next].arrival <= now + kEps) {
             const Job &job = arrivals[next++];
             int m = pickMachine(st, policy, job.threads);
-            if (!tryStart(st[static_cast<size_t>(m)], m, job, now))
+            if (!tryStart(st[static_cast<size_t>(m)], m, job, now)) {
                 st[static_cast<size_t>(m)].queue.push_back(job);
+                ++enqueues_;
+            }
         }
 
         // Rebalance tick (dynamic policies only).
         if (dynamic(policy) && now + kEps >= nextTick) {
             nextTick = now + cfg_.rebalancePeriod;
+            ++rebalanceTicks_;
             for (int moves = 0; moves < 64; ++moves) {
                 int hi = 0, lo = 0;
                 for (size_t m = 1; m < st.size(); ++m) {
@@ -240,8 +261,10 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
                     improves(from.queue.front().threads)) {
                     Job job = from.queue.front();
                     from.queue.erase(from.queue.begin());
-                    if (!tryStart(to, lo, job, now))
+                    if (!tryStart(to, lo, job, now)) {
                         to.queue.push_back(job);
+                        ++enqueues_;
+                    }
                     continue;
                 }
                 bool moved = false;
@@ -265,6 +288,9 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
                     to.running.push_back(rj);
                     to.usedThreads += rj.job.threads;
                     ++migrations;
+                    ++migrationsStat_;
+                    OBS_TRACE_INSTANT(kJobTrackBase + rj.job.id, "sched",
+                                      "migrate", now);
                     moved = true;
                     break;
                 }

@@ -27,6 +27,7 @@
 
 #include "dsm/interconnect.hh"
 #include "machine/node.hh"
+#include "obs/registry.hh"
 #include "sched/profile.hh"
 
 namespace xisa {
@@ -100,6 +101,10 @@ class ClusterSim
     /** Simulate one job set under one policy. */
     ClusterResult run(const std::vector<Job> &jobs, Policy policy);
 
+    /** This simulator's stat registry: cumulative `sched.*` counters
+     *  across every run() call on this instance. */
+    obs::StatRegistry &statRegistry() { return stats_; }
+
   private:
     struct RunningJob {
         Job job;
@@ -129,6 +134,15 @@ class ClusterSim
     std::vector<Machine> machines_;
     const JobProfileTable &profiles_;
     Config cfg_;
+
+    /** Declared before the counters so they detach from a live
+     *  registry on destruction. */
+    obs::StatRegistry stats_;
+    obs::Counter jobsStarted_;
+    obs::Counter jobsCompleted_;
+    obs::Counter enqueues_;
+    obs::Counter migrationsStat_;
+    obs::Counter rebalanceTicks_;
 };
 
 } // namespace xisa
