@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Figure 12 under fire: the sustained-workload scheduling study rerun
+ * on a lossy interconnect with machine crashes.
+ *
+ * The paper's evaluation assumes a perfect link and immortal servers;
+ * this harness sweeps message-drop rates (plus optional latency spikes,
+ * partition windows and seeded machine crashes) and reports how the
+ * dynamic policies' energy/EDP advantage degrades as the fabric gets
+ * worse. Jobs checkpoint periodically; a crash rolls its machine's jobs
+ * back to their last checkpoint and the dynamic policies fail them over
+ * to the surviving machine, so energy charges the lost work.
+ *
+ * Flags (in addition to the shared --stats/--stats-json/--trace-out):
+ *   --fault-drop P        single drop probability instead of the sweep
+ *   --fault-seed S        fault-plan + crash-plan seed (default 1)
+ *   --fault-partition P,L every P messages, L sends fail fast
+ *   --fault-crashes N     machine crashes per run (default 2)
+ *   --fault-down SEC      crash downtime, seconds (default 30)
+ */
+
+#include <cstring>
+#include <vector>
+
+#include "common.hh"
+#include "sched/jobsets.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+using namespace xisa;
+using namespace xisa::bench;
+
+namespace {
+
+struct FaultArgs {
+    ObsOptions obs;
+    double dropOverride = -1;
+    uint64_t seed = 1;
+    uint64_t partitionPeriod = 0;
+    uint64_t partitionLen = 0;
+    int numCrashes = 2;
+    double downSeconds = 30.0;
+};
+
+FaultArgs
+parseArgs(int argc, char **argv)
+{
+    FaultArgs fa;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--fault-drop") {
+            fa.dropOverride = std::stod(val());
+        } else if (a == "--fault-seed") {
+            fa.seed = std::stoull(val());
+        } else if (a == "--fault-partition") {
+            std::string v = val();
+            size_t comma = v.find(',');
+            if (comma == std::string::npos) {
+                std::fprintf(stderr,
+                             "--fault-partition wants PERIOD,LEN\n");
+                std::exit(2);
+            }
+            fa.partitionPeriod = std::stoull(v.substr(0, comma));
+            fa.partitionLen = std::stoull(v.substr(comma + 1));
+        } else if (a == "--fault-crashes") {
+            fa.numCrashes = std::stoi(val());
+        } else if (a == "--fault-down") {
+            fa.downSeconds = std::stod(val());
+        } else if (a == "--stats-json") {
+            fa.obs.statsJsonPath = val();
+        } else if (a == "--trace-out") {
+            fa.obs.traceOutPath = val();
+        } else if (a == "--stats") {
+            fa.obs.dumpStats = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "unknown argument: %s\n"
+                "usage: %s [--fault-drop P] [--fault-seed S]\n"
+                "          [--fault-partition PERIOD,LEN]"
+                " [--fault-crashes N]\n"
+                "          [--fault-down SEC] [--stats]"
+                " [--stats-json FILE]\n"
+                "          [--trace-out FILE]\n",
+                a.c_str(), argv[0]);
+            std::exit(2);
+        }
+    }
+    if (!fa.obs.traceOutPath.empty())
+        obs::setTraceEnabled(true);
+    return fa;
+}
+
+/** Seeded crash schedule: `count` crashes at random times in the first
+ *  `horizon` seconds, alternating over the machines. */
+std::vector<CrashEvent>
+makeCrashPlan(uint64_t seed, int count, double horizon, int machines,
+              double downSeconds)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 7);
+    std::vector<CrashEvent> plan;
+    for (int i = 0; i < count; ++i) {
+        CrashEvent ev;
+        ev.time = rng.uniform() * horizon;
+        ev.machine = static_cast<int>(rng.below(
+            static_cast<uint64_t>(machines)));
+        ev.downSeconds = downSeconds;
+        plan.push_back(ev);
+    }
+    return plan;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FaultArgs fa = parseArgs(argc, argv);
+    banner("Fig. 12 under faults",
+           "sustained workload on a lossy fabric with machine crashes");
+    JobProfileTable table = JobProfileTable::calibrate();
+
+    std::vector<double> dropRates = {0.0, 0.01, 0.05, 0.1, 0.2};
+    if (fa.dropOverride >= 0)
+        dropRates = {fa.dropOverride};
+    else if (quickMode())
+        dropRates = {0.0, 0.05, 0.2};
+    const int numSets = quickMode() ? 2 : 5;
+
+    std::printf("\nfault seed %llu, %d crash(es)/run, %.0f s downtime",
+                static_cast<unsigned long long>(fa.seed),
+                fa.numCrashes, fa.downSeconds);
+    if (fa.partitionPeriod)
+        std::printf(", partition %llu/%llu msgs",
+                    static_cast<unsigned long long>(fa.partitionPeriod),
+                    static_cast<unsigned long long>(fa.partitionLen));
+    std::printf("\n\n%-6s | %9s %7s %10s | %4s %4s %4s %8s | %8s\n",
+                "drop", "energy kJ", "mksp s", "EDP kJ*s", "crsh",
+                "fail", "rstr", "lost s", "retries");
+
+    double baseEdp = 0;
+    obs::StatRegistry *lastStats = nullptr;
+    static std::vector<ClusterSim *> sims; // keep alive for obs dump
+    for (double drop : dropRates) {
+        ClusterSim::Config cc;
+        cc.net.faults.seed = fa.seed;
+        cc.net.faults.dropProb = drop;
+        cc.net.faults.spikeProb = drop / 2;
+        cc.net.faults.partitionPeriodMsgs = fa.partitionPeriod;
+        cc.net.faults.partitionLenMsgs = fa.partitionLen;
+        RunningStat energy, makespan, edp;
+        int crashes = 0, failovers = 0, restarts = 0;
+        double lost = 0;
+        auto *sim = new ClusterSim(makeHeterogeneousPool(true, 1.0),
+                                   table, cc);
+        sims.push_back(sim);
+        for (int set = 0; set < numSets; ++set) {
+            auto jobs = makeSustainedSet(1000 + static_cast<uint64_t>(set));
+            if (fa.numCrashes > 0) {
+                // Crash inside the fault-free makespan so the failover
+                // path actually fires.
+                sim->setCrashPlan(makeCrashPlan(
+                    fa.seed + static_cast<uint64_t>(set),
+                    fa.numCrashes, 400.0, 2, fa.downSeconds));
+            }
+            ClusterResult r = sim->run(jobs, Policy::DynamicBalanced);
+            energy.add(r.totalEnergy / 1e3);
+            makespan.add(r.makespan);
+            edp.add(r.edp / 1e3);
+            crashes += r.crashes;
+            failovers += r.failovers;
+            for (const auto &kv : r.restartCounts)
+                restarts += kv.second;
+            lost += r.lostWorkSeconds;
+        }
+        lastStats = &sim->statRegistry();
+        if (drop == 0.0)
+            baseEdp = edp.mean();
+        std::printf("%5.2f%% | %9.1f %7.1f %10.1f | %4d %4d %4d %8.1f"
+                    " | %8llu",
+                    drop * 100, energy.mean(), makespan.mean(),
+                    edp.mean(), crashes, failovers, restarts, lost,
+                    static_cast<unsigned long long>(
+                        sim->statRegistry().counterValue(
+                            "xfault.retries")));
+        if (baseEdp > 0 && drop > 0)
+            std::printf("   (EDP %+.1f%%)",
+                        (edp.mean() / baseEdp - 1.0) * 100);
+        std::printf("\n");
+    }
+    std::printf("\nEDP degrades with fault intensity: retries inflate "
+                "migration cost,\ncrash rollback discards work the "
+                "energy meter already charged.\n");
+    if (lastStats)
+        writeObsOutputs(fa.obs, *lastStats);
+    return 0;
+}

@@ -146,17 +146,25 @@ DsmSpace::faultRead(int node, uint64_t vpage)
         mem_[static_cast<size_t>(node)].page(vpage);
         return 0;
     }
-    std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
-                mem_[static_cast<size_t>(holder)].page(vpage),
-                vm::kPageSize);
-    if (d.state[static_cast<size_t>(holder)] == PageState::Modified)
-        d.state[static_cast<size_t>(holder)] = PageState::Shared;
-    d.state[static_cast<size_t>(node)] = PageState::Shared;
+    // Idempotent transfer application: a duplicate delivery (NIC
+    // retransmission racing the ack) re-runs the same state change.
+    auto applyCopy = [&] {
+        std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
+                    mem_[static_cast<size_t>(holder)].page(vpage),
+                    vm::kPageSize);
+        if (d.state[static_cast<size_t>(holder)] == PageState::Modified)
+            d.state[static_cast<size_t>(holder)] = PageState::Shared;
+        d.state[static_cast<size_t>(node)] = PageState::Shared;
+    };
+    auto sent = net_->reliableSend(vm::kPageSize + kMsgHeader,
+                                   freqGHz_[static_cast<size_t>(node)]);
+    applyCopy();
+    if (sent.duplicate)
+        applyCopy();
     ++pageTransfers_;
     ++ns.pagesIn;
     bytesTransferred_.add(vm::kPageSize);
-    uint64_t cyc = net_->charge(vm::kPageSize + kMsgHeader,
-                                freqGHz_[static_cast<size_t>(node)]);
+    uint64_t cyc = sent.cycles;
     extraCycles_.add(cyc);
 #if XISA_TRACE
     traceFault("read_fault", cyc, freqGHz_[static_cast<size_t>(node)]);
@@ -179,29 +187,44 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
     if (d.state[static_cast<size_t>(node)] == PageState::Invalid) {
         int holder = anyHolder(d);
         if (holder >= 0) {
-            std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
-                        mem_[static_cast<size_t>(holder)].page(vpage),
-                        vm::kPageSize);
+            auto applyCopy = [&] {
+                std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
+                            mem_[static_cast<size_t>(holder)].page(vpage),
+                            vm::kPageSize);
+            };
+            auto sent = net_->reliableSend(
+                vm::kPageSize + kMsgHeader,
+                freqGHz_[static_cast<size_t>(node)]);
+            applyCopy();
+            if (sent.duplicate)
+                applyCopy();
             ++pageTransfers_;
             ++ns.pagesIn;
             bytesTransferred_.add(vm::kPageSize);
-            cyc += net_->charge(vm::kPageSize + kMsgHeader,
-                                freqGHz_[static_cast<size_t>(node)]);
+            cyc += sent.cycles;
         } else {
             mem_[static_cast<size_t>(node)].page(vpage);
         }
     }
-    // Invalidate every other copy.
+    // Invalidate every other copy. Each invalidation is a reliable
+    // control message; applying one twice (duplicate delivery) is a
+    // no-op, the copy is already gone.
     for (int n = 0; n < numNodes_; ++n) {
         if (n == node)
             continue;
         if (d.state[static_cast<size_t>(n)] != PageState::Invalid) {
-            d.state[static_cast<size_t>(n)] = PageState::Invalid;
-            mem_[static_cast<size_t>(n)].dropPage(vpage);
+            auto applyInval = [&] {
+                d.state[static_cast<size_t>(n)] = PageState::Invalid;
+                mem_[static_cast<size_t>(n)].dropPage(vpage);
+            };
+            auto sent = net_->reliableSend(
+                kMsgHeader, freqGHz_[static_cast<size_t>(node)]);
+            applyInval();
+            if (sent.duplicate)
+                applyInval();
             ++invalidations_;
             ++nodeStats_[static_cast<size_t>(n)].invalidations;
-            cyc += net_->charge(kMsgHeader,
-                                freqGHz_[static_cast<size_t>(node)]);
+            cyc += sent.cycles;
         }
     }
     d.state[static_cast<size_t>(node)] = PageState::Modified;
@@ -237,12 +260,13 @@ DsmSpace::Port::read(uint64_t addr, void *dst, unsigned n)
             int home = dsm_.homeOf(node_, vpage);
             if (home != node_) {
                 // Word-granular remote load over the interconnect.
-                cyc += dsm_.net_->charge(
+                uint64_t c = dsm_.net_->charge(
                     64 + inPage,
                     dsm_.freqGHz_[static_cast<size_t>(node_)]);
+                cyc += c;
                 ++dsm_.readFaults_;
                 ++dsm_.nodeStats_[static_cast<size_t>(node_)].readFaults;
-                dsm_.extraCycles_.add(cyc);
+                dsm_.extraCycles_.add(c);
             }
             dsm_.mem_[static_cast<size_t>(home)].read(addr, d, inPage);
         } else {
@@ -270,12 +294,13 @@ DsmSpace::Port::write(uint64_t addr, const void *src, unsigned n)
             !dsm_.isVdso(vpage)) {
             int home = dsm_.homeOf(node_, vpage);
             if (home != node_) {
-                cyc += dsm_.net_->charge(
+                uint64_t c = dsm_.net_->charge(
                     64 + inPage,
                     dsm_.freqGHz_[static_cast<size_t>(node_)]);
+                cyc += c;
                 ++dsm_.writeFaults_;
                 ++dsm_.nodeStats_[static_cast<size_t>(node_)].writeFaults;
-                dsm_.extraCycles_.add(cyc);
+                dsm_.extraCycles_.add(c);
             }
             dsm_.mem_[static_cast<size_t>(home)].write(addr, s, inPage);
         } else {

@@ -1,0 +1,67 @@
+#include "dsm/faults.hh"
+
+#include <algorithm>
+
+namespace xisa {
+
+bool
+FaultConfig::empty() const
+{
+    return dropProb <= 0 && dupProb <= 0 && spikeProb <= 0 &&
+           (degradeFactor == 1.0 || degradePeriodMsgs == 0 ||
+            degradeLenMsgs == 0) &&
+           (partitionPeriodMsgs == 0 || partitionLenMsgs == 0) &&
+           scriptedDrops.empty();
+}
+
+FaultPlan::FaultPlan(const FaultConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed), empty_(cfg.empty())
+{
+    std::sort(cfg_.scriptedDrops.begin(), cfg_.scriptedDrops.end());
+}
+
+bool
+FaultPlan::inWindow(uint64_t period, uint64_t len) const
+{
+    if (period == 0 || len == 0)
+        return false;
+    return msgIndex_ % period >= period - std::min(len, period);
+}
+
+FaultDecision
+FaultPlan::next()
+{
+    FaultDecision d;
+    if (empty_) {
+        ++msgIndex_;
+        return d;
+    }
+    if (inWindow(cfg_.partitionPeriodMsgs, cfg_.partitionLenMsgs)) {
+        d.delivered = false;
+        d.partitioned = true;
+        ++msgIndex_;
+        return d;
+    }
+    if (nextScripted_ < cfg_.scriptedDrops.size() &&
+        cfg_.scriptedDrops[nextScripted_] == msgIndex_) {
+        ++nextScripted_;
+        d.delivered = false;
+        ++msgIndex_;
+        return d;
+    }
+    // Fixed draw order keeps the stream reproducible for a given
+    // config: each enabled hazard consumes exactly one uniform.
+    if (cfg_.dropProb > 0 && rng_.uniform() < cfg_.dropProb)
+        d.delivered = false;
+    if (cfg_.dupProb > 0 && rng_.uniform() < cfg_.dupProb)
+        d.duplicated = d.delivered;
+    if (cfg_.spikeProb > 0 && rng_.uniform() < cfg_.spikeProb)
+        d.extraLatencySeconds =
+            rng_.uniform(0.0, cfg_.spikeMaxUs) * 1e-6;
+    if (inWindow(cfg_.degradePeriodMsgs, cfg_.degradeLenMsgs))
+        d.bandwidthFactor = cfg_.degradeFactor;
+    ++msgIndex_;
+    return d;
+}
+
+} // namespace xisa

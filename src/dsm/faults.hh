@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for the interconnect and the
+ * control layers above it.
+ *
+ * The paper's testbed joins two immortal servers with a perfect Dolphin
+ * PXH810 link; a datacenter does not. A FaultPlan decides, message by
+ * message, whether the next interconnect send is delivered, dropped,
+ * duplicated, delayed by a latency spike, degraded to a fraction of the
+ * link bandwidth, or rejected outright because the link is partitioned.
+ * Every decision is drawn from a seeded Rng plus message-index windows,
+ * so a (seed, config) pair replays the exact same fault schedule --
+ * which is what makes the chaos test suite assertable.
+ *
+ * An empty FaultConfig (the default) injects nothing and adds no cost:
+ * the fault-free paths are bit-identical to a build without this layer
+ * (guarded by the golden-output tests).
+ */
+
+#ifndef XISA_DSM_FAULTS_HH
+#define XISA_DSM_FAULTS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace xisa {
+
+/**
+ * One fault schedule. Probabilities are per message; windows are
+ * expressed in message-index space (message k counts every send()
+ * attempt on the link, retries included), which keeps the model
+ * deterministic without requiring the interconnect to track simulated
+ * time.
+ */
+struct FaultConfig {
+    uint64_t seed = 0x5eedf417u;
+    /** Probability a message is lost in flight (sender times out). */
+    double dropProb = 0;
+    /** Probability a delivered message arrives twice (NIC retransmit
+     *  races the ack); receivers must be idempotent. */
+    double dupProb = 0;
+    /** Probability of a latency spike on a delivered message. */
+    double spikeProb = 0;
+    /** Spike magnitude: uniform in (0, spikeMaxUs] extra latency. */
+    double spikeMaxUs = 50.0;
+    /** Serialization-time multiplier inside degradation windows
+     *  (2.0 = half the bandwidth). 1.0 disables. */
+    double degradeFactor = 1.0;
+    /** Bandwidth-degradation windows: every `degradePeriodMsgs`
+     *  messages, the next `degradeLenMsgs` are degraded. 0 = never. */
+    uint64_t degradePeriodMsgs = 0;
+    uint64_t degradeLenMsgs = 0;
+    /** Link-partition windows: every `partitionPeriodMsgs` messages the
+     *  link is down for `partitionLenMsgs` attempts (sends fail fast
+     *  with no wire traffic). 0 = never. */
+    uint64_t partitionPeriodMsgs = 0;
+    uint64_t partitionLenMsgs = 0;
+    /** Scripted drops by absolute message index (0-based), for tests
+     *  that pin exact retry/accounting behaviour. */
+    std::vector<uint64_t> scriptedDrops;
+
+    /** True if this config can never perturb a message. */
+    bool empty() const;
+};
+
+/**
+ * Retry discipline for reliable transfers: per-attempt ack timeout plus
+ * capped exponential backoff (timeout, then backoff * 2^k up to the
+ * cap). All figures are sender-side wall time.
+ */
+struct RetryPolicy {
+    int maxAttempts = 64;     ///< reliableSend() panics beyond this
+    double timeoutUs = 10.0;  ///< ack timeout charged per failed attempt
+    double backoffUs = 5.0;   ///< initial backoff after a failure
+    double backoffCapUs = 320.0;
+};
+
+/** The fate of one message, as decided by the plan. */
+struct FaultDecision {
+    bool delivered = true;
+    bool duplicated = false;
+    /** Link down: the send fails fast, nothing crosses the wire. */
+    bool partitioned = false;
+    double extraLatencySeconds = 0;
+    double bandwidthFactor = 1.0; ///< multiplies serialization time
+};
+
+/** Stateful, seeded evaluator of a FaultConfig. */
+class FaultPlan
+{
+  public:
+    /** The empty plan: every message is delivered untouched. */
+    FaultPlan() = default;
+    explicit FaultPlan(const FaultConfig &cfg);
+
+    bool empty() const { return empty_; }
+    /** Decide the fate of the next message (advances the stream). */
+    FaultDecision next();
+    /** Messages decided so far. */
+    uint64_t messagesSeen() const { return msgIndex_; }
+
+  private:
+    bool inWindow(uint64_t period, uint64_t len) const;
+
+    FaultConfig cfg_;
+    Rng rng_;
+    uint64_t msgIndex_ = 0;
+    size_t nextScripted_ = 0;
+    bool empty_ = true;
+};
+
+} // namespace xisa
+
+#endif // XISA_DSM_FAULTS_HH

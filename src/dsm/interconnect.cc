@@ -1,0 +1,86 @@
+#include "dsm/interconnect.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+Interconnect::SendResult
+Interconnect::send(uint64_t bytes, double freqGHz)
+{
+    SendResult r;
+    if (plan_.empty()) {
+        r.seconds = transferSeconds(bytes);
+        r.cycles = charge(bytes, freqGHz);
+        return r;
+    }
+    FaultDecision d = plan_.next();
+    if (d.partitioned) {
+        // Fail-fast NIC error: nothing crossed the wire, the sender
+        // only paid the link latency to learn the path is down.
+        r.status = SendStatus::Partitioned;
+        r.seconds = cfg_.latencyUs * 1e-6;
+        r.cycles = static_cast<uint64_t>(r.seconds * freqGHz * 1e9);
+        ++partitionRejects_;
+        return r;
+    }
+    // The message went on the wire: count it whether or not it arrives.
+    ++messages_;
+    bytes_.add(bytes);
+    double serialization = transferSeconds(bytes) - cfg_.latencyUs * 1e-6;
+    r.seconds = cfg_.latencyUs * 1e-6 +
+                serialization * d.bandwidthFactor +
+                d.extraLatencySeconds;
+    if (d.extraLatencySeconds > 0)
+        ++spikes_;
+    if (!d.delivered) {
+        r.status = SendStatus::Dropped;
+        ++drops_;
+    } else if (d.duplicated) {
+        // The retransmission is real wire traffic too.
+        r.duplicate = true;
+        ++messages_;
+        bytes_.add(bytes);
+        ++duplicates_;
+    }
+    r.cycles = static_cast<uint64_t>(r.seconds * freqGHz * 1e9);
+    return r;
+}
+
+Interconnect::ReliableResult
+Interconnect::reliableSend(uint64_t bytes, double freqGHz)
+{
+    ReliableResult total;
+    if (plan_.empty()) {
+        total.seconds = transferSeconds(bytes);
+        total.cycles = charge(bytes, freqGHz);
+        return total;
+    }
+    double backoff = cfg_.retry.backoffUs;
+    for (int attempt = 1;; ++attempt) {
+        SendResult r = send(bytes, freqGHz);
+        total.attempts = attempt;
+        total.seconds += r.seconds;
+        total.cycles += r.cycles;
+        if (r.status == SendStatus::Delivered) {
+            total.duplicate = r.duplicate;
+            return total;
+        }
+        if (attempt >= cfg_.retry.maxAttempts)
+            fatal("interconnect: message undeliverable after %d "
+                  "attempts (permanent partition?)",
+                  attempt);
+        // Ack timeout, then capped exponential backoff.
+        double waitUs = cfg_.retry.timeoutUs + backoff;
+        backoff = std::min(backoff * 2.0, cfg_.retry.backoffCapUs);
+        uint64_t waitCycles =
+            static_cast<uint64_t>(waitUs * 1e-6 * freqGHz * 1e9);
+        total.seconds += waitUs * 1e-6;
+        total.cycles += waitCycles;
+        ++retries_;
+        backoffCycles_.add(waitCycles);
+    }
+}
+
+} // namespace xisa

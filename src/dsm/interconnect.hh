@@ -10,6 +10,14 @@
  * too high; the bench_ablation_dsm harness reproduces that trade-off by
  * comparing page migration against always-remote access through this
  * same model.
+ *
+ * Unlike the paper's testbed the link is not assumed perfect: a seeded
+ * FaultPlan (Config::faults) can drop, duplicate, delay, degrade, or
+ * partition individual messages. send() reports the fate of one message
+ * attempt; reliableSend() layers ack-timeout + capped-exponential-
+ * backoff retry on top and is the primitive the hDSM protocol uses.
+ * With the default (empty) fault config both collapse to exactly the
+ * historical charge() behaviour.
  */
 
 #ifndef XISA_DSM_INTERCONNECT_HH
@@ -18,9 +26,13 @@
 #include <cstdint>
 #include <string>
 
+#include "dsm/faults.hh"
 #include "obs/registry.hh"
 
 namespace xisa {
+
+/** Fate of one send() attempt. */
+enum class SendStatus : uint8_t { Delivered, Dropped, Partitioned };
 
 /** Latency/bandwidth message-cost model plus traffic counters. */
 class Interconnect
@@ -29,10 +41,38 @@ class Interconnect
     struct Config {
         double latencyUs = 1.2;   ///< one-way message latency
         double gbitPerSec = 40.0; ///< effective bandwidth
+        /** Fault schedule for this link (default: perfect link). */
+        FaultConfig faults;
+        /** Retry discipline for reliableSend(). */
+        RetryPolicy retry;
+    };
+
+    /** Result of one message attempt. */
+    struct SendResult {
+        SendStatus status = SendStatus::Delivered;
+        /** Delivered twice; the receiver must apply idempotently. */
+        bool duplicate = false;
+        /** Sender-side wall time of the attempt (delivery time, or the
+         *  wasted wire time of a loss; retry timeouts are the caller's
+         *  or reliableSend()'s concern). */
+        double seconds = 0;
+        /** `seconds` at the requested clock. */
+        uint64_t cycles = 0;
+    };
+
+    /** Result of a reliableSend(): total cost across every attempt,
+     *  timeouts and backoff included. */
+    struct ReliableResult {
+        int attempts = 1;
+        bool duplicate = false;
+        double seconds = 0;
+        uint64_t cycles = 0;
     };
 
     Interconnect() = default;
-    explicit Interconnect(const Config &cfg) : cfg_(cfg) {}
+    explicit Interconnect(const Config &cfg)
+        : cfg_(cfg), plan_(cfg.faults)
+    {}
 
     /** Seconds to move `bytes` one way (latency + serialization). */
     double
@@ -44,7 +84,8 @@ class Interconnect
     }
 
     /** Same cost expressed in cycles of a `freqGHz` clock; also counts
-     *  the message in the traffic statistics. */
+     *  the message in the traffic statistics. Assumes delivery -- use
+     *  send()/reliableSend() on fault-injected links. */
     uint64_t
     charge(uint64_t bytes, double freqGHz)
     {
@@ -53,6 +94,27 @@ class Interconnect
         return static_cast<uint64_t>(transferSeconds(bytes) * freqGHz *
                                      1e9);
     }
+
+    /**
+     * Attempt to send one message. Dropped messages still count as wire
+     * traffic (the bytes were sent, then lost); partitioned attempts
+     * fail fast with no wire traffic and cost only the link latency.
+     * A duplicate delivery counts the retransmission as extra traffic.
+     */
+    SendResult send(uint64_t bytes, double freqGHz);
+
+    /**
+     * Send until delivered, charging ack timeouts and capped
+     * exponential backoff for every failed attempt; panics after
+     * Config::retry.maxAttempts (an unrecoverable link). Deterministic
+     * under the seeded plan.
+     */
+    ReliableResult reliableSend(uint64_t bytes, double freqGHz);
+
+    /** True if this link can inject faults at all. */
+    bool faulty() const { return !plan_.empty(); }
+    FaultPlan &faultPlan() { return plan_; }
+    const RetryPolicy &retryPolicy() const { return cfg_.retry; }
 
     /** Deprecated shims reading the registry-backed counters. */
     uint64_t messages() const { return messages_.value(); }
@@ -63,19 +125,37 @@ class Interconnect
         messages_.reset();
         bytes_.reset();
     }
-    /** Attach the traffic counters as `<prefix>.messages/.bytes`. */
+    /**
+     * Attach the traffic counters as `<prefix>.messages/.bytes`, and
+     * the fault/recovery counters under the fixed `xfault.` namespace
+     * (drops, duplicates, spikes, partition_rejects, retries,
+     * backoff_cycles). One fault-injected link per registry.
+     */
     void
     registerStats(obs::StatRegistry &reg, const std::string &prefix)
     {
         reg.attach(prefix + ".messages", messages_);
         reg.attach(prefix + ".bytes", bytes_);
+        reg.attach("xfault.drops", drops_);
+        reg.attach("xfault.duplicates", duplicates_);
+        reg.attach("xfault.spikes", spikes_);
+        reg.attach("xfault.partition_rejects", partitionRejects_);
+        reg.attach("xfault.retries", retries_);
+        reg.attach("xfault.backoff_cycles", backoffCycles_);
     }
     const Config &config() const { return cfg_; }
 
   private:
     Config cfg_;
+    FaultPlan plan_;
     obs::Counter messages_;
     obs::Counter bytes_;
+    obs::Counter drops_;
+    obs::Counter duplicates_;
+    obs::Counter spikes_;
+    obs::Counter partitionRejects_;
+    obs::Counter retries_;
+    obs::Counter backoffCycles_;
 };
 
 } // namespace xisa

@@ -67,6 +67,8 @@ ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
     stats_.attach("os.thread_spawns", threadSpawns_);
     stats_.attach("os.migrations", migrationsDone_);
     stats_.attach("os.spurious_migrate_traps", spuriousMigrateTraps_);
+    stats_.attach("xfault.migration_aborts", migrationAborts_);
+    stats_.attach("xfault.migration_retries", migrationRetries_);
     stats_.attach("os.threads", liveThreads_);
     stats_.attach("os.migrate.response_us", migrateResponseUs_);
     stats_.attach("machine.instrs", instrsStat_);
@@ -645,11 +647,45 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     newCtx.cycles = t.ctx.cycles;
     newCtx.dsmExtraCycles = t.ctx.dsmExtraCycles;
 
+    // Ship the transformed context. The source keeps its copy until the
+    // destination acks, so a duplicated delivery just re-installs the
+    // same context (idempotent) and a lost one is retried -- the thread
+    // can never be lost or duplicated. After migrationRetryLimit failed
+    // attempts the migration aborts and the thread resumes here.
     double srcDone = coreTime(t.node, t.core);
     OBS_TRACE_BEGIN(t.tid, "os.migrate", "send_context", srcDone);
-    OBS_TRACE_END(t.tid,
-                  srcDone + net_.transferSeconds(kContextMsgBytes));
-    net_.charge(kContextMsgBytes, dst.spec.freqGHz);
+    const RetryPolicy &retry = net_.retryPolicy();
+    double sendSeconds = 0;
+    double backoffUs = retry.backoffUs;
+    bool delivered = false;
+    for (int attempt = 1; attempt <= cfg_.migrationRetryLimit;
+         ++attempt) {
+        Interconnect::SendResult r =
+            net_.send(kContextMsgBytes, dst.spec.freqGHz);
+        sendSeconds += r.seconds;
+        if (r.status == SendStatus::Delivered) {
+            delivered = true;
+            break;
+        }
+        ++migrationRetries_;
+        sendSeconds += (retry.timeoutUs + backoffUs) * 1e-6;
+        backoffUs = std::min(backoffUs * 2.0, retry.backoffCapUs);
+    }
+    OBS_TRACE_END(t.tid, srcDone + sendSeconds);
+    if (!delivered) {
+        // Clean abort: discard the transformed context, charge the
+        // wasted send time, and leave the thread runnable on the
+        // source. The scheduler may re-request the migration.
+        ++migrationAborts_;
+        OBS_TRACE_INSTANT(t.tid, "os.migrate", "abort",
+                          srcDone + sendSeconds);
+        chargeKernel(t, static_cast<uint64_t>(
+                            sendSeconds * src.spec.freqGHz * 1e9));
+        t.migrationTarget = -1;
+        updateVdsoFlag();
+        src.interp->finishTrap(t.ctx, Type::Void, 0, 0);
+        return;
+    }
     t.node = dest;
     t.core = pickCore(dest);
     t.ctx = newCtx;
@@ -658,8 +694,7 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     t.kcont = KernelContinuation{};
     t.kcont.isa = dst.spec.isa;
     t.kcont.node = dest;
-    setCoreTimeAtLeast(t.node, t.core,
-                       srcDone + net_.transferSeconds(kContextMsgBytes));
+    setCoreTimeAtLeast(t.node, t.core, srcDone + sendSeconds);
     t.migrationTarget = -1;
     updateVdsoFlag();
 

@@ -58,6 +58,13 @@ struct OsConfig {
     bool profile = false;
     /** Memory-sharing strategy (RemoteAccess for the hDSM ablation). */
     DsmMode dsmMode = DsmMode::MigratePages;
+    /**
+     * Attempts to deliver the thread-context message before a migration
+     * aborts (the thread stays runnable on the source; the scheduler
+     * may re-request). Page faults instead retry until the link heals:
+     * a fault cannot abort. Only reachable when net.faults is set.
+     */
+    int migrationRetryLimit = 8;
     /** Energy-meter sampling grid (default: the paper's 100 Hz DAQ). */
     double energyBinSeconds = 0.01;
 
@@ -257,6 +264,8 @@ class ReplicatedOS
     obs::Counter threadSpawns_;
     obs::Counter migrationsDone_;
     obs::Counter spuriousMigrateTraps_;
+    obs::Counter migrationAborts_;  ///< xfault.migration_aborts
+    obs::Counter migrationRetries_; ///< xfault.migration_retries
     obs::Counter migrateRequests_; ///< sched.migrate_requests
     obs::Counter instrsStat_;      ///< machine.instrs
     obs::Gauge liveThreads_;

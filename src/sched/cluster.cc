@@ -29,15 +29,38 @@ policyName(Policy p)
 
 ClusterSim::ClusterSim(std::vector<Machine> machines,
                        const JobProfileTable &profiles, Config cfg)
-    : machines_(std::move(machines)), profiles_(profiles), cfg_(cfg)
+    : machines_(std::move(machines)), profiles_(profiles), cfg_(cfg),
+      net_(cfg_.net)
 {
     if (machines_.empty())
         fatal("ClusterSim needs at least one machine");
+    for (const CrashEvent &ev : cfg_.crashes)
+        if (ev.machine < 0 ||
+            ev.machine >= static_cast<int>(machines_.size()))
+            fatal("crash event names machine %d of %zu", ev.machine,
+                  machines_.size());
     stats_.attach("sched.jobs_started", jobsStarted_);
     stats_.attach("sched.jobs_completed", jobsCompleted_);
     stats_.attach("sched.enqueues", enqueues_);
     stats_.attach("sched.migrations", migrationsStat_);
     stats_.attach("sched.rebalance_ticks", rebalanceTicks_);
+    stats_.attach("xfault.crashes", crashesStat_);
+    stats_.attach("xfault.failovers", failoversStat_);
+    stats_.attach("xfault.restarts", restartsStat_);
+    stats_.attach("xfault.checkpoints", checkpointsStat_);
+    stats_.attach("xfault.lost_seconds", lostSecondsStat_);
+    net_.registerStats(stats_, "net");
+}
+
+void
+ClusterSim::setCrashPlan(std::vector<CrashEvent> crashes)
+{
+    for (const CrashEvent &ev : crashes)
+        if (ev.machine < 0 ||
+            ev.machine >= static_cast<int>(machines_.size()))
+            fatal("crash event names machine %d of %zu", ev.machine,
+                  machines_.size());
+    cfg_.crashes = std::move(crashes);
 }
 
 int
@@ -80,12 +103,16 @@ ClusterSim::tryStart(MachineState &ms, int m, const Job &job, double now)
 
 int
 ClusterSim::pickMachine(const std::vector<MachineState> &st,
-                        Policy, int threads) const
+                        Policy, int threads,
+                        const std::vector<char> &alive) const
 {
-    // Least weighted load after hypothetically placing the job.
-    int best = 0;
+    // Least weighted load after hypothetically placing the job,
+    // considering live machines only; -1 if every machine is down.
+    int best = -1;
     double bestLoad = std::numeric_limits<double>::infinity();
     for (size_t m = 0; m < machines_.size(); ++m) {
+        if (!alive[m])
+            continue;
         int queued = 0;
         for (const Job &j : st[m].queue)
             queued += j.threads;
@@ -100,13 +127,44 @@ ClusterSim::pickMachine(const std::vector<MachineState> &st,
 }
 
 double
-ClusterSim::migrationCost(const Job &job) const
+ClusterSim::migrationCost(const Job &job)
 {
-    Interconnect net(cfg_.net);
     double bytes =
         cfg_.workingSetBytesPerScale * classScale(job.cls);
-    return cfg_.migrationFixedSeconds +
-           net.transferSeconds(static_cast<uint64_t>(bytes));
+    if (!net_.faulty())
+        return cfg_.migrationFixedSeconds +
+               net_.transferSeconds(static_cast<uint64_t>(bytes));
+    // Lossy link: the working-set transfer pays real retries/backoff
+    // from the seeded plan (seconds only; no core clock involved).
+    auto sent = net_.reliableSend(static_cast<uint64_t>(bytes), 1.0);
+    return cfg_.migrationFixedSeconds + sent.seconds;
+}
+
+void
+ClusterSim::placeRestart(std::vector<MachineState> &st, int m,
+                         RunningJob rj, double now)
+{
+    MachineState &ms = st[static_cast<size_t>(m)];
+    if (ms.usedThreads + rj.job.threads > capacity(m)) {
+        ms.restartQueue.push_back(std::move(rj));
+        return;
+    }
+    double destDuration = profiles_.seconds(
+        rj.job.wl, rj.job.cls, rj.job.threads,
+        machines_[static_cast<size_t>(m)].spec.isa);
+    // Remaining work is the checkpointed fraction re-expressed on the
+    // destination's clock, plus the checkpoint-restore transfer.
+    double remSeconds =
+        rj.ckptRemaining * destDuration + migrationCost(rj.job);
+    rj.durationHere = destDuration;
+    rj.remainingFraction = remSeconds / destDuration;
+    rj.ckptRemaining = rj.remainingFraction;
+    rj.startedAt = now;
+    ms.running.push_back(rj);
+    ms.usedThreads += rj.job.threads;
+    ++restartsStat_;
+    OBS_TRACE_INSTANT(kJobTrackBase + rj.job.id, "sched", "restart",
+                      now);
 }
 
 ClusterResult
@@ -127,17 +185,55 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
     double lastCompletion = 0;
     constexpr double kEps = 1e-9;
 
+    // Fault machinery: dormant (and event-sequence-identical to the
+    // fault-free simulator) unless crash events are configured.
+    std::vector<CrashEvent> crashes = cfg_.crashes;
+    std::stable_sort(crashes.begin(), crashes.end(),
+                     [](const CrashEvent &a, const CrashEvent &b) {
+                         return a.time < b.time;
+                     });
+    const bool faulty = !crashes.empty();
+    size_t nextCrash = 0;
+    double nextCkpt = cfg_.checkpointPeriod;
+    std::vector<double> downUntil(machines_.size(), 0.0);
+    std::vector<char> alive(machines_.size(), 1);
+    int crashCount = 0;
+    int failovers = 0;
+    double lostWork = 0;
+    std::map<int, int> restartCounts;
+
+    auto refreshAlive = [&] {
+        for (size_t m = 0; m < alive.size(); ++m)
+            alive[m] = !faulty || now + kEps >= downUntil[m];
+    };
+
     auto anyWork = [&] {
         if (next < arrivals.size())
             return true;
         for (const MachineState &ms : st)
-            if (!ms.running.empty() || !ms.queue.empty())
+            if (!ms.running.empty() || !ms.queue.empty() ||
+                !ms.restartQueue.empty())
                 return true;
         return false;
     };
 
     auto startFromQueue = [&](int m) {
         MachineState &ms = st[static_cast<size_t>(m)];
+        if (!alive[static_cast<size_t>(m)])
+            return;
+        // Checkpointed restarts first (they are in-flight work), then
+        // fresh admissions.
+        for (size_t q = 0; q < ms.restartQueue.size();) {
+            if (ms.usedThreads + ms.restartQueue[q].job.threads <=
+                capacity(m)) {
+                RunningJob rj = std::move(ms.restartQueue[q]);
+                ms.restartQueue.erase(ms.restartQueue.begin() +
+                                      static_cast<ptrdiff_t>(q));
+                placeRestart(st, m, std::move(rj), now);
+            } else {
+                ++q;
+            }
+        }
         for (size_t q = 0; q < ms.queue.size();) {
             if (tryStart(ms, m, ms.queue[q], now))
                 ms.queue.erase(ms.queue.begin() +
@@ -162,6 +258,15 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
             anyRunning |= !ms.running.empty();
         if (dynamic(policy) && anyRunning)
             tNext = std::min(tNext, nextTick);
+        if (faulty) {
+            if (nextCrash < crashes.size())
+                tNext = std::min(tNext, crashes[nextCrash].time);
+            for (size_t m = 0; m < st.size(); ++m)
+                if (now + kEps < downUntil[m])
+                    tNext = std::min(tNext, downUntil[m]);
+            if (anyRunning)
+                tNext = std::min(tNext, nextCkpt);
+        }
         XISA_CHECK(std::isfinite(tNext), "cluster sim stuck");
         if (tNext < now)
             tNext = now;
@@ -171,7 +276,9 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
         for (size_t m = 0; m < st.size(); ++m) {
             const Machine &mach = machines_[m];
             double power;
-            if (st[m].running.empty() && st[m].queue.empty()) {
+            if (faulty && now + kEps < downUntil[m]) {
+                power = 0; // crashed: drawing nothing, doing nothing
+            } else if (st[m].running.empty() && st[m].queue.empty()) {
                 power = mach.spec.idleWatts * cfg_.sleepFraction *
                         mach.powerScale;
             } else {
@@ -189,6 +296,7 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
             for (RunningJob &rj : ms.running)
                 rj.remainingFraction -= dt / rj.durationHere;
         now = tNext;
+        refreshAlive();
 
         // Completions.
         for (size_t m = 0; m < st.size(); ++m) {
@@ -211,12 +319,97 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
             startFromQueue(static_cast<int>(m));
         }
 
+        // Checkpoint tick: snapshot every running job's progress as
+        // its restart target (only modeled when crashes are injected).
+        if (faulty && now + kEps >= nextCkpt) {
+            for (MachineState &ms : st)
+                for (RunningJob &rj : ms.running)
+                    rj.ckptRemaining = rj.remainingFraction;
+            ++checkpointsStat_;
+            while (nextCkpt <= now + kEps)
+                nextCkpt += cfg_.checkpointPeriod;
+        }
+
+        // Machine crashes: the machine goes dark, its in-flight jobs
+        // roll back to their last checkpoint and restart -- on another
+        // live machine under the dynamic policies (failover), or on
+        // the same machine once it reboots under the static ones. The
+        // energy already spent on the discarded progress stays charged.
+        while (faulty && nextCrash < crashes.size() &&
+               crashes[nextCrash].time <= now + kEps) {
+            const CrashEvent ev = crashes[nextCrash++];
+            size_t cm = static_cast<size_t>(ev.machine);
+            if (now + kEps < downUntil[cm])
+                continue; // already down
+            downUntil[cm] = ev.time + ev.downSeconds;
+            refreshAlive();
+            ++crashCount;
+            ++crashesStat_;
+            MachineState &ms = st[cm];
+            std::vector<RunningJob> victims = std::move(ms.running);
+            ms.running.clear();
+            ms.usedThreads = 0;
+            for (RunningJob &rj : victims) {
+                double lost =
+                    std::max(0.0, (rj.ckptRemaining -
+                                   rj.remainingFraction) *
+                                      rj.durationHere);
+                lostWork += lost;
+                lostSecondsStat_.add(lost);
+                rj.remainingFraction = rj.ckptRemaining;
+                ++restartCounts[rj.job.id];
+                int target = ev.machine;
+                if (dynamic(policy)) {
+                    int cand = pickMachine(st, policy, rj.job.threads,
+                                           alive);
+                    if (cand >= 0)
+                        target = cand;
+                }
+                if (target != ev.machine) {
+                    ++failovers;
+                    ++failoversStat_;
+                    OBS_TRACE_INSTANT(kJobTrackBase + rj.job.id,
+                                      "sched", "failover", now);
+                    placeRestart(st, target, rj, now);
+                } else {
+                    ms.restartQueue.push_back(rj);
+                }
+            }
+            // Queued-but-unstarted jobs fail over too under the
+            // dynamic policies; static placements wait for the reboot.
+            if (dynamic(policy)) {
+                std::vector<Job> parked = std::move(ms.queue);
+                ms.queue.clear();
+                for (Job &job : parked) {
+                    int cand =
+                        pickMachine(st, policy, job.threads, alive);
+                    if (cand < 0) {
+                        ms.queue.push_back(job);
+                    } else if (!tryStart(st[static_cast<size_t>(cand)],
+                                         cand, job, now)) {
+                        st[static_cast<size_t>(cand)].queue.push_back(
+                            job);
+                        ++enqueues_;
+                    }
+                }
+            }
+        }
+
         // Arrivals.
         while (next < arrivals.size() &&
                arrivals[next].arrival <= now + kEps) {
             const Job &job = arrivals[next++];
-            int m = pickMachine(st, policy, job.threads);
-            if (!tryStart(st[static_cast<size_t>(m)], m, job, now)) {
+            int m = pickMachine(st, policy, job.threads, alive);
+            if (m < 0) {
+                // Every machine is down: park on the first to reboot.
+                size_t soonest = 0;
+                for (size_t k = 1; k < downUntil.size(); ++k)
+                    if (downUntil[k] < downUntil[soonest])
+                        soonest = k;
+                st[soonest].queue.push_back(job);
+                ++enqueues_;
+            } else if (!tryStart(st[static_cast<size_t>(m)], m, job,
+                                 now)) {
                 st[static_cast<size_t>(m)].queue.push_back(job);
                 ++enqueues_;
             }
@@ -227,16 +420,21 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
             nextTick = now + cfg_.rebalancePeriod;
             ++rebalanceTicks_;
             for (int moves = 0; moves < 64; ++moves) {
-                int hi = 0, lo = 0;
-                for (size_t m = 1; m < st.size(); ++m) {
-                    if (load(st[m], static_cast<int>(m)) >
-                        load(st[static_cast<size_t>(hi)], hi))
+                // Down machines neither shed nor receive work.
+                int hi = -1, lo = -1;
+                for (size_t m = 0; m < st.size(); ++m) {
+                    if (!alive[m])
+                        continue;
+                    if (hi < 0 ||
+                        load(st[m], static_cast<int>(m)) >
+                            load(st[static_cast<size_t>(hi)], hi))
                         hi = static_cast<int>(m);
-                    if (load(st[m], static_cast<int>(m)) <
-                        load(st[static_cast<size_t>(lo)], lo))
+                    if (lo < 0 ||
+                        load(st[m], static_cast<int>(m)) <
+                            load(st[static_cast<size_t>(lo)], lo))
                         lo = static_cast<int>(m);
                 }
-                if (hi == lo)
+                if (hi < 0 || lo < 0 || hi == lo)
                     break;
                 MachineState &from = st[static_cast<size_t>(hi)];
                 MachineState &to = st[static_cast<size_t>(lo)];
@@ -310,6 +508,10 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
     res.migrations = migrations;
     res.avgTurnaround =
         completed ? turnaroundSum / static_cast<double>(completed) : 0;
+    res.crashes = crashCount;
+    res.failovers = failovers;
+    res.lostWorkSeconds = lostWork;
+    res.restartCounts = std::move(restartCounts);
     return res;
 }
 

@@ -23,6 +23,7 @@
 #ifndef XISA_SCHED_CLUSTER_HH
 #define XISA_SCHED_CLUSTER_HH
 
+#include <map>
 #include <vector>
 
 #include "dsm/interconnect.hh"
@@ -60,6 +61,15 @@ enum class Policy {
 
 const char *policyName(Policy p);
 
+/** One machine failure: at `time`, `machine` dies and stays down for
+ *  `downSeconds` (power drops to zero, its work is lost back to the
+ *  last checkpoint). */
+struct CrashEvent {
+    double time = 0;
+    int machine = 0;
+    double downSeconds = 30.0;
+};
+
 /** Result of simulating one job set under one policy. */
 struct ClusterResult {
     std::vector<double> energyJoules; ///< per machine
@@ -68,6 +78,11 @@ struct ClusterResult {
     double edp = 0; ///< totalEnergy * makespan
     int migrations = 0;
     double avgTurnaround = 0;
+    // Fault/recovery outcome (all zero on a fault-free run).
+    int crashes = 0;
+    int failovers = 0; ///< restarts placed on a different machine
+    double lostWorkSeconds = 0; ///< progress discarded to checkpoints
+    std::map<int, int> restartCounts; ///< job id -> restarts
 };
 
 /** Discrete-event cluster simulator. */
@@ -88,7 +103,17 @@ class ClusterSim
          *  (machines stay up for the whole experiment); lower values
          *  model the consolidation low-power states of Section 2. */
         double sleepFraction = 1.0;
+        /** Link model; net.faults makes migration transfers lossy
+         *  (retries inflate the charged migration cost). */
         Interconnect::Config net;
+        /** Machine failures to inject (empty = immortal machines; the
+         *  fault-free event sequence is then bit-identical to a build
+         *  without the fault layer). */
+        std::vector<CrashEvent> crashes;
+        /** Jobs checkpoint this often (seconds); on a crash they
+         *  restart from the last checkpoint. Only active when crashes
+         *  are scheduled. */
+        double checkpointPeriod = 5.0;
     };
 
     ClusterSim(std::vector<Machine> machines,
@@ -101,6 +126,9 @@ class ClusterSim
     /** Simulate one job set under one policy. */
     ClusterResult run(const std::vector<Job> &jobs, Policy policy);
 
+    /** Replace the crash schedule for subsequent run() calls. */
+    void setCrashPlan(std::vector<CrashEvent> crashes);
+
     /** This simulator's stat registry: cumulative `sched.*` counters
      *  across every run() call on this instance. */
     obs::StatRegistry &statRegistry() { return stats_; }
@@ -111,10 +139,14 @@ class ClusterSim
         double remainingFraction = 1.0;
         double durationHere = 0; ///< full-job seconds on this machine
         double startedAt = 0;
+        /** remainingFraction at the last checkpoint (restart target). */
+        double ckptRemaining = 1.0;
     };
     struct MachineState {
         std::vector<RunningJob> running;
         std::vector<Job> queue;
+        /** Checkpointed jobs waiting to restart (crash recovery). */
+        std::vector<RunningJob> restartQueue;
         int usedThreads = 0;
         double energy = 0;
     };
@@ -122,14 +154,19 @@ class ClusterSim
     int capacity(int m) const;
     bool tryStart(MachineState &ms, int m, const Job &job, double now);
     int pickMachine(const std::vector<MachineState> &st, Policy policy,
-                    int threads) const;
+                    int threads,
+                    const std::vector<char> &alive) const;
     double load(const MachineState &ms, int m) const;
     bool dynamic(Policy p) const
     {
         return p == Policy::DynamicBalanced ||
                p == Policy::DynamicUnbalanced;
     }
-    double migrationCost(const Job &job) const;
+    double migrationCost(const Job &job);
+    /** Admit a checkpointed job on `m` if capacity allows, charging
+     *  the restart overhead; parks it in the restart queue otherwise. */
+    void placeRestart(std::vector<MachineState> &st, int m,
+                      RunningJob rj, double now);
 
     std::vector<Machine> machines_;
     const JobProfileTable &profiles_;
@@ -138,11 +175,20 @@ class ClusterSim
     /** Declared before the counters so they detach from a live
      *  registry on destruction. */
     obs::StatRegistry stats_;
+    /** Link used for migration/restart transfer costs; carries the
+     *  fault plan of cfg_.net.faults across every run(). */
+    Interconnect net_;
     obs::Counter jobsStarted_;
     obs::Counter jobsCompleted_;
     obs::Counter enqueues_;
     obs::Counter migrationsStat_;
     obs::Counter rebalanceTicks_;
+    // Fault/recovery counters (xfault.*).
+    obs::Counter crashesStat_;
+    obs::Counter failoversStat_;
+    obs::Counter restartsStat_;
+    obs::Counter checkpointsStat_;
+    obs::Gauge lostSecondsStat_;
 };
 
 } // namespace xisa

@@ -1,0 +1,32 @@
+# Script-mode runner for the zero-fault golden guard.
+#
+#   cmake -DBENCH=<bench binary> -DGOLDEN=<recorded output>
+#         -DOUT=<scratch file> -P golden_check.cmake
+#
+# Runs the bench in XISA_QUICK mode and fails unless its stdout is
+# byte-identical to the golden recorded before the fault-injection layer
+# existed -- the empty FaultPlan must add zero cost and zero behavior.
+
+foreach(var BENCH GOLDEN OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "golden_check.cmake: ${var} not set")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env XISA_QUICK=1 ${BENCH}
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "zero-fault output of ${BENCH} differs from golden "
+            "${GOLDEN} (see ${OUT}); the empty FaultPlan must be "
+            "bit-identical to the pre-fault-layer behavior")
+endif()

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Deterministic chaos suite for the fault-injection layer.
+ *
+ * Every scenario runs from a fixed seed, so a failure replays exactly.
+ * Coverage: the FaultPlan decision stream itself, interconnect
+ * retry/backoff accounting, hDSM convergence and MSI invariants under
+ * drop/duplicate/partition storms, thread migration under message loss
+ * (complete or cleanly abort with the thread runnable on the source),
+ * scheduler crash/failover with exactly-once checkpoint restarts, and
+ * the zero-fault bit-identity guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "dsm/dsm.hh"
+#include "dsm/faults.hh"
+#include "ir/interp.hh"
+#include "obs/registry.hh"
+#include "os/os.hh"
+#include "sched/cluster.hh"
+#include "sched/jobsets.hh"
+#include "sched/profile.hh"
+#include "testprogs.hh"
+#include "util/rng.hh"
+
+namespace xisa {
+namespace {
+
+constexpr uint64_t kBase = 0x10000000ull;
+constexpr uint64_t kPageMsg = vm::kPageSize + 64; // page + header
+constexpr uint64_t kDsmWords = 512;               // two pages
+
+// --- FaultPlan -------------------------------------------------------
+
+TEST(FaultPlan, DeterministicPerSeedAndConfig)
+{
+    FaultConfig cfg;
+    cfg.seed = 0x7a57;
+    cfg.dropProb = 0.2;
+    cfg.dupProb = 0.1;
+    cfg.spikeProb = 0.15;
+    cfg.degradeFactor = 2.0;
+    cfg.degradePeriodMsgs = 10;
+    cfg.degradeLenMsgs = 3;
+    FaultPlan a(cfg), b(cfg);
+    bool sawDrop = false, sawDup = false, sawSpike = false,
+         sawDegrade = false;
+    for (int i = 0; i < 5000; ++i) {
+        FaultDecision da = a.next(), db = b.next();
+        ASSERT_EQ(da.delivered, db.delivered) << "msg " << i;
+        ASSERT_EQ(da.duplicated, db.duplicated) << "msg " << i;
+        ASSERT_EQ(da.partitioned, db.partitioned) << "msg " << i;
+        ASSERT_DOUBLE_EQ(da.extraLatencySeconds, db.extraLatencySeconds);
+        ASSERT_DOUBLE_EQ(da.bandwidthFactor, db.bandwidthFactor);
+        sawDrop |= !da.delivered;
+        sawDup |= da.duplicated;
+        sawSpike |= da.extraLatencySeconds > 0;
+        sawDegrade |= da.bandwidthFactor != 1.0;
+    }
+    EXPECT_TRUE(sawDrop);
+    EXPECT_TRUE(sawDup);
+    EXPECT_TRUE(sawSpike);
+    EXPECT_TRUE(sawDegrade);
+    // A different seed yields a different schedule.
+    FaultConfig reseeded = cfg;
+    reseeded.seed = 0x7a58;
+    FaultPlan c(reseeded);
+    FaultPlan a2(cfg);
+    int differing = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (c.next().delivered != a2.next().delivered)
+            ++differing;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, EmptyConfigInjectsNothing)
+{
+    FaultConfig cfg; // all defaults
+    EXPECT_TRUE(cfg.empty());
+    FaultPlan plan(cfg);
+    EXPECT_TRUE(plan.empty());
+    for (int i = 0; i < 100; ++i) {
+        FaultDecision d = plan.next();
+        EXPECT_TRUE(d.delivered);
+        EXPECT_FALSE(d.duplicated);
+        EXPECT_FALSE(d.partitioned);
+        EXPECT_DOUBLE_EQ(d.extraLatencySeconds, 0.0);
+        EXPECT_DOUBLE_EQ(d.bandwidthFactor, 1.0);
+    }
+    // A degrade factor with no window is still empty.
+    FaultConfig noWin;
+    noWin.degradeFactor = 4.0;
+    EXPECT_TRUE(noWin.empty());
+}
+
+TEST(FaultPlan, PartitionWindowsMatchConfiguredDuty)
+{
+    FaultConfig cfg;
+    cfg.partitionPeriodMsgs = 8;
+    cfg.partitionLenMsgs = 2;
+    FaultPlan plan(cfg);
+    for (uint64_t i = 0; i < 64; ++i) {
+        bool expectDown = i % 8 >= 6;
+        FaultDecision d = plan.next();
+        EXPECT_EQ(d.partitioned, expectDown) << "msg " << i;
+        EXPECT_EQ(d.delivered, !expectDown) << "msg " << i;
+    }
+}
+
+// --- Interconnect send/reliableSend ----------------------------------
+
+TEST(FaultyInterconnect, PerfectLinkSendMatchesCharge)
+{
+    Interconnect faultAware; // empty plan
+    Interconnect legacy;
+    auto r = faultAware.send(5000, 2.0);
+    EXPECT_EQ(r.status, SendStatus::Delivered);
+    EXPECT_FALSE(r.duplicate);
+    EXPECT_EQ(r.cycles, legacy.charge(5000, 2.0));
+    EXPECT_DOUBLE_EQ(r.seconds, legacy.transferSeconds(5000));
+    auto rr = faultAware.reliableSend(5000, 2.0);
+    EXPECT_EQ(rr.attempts, 1);
+    EXPECT_EQ(rr.cycles, legacy.charge(5000, 2.0));
+    EXPECT_EQ(faultAware.messages(), 2u);
+    EXPECT_EQ(faultAware.bytes(), 10000u);
+}
+
+TEST(FaultyInterconnect, ReliableSendChargesTimeoutAndBackoff)
+{
+    Interconnect::Config cfg;
+    cfg.faults.scriptedDrops = {0, 1}; // first two attempts lost
+    Interconnect net(cfg);
+    obs::StatRegistry reg;
+    net.registerStats(reg, "net");
+
+    auto r = net.reliableSend(100, 1.0);
+    EXPECT_EQ(r.attempts, 3);
+    // Three wire attempts plus (timeout+5us) and (timeout+10us) waits.
+    double wire = 3 * net.transferSeconds(100);
+    double waits = (10.0 + 5.0) * 1e-6 + (10.0 + 10.0) * 1e-6;
+    EXPECT_NEAR(r.seconds, wire + waits, 1e-12);
+    EXPECT_EQ(reg.counterValue("net.messages"), 3u);
+    EXPECT_EQ(reg.counterValue("net.bytes"), 300u);
+    EXPECT_EQ(reg.counterValue("xfault.drops"), 2u);
+    EXPECT_EQ(reg.counterValue("xfault.retries"), 2u);
+    // At 1 GHz, backoff cycles are the waits in nanoseconds (same
+    // truncation as the implementation's cycle conversion).
+    EXPECT_EQ(reg.counterValue("xfault.backoff_cycles"),
+              static_cast<uint64_t>(15.0 * 1e-6 * 1e9) +
+                  static_cast<uint64_t>(20.0 * 1e-6 * 1e9));
+}
+
+// --- hDSM under faults -----------------------------------------------
+
+/** Scripted drops pin the exact wire accounting of one retried page
+ *  fault: no double-charging anywhere in the path (issue audit). */
+TEST(FaultyDsm, ScriptedDropsPinRetryAccounting)
+{
+    Interconnect::Config cfg;
+    cfg.faults.scriptedDrops = {0, 1};
+    Interconnect net(cfg);
+    obs::StatRegistry reg;
+    net.registerStats(reg, "net");
+    DsmSpace dsm(2, &net, {3.5, 2.4});
+    dsm.registerStats(reg);
+
+    uint64_t v = 0xabcdef;
+    dsm.populate(0, kBase, &v, 8);
+    uint64_t got = 0;
+    uint64_t cyc = dsm.port(1).read(kBase, &got, 8);
+    EXPECT_EQ(got, 0xabcdefu);
+    EXPECT_GT(cyc, 0u);
+    // One page fault, three wire attempts (two lost), one page moved.
+    EXPECT_EQ(reg.counterValue("net.messages"), 3u);
+    EXPECT_EQ(reg.counterValue("net.bytes"), 3 * kPageMsg);
+    EXPECT_EQ(reg.counterValue("xfault.drops"), 2u);
+    EXPECT_EQ(reg.counterValue("xfault.retries"), 2u);
+    EXPECT_EQ(reg.counterValue("dsm.page_transfers"), 1u);
+    EXPECT_EQ(reg.counterValue("dsm.bytes_transferred"), vm::kPageSize);
+    EXPECT_EQ(dsm.state(0, kBase / vm::kPageSize), PageState::Shared);
+    EXPECT_EQ(dsm.state(1, kBase / vm::kPageSize), PageState::Shared);
+    dsm.checkInvariants();
+}
+
+/** Pins the RemoteAccess extra-cycles fix: a multi-page access must
+ *  charge each page's message once, not re-add the running total. */
+TEST(FaultyDsm, RemoteAccessExtraCyclesNoDoubleCharge)
+{
+    Interconnect net;
+    DsmSpace dsm(2, &net, {3.5, 2.4}, DsmMode::RemoteAccess);
+    // Node 0 claims both pages as home.
+    uint64_t v[2] = {0x1111, 0x2222};
+    uint64_t straddle = kBase + vm::kPageSize - 4;
+    dsm.port(0).write(straddle, v, 8);
+    // Node 1 reads across the boundary: two remote messages.
+    uint64_t got = 0;
+    dsm.port(1).read(straddle, &got, 8);
+    Interconnect ref;
+    uint64_t expected = ref.charge(64 + 4, 2.4) + ref.charge(64 + 4, 2.4);
+    EXPECT_EQ(dsm.stats().extraCycles, expected);
+}
+
+struct StormCase : ::testing::TestWithParam<int> {};
+
+TEST_P(StormCase, DsmConvergesUnderDropStorm)
+{
+    Interconnect::Config cfg;
+    cfg.faults.seed = 0xbead + static_cast<uint64_t>(GetParam());
+    cfg.faults.dropProb = 0.2;
+    cfg.faults.dupProb = 0.15;
+    cfg.faults.spikeProb = 0.1;
+    Interconnect net(cfg);
+    obs::StatRegistry reg;
+    net.registerStats(reg, "net");
+    DsmSpace dsm(3, &net, {3.5, 2.4, 2.4});
+    std::map<uint64_t, uint64_t> shadow;
+    Rng rng(0x570 + static_cast<uint64_t>(GetParam()));
+    for (int op = 0; op < 3000; ++op) {
+        int node = static_cast<int>(rng.below(3));
+        uint64_t addr = kBase + rng.below(kDsmWords) * 8;
+        if (rng.below(2) == 0) {
+            uint64_t v = rng.next();
+            dsm.port(node).write(addr, &v, 8);
+            shadow[addr] = v;
+        } else {
+            uint64_t got = 0;
+            dsm.port(node).read(addr, &got, 8);
+            auto it = shadow.find(addr);
+            ASSERT_EQ(got, it == shadow.end() ? 0 : it->second)
+                << "op " << op << " node " << node;
+        }
+        if (op % 500 == 0)
+            dsm.checkInvariants();
+    }
+    dsm.checkInvariants();
+    EXPECT_GT(reg.counterValue("xfault.drops"), 0u);
+    EXPECT_GT(reg.counterValue("xfault.retries"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StormCase, ::testing::Range(0, 6));
+
+TEST(FaultyDsm, DuplicateDeliveryIsIdempotent)
+{
+    Interconnect::Config cfg;
+    cfg.faults.seed = 0xd0b;
+    cfg.faults.dupProb = 1.0; // every delivered message arrives twice
+    Interconnect net(cfg);
+    obs::StatRegistry reg;
+    net.registerStats(reg, "net");
+    DsmSpace dsm(2, &net, {3.5, 2.4});
+    std::map<uint64_t, uint64_t> shadow;
+    Rng rng(0xd0b);
+    for (int op = 0; op < 2000; ++op) {
+        int node = static_cast<int>(rng.below(2));
+        uint64_t addr = kBase + rng.below(kDsmWords) * 8;
+        if (rng.below(2) == 0) {
+            uint64_t v = rng.next();
+            dsm.port(node).write(addr, &v, 8);
+            shadow[addr] = v;
+        } else {
+            uint64_t got = 0;
+            dsm.port(node).read(addr, &got, 8);
+            auto it = shadow.find(addr);
+            ASSERT_EQ(got, it == shadow.end() ? 0 : it->second)
+                << "op " << op;
+        }
+    }
+    dsm.checkInvariants();
+    EXPECT_GT(reg.counterValue("xfault.duplicates"), 0u);
+    // Retransmissions are real wire traffic: strictly more bytes than
+    // pages moved.
+    EXPECT_GT(reg.counterValue("net.bytes"),
+              reg.counterValue("dsm.bytes_transferred"));
+}
+
+TEST(FaultyDsm, SurvivesPartitionWindows)
+{
+    Interconnect::Config cfg;
+    cfg.faults.partitionPeriodMsgs = 8;
+    cfg.faults.partitionLenMsgs = 3;
+    Interconnect net(cfg);
+    obs::StatRegistry reg;
+    net.registerStats(reg, "net");
+    DsmSpace dsm(2, &net, {3.5, 2.4});
+    std::map<uint64_t, uint64_t> shadow;
+    Rng rng(0x9a9);
+    for (int op = 0; op < 1500; ++op) {
+        int node = static_cast<int>(rng.below(2));
+        uint64_t addr = kBase + rng.below(kDsmWords) * 8;
+        if (rng.below(2) == 0) {
+            uint64_t v = rng.next();
+            dsm.port(node).write(addr, &v, 8);
+            shadow[addr] = v;
+        } else {
+            uint64_t got = 0;
+            dsm.port(node).read(addr, &got, 8);
+            auto it = shadow.find(addr);
+            ASSERT_EQ(got, it == shadow.end() ? 0 : it->second)
+                << "op " << op;
+        }
+    }
+    dsm.checkInvariants();
+    // Partition rejects cost latency but never count as wire traffic.
+    EXPECT_GT(reg.counterValue("xfault.partition_rejects"), 0u);
+    EXPECT_EQ(reg.counterValue("xfault.drops"), 0u);
+}
+
+// --- Migration under faults ------------------------------------------
+
+TEST(FaultyMigration, UnderMessageLossMatchesReference)
+{
+    Module mod = testing::makeArithProgram(40);
+    IRRunResult ref = IRInterp(mod, 1ull << 33).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.quantum = 1500;
+    cfg.net.faults.seed = 0xc4a05;
+    cfg.net.faults.dropProb = 0.3;
+    cfg.net.faults.dupProb = 0.2;
+    cfg.net.faults.spikeProb = 0.2;
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    os.onQuantum = [](ReplicatedOS &self) {
+        self.migrateProcess(1 - self.threadNode(0));
+    };
+    OsRunResult got = os.run();
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.output, ref.output);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_GE(os.migrations().size(), 2u);
+    EXPECT_GT(os.statRegistry().counterValue("xfault.drops"), 0u);
+    os.dsm().checkInvariants();
+}
+
+TEST(FaultyMigration, AbortLeavesThreadRunnableOnSource)
+{
+    Module mod = testing::makeArithProgram(12);
+    IRRunResult ref = IRInterp(mod, 1ull << 33).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.net.faults.dropProb = 1.0; // nothing ever gets through
+    cfg.migrationRetryLimit = 3;
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    os.migrateProcess(1);
+    OsRunResult got = os.run();
+    // The migration aborted cleanly: the thread finished on the source
+    // node with the right answer, and was neither lost nor duplicated.
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.output, ref.output);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_TRUE(os.migrations().empty());
+    EXPECT_EQ(os.threadNode(0), 0);
+    EXPECT_EQ(os.statRegistry().counterValue("xfault.migration_aborts"),
+              1u);
+    EXPECT_EQ(
+        os.statRegistry().counterValue("xfault.migration_retries"), 3u);
+}
+
+// --- Scheduler crash recovery ----------------------------------------
+
+const JobProfileTable &
+table()
+{
+    static JobProfileTable t = JobProfileTable::synthetic();
+    return t;
+}
+
+TEST(ClusterFaults, CrashFailoverRestartsCheckpointedJobsExactlyOnce)
+{
+    auto jobs = makeSustainedSet(42);
+    ClusterSim clean(makeHeterogeneousPool(true, 1.0), table());
+    ClusterResult base = clean.run(jobs, Policy::DynamicBalanced);
+    ASSERT_GT(base.makespan, 0.0);
+    EXPECT_EQ(base.crashes, 0);
+    EXPECT_TRUE(base.restartCounts.empty());
+
+    ClusterSim::Config cc;
+    cc.crashes = {CrashEvent{0.3 * base.makespan, 0, 15.0}};
+    ClusterSim faulty(makeHeterogeneousPool(true, 1.0), table(), cc);
+    ClusterResult r = faulty.run(jobs, Policy::DynamicBalanced);
+    EXPECT_EQ(r.crashes, 1);
+    ASSERT_FALSE(r.restartCounts.empty());
+    for (const auto &kv : r.restartCounts)
+        EXPECT_EQ(kv.second, 1) << "job " << kv.first;
+    // Dynamic policy: every victim fails over to the surviving machine.
+    EXPECT_EQ(r.failovers,
+              static_cast<int>(r.restartCounts.size()));
+    EXPECT_GT(r.makespan, 0.0);
+    EXPECT_GT(r.totalEnergy, 0.0);
+}
+
+TEST(ClusterFaults, StaticPolicyCrashRestartsOnRebootSameMachine)
+{
+    auto jobs = makeSustainedSet(43);
+    ClusterSim clean(makeX86X86Pool(), table());
+    ClusterResult base = clean.run(jobs, Policy::StaticBalanced);
+    ASSERT_GT(base.makespan, 0.0);
+
+    ClusterSim::Config cc;
+    cc.crashes = {CrashEvent{0.4 * base.makespan, 0, 10.0}};
+    // No checkpoint before the crash: victims restart from scratch, so
+    // discarded progress must show up as lost work.
+    cc.checkpointPeriod = 10 * base.makespan;
+    ClusterSim faulty(makeX86X86Pool(), table(), cc);
+    ClusterResult r = faulty.run(jobs, Policy::StaticBalanced);
+    EXPECT_EQ(r.crashes, 1);
+    EXPECT_EQ(r.failovers, 0); // static placements never move
+    ASSERT_FALSE(r.restartCounts.empty());
+    for (const auto &kv : r.restartCounts)
+        EXPECT_EQ(kv.second, 1) << "job " << kv.first;
+    EXPECT_GT(r.lostWorkSeconds, 0.0);
+    EXPECT_GT(r.makespan, base.makespan);
+}
+
+TEST(ClusterFaults, ZeroFaultRunsAreBitIdentical)
+{
+    auto jobs = makeSustainedSet(44);
+    ClusterSim a(makeHeterogeneousPool(true, 1.0), table());
+    ClusterSim::Config cc;
+    cc.checkpointPeriod = 0.25; // inert without crash events
+    ClusterSim b(makeHeterogeneousPool(true, 1.0), table(), cc);
+    for (Policy p : {Policy::StaticBalanced, Policy::DynamicBalanced,
+                     Policy::DynamicUnbalanced}) {
+        ClusterResult ra = a.run(jobs, p);
+        ClusterResult rb = b.run(jobs, p);
+        EXPECT_EQ(ra.totalEnergy, rb.totalEnergy) << policyName(p);
+        EXPECT_EQ(ra.makespan, rb.makespan) << policyName(p);
+        EXPECT_EQ(ra.edp, rb.edp) << policyName(p);
+        EXPECT_EQ(ra.migrations, rb.migrations) << policyName(p);
+        EXPECT_EQ(ra.avgTurnaround, rb.avgTurnaround) << policyName(p);
+        EXPECT_EQ(rb.crashes, 0);
+        EXPECT_EQ(rb.lostWorkSeconds, 0.0);
+    }
+}
+
+// --- Checkpoint/restore recovery -------------------------------------
+
+TEST(FaultyRecovery, CheckpointRestoreRecoversUnderFaultyLink)
+{
+    Module mod = testing::makeArithProgram(400);
+    IRRunResult ref = IRInterp(mod, 1ull << 33).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+    OsConfig cleanCfg = OsConfig::dualServer();
+
+    // Snapshot mid-run on a healthy container (the crashed machine's
+    // last checkpoint)...
+    std::vector<uint8_t> ckpt;
+    {
+        ReplicatedOS os(bin, cleanCfg);
+        os.load(0);
+        os.onQuantum = [&](ReplicatedOS &self) {
+            if (ckpt.empty() && self.totalInstrs() >= 4000)
+                ckpt = self.checkpoint();
+        };
+        os.run();
+    }
+    ASSERT_FALSE(ckpt.empty());
+
+    // ... and resume it on a degraded fabric, migrating throughout.
+    OsConfig faultyCfg = OsConfig::dualServer();
+    faultyCfg.quantum = 2000;
+    faultyCfg.net.faults.seed = 0x0c0ffee;
+    faultyCfg.net.faults.dropProb = 0.25;
+    faultyCfg.net.faults.dupProb = 0.2;
+    ReplicatedOS resumed(bin, faultyCfg);
+    resumed.restore(ckpt);
+    ASSERT_FALSE(resumed.finished());
+    resumed.onQuantum = [](ReplicatedOS &self) {
+        self.migrateProcess(1 - self.threadNode(0));
+    };
+    OsRunResult res = resumed.run();
+    EXPECT_TRUE(res.finished);
+    EXPECT_EQ(res.output, ref.output);
+    EXPECT_EQ(res.exitCode, ref.retVal);
+    resumed.dsm().checkInvariants();
+}
+
+} // namespace
+} // namespace xisa

@@ -14,7 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "compiler/compile.hh"
+#include "dsm/dsm.hh"
 #include "ir/builder.hh"
 #include "ir/interp.hh"
 #include "os/os.hh"
@@ -273,9 +276,98 @@ TEST_P(FuzzTest, RandomProgramsSurviveAnyMigrationSchedule)
     EXPECT_EQ(got.exitCode, ref.retVal) << "seed " << GetParam();
     EXPECT_GE(os.migrations().size(), 2u) << "seed " << GetParam();
     os.dsm().checkInvariants();
+
+    // Same adversarial schedule on a degraded fabric: drops force
+    // retries, duplicates force idempotent re-application, and the
+    // observable outcome must still match the reference exactly.
+    OsConfig fcfg = cfg;
+    fcfg.net.faults.seed = 0xfa017 + static_cast<uint64_t>(GetParam());
+    fcfg.net.faults.dropProb = 0.25;
+    fcfg.net.faults.dupProb = 0.15;
+    fcfg.net.faults.spikeProb = 0.1;
+    ReplicatedOS fos(bin, fcfg);
+    fos.load(GetParam() % 2);
+    fos.onQuantum = [](ReplicatedOS &self) {
+        self.migrateProcess(1 - self.threadNode(0));
+    };
+    OsRunResult fgot = fos.run();
+    EXPECT_EQ(fgot.output, ref.output) << "faulty, seed " << GetParam();
+    EXPECT_EQ(fgot.exitCode, ref.retVal) << "faulty, seed " << GetParam();
+    fos.dsm().checkInvariants();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+/**
+ * Fault-image property: a random mix of DSM traffic driven through a
+ * lossy, duplicating, partition-prone link must leave the exact same
+ * final memory image as the same ops on a perfect link. 200 seeds; the
+ * op sequence is generated once per seed so both runs replay it
+ * identically.
+ */
+class FaultImageFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultImageFuzz, FaultyFinalImageMatchesFaultFree)
+{
+    constexpr uint64_t base = 0x10000000ull;
+    constexpr uint64_t words = 512; // spans two pages
+    const uint64_t seed = 0xace + static_cast<uint64_t>(GetParam());
+
+    struct Op {
+        int node;
+        uint64_t addr;
+        bool isWrite;
+        uint64_t value;
+    };
+    std::vector<Op> ops;
+    Rng gen(seed);
+    for (int i = 0; i < 300; ++i) {
+        Op op;
+        op.node = static_cast<int>(gen.below(3));
+        op.addr = base + gen.below(words) * 8;
+        op.isWrite = gen.below(2) == 0;
+        op.value = gen.next();
+        ops.push_back(op);
+    }
+
+    auto runOps = [&](DsmSpace &dsm) {
+        for (const Op &op : ops) {
+            if (op.isWrite) {
+                dsm.port(op.node).write(op.addr, &op.value, 8);
+            } else {
+                uint64_t sink = 0;
+                dsm.port(op.node).read(op.addr, &sink, 8);
+            }
+        }
+        dsm.checkInvariants();
+    };
+
+    Interconnect cleanNet;
+    DsmSpace clean(3, &cleanNet, {3.5, 2.4, 2.4});
+    runOps(clean);
+
+    Interconnect::Config fcfg;
+    fcfg.faults.seed = seed * 0x9e3779b97f4a7c15ull;
+    fcfg.faults.dropProb = 0.2;
+    fcfg.faults.dupProb = 0.15;
+    fcfg.faults.spikeProb = 0.1;
+    fcfg.faults.partitionPeriodMsgs = 32;
+    fcfg.faults.partitionLenMsgs = 4;
+    Interconnect faultyNet(fcfg);
+    DsmSpace faulty(3, &faultyNet, {3.5, 2.4, 2.4});
+    runOps(faulty);
+
+    for (uint64_t w = 0; w < words; ++w) {
+        uint64_t a = base + w * 8;
+        uint64_t vc = 0, vf = 0;
+        clean.peek(a, &vc, 8);
+        faulty.peek(a, &vf, 8);
+        ASSERT_EQ(vf, vc) << "seed " << seed << " word " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultImageFuzz,
+                         ::testing::Range(0, 200));
 
 } // namespace
 } // namespace xisa
