@@ -162,6 +162,10 @@ main(int argc, char **argv)
         auto *sim = new ClusterSim(makeHeterogeneousPool(true, 1.0),
                                    table, cc);
         sims.push_back(sim);
+        // Bind the handle once per sim; the per-set loop and the final
+        // row read it without re-hashing the dotted name.
+        const obs::Counter *retries =
+            sim->statRegistry().findCounter("xfault.retries");
         for (int set = 0; set < numSets; ++set) {
             auto jobs = makeSustainedSet(1000 + static_cast<uint64_t>(set));
             if (fa.numCrashes > 0) {
@@ -189,8 +193,7 @@ main(int argc, char **argv)
                     drop * 100, energy.mean(), makespan.mean(),
                     edp.mean(), crashes, failovers, restarts, lost,
                     static_cast<unsigned long long>(
-                        sim->statRegistry().counterValue(
-                            "xfault.retries")));
+                        retries ? retries->value() : 0));
         if (baseEdp > 0 && drop > 0)
             std::printf("   (EDP %+.1f%%)",
                         (edp.mean() / baseEdp - 1.0) * 100);

@@ -5,17 +5,135 @@
  * 1/2/4/8 threads -- instrumented vs. uninstrumented binaries. The
  * paper reports mostly <5%, occasionally negative (cache effects);
  * our I-cache model reproduces both behaviours.
+ *
+ * Doubles as the perf-smoke workload: every (workload, server, class,
+ * threads) cell is an independent simulation, so the cells run through
+ * the parallel sweep driver and the harness records wall time and
+ * simulated-MIPS to --json / --sweep-json for the CI regression gate.
+ * Stdout is byte-identical to the sequential harness (ordered merge)
+ * and is golden-checked.
  */
+
+#include <chrono>
+#include <cstring>
 
 #include "common.hh"
 
 using namespace xisa;
 using namespace xisa::bench;
 
-int
-main()
+namespace {
+
+struct Cell {
+    WorkloadId wl;
+    IsaId isa;
+    ProblemClass cls;
+    int threads;
+};
+
+struct CellResult {
+    double tBase = 0;       ///< simulated seconds, uninstrumented
+    double tInst = 0;       ///< simulated seconds, instrumented
+    uint64_t instrs = 0;    ///< simulated instructions, both runs
+    double hostSeconds = 0; ///< wall time of this cell on this host
+};
+
+double
+wallNow()
 {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+writeJsonHeader(std::FILE *f, const char *bench, bool quick,
+                int requestedThreads, size_t configs,
+                double wallSeconds)
+{
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"sweep_threads\": %d,\n"
+                 "  \"configs\": %zu,\n"
+                 "  \"wall_seconds\": %.6f,\n",
+                 bench, quick ? "quick" : "full", requestedThreads,
+                 configs, wallSeconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Harness-specific flags, peeled off before the shared obs flags.
+    std::string jsonPath, sweepJsonPath;
+    std::vector<char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        auto val = [&]() -> char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", argv[i]);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            setenv("XISA_QUICK", "1", 1);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            char *v = val();
+            if (!v)
+                return 2;
+            jsonPath = v;
+        } else if (std::strcmp(argv[i], "--sweep-json") == 0) {
+            char *v = val();
+            if (!v)
+                return 2;
+            sweepJsonPath = v;
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    ObsOptions obs =
+        parseObsArgs(static_cast<int>(rest.size()), rest.data());
+
     banner("Figures 6-9", "migration-point wrapper-code overhead (%)");
+
+    // Flatten the sweep in print order; the driver may run cells out of
+    // order but results come back indexed.
+    std::vector<Cell> cells;
+    for (WorkloadId wl : {WorkloadId::CG, WorkloadId::IS})
+        for (IsaId isa : {IsaId::Aether64, IsaId::Xeno64})
+            for (ProblemClass cls : classSweep())
+                for (int t : threadSweep())
+                    cells.push_back({wl, isa, cls, t});
+
+    const double t0 = wallNow();
+    std::vector<CellResult> results =
+        runSweep(cells.size(), [&](size_t i) {
+            const Cell &c = cells[i];
+            CellResult r;
+            double c0 = wallNow();
+            NodeSpec spec = c.isa == IsaId::Aether64
+                                ? makeAetherServer()
+                                : makeXenoServer();
+            Module mod = buildWorkload(c.wl, c.cls, c.threads);
+            CompileOptions plain;
+            plain.boundaryMigPoints = false;
+            MultiIsaBinary base = compileModule(mod, plain);
+            MultiIsaBinary inst = compileModule(mod);
+            OsRunResult rb = runSingleNode(base, spec);
+            OsRunResult ri = runSingleNode(inst, spec);
+            r.tBase = rb.makespanSeconds;
+            r.tInst = ri.makespanSeconds;
+            r.instrs = rb.totalInstrs + ri.totalInstrs;
+            r.hostSeconds = wallNow() - c0;
+            return r;
+        });
+    const double wallSeconds = wallNow() - t0;
+
+    // Ordered merge: same stdout as the sequential harness.
+    size_t i = 0;
     for (WorkloadId wl : {WorkloadId::CG, WorkloadId::IS}) {
         for (IsaId isa : {IsaId::Aether64, IsaId::Xeno64}) {
             NodeSpec spec = isa == IsaId::Aether64 ? makeAetherServer()
@@ -26,22 +144,86 @@ main()
                         "base(s)", "instrumented(s)", "overhead");
             for (ProblemClass cls : classSweep()) {
                 for (int t : threadSweep()) {
-                    Module mod = buildWorkload(wl, cls, t);
-                    CompileOptions plain;
-                    plain.boundaryMigPoints = false;
-                    MultiIsaBinary base = compileModule(mod, plain);
-                    MultiIsaBinary inst = compileModule(mod);
-                    double tBase =
-                        runSingleNode(base, spec).makespanSeconds;
-                    double tInst =
-                        runSingleNode(inst, spec).makespanSeconds;
-                    double overhead = (tInst / tBase - 1.0) * 100.0;
+                    const CellResult &r = results[i++];
+                    double overhead = (r.tInst / r.tBase - 1.0) * 100.0;
                     std::printf("%-6s %-7d %14.6f %14.6f %8.2f%%\n",
-                                className(cls), t, tBase, tInst,
+                                className(cls), t, r.tBase, r.tInst,
                                 overhead);
                 }
             }
         }
     }
+
+    uint64_t simInstrs = 0;
+    for (const CellResult &r : results)
+        simInstrs += r.instrs;
+
+    if (!jsonPath.empty()) {
+        std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        writeJsonHeader(f, "bench_fig06_overhead", quickMode(),
+                        sweepThreads(), cells.size(), wallSeconds);
+        std::fprintf(f,
+                     "  \"simulated_instrs\": %llu,\n"
+                     "  \"mips\": %.2f,\n"
+                     "  \"rows\": [\n",
+                     static_cast<unsigned long long>(simInstrs),
+                     simInstrs / wallSeconds / 1e6);
+        for (size_t k = 0; k < cells.size(); ++k) {
+            const Cell &c = cells[k];
+            const CellResult &r = results[k];
+            std::fprintf(
+                f,
+                "    {\"workload\": \"%s\", \"isa\": \"%s\", "
+                "\"class\": \"%s\", \"threads\": %d, "
+                "\"base_seconds\": %.9f, \"instrumented_seconds\": "
+                "%.9f, \"overhead_pct\": %.4f, \"instrs\": %llu}%s\n",
+                workloadName(c.wl),
+                c.isa == IsaId::Aether64 ? "Aether64" : "Xeno64",
+                className(c.cls), c.threads, r.tBase, r.tInst,
+                (r.tInst / r.tBase - 1.0) * 100.0,
+                static_cast<unsigned long long>(r.instrs),
+                k + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "perf json: %s\n", jsonPath.c_str());
+    }
+
+    if (!sweepJsonPath.empty()) {
+        std::FILE *f = std::fopen(sweepJsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         sweepJsonPath.c_str());
+            return 1;
+        }
+        writeJsonHeader(f, "bench_fig06_overhead", quickMode(),
+                        sweepThreads(), cells.size(), wallSeconds);
+        std::fprintf(f, "  \"cells\": [\n");
+        for (size_t k = 0; k < cells.size(); ++k) {
+            const Cell &c = cells[k];
+            std::fprintf(
+                f,
+                "    {\"index\": %zu, \"workload\": \"%s\", "
+                "\"isa\": \"%s\", \"class\": \"%s\", \"threads\": %d, "
+                "\"host_seconds\": %.6f}%s\n",
+                k, workloadName(c.wl),
+                c.isa == IsaId::Aether64 ? "Aether64" : "Xeno64",
+                className(c.cls), c.threads, results[k].hostSeconds,
+                k + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "sweep json: %s\n", sweepJsonPath.c_str());
+    }
+
+    // Per-cell registries die with their cell; only the tracer (armed
+    // by --trace-out, which also forces a sequential sweep) survives to
+    // the output stage.
+    obs::StatRegistry empty;
+    writeObsOutputs(obs, empty);
     return 0;
 }

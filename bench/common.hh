@@ -11,11 +11,14 @@
 #ifndef XISA_BENCH_COMMON_HH
 #define XISA_BENCH_COMMON_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "compiler/compile.hh"
 #include "machine/node.hh"
@@ -73,6 +76,68 @@ classSweep()
                : std::vector<ProblemClass>{ProblemClass::A,
                                            ProblemClass::B,
                                            ProblemClass::C};
+}
+
+/**
+ * Worker count of the sweep driver: XISA_BENCH_THREADS when set, else
+ * the hardware concurrency. Forced to 1 while the event tracer is
+ * armed -- the process-global Tracer and the ambient TraceCursor are
+ * unsynchronized by design (zero hot-path cost), so traced runs must
+ * stay single-threaded.
+ */
+inline int
+sweepThreads()
+{
+    if (obs::traceEnabled())
+        return 1;
+    if (const char *env = std::getenv("XISA_BENCH_THREADS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+/**
+ * Run `n` independent sweep configurations, possibly in parallel, and
+ * return their results in index order.
+ *
+ * Each call fn(i) must be self-contained: build its own module, own its
+ * ReplicatedOS / ClusterSim (and thus its own StatRegistry), and derive
+ * any seed deterministically from `i` -- never from shared state. Under
+ * those rules the schedule cannot affect the results, so a parallel
+ * sweep is bit-identical to the sequential one: workers pull indices
+ * from an atomic counter, write into their own slot, and the caller
+ * prints from the ordered vector after the join.
+ */
+template <typename Fn>
+auto
+runSweep(size_t n, Fn fn) -> std::vector<decltype(fn(size_t{0}))>
+{
+    using R = decltype(fn(size_t{0}));
+    std::vector<R> results(n);
+    size_t workers = static_cast<size_t>(sweepThreads());
+    if (workers > n)
+        workers = n ? n : 1;
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            results[i] = fn(i);
+        return results;
+    }
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1))
+                results[i] = fn(i);
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    return results;
 }
 
 /**

@@ -111,9 +111,13 @@ StackTransformer::transform(const ThreadContext &src, uint32_t siteId,
     // track -- renders the walked call chain under the transform span.
     if (obs::traceEnabled()) {
         const obs::TraceCursor cur = obs::traceCursor();
+        if (frameSpanNames_.size() < bin_.ir.functions.size())
+            frameSpanNames_.resize(bin_.ir.functions.size());
         for (const Frame &fr : frames) {
-            const char *fn = obs::intern("frame " +
-                                         bin_.ir.func(fr.funcId).name);
+            const char *&fn = frameSpanNames_[fr.funcId];
+            if (!fn)
+                fn = obs::intern("frame " +
+                                 bin_.ir.func(fr.funcId).name);
             obs::Tracer::global().instant(cur.track, "stacktransform",
                                           fn, cur.tsSeconds);
         }

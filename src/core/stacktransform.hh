@@ -112,6 +112,9 @@ class StackTransformer
                kNumIsas> byRetAddr_;
     /** Code-address indices, one per ISA. */
     std::array<CodeMap, kNumIsas> codeMaps_;
+    /** Interned "frame <name>" trace labels per funcId, resolved on the
+     *  first traced walk of each function. */
+    std::vector<const char *> frameSpanNames_;
 
     // Cumulative work across all transforms (registry-backed).
     obs::Counter transforms_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/trace.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace xisa {
@@ -31,7 +32,7 @@ traceFault(const char *name, uint64_t cyc, double freqGHz)
 DsmSpace::DsmSpace(int numNodes, Interconnect *net,
                    std::vector<double> freqGHz, DsmMode mode)
     : numNodes_(numNodes), net_(net), freqGHz_(std::move(freqGHz)),
-      mode_(mode)
+      tlbEnabled_(!slowPathRequested()), mode_(mode)
 {
     if (numNodes < 1)
         fatal("DsmSpace needs at least one node");
@@ -96,6 +97,39 @@ DsmSpace::port(int node)
     return ports_[static_cast<size_t>(node)];
 }
 
+void
+DsmSpace::flushTlb(int node)
+{
+    ports_[static_cast<size_t>(node)].tlbFlush();
+}
+
+void
+DsmSpace::flushAllTlbs()
+{
+    for (Port &p : ports_)
+        p.tlbFlush();
+}
+
+void
+DsmSpace::tlbFill(int node, uint64_t vpage, bool writable)
+{
+    if (!tlbEnabled_)
+        return;
+    if (mode_ == DsmMode::RemoteAccess) {
+        // Only node-local home pages are free to access directly.
+        if (isVdso(vpage) || homeOf(node, vpage) != node)
+            return;
+        uint8_t *base = mem_[static_cast<size_t>(node)].page(vpage);
+        ports_[static_cast<size_t>(node)].tlbInstallRead(vpage, base);
+        ports_[static_cast<size_t>(node)].tlbInstallWrite(vpage, base);
+        return;
+    }
+    uint8_t *base = mem_[static_cast<size_t>(node)].page(vpage);
+    ports_[static_cast<size_t>(node)].tlbInstallRead(vpage, base);
+    if (writable && !isVdso(vpage))
+        ports_[static_cast<size_t>(node)].tlbInstallWrite(vpage, base);
+}
+
 DsmSpace::Dir &
 DsmSpace::dir(uint64_t vpage)
 {
@@ -152,8 +186,12 @@ DsmSpace::faultRead(int node, uint64_t vpage)
         std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
                     mem_[static_cast<size_t>(holder)].page(vpage),
                     vm::kPageSize);
-        if (d.state[static_cast<size_t>(holder)] == PageState::Modified)
+        if (d.state[static_cast<size_t>(holder)] == PageState::Modified) {
             d.state[static_cast<size_t>(holder)] = PageState::Shared;
+            // Exclusive-ownership downgrade: the holder loses its
+            // cached write translation (reads stay valid).
+            ports_[static_cast<size_t>(holder)].tlbDropWrite(vpage);
+        }
         d.state[static_cast<size_t>(node)] = PageState::Shared;
     };
     auto sent = net_->reliableSend(vm::kPageSize + kMsgHeader,
@@ -216,6 +254,8 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
             auto applyInval = [&] {
                 d.state[static_cast<size_t>(n)] = PageState::Invalid;
                 mem_[static_cast<size_t>(n)].dropPage(vpage);
+                // The backing page is gone; both translations die.
+                ports_[static_cast<size_t>(n)].tlbDropPage(vpage);
             };
             auto sent = net_->reliableSend(
                 kMsgHeader, freqGHz_[static_cast<size_t>(node)]);
@@ -255,8 +295,10 @@ DsmSpace::Port::read(uint64_t addr, void *dst, unsigned n)
         uint64_t vpage = addr / vm::kPageSize;
         uint64_t inPage = std::min<uint64_t>(
             left, vm::kPageSize - addr % vm::kPageSize);
-        if (dsm_.mode_ == DsmMode::RemoteAccess &&
-            !dsm_.isVdso(vpage)) {
+        if (tryRead(addr, d, static_cast<unsigned>(inPage))) {
+            // Cached translation: the copy is local and free.
+        } else if (dsm_.mode_ == DsmMode::RemoteAccess &&
+                   !dsm_.isVdso(vpage)) {
             int home = dsm_.homeOf(node_, vpage);
             if (home != node_) {
                 // Word-granular remote load over the interconnect.
@@ -269,9 +311,11 @@ DsmSpace::Port::read(uint64_t addr, void *dst, unsigned n)
                 dsm_.extraCycles_.add(c);
             }
             dsm_.mem_[static_cast<size_t>(home)].read(addr, d, inPage);
+            dsm_.tlbFill(node_, vpage, /*writable=*/false);
         } else {
             cyc += dsm_.faultRead(node_, vpage);
             dsm_.mem_[static_cast<size_t>(node_)].read(addr, d, inPage);
+            dsm_.tlbFill(node_, vpage, /*writable=*/false);
         }
         addr += inPage;
         d += inPage;
@@ -290,8 +334,10 @@ DsmSpace::Port::write(uint64_t addr, const void *src, unsigned n)
         uint64_t vpage = addr / vm::kPageSize;
         uint64_t inPage = std::min<uint64_t>(
             left, vm::kPageSize - addr % vm::kPageSize);
-        if (dsm_.mode_ == DsmMode::RemoteAccess &&
-            !dsm_.isVdso(vpage)) {
+        if (tryWrite(addr, s, static_cast<unsigned>(inPage))) {
+            // Cached writable translation: exclusive owner, free.
+        } else if (dsm_.mode_ == DsmMode::RemoteAccess &&
+                   !dsm_.isVdso(vpage)) {
             int home = dsm_.homeOf(node_, vpage);
             if (home != node_) {
                 uint64_t c = dsm_.net_->charge(
@@ -303,9 +349,11 @@ DsmSpace::Port::write(uint64_t addr, const void *src, unsigned n)
                 dsm_.extraCycles_.add(c);
             }
             dsm_.mem_[static_cast<size_t>(home)].write(addr, s, inPage);
+            dsm_.tlbFill(node_, vpage, /*writable=*/true);
         } else {
             cyc += dsm_.faultWrite(node_, vpage);
             dsm_.mem_[static_cast<size_t>(node_)].write(addr, s, inPage);
+            dsm_.tlbFill(node_, vpage, /*writable=*/true);
         }
         addr += inPage;
         s += inPage;
@@ -355,6 +403,8 @@ DsmSpace::broadcastWrite64(uint64_t addr, uint64_t value)
     Dir &d = dir(vpage);
     for (int n = 0; n < numNodes_; ++n) {
         mem_[static_cast<size_t>(n)].write(addr, &value, 8);
+        // Everyone is demoted to Shared; cached write rights expire.
+        ports_[static_cast<size_t>(n)].tlbDropWrite(vpage);
         d.state[static_cast<size_t>(n)] = PageState::Shared;
     }
 }
@@ -377,6 +427,23 @@ DsmSpace::peek(uint64_t addr, void *dst, size_t n)
         d += inPage;
         n -= inPage;
     }
+}
+
+std::map<uint64_t, std::vector<uint8_t>>
+DsmSpace::pageImage()
+{
+    std::map<uint64_t, std::vector<uint8_t>> image;
+    for (const auto &[vpage, d] : dirs_) {
+        int holder = anyHolder(d);
+        if (holder < 0)
+            continue;
+        std::vector<uint8_t> bytes(vm::kPageSize);
+        mem_[static_cast<size_t>(holder)].read(vpage * vm::kPageSize,
+                                               bytes.data(),
+                                               bytes.size());
+        image.emplace(vpage, std::move(bytes));
+    }
+    return image;
 }
 
 uint64_t
@@ -486,6 +553,7 @@ DsmSpace::loadState(ByteReader &r)
         uint64_t vpage = r.u64();
         home_[vpage] = static_cast<int>(r.u32());
     }
+    flushAllTlbs();
     checkInvariants();
 }
 } // namespace xisa

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -102,6 +103,13 @@ class DsmSpace
     /** Read bytes with no protocol action or cost (kernel/debug use;
      *  reads the most recent copy). */
     void peek(uint64_t addr, void *dst, size_t n);
+    /**
+     * Authoritative bytes of every known page (the most recent copy,
+     * as peek() would read them), keyed by vpage. Differential tests
+     * compare the images of two runs; identical maps mean identical
+     * final memory.
+     */
+    std::map<uint64_t, std::vector<uint8_t>> pageImage();
     /** Write bytes through the protocol on behalf of `node` (runtime
      *  use, e.g. stack transformation); returns charged cycles. */
     uint64_t poke(int node, uint64_t addr, const void *src, size_t n);
@@ -118,6 +126,15 @@ class DsmSpace
      * write_faults, invalidations, pages_in).
      */
     void registerStats(obs::StatRegistry &reg);
+
+    /**
+     * Drop every TLB entry cached by `node`'s port (TLB shootdown).
+     * The OS calls this on thread migration; the protocol invalidates
+     * individual entries itself on page steal/invalidation/drop.
+     */
+    void flushTlb(int node);
+    /** Drop every port's TLB (snapshot restore, tests). */
+    void flushAllTlbs();
 
     /** Per-node page state (for tests and diagnostics). */
     PageState state(int node, uint64_t vpage) const;
@@ -149,6 +166,11 @@ class DsmSpace
         uint64_t write(uint64_t addr, const void *src,
                        unsigned n) override;
 
+        // Re-exposed so DsmSpace (the directory) can fill entries; the
+        // class itself is private to DsmSpace.
+        using MemPort::tlbInstallRead;
+        using MemPort::tlbInstallWrite;
+
       private:
         DsmSpace &dsm_;
         int node_;
@@ -165,9 +187,22 @@ class DsmSpace
     int anyHolder(const Dir &d) const;
     bool isVdso(uint64_t vpage) const;
 
+    /**
+     * Install TLB entries on `node`'s port after a slow-path access
+     * left the page locally valid: the read translation whenever the
+     * node holds a copy, the write translation only while it is the
+     * exclusive (Modified) owner. The vDSO page is never cached for
+     * writes (user stores to it are local-only by design and must keep
+     * taking the slow path). RemoteAccess mode caches only pages homed
+     * on the accessing node -- remote accesses pay per-access charges
+     * and must never be short-circuited.
+     */
+    void tlbFill(int node, uint64_t vpage, bool writable);
+
     int numNodes_;
     Interconnect *net_;
     std::vector<double> freqGHz_;
+    bool tlbEnabled_ = true; ///< false under XISA_SLOW_PATH
     DsmMode mode_ = DsmMode::MigratePages;
     /** RemoteAccess mode: home node of each page (first toucher). */
     std::unordered_map<uint64_t, int> home_;

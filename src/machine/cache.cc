@@ -25,11 +25,10 @@ Cache::registerStats(obs::StatRegistry &reg, const std::string &prefix)
 }
 
 uint32_t
-Cache::access(uint64_t addr)
+Cache::accessSlow(uint64_t lineAddr)
 {
     ++accesses_;
     ++clock_;
-    uint64_t lineAddr = addr >> lineShift_;
     uint32_t set = static_cast<uint32_t>(lineAddr % numSets_);
     uint64_t tag = lineAddr / numSets_;
     Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
@@ -38,6 +37,8 @@ Cache::access(uint64_t addr)
         Line &line = base[w];
         if (line.valid && line.tag == tag) {
             line.lastUse = clock_;
+            lastLineAddr_ = lineAddr;
+            lastLine_ = &line;
             return 0;
         }
         if (!line.valid) {
@@ -50,6 +51,8 @@ Cache::access(uint64_t addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = clock_;
+    lastLineAddr_ = lineAddr;
+    lastLine_ = victim;
     return cfg_.missPenalty;
 }
 
@@ -58,16 +61,8 @@ Cache::flush()
 {
     for (Line &line : lines_)
         line.valid = false;
-}
-
-uint32_t
-accessThrough(Cache &l1, Cache &l2, uint64_t addr, uint32_t memPenalty)
-{
-    uint32_t penalty = l1.access(addr);
-    if (penalty == 0)
-        return 0;
-    uint32_t p2 = l2.access(addr);
-    return p2 == 0 ? penalty : penalty + p2 + memPenalty;
+    lastLineAddr_ = ~0ull;
+    lastLine_ = nullptr;
 }
 
 } // namespace xisa

@@ -55,8 +55,24 @@ class Cache
     /**
      * Touch `addr`; returns this level's miss penalty in cycles (0 on
      * hit). The caller chains levels (L1 miss -> L2 access).
+     *
+     * The inline body is a last-line memo: a repeat access to the most
+     * recently touched line skips the set scan and just refreshes its
+     * LRU stamp -- byte-identical counter and replacement behaviour to
+     * the full lookup (the memo always names the last line touched, and
+     * every install/evict goes through accessSlow which re-points it).
      */
-    uint32_t access(uint64_t addr);
+    uint32_t
+    access(uint64_t addr)
+    {
+        uint64_t lineAddr = addr >> lineShift_;
+        if (lineAddr == lastLineAddr_) {
+            ++accesses_;
+            lastLine_->lastUse = ++clock_;
+            return 0;
+        }
+        return accessSlow(lineAddr);
+    }
 
     /** Deprecated shim over the registry-backed counters. */
     CacheStats stats() const
@@ -86,18 +102,30 @@ class Cache
         bool valid = false;
     };
 
+    /** Full set scan for addresses missing the last-line memo. */
+    uint32_t accessSlow(uint64_t lineAddr);
+
     CacheConfig cfg_;
     uint32_t numSets_;
     uint32_t lineShift_;
     std::vector<Line> lines_; ///< numSets_ * assoc, set-major
     uint64_t clock_ = 0;
+    uint64_t lastLineAddr_ = ~0ull; ///< memo tag (line address)
+    Line *lastLine_ = nullptr;      ///< line of the last access
     obs::Counter accesses_;
     obs::Counter misses_;
 };
 
 /** L1 + shared-L2 access chain; returns total penalty cycles. */
-uint32_t accessThrough(Cache &l1, Cache &l2, uint64_t addr,
-                       uint32_t memPenalty);
+inline uint32_t
+accessThrough(Cache &l1, Cache &l2, uint64_t addr, uint32_t memPenalty)
+{
+    uint32_t penalty = l1.access(addr);
+    if (penalty == 0)
+        return 0;
+    uint32_t p2 = l2.access(addr);
+    return p2 == 0 ? penalty : penalty + p2 + memPenalty;
+}
 
 } // namespace xisa
 

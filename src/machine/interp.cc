@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/trace.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace xisa {
@@ -29,9 +30,29 @@ evalCond(Cond cond, const Flags &f)
 
 Interp::Interp(const MultiIsaBinary &bin, IsaId isa, const NodeSpec &spec)
     : bin_(bin), isa_(isa), abi_(AbiInfo::of(isa)), spec_(spec),
-      codeMap_(bin, isa)
+      codeMap_(bin, isa), fastPath_(!slowPathRequested()),
+      pre_(bin.ir.functions.size())
 {
     XISA_CHECK(spec.isa == isa, "node ISA does not match interpreter ISA");
+}
+
+const std::vector<PreInstr> &
+Interp::predecoded(uint32_t funcId)
+{
+    std::vector<PreInstr> &p = pre_[funcId];
+    const FuncImage &img = bin_.image[static_cast<int>(isa_)][funcId];
+    if (!p.empty() || img.code.empty())
+        return p;
+    const uint64_t base = bin_.funcAddr[static_cast<int>(isa_)][funcId];
+    p.resize(img.code.size());
+    for (size_t i = 0; i < img.code.size(); ++i) {
+        PreInstr &pi = p[i];
+        pi.in = img.code[i];
+        pi.fetchAddr = base + img.instrOff[i];
+        pi.nextAddr = base + img.instrOff[i + 1];
+        pi.cost = spec_.cost(pi.in.op);
+    }
+    return p;
 }
 
 void
@@ -84,17 +105,31 @@ StepResult
 Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
             uint64_t maxInstrs)
 {
+    return fastPath_ ? runImpl<true>(ctx, mem, core, l2, maxInstrs)
+                     : runImpl<false>(ctx, mem, core, l2, maxInstrs);
+}
+
+template <bool kFast>
+StepResult
+Interp::runImpl(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
+                uint64_t maxInstrs)
+{
     XISA_CHECK(ctx.isa == isa_, "thread context on wrong ISA");
     StepResult res;
     const int isaIdx = static_cast<int>(isa_);
     const FuncImage *img = &bin_.image[isaIdx][ctx.pc.funcId];
     uint64_t funcBase = bin_.funcAddr[isaIdx][ctx.pc.funcId];
     uint32_t funcId = ctx.pc.funcId;
+    [[maybe_unused]] const PreInstr *pre = nullptr;
+    if constexpr (kFast)
+        pre = predecoded(funcId).data();
 
     auto switchFunc = [&](uint32_t fid) {
         funcId = fid;
         img = &bin_.image[isaIdx][fid];
         funcBase = bin_.funcAddr[isaIdx][fid];
+        if constexpr (kFast)
+            pre = predecoded(fid).data();
     };
 
     auto finish = [&](StopReason why) {
@@ -124,11 +159,18 @@ Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
 
     while (res.instrsRun < maxInstrs) {
         XISA_CHECK(idx < img->code.size(), "PC past end of function");
-        const MachInstr &in = img->code[idx];
+        const MachInstr &in = kFast ? pre[idx].in : img->code[idx];
 
         // Instruction fetch through the I-cache.
-        uint64_t fetchAddr = funcBase + img->instrOff[idx];
-        uint64_t cyc = spec_.cost(in.op);
+        uint64_t fetchAddr;
+        uint64_t cyc;
+        if constexpr (kFast) {
+            fetchAddr = pre[idx].fetchAddr;
+            cyc = pre[idx].cost;
+        } else {
+            fetchAddr = funcBase + img->instrOff[idx];
+            cyc = spec_.cost(in.op);
+        }
         cyc += accessThrough(core.l1i, l2, fetchAddr,
                              spec_.memPenaltyCycles);
 
@@ -142,16 +184,27 @@ Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
         };
         auto load = [&](uint64_t addr, unsigned n) -> uint64_t {
             dataAccess(addr);
+            uint64_t v = 0;
+            // TLB hits are exactly the accesses the slow path would
+            // complete for zero extra cycles with no protocol action,
+            // so short-circuiting them preserves every stat.
+            if constexpr (kFast) {
+                if (mem.tryRead(addr, &v, n))
+                    return v;
+            }
 #if XISA_TRACE
             if (tracing)
                 obs::traceCursor().tsSeconds = nowTs(cyc + extra);
 #endif
-            uint64_t v = 0;
             extra += mem.read(addr, &v, n);
             return v;
         };
         auto store = [&](uint64_t addr, uint64_t v, unsigned n) {
             dataAccess(addr);
+            if constexpr (kFast) {
+                if (mem.tryWrite(addr, &v, n))
+                    return;
+            }
 #if XISA_TRACE
             if (tracing)
                 obs::traceCursor().tsSeconds = nowTs(cyc + extra);
@@ -446,7 +499,8 @@ Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
                 res.trapCallSite = in.callSiteId;
                 return finish(StopReason::BuiltinTrap);
             }
-            uint64_t ra = funcBase + img->instrOff[idx + 1];
+            uint64_t ra = kFast ? pre[idx].nextAddr
+                                : funcBase + img->instrOff[idx + 1];
             if (abi_.retAddrOnStack) {
                 ctx.gpr[abi_.spReg] -= 8;
                 store(ctx.gpr[abi_.spReg], ra, 8);
@@ -468,7 +522,8 @@ Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
                 res.trapCallSite = in.callSiteId;
                 return finish(StopReason::BuiltinTrap);
             }
-            uint64_t ra = funcBase + img->instrOff[idx + 1];
+            uint64_t ra = kFast ? pre[idx].nextAddr
+                                : funcBase + img->instrOff[idx + 1];
             if (abi_.retAddrOnStack) {
                 ctx.gpr[abi_.spReg] -= 8;
                 store(ctx.gpr[abi_.spReg], ra, 8);

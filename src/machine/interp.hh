@@ -86,6 +86,21 @@ class MigCheckObserver
                             uint64_t instrsNow) = 0;
 };
 
+/**
+ * One predecoded instruction of the fast-path engine (DESIGN.md §7).
+ * Everything the dispatch loop used to re-derive per visit -- the
+ * instruction fetch address (funcBase + instrOff[idx]), the address of
+ * the next instruction (the return address for calls), and the per-op
+ * base cycle cost -- is resolved once per function and kept in one
+ * dense array the loop indexes directly.
+ */
+struct PreInstr {
+    MachInstr in;
+    uint64_t fetchAddr = 0; ///< I-cache address of this instruction
+    uint64_t nextAddr = 0;  ///< address of instr idx+1 (call return)
+    uint8_t cost = 0;       ///< NodeSpec::cost(op), resolved once
+};
+
 /** Machine-code interpreter for one ISA of one binary. */
 class Interp
 {
@@ -137,7 +152,23 @@ class Interp
     IsaId isa() const { return isa_; }
     const CodeMap &codeMap() const { return codeMap_; }
 
+    /** True when the predecoded fast path is active (default; cleared
+     *  when constructed under XISA_SLOW_PATH). */
+    bool fastPath() const { return fastPath_; }
+    /** Force the reference or fast dispatch loop (differential tests). */
+    void setFastPath(bool on) { fastPath_ = on; }
+
+    /** Predecoded stream of one function (built on first use). */
+    const std::vector<PreInstr> &predecoded(uint32_t funcId);
+
   private:
+    /** The dispatch loop, instantiated once per engine: kFast indexes
+     *  the predecoded stream, !kFast re-derives everything per step
+     *  (the XISA_SLOW_PATH reference semantics). */
+    template <bool kFast>
+    StepResult runImpl(ThreadContext &ctx, MemPort &mem, Core &core,
+                       Cache &l2, uint64_t maxInstrs);
+
     const MultiIsaBinary &bin_;
     IsaId isa_;
     const AbiInfo &abi_;
@@ -145,6 +176,8 @@ class Interp
     CodeMap codeMap_;
     MigCheckObserver *observer_ = nullptr;
     bool profiling_ = false;
+    bool fastPath_ = true;
+    std::vector<std::vector<PreInstr>> pre_; ///< [funcId][instr idx]
     std::vector<std::vector<uint64_t>> profile_;
 };
 

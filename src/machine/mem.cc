@@ -36,28 +36,39 @@ SimMemory::dropPage(uint64_t vpage)
 void
 SimMemory::read(uint64_t addr, void *dst, size_t n)
 {
+    uint64_t off = addr % vm::kPageSize;
+    if (off + n <= vm::kPageSize) {
+        // Page-contiguous run: one lookup, one memcpy.
+        std::memcpy(dst, page(addr / vm::kPageSize) + off, n);
+        return;
+    }
     uint8_t *d = static_cast<uint8_t *>(dst);
     while (n > 0) {
-        size_t chunk =
-            std::min<size_t>(n, vm::kPageSize - addr % vm::kPageSize);
-        std::memcpy(d, at(addr), chunk);
+        size_t chunk = std::min<size_t>(n, vm::kPageSize - off);
+        std::memcpy(d, page(addr / vm::kPageSize) + off, chunk);
         addr += chunk;
         d += chunk;
         n -= chunk;
+        off = 0;
     }
 }
 
 void
 SimMemory::write(uint64_t addr, const void *src, size_t n)
 {
+    uint64_t off = addr % vm::kPageSize;
+    if (off + n <= vm::kPageSize) {
+        std::memcpy(page(addr / vm::kPageSize) + off, src, n);
+        return;
+    }
     const uint8_t *s = static_cast<const uint8_t *>(src);
     while (n > 0) {
-        size_t chunk =
-            std::min<size_t>(n, vm::kPageSize - addr % vm::kPageSize);
-        std::memcpy(at(addr), s, chunk);
+        size_t chunk = std::min<size_t>(n, vm::kPageSize - off);
+        std::memcpy(page(addr / vm::kPageSize) + off, s, chunk);
         addr += chunk;
         s += chunk;
         n -= chunk;
+        off = 0;
     }
 }
 

@@ -256,6 +256,15 @@ StatRegistry::find(const std::string &name) const
     return it == stats_.end() ? nullptr : it->second;
 }
 
+Counter *
+StatRegistry::findCounter(const std::string &name) const
+{
+    Stat *s = find(name);
+    if (!s || s->kind() != StatKind::Counter)
+        return nullptr;
+    return static_cast<Counter *>(s);
+}
+
 uint64_t
 StatRegistry::counterValue(const std::string &name) const
 {

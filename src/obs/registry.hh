@@ -184,6 +184,14 @@ class StatRegistry
 
     /** Look a stat up by full name; nullptr if absent. */
     Stat *find(const std::string &name) const;
+    /**
+     * Typed lookup for hot loops: resolve the dotted name ONCE, keep the
+     * returned handle, and bump through it -- never re-hash the name per
+     * event. The handle stays valid until the counter detaches (component
+     * destruction or registry teardown). Nullptr if absent or not a
+     * counter.
+     */
+    Counter *findCounter(const std::string &name) const;
     /** Convenience: a counter's value, or 0 if no such counter. */
     uint64_t counterValue(const std::string &name) const;
 

@@ -376,8 +376,12 @@ ReplicatedOS::execBuiltin(OsThread &t, uint32_t funcId)
     if (tracing) {
         double bt0 = coreTime(t.node, t.core);
         obs::setTraceCursor(t.tid, bt0);
-        obs::Tracer::global().begin(t.tid, "os",
-                                    obs::intern(callee.name), bt0);
+        if (builtinSpanNames_.size() <= funcId)
+            builtinSpanNames_.resize(bin_.ir.functions.size());
+        const char *&span = builtinSpanNames_[funcId];
+        if (!span)
+            span = obs::intern(callee.name);
+        obs::Tracer::global().begin(t.tid, "os", span, bt0);
     }
 #endif
     chargeKernel(t, nr.spec.cost(MOp::SysCall));
@@ -686,6 +690,11 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
         src.interp->finishTrap(t.ctx, Type::Void, 0, 0);
         return;
     }
+    // TLB shootdown on both kernels: the thread's working set is about
+    // to be pulled across, so cached translations on either side must
+    // not short-circuit the coherence traffic the move will cause.
+    dsm_->flushTlb(t.node);
+    dsm_->flushTlb(dest);
     t.node = dest;
     t.core = pickCore(dest);
     t.ctx = newCtx;

@@ -257,6 +257,9 @@ class ReplicatedOS
     std::vector<std::string> output_;
     std::vector<MigrationEvent> migrations_;
     uint64_t totalInstrs_ = 0;
+    /** Interned trace span name per builtin funcId, resolved on first
+     *  call so tracing never re-interns per event. */
+    std::vector<const char *> builtinSpanNames_;
 
     // OS-service stats (registered under os.* / machine.* / sched.*).
     obs::Counter quanta_;

@@ -96,9 +96,18 @@ ClusterSim::tryStart(MachineState &ms, int m, const Job &job, double now)
     ms.running.push_back(rj);
     ms.usedThreads += job.threads;
     ++jobsStarted_;
-    OBS_TRACE_BEGIN(kJobTrackBase + job.id, "sched",
-                    obs::intern("job" + std::to_string(job.id)), now);
+    OBS_TRACE_BEGIN(kJobTrackBase + job.id, "sched", jobSpanName(job.id),
+                    now);
     return true;
+}
+
+const char *
+ClusterSim::jobSpanName(int id)
+{
+    const char *&span = jobSpanNames_[id];
+    if (!span)
+        span = obs::intern("job" + std::to_string(id));
+    return span;
 }
 
 int

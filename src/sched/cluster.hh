@@ -167,6 +167,9 @@ class ClusterSim
      *  the restart overhead; parks it in the restart queue otherwise. */
     void placeRestart(std::vector<MachineState> &st, int m,
                       RunningJob rj, double now);
+    /** Interned trace span name of a job, cached per job id (restarts
+     *  and rebalances re-begin the span without re-interning). */
+    const char *jobSpanName(int id);
 
     std::vector<Machine> machines_;
     const JobProfileTable &profiles_;
@@ -189,6 +192,8 @@ class ClusterSim
     obs::Counter restartsStat_;
     obs::Counter checkpointsStat_;
     obs::Gauge lostSecondsStat_;
+
+    std::map<int, const char *> jobSpanNames_; ///< job id -> interned
 };
 
 } // namespace xisa

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tiny environment-variable helpers shared by the runtime knobs.
+ */
+
+#ifndef XISA_UTIL_ENV_HH
+#define XISA_UTIL_ENV_HH
+
+#include <cstdlib>
+
+namespace xisa {
+
+/** True if `name` is set to a non-empty value other than "0". */
+inline bool
+envFlag(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+/**
+ * True if XISA_SLOW_PATH is set: components built while it is set run
+ * the reference (pre-predecode, pre-TLB) execution paths. The flag is
+ * sampled at component construction, so differential tests flip it
+ * between constructing the reference and fast instances.
+ */
+inline bool
+slowPathRequested()
+{
+    return envFlag("XISA_SLOW_PATH");
+}
+
+} // namespace xisa
+
+#endif // XISA_UTIL_ENV_HH

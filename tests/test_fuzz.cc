@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
 
 #include "compiler/compile.hh"
 #include "dsm/dsm.hh"
@@ -368,6 +369,56 @@ TEST_P(FaultImageFuzz, FaultyFinalImageMatchesFaultFree)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultImageFuzz,
                          ::testing::Range(0, 200));
+
+/**
+ * Fast-path differential property (DESIGN.md §7): for random programs
+ * under an adversarial migration schedule, the predecoded/TLB engine
+ * and the XISA_SLOW_PATH reference must agree on every observable --
+ * output, exit code, instruction count, simulated makespan, every stat
+ * value, and the final memory image. 100 seeds.
+ */
+class FastSlowFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastSlowFuzz, FastPathIsObservationallyIdentical)
+{
+    Module mod = FuzzProgram(0xfa57 + GetParam() * 6151).build();
+    MultiIsaBinary bin = compileModule(mod);
+
+    struct Capture {
+        OsRunResult res;
+        std::map<std::string, double> stats;
+        std::map<uint64_t, std::vector<uint8_t>> image;
+    };
+    auto capture = [&]() {
+        OsConfig cfg = OsConfig::dualServer();
+        cfg.quantum = 150 + GetParam() * 13;
+        ReplicatedOS os(bin, cfg);
+        os.load(GetParam() % 2);
+        os.onQuantum = [](ReplicatedOS &self) {
+            self.migrateProcess(1 - self.threadNode(0));
+        };
+        Capture c;
+        c.res = os.run();
+        c.stats = os.statRegistry().snapshot();
+        c.image = os.dsm().pageImage();
+        return c;
+    };
+
+    Capture fast = capture();
+    setenv("XISA_SLOW_PATH", "1", 1);
+    Capture slow = capture();
+    unsetenv("XISA_SLOW_PATH");
+
+    ASSERT_EQ(fast.res.output, slow.res.output) << "seed " << GetParam();
+    ASSERT_EQ(fast.res.exitCode, slow.res.exitCode);
+    ASSERT_EQ(fast.res.totalInstrs, slow.res.totalInstrs);
+    ASSERT_EQ(fast.res.makespanSeconds, slow.res.makespanSeconds);
+    ASSERT_TRUE(fast.image == slow.image)
+        << "seed " << GetParam() << ": final memory images differ";
+    ASSERT_EQ(fast.stats, slow.stats) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastSlowFuzz, ::testing::Range(0, 100));
 
 } // namespace
 } // namespace xisa

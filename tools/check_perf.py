@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate.
+
+Compares a freshly generated BENCH_interp.json against the checked-in
+baseline (bench/baselines/BENCH_interp.json):
+
+  - Simulation metrics (simulated instructions, per-cell simulated
+    seconds and overheads) are machine-independent and must match the
+    baseline EXACTLY -- any drift is a semantics change, not a perf
+    regression, and always fails.
+  - Wall time is machine-dependent; the gate only fails when the fresh
+    run is more than --max-regression (default 25%) slower than the
+    baseline recorded wall time. Faster is always fine.
+
+Exit status: 0 ok, 1 regression/mismatch, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def row_key(row):
+    return (row["workload"], row["isa"], row["class"], row["threads"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="BENCH_interp.json from this run")
+    ap.add_argument("baseline", help="checked-in baseline json")
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="allowed fractional wall-time slowdown "
+                         "(default 0.25 = 25%%)")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    failures = []
+
+    if fresh.get("mode") != base.get("mode"):
+        failures.append(
+            f"mode mismatch: fresh={fresh.get('mode')} "
+            f"baseline={base.get('mode')}")
+
+    # --- exact simulation metrics -----------------------------------
+    if fresh.get("simulated_instrs") != base.get("simulated_instrs"):
+        failures.append(
+            "simulated_instrs drifted: "
+            f"fresh={fresh.get('simulated_instrs')} "
+            f"baseline={base.get('simulated_instrs')} "
+            "(semantics change, not a perf regression)")
+
+    fresh_rows = {row_key(r): r for r in fresh.get("rows", [])}
+    base_rows = {row_key(r): r for r in base.get("rows", [])}
+    if set(fresh_rows) != set(base_rows):
+        failures.append(
+            f"row sets differ: only-fresh="
+            f"{sorted(set(fresh_rows) - set(base_rows))} only-baseline="
+            f"{sorted(set(base_rows) - set(fresh_rows))}")
+    else:
+        for key, br in base_rows.items():
+            fr = fresh_rows[key]
+            for field in ("base_seconds", "instrumented_seconds",
+                          "instrs"):
+                if fr[field] != br[field]:
+                    failures.append(
+                        f"{key}: {field} drifted "
+                        f"{br[field]} -> {fr[field]}")
+
+    # --- wall-time gate ---------------------------------------------
+    fw = fresh.get("wall_seconds")
+    bw = base.get("wall_seconds")
+    if not fw or not bw:
+        failures.append("wall_seconds missing from fresh or baseline")
+    else:
+        slowdown = fw / bw - 1.0
+        print(f"wall time: baseline {bw:.3f}s, fresh {fw:.3f}s "
+              f"({slowdown * 100:+.1f}%)")
+        if slowdown > args.max_regression:
+            failures.append(
+                f"wall-time regression {slowdown * 100:.1f}% exceeds "
+                f"the {args.max_regression * 100:.0f}% budget")
+
+    if failures:
+        for f in failures:
+            print(f"check_perf: FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"check_perf: OK ({len(base_rows)} cells, "
+          f"mips fresh={fresh.get('mips')}, baseline={base.get('mips')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
