@@ -1,0 +1,368 @@
+#include "check/audit.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/stacktransform.hh"
+#include "dsm/interconnect.hh"
+#include "isa/abi.hh"
+#include "obs/trace.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace xisa::check {
+
+namespace {
+
+const char *
+stateName(PageState s)
+{
+    switch (s) {
+      case PageState::Invalid: return "Invalid";
+      case PageState::Shared: return "Shared";
+      case PageState::Modified: return "Modified";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool
+auditRequested()
+{
+    return envFlag("XISA_AUDIT");
+}
+
+InvariantAuditor::InvariantAuditor(DsmSpace &dsm,
+                                   const obs::StatRegistry *reg,
+                                   const Interconnect *net,
+                                   std::string netPrefix, Context ctx)
+    : dsm_(dsm), reg_(reg), net_(net),
+      netPrefix_(std::move(netPrefix)), ctx_(ctx)
+{}
+
+void
+InvariantAuditor::attach()
+{
+    dsm_.setAuditHook(
+        [this](const char *what, uint64_t vpage) {
+            onProtocolStep(what, vpage);
+        });
+}
+
+void
+InvariantAuditor::onProtocolStep(const char *what, uint64_t vpage)
+{
+    ++checks_;
+    ++steps_;
+    checkPage(what, vpage, /*bytes=*/true);
+    // The affected page is checked exhaustively on every step; the
+    // whole directory and the stat shims are swept periodically to
+    // bound the audit's cost on fault storms.
+    if ((steps_ & 63u) == 0) {
+        checkDirectoryAndTlbs(what, /*bytes=*/false);
+        checkStatShims(what);
+    }
+}
+
+void
+InvariantAuditor::deepCheck(const char *where)
+{
+    ++checks_;
+    checkDirectoryAndTlbs(where, /*bytes=*/true);
+    checkStatShims(where);
+}
+
+void
+InvariantAuditor::checkDirectoryAndTlbs(const char *where, bool bytes)
+{
+    for (const auto &[vpage, d] : dsm_.dirs_) {
+        (void)d;
+        checkPage(where, vpage, bytes);
+    }
+}
+
+void
+InvariantAuditor::checkPage(const char *where, uint64_t vpage,
+                            bool bytes)
+{
+    const bool vdso = dsm_.isVdso(vpage);
+    auto it = dsm_.dirs_.find(vpage);
+    if (it == dsm_.dirs_.end()) {
+        // Unknown page: nothing may be resident or cached for it.
+        for (int n = 0; n < dsm_.numNodes_; ++n) {
+            size_t sn = static_cast<size_t>(n);
+            if (dsm_.mem_[sn].hasPage(vpage)) {
+                std::ostringstream os;
+                os << "node " << n << " holds page 0x" << std::hex
+                   << vpage << " with no directory entry";
+                violation(where, os.str());
+            }
+            if (dsm_.ports_[sn].tlbReadBase(vpage) ||
+                dsm_.ports_[sn].tlbWriteBase(vpage)) {
+                std::ostringstream os;
+                os << "node " << n << " caches a translation for "
+                   << "unknown page 0x" << std::hex << vpage;
+                violation(where, os.str());
+            }
+        }
+        return;
+    }
+
+    const auto &state = it->second.state;
+    int raHome = -1;
+    if (dsm_.mode_ == DsmMode::RemoteAccess) {
+        auto h = dsm_.home_.find(vpage);
+        raHome = h == dsm_.home_.end() ? -1 : h->second;
+    }
+
+    int modified = 0, shared = 0, firstHolder = -1;
+    for (int n = 0; n < dsm_.numNodes_; ++n) {
+        size_t sn = static_cast<size_t>(n);
+        PageState s = state[sn];
+        const bool resident = dsm_.mem_[sn].hasPage(vpage);
+        if (s == PageState::Modified)
+            ++modified;
+        else if (s == PageState::Shared)
+            ++shared;
+        if (s != PageState::Invalid && firstHolder < 0)
+            firstHolder = n;
+        if (s != PageState::Invalid && !resident) {
+            std::ostringstream os;
+            os << "page 0x" << std::hex << vpage << std::dec
+               << " is " << stateName(s) << " on node " << n
+               << " but the node holds no copy";
+            violation(where, os.str());
+        }
+        if (s == PageState::Invalid && resident) {
+            std::ostringstream os;
+            os << "page 0x" << std::hex << vpage << std::dec
+               << " is resident on node " << n
+               << " whose directory state is Invalid (leaked page)";
+            violation(where, os.str());
+        }
+
+        // TLB-shootdown completeness: a live translation must imply
+        // both the right and the exact current backing storage.
+        const uint8_t *rb = dsm_.ports_[sn].tlbReadBase(vpage);
+        const uint8_t *wb = dsm_.ports_[sn].tlbWriteBase(vpage);
+        if ((rb || wb) && !dsm_.tlbEnabled_) {
+            std::ostringstream os;
+            os << "node " << n << " cached a translation for page 0x"
+               << std::hex << vpage << " in slow-path mode";
+            violation(where, os.str());
+        }
+        if ((rb || wb) && dsm_.mode_ == DsmMode::RemoteAccess &&
+            (vdso || raHome != n)) {
+            std::ostringstream os;
+            os << "node " << n << " caches non-home page 0x"
+               << std::hex << vpage << " in RemoteAccess mode";
+            violation(where, os.str());
+        }
+        if (rb) {
+            if (s == PageState::Invalid) {
+                std::ostringstream os;
+                os << "node " << n
+                   << " survived shootdown: read translation for "
+                   << "Invalid page 0x" << std::hex << vpage;
+                violation(where, os.str());
+            }
+            if (rb != dsm_.mem_[sn].peekPage(vpage)) {
+                std::ostringstream os;
+                os << "node " << n << " read translation for page 0x"
+                   << std::hex << vpage
+                   << " points at stale storage";
+                violation(where, os.str());
+            }
+        }
+        if (wb) {
+            const bool allowed =
+                dsm_.mode_ == DsmMode::RemoteAccess
+                    ? raHome == n && !vdso
+                    : s == PageState::Modified && !vdso;
+            if (!allowed) {
+                std::ostringstream os;
+                os << "node " << n
+                   << " survived shootdown: write translation for "
+                   << stateName(s) << (vdso ? " vDSO" : "")
+                   << " page 0x" << std::hex << vpage;
+                violation(where, os.str());
+            }
+            if (wb != dsm_.mem_[sn].peekPage(vpage)) {
+                std::ostringstream os;
+                os << "node " << n << " write translation for page 0x"
+                   << std::hex << vpage
+                   << " points at stale storage";
+                violation(where, os.str());
+            }
+        }
+    }
+
+    if (modified > 1) {
+        std::ostringstream os;
+        os << "page 0x" << std::hex << vpage << std::dec << " has "
+           << modified << " Modified copies (single-writer violated)";
+        violation(where, os.str());
+    }
+    if (modified == 1 && shared > 0 && !vdso) {
+        std::ostringstream os;
+        os << "page 0x" << std::hex << vpage << std::dec
+           << " mixes one Modified with " << shared
+           << " Shared copies";
+        violation(where, os.str());
+    }
+
+    // Replica agreement: every valid copy must be byte-identical.
+    if (bytes && firstHolder >= 0 && modified + shared > 1) {
+        const uint8_t *ref =
+            dsm_.mem_[static_cast<size_t>(firstHolder)].peekPage(vpage);
+        for (int n = firstHolder + 1; n < dsm_.numNodes_; ++n) {
+            size_t sn = static_cast<size_t>(n);
+            if (state[sn] == PageState::Invalid)
+                continue;
+            const uint8_t *cur = dsm_.mem_[sn].peekPage(vpage);
+            if (ref && cur &&
+                std::memcmp(ref, cur, vm::kPageSize) != 0) {
+                std::ostringstream os;
+                os << "page 0x" << std::hex << vpage << std::dec
+                   << " replicas diverge between nodes "
+                   << firstHolder << " and " << n;
+                violation(where, os.str());
+            }
+        }
+    }
+}
+
+void
+InvariantAuditor::checkStatShims(const char *where)
+{
+    const DsmStats s = dsm_.stats();
+    uint64_t rf = 0, wf = 0, inv = 0, in = 0;
+    for (const auto &ns : dsm_.nodeStats_) {
+        rf += ns.readFaults.value();
+        wf += ns.writeFaults.value();
+        inv += ns.invalidations.value();
+        in += ns.pagesIn.value();
+    }
+    auto mismatch = [&](const char *what, uint64_t a, uint64_t b) {
+        std::ostringstream os;
+        os << what << " disagree: aggregate " << a
+           << " vs per-node/registry " << b;
+        violation(where, os.str());
+    };
+    if (s.readFaults != rf)
+        mismatch("read-fault counters", s.readFaults, rf);
+    if (s.writeFaults != wf)
+        mismatch("write-fault counters", s.writeFaults, wf);
+    if (s.invalidations != inv)
+        mismatch("invalidation counters", s.invalidations, inv);
+    if (s.pagesTransferred != in)
+        mismatch("page-transfer counters", s.pagesTransferred, in);
+
+    if (reg_) {
+        auto regCheck = [&](const char *name, uint64_t want) {
+            if (const obs::Counter *c = reg_->findCounter(name))
+                if (c->value() != want)
+                    mismatch(name, want, c->value());
+        };
+        regCheck("dsm.read_faults", s.readFaults);
+        regCheck("dsm.write_faults", s.writeFaults);
+        regCheck("dsm.invalidations", s.invalidations);
+        regCheck("dsm.page_transfers", s.pagesTransferred);
+        regCheck("dsm.bytes_transferred", s.bytesTransferred);
+        regCheck("dsm.extra_cycles", s.extraCycles);
+        if (net_) {
+            regCheck((netPrefix_ + ".messages").c_str(),
+                     net_->messages());
+            regCheck((netPrefix_ + ".bytes").c_str(), net_->bytes());
+        }
+    }
+}
+
+void
+InvariantAuditor::auditStackRoundTrip(StackTransformer &xform,
+                                      const ThreadContext &srcCtx,
+                                      const ThreadContext &destCtx,
+                                      uint32_t siteId, int node,
+                                      uint64_t stackTopAddr)
+{
+    const uint64_t base = stackTopAddr - vm::kStackSize;
+    std::vector<uint8_t> before(vm::kStackSize);
+    dsm_.peek(base, before.data(), before.size());
+
+    ThreadContext back;
+    {
+        // The reverse transform must not fault pages, charge cycles,
+        // bump counters, or emit trace events: the audit has to be
+        // invisible to the run it is checking.
+        DsmSpace::ProtocolBypass bypass(dsm_);
+        StackTransformer::AuditScope scope(xform);
+        back = xform.transform(destCtx, siteId, srcCtx.isa, dsm_, node,
+                               stackTopAddr);
+    }
+
+    std::vector<uint8_t> after(vm::kStackSize);
+    dsm_.peek(base, after.data(), after.size());
+    if (before != after) {
+        size_t off = 0;
+        while (off < before.size() && before[off] == after[off])
+            ++off;
+        std::ostringstream os;
+        os << "stack region not reproduced bit-for-bit: first "
+           << "difference at 0x" << std::hex << base + off;
+        violation("stack_round_trip", os.str());
+    }
+
+    const AbiInfo &sabi = AbiInfo::of(srcCtx.isa);
+    auto requireEq = [&](const char *what, uint64_t got,
+                         uint64_t want) {
+        if (got != want) {
+            std::ostringstream os;
+            os << what << " not reproduced: got 0x" << std::hex << got
+               << ", source had 0x" << want;
+            violation("stack_round_trip", os.str());
+        }
+    };
+    requireEq("SP", back.gpr[sabi.spReg], srcCtx.gpr[sabi.spReg]);
+    requireEq("FP", back.gpr[sabi.fpReg], srcCtx.gpr[sabi.fpReg]);
+    requireEq("TLS base", back.tlsBase, srcCtx.tlsBase);
+    requireEq("resume funcId", back.pc.funcId, srcCtx.pc.funcId);
+    // The source trapped AT the migration Bl; the round trip resumes
+    // after it, exactly like the homogeneous ++instrIdx path.
+    requireEq("resume instrIdx", back.pc.instrIdx,
+              srcCtx.pc.instrIdx + 1);
+    ++roundTrips_;
+    ++checks_;
+}
+
+void
+InvariantAuditor::violation(const char *where,
+                            const std::string &detail)
+{
+    std::fprintf(stderr, "[audit] VIOLATION at %s: %s\n", where,
+                 detail.c_str());
+    std::fprintf(stderr,
+                 "[audit] replay: XISA_AUDIT=1 XISA_PERTURB=%llu "
+                 "(fault seed 0x%llx)\n",
+                 static_cast<unsigned long long>(ctx_.perturbSeed),
+                 static_cast<unsigned long long>(ctx_.faultSeed));
+#if XISA_TRACE
+    if (obs::traceEnabled()) {
+        std::string path =
+            "xisa_audit_violation_" +
+            std::to_string(ctx_.perturbSeed) + ".trace.json";
+        std::ofstream out(path);
+        if (out) {
+            obs::Tracer::global().exportChromeTrace(out);
+            std::fprintf(stderr, "[audit] trace dumped to %s\n",
+                         path.c_str());
+        }
+    }
+#endif
+    panic("audit violation at %s: %s", where, detail.c_str());
+}
+
+} // namespace xisa::check

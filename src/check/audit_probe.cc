@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Standalone audit driver for tools/audit_sweep.py.
+ *
+ * Runs three scenarios with the invariant auditor armed (the sweep
+ * driver sets XISA_AUDIT=1 and XISA_PERTURB=<seed> in the environment):
+ *
+ *  1. a bare 3-node hDSM fault storm over a lossy, perturbed link,
+ *  2. an OS container ping-ponging a thread between heterogeneous
+ *     kernels (stack transform + TLB shootdown + context send retry),
+ *  3. a crashy ClusterSim run under both dynamic policies.
+ *
+ * Any invariant violation panics with a replay line; a clean run prints
+ * one summary line and exits 0.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "check/audit.hh"
+#include "check/perturb.hh"
+#include "compiler/compile.hh"
+#include "dsm/dsm.hh"
+#include "machine/node.hh"
+#include "os/os.hh"
+#include "sched/cluster.hh"
+#include "sched/jobsets.hh"
+#include "util/rng.hh"
+#include "workload/workloads.hh"
+
+using namespace xisa;
+
+namespace {
+
+/** Phase 1: raw protocol storm on a lossy 3-node space. */
+uint64_t
+dsmStorm(uint64_t seed)
+{
+    Interconnect::Config nc;
+    nc.faults.seed = 0x5eedf417u ^ seed;
+    nc.faults.dropProb = 0.05;
+    nc.faults.dupProb = 0.05;
+    nc.faults.spikeProb = 0.1;
+    nc.faults = check::SchedulePerturber::perturbFaults(nc.faults, seed);
+    Interconnect net(nc);
+    obs::StatRegistry reg;
+    net.registerStats(reg, "net");
+
+    DsmSpace dsm(3, &net, {3.5, 2.4, 2.4});
+    dsm.registerStats(reg);
+    check::InvariantAuditor auditor(dsm, &reg, &net, "net",
+                                    {nc.faults.seed, seed});
+    auditor.attach();
+
+    constexpr uint64_t kBase = 0x10000000ull;
+    constexpr int kPages = 24;
+    Rng rng(seed ^ 0x73746f726dull);
+    for (int i = 0; i < 3000; ++i) {
+        int node = static_cast<int>(rng.below(3));
+        uint64_t addr = kBase + rng.below(kPages) * vm::kPageSize +
+                        rng.below(vm::kPageSize - 8);
+        uint64_t v = rng.next();
+        if (rng.below(100) < 55)
+            dsm.poke(node, addr, &v, 8);
+        else
+            dsm.pull(node, addr, &v, 8);
+        if (rng.below(100) < 3)
+            dsm.broadcastWrite64(vm::kVdsoBase, v);
+        if (rng.below(100) < 2)
+            dsm.flushTlb(static_cast<int>(rng.below(3)));
+    }
+    auditor.deepCheck("storm_end");
+    return auditor.checksRun();
+}
+
+/** Phase 2: heterogeneous migration ping-pong on a perturbed link. */
+uint64_t
+migrationPingPong(uint64_t seed)
+{
+    MultiIsaBinary bin =
+        compileModule(buildWorkload(WorkloadId::CG, ProblemClass::A, 1));
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.quantum = 2500;
+    cfg.net.faults.seed = 0xfa0175ull ^ seed;
+    cfg.net.faults.dropProb = 0.03;
+    cfg.net.faults.dupProb = 0.05;
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    os.migrateProcess(1);
+    int bounces = 0;
+    os.onQuantum = [&](ReplicatedOS &o) {
+        size_t done = o.migrations().size();
+        if (done > static_cast<size_t>(bounces) && done < 6) {
+            bounces = static_cast<int>(done);
+            o.migrateProcess(o.migrations().back().toNode == 1 ? 0 : 1);
+        }
+    };
+    os.run();
+    return os.auditor() ? os.auditor()->checksRun() : 0;
+}
+
+/** Phase 3: crashy cluster scheduling under the dynamic policies. */
+double
+crashyCluster(uint64_t seed)
+{
+    double lost = 0;
+    const JobProfileTable profiles = JobProfileTable::synthetic();
+    for (Policy p : {Policy::DynamicBalanced, Policy::DynamicUnbalanced}) {
+        ClusterSim::Config cc;
+        cc.net.faults.seed = seed | 1;
+        cc.net.faults.dropProb = 0.02;
+        cc.crashes = {{40.0, 0, 25.0}, {90.0, 1, 30.0}, {200.0, 0, 20.0}};
+        ClusterSim sim(makeHeterogeneousPool(), profiles, cc);
+        ClusterResult res =
+            sim.run(makeSustainedSet(seed ^ 0x6a6f6273ull, 12), p);
+        lost += res.lostWorkSeconds;
+    }
+    return lost;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool skipOs = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--dsm-only") == 0)
+            skipOs = true;
+
+    if (!check::auditRequested())
+        std::fprintf(stderr,
+                     "[audit_probe] warning: XISA_AUDIT not set; "
+                     "running without the auditor\n");
+    const uint64_t seed = check::SchedulePerturber::envSeed();
+
+    uint64_t checks = dsmStorm(seed);
+    uint64_t osChecks = 0;
+    double lost = 0;
+    if (!skipOs) {
+        osChecks = migrationPingPong(seed);
+        lost = crashyCluster(seed);
+    }
+    std::printf("[audit_probe] clean seed=%llu dsm_checks=%llu "
+                "os_checks=%llu cluster_lost=%.3f\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(checks),
+                static_cast<unsigned long long>(osChecks), lost);
+    return 0;
+}

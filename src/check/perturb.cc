@@ -1,0 +1,86 @@
+#include "check/perturb.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xisa::check {
+
+namespace {
+
+uint64_t
+mix(uint64_t seed, uint64_t salt)
+{
+    // SplitMix64 finalizer over (seed, salt) so sub-streams drawn for
+    // different purposes are decorrelated.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+bool
+SchedulePerturber::enabled()
+{
+    const char *v = std::getenv("XISA_PERTURB");
+    return v && v[0] != '\0';
+}
+
+uint64_t
+SchedulePerturber::envSeed()
+{
+    const char *v = std::getenv("XISA_PERTURB");
+    if (!v || v[0] == '\0')
+        return 0;
+    return std::strtoull(v, nullptr, 0);
+}
+
+SchedulePerturber::SchedulePerturber(uint64_t seed)
+    : rng_(mix(seed, 0x7065727475726221ull))
+{}
+
+FaultConfig
+SchedulePerturber::perturbFaults(const FaultConfig &base, uint64_t seed)
+{
+    FaultConfig out = base;
+    Rng rng(mix(seed, 0x6c696e6b21ull));
+    auto range = [&](double lo, double hi) {
+        return lo + rng.uniform() * (hi - lo);
+    };
+    // Reshape delivery order: duplicates and latency spikes reorder
+    // messages relative to the default schedule, and a small extra drop
+    // rate exercises the retry paths. Probabilities stay low enough
+    // that reliableSend's 64 attempts and the OS migration retry limit
+    // cannot be exhausted by the overlay alone; scripted drops and
+    // partition windows (the deterministic FaultPlan part) are kept.
+    out.seed ^= mix(seed, 0x736565642100ull) | 1ull;
+    out.dupProb = std::min(0.25, out.dupProb + range(0.02, 0.10));
+    out.spikeProb = std::min(0.40, out.spikeProb + range(0.05, 0.20));
+    out.spikeMaxUs = std::max(out.spikeMaxUs, range(10.0, 60.0));
+    out.dropProb = std::min(0.30, out.dropProb + range(0.0, 0.06));
+    return out;
+}
+
+bool
+SchedulePerturber::deferMigrationTrap()
+{
+    if (consecutiveDefers_ >= 4) {
+        consecutiveDefers_ = 0;
+        return false;
+    }
+    if (rng_.uniform() < 0.30) {
+        ++consecutiveDefers_;
+        return true;
+    }
+    consecutiveDefers_ = 0;
+    return false;
+}
+
+double
+SchedulePerturber::jitterSeconds(double magnitude)
+{
+    return (rng_.uniform() * 2.0 - 1.0) * magnitude;
+}
+
+} // namespace xisa::check

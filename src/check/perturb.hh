@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Seeded schedule perturbation (DESIGN.md §8).
+ *
+ * The default simulator schedule is deterministic, so whole families of
+ * interleavings -- duplicated deliveries racing invalidations, a
+ * migration trap landing one quantum later, a crash hitting between a
+ * migration and the next checkpoint tick -- are never exercised. When
+ * XISA_PERTURB=<seed> is set, a SchedulePerturber reshapes the run:
+ *
+ *  - interconnect delivery order: the link's FaultConfig gains seeded
+ *    duplicate/spike/drop probabilities (composing with any configured
+ *    FaultPlan), which is how reordering manifests on a message-passing
+ *    link whose receivers must be idempotent and whose senders retry;
+ *  - migration timing: a migration trap may be deferred to the thread's
+ *    next migration point (bounded, so migrations still happen);
+ *  - crash timing: ClusterSim crash events jitter around the configured
+ *    instant, exploring crash-vs-checkpoint and crash-vs-migration
+ *    races.
+ *
+ * Every decision is drawn from the seed, so a violating schedule is
+ * replayed exactly by re-running with the same XISA_PERTURB value.
+ * Unlike XISA_AUDIT (which must never change a run), XISA_PERTURB
+ * changes behavior by design -- sweep drivers set it per-invocation;
+ * it must not be exported suite-wide.
+ */
+
+#ifndef XISA_CHECK_PERTURB_HH
+#define XISA_CHECK_PERTURB_HH
+
+#include <cstdint>
+
+#include "dsm/faults.hh"
+#include "util/rng.hh"
+
+namespace xisa::check {
+
+class SchedulePerturber
+{
+  public:
+    /** True if XISA_PERTURB is set to a non-empty value. */
+    static bool enabled();
+    /** The XISA_PERTURB seed (0 if unset or unparsable). */
+    static uint64_t envSeed();
+
+    explicit SchedulePerturber(uint64_t seed);
+
+    /**
+     * Overlay seeded delivery-order perturbation onto `base`:
+     * duplicates, latency spikes, and a small drop rate are added on
+     * top of whatever the config already injects. Scripted drops and
+     * partition windows are preserved untouched. Deterministic in
+     * (base, seed).
+     */
+    static FaultConfig perturbFaults(const FaultConfig &base,
+                                     uint64_t seed);
+
+    /**
+     * Should this migration trap be deferred to the thread's next
+     * migration point? At most 4 consecutive deferrals, so a requested
+     * migration is delayed but never starved.
+     */
+    bool deferMigrationTrap();
+
+    /** Deterministic jitter in [-magnitude, +magnitude] seconds. */
+    double jitterSeconds(double magnitude);
+
+  private:
+    Rng rng_;
+    int consecutiveDefers_ = 0;
+};
+
+} // namespace xisa::check
+
+#endif // XISA_CHECK_PERTURB_HH

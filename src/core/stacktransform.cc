@@ -109,7 +109,7 @@ StackTransformer::transform(const ThreadContext &src, uint32_t siteId,
 #if XISA_TRACE
     // One instant per discovered frame, innermost first, on the ambient
     // track -- renders the walked call chain under the transform span.
-    if (obs::traceEnabled()) {
+    if (obs::traceEnabled() && !auditMode_) {
         const obs::TraceCursor cur = obs::traceCursor();
         if (frameSpanNames_.size() < bin_.ir.functions.size())
             frameSpanNames_.resize(bin_.ir.functions.size());
@@ -318,12 +318,14 @@ StackTransformer::transform(const ThreadContext &src, uint32_t siteId,
             .count();
     work.cycles = dsmCycles;
 
-    ++transforms_;
-    frames_.add(work.frames);
-    liveValues_.add(work.liveValues);
-    pointersFixed_.add(work.pointersFixed);
-    bytesCopied_.add(work.bytesCopied);
-    hostUs_.add(work.hostSeconds * 1e6);
+    if (!auditMode_) {
+        ++transforms_;
+        frames_.add(work.frames);
+        liveValues_.add(work.liveValues);
+        pointersFixed_.add(work.pointersFixed);
+        bytesCopied_.add(work.bytesCopied);
+        hostUs_.add(work.hostSeconds * 1e6);
+    }
 
     if (stats)
         *stats = work;

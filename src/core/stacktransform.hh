@@ -94,6 +94,30 @@ class StackTransformer
 
     const MultiIsaBinary &binary() const { return bin_; }
 
+    /**
+     * RAII audit mode: while alive, transform() emits no trace events
+     * and bumps no counters, so an auditor can run a shadow (reverse)
+     * transformation without changing the run's observables. Memory
+     * traffic must additionally be suppressed by the caller (see
+     * DsmSpace::ProtocolBypass).
+     */
+    class AuditScope
+    {
+      public:
+        explicit AuditScope(StackTransformer &x)
+            : x_(x), prev_(x.auditMode_)
+        {
+            x_.auditMode_ = true;
+        }
+        ~AuditScope() { x_.auditMode_ = prev_; }
+        AuditScope(const AuditScope &) = delete;
+        AuditScope &operator=(const AuditScope &) = delete;
+
+      private:
+        StackTransformer &x_;
+        bool prev_;
+    };
+
   private:
     /** One source frame discovered by the walk. */
     struct Frame {
@@ -115,6 +139,8 @@ class StackTransformer
     /** Interned "frame <name>" trace labels per funcId, resolved on the
      *  first traced walk of each function. */
     std::vector<const char *> frameSpanNames_;
+    /** True inside an AuditScope: suppress stats and trace output. */
+    bool auditMode_ = false;
 
     // Cumulative work across all transforms (registry-backed).
     obs::Counter transforms_;

@@ -122,12 +122,14 @@ DsmSpace::tlbFill(int node, uint64_t vpage, bool writable)
         uint8_t *base = mem_[static_cast<size_t>(node)].page(vpage);
         ports_[static_cast<size_t>(node)].tlbInstallRead(vpage, base);
         ports_[static_cast<size_t>(node)].tlbInstallWrite(vpage, base);
+        auditStep("tlb_fill", vpage);
         return;
     }
     uint8_t *base = mem_[static_cast<size_t>(node)].page(vpage);
     ports_[static_cast<size_t>(node)].tlbInstallRead(vpage, base);
     if (writable && !isVdso(vpage))
         ports_[static_cast<size_t>(node)].tlbInstallWrite(vpage, base);
+    auditStep("tlb_fill", vpage);
 }
 
 DsmSpace::Dir &
@@ -178,6 +180,7 @@ DsmSpace::faultRead(int node, uint64_t vpage)
         // Cold anonymous page: materializes zero-filled locally.
         d.state[static_cast<size_t>(node)] = PageState::Shared;
         mem_[static_cast<size_t>(node)].page(vpage);
+        auditStep("read_fault_cold", vpage);
         return 0;
     }
     // Idempotent transfer application: a duplicate delivery (NIC
@@ -207,6 +210,7 @@ DsmSpace::faultRead(int node, uint64_t vpage)
 #if XISA_TRACE
     traceFault("read_fault", cyc, freqGHz_[static_cast<size_t>(node)]);
 #endif
+    auditStep("read_fault", vpage);
     return cyc;
 }
 
@@ -272,6 +276,7 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
 #if XISA_TRACE
     traceFault("write_fault", cyc, freqGHz_[static_cast<size_t>(node)]);
 #endif
+    auditStep("write_fault", vpage);
     return cyc;
 }
 
@@ -407,6 +412,7 @@ DsmSpace::broadcastWrite64(uint64_t addr, uint64_t value)
         ports_[static_cast<size_t>(n)].tlbDropWrite(vpage);
         d.state[static_cast<size_t>(n)] = PageState::Shared;
     }
+    auditStep("broadcast_write", vpage);
 }
 
 void
@@ -449,13 +455,45 @@ DsmSpace::pageImage()
 uint64_t
 DsmSpace::poke(int node, uint64_t addr, const void *src, size_t n)
 {
+    if (bypass_) {
+        bypassWrite(addr, src, n);
+        return 0;
+    }
     return port(node).write(addr, src, static_cast<unsigned>(n));
 }
 
 uint64_t
 DsmSpace::pull(int node, uint64_t addr, void *dst, size_t n)
 {
+    if (bypass_) {
+        peek(addr, dst, n);
+        return 0;
+    }
     return port(node).read(addr, dst, static_cast<unsigned>(n));
+}
+
+void
+DsmSpace::bypassWrite(uint64_t addr, const void *src, size_t n)
+{
+    const uint8_t *s = static_cast<const uint8_t *>(src);
+    while (n > 0) {
+        uint64_t vpage = addr / vm::kPageSize;
+        size_t inPage = std::min<size_t>(
+            n, vm::kPageSize - addr % vm::kPageSize);
+        auto it = dirs_.find(vpage);
+        if (it != dirs_.end()) {
+            // Patch every valid replica so Shared copies stay
+            // byte-identical; states, TLBs, and counters untouched.
+            for (int node = 0; node < numNodes_; ++node)
+                if (it->second.state[static_cast<size_t>(node)] !=
+                    PageState::Invalid)
+                    mem_[static_cast<size_t>(node)].write(addr, s,
+                                                          inPage);
+        }
+        addr += inPage;
+        s += inPage;
+        n -= inPage;
+    }
 }
 
 PageState
@@ -525,6 +563,21 @@ DsmSpace::saveState(ByteWriter &w) const
         w.u64(vpage);
         w.u32(static_cast<uint32_t>(node));
     }
+    // Protocol counters. Without these a restored container's stats()
+    // shim silently reported zeros while the run's registry history was
+    // gone -- the snapshot must carry the counts the pages embody.
+    w.u64(readFaults_.value());
+    w.u64(writeFaults_.value());
+    w.u64(invalidations_.value());
+    w.u64(pageTransfers_.value());
+    w.u64(bytesTransferred_.value());
+    w.u64(extraCycles_.value());
+    for (const NodeStats &ns : nodeStats_) {
+        w.u64(ns.readFaults.value());
+        w.u64(ns.writeFaults.value());
+        w.u64(ns.invalidations.value());
+        w.u64(ns.pagesIn.value());
+    }
 }
 
 void
@@ -552,6 +605,22 @@ DsmSpace::loadState(ByteReader &r)
     for (uint32_t i = 0; i < homeCount; ++i) {
         uint64_t vpage = r.u64();
         home_[vpage] = static_cast<int>(r.u32());
+    }
+    auto setCounter = [](obs::Counter &c, uint64_t v) {
+        c.reset();
+        c.add(v);
+    };
+    setCounter(readFaults_, r.u64());
+    setCounter(writeFaults_, r.u64());
+    setCounter(invalidations_, r.u64());
+    setCounter(pageTransfers_, r.u64());
+    setCounter(bytesTransferred_, r.u64());
+    setCounter(extraCycles_, r.u64());
+    for (NodeStats &ns : nodeStats_) {
+        setCounter(ns.readFaults, r.u64());
+        setCounter(ns.writeFaults, r.u64());
+        setCounter(ns.invalidations, r.u64());
+        setCounter(ns.pagesIn, r.u64());
     }
     flushAllTlbs();
     checkInvariants();

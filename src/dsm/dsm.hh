@@ -24,6 +24,7 @@
 #define XISA_DSM_DSM_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <map>
 #include <unordered_map>
@@ -35,6 +36,10 @@
 #include "util/bytes.hh"
 
 namespace xisa {
+
+namespace check {
+class InvariantAuditor;
+} // namespace check
 
 /** Per-node MSI state of a page. */
 enum class PageState : uint8_t { Invalid = 0, Shared, Modified };
@@ -147,13 +152,50 @@ class DsmSpace
     int numNodes() const { return numNodes_; }
     DsmMode mode() const { return mode_; }
 
-    /** Serialize every page, directory entry, and home assignment
-     *  (container checkpoints). */
+    /** Serialize every page, directory entry, home assignment, and
+     *  protocol counter (container checkpoints). */
     void saveState(ByteWriter &w) const;
     /** Restore a saveState() snapshot into this (fresh) space. */
     void loadState(ByteReader &r);
 
+    /**
+     * Install a hook invoked after every protocol step (fault, fill,
+     * broadcast) with a tag and the affected vpage. One observer at a
+     * time; pass nullptr to detach. Used by check::InvariantAuditor.
+     */
+    void
+    setAuditHook(std::function<void(const char *, uint64_t)> hook)
+    {
+        auditHook_ = std::move(hook);
+    }
+
+    /**
+     * RAII protocol bypass: while alive, pull() degrades to peek()
+     * (no faults, no cost, no TLB fills) and poke() writes every valid
+     * replica directly, so a reader/writer inside the scope is
+     * invisible to the run's observables. Single-threaded simulator;
+     * scopes may nest. For auditing only -- application accesses must
+     * never run under a bypass.
+     */
+    class ProtocolBypass
+    {
+      public:
+        explicit ProtocolBypass(DsmSpace &dsm)
+            : dsm_(dsm), prev_(dsm.bypass_)
+        {
+            dsm_.bypass_ = true;
+        }
+        ~ProtocolBypass() { dsm_.bypass_ = prev_; }
+        ProtocolBypass(const ProtocolBypass &) = delete;
+        ProtocolBypass &operator=(const ProtocolBypass &) = delete;
+
+      private:
+        DsmSpace &dsm_;
+        bool prev_;
+    };
+
   private:
+    friend class check::InvariantAuditor;
     struct Dir {
         std::vector<PageState> state; ///< per node
     };
@@ -199,10 +241,26 @@ class DsmSpace
      */
     void tlbFill(int node, uint64_t vpage, bool writable);
 
+    /** Write under ProtocolBypass: patch every valid replica in place
+     *  so coherence is preserved without any protocol action. */
+    void bypassWrite(uint64_t addr, const void *src, size_t n);
+
+    /** Notify the attached auditor of one protocol step. Suppressed
+     *  under ProtocolBypass so the auditor can use pull()/poke()
+     *  without recursing into itself. */
+    void
+    auditStep(const char *what, uint64_t vpage)
+    {
+        if (auditHook_ && !bypass_)
+            auditHook_(what, vpage);
+    }
+
     int numNodes_;
     Interconnect *net_;
     std::vector<double> freqGHz_;
     bool tlbEnabled_ = true; ///< false under XISA_SLOW_PATH
+    bool bypass_ = false;    ///< true inside a ProtocolBypass scope
+    std::function<void(const char *, uint64_t)> auditHook_;
     DsmMode mode_ = DsmMode::MigratePages;
     /** RemoteAccess mode: home node of each page (first toucher). */
     std::unordered_map<uint64_t, int> home_;

@@ -76,6 +76,30 @@ struct RetryPolicy {
     double timeoutUs = 10.0;  ///< ack timeout charged per failed attempt
     double backoffUs = 5.0;   ///< initial backoff after a failure
     double backoffCapUs = 320.0;
+
+    /** Largest exponent fed to the 2^k backoff scale. Shifting by the
+     *  raw attempt count is undefined beyond 63 and, before the cap
+     *  was applied, wrapped the delay back to a tiny (or zero)
+     *  backoff on long retry storms. */
+    static constexpr int kMaxBackoffExp = 62;
+
+    /**
+     * Backoff charged after failed attempt `attempt` (1-based):
+     * backoffUs * 2^(attempt-1), with the exponent capped before the
+     * shift and the result clamped to backoffCapUs. Identical to the
+     * classic doubling sequence for every in-range attempt, but safe
+     * for arbitrarily large retry counts.
+     */
+    double
+    backoffForAttempt(int attempt) const
+    {
+        int exp = attempt > 1 ? attempt - 1 : 0;
+        if (exp > kMaxBackoffExp)
+            exp = kMaxBackoffExp;
+        double raw = backoffUs *
+                     static_cast<double>(1ull << static_cast<unsigned>(exp));
+        return raw < backoffCapUs ? raw : backoffCapUs;
+    }
 };
 
 /** The fate of one message, as decided by the plan. */

@@ -57,7 +57,6 @@ Interconnect::reliableSend(uint64_t bytes, double freqGHz)
         total.cycles = charge(bytes, freqGHz);
         return total;
     }
-    double backoff = cfg_.retry.backoffUs;
     for (int attempt = 1;; ++attempt) {
         SendResult r = send(bytes, freqGHz);
         total.attempts = attempt;
@@ -72,8 +71,8 @@ Interconnect::reliableSend(uint64_t bytes, double freqGHz)
                   "attempts (permanent partition?)",
                   attempt);
         // Ack timeout, then capped exponential backoff.
-        double waitUs = cfg_.retry.timeoutUs + backoff;
-        backoff = std::min(backoff * 2.0, cfg_.retry.backoffCapUs);
+        double waitUs = cfg_.retry.timeoutUs +
+                        cfg_.retry.backoffForAttempt(attempt);
         uint64_t waitCycles =
             static_cast<uint64_t>(waitUs * 1e-6 * freqGHz * 1e9);
         total.seconds += waitUs * 1e-6;

@@ -172,7 +172,10 @@ class Interp
     const MultiIsaBinary &bin_;
     IsaId isa_;
     const AbiInfo &abi_;
-    const NodeSpec &spec_;
+    /** Owned copy: callers routinely keep their NodeSpec in a vector
+     *  that may reallocate (ReplicatedOS::nodes_), so a reference here
+     *  dangles as soon as the owning element moves. */
+    const NodeSpec spec_;
     CodeMap codeMap_;
     MigCheckObserver *observer_ = nullptr;
     bool profiling_ = false;

@@ -49,6 +49,15 @@ class SimMemory
     /** Number of resident pages. */
     size_t residentPages() const { return pages_.size(); }
 
+    /** Page bytes if resident, nullptr otherwise. Never allocates --
+     *  safe for auditors that must not perturb residency. */
+    const uint8_t *
+    peekPage(uint64_t vpage) const
+    {
+        auto it = pages_.find(vpage);
+        return it == pages_.end() ? nullptr : it->second.data();
+    }
+
     /** Cross-page-safe bulk copy out of memory. */
     void read(uint64_t addr, void *dst, size_t n);
     /** Cross-page-safe bulk copy into memory. */
@@ -141,6 +150,24 @@ class MemPort
             e = TlbEntry{};
         for (TlbEntry &e : writeTlb_)
             e = TlbEntry{};
+    }
+
+    // --- Read-only probes (invariant auditing / tests) -----------------
+
+    /** Cached read translation for `vpage`, or nullptr. */
+    const uint8_t *
+    tlbReadBase(uint64_t vpage) const
+    {
+        const TlbEntry &e = readTlb_[vpage & (kTlbSize - 1)];
+        return e.vpage == vpage ? e.base : nullptr;
+    }
+
+    /** Cached write translation for `vpage`, or nullptr. */
+    const uint8_t *
+    tlbWriteBase(uint64_t vpage) const
+    {
+        const TlbEntry &e = writeTlb_[vpage & (kTlbSize - 1)];
+        return e.vpage == vpage ? e.base : nullptr;
     }
 
   protected:

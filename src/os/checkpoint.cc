@@ -11,6 +11,7 @@
 
 #include <cstring>
 
+#include "check/audit.hh"
 #include "os/os.hh"
 #include "util/bytes.hh"
 #include "util/logging.hh"
@@ -20,7 +21,9 @@ namespace xisa {
 namespace {
 
 constexpr uint32_t kCkptMagic = 0x544b4358; // "XCKT"
-constexpr uint32_t kCkptVersion = 1;
+// v2: the DSM section carries the protocol counters, so a restored
+// container's stats()/registry state matches the checkpointed one.
+constexpr uint32_t kCkptVersion = 2;
 
 void
 writeContext(ByteWriter &w, const ThreadContext &ctx)
@@ -230,6 +233,8 @@ ReplicatedOS::restore(const std::vector<uint8_t> &bytes)
     if (!r.done())
         fatal("trailing garbage after checkpoint payload");
     loaded_ = true;
+    if (auditor_)
+        auditor_->deepCheck("restore");
 }
 
 } // namespace xisa

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/audit.hh"
+#include "check/perturb.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -19,6 +21,18 @@ alignUp64(uint64_t x, uint64_t a)
 /** Modeled size of a thread-context migration message. */
 constexpr uint64_t kContextMsgBytes = 1024;
 
+/** Apply the XISA_PERTURB fault overlay before the interconnect is
+ *  constructed (the config is copied into the OS first, so the run's
+ *  own record reflects what was actually injected). */
+OsConfig
+applySchedulePerturbation(OsConfig cfg)
+{
+    if (check::SchedulePerturber::enabled())
+        cfg.net.faults = check::SchedulePerturber::perturbFaults(
+            cfg.net.faults, check::SchedulePerturber::envSeed());
+    return cfg;
+}
+
 } // namespace
 
 OsConfig
@@ -30,7 +44,8 @@ OsConfig::dualServer()
 }
 
 ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
-    : bin_(bin), cfg_(std::move(cfg)), net_(cfg_.net), xform_(bin),
+    : bin_(bin), cfg_(applySchedulePerturbation(std::move(cfg))),
+      net_(cfg_.net), xform_(bin),
       meter_(cfg_.nodes, cfg_.energyBinSeconds)
 {
     if (cfg_.nodes.empty())
@@ -73,6 +88,18 @@ ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
     stats_.attach("os.migrate.response_us", migrateResponseUs_);
     stats_.attach("machine.instrs", instrsStat_);
     stats_.attach("sched.migrate_requests", migrateRequests_);
+
+    if (check::SchedulePerturber::enabled())
+        perturb_ = std::make_unique<check::SchedulePerturber>(
+            check::SchedulePerturber::envSeed());
+    if (check::auditRequested()) {
+        auditor_ = std::make_unique<check::InvariantAuditor>(
+            *dsm_, &stats_, &net_, "net",
+            check::InvariantAuditor::Context{
+                cfg_.net.faults.seed,
+                check::SchedulePerturber::envSeed()});
+        auditor_->attach();
+    }
 }
 
 ReplicatedOS::~ReplicatedOS() = default;
@@ -260,6 +287,8 @@ ReplicatedOS::run()
         if (totalInstrs_ > cfg_.maxTotalInstrs)
             fatal("global instruction budget exceeded");
     }
+    if (auditor_)
+        auditor_->deepCheck("end_of_run");
     OsRunResult res;
     res.finished = true;
     res.exitedExplicitly = exited_;
@@ -614,6 +643,13 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
         src.interp->finishTrap(t.ctx, Type::Void, 0, 0);
         return;
     }
+    if (perturb_ && perturb_->deferMigrationTrap()) {
+        // Schedule perturbation: the trap is taken one migration point
+        // later, exploring migration-vs-fault interleavings the default
+        // schedule never reaches. The request stays pending.
+        src.interp->finishTrap(t.ctx, Type::Void, 0, 0);
+        return;
+    }
     NodeRuntime &dst = nodes_[static_cast<size_t>(dest)];
     MigrationEvent ev;
     ev.tid = t.tid;
@@ -642,6 +678,10 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
                             stats.cycles);
         OBS_TRACE_END(t.tid, coreTime(t.node, t.core));
         ev.transform = stats;
+        if (auditor_)
+            auditor_->auditStackRoundTrip(xform_, t.ctx, newCtx, siteId,
+                                          t.node,
+                                          vm::stackTop(t.stackSlot));
     } else {
         // Homogeneous-ISA migration: state moves unmodified.
         newCtx = t.ctx;
@@ -660,7 +700,6 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     OBS_TRACE_BEGIN(t.tid, "os.migrate", "send_context", srcDone);
     const RetryPolicy &retry = net_.retryPolicy();
     double sendSeconds = 0;
-    double backoffUs = retry.backoffUs;
     bool delivered = false;
     for (int attempt = 1; attempt <= cfg_.migrationRetryLimit;
          ++attempt) {
@@ -672,8 +711,8 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
             break;
         }
         ++migrationRetries_;
-        sendSeconds += (retry.timeoutUs + backoffUs) * 1e-6;
-        backoffUs = std::min(backoffUs * 2.0, retry.backoffCapUs);
+        sendSeconds +=
+            (retry.timeoutUs + retry.backoffForAttempt(attempt)) * 1e-6;
     }
     OBS_TRACE_END(t.tid, srcDone + sendSeconds);
     if (!delivered) {
@@ -712,6 +751,8 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     ++migrationsDone_;
     migrateResponseUs_.add((ev.resumeTime - ev.requestTime) * 1e6);
     migrations_.push_back(ev);
+    if (auditor_)
+        auditor_->deepCheck("migration");
 }
 
 } // namespace xisa

@@ -46,6 +46,11 @@
 
 namespace xisa {
 
+namespace check {
+class InvariantAuditor;
+class SchedulePerturber;
+} // namespace check
+
 /** Configuration of the node pool and kernel parameters. */
 struct OsConfig {
     std::vector<NodeSpec> nodes;
@@ -137,6 +142,9 @@ class ReplicatedOS
      * renders them all, resetAll() subsumes the per-class resetStats().
      */
     obs::StatRegistry &statRegistry() { return stats_; }
+    /** The invariant auditor riding along, or nullptr unless
+     *  XISA_AUDIT=1 was set at construction. */
+    check::InvariantAuditor *auditor() { return auditor_.get(); }
     Interp &interp(int node);
     int threadNode(int tid) const;
     int numThreads() const { return static_cast<int>(threads_.size()); }
@@ -248,6 +256,9 @@ class ReplicatedOS
     std::vector<std::unique_ptr<OsThread>> threads_;
     StackTransformer xform_;
     EnergyMeter meter_;
+    /** Armed by XISA_AUDIT / XISA_PERTURB at construction. */
+    std::unique_ptr<check::InvariantAuditor> auditor_;
+    std::unique_ptr<check::SchedulePerturber> perturb_;
 
     // Kernel service state.
     uint64_t heapBrk_ = vm::kHeapBase;

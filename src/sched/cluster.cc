@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <string>
 
+#include "check/audit.hh"
+#include "check/perturb.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -13,6 +16,18 @@ namespace xisa {
 namespace {
 /** Viewer track for one job's lifetime span (start -> completion). */
 constexpr int kJobTrackBase = 1000;
+
+/** XISA_PERTURB overlay for the cluster link, applied before net_ is
+ *  constructed from the stored config. */
+ClusterSim::Config
+perturbedClusterConfig(ClusterSim::Config cfg)
+{
+    if (check::SchedulePerturber::enabled())
+        cfg.net.faults = check::SchedulePerturber::perturbFaults(
+            cfg.net.faults,
+            check::SchedulePerturber::envSeed() ^ 0x636c7573ull);
+    return cfg;
+}
 } // namespace
 
 const char *
@@ -29,8 +44,8 @@ policyName(Policy p)
 
 ClusterSim::ClusterSim(std::vector<Machine> machines,
                        const JobProfileTable &profiles, Config cfg)
-    : machines_(std::move(machines)), profiles_(profiles), cfg_(cfg),
-      net_(cfg_.net)
+    : machines_(std::move(machines)), profiles_(profiles),
+      cfg_(perturbedClusterConfig(std::move(cfg))), net_(cfg_.net)
 {
     if (machines_.empty())
         fatal("ClusterSim needs at least one machine");
@@ -202,6 +217,21 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
                          return a.time < b.time;
                      });
     const bool faulty = !crashes.empty();
+    // XISA_PERTURB: jitter crash instants around their configured
+    // times, exploring crash-vs-checkpoint and crash-vs-migration
+    // races the scripted plan would never hit.
+    if (faulty && check::SchedulePerturber::enabled()) {
+        check::SchedulePerturber p(
+            check::SchedulePerturber::envSeed() ^ 0x6372617368ull);
+        for (CrashEvent &ev : crashes)
+            ev.time = std::max(
+                0.0, ev.time + p.jitterSeconds(
+                                   0.5 * cfg_.checkpointPeriod));
+        std::stable_sort(crashes.begin(), crashes.end(),
+                         [](const CrashEvent &a, const CrashEvent &b) {
+                             return a.time < b.time;
+                         });
+    }
     size_t nextCrash = 0;
     double nextCkpt = cfg_.checkpointPeriod;
     std::vector<double> downUntil(machines_.size(), 0.0);
@@ -214,6 +244,41 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
     auto refreshAlive = [&] {
         for (size_t m = 0; m < alive.size(); ++m)
             alive[m] = !faulty || now + kEps >= downUntil[m];
+    };
+
+    // XISA_AUDIT: bookkeeping invariants checked after every event.
+    const bool auditing = check::auditRequested();
+    auto auditState = [&](const char *where) {
+        if (!auditing)
+            return;
+        auto fail = [&](int jobId, size_t m, const char *what) {
+            panic("cluster audit at %s (t=%.6f, job %d, machine %zu, "
+                  "XISA_PERTURB=%llu): %s",
+                  where, now, jobId, m,
+                  static_cast<unsigned long long>(
+                      check::SchedulePerturber::envSeed()),
+                  what);
+        };
+        for (size_t m = 0; m < st.size(); ++m) {
+            const MachineState &ms = st[m];
+            int threads = 0;
+            for (const RunningJob &rj : ms.running) {
+                threads += rj.job.threads;
+                if (!(rj.durationHere > 0) ||
+                    !std::isfinite(rj.durationHere))
+                    fail(rj.job.id, m, "non-positive job duration");
+                if (!std::isfinite(rj.remainingFraction))
+                    fail(rj.job.id, m, "remaining fraction not finite");
+                if (rj.remainingFraction > rj.ckptRemaining + 1e-9)
+                    fail(rj.job.id, m,
+                         "progress behind its own restart point "
+                         "(lost-work double charge on crash)");
+            }
+            if (threads != ms.usedThreads)
+                fail(-1, m, "usedThreads out of sync with running set");
+            if (!std::isfinite(ms.energy) || ms.energy < 0)
+                fail(-1, m, "energy accumulator corrupt");
+        }
     };
 
     auto anyWork = [&] {
@@ -492,6 +557,13 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
                         migrationCost(rj.job);
                     rj.durationHere = destDuration;
                     rj.remainingFraction = remSeconds / destDuration;
+                    // The migration shipped the job's full live state:
+                    // it IS the new restart point. Leaving
+                    // ckptRemaining at the pre-migration snapshot --
+                    // a fraction of the SOURCE machine's duration --
+                    // double-charges all pre-migration progress as
+                    // "lost" if this machine later crashes.
+                    rj.ckptRemaining = rj.remainingFraction;
                     to.running.push_back(rj);
                     to.usedThreads += rj.job.threads;
                     ++migrations;
@@ -505,7 +577,9 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
                     break;
             }
         }
+        auditState("event_loop");
     }
+    auditState("end_of_run");
 
     ClusterResult res;
     res.makespan = lastCompletion;
