@@ -17,6 +17,9 @@
  *   --fault-partition P,L every P messages, L sends fail fast
  *   --fault-crashes N     machine crashes per run (default 2)
  *   --fault-down SEC      crash downtime, seconds (default 30)
+ *   --fault-crash M@T     crash machine M at T seconds (repeatable;
+ *                         replaces the seeded random crash plan, so a
+ *                         scenario replays exactly)
  */
 
 #include <cstring>
@@ -40,6 +43,7 @@ struct FaultArgs {
     uint64_t partitionLen = 0;
     int numCrashes = 2;
     double downSeconds = 30.0;
+    std::vector<CrashEvent> scriptedCrashes;
 };
 
 FaultArgs
@@ -74,6 +78,18 @@ parseArgs(int argc, char **argv)
             fa.numCrashes = std::stoi(val());
         } else if (a == "--fault-down") {
             fa.downSeconds = std::stod(val());
+        } else if (a.rfind("--fault-crash=", 0) == 0) {
+            std::string v = a.substr(std::strlen("--fault-crash="));
+            size_t at = v.find('@');
+            if (at == std::string::npos) {
+                std::fprintf(stderr,
+                             "--fault-crash wants MACHINE@SECONDS\n");
+                std::exit(2);
+            }
+            CrashEvent ev;
+            ev.machine = std::stoi(v.substr(0, at));
+            ev.time = std::stod(v.substr(at + 1));
+            fa.scriptedCrashes.push_back(ev);
         } else if (a == "--stats-json") {
             fa.obs.statsJsonPath = val();
         } else if (a == "--trace-out") {
@@ -87,13 +103,17 @@ parseArgs(int argc, char **argv)
                 "usage: %s [--fault-drop P] [--fault-seed S]\n"
                 "          [--fault-partition PERIOD,LEN]"
                 " [--fault-crashes N]\n"
-                "          [--fault-down SEC] [--stats]"
-                " [--stats-json FILE]\n"
-                "          [--trace-out FILE]\n",
+                "          [--fault-down SEC] [--fault-crash M@T]..."
+                " [--stats]\n"
+                "          [--stats-json FILE] [--trace-out FILE]\n",
                 a.c_str(), argv[0]);
             std::exit(2);
         }
     }
+    // --fault-down applies to scripted crashes regardless of flag
+    // order on the command line.
+    for (CrashEvent &ev : fa.scriptedCrashes)
+        ev.downSeconds = fa.downSeconds;
     if (!fa.obs.traceOutPath.empty())
         obs::setTraceEnabled(true);
     return fa;
@@ -142,9 +162,14 @@ main(int argc, char **argv)
         std::printf(", partition %llu/%llu msgs",
                     static_cast<unsigned long long>(fa.partitionPeriod),
                     static_cast<unsigned long long>(fa.partitionLen));
-    std::printf("\n\n%-6s | %9s %7s %10s | %4s %4s %4s %8s | %8s\n",
+    if (!fa.scriptedCrashes.empty()) {
+        std::printf(", scripted crashes:");
+        for (const CrashEvent &ev : fa.scriptedCrashes)
+            std::printf(" %d@%.0fs", ev.machine, ev.time);
+    }
+    std::printf("\n\n%-6s | %9s %7s %10s | %4s %4s %4s %8s %8s | %8s\n",
                 "drop", "energy kJ", "mksp s", "EDP kJ*s", "crsh",
-                "fail", "rstr", "lost s", "retries");
+                "fail", "rstr", "lost s", "recov s", "retries");
 
     double baseEdp = 0;
     obs::StatRegistry *lastStats = nullptr;
@@ -158,7 +183,7 @@ main(int argc, char **argv)
         cc.net.faults.partitionLenMsgs = fa.partitionLen;
         RunningStat energy, makespan, edp;
         int crashes = 0, failovers = 0, restarts = 0;
-        double lost = 0;
+        double lost = 0, recovered = 0;
         auto *sim = new ClusterSim(makeHeterogeneousPool(true, 1.0),
                                    table, cc);
         sims.push_back(sim);
@@ -168,7 +193,12 @@ main(int argc, char **argv)
             sim->statRegistry().findCounter("xfault.retries");
         for (int set = 0; set < numSets; ++set) {
             auto jobs = makeSustainedSet(1000 + static_cast<uint64_t>(set));
-            if (fa.numCrashes > 0) {
+            if (!fa.scriptedCrashes.empty()) {
+                // Scripted plan: the exact same machines die at the
+                // exact same instants in every set, so a recovery
+                // scenario replays byte-for-byte.
+                sim->setCrashPlan(fa.scriptedCrashes);
+            } else if (fa.numCrashes > 0) {
                 // Crash inside the fault-free makespan so the failover
                 // path actually fires.
                 sim->setCrashPlan(makeCrashPlan(
@@ -184,14 +214,16 @@ main(int argc, char **argv)
             for (const auto &kv : r.restartCounts)
                 restarts += kv.second;
             lost += r.lostWorkSeconds;
+            recovered += r.recoveredWorkSeconds;
         }
         lastStats = &sim->statRegistry();
         if (drop == 0.0)
             baseEdp = edp.mean();
         std::printf("%5.2f%% | %9.1f %7.1f %10.1f | %4d %4d %4d %8.1f"
-                    " | %8llu",
+                    " %8.1f | %8llu",
                     drop * 100, energy.mean(), makespan.mean(),
                     edp.mean(), crashes, failovers, restarts, lost,
+                    recovered,
                     static_cast<unsigned long long>(
                         retries ? retries->value() : 0));
         if (baseEdp > 0 && drop > 0)

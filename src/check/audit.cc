@@ -130,6 +130,17 @@ InvariantAuditor::checkPage(const char *where, uint64_t vpage,
             ++shared;
         if (s != PageState::Invalid && firstHolder < 0)
             firstHolder = n;
+        // Crash recovery: a declared-dead kernel owns nothing. (The
+        // residency and TLB corollaries follow from the Invalid checks
+        // below once this holds.) Suppressed mid-reconstruction, where
+        // not-yet-swept entries still name the dead node.
+        if (s != PageState::Invalid && !dsm_.recovering_ &&
+            !dsm_.alive_[sn]) {
+            std::ostringstream os;
+            os << "page 0x" << std::hex << vpage << std::dec << " is "
+               << stateName(s) << " on dead node " << n;
+            violation(where, os.str());
+        }
         if (s != PageState::Invalid && !resident) {
             std::ostringstream os;
             os << "page 0x" << std::hex << vpage << std::dec
@@ -201,6 +212,25 @@ InvariantAuditor::checkPage(const char *where, uint64_t vpage,
         }
     }
 
+    // Crash recovery: every known page keeps at least one live owner
+    // (directory reconstruction re-homed or journal-restored orphans),
+    // and any sole-Modified page -- the only state a crash could
+    // destroy -- is covered by the journal.
+    if (dsm_.journal_ && !dsm_.recovering_ && !vdso) {
+        if (firstHolder < 0) {
+            std::ostringstream os;
+            os << "page 0x" << std::hex << vpage
+               << " has zero live owners";
+            violation(where, os.str());
+        }
+        if (modified == 1 && shared == 0 &&
+            !dsm_.journal_->has(vpage)) {
+            std::ostringstream os;
+            os << "sole-Modified page 0x" << std::hex << vpage
+               << " is not covered by the page journal";
+            violation(where, os.str());
+        }
+    }
     if (modified > 1) {
         std::ostringstream os;
         os << "page 0x" << std::hex << vpage << std::dec << " has "

@@ -10,10 +10,18 @@
  *     kernels (stack transform + TLB shootdown + context send retry),
  *  3. a crashy ClusterSim run under both dynamic policies.
  *
+ * With --crash it instead runs the node-failure recovery scenario
+ * (DESIGN.md §9): a migration ping-pong on a same-ISA pair is run
+ * crash-free, then re-run with a seeded peer crash and with a crash
+ * pinned to the migration handoff; every crashed run must produce
+ * byte-identical output, and the auditor's recovery checks stay armed
+ * throughout.
+ *
  * Any invariant violation panics with a replay line; a clean run prints
  * one summary line and exits 0.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -26,6 +34,7 @@
 #include "os/os.hh"
 #include "sched/cluster.hh"
 #include "sched/jobsets.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 #include "workload/workloads.hh"
 
@@ -119,21 +128,120 @@ crashyCluster(uint64_t seed)
     return lost;
 }
 
+/**
+ * Phase 4 (--crash): node-failure recovery byte-identity probe.
+ *
+ * One crash-free reference run, then two crashed runs -- a seeded peer
+ * crash mid-ping-pong and a crash pinned to a migration handoff. Both
+ * must finish with output and exit code identical to the reference;
+ * the auditor (when armed) sweeps the reconstructed directory and the
+ * migration ledger after every recovery.
+ */
+uint64_t
+crashRecovery(uint64_t seed)
+{
+    MultiIsaBinary bin =
+        compileModule(buildWorkload(WorkloadId::CG, ProblemClass::A, 1));
+    auto runOne = [&](const RecoveryConfig &rc, OsRunResult &out) {
+        OsConfig cfg;
+        // Same-ISA pair: the survivor can adopt the dead kernel's
+        // threads without a cross-ISA transform.
+        cfg.nodes = {makeXenoServer(), makeXenoServer()};
+        cfg.quantum = 2500;
+        cfg.net.faults.seed = 0xc4a54ull ^ seed;
+        cfg.net.faults.dropProb = 0.02;
+        cfg.recovery = rc;
+        ReplicatedOS os(bin, cfg);
+        os.load(0);
+        os.migrateProcess(1);
+        int bounces = 0;
+        os.onQuantum = [&bounces](ReplicatedOS &o) {
+            size_t done = o.migrations().size();
+            if (done > static_cast<size_t>(bounces) && done < 6) {
+                bounces = static_cast<int>(done);
+                int dest = o.migrations().back().toNode == 1 ? 0 : 1;
+                if (o.nodeAlive(dest))
+                    o.migrateThread(0, dest);
+            }
+        };
+        out = os.run();
+        os.dsm().checkInvariants();
+        return os.auditor() ? os.auditor()->checksRun() : 0;
+    };
+
+    // Crash-free reference. Recovery stays disabled so the perturber's
+    // crash injection cannot touch it (perturbation is inert on a
+    // disabled config, and a disabled run is byte-identical to an
+    // armed crash-free one).
+    OsRunResult ref;
+    uint64_t checks = runOne(RecoveryConfig{}, ref);
+
+    // Leg 1: a peer dies at a seeded link-clock step mid-ping-pong.
+    RecoveryConfig nodeCrash;
+    nodeCrash.enabled = true;
+    nodeCrash.crashes = {PeerCrashEvent{
+        1, 16 + seed % 48}};
+    OsRunResult got;
+    checks += runOne(nodeCrash, got);
+    if (got.output != ref.output || got.exitCode != ref.exitCode)
+        fatal("[audit_probe] crash leg diverged from crash-free run "
+              "(node crash, seed=%llu): replay with XISA_PERTURB=%llu",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+
+    // Leg 2: the migration source dies mid-handoff; exactly-once
+    // delivery means the thread survives on exactly one kernel.
+    RecoveryConfig shipCrash;
+    shipCrash.enabled = true;
+    shipCrash.shipCrashes = {ShipCrashEvent{0, 0, (seed & 1) != 0}};
+    checks += runOne(shipCrash, got);
+    if (got.output != ref.output || got.exitCode != ref.exitCode) {
+        std::fprintf(stderr,
+                     "DBG ref exit=%lld lines=%zu | got exit=%lld "
+                     "lines=%zu\n",
+                     (long long)ref.exitCode, ref.output.size(),
+                     (long long)got.exitCode, got.output.size());
+        for (size_t i = 0;
+             i < std::max(ref.output.size(), got.output.size()); ++i)
+            std::fprintf(
+                stderr, "  [%zu] ref=%s | got=%s\n", i,
+                i < ref.output.size() ? ref.output[i].c_str() : "<none>",
+                i < got.output.size() ? got.output[i].c_str() : "<none>");
+        fatal("[audit_probe] crash leg diverged from crash-free run "
+              "(handoff crash, seed=%llu): replay with XISA_PERTURB=%llu",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+    }
+    return checks;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool skipOs = false;
-    for (int i = 1; i < argc; ++i)
+    bool crashOnly = false;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dsm-only") == 0)
             skipOs = true;
+        if (std::strcmp(argv[i], "--crash") == 0)
+            crashOnly = true;
+    }
 
     if (!check::auditRequested())
         std::fprintf(stderr,
                      "[audit_probe] warning: XISA_AUDIT not set; "
                      "running without the auditor\n");
     const uint64_t seed = check::SchedulePerturber::envSeed();
+
+    if (crashOnly) {
+        uint64_t crashChecks = crashRecovery(seed);
+        std::printf("[audit_probe] clean seed=%llu crash_checks=%llu\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(crashChecks));
+        return 0;
+    }
 
     uint64_t checks = dsmStorm(seed);
     uint64_t osChecks = 0;

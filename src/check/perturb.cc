@@ -62,6 +62,42 @@ SchedulePerturber::perturbFaults(const FaultConfig &base, uint64_t seed)
     return out;
 }
 
+RecoveryConfig
+SchedulePerturber::perturbRecovery(const RecoveryConfig &base,
+                                   const std::vector<int> &victims,
+                                   uint64_t seed)
+{
+    if (!base.enabled)
+        return base;
+    RecoveryConfig out = base;
+    Rng rng(mix(seed, 0x6372617368ull)); // "crash"
+    // Jitter scheduled crash instants by up to +-25%: the crash slides
+    // across neighboring protocol steps, exploring crash-vs-fault and
+    // crash-vs-migration orderings the configured instant never hits.
+    for (PeerCrashEvent &ev : out.crashes) {
+        uint64_t span = ev.atStep / 4;
+        if (span)
+            ev.atStep = ev.atStep - span + rng.below(2 * span + 1);
+    }
+    for (ShipCrashEvent &ev : out.shipCrashes) {
+        if (ev.atShip)
+            ev.atShip = rng.below(ev.atShip + 1);
+        if (rng.below(4) == 0)
+            ev.afterDelivery = !ev.afterDelivery;
+    }
+    out.detectorSeed ^= mix(seed, 0x64657465637421ull) | 1ull;
+    // A run that opted into crash tolerance but scheduled no crash gets
+    // one: a victim with a same-ISA survivor dies at a seeded step.
+    if (out.crashes.empty() && out.shipCrashes.empty() &&
+        !victims.empty()) {
+        PeerCrashEvent ev;
+        ev.node = victims[rng.below(victims.size())];
+        ev.atStep = 16 + rng.below(512);
+        out.crashes.push_back(ev);
+    }
+    return out;
+}
+
 bool
 SchedulePerturber::deferMigrationTrap()
 {

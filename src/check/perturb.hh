@@ -29,8 +29,10 @@
 #define XISA_CHECK_PERTURB_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "dsm/faults.hh"
+#include "dsm/recovery.hh"
 #include "util/rng.hh"
 
 namespace xisa::check {
@@ -54,6 +56,21 @@ class SchedulePerturber
      */
     static FaultConfig perturbFaults(const FaultConfig &base,
                                      uint64_t seed);
+
+    /**
+     * Overlay seeded peer-crash injection onto a crash-tolerance
+     * config. Inert unless `base.enabled` (perturbation never turns
+     * recovery on under a run that did not opt into it): scheduled
+     * crash instants jitter by up to +-25% of their value, the detector
+     * thresholds draw a fresh seed, and -- when the run scheduled no
+     * crash of its own -- one victim from `victims` (nodes the caller
+     * knows to have a same-ISA survivor) dies at a seeded link-clock
+     * step, landing the crash at hDSM protocol-step granularity.
+     * Deterministic in (base, victims, seed).
+     */
+    static RecoveryConfig perturbRecovery(const RecoveryConfig &base,
+                                          const std::vector<int> &victims,
+                                          uint64_t seed);
 
     /**
      * Should this migration trap be deferred to the thread's next

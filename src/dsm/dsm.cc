@@ -45,6 +45,147 @@ DsmSpace::DsmSpace(int numNodes, Interconnect *net,
     for (int n = 0; n < numNodes; ++n)
         ports_.emplace_back(*this, n);
     nodeStats_ = std::vector<NodeStats>(static_cast<size_t>(numNodes));
+    alive_.assign(static_cast<size_t>(numNodes), 1);
+}
+
+void
+DsmSpace::armRecovery(FailureDetector *fd)
+{
+    XISA_CHECK(fd != nullptr, "armRecovery needs a detector");
+    fd_ = fd;
+    net_->armRecovery(fd);
+    if (!journal_)
+        journal_ = std::make_unique<PageJournal>(vm::kPageSize);
+    // First commit: every page the loader already installed gets its
+    // initial frame, so even a crash before the first protocol epoch
+    // restores the program image.
+    for (auto &[vpage, d] : dirs_) {
+        int holder = anyHolder(d);
+        if (holder >= 0)
+            journal_->capture(
+                vpage, mem_[static_cast<size_t>(holder)].page(vpage));
+    }
+}
+
+int
+DsmSpace::recoveryTarget() const
+{
+    for (int n = 0; n < numNodes_; ++n)
+        if (alive_[static_cast<size_t>(n)])
+            return n;
+    return -1;
+}
+
+void
+DsmSpace::journalTouch(uint64_t vpage, int node)
+{
+    if (journal_)
+        journal_->capture(vpage,
+                          mem_[static_cast<size_t>(node)].page(vpage));
+}
+
+void
+DsmSpace::journalCommit()
+{
+    if (!journal_)
+        return;
+    journal_->commitAll([&](uint64_t vpage) -> const uint8_t * {
+        auto it = dirs_.find(vpage);
+        if (it == dirs_.end())
+            return nullptr;
+        int holder = anyHolder(it->second);
+        if (holder < 0 || !alive_[static_cast<size_t>(holder)])
+            return nullptr;
+        return mem_[static_cast<size_t>(holder)].page(vpage);
+    });
+}
+
+DsmSpace::Xfer
+DsmSpace::xfer(int peer, uint64_t bytes, int forNode)
+{
+    double freq = freqGHz_[static_cast<size_t>(forNode)];
+    if (!fd_) {
+        // Legacy contract (possibly with a circuit breaker layered on):
+        // no recovery to run, so an undeliverable message is fatal.
+        auto r = net_->reliableSendTo(peer, bytes, freq);
+        if (!r.delivered)
+            fatal("dsm: transfer to node %d failed fast with no "
+                  "recovery armed (open circuit on a dead link?)",
+                  peer);
+        return {r.cycles, r.duplicate, true};
+    }
+    Xfer x;
+    // With the breaker open most rounds fail fast and only the seeded
+    // half-open probes feed the detector, so the number of rounds to a
+    // declared death is bounded but larger than the miss threshold.
+    constexpr int kMaxRounds = 4096;
+    for (int round = 0; round < kMaxRounds; ++round) {
+        auto r = net_->reliableSendTo(peer, bytes, freq);
+        x.cycles += r.cycles;
+        if (r.delivered) {
+            x.duplicate = r.duplicate;
+            return x;
+        }
+        if (fd_->dead(peer)) {
+            recoverDeadNode(peer);
+            x.ok = false;
+            return x;
+        }
+    }
+    fatal("dsm: transfer to node %d failed %d rounds without the "
+          "detector declaring it dead",
+          peer, kMaxRounds);
+}
+
+void
+DsmSpace::recoverDeadNode(int dead)
+{
+    if (!alive_[static_cast<size_t>(dead)])
+        return; // already recovered (idempotent)
+    if (fd_)
+        fd_->declareDead(dead); // fence: never trust this peer again
+    alive_[static_cast<size_t>(dead)] = 0;
+    int target = recoveryTarget();
+    if (target < 0)
+        fatal("dsm: no surviving node after node %d died", dead);
+    // The directory is inconsistent (dead copies not yet dropped) until
+    // the sweep below finishes; the auditor holds its dead-node checks.
+    recovering_ = true;
+    for (auto &[vpage, d] : dirs_) {
+        bool hadCopy =
+            d.state[static_cast<size_t>(dead)] != PageState::Invalid;
+        d.state[static_cast<size_t>(dead)] = PageState::Invalid;
+        if (!hadCopy)
+            continue;
+        mem_[static_cast<size_t>(dead)].dropPage(vpage);
+        ports_[static_cast<size_t>(dead)].tlbDropPage(vpage);
+        if (anyHolder(d) >= 0)
+            continue; // a surviving replica keeps the page alive
+        // Sole copy died with the node: restore the last committed
+        // frame (zeros for a page that never reached a commit point --
+        // it was cold-materialized and is re-faultable as such).
+        uint8_t *pg = mem_[static_cast<size_t>(target)].page(vpage);
+        const uint8_t *frame =
+            journal_ ? journal_->lookup(vpage) : nullptr;
+        if (frame)
+            std::memcpy(pg, frame, vm::kPageSize);
+        else
+            std::memset(pg, 0, vm::kPageSize);
+        d.state[static_cast<size_t>(target)] = PageState::Modified;
+        ++pagesRecovered_;
+        auditStep("page_recovered", vpage);
+    }
+    ports_[static_cast<size_t>(dead)].tlbFlush();
+    for (auto &[vpage, h] : home_) {
+        if (h == dead) {
+            h = target;
+            ++pagesRehomed_;
+        }
+    }
+    recovering_ = false;
+    auditStep("recover_node", static_cast<uint64_t>(dead));
+    if (deathHandler_)
+        deathHandler_(dead);
 }
 
 DsmStats
@@ -81,6 +222,10 @@ DsmSpace::registerStats(obs::StatRegistry &reg)
     reg.attach("dsm.page_transfers", pageTransfers_);
     reg.attach("dsm.bytes_transferred", bytesTransferred_);
     reg.attach("dsm.extra_cycles", extraCycles_);
+    reg.attach("xfault.pages_recovered", pagesRecovered_);
+    reg.attach("xfault.pages_rehomed", pagesRehomed_);
+    if (journal_)
+        journal_->registerStats(reg);
     for (int n = 0; n < numNodes_; ++n) {
         std::string p = "node" + std::to_string(n) + ".dsm";
         NodeStats &ns = nodeStats_[static_cast<size_t>(n)];
@@ -175,37 +320,46 @@ DsmSpace::faultRead(int node, uint64_t vpage)
     NodeStats &ns = nodeStats_[static_cast<size_t>(node)];
     ++readFaults_;
     ++ns.readFaults;
-    int holder = anyHolder(d);
-    if (holder < 0) {
-        // Cold anonymous page: materializes zero-filled locally.
-        d.state[static_cast<size_t>(node)] = PageState::Shared;
-        mem_[static_cast<size_t>(node)].page(vpage);
-        auditStep("read_fault_cold", vpage);
-        return 0;
-    }
-    // Idempotent transfer application: a duplicate delivery (NIC
-    // retransmission racing the ack) re-runs the same state change.
-    auto applyCopy = [&] {
-        std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
-                    mem_[static_cast<size_t>(holder)].page(vpage),
-                    vm::kPageSize);
-        if (d.state[static_cast<size_t>(holder)] == PageState::Modified) {
-            d.state[static_cast<size_t>(holder)] = PageState::Shared;
-            // Exclusive-ownership downgrade: the holder loses its
-            // cached write translation (reads stay valid).
-            ports_[static_cast<size_t>(holder)].tlbDropWrite(vpage);
+    uint64_t cyc = 0;
+    for (;;) {
+        if (d.state[static_cast<size_t>(node)] != PageState::Invalid)
+            break; // recovery restored the page onto this very node
+        int holder = anyHolder(d);
+        if (holder < 0) {
+            // Cold anonymous page: materializes zero-filled locally.
+            d.state[static_cast<size_t>(node)] = PageState::Shared;
+            mem_[static_cast<size_t>(node)].page(vpage);
+            journalTouch(vpage, node);
+            auditStep("read_fault_cold", vpage);
+            return cyc;
         }
-        d.state[static_cast<size_t>(node)] = PageState::Shared;
-    };
-    auto sent = net_->reliableSend(vm::kPageSize + kMsgHeader,
-                                   freqGHz_[static_cast<size_t>(node)]);
-    applyCopy();
-    if (sent.duplicate)
+        // Idempotent transfer application: a duplicate delivery (NIC
+        // retransmission racing the ack) re-runs the same state change.
+        auto applyCopy = [&] {
+            std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
+                        mem_[static_cast<size_t>(holder)].page(vpage),
+                        vm::kPageSize);
+            if (d.state[static_cast<size_t>(holder)] ==
+                PageState::Modified) {
+                d.state[static_cast<size_t>(holder)] = PageState::Shared;
+                // Exclusive-ownership downgrade: the holder loses its
+                // cached write translation (reads stay valid).
+                ports_[static_cast<size_t>(holder)].tlbDropWrite(vpage);
+            }
+            d.state[static_cast<size_t>(node)] = PageState::Shared;
+        };
+        Xfer sent = xfer(holder, vm::kPageSize + kMsgHeader, node);
+        cyc += sent.cycles;
+        if (!sent.ok)
+            continue; // holder died mid-transfer; directory rebuilt
         applyCopy();
-    ++pageTransfers_;
-    ++ns.pagesIn;
-    bytesTransferred_.add(vm::kPageSize);
-    uint64_t cyc = sent.cycles;
+        if (sent.duplicate)
+            applyCopy();
+        ++pageTransfers_;
+        ++ns.pagesIn;
+        bytesTransferred_.add(vm::kPageSize);
+        break;
+    }
     extraCycles_.add(cyc);
 #if XISA_TRACE
     traceFault("read_fault", cyc, freqGHz_[static_cast<size_t>(node)]);
@@ -226,49 +380,56 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
     ++writeFaults_;
     ++ns.writeFaults;
     uint64_t cyc = 0;
-    if (d.state[static_cast<size_t>(node)] == PageState::Invalid) {
+    while (d.state[static_cast<size_t>(node)] == PageState::Invalid) {
         int holder = anyHolder(d);
-        if (holder >= 0) {
-            auto applyCopy = [&] {
-                std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
-                            mem_[static_cast<size_t>(holder)].page(vpage),
-                            vm::kPageSize);
-            };
-            auto sent = net_->reliableSend(
-                vm::kPageSize + kMsgHeader,
-                freqGHz_[static_cast<size_t>(node)]);
-            applyCopy();
-            if (sent.duplicate)
-                applyCopy();
-            ++pageTransfers_;
-            ++ns.pagesIn;
-            bytesTransferred_.add(vm::kPageSize);
-            cyc += sent.cycles;
-        } else {
+        if (holder < 0) {
             mem_[static_cast<size_t>(node)].page(vpage);
+            break;
         }
+        auto applyCopy = [&] {
+            std::memcpy(mem_[static_cast<size_t>(node)].page(vpage),
+                        mem_[static_cast<size_t>(holder)].page(vpage),
+                        vm::kPageSize);
+        };
+        Xfer sent = xfer(holder, vm::kPageSize + kMsgHeader, node);
+        cyc += sent.cycles;
+        if (!sent.ok)
+            continue; // holder died mid-transfer; directory rebuilt
+        applyCopy();
+        if (sent.duplicate)
+            applyCopy();
+        ++pageTransfers_;
+        ++ns.pagesIn;
+        bytesTransferred_.add(vm::kPageSize);
+        break;
     }
+    // Ownership transfer is a journal epoch: freeze the pre-write
+    // content before the surviving replicas are invalidated, so a
+    // crash of the new owner rolls back to this instant.
+    journalTouch(vpage, node);
     // Invalidate every other copy. Each invalidation is a reliable
     // control message; applying one twice (duplicate delivery) is a
     // no-op, the copy is already gone.
     for (int n = 0; n < numNodes_; ++n) {
         if (n == node)
             continue;
-        if (d.state[static_cast<size_t>(n)] != PageState::Invalid) {
+        while (d.state[static_cast<size_t>(n)] != PageState::Invalid) {
             auto applyInval = [&] {
                 d.state[static_cast<size_t>(n)] = PageState::Invalid;
                 mem_[static_cast<size_t>(n)].dropPage(vpage);
                 // The backing page is gone; both translations die.
                 ports_[static_cast<size_t>(n)].tlbDropPage(vpage);
             };
-            auto sent = net_->reliableSend(
-                kMsgHeader, freqGHz_[static_cast<size_t>(node)]);
+            Xfer sent = xfer(n, kMsgHeader, node);
+            cyc += sent.cycles;
+            if (!sent.ok)
+                break; // n died; recovery already dropped its copy
             applyInval();
             if (sent.duplicate)
                 applyInval();
             ++invalidations_;
             ++nodeStats_[static_cast<size_t>(n)].invalidations;
-            cyc += sent.cycles;
+            break;
         }
     }
     d.state[static_cast<size_t>(node)] = PageState::Modified;
@@ -379,6 +540,7 @@ DsmSpace::populate(int homeNode, uint64_t addr, const void *src, size_t n)
             PageState::Modified;
         home_.try_emplace(vpage, homeNode);
         mem_[static_cast<size_t>(homeNode)].write(addr, s, inPage);
+        journalTouch(vpage, homeNode);
         addr += inPage;
         s += inPage;
         n -= inPage;
@@ -396,6 +558,7 @@ DsmSpace::populateZero(int homeNode, uint64_t addr, size_t n)
             PageState::Modified;
         home_.try_emplace(vpage, homeNode);
         mem_[static_cast<size_t>(homeNode)].page(vpage);
+        journalTouch(vpage, homeNode);
         addr += inPage;
         n -= inPage;
     }
@@ -407,6 +570,8 @@ DsmSpace::broadcastWrite64(uint64_t addr, uint64_t value)
     uint64_t vpage = addr / vm::kPageSize;
     Dir &d = dir(vpage);
     for (int n = 0; n < numNodes_; ++n) {
+        if (!alive_[static_cast<size_t>(n)])
+            continue; // a dead kernel gets no replica
         mem_[static_cast<size_t>(n)].write(addr, &value, 8);
         // Everyone is demoted to Shared; cached write rights expire.
         ports_[static_cast<size_t>(n)].tlbDropWrite(vpage);
@@ -536,6 +701,12 @@ DsmSpace::checkInvariants() const
             vpage != vm::kVdsoBase / vm::kPageSize)
             panic("DSM invariant: page 0x%llx Modified with %d Shared",
                   static_cast<unsigned long long>(vpage), shared);
+        for (int n = 0; n < numNodes_; ++n)
+            if (!alive_[static_cast<size_t>(n)] &&
+                d.state[static_cast<size_t>(n)] != PageState::Invalid)
+                panic("DSM invariant: page 0x%llx valid on dead node "
+                      "%d",
+                      static_cast<unsigned long long>(vpage), n);
     }
 }
 
@@ -623,6 +794,17 @@ DsmSpace::loadState(ByteReader &r)
         setCounter(ns.pagesIn, r.u64());
     }
     flushAllTlbs();
+    // A restored space starts from a fresh commit point: re-capture
+    // every restored page so post-restore crashes roll back to here.
+    if (journal_) {
+        for (auto &[vpage, d] : dirs_) {
+            int holder = anyHolder(d);
+            if (holder >= 0)
+                journal_->capture(
+                    vpage,
+                    mem_[static_cast<size_t>(holder)].page(vpage));
+        }
+    }
     checkInvariants();
 }
 } // namespace xisa

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "dsm/interconnect.hh"
+#include "dsm/recovery.hh"
 #include "machine/mem.hh"
 #include "obs/registry.hh"
 #include "util/bytes.hh"
@@ -158,6 +159,53 @@ class DsmSpace
     /** Restore a saveState() snapshot into this (fresh) space. */
     void loadState(ByteReader &r);
 
+    // ---- crash tolerance (DESIGN.md §9) -----------------------------
+
+    /**
+     * Arm the crash-tolerance layer: share `fd` with the Interconnect,
+     * create the page journal, and capture every page currently known
+     * (the loader image) as its first committed frame. Page transfers
+     * switch to peer-aware reliable sends; a peer the detector declares
+     * Dead triggers recoverDeadNode() mid-fault. The detector is owned
+     * by the caller (the OS container or the test).
+     */
+    void armRecovery(FailureDetector *fd);
+    bool recoveryArmed() const { return fd_ != nullptr; }
+    FailureDetector *failureDetector() const { return fd_; }
+    /** Invoked once per recovered node, after the directory has been
+     *  rebuilt; the OS re-homes that node's threads here. */
+    void setDeathHandler(std::function<void(int)> handler)
+    {
+        deathHandler_ = std::move(handler);
+    }
+
+    /** False once `node` has been declared dead and recovered from. */
+    bool nodeAlive(int node) const
+    {
+        return alive_[static_cast<size_t>(node)] != 0;
+    }
+    /** Lowest-numbered alive node (where orphaned pages land), or -1. */
+    int recoveryTarget() const;
+
+    /**
+     * Reconstruct the directory after `dead`'s fail-stop: every copy it
+     * held is dropped; pages for which it was the sole holder are
+     * restored from the journal onto the recovery target as Modified
+     * (xfault.pages_recovered); RemoteAccess homes are reassigned
+     * (xfault.pages_rehomed). Idempotent. Fences `dead` in the
+     * detector, then invokes the death handler.
+     */
+    void recoverDeadNode(int dead);
+
+    /**
+     * Protocol epoch: refresh the committed frame of every journaled
+     * page from its current authoritative copy. The OS calls this at
+     * every kernel entry/exit, making quantum boundaries the crash-
+     * consistency points re-execution rolls back to.
+     */
+    void journalCommit();
+    const PageJournal *journal() const { return journal_.get(); }
+
     /**
      * Install a hook invoked after every protocol step (fault, fill,
      * broadcast) with a tag and the affected vpage. One observer at a
@@ -221,6 +269,23 @@ class DsmSpace
     Dir &dir(uint64_t vpage);
     /** RemoteAccess mode: resolve (or claim) the page's home node. */
     int homeOf(int toucher, uint64_t vpage);
+
+    /** Outcome of one reliable protocol transfer. */
+    struct Xfer {
+        uint64_t cycles = 0;
+        bool duplicate = false;
+        /** False when `peer` was declared dead mid-transfer; the
+         *  directory has been rebuilt and the caller must re-resolve
+         *  holders before retrying. */
+        bool ok = true;
+    };
+    /** Reliable transfer to `peer` charged at `forNode`'s clock. The
+     *  legacy reliableSend() when recovery is unarmed; peer-aware with
+     *  death handling otherwise. */
+    Xfer xfer(int peer, uint64_t bytes, int forNode);
+    /** Capture `vpage`'s content on `node` into the journal (no-op
+     *  unless recovery is armed). */
+    void journalTouch(uint64_t vpage, int node);
     /** Ensure `node` has a readable copy; returns charged cycles. */
     uint64_t faultRead(int node, uint64_t vpage);
     /** Ensure `node` has an exclusive copy; returns charged cycles. */
@@ -262,6 +327,12 @@ class DsmSpace
     bool bypass_ = false;    ///< true inside a ProtocolBypass scope
     std::function<void(const char *, uint64_t)> auditHook_;
     DsmMode mode_ = DsmMode::MigratePages;
+    /** Crash-tolerance state: unarmed by default (all of it inert). */
+    FailureDetector *fd_ = nullptr;
+    std::unique_ptr<PageJournal> journal_;
+    std::vector<char> alive_; ///< sized numNodes_, all 1 at ctor
+    bool recovering_ = false; ///< inside recoverDeadNode's sweep
+    std::function<void(int)> deathHandler_;
     /** RemoteAccess mode: home node of each page (first toucher). */
     std::unordered_map<uint64_t, int> home_;
     std::vector<SimMemory> mem_;   ///< per-node backing store
@@ -282,6 +353,8 @@ class DsmSpace
     obs::Counter pageTransfers_;
     obs::Counter bytesTransferred_;
     obs::Counter extraCycles_;
+    obs::Counter pagesRecovered_; ///< sole copies restored from journal
+    obs::Counter pagesRehomed_;   ///< orphaned pages given a new home
     std::vector<NodeStats> nodeStats_; ///< sized numNodes_ at ctor
 };
 

@@ -77,6 +77,18 @@ struct RetryPolicy {
     double backoffUs = 5.0;   ///< initial backoff after a failure
     double backoffCapUs = 320.0;
 
+    /** Circuit breaker: after this many consecutive timeouts to one
+     *  peer the circuit opens and reliableSendTo() fails fast
+     *  (xfault.circuit_open) instead of blocking callers through a
+     *  permanent partition. 0 disables it (the legacy behaviour). */
+    int breakerThreshold = 0;
+    /** Half-open probing while open: one real attempt is let through
+     *  every 2..(2+breakerProbeSpread) suppressed calls, with the gap
+     *  drawn from a seeded stream so probing stays deterministic. */
+    int breakerProbeSpread = 3;
+    /** Seeds the half-open probe-gap stream. */
+    uint64_t breakerSeed = 0xb4ea4e55ull;
+
     /** Largest exponent fed to the 2^k backoff scale. Shifting by the
      *  raw attempt count is undefined beyond 63 and, before the cap
      *  was applied, wrapped the delay back to a tiny (or zero)

@@ -48,6 +48,143 @@ Interconnect::send(uint64_t bytes, double freqGHz)
     return r;
 }
 
+Interconnect::SendResult
+Interconnect::deadSend(uint64_t bytes, double freqGHz)
+{
+    // The bytes hit the wire and vanish into a dead host: full wire
+    // traffic and transfer time, no ack, and -- because the link itself
+    // is fine -- no FaultDecision consumed from the plan.
+    SendResult r;
+    ++messages_;
+    bytes_.add(bytes);
+    r.status = SendStatus::Dropped;
+    r.seconds = transferSeconds(bytes);
+    r.cycles = static_cast<uint64_t>(r.seconds * freqGHz * 1e9);
+    ++deadSends_;
+    return r;
+}
+
+Interconnect::SendResult
+Interconnect::sendTo(int peer, uint64_t bytes, double freqGHz)
+{
+    if (!detector_)
+        return send(bytes, freqGHz);
+    detector_->tick();
+    SendResult r = detector_->crashed(peer) ? deadSend(bytes, freqGHz)
+                                            : send(bytes, freqGHz);
+    detector_->observeSend(peer, r.status == SendStatus::Delivered);
+    return r;
+}
+
+Interconnect::Breaker &
+Interconnect::breakerState(int peer)
+{
+    auto [it, inserted] = breakers_.try_emplace(peer);
+    if (inserted)
+        it->second.rng.reseed(cfg_.retry.breakerSeed ^
+                              (0x9e3779b97f4a7c15ull *
+                               static_cast<uint64_t>(peer + 1)));
+    return it->second;
+}
+
+bool
+Interconnect::circuitOpen(int peer) const
+{
+    auto it = breakers_.find(peer);
+    return it != breakers_.end() && it->second.open;
+}
+
+Interconnect::ReliableResult
+Interconnect::reliableSendTo(int peer, uint64_t bytes, double freqGHz)
+{
+    const bool breakerOn = cfg_.retry.breakerThreshold > 0;
+    if (!detector_ && !breakerOn)
+        return reliableSend(bytes, freqGHz);
+
+    ReliableResult total;
+    total.attempts = 0;
+    Breaker *b = breakerOn ? &breakerState(peer) : nullptr;
+    for (;;) {
+        if (b && b->open) {
+            if (++b->sinceProbe < b->probeGap) {
+                // Open circuit: fail fast at link-latency cost; no
+                // wire traffic, no fault decision, no retry charges.
+                ++circuitFailFast_;
+                double s = cfg_.latencyUs * 1e-6;
+                total.seconds += s;
+                total.cycles +=
+                    static_cast<uint64_t>(s * freqGHz * 1e9);
+                total.delivered = false;
+                return total;
+            }
+            // Half-open: let one seeded probe through for real.
+            b->sinceProbe = 0;
+            b->probeGap =
+                2 + static_cast<int>(b->rng.below(static_cast<uint64_t>(
+                        cfg_.retry.breakerProbeSpread + 1)));
+            ++circuitProbes_;
+        }
+        SendResult r = sendTo(peer, bytes, freqGHz);
+        ++total.attempts;
+        total.seconds += r.seconds;
+        total.cycles += r.cycles;
+        if (r.status == SendStatus::Delivered) {
+            if (b) {
+                b->open = false;
+                b->consecutive = 0;
+            }
+            total.duplicate = r.duplicate;
+            total.delivered = true;
+            return total;
+        }
+        if (b) {
+            ++b->consecutive;
+            if (!b->open &&
+                b->consecutive >= cfg_.retry.breakerThreshold) {
+                b->open = true;
+                ++circuitOpens_;
+                b->sinceProbe = 0;
+                b->probeGap = 2 + static_cast<int>(b->rng.below(
+                                      static_cast<uint64_t>(
+                                          cfg_.retry.breakerProbeSpread +
+                                          1)));
+            }
+        }
+        if (detector_ && detector_->dead(peer)) {
+            // Declared dead: the caller's recovery protocol takes over.
+            total.delivered = false;
+            return total;
+        }
+        if (b && b->open) {
+            // Newly opened (or a failed probe): fail fast from here on.
+            total.delivered = false;
+            return total;
+        }
+        if (total.attempts >= cfg_.retry.maxAttempts) {
+            if (detector_) {
+                // A peer we cannot reach within the full retry budget
+                // is fenced rather than panicked on: recovery treats a
+                // permanently partitioned peer like a dead one.
+                detector_->declareDead(peer);
+                total.delivered = false;
+                return total;
+            }
+            fatal("interconnect: message undeliverable after %d "
+                  "attempts (permanent partition?)",
+                  total.attempts);
+        }
+        // Ack timeout, then capped exponential backoff.
+        double waitUs = cfg_.retry.timeoutUs +
+                        cfg_.retry.backoffForAttempt(total.attempts);
+        uint64_t waitCycles =
+            static_cast<uint64_t>(waitUs * 1e-6 * freqGHz * 1e9);
+        total.seconds += waitUs * 1e-6;
+        total.cycles += waitCycles;
+        ++retries_;
+        backoffCycles_.add(waitCycles);
+    }
+}
+
 Interconnect::ReliableResult
 Interconnect::reliableSend(uint64_t bytes, double freqGHz)
 {

@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "dsm/faults.hh"
+#include "dsm/recovery.hh"
 #include "obs/registry.hh"
 
 namespace xisa {
@@ -65,6 +67,11 @@ class Interconnect
     struct ReliableResult {
         int attempts = 1;
         bool duplicate = false;
+        /** False when reliableSendTo() gave up: the peer was declared
+         *  dead by the failure detector, or the circuit breaker opened
+         *  and this call failed fast. reliableSend() never clears it
+         *  (it panics instead, the legacy contract). */
+        bool delivered = true;
         double seconds = 0;
         uint64_t cycles = 0;
     };
@@ -111,6 +118,40 @@ class Interconnect
      */
     ReliableResult reliableSend(uint64_t bytes, double freqGHz);
 
+    /**
+     * Peer-aware attempt: like send(), but advances the failure
+     * detector's link-event clock, fails (without consuming a fault
+     * decision) when `peer` has actually crashed, and feeds the
+     * outcome to the detector as evidence. Without an armed detector
+     * this is exactly send().
+     */
+    SendResult sendTo(int peer, uint64_t bytes, double freqGHz);
+
+    /**
+     * Peer-aware reliable transfer. With neither a failure detector
+     * nor a circuit breaker armed this is exactly reliableSend()
+     * (byte-identical cost and fault-stream consumption). Armed, it
+     * additionally:
+     *  - feeds every outcome to the failure detector and returns
+     *    delivered = false once the peer is declared Dead (instead of
+     *    panicking at maxAttempts, it fences the peer);
+     *  - opens the per-peer circuit after
+     *    RetryPolicy::breakerThreshold consecutive timeouts
+     *    (xfault.circuit_open) and from then on fails fast, letting a
+     *    seeded half-open probe through every few calls; a delivered
+     *    probe closes the circuit.
+     */
+    ReliableResult reliableSendTo(int peer, uint64_t bytes,
+                                  double freqGHz);
+
+    /** Arm the crash-tolerance layer: the detector is owned by the
+     *  caller (the OS container or the test) and shared with the DSM. */
+    void armRecovery(FailureDetector *fd) { detector_ = fd; }
+    FailureDetector *detector() const { return detector_; }
+
+    /** True while `peer`'s circuit is open (fail-fast mode). */
+    bool circuitOpen(int peer) const;
+
     /** True if this link can inject faults at all. */
     bool faulty() const { return !plan_.empty(); }
     FaultPlan &faultPlan() { return plan_; }
@@ -142,12 +183,33 @@ class Interconnect
         reg.attach("xfault.partition_rejects", partitionRejects_);
         reg.attach("xfault.retries", retries_);
         reg.attach("xfault.backoff_cycles", backoffCycles_);
+        reg.attach("xfault.circuit_open", circuitOpens_);
+        reg.attach("xfault.circuit_fail_fast", circuitFailFast_);
+        reg.attach("xfault.circuit_probes", circuitProbes_);
+        reg.attach("xfault.dead_sends", deadSends_);
     }
     const Config &config() const { return cfg_; }
 
   private:
+    /** Per-peer circuit-breaker state (created on first use). */
+    struct Breaker {
+        bool open = false;
+        int consecutive = 0; ///< consecutive timeouts to this peer
+        int sinceProbe = 0;  ///< suppressed calls since the last probe
+        int probeGap = 0;    ///< calls to suppress before the next probe
+        Rng rng;             ///< seeded probe-gap stream
+    };
+
+    Breaker &breakerState(int peer);
+    /** A send into a host that has actually crashed: real wire
+     *  traffic, no ack, and no FaultDecision consumed (the link is
+     *  fine; the host is gone). */
+    SendResult deadSend(uint64_t bytes, double freqGHz);
+
     Config cfg_;
     FaultPlan plan_;
+    FailureDetector *detector_ = nullptr;
+    std::unordered_map<int, Breaker> breakers_;
     obs::Counter messages_;
     obs::Counter bytes_;
     obs::Counter drops_;
@@ -156,6 +218,10 @@ class Interconnect
     obs::Counter partitionRejects_;
     obs::Counter retries_;
     obs::Counter backoffCycles_;
+    obs::Counter circuitOpens_;
+    obs::Counter circuitFailFast_;
+    obs::Counter circuitProbes_;
+    obs::Counter deadSends_;
 };
 
 } // namespace xisa

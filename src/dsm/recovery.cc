@@ -1,0 +1,186 @@
+#include "dsm/recovery.hh"
+
+#include <cstring>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+FailureDetector::FailureDetector(int numNodes, const RecoveryConfig &cfg)
+    : cfg_(cfg)
+{
+    if (numNodes <= 0)
+        fatal("FailureDetector: need at least one node");
+    crashStep_.assign(static_cast<size_t>(numNodes),
+                      std::numeric_limits<uint64_t>::max());
+    for (const PeerCrashEvent &ev : cfg_.crashes) {
+        if (ev.node < 0 || ev.node >= numNodes)
+            fatal("FailureDetector: crash event for node %d out of "
+                  "range [0, %d)",
+                  ev.node, numNodes);
+        size_t n = static_cast<size_t>(ev.node);
+        if (ev.atStep < crashStep_[n])
+            crashStep_[n] = ev.atStep;
+    }
+    for (const ShipCrashEvent &ev : cfg_.shipCrashes) {
+        if (ev.node < 0 || ev.node >= numNodes)
+            fatal("FailureDetector: ship-crash event for node %d out "
+                  "of range [0, %d)",
+                  ev.node, numNodes);
+    }
+    // Seeded per-peer jitter on the detection thresholds, so peers are
+    // not declared in lockstep and sweeps explore different detection
+    // orderings from different seeds.
+    obs_.resize(static_cast<size_t>(numNodes));
+    Rng rng(cfg_.detectorSeed);
+    for (Obs &o : obs_) {
+        o.suspectAt =
+            cfg_.suspectAfterMisses + static_cast<int>(rng.below(3));
+        o.deadAt = cfg_.deadAfterMisses + static_cast<int>(rng.below(4));
+        if (o.deadAt <= o.suspectAt)
+            o.deadAt = o.suspectAt + 1;
+    }
+}
+
+void
+FailureDetector::onMigrationShip()
+{
+    for (const ShipCrashEvent &ev : cfg_.shipCrashes) {
+        if (ev.atShip == shipIndex_ && !ev.afterDelivery) {
+            size_t n = static_cast<size_t>(ev.node);
+            if (clock_ < crashStep_[n])
+                crashStep_[n] = clock_;
+        }
+    }
+    ++shipIndex_;
+}
+
+void
+FailureDetector::onMigrationShipDone()
+{
+    // shipIndex_ was already advanced past the attempt in question.
+    for (const ShipCrashEvent &ev : cfg_.shipCrashes) {
+        if (ev.atShip + 1 == shipIndex_ && ev.afterDelivery) {
+            size_t n = static_cast<size_t>(ev.node);
+            if (clock_ < crashStep_[n])
+                crashStep_[n] = clock_;
+        }
+    }
+}
+
+bool
+FailureDetector::miss(int node)
+{
+    Obs &o = obs_[static_cast<size_t>(node)];
+    if (o.state == PeerState::Dead)
+        return false;
+    ++o.misses;
+    if (o.state == PeerState::Alive && o.misses >= o.suspectAt)
+        o.state = PeerState::Suspect;
+    if (o.misses >= o.deadAt) {
+        o.state = PeerState::Dead;
+        ++deaths_;
+        return true;
+    }
+    return false;
+}
+
+void
+FailureDetector::beat(int node)
+{
+    Obs &o = obs_[static_cast<size_t>(node)];
+    if (o.state == PeerState::Dead)
+        return; // fenced: evidence of life is ignored after declaration
+    if (o.state == PeerState::Suspect) {
+        o.state = PeerState::Alive;
+        ++falseSuspects_;
+    }
+    o.misses = 0;
+}
+
+bool
+FailureDetector::observeSend(int peer, bool delivered)
+{
+    if (delivered) {
+        beat(peer);
+        return false;
+    }
+    return miss(peer);
+}
+
+bool
+FailureDetector::heartbeatRound()
+{
+    tick();
+    bool newlyDead = false;
+    for (int n = 0; n < numNodes(); ++n) {
+        if (crashed(n))
+            newlyDead = miss(n) || newlyDead;
+        else
+            beat(n);
+    }
+    return newlyDead;
+}
+
+void
+FailureDetector::declareDead(int node)
+{
+    Obs &o = obs_[static_cast<size_t>(node)];
+    if (o.state == PeerState::Dead)
+        return;
+    o.state = PeerState::Dead;
+    ++deaths_;
+}
+
+void
+FailureDetector::registerStats(obs::StatRegistry &reg)
+{
+    reg.attach("xfault.deaths", deaths_);
+    reg.attach("xfault.false_suspects", falseSuspects_);
+}
+
+const uint8_t *
+PageJournal::lookup(uint64_t vpage) const
+{
+    auto it = entries_.find(vpage);
+    return it == entries_.end() ? nullptr : it->second.data();
+}
+
+size_t
+PageJournal::refreshFrame(std::vector<uint8_t> &frame,
+                          const uint8_t *bytes)
+{
+    size_t diff = 0;
+    for (size_t i = 0; i < pageSize_; ++i)
+        diff += frame[i] != bytes[i];
+    if (diff) {
+        std::memcpy(frame.data(), bytes, pageSize_);
+        ++appends_;
+        diffBytes_.add(diff);
+    }
+    return diff;
+}
+
+size_t
+PageJournal::capture(uint64_t vpage, const uint8_t *bytes)
+{
+    auto [it, inserted] = entries_.try_emplace(vpage);
+    if (!inserted)
+        return refreshFrame(it->second, bytes);
+    it->second.assign(bytes, bytes + pageSize_);
+    pagesGauge_.set(static_cast<double>(entries_.size()));
+    ++appends_;
+    diffBytes_.add(pageSize_);
+    return pageSize_;
+}
+
+void
+PageJournal::registerStats(obs::StatRegistry &reg)
+{
+    reg.attach("xfault.journal_appends", appends_);
+    reg.attach("xfault.journal_diff_bytes", diffBytes_);
+    reg.attach("xfault.journal_pages", pagesGauge_);
+}
+
+} // namespace xisa

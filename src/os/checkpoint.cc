@@ -233,6 +233,11 @@ ReplicatedOS::restore(const std::vector<uint8_t> &bytes)
     if (!r.done())
         fatal("trailing garbage after checkpoint payload");
     loaded_ = true;
+    // Checkpoints predate the crash-tolerance snapshots: a restored
+    // thread is committed as-restored.
+    if (fd_)
+        for (auto &tp : threads_)
+            commitThread(*tp);
     if (auditor_)
         auditor_->deepCheck("restore");
 }

@@ -27,9 +27,22 @@ constexpr uint64_t kContextMsgBytes = 1024;
 OsConfig
 applySchedulePerturbation(OsConfig cfg)
 {
-    if (check::SchedulePerturber::enabled())
-        cfg.net.faults = check::SchedulePerturber::perturbFaults(
-            cfg.net.faults, check::SchedulePerturber::envSeed());
+    if (check::SchedulePerturber::enabled()) {
+        uint64_t seed = check::SchedulePerturber::envSeed();
+        cfg.net.faults =
+            check::SchedulePerturber::perturbFaults(cfg.net.faults, seed);
+        // Crash injection only targets nodes whose threads have a
+        // same-ISA kernel to be re-homed onto.
+        std::vector<int> victims;
+        for (size_t n = 0; n < cfg.nodes.size(); ++n)
+            for (size_t m = 0; m < cfg.nodes.size(); ++m)
+                if (m != n && cfg.nodes[m].isa == cfg.nodes[n].isa) {
+                    victims.push_back(static_cast<int>(n));
+                    break;
+                }
+        cfg.recovery = check::SchedulePerturber::perturbRecovery(
+            cfg.recovery, victims, seed);
+    }
     return cfg;
 }
 
@@ -55,6 +68,14 @@ ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
         freqs.push_back(s.freqGHz);
     dsm_ = std::make_unique<DsmSpace>(static_cast<int>(cfg_.nodes.size()),
                                       &net_, freqs, cfg_.dsmMode);
+    if (cfg_.recovery.enabled) {
+        // Arm before registerStats below: the page journal's stats only
+        // exist once the DSM is armed.
+        fd_ = std::make_unique<FailureDetector>(
+            static_cast<int>(cfg_.nodes.size()), cfg_.recovery);
+        dsm_->armRecovery(fd_.get());
+        dsm_->setDeathHandler([this](int dead) { onNodeDeath(dead); });
+    }
     for (const NodeSpec &s : cfg_.nodes) {
         nodes_.emplace_back(s, bin_);
         if (cfg_.profile)
@@ -88,6 +109,11 @@ ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
     stats_.attach("os.migrate.response_us", migrateResponseUs_);
     stats_.attach("machine.instrs", instrsStat_);
     stats_.attach("sched.migrate_requests", migrateRequests_);
+    if (fd_) {
+        fd_->registerStats(stats_);
+        stats_.attach("xfault.threads_recovered", threadsRecovered_);
+        stats_.attach("xfault.quanta_voided", quantaVoided_);
+    }
 
     if (check::SchedulePerturber::enabled())
         perturb_ = std::make_unique<check::SchedulePerturber>(
@@ -215,6 +241,8 @@ ReplicatedOS::createThread(int node, uint32_t funcId,
     for (size_t i = 0; i < intArgs.size(); ++i)
         t.ctx.gpr[abi.intArgRegs[i]] = intArgs[i];
 
+    if (fd_)
+        commitThread(t); // newborn threads are born committed
     ++threadSpawns_;
     liveThreads_.add(1);
 #if XISA_TRACE
@@ -280,6 +308,7 @@ ReplicatedOS::run()
 {
     XISA_CHECK(loaded_, "run() before load()");
     while (!finished()) {
+        pollFailures();
         OsThread *t = pickNext();
         if (!t)
             panic("deadlock: blocked threads but nothing runnable");
@@ -305,6 +334,7 @@ ReplicatedOS::runUntil(double seconds)
 {
     XISA_CHECK(loaded_, "runUntil() before load()");
     while (!finished()) {
+        pollFailures();
         OsThread *t = pickNext();
         if (!t)
             panic("deadlock: blocked threads but nothing runnable");
@@ -320,6 +350,13 @@ ReplicatedOS::runUntil(double seconds)
 void
 ReplicatedOS::runQuantum(OsThread &t)
 {
+    if (fd_) {
+        // Kernel-entry commit point (DESIGN.md §9): if this node's
+        // crash instant passes during the slice, the quantum is voided
+        // back to exactly this state.
+        commitThread(t);
+        dsm_->journalCommit();
+    }
     NodeRuntime &nr = nodes_[static_cast<size_t>(t.node)];
     Core &core = nr.cores[static_cast<size_t>(t.core)];
     double t0 = coreTime(t.node, t.core);
@@ -343,6 +380,21 @@ ReplicatedOS::runQuantum(OsThread &t)
 #endif
     meter_.addBusy(t.node, t0, coreTime(t.node, t.core));
 
+    if (fd_ && fd_->crashed(t.node)) {
+        // The node died mid-slice (its DSM traffic pushed the link
+        // clock past its crash instant). The whole quantum is a zombie:
+        // roll the thread back and tear the node down; recovery undoes
+        // the zombie's page steals from the journal.
+        ++quantaVoided_;
+        int dead = t.node;
+        rollbackThread(t);
+        if (dsm_->nodeAlive(dead))
+            dsm_->recoverDeadNode(dead);
+        auditRecovery("quantum_voided");
+        if (onQuantum)
+            onQuantum(*this);
+        return;
+    }
     switch (r.reason) {
       case StopReason::Budget:
         break;
@@ -358,6 +410,27 @@ ReplicatedOS::runQuantum(OsThread &t)
       case StopReason::Syscall:
         fatal("unexpected raw syscall %lld",
               static_cast<long long>(r.sysno));
+    }
+    if (fd_) {
+        if (fd_->crashed(t.node)) {
+            // Died during its own stop handling: either a builtin's
+            // DSM traffic (Memcpy/Memset are the only builtins that
+            // advance the clock, and they mutate no kernel maps, so
+            // the committed snapshot is the complete rollback), or the
+            // thread just migrated onto a node that died right after
+            // the handoff (rollback returns it to the source; the seq
+            // stays in the ledger marked destDied).
+            ++quantaVoided_;
+            int dead = t.node;
+            rollbackThread(t);
+            if (dsm_->nodeAlive(dead))
+                dsm_->recoverDeadNode(dead);
+            auditRecovery("builtin_voided");
+        } else {
+            // Kernel-exit commit point.
+            commitThread(t);
+            dsm_->journalCommit();
+        }
     }
     if (onQuantum)
         onQuantum(*this);
@@ -390,6 +463,12 @@ ReplicatedOS::wake(OsThread &t, double atTime)
     t.kcont.pendingBuiltin = 0;
     t.state = ThreadState::Ready;
     setCoreTimeAtLeast(t.node, t.core, atTime);
+    // The context advanced outside the thread's own quantum; re-commit
+    // so a later rollback does not replay the completed kernel service.
+    // (No clock ticks can intervene between this and the waker's own
+    // end-of-quantum commit, so committing here is crash-atomic.)
+    if (fd_)
+        commitThread(t);
 }
 
 void
@@ -620,6 +699,8 @@ ReplicatedOS::migrateThread(int tid, int destNode)
     XISA_CHECK(destNode >= 0 &&
                    destNode < static_cast<int>(nodes_.size()),
                "bad destination node");
+    if (fd_ && !dsm_->nodeAlive(destNode))
+        return; // migration requests aimed at a dead kernel are ignored
     t.migrationTarget = destNode;
     // Response time is measured on the thread's own clock: cores
     // advance asynchronously, so the global max would overstate it.
@@ -635,6 +716,12 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
 {
     NodeRuntime &src = nodes_[static_cast<size_t>(t.node)];
     int dest = t.migrationTarget;
+    if (fd_ && dest >= 0 && !dsm_->nodeAlive(dest)) {
+        // The target kernel died since the request: cancel it.
+        t.migrationTarget = -1;
+        dest = -1;
+        updateVdsoFlag();
+    }
     if (dest < 0 || dest == t.node) {
         // Spurious check (flag was set for some other thread).
         ++spuriousMigrateTraps_;
@@ -649,6 +736,16 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
         // schedule never reaches. The request stays pending.
         src.interp->finishTrap(t.ctx, Type::Void, 0, 0);
         return;
+    }
+    if (fd_) {
+        // The handoff is a commit point: the shipped context is the
+        // thread's at-trap state, so the journal must hold at-trap
+        // page content. Without this refresh, a crash on either side
+        // of the delivery would revive the source's pages at the older
+        // kernel-entry commit while the thread resumes past writes
+        // those frames have never seen.
+        commitThread(t);
+        dsm_->journalCommit();
     }
     NodeRuntime &dst = nodes_[static_cast<size_t>(dest)];
     MigrationEvent ev;
@@ -695,26 +792,78 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     // destination acks, so a duplicated delivery just re-installs the
     // same context (idempotent) and a lost one is retried -- the thread
     // can never be lost or duplicated. After migrationRetryLimit failed
-    // attempts the migration aborts and the thread resumes here.
+    // attempts the migration aborts and the thread resumes here. Under
+    // crash tolerance every handoff carries a per-thread sequence
+    // number recorded in the ledger, and a crash on either side of the
+    // delivery resolves to the thread existing on exactly one kernel
+    // (DESIGN.md §9).
     double srcDone = coreTime(t.node, t.core);
     OBS_TRACE_BEGIN(t.tid, "os.migrate", "send_context", srcDone);
     const RetryPolicy &retry = net_.retryPolicy();
+    size_t ledgerIdx = 0;
+    if (fd_) {
+        MigrationLedgerEntry rec;
+        rec.tid = t.tid;
+        rec.seq = ++t.migrationSeq;
+        rec.source = t.node;
+        rec.dest = dest;
+        ledgerIdx = migrationLedger_.size();
+        migrationLedger_.push_back(rec);
+    }
     double sendSeconds = 0;
     bool delivered = false;
+    bool sourceCrashedPreShip = false;
     for (int attempt = 1; attempt <= cfg_.migrationRetryLimit;
          ++attempt) {
+        if (fd_) {
+            fd_->onMigrationShip();
+            if (fd_->crashed(t.node)) {
+                // The source died with the context still local: this
+                // ship never happened.
+                sourceCrashedPreShip = true;
+                break;
+            }
+        }
         Interconnect::SendResult r =
-            net_.send(kContextMsgBytes, dst.spec.freqGHz);
+            fd_ ? net_.sendTo(dest, kContextMsgBytes, dst.spec.freqGHz)
+                : net_.send(kContextMsgBytes, dst.spec.freqGHz);
         sendSeconds += r.seconds;
         if (r.status == SendStatus::Delivered) {
+            if (fd_)
+                fd_->onMigrationShipDone();
             delivered = true;
             break;
         }
         ++migrationRetries_;
         sendSeconds +=
             (retry.timeoutUs + retry.backoffForAttempt(attempt)) * 1e-6;
+        if (fd_ && fd_->dead(dest))
+            break; // destination declared dead: stop retrying
     }
     OBS_TRACE_END(t.tid, srcDone + sendSeconds);
+    if (fd_ && !delivered &&
+        (sourceCrashedPreShip || fd_->crashed(t.node))) {
+        // Source crashed before the context reached the wire. The seq
+        // was never applied anywhere; recover the thread from its
+        // committed at-trap snapshot on a surviving kernel. Replaying
+        // from the trap re-raises the (now spurious) migration trap and
+        // execution continues.
+        OBS_TRACE_INSTANT(t.tid, "os.migrate", "source_crash",
+                          srcDone + sendSeconds);
+        int deadSrc = t.node;
+        rollbackThread(t);
+        t.migrationTarget = -1;
+        if (dsm_->nodeAlive(deadSrc))
+            dsm_->recoverDeadNode(deadSrc);
+        auditRecovery("migration_source_crash");
+        return;
+    }
+    if (fd_ && !delivered && fd_->dead(dest) && dsm_->nodeAlive(dest)) {
+        // Destination died mid-handoff and the context never landed:
+        // recover the dead kernel; the abort path below keeps the
+        // thread runnable on the source -- it exists exactly once.
+        dsm_->recoverDeadNode(dest);
+    }
     if (!delivered) {
         // Clean abort: discard the transformed context, charge the
         // wasted send time, and leave the thread runnable on the
@@ -729,6 +878,8 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
         src.interp->finishTrap(t.ctx, Type::Void, 0, 0);
         return;
     }
+    if (fd_)
+        migrationLedger_[ledgerIdx].applied = true;
     // TLB shootdown on both kernels: the thread's working set is about
     // to be pulled across, so cached translations on either side must
     // not short-circuit the coherence traffic the move will cause.
@@ -751,8 +902,148 @@ ReplicatedOS::handleMigrateTrap(OsThread &t, uint32_t siteId)
     ++migrationsDone_;
     migrateResponseUs_.add((ev.resumeTime - ev.requestTime) * 1e6);
     migrations_.push_back(ev);
+    if (fd_ && fd_->crashed(ev.fromNode) &&
+        dsm_->nodeAlive(ev.fromNode)) {
+        // Crash between state-ship and ack: the context was installed
+        // at the destination, so the thread lives exactly once, there;
+        // the dead source is torn down around it.
+        OBS_TRACE_INSTANT(t.tid, "os.migrate", "source_crash_after_ship",
+                          ev.resumeTime);
+        dsm_->recoverDeadNode(ev.fromNode);
+        auditRecovery("migration_source_crash_after_ship");
+    }
     if (auditor_)
         auditor_->deepCheck("migration");
+}
+
+// ---- Crash tolerance (DESIGN.md §9) ---------------------------------
+
+bool
+ReplicatedOS::nodeAlive(int node) const
+{
+    return dsm_->nodeAlive(node);
+}
+
+void
+ReplicatedOS::commitThread(OsThread &t)
+{
+    t.committedCtx = t.ctx;
+    t.committedNode = t.node;
+}
+
+void
+ReplicatedOS::rollbackThread(OsThread &t)
+{
+    t.ctx = t.committedCtx;
+    if (t.node != t.committedNode) {
+        // Rolling back across a migration: the thread returns to its
+        // committed home with a fresh kernel continuation there.
+        t.node = t.committedNode;
+        t.core = pickCore(t.node);
+        t.kcont = KernelContinuation{};
+        t.kcont.isa = t.ctx.isa;
+        t.kcont.node = t.node;
+    }
+}
+
+void
+ReplicatedOS::pollFailures()
+{
+    if (!fd_)
+        return;
+    // Heartbeats ride the un-faulted control channel: one round per
+    // scheduling decision. A peer whose crash instant passed stops
+    // answering and is declared dead after the (jittered) miss budget.
+    fd_->heartbeatRound();
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n)
+        if (fd_->dead(n) && dsm_->nodeAlive(n))
+            dsm_->recoverDeadNode(n);
+}
+
+void
+ReplicatedOS::onNodeDeath(int dead)
+{
+    // Invoked by the DSM once the directory is reconstructed and every
+    // orphaned page has a live home: this is the kernel-side half.
+    for (auto &rec : migrationLedger_)
+        if (rec.dest == dead && rec.applied)
+            rec.destDied = true;
+    for (auto &tp : threads_) {
+        OsThread &t = *tp;
+        if (t.state == ThreadState::Done)
+            continue;
+        if (t.migrationTarget == dead) {
+            t.migrationTarget = -1; // cancel requests aimed at the dead
+        }
+        if (t.node != dead)
+            continue;
+        // Re-home from the committed (crash-consistent) snapshot onto
+        // the lowest-id same-ISA survivor. Heterogeneous re-homing
+        // would need a stack transform of a context only the dead
+        // kernel could parse -- fail-stop forbids it, matching the
+        // checkpoint/restore baseline's homogeneous-only limitation.
+        t.ctx = t.committedCtx;
+        int target = -1;
+        for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+            if (n != dead && dsm_->nodeAlive(n) &&
+                nodes_[static_cast<size_t>(n)].spec.isa == t.ctx.isa) {
+                target = n;
+                break;
+            }
+        }
+        if (target < 0)
+            fatal("node %d died holding thread %d and no same-ISA "
+                  "kernel survives: cannot re-home an ISA-%d context "
+                  "(DESIGN.md section 9)",
+                  dead, t.tid, static_cast<int>(t.ctx.isa));
+        double was = coreTime(t.node, t.core);
+        t.node = target;
+        t.core = pickCore(target);
+        t.committedNode = target;
+        t.kcont.node = target;
+        setCoreTimeAtLeast(target, t.core, was);
+        ++threadsRecovered_;
+        OBS_TRACE_INSTANT(t.tid, "os", "thread_recovered", was);
+    }
+    updateVdsoFlag();
+    auditRecovery("node_death");
+}
+
+void
+ReplicatedOS::auditRecovery(const char *where)
+{
+    if (!auditor_ || !fd_)
+        return;
+    for (const auto &tp : threads_)
+        if (tp->state != ThreadState::Done &&
+            !dsm_->nodeAlive(tp->node))
+            auditor_->violation(
+                where, strfmt("thread %d is live on dead node %d",
+                              tp->tid, tp->node));
+    // Exactly-once handoff: per thread the ledger seqs are strictly
+    // increasing (each handoff attempt drew a fresh seq) and no seq was
+    // applied to a kernel that is still alive more than once.
+    std::vector<uint64_t> lastSeq(threads_.size(), 0);
+    for (const MigrationLedgerEntry &rec : migrationLedger_) {
+        size_t tid = static_cast<size_t>(rec.tid);
+        if (rec.seq <= lastSeq[tid])
+            auditor_->violation(
+                where,
+                strfmt("migration seq %llu of thread %d not "
+                       "strictly increasing",
+                       static_cast<unsigned long long>(rec.seq),
+                       rec.tid));
+        lastSeq[tid] = rec.seq;
+        if (rec.applied && !rec.destDied &&
+            !dsm_->nodeAlive(rec.dest))
+            auditor_->violation(
+                where,
+                strfmt("migration seq %llu of thread %d applied at "
+                       "node %d which died, but the ledger was never "
+                       "reconciled",
+                       static_cast<unsigned long long>(rec.seq),
+                       rec.tid, rec.dest));
+    }
 }
 
 } // namespace xisa

@@ -72,6 +72,13 @@ struct OsConfig {
     int migrationRetryLimit = 8;
     /** Energy-meter sampling grid (default: the paper's 100 Hz DAQ). */
     double energyBinSeconds = 0.01;
+    /**
+     * Crash tolerance (DESIGN.md §9): failure detector, page journal,
+     * directory reconstruction, and exactly-once migration handoff.
+     * Disabled by default; the disabled configuration is bit-identical
+     * to a build without the layer (golden-guarded).
+     */
+    RecoveryConfig recovery;
 
     /** Two-node ARM + x86 testbed matching the paper's setup. */
     static OsConfig dualServer();
@@ -182,6 +189,30 @@ class ReplicatedOS
      *  re-requesting migration to ping-pong a process between nodes). */
     std::function<void(ReplicatedOS &)> onQuantum;
 
+    // --- Crash tolerance (DESIGN.md §9) -------------------------------
+    /** The failure detector, or nullptr unless cfg.recovery.enabled. */
+    FailureDetector *failureDetector() { return fd_.get(); }
+    /** True while `node`'s kernel has not been declared dead. */
+    bool nodeAlive(int node) const;
+    /**
+     * One sequence-numbered migration handoff, for the exactly-once
+     * audit: `applied` is set when the context was installed at the
+     * destination, `destDied` when that destination later crashed (the
+     * installed copy perished with it and the thread rolled back).
+     */
+    struct MigrationLedgerEntry {
+        int tid = 0;
+        uint64_t seq = 0;
+        int source = 0;
+        int dest = 0;
+        bool applied = false;
+        bool destDied = false;
+    };
+    const std::vector<MigrationLedgerEntry> &migrationLedger() const
+    {
+        return migrationLedger_;
+    }
+
   private:
     enum class ThreadState { Ready, Blocked, Done };
 
@@ -207,6 +238,13 @@ class ReplicatedOS
         uint64_t exitValue = 0;
         int migrationTarget = -1;
         double migrationRequestTime = 0;
+        /** Crash-consistent snapshot (DESIGN.md §9): the context and
+         *  home as of the last commit point. A quantum on a node whose
+         *  crash instant passed mid-quantum is voided back to this. */
+        ThreadContext committedCtx;
+        int committedNode = 0;
+        /** Sequence number of this thread's next migration handoff. */
+        uint64_t migrationSeq = 0;
     };
 
     struct NodeRuntime {
@@ -244,6 +282,22 @@ class ReplicatedOS
     void setupInitialStack(OsThread &t);
     void updateVdsoFlag();
 
+    // Crash tolerance (DESIGN.md §9).
+    /** Commit point: snapshot `t` and refresh the page journal. */
+    void commitThread(OsThread &t);
+    /** Heartbeat round + declare/recover newly detected deaths. */
+    void pollFailures();
+    /** Kernel-side half of node death: re-home the dead kernel's
+     *  threads onto a same-ISA survivor (invoked by the DSM after the
+     *  directory was reconstructed). */
+    void onNodeDeath(int dead);
+    /** Void a quantum that ran on a node whose crash instant passed:
+     *  roll `t` back to its committed snapshot. */
+    void rollbackThread(OsThread &t);
+    /** Recovery-specific invariants (live threads on alive nodes,
+     *  exactly-once ledger); no-op unless the auditor is armed. */
+    void auditRecovery(const char *where);
+
     /** Must stay the FIRST member: destroyed last, so component stats
      *  (declared below, destroyed first) detach from a live registry. */
     obs::StatRegistry stats_;
@@ -259,6 +313,9 @@ class ReplicatedOS
     /** Armed by XISA_AUDIT / XISA_PERTURB at construction. */
     std::unique_ptr<check::InvariantAuditor> auditor_;
     std::unique_ptr<check::SchedulePerturber> perturb_;
+    /** Created when cfg.recovery.enabled; shared with net_ and dsm_. */
+    std::unique_ptr<FailureDetector> fd_;
+    std::vector<MigrationLedgerEntry> migrationLedger_;
 
     // Kernel service state.
     uint64_t heapBrk_ = vm::kHeapBase;
@@ -280,6 +337,8 @@ class ReplicatedOS
     obs::Counter spuriousMigrateTraps_;
     obs::Counter migrationAborts_;  ///< xfault.migration_aborts
     obs::Counter migrationRetries_; ///< xfault.migration_retries
+    obs::Counter threadsRecovered_; ///< xfault.threads_recovered
+    obs::Counter quantaVoided_;     ///< xfault.quanta_voided
     obs::Counter migrateRequests_; ///< sched.migrate_requests
     obs::Counter instrsStat_;      ///< machine.instrs
     obs::Gauge liveThreads_;

@@ -64,6 +64,7 @@ ClusterSim::ClusterSim(std::vector<Machine> machines,
     stats_.attach("xfault.restarts", restartsStat_);
     stats_.attach("xfault.checkpoints", checkpointsStat_);
     stats_.attach("xfault.lost_seconds", lostSecondsStat_);
+    stats_.attach("xfault.recovered_seconds", recoveredSecondsStat_);
     net_.registerStats(stats_, "net");
 }
 
@@ -239,6 +240,7 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
     int crashCount = 0;
     int failovers = 0;
     double lostWork = 0;
+    double recoveredWork = 0;
     std::map<int, int> restartCounts;
 
     auto refreshAlive = [&] {
@@ -430,6 +432,12 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
                                       rj.durationHere);
                 lostWork += lost;
                 lostSecondsStat_.add(lost);
+                // What the checkpoint saved: everything finished before
+                // the snapshot restarts as done, not redone.
+                double recovered = std::max(
+                    0.0, (1.0 - rj.ckptRemaining) * rj.durationHere);
+                recoveredWork += recovered;
+                recoveredSecondsStat_.add(recovered);
                 rj.remainingFraction = rj.ckptRemaining;
                 ++restartCounts[rj.job.id];
                 int target = ev.machine;
@@ -594,6 +602,7 @@ ClusterSim::run(const std::vector<Job> &jobs, Policy policy)
     res.crashes = crashCount;
     res.failovers = failovers;
     res.lostWorkSeconds = lostWork;
+    res.recoveredWorkSeconds = recoveredWork;
     res.restartCounts = std::move(restartCounts);
     return res;
 }

@@ -82,6 +82,9 @@ struct ClusterResult {
     int crashes = 0;
     int failovers = 0; ///< restarts placed on a different machine
     double lostWorkSeconds = 0; ///< progress discarded to checkpoints
+    /** Progress the checkpoints preserved across crashes: work the
+     *  restarted jobs did NOT have to redo. */
+    double recoveredWorkSeconds = 0;
     std::map<int, int> restartCounts; ///< job id -> restarts
 };
 
@@ -192,6 +195,7 @@ class ClusterSim
     obs::Counter restartsStat_;
     obs::Counter checkpointsStat_;
     obs::Gauge lostSecondsStat_;
+    obs::Gauge recoveredSecondsStat_;
 
     std::map<int, const char *> jobSpanNames_; ///< job id -> interned
 };

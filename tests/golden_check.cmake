@@ -6,6 +6,10 @@
 # Runs the bench in XISA_QUICK mode and fails unless its stdout is
 # byte-identical to the golden recorded before the fault-injection layer
 # existed -- the empty FaultPlan must add zero cost and zero behavior.
+#
+# Pass -DAUDIT=1 to run the same guard with the invariant auditor armed
+# (XISA_AUDIT=1): the auditor, like the empty FaultPlan and the disarmed
+# crash-tolerance layer, must never change a run.
 
 foreach(var BENCH GOLDEN OUT)
     if(NOT DEFINED ${var})
@@ -13,8 +17,13 @@ foreach(var BENCH GOLDEN OUT)
     endif()
 endforeach()
 
+set(run_env XISA_QUICK=1)
+if(DEFINED AUDIT AND AUDIT)
+    list(APPEND run_env XISA_AUDIT=1)
+endif()
+
 execute_process(
-    COMMAND ${CMAKE_COMMAND} -E env XISA_QUICK=1 ${BENCH}
+    COMMAND ${CMAKE_COMMAND} -E env ${run_env} ${BENCH}
     OUTPUT_FILE ${OUT}
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)

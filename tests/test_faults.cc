@@ -13,9 +13,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
+#include "check/audit.hh"
+#include "check/perturb.hh"
 #include "dsm/dsm.hh"
 #include "dsm/faults.hh"
 #include "ir/interp.hh"
@@ -480,6 +483,326 @@ TEST(FaultyRecovery, CheckpointRestoreRecoversUnderFaultyLink)
     EXPECT_EQ(res.output, ref.output);
     EXPECT_EQ(res.exitCode, ref.retVal);
     resumed.dsm().checkInvariants();
+}
+
+// --- Circuit breaker (reliableSendTo) --------------------------------
+
+TEST(CircuitBreaker, OpensAtThresholdAndFailsFast)
+{
+    Interconnect::Config cfg;
+    cfg.faults.seed = 0xb4ea4;
+    cfg.faults.dropProb = 1.0; // the link never heals
+    cfg.retry.breakerThreshold = 3;
+    Interconnect net(cfg);
+    obs::StatRegistry reg;
+    net.registerStats(reg, "net");
+
+    Interconnect::ReliableResult first = net.reliableSendTo(1, 256, 1.0);
+    EXPECT_FALSE(first.delivered);
+    // Opened exactly at the threshold instead of burning the full
+    // 64-attempt retry budget (and its panic).
+    EXPECT_EQ(first.attempts, 3);
+    EXPECT_TRUE(net.circuitOpen(1));
+    EXPECT_EQ(reg.counterValue("xfault.circuit_open"), 1u);
+
+    uint64_t failFast0 = reg.counterValue("xfault.circuit_fail_fast");
+    for (int i = 0; i < 40; ++i)
+        EXPECT_FALSE(net.reliableSendTo(1, 256, 1.0).delivered);
+    // Most calls failed fast at latency-only cost; seeded half-open
+    // probes kept re-testing the link without re-counting an open.
+    EXPECT_GT(reg.counterValue("xfault.circuit_fail_fast"), failFast0);
+    EXPECT_GT(reg.counterValue("xfault.circuit_probes"), 4u);
+    EXPECT_EQ(reg.counterValue("xfault.circuit_open"), 1u);
+    // Other peers are unaffected: each breaker is per-peer.
+    EXPECT_FALSE(net.circuitOpen(2));
+}
+
+TEST(CircuitBreaker, DeliveredProbeClosesTheCircuit)
+{
+    Interconnect::Config cfg;
+    cfg.faults.seed = 0x900d;
+    cfg.faults.dropProb = 0.85; // lossy, but probes eventually land
+    cfg.retry.breakerThreshold = 2;
+    Interconnect net(cfg);
+
+    bool sawOpen = false, sawClose = false;
+    for (int i = 0; i < 400 && !(sawOpen && sawClose); ++i) {
+        net.reliableSendTo(1, 64, 1.0);
+        if (net.circuitOpen(1))
+            sawOpen = true;
+        else if (sawOpen)
+            sawClose = true;
+    }
+    EXPECT_TRUE(sawOpen);
+    EXPECT_TRUE(sawClose);
+}
+
+TEST(CircuitBreaker, DisabledPolicyIsByteIdenticalToLegacyPath)
+{
+    Interconnect::Config cfg;
+    cfg.faults.seed = 0x1dea;
+    cfg.faults.dropProb = 0.3;
+    Interconnect a(cfg), b(cfg);
+    for (int i = 0; i < 200; ++i) {
+        Interconnect::ReliableResult ra = a.reliableSend(512, 2.0);
+        Interconnect::ReliableResult rb = b.reliableSendTo(1, 512, 2.0);
+        ASSERT_EQ(ra.attempts, rb.attempts) << "msg " << i;
+        ASSERT_DOUBLE_EQ(ra.seconds, rb.seconds) << "msg " << i;
+        ASSERT_EQ(ra.cycles, rb.cycles) << "msg " << i;
+        ASSERT_EQ(ra.duplicate, rb.duplicate) << "msg " << i;
+    }
+    EXPECT_EQ(a.messages(), b.messages());
+    EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+// --- hDSM node-failure recovery (DESIGN.md section 9) ----------------
+
+OsConfig
+xenoPair()
+{
+    OsConfig cfg;
+    cfg.nodes = {makeXenoServer(), makeXenoServer()};
+    cfg.recovery.enabled = true;
+    return cfg;
+}
+
+TEST(CrashRecovery, NodeCrashIsByteIdenticalToCrashFreeRun)
+{
+    Module mod = testing::makeThreadedProgram(4, 2000);
+    MultiIsaBinary bin = compileModule(mod);
+
+    // Crash-free reference: identical config and migration policy, no
+    // scheduled crash. Acceptance is byte-identity against THIS run.
+    auto migrateWorkers = [](ReplicatedOS &self) {
+        if (self.dsm().nodeAlive(1))
+            for (int tid = 1; tid < self.numThreads(); ++tid)
+                self.migrateThread(tid, 1);
+    };
+    OsConfig refCfg = xenoPair();
+    refCfg.quantum = 1200;
+    ReplicatedOS refOs(bin, refCfg);
+    refOs.load(0);
+    refOs.onQuantum = migrateWorkers;
+    OsRunResult ref = refOs.run();
+    ASSERT_TRUE(ref.finished);
+
+    OsConfig cfg = xenoPair();
+    cfg.quantum = 1200;
+    cfg.recovery.crashes = {PeerCrashEvent{1, 40}};
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    // Push the workers onto the doomed kernel so it dies holding
+    // threads and sole-Modified pages.
+    os.onQuantum = migrateWorkers;
+    OsRunResult got = os.run();
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.output, ref.output);
+    EXPECT_EQ(got.exitCode, ref.exitCode);
+    obs::StatRegistry &reg = os.statRegistry();
+    EXPECT_EQ(reg.counterValue("xfault.deaths"), 1u);
+    // The dead kernel held real state: something had to be recovered.
+    EXPECT_GE(reg.counterValue("xfault.threads_recovered") +
+                  reg.counterValue("xfault.pages_recovered"),
+              1u);
+    // Degraded mode: every thread finished on the survivor.
+    for (int tid = 0; tid < os.numThreads(); ++tid)
+        EXPECT_EQ(os.threadNode(tid), 0) << "tid " << tid;
+    os.dsm().checkInvariants();
+}
+
+TEST(CrashRecovery, SourceCrashBeforeShipRecoversThreadExactlyOnce)
+{
+    Module mod = testing::makeArithProgram(60);
+    IRRunResult ref = IRInterp(mod, 1ull << 33).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+
+    OsConfig cfg = xenoPair();
+    // The source node dies at its first context-ship attempt, before
+    // the context reaches the wire.
+    cfg.recovery.shipCrashes = {ShipCrashEvent{0, 0, false}};
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    os.migrateProcess(1);
+    OsRunResult got = os.run();
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.output, ref.output);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    // The context never left the dying source: the thread was revived
+    // from its committed at-trap snapshot on the survivor -- once.
+    EXPECT_EQ(os.threadNode(0), 1);
+    EXPECT_TRUE(os.migrations().empty());
+    ASSERT_EQ(os.migrationLedger().size(), 1u);
+    EXPECT_FALSE(os.migrationLedger()[0].applied);
+    EXPECT_EQ(os.statRegistry().counterValue("xfault.deaths"), 1u);
+    EXPECT_EQ(
+        os.statRegistry().counterValue("xfault.threads_recovered"), 1u);
+}
+
+TEST(CrashRecovery, SourceCrashAfterDeliveryLeavesThreadOnDestOnly)
+{
+    Module mod = testing::makeArithProgram(60);
+    IRRunResult ref = IRInterp(mod, 1ull << 33).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+
+    OsConfig cfg = xenoPair();
+    // The source dies between state-ship and ack: the context was
+    // already installed at the destination.
+    cfg.recovery.shipCrashes = {ShipCrashEvent{0, 0, true}};
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    os.migrateProcess(1);
+    OsRunResult got = os.run();
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.output, ref.output);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    // Exactly-once: the migration completed (thread on the dest), and
+    // the crash did not re-create it on a survivor.
+    EXPECT_EQ(os.threadNode(0), 1);
+    EXPECT_EQ(os.migrations().size(), 1u);
+    ASSERT_EQ(os.migrationLedger().size(), 1u);
+    EXPECT_TRUE(os.migrationLedger()[0].applied);
+    EXPECT_EQ(os.statRegistry().counterValue("xfault.deaths"), 1u);
+    EXPECT_EQ(
+        os.statRegistry().counterValue("xfault.threads_recovered"), 0u);
+}
+
+TEST(CrashRecovery, DestinationCrashMidHandoffKeepsThreadOnSource)
+{
+    Module mod = testing::makeArithProgram(400);
+    IRRunResult ref = IRInterp(mod, 1ull << 33).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+
+    OsConfig cfg = xenoPair();
+    cfg.quantum = 500;
+    // The destination dies just as the handoff starts: every ship
+    // attempt fails, the migration aborts, and heartbeats later declare
+    // the death.
+    cfg.recovery.shipCrashes = {ShipCrashEvent{1, 0, false}};
+    ReplicatedOS os(bin, cfg);
+    os.load(0);
+    os.migrateProcess(1);
+    OsRunResult got = os.run();
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.output, ref.output);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    EXPECT_EQ(os.threadNode(0), 0);
+    EXPECT_TRUE(os.migrations().empty());
+    ASSERT_EQ(os.migrationLedger().size(), 1u);
+    EXPECT_FALSE(os.migrationLedger()[0].applied);
+    EXPECT_EQ(
+        os.statRegistry().counterValue("xfault.migration_aborts"), 1u);
+    EXPECT_EQ(os.statRegistry().counterValue("xfault.deaths"), 1u);
+}
+
+TEST(CrashRecovery, PerturbedDeferredHandoffCrashKeepsThreadSingular)
+{
+    // The perturber defers migration traps and jitters the scheduled
+    // ship-crash, exploring crash-vs-defer interleavings; the auditor
+    // rides along. Whatever interleaving results, the run must stay
+    // byte-identical and the thread must exist on exactly one kernel.
+    setenv("XISA_PERTURB", "7", 1);
+    setenv("XISA_AUDIT", "1", 1);
+    Module mod = testing::makeArithProgram(80);
+    IRRunResult ref = IRInterp(mod, 1ull << 33).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+
+    OsConfig cfg = xenoPair();
+    cfg.quantum = 800;
+    cfg.recovery.shipCrashes = {ShipCrashEvent{0, 1, true}};
+    ReplicatedOS os(bin, cfg);
+    unsetenv("XISA_PERTURB");
+    unsetenv("XISA_AUDIT");
+    os.load(0);
+    os.migrateProcess(1);
+    OsRunResult got = os.run();
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.output, ref.output);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    int where = os.threadNode(0);
+    ASSERT_TRUE(where == 0 || where == 1);
+    EXPECT_TRUE(os.dsm().nodeAlive(where));
+    ASSERT_NE(os.auditor(), nullptr);
+    EXPECT_GT(os.auditor()->checksRun(), 0u);
+}
+
+TEST(CrashRecovery, PerturbedDeferredHandoffDestCrashKeepsThreadSingular)
+{
+    // Same deferred-trap exploration, but the DESTINATION kernel dies
+    // mid-handoff. The context must never land on a dead kernel: the
+    // thread stays (or is recovered) on a live one, exactly once.
+    setenv("XISA_PERTURB", "7", 1);
+    setenv("XISA_AUDIT", "1", 1);
+    Module mod = testing::makeArithProgram(80);
+    IRRunResult ref = IRInterp(mod, 1ull << 33).runEntry();
+    MultiIsaBinary bin = compileModule(mod);
+
+    OsConfig cfg = xenoPair();
+    cfg.quantum = 800;
+    cfg.recovery.shipCrashes = {ShipCrashEvent{1, 1, true}};
+    ReplicatedOS os(bin, cfg);
+    unsetenv("XISA_PERTURB");
+    unsetenv("XISA_AUDIT");
+    os.load(0);
+    os.migrateProcess(1);
+    OsRunResult got = os.run();
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.output, ref.output);
+    EXPECT_EQ(got.exitCode, ref.retVal);
+    int where = os.threadNode(0);
+    ASSERT_TRUE(where == 0 || where == 1);
+    EXPECT_TRUE(os.dsm().nodeAlive(where));
+    // Exactly-once: no ledger entry may sit applied at a dead
+    // destination without being reconciled.
+    for (const auto &rec : os.migrationLedger())
+        if (rec.applied && !os.nodeAlive(rec.dest))
+            EXPECT_TRUE(rec.destDied);
+    ASSERT_NE(os.auditor(), nullptr);
+    EXPECT_GT(os.auditor()->checksRun(), 0u);
+}
+
+TEST(CrashRecovery, PerturberInjectsSeededCrashOnlyWhenOptedIn)
+{
+    RecoveryConfig base;
+    base.enabled = true;
+    RecoveryConfig out =
+        check::SchedulePerturber::perturbRecovery(base, {0, 1}, 42);
+    ASSERT_EQ(out.crashes.size(), 1u);
+    EXPECT_TRUE(out.crashes[0].node == 0 || out.crashes[0].node == 1);
+    EXPECT_GE(out.crashes[0].atStep, 16u);
+    RecoveryConfig again =
+        check::SchedulePerturber::perturbRecovery(base, {0, 1}, 42);
+    EXPECT_EQ(out.crashes[0].node, again.crashes[0].node);
+    EXPECT_EQ(out.crashes[0].atStep, again.crashes[0].atStep);
+    // A run that did not opt into crash tolerance is never perturbed
+    // into one.
+    RecoveryConfig off;
+    RecoveryConfig kept =
+        check::SchedulePerturber::perturbRecovery(off, {0, 1}, 42);
+    EXPECT_FALSE(kept.enabled);
+    EXPECT_TRUE(kept.crashes.empty());
+}
+
+TEST(CrashRecovery, DisabledRecoveryIsByteIdenticalToBaseline)
+{
+    Module mod = testing::makeArithProgram(40);
+    MultiIsaBinary bin = compileModule(mod);
+    OsConfig plain = OsConfig::dualServer();
+    OsConfig armedOff = OsConfig::dualServer();
+    armedOff.recovery = RecoveryConfig{}; // explicit: disabled
+    ReplicatedOS a(bin, plain), b(bin, armedOff);
+    a.load(0);
+    b.load(0);
+    a.onQuantum = [](ReplicatedOS &s) {
+        s.migrateProcess(1 - s.threadNode(0));
+    };
+    b.onQuantum = [](ReplicatedOS &s) {
+        s.migrateProcess(1 - s.threadNode(0));
+    };
+    OsRunResult ra = a.run(), rb = b.run();
+    EXPECT_EQ(ra.output, rb.output);
+    EXPECT_EQ(ra.totalInstrs, rb.totalInstrs);
+    EXPECT_EQ(ra.makespanSeconds, rb.makespanSeconds);
+    EXPECT_EQ(a.migrations().size(), b.migrations().size());
 }
 
 } // namespace

@@ -27,10 +27,20 @@ VIOLATION_RE = re.compile(r"\[audit\] VIOLATION at ([^:]+): (.*)")
 TRACE_DUMP_RE = re.compile(r"xisa_audit_violation_\d+\.trace\.json")
 
 
-def commands(build_dir):
+def commands(build_dir, crash):
     """The per-seed command matrix: probe first (fast, focussed), then
-    the paper's scheduling benches in quick mode."""
+    the paper's scheduling benches in quick mode. With --crash the
+    matrix is the node-failure recovery scenario instead: the probe's
+    crash legs (byte-identity against a crash-free run with the auditor
+    armed) plus the crashy sustained bench."""
     probe = os.path.join(build_dir, "src", "check", "audit_probe")
+    if crash:
+        cmds = [("audit_probe_crash", [probe, "--crash"])]
+        bench = os.path.join(build_dir, "bench", "bench_fault_sustained")
+        if os.path.exists(bench):
+            cmds.append(("fault_sustained_crash",
+                         [bench, "--fault-crash=1@40"]))
+        return cmds
     fig12 = os.path.join(build_dir, "bench", "bench_fig12_sustained")
     fig13 = os.path.join(build_dir, "bench", "bench_fig13_periodic")
     cmds = [("audit_probe", [probe])]
@@ -86,12 +96,16 @@ def main():
                     help="per-command timeout in seconds")
     ap.add_argument("--artifacts", default="audit-artifacts",
                     help="directory for violation logs/traces")
+    ap.add_argument("--crash", action="store_true",
+                    help="sweep the node-failure recovery scenarios "
+                         "(audit_probe --crash + crashy sustained "
+                         "bench) instead of the default matrix")
     args = ap.parse_args()
 
     if args.seeds < 1:
         print("audit_sweep: --seeds must be >= 1", file=sys.stderr)
         sys.exit(2)
-    cmds = commands(args.build_dir)
+    cmds = commands(args.build_dir, args.crash)
     if not os.path.exists(cmds[0][1][0]):
         print(f"audit_sweep: {cmds[0][1][0]} not built "
               "(build the audit_probe target first)", file=sys.stderr)
