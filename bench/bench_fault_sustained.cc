@@ -22,7 +22,6 @@
  *                         scenario replays exactly)
  */
 
-#include <cstring>
 #include <vector>
 
 #include "common.hh"
@@ -34,90 +33,6 @@ using namespace xisa;
 using namespace xisa::bench;
 
 namespace {
-
-struct FaultArgs {
-    ObsOptions obs;
-    double dropOverride = -1;
-    uint64_t seed = 1;
-    uint64_t partitionPeriod = 0;
-    uint64_t partitionLen = 0;
-    int numCrashes = 2;
-    double downSeconds = 30.0;
-    std::vector<CrashEvent> scriptedCrashes;
-};
-
-FaultArgs
-parseArgs(int argc, char **argv)
-{
-    FaultArgs fa;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto val = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--fault-drop") {
-            fa.dropOverride = std::stod(val());
-        } else if (a == "--fault-seed") {
-            fa.seed = std::stoull(val());
-        } else if (a == "--fault-partition") {
-            std::string v = val();
-            size_t comma = v.find(',');
-            if (comma == std::string::npos) {
-                std::fprintf(stderr,
-                             "--fault-partition wants PERIOD,LEN\n");
-                std::exit(2);
-            }
-            fa.partitionPeriod = std::stoull(v.substr(0, comma));
-            fa.partitionLen = std::stoull(v.substr(comma + 1));
-        } else if (a == "--fault-crashes") {
-            fa.numCrashes = std::stoi(val());
-        } else if (a == "--fault-down") {
-            fa.downSeconds = std::stod(val());
-        } else if (a.rfind("--fault-crash=", 0) == 0) {
-            std::string v = a.substr(std::strlen("--fault-crash="));
-            size_t at = v.find('@');
-            if (at == std::string::npos) {
-                std::fprintf(stderr,
-                             "--fault-crash wants MACHINE@SECONDS\n");
-                std::exit(2);
-            }
-            CrashEvent ev;
-            ev.machine = std::stoi(v.substr(0, at));
-            ev.time = std::stod(v.substr(at + 1));
-            fa.scriptedCrashes.push_back(ev);
-        } else if (a == "--stats-json") {
-            fa.obs.statsJsonPath = val();
-        } else if (a == "--trace-out") {
-            fa.obs.traceOutPath = val();
-        } else if (a == "--stats") {
-            fa.obs.dumpStats = true;
-        } else {
-            std::fprintf(
-                stderr,
-                "unknown argument: %s\n"
-                "usage: %s [--fault-drop P] [--fault-seed S]\n"
-                "          [--fault-partition PERIOD,LEN]"
-                " [--fault-crashes N]\n"
-                "          [--fault-down SEC] [--fault-crash M@T]..."
-                " [--stats]\n"
-                "          [--stats-json FILE] [--trace-out FILE]\n",
-                a.c_str(), argv[0]);
-            std::exit(2);
-        }
-    }
-    // --fault-down applies to scripted crashes regardless of flag
-    // order on the command line.
-    for (CrashEvent &ev : fa.scriptedCrashes)
-        ev.downSeconds = fa.downSeconds;
-    if (!fa.obs.traceOutPath.empty())
-        obs::setTraceEnabled(true);
-    return fa;
-}
 
 /** Seeded crash schedule: `count` crashes at random times in the first
  *  `horizon` seconds, alternating over the machines. */
@@ -143,25 +58,26 @@ makeCrashPlan(uint64_t seed, int count, double horizon, int machines,
 int
 main(int argc, char **argv)
 {
-    FaultArgs fa = parseArgs(argc, argv);
+    Options fa = parseCommonArgs(
+        argc, argv, kOptObs | kOptFault | kOptQuick | kOptConfig);
     banner("Fig. 12 under faults",
            "sustained workload on a lossy fabric with machine crashes");
     JobProfileTable table = JobProfileTable::calibrate();
 
     std::vector<double> dropRates = {0.0, 0.01, 0.05, 0.1, 0.2};
-    if (fa.dropOverride >= 0)
-        dropRates = {fa.dropOverride};
+    if (fa.faultDrop >= 0)
+        dropRates = {fa.faultDrop};
     else if (quickMode())
         dropRates = {0.0, 0.05, 0.2};
     const int numSets = quickMode() ? 2 : 5;
 
     std::printf("\nfault seed %llu, %d crash(es)/run, %.0f s downtime",
-                static_cast<unsigned long long>(fa.seed),
-                fa.numCrashes, fa.downSeconds);
-    if (fa.partitionPeriod)
+                static_cast<unsigned long long>(fa.faultSeed),
+                fa.faultCrashes, fa.faultDownSeconds);
+    if (fa.faultPartitionPeriod)
         std::printf(", partition %llu/%llu msgs",
-                    static_cast<unsigned long long>(fa.partitionPeriod),
-                    static_cast<unsigned long long>(fa.partitionLen));
+                    static_cast<unsigned long long>(fa.faultPartitionPeriod),
+                    static_cast<unsigned long long>(fa.faultPartitionLen));
     if (!fa.scriptedCrashes.empty()) {
         std::printf(", scripted crashes:");
         for (const CrashEvent &ev : fa.scriptedCrashes)
@@ -176,11 +92,11 @@ main(int argc, char **argv)
     static std::vector<ClusterSim *> sims; // keep alive for obs dump
     for (double drop : dropRates) {
         ClusterSim::Config cc;
-        cc.net.faults.seed = fa.seed;
+        cc.net.faults.seed = fa.faultSeed;
         cc.net.faults.dropProb = drop;
         cc.net.faults.spikeProb = drop / 2;
-        cc.net.faults.partitionPeriodMsgs = fa.partitionPeriod;
-        cc.net.faults.partitionLenMsgs = fa.partitionLen;
+        cc.net.faults.partitionPeriodMsgs = fa.faultPartitionPeriod;
+        cc.net.faults.partitionLenMsgs = fa.faultPartitionLen;
         RunningStat energy, makespan, edp;
         int crashes = 0, failovers = 0, restarts = 0;
         double lost = 0, recovered = 0;
@@ -198,12 +114,12 @@ main(int argc, char **argv)
                 // exact same instants in every set, so a recovery
                 // scenario replays byte-for-byte.
                 sim->setCrashPlan(fa.scriptedCrashes);
-            } else if (fa.numCrashes > 0) {
+            } else if (fa.faultCrashes > 0) {
                 // Crash inside the fault-free makespan so the failover
                 // path actually fires.
                 sim->setCrashPlan(makeCrashPlan(
-                    fa.seed + static_cast<uint64_t>(set),
-                    fa.numCrashes, 400.0, 2, fa.downSeconds));
+                    fa.faultSeed + static_cast<uint64_t>(set),
+                    fa.faultCrashes, 400.0, 2, fa.faultDownSeconds));
             }
             ClusterResult r = sim->run(jobs, Policy::DynamicBalanced);
             energy.add(r.totalEnergy / 1e3);
@@ -235,6 +151,6 @@ main(int argc, char **argv)
                 "migration cost,\ncrash rollback discards work the "
                 "energy meter already charged.\n");
     if (lastStats)
-        writeObsOutputs(fa.obs, *lastStats);
+        writeOutputs(fa, *lastStats);
     return 0;
 }

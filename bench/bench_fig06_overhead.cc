@@ -15,7 +15,6 @@
  */
 
 #include <chrono>
-#include <cstring>
 
 #include "common.hh"
 
@@ -67,35 +66,10 @@ writeJsonHeader(std::FILE *f, const char *bench, bool quick,
 int
 main(int argc, char **argv)
 {
-    // Harness-specific flags, peeled off before the shared obs flags.
-    std::string jsonPath, sweepJsonPath;
-    std::vector<char *> rest{argv[0]};
-    for (int i = 1; i < argc; ++i) {
-        auto val = [&]() -> char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n", argv[i]);
-                return nullptr;
-            }
-            return argv[++i];
-        };
-        if (std::strcmp(argv[i], "--quick") == 0) {
-            setenv("XISA_QUICK", "1", 1);
-        } else if (std::strcmp(argv[i], "--json") == 0) {
-            char *v = val();
-            if (!v)
-                return 2;
-            jsonPath = v;
-        } else if (std::strcmp(argv[i], "--sweep-json") == 0) {
-            char *v = val();
-            if (!v)
-                return 2;
-            sweepJsonPath = v;
-        } else {
-            rest.push_back(argv[i]);
-        }
-    }
-    ObsOptions obs =
-        parseObsArgs(static_cast<int>(rest.size()), rest.data());
+    Options opts = parseCommonArgs(
+        argc, argv, kOptObs | kOptQuick | kOptPerfJson | kOptConfig);
+    const std::string &jsonPath = opts.perfJsonPath;
+    const std::string &sweepJsonPath = opts.sweepJsonPath;
 
     banner("Figures 6-9", "migration-point wrapper-code overhead (%)");
 
@@ -224,6 +198,6 @@ main(int argc, char **argv)
     // by --trace-out, which also forces a sequential sweep) survives to
     // the output stage.
     obs::StatRegistry empty;
-    writeObsOutputs(obs, empty);
+    writeOutputs(opts, empty);
     return 0;
 }

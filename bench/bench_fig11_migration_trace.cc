@@ -35,7 +35,7 @@ struct TraceResult {
 };
 
 TraceResult
-runScenario(bool padmigStyle, const ObsOptions *obsOut = nullptr)
+runScenario(bool padmigStyle, const Options *obsOut = nullptr)
 {
     Module mod = buildWorkload(WorkloadId::IS, ProblemClass::B, 1);
     MultiIsaBinary bin = compileModule(std::move(mod));
@@ -87,7 +87,7 @@ runScenario(bool padmigStyle, const ObsOptions *obsOut = nullptr)
     out.bytesMoved =
         static_cast<uint64_t>(epoch.delta("dsm.bytes_transferred"));
     if (obsOut)
-        writeObsOutputs(*obsOut, os.statRegistry());
+        writeOutputs(*obsOut, os.statRegistry());
     return out;
 }
 
@@ -121,7 +121,7 @@ printTrace(const char *name, const TraceResult &tr)
 int
 main(int argc, char **argv)
 {
-    ObsOptions obsOpts = parseObsArgs(argc, argv);
+    Options obsOpts = parseCommonArgs(argc, argv, kOptObs | kOptConfig);
     banner("Figure 11", "PadMig (serialization) vs multi-ISA binary "
                         "migration, NPB IS B serial");
     TraceResult padmig = runScenario(true);

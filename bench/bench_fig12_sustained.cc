@@ -25,8 +25,10 @@ using namespace xisa;
 using namespace xisa::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts = parseCommonArgs(argc, argv,
+                                   kOptObs | kOptQuick | kOptConfig);
     banner("Figure 12", "sustained workload: energy by machine and "
                         "policy; makespan ratio");
     JobProfileTable table = JobProfileTable::calibrate();
@@ -68,5 +70,6 @@ main()
                 mB.mean(), mU.mean());
     std::printf("(Paper: unbalanced up to 22.5%%, avg 11.6%%; balanced "
                 "avg 7.9%%; ~1.49x makespan.)\n");
+    writeOutputs(opts, unbalanced.statRegistry());
     return 0;
 }

@@ -18,8 +18,10 @@ using namespace xisa;
 using namespace xisa::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts = parseCommonArgs(argc, argv,
+                                   kOptObs | kOptQuick | kOptConfig);
     banner("Figure 13", "periodic workload: energy and EDP, static "
                         "x86(2) vs dynamic heterogeneous");
     JobProfileTable table = JobProfileTable::calibrate();
@@ -49,5 +51,6 @@ main()
                 dE.mean(), dE.max(), dEdp.mean());
     std::printf("(Paper: avg 30%% energy reduction, up to 66%%; avg "
                 "11%% EDP reduction.)\n");
+    writeOutputs(opts, dynamic.statRegistry());
     return 0;
 }

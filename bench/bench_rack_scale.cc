@@ -11,6 +11,8 @@
  * total machine count.
  */
 
+#include <memory>
+
 #include "common.hh"
 #include "sched/jobsets.hh"
 #include "util/stats.hh"
@@ -41,8 +43,10 @@ bigPeriodicSet(uint64_t seed, int machines)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts = parseCommonArgs(argc, argv,
+                                   kOptObs | kOptQuick | kOptConfig);
     banner("Rack scale", "heterogeneous mixes vs an all-x86 rack "
                          "(paper Section 1/9 prediction)");
     JobProfileTable table = JobProfileTable::calibrate();
@@ -61,18 +65,21 @@ main()
     std::printf("\n%-22s %14s %14s %10s %10s %8s\n", "rack mix",
                 "energy(kJ)", "makespan(s)", "dE", "dEDP", "migr");
     double baseEnergy[8] = {}, baseEdp[8] = {};
+    std::unique_ptr<ClusterSim> lastSim; // outlives the loop: obs dump
     for (const Mix &mix : mixes) {
         RunningStat energy, makespan, edp, migr;
         for (int set = 0; set < numSets; ++set) {
             auto jobs = bigPeriodicSet(9000 + set, 8);
-            ClusterSim sim(makeRack(mix.x86, mix.arm), table);
+            auto sim = std::make_unique<ClusterSim>(
+                makeRack(mix.x86, mix.arm), table);
             Policy p = mix.arm == 0 ? Policy::StaticBalanced
                                     : Policy::DynamicBalanced;
-            ClusterResult r = sim.run(jobs, p);
+            ClusterResult r = sim->run(jobs, p);
             energy.add(r.totalEnergy);
             makespan.add(r.makespan);
             edp.add(r.edp);
             migr.add(r.migrations);
+            lastSim = std::move(sim);
         }
         if (mix.arm == 0) {
             baseEnergy[0] = energy.mean();
@@ -91,5 +98,7 @@ main()
                 "energy savings toward the\nrack scale, as the paper "
                 "predicts -- until the ARM share starts stretching\n"
                 "the makespan enough to erode EDP.\n");
+    if (lastSim)
+        writeOutputs(opts, lastSim->statRegistry());
     return 0;
 }

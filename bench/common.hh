@@ -1,26 +1,24 @@
 /**
  * @file
  * Shared helpers for the experiment harnesses. Each bench binary
- * regenerates one table or figure of the paper; these helpers keep the
- * output format and run plumbing consistent.
+ * regenerates one table or figure of the paper; the run plumbing
+ * (quick mode, banner, sweep driver) and the flag grammar live in
+ * src/exp/ and are shared with the config-driven xisa_exp runner, so
+ * a conf that mirrors a bench reproduces its stdout byte-for-byte.
  *
- * Set XISA_QUICK=1 in the environment to shrink sweeps (useful in CI);
- * the full sweeps match the paper's configurations.
+ * Set XISA_QUICK=1 in the environment (or pass --quick where enabled)
+ * to shrink sweeps; the full sweeps match the paper's configurations.
  */
 
 #ifndef XISA_BENCH_COMMON_HH
 #define XISA_BENCH_COMMON_HH
 
-#include <atomic>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <iostream>
-#include <string>
-#include <thread>
 #include <vector>
 
 #include "compiler/compile.hh"
+#include "exp/options.hh"
+#include "exp/sweep.hh"
 #include "machine/node.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
@@ -29,35 +27,20 @@
 
 namespace xisa::bench {
 
-/** True if the harness should run a reduced sweep. */
-inline bool
-quickMode()
-{
-    const char *env = std::getenv("XISA_QUICK");
-    return env && env[0] == '1';
-}
+using xisa::exp::banner;
+using xisa::exp::quickMode;
+using xisa::exp::runSingleNode;
+using xisa::exp::runSweep;
+using xisa::exp::sweepThreads;
 
-/** Banner naming the paper artifact being regenerated. */
-inline void
-banner(const char *figure, const char *what)
-{
-    std::printf("==============================================================\n");
-    std::printf("%s -- %s\n", figure, what);
-    std::printf("(CrossBound reproduction; shapes comparable, absolute\n");
-    std::printf(" numbers are simulator-scale, see EXPERIMENTS.md)\n");
-    std::printf("==============================================================\n");
-}
-
-/** Run a workload to completion on a single node of the given spec. */
-inline OsRunResult
-runSingleNode(const MultiIsaBinary &bin, const NodeSpec &spec)
-{
-    OsConfig cfg;
-    cfg.nodes = {spec};
-    ReplicatedOS os(bin, cfg);
-    os.load(0);
-    return os.run();
-}
+using xisa::exp::kOptConfig;
+using xisa::exp::kOptFault;
+using xisa::exp::kOptObs;
+using xisa::exp::kOptPerfJson;
+using xisa::exp::kOptQuick;
+using xisa::exp::Options;
+using xisa::exp::parseCommonArgs;
+using xisa::exp::writeOutputs;
 
 /** Thread sweep used by Figs. 1 and 6-9. */
 inline std::vector<int>
@@ -76,150 +59,6 @@ classSweep()
                : std::vector<ProblemClass>{ProblemClass::A,
                                            ProblemClass::B,
                                            ProblemClass::C};
-}
-
-/**
- * Worker count of the sweep driver: XISA_BENCH_THREADS when set, else
- * the hardware concurrency. Forced to 1 while the event tracer is
- * armed -- the process-global Tracer and the ambient TraceCursor are
- * unsynchronized by design (zero hot-path cost), so traced runs must
- * stay single-threaded.
- */
-inline int
-sweepThreads()
-{
-    if (obs::traceEnabled())
-        return 1;
-    if (const char *env = std::getenv("XISA_BENCH_THREADS")) {
-        int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw ? static_cast<int>(hw) : 1;
-}
-
-/**
- * Run `n` independent sweep configurations, possibly in parallel, and
- * return their results in index order.
- *
- * Each call fn(i) must be self-contained: build its own module, own its
- * ReplicatedOS / ClusterSim (and thus its own StatRegistry), and derive
- * any seed deterministically from `i` -- never from shared state. Under
- * those rules the schedule cannot affect the results, so a parallel
- * sweep is bit-identical to the sequential one: workers pull indices
- * from an atomic counter, write into their own slot, and the caller
- * prints from the ordered vector after the join.
- */
-template <typename Fn>
-auto
-runSweep(size_t n, Fn fn) -> std::vector<decltype(fn(size_t{0}))>
-{
-    using R = decltype(fn(size_t{0}));
-    std::vector<R> results(n);
-    size_t workers = static_cast<size_t>(sweepThreads());
-    if (workers > n)
-        workers = n ? n : 1;
-    if (workers <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            results[i] = fn(i);
-        return results;
-    }
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            for (size_t i = next.fetch_add(1); i < n;
-                 i = next.fetch_add(1))
-                results[i] = fn(i);
-        });
-    }
-    for (std::thread &t : pool)
-        t.join();
-    return results;
-}
-
-/**
- * Observability flags shared by the harnesses:
- *   --stats            dump the stat registry (human form) to stdout
- *   --stats-json FILE  write the stat registry as JSON
- *   --trace-out FILE   enable the event tracer and write Chrome
- *                      trace-event JSON (chrome://tracing / Perfetto)
- */
-struct ObsOptions {
-    std::string statsJsonPath;
-    std::string traceOutPath;
-    bool dumpStats = false;
-};
-
-/** Parse the observability flags; exits on unknown arguments. Passing
- *  --trace-out arms the tracer for the whole run. */
-inline ObsOptions
-parseObsArgs(int argc, char **argv)
-{
-    ObsOptions o;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto val = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--stats-json") {
-            o.statsJsonPath = val();
-        } else if (a == "--trace-out") {
-            o.traceOutPath = val();
-        } else if (a == "--stats") {
-            o.dumpStats = true;
-        } else {
-            std::fprintf(stderr,
-                         "unknown argument: %s\n"
-                         "usage: %s [--stats] [--stats-json FILE] "
-                         "[--trace-out FILE]\n",
-                         a.c_str(), argv[0]);
-            std::exit(2);
-        }
-    }
-    if (!o.traceOutPath.empty())
-        obs::setTraceEnabled(true);
-    return o;
-}
-
-/** Emit whatever outputs the flags requested from `reg` and the global
- *  tracer; call once at the end of the harness. */
-inline void
-writeObsOutputs(const ObsOptions &o, obs::StatRegistry &reg)
-{
-    if (o.dumpStats)
-        reg.dump(std::cout);
-    if (!o.statsJsonPath.empty()) {
-        std::ofstream f(o.statsJsonPath);
-        if (!f) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         o.statsJsonPath.c_str());
-            std::exit(1);
-        }
-        reg.dumpJson(f);
-        std::printf("stats json: %s\n", o.statsJsonPath.c_str());
-    }
-    if (!o.traceOutPath.empty()) {
-        std::ofstream f(o.traceOutPath);
-        if (!f) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         o.traceOutPath.c_str());
-            std::exit(1);
-        }
-        obs::Tracer::global().exportChromeTrace(f);
-        std::printf("trace: %s (%zu events, %llu overwritten)\n",
-                    o.traceOutPath.c_str(),
-                    obs::Tracer::global().size(),
-                    static_cast<unsigned long long>(
-                        obs::Tracer::global().dropped()));
-    }
 }
 
 } // namespace xisa::bench

@@ -1,0 +1,268 @@
+#include "exp/registry.hh"
+
+#include <cstdlib>
+
+#include "exp/config.hh"
+
+namespace xisa::exp {
+
+// --- ParameterSet ---------------------------------------------------
+
+void
+ParameterSet::set(const std::string &key, const std::string &value)
+{
+    for (auto &e : entries_) {
+        if (e.first == key) {
+            e.second = value;
+            return;
+        }
+    }
+    entries_.emplace_back(key, value);
+}
+
+bool
+ParameterSet::has(const std::string &key) const
+{
+    for (const auto &e : entries_)
+        if (e.first == key)
+            return true;
+    return false;
+}
+
+std::string
+ParameterSet::getString(const std::string &key,
+                        const std::string &def) const
+{
+    for (const auto &e : entries_)
+        if (e.first == key)
+            return e.second;
+    return def;
+}
+
+int64_t
+ParameterSet::getInt(const std::string &key, int64_t def) const
+{
+    for (const auto &e : entries_) {
+        if (e.first != key)
+            continue;
+        char *end = nullptr;
+        long long v = std::strtoll(e.second.c_str(), &end, 0);
+        if (!end || *end != '\0' || e.second.empty())
+            throw ConfigError("parameter '" + key +
+                              "' wants an integer, got '" + e.second +
+                              "'");
+        return v;
+    }
+    return def;
+}
+
+std::vector<std::string>
+ParameterSet::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto &e : entries_)
+        out.push_back(e.first);
+    return out;
+}
+
+void
+ParameterSet::restrictTo(const std::vector<std::string> &accepted,
+                         const std::string &context) const
+{
+    for (const auto &e : entries_) {
+        bool ok = false;
+        for (const std::string &a : accepted)
+            if (e.first == a)
+                ok = true;
+        if (ok)
+            continue;
+        std::string names;
+        for (const std::string &a : accepted)
+            names += (names.empty() ? "" : ", ") + a;
+        throw ConfigError(context + ": unknown parameter '" + e.first +
+                          "' (accepted: " + names + ")");
+    }
+}
+
+// --- Table-backed provider ------------------------------------------
+
+namespace {
+
+/** Wraps one WorkloadDesc: parameters `class` (A/B/C) and `nthreads`. */
+class TableProvider : public WorkloadProvider
+{
+  public:
+    explicit TableProvider(const WorkloadDesc &desc) : desc_(desc) {}
+
+    std::string name() const override { return desc_.name; }
+
+    std::vector<std::string>
+    parameterNames() const override
+    {
+        return {"class", "nthreads"};
+    }
+
+    ParameterSet
+    defaultParameters() const override
+    {
+        ParameterSet p;
+        p.set("class", "A");
+        p.set("nthreads", "1");
+        return p;
+    }
+
+    bool threadCapable() const override { return desc_.threadCapable; }
+
+    Module
+    makeWorkload(const ParameterSet &params) const override
+    {
+        params.restrictTo(parameterNames(),
+                          "workload '" + name() + "'");
+        std::string clsName = params.getString("class", "A");
+        ProblemClass cls;
+        if (!parseProblemClass(clsName, &cls))
+            throw ConfigError("workload '" + name() +
+                              "': bad class '" + clsName +
+                              "' (want A, B, or C)");
+        int64_t nthreads = params.getInt("nthreads", 1);
+        if (nthreads < 1 || nthreads > 16)
+            throw ConfigError("workload '" + name() +
+                              "': nthreads " +
+                              std::to_string(nthreads) +
+                              " out of range [1, 16]");
+        if (nthreads > 1 && !desc_.threadCapable)
+            throw ConfigError("workload '" + name() +
+                              "' is serial-only (nthreads must be 1)");
+        return desc_.build(cls, static_cast<int>(nthreads));
+    }
+
+  private:
+    const WorkloadDesc &desc_;
+};
+
+} // namespace
+
+std::unique_ptr<WorkloadProvider>
+makeTableProvider(const WorkloadDesc &desc)
+{
+    return std::make_unique<TableProvider>(desc);
+}
+
+// --- WorkloadRegistry -----------------------------------------------
+
+WorkloadRegistry &
+WorkloadRegistry::global()
+{
+    static WorkloadRegistry *reg = [] {
+        auto *r = new WorkloadRegistry();
+        for (const WorkloadDesc &d : workloadTable())
+            r->add(makeTableProvider(d));
+        return r;
+    }();
+    return *reg;
+}
+
+void
+WorkloadRegistry::add(std::unique_ptr<WorkloadProvider> provider)
+{
+    if (find(provider->name()))
+        throw ConfigError("workload provider '" + provider->name() +
+                          "' registered twice");
+    providers_.push_back(std::move(provider));
+}
+
+const WorkloadProvider *
+WorkloadRegistry::find(const std::string &name) const
+{
+    for (const auto &p : providers_)
+        if (p->name() == name)
+            return p.get();
+    return nullptr;
+}
+
+const WorkloadProvider &
+WorkloadRegistry::require(const std::string &name) const
+{
+    const WorkloadProvider *p = find(name);
+    if (p)
+        return *p;
+    std::string known;
+    for (const std::string &n : names())
+        known += (known.empty() ? "" : ", ") + n;
+    throw ConfigError("unknown workload '" + name + "' (known: " +
+                      known + ")");
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &p : providers_)
+        out.push_back(p->name());
+    return out;
+}
+
+void
+WorkloadRegistry::defineParamSet(const std::string &name,
+                                 const ParameterSet &params)
+{
+    for (auto &e : paramSets_) {
+        if (e.first == name)
+            throw ConfigError("parameter set '" + name +
+                              "' defined twice");
+    }
+    paramSets_.emplace_back(name, params);
+}
+
+const ParameterSet *
+WorkloadRegistry::findParamSet(const std::string &name) const
+{
+    for (const auto &e : paramSets_)
+        if (e.first == name)
+            return &e.second;
+    return nullptr;
+}
+
+WorkloadRegistry::Resolved
+WorkloadRegistry::resolve(const std::string &ref,
+                          const ParameterSet &overrides) const
+{
+    std::string providerName = ref;
+    std::string setName;
+    size_t at = ref.find('@');
+    if (at != std::string::npos) {
+        providerName = ref.substr(0, at);
+        setName = ref.substr(at + 1);
+        // Allow spaces around '@'.
+        while (!providerName.empty() && providerName.back() == ' ')
+            providerName.pop_back();
+        while (!setName.empty() && setName.front() == ' ')
+            setName.erase(setName.begin());
+    }
+    const WorkloadProvider &provider = require(providerName);
+    ParameterSet params = provider.defaultParameters();
+    if (!setName.empty()) {
+        const ParameterSet *named = findParamSet(setName);
+        if (!named)
+            throw ConfigError("workload reference '" + ref +
+                              "' names undefined parameter set '" +
+                              setName + "'");
+        for (const std::string &k : named->keys())
+            params.set(k, named->getString(k, ""));
+    }
+    for (const std::string &k : overrides.keys())
+        params.set(k, overrides.getString(k, ""));
+    params.restrictTo(provider.parameterNames(),
+                      "workload '" + providerName + "'");
+    return {&provider, params};
+}
+
+Module
+WorkloadRegistry::build(const std::string &ref,
+                        const ParameterSet &overrides) const
+{
+    Resolved r = resolve(ref, overrides);
+    return r.provider->makeWorkload(r.params);
+}
+
+} // namespace xisa::exp

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pluggable workload registry with named parameter sets (ROADMAP
+ * item 5; the WorkloadProvider/ParameterSet idiom of the related
+ * NUMA-aware-DSU repo).
+ *
+ * A WorkloadProvider turns a ParameterSet into a runnable BIR Module.
+ * The registry is seeded from workload/workloads.cc's descriptor table
+ * (one provider per paper workload) and stays open: tests and future
+ * subsystems register additional providers -- a traffic generator, a
+ * synthetic kernel -- without touching the enum.
+ *
+ * Parameter sets are string-typed key/value records with unknown-key
+ * diagnostics, so a `.conf` file (or a test) can say
+ *     workload = cg @ big      with   [paramset.big] class=C nthreads=8
+ * and a typo'd parameter fails with the provider's accepted names.
+ */
+
+#ifndef XISA_EXP_REGISTRY_HH
+#define XISA_EXP_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workloads.hh"
+
+namespace xisa::exp {
+
+/** Ordered string-typed parameters with consumption tracking. */
+class ParameterSet
+{
+  public:
+    ParameterSet() = default;
+
+    void set(const std::string &key, const std::string &value);
+    bool has(const std::string &key) const;
+    /** Typed reads; throw ConfigError on malformed values. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    int64_t getInt(const std::string &key, int64_t def) const;
+
+    /** Keys in insertion order. */
+    std::vector<std::string> keys() const;
+
+    /** Throws ConfigError naming every key not in `accepted`. */
+    void
+    restrictTo(const std::vector<std::string> &accepted,
+               const std::string &context) const;
+
+    bool operator==(const ParameterSet &o) const
+    {
+        return entries_ == o.entries_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/** One source of workloads: name + parameters -> Module. */
+class WorkloadProvider
+{
+  public:
+    virtual ~WorkloadProvider() = default;
+
+    /** Registry key, e.g. "cg". */
+    virtual std::string name() const = 0;
+    /** Accepted parameter names (unknown-key diagnostics). */
+    virtual std::vector<std::string> parameterNames() const = 0;
+    /** Defaults merged under the caller's parameters. */
+    virtual ParameterSet defaultParameters() const = 0;
+    /** True if the nthreads parameter may exceed 1. */
+    virtual bool threadCapable() const = 0;
+    /** Build the module; throws ConfigError on bad parameters. */
+    virtual Module makeWorkload(const ParameterSet &params) const = 0;
+};
+
+/** The process-wide provider registry. */
+class WorkloadRegistry
+{
+  public:
+    /** Singleton, pre-seeded with the paper's ten workloads. */
+    static WorkloadRegistry &global();
+
+    /** Empty registry (tests). */
+    WorkloadRegistry() = default;
+
+    /** Register a provider; throws ConfigError on a duplicate name. */
+    void add(std::unique_ptr<WorkloadProvider> provider);
+    /** Provider by name, or null. */
+    const WorkloadProvider *find(const std::string &name) const;
+    /** Like find(), but throws ConfigError listing known names. */
+    const WorkloadProvider &require(const std::string &name) const;
+    /** Registration-ordered provider names. */
+    std::vector<std::string> names() const;
+
+    /** Define / fetch a named parameter set ("big", "quick", ...). */
+    void defineParamSet(const std::string &name,
+                        const ParameterSet &params);
+    const ParameterSet *findParamSet(const std::string &name) const;
+
+    /**
+     * Resolve a workload reference: "cg", "cg@setname", or
+     * "cg@setname" with extra overrides. Provider defaults are filled
+     * in under the named set. Throws ConfigError on unknown provider,
+     * unknown set, or parameters the provider does not accept.
+     */
+    struct Resolved {
+        const WorkloadProvider *provider;
+        ParameterSet params;
+    };
+    Resolved resolve(const std::string &ref,
+                     const ParameterSet &overrides = {}) const;
+
+    /** Build straight from a reference. */
+    Module build(const std::string &ref,
+                 const ParameterSet &overrides = {}) const;
+
+  private:
+    std::vector<std::unique_ptr<WorkloadProvider>> providers_;
+    std::vector<std::pair<std::string, ParameterSet>> paramSets_;
+};
+
+/** Provider wrapper over one WorkloadDesc table record (exposed so
+ *  tests can re-wrap descriptors into private registries). */
+std::unique_ptr<WorkloadProvider>
+makeTableProvider(const WorkloadDesc &desc);
+
+} // namespace xisa::exp
+
+#endif // XISA_EXP_REGISTRY_HH

@@ -1,0 +1,424 @@
+#include "exp/runner.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "compiler/compile.hh"
+#include "exp/sweep.hh"
+#include "isa/isa.hh"
+#include "sched/jobsets.hh"
+#include "util/stats.hh"
+
+namespace xisa::exp {
+
+namespace {
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+writeJsonHeader(std::FILE *f, const char *bench, bool quick,
+                int requestedThreads, size_t configs,
+                double wallSeconds)
+{
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"sweep_threads\": %d,\n"
+                 "  \"configs\": %zu,\n"
+                 "  \"wall_seconds\": %.6f,\n",
+                 bench, quick ? "quick" : "full", requestedThreads,
+                 configs, wallSeconds);
+}
+
+// --- kind = overhead (the fig06 report) -----------------------------
+
+int
+runOverhead(const ExperimentSpec &spec, const Options &opts)
+{
+    WorkloadRegistry reg = makeRegistry(spec);
+    const bool quick = quickMode();
+    const std::vector<ProblemClass> &classes =
+        spec.activeClasses(quick);
+    const std::vector<int> &threads = spec.activeThreads(quick);
+
+    struct Cell {
+        const WorkloadProvider *provider;
+        ParameterSet params; ///< resolved, before the sweep override
+        NodeSpec node;
+        ProblemClass cls;
+        int nthreads;
+    };
+    struct CellResult {
+        double tBase = 0;
+        double tInst = 0;
+        uint64_t instrs = 0;
+        double hostSeconds = 0;
+    };
+
+    // Pre-resolve refs/nodes once; the sweep only varies class/threads.
+    std::vector<WorkloadRegistry::Resolved> resolved;
+    for (const std::string &ref : spec.workloads) {
+        resolved.push_back(reg.resolve(ref));
+        if (!resolved.back().provider->threadCapable()) {
+            for (int t : threads)
+                if (t > 1)
+                    throw ConfigError(
+                        spec.source + ": workload '" +
+                        resolved.back().provider->name() +
+                        "' is serial-only but the thread sweep "
+                        "includes " + std::to_string(t));
+        }
+    }
+    std::vector<NodeSpec> nodeSpecs;
+    for (const std::string &isa : spec.isas)
+        nodeSpecs.push_back(spec.cluster.makeNode(isa));
+
+    banner(spec.figure.c_str(), spec.title.c_str());
+
+    // Flatten the sweep in print order; the driver may run cells out
+    // of order but results come back indexed.
+    std::vector<Cell> cells;
+    for (const WorkloadRegistry::Resolved &r : resolved)
+        for (const NodeSpec &node : nodeSpecs)
+            for (ProblemClass cls : classes)
+                for (int t : threads)
+                    cells.push_back({r.provider, r.params, node, cls,
+                                     t});
+
+    const double t0 = wallNow();
+    std::vector<CellResult> results =
+        runSweep(cells.size(), [&](size_t i) {
+            const Cell &c = cells[i];
+            CellResult r;
+            double c0 = wallNow();
+            ParameterSet params = c.params;
+            params.set("class", className(c.cls));
+            params.set("nthreads", std::to_string(c.nthreads));
+            Module mod = c.provider->makeWorkload(params);
+            CompileOptions plain;
+            plain.boundaryMigPoints = false;
+            MultiIsaBinary base = compileModule(mod, plain);
+            MultiIsaBinary inst = compileModule(mod);
+            OsRunResult rb = runSingleNode(base, c.node);
+            OsRunResult ri = runSingleNode(inst, c.node);
+            r.tBase = rb.makespanSeconds;
+            r.tInst = ri.makespanSeconds;
+            r.instrs = rb.totalInstrs + ri.totalInstrs;
+            r.hostSeconds = wallNow() - c0;
+            return r;
+        });
+    const double wallSeconds = wallNow() - t0;
+
+    // Ordered merge: same stdout as the sequential harness.
+    size_t i = 0;
+    for (const WorkloadRegistry::Resolved &r : resolved) {
+        for (const NodeSpec &node : nodeSpecs) {
+            std::printf("\n-- %s on %s --\n",
+                        r.provider->name().c_str(), node.name.c_str());
+            std::printf("%-6s %-7s %14s %14s %9s\n", "class",
+                        "threads", "base(s)", "instrumented(s)",
+                        "overhead");
+            for (ProblemClass cls : classes) {
+                for (int t : threads) {
+                    const CellResult &cr = results[i++];
+                    double overhead =
+                        (cr.tInst / cr.tBase - 1.0) * 100.0;
+                    std::printf("%-6s %-7d %14.6f %14.6f %8.2f%%\n",
+                                className(cls), t, cr.tBase, cr.tInst,
+                                overhead);
+                }
+            }
+        }
+    }
+
+    uint64_t simInstrs = 0;
+    for (const CellResult &r : results)
+        simInstrs += r.instrs;
+
+    if (!opts.perfJsonPath.empty()) {
+        std::FILE *f = std::fopen(opts.perfJsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.perfJsonPath.c_str());
+            return 1;
+        }
+        writeJsonHeader(f, spec.benchName.c_str(), quick,
+                        sweepThreads(), cells.size(), wallSeconds);
+        std::fprintf(f,
+                     "  \"simulated_instrs\": %llu,\n"
+                     "  \"mips\": %.2f,\n"
+                     "  \"rows\": [\n",
+                     static_cast<unsigned long long>(simInstrs),
+                     simInstrs / wallSeconds / 1e6);
+        for (size_t k = 0; k < cells.size(); ++k) {
+            const Cell &c = cells[k];
+            const CellResult &r = results[k];
+            std::fprintf(
+                f,
+                "    {\"workload\": \"%s\", \"isa\": \"%s\", "
+                "\"class\": \"%s\", \"threads\": %d, "
+                "\"base_seconds\": %.9f, \"instrumented_seconds\": "
+                "%.9f, \"overhead_pct\": %.4f, \"instrs\": %llu}%s\n",
+                c.provider->name().c_str(),
+                c.node.isa == IsaId::Aether64 ? "Aether64" : "Xeno64",
+                className(c.cls), c.nthreads, r.tBase, r.tInst,
+                (r.tInst / r.tBase - 1.0) * 100.0,
+                static_cast<unsigned long long>(r.instrs),
+                k + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "perf json: %s\n",
+                     opts.perfJsonPath.c_str());
+    }
+
+    if (!opts.sweepJsonPath.empty()) {
+        std::FILE *f = std::fopen(opts.sweepJsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.sweepJsonPath.c_str());
+            return 1;
+        }
+        writeJsonHeader(f, spec.benchName.c_str(), quick,
+                        sweepThreads(), cells.size(), wallSeconds);
+        std::fprintf(f, "  \"cells\": [\n");
+        for (size_t k = 0; k < cells.size(); ++k) {
+            const Cell &c = cells[k];
+            std::fprintf(
+                f,
+                "    {\"index\": %zu, \"workload\": \"%s\", "
+                "\"isa\": \"%s\", \"class\": \"%s\", \"threads\": %d, "
+                "\"host_seconds\": %.6f}%s\n",
+                k, c.provider->name().c_str(),
+                c.node.isa == IsaId::Aether64 ? "Aether64" : "Xeno64",
+                className(c.cls), c.nthreads, results[k].hostSeconds,
+                k + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "sweep json: %s\n",
+                     opts.sweepJsonPath.c_str());
+    }
+
+    // Per-cell registries die with their cell; only the tracer
+    // survives to the output stage.
+    obs::StatRegistry empty;
+    writeOutputs(opts, empty);
+    return 0;
+}
+
+// --- kind = sustained (the fig12 report) ----------------------------
+
+int
+runSustained(const ExperimentSpec &spec, const Options &opts)
+{
+    banner(spec.figure.c_str(), spec.title.c_str());
+    JobProfileTable table = JobProfileTable::calibrate();
+    const ClusterSpec &cl = spec.cluster;
+
+    std::vector<std::unique_ptr<ClusterSim>> sims;
+    for (const PoolSpec &p : cl.pools)
+        sims.push_back(std::make_unique<ClusterSim>(
+            cl.makePool(p), table, cl.simConfig()));
+
+    const int numSets = spec.activeSets(quickMode());
+    std::printf("\n%-6s", "set");
+    for (const PoolSpec &p : cl.pools) {
+        int width = p.columnWidth > 0 ? p.columnWidth
+                                      : (p.baseline ? 21 : 25);
+        std::printf(" | %*s", width, p.column.c_str());
+    }
+    std::printf(" |");
+    for (const PoolSpec &p : cl.pools)
+        if (!p.baseline)
+            std::printf(" %7s", p.mkspLabel.c_str());
+    std::printf("\n");
+
+    std::vector<RunningStat> dEnergy(cl.pools.size());
+    std::vector<RunningStat> mkspRatio(cl.pools.size());
+    for (int set = 0; set < numSets; ++set) {
+        auto jobs = makeSustainedSet(
+            spec.seedBase + static_cast<uint64_t>(set),
+            spec.jobsPerSet);
+        std::vector<ClusterResult> results;
+        for (size_t p = 0; p < cl.pools.size(); ++p)
+            results.push_back(
+                sims[p]->run(jobs, cl.pools[p].policy));
+        const ClusterResult &base = results[0];
+        std::printf("set-%-2d", set);
+        for (const ClusterResult &r : results)
+            std::printf(" | %9.1f (%4.1f/%4.1f)", r.totalEnergy / 1e3,
+                        r.energyJoules[0] / 1e3,
+                        r.energyJoules[1] / 1e3);
+        std::printf(" |");
+        for (size_t p = 0; p < results.size(); ++p)
+            if (!cl.pools[p].baseline)
+                std::printf(" %6.2fx",
+                            results[p].makespan / base.makespan);
+        std::printf("\n");
+        for (size_t p = 0; p < results.size(); ++p) {
+            if (cl.pools[p].baseline)
+                continue;
+            dEnergy[p].add((1.0 - results[p].totalEnergy /
+                                      base.totalEnergy) *
+                           100);
+            mkspRatio[p].add(results[p].makespan / base.makespan);
+        }
+    }
+
+    std::printf("\nEnergy reduction vs %s:",
+                cl.pools[0].shortLabel.c_str());
+    bool first = true;
+    for (size_t p = 0; p < cl.pools.size(); ++p) {
+        if (cl.pools[p].baseline)
+            continue;
+        std::printf("%s %s avg %.1f%% (max %.1f%%)", first ? "" : ",",
+                    cl.pools[p].shortLabel.c_str(), dEnergy[p].mean(),
+                    dEnergy[p].max());
+        first = false;
+    }
+    std::printf("\n");
+    std::printf("Makespan ratio:");
+    first = true;
+    for (size_t p = 0; p < cl.pools.size(); ++p) {
+        if (cl.pools[p].baseline)
+            continue;
+        std::printf("%s %s avg %.2fx", first ? "" : ",",
+                    cl.pools[p].shortLabel.c_str(),
+                    mkspRatio[p].mean());
+        first = false;
+    }
+    std::printf("\n");
+    if (!spec.footer.empty())
+        std::printf("%s\n", spec.footer.c_str());
+
+    writeOutputs(opts, sims.back()->statRegistry());
+    return 0;
+}
+
+// --- kind = rack (the rack-scale report) ----------------------------
+
+int
+runRack(const ExperimentSpec &spec, const Options &opts)
+{
+    banner(spec.figure.c_str(), spec.title.c_str());
+    JobProfileTable table = JobProfileTable::calibrate();
+    const ClusterSpec &cl = spec.cluster;
+    const int numSets = spec.activeSets(quickMode());
+
+    std::printf("\n%-22s %14s %14s %10s %10s %8s\n", "rack mix",
+                "energy(kJ)", "makespan(s)", "dE", "dEDP", "migr");
+    double baseEnergy = 0, baseEdp = 0;
+    std::unique_ptr<ClusterSim> lastSim;
+    for (const PoolSpec &pool : cl.pools) {
+        RunningStat energy, makespan, edp, migr;
+        for (int set = 0; set < numSets; ++set) {
+            auto jobs = makePeriodicSet(
+                spec.seedBase + static_cast<uint64_t>(set), spec.waves,
+                spec.jobsPerWavePerMachine * spec.poolMachines);
+            auto sim = std::make_unique<ClusterSim>(
+                cl.makePool(pool), table, cl.simConfig());
+            ClusterResult r = sim->run(jobs, pool.policy);
+            energy.add(r.totalEnergy);
+            makespan.add(r.makespan);
+            edp.add(r.edp);
+            migr.add(r.migrations);
+            lastSim = std::move(sim);
+        }
+        if (pool.baseline) {
+            baseEnergy = energy.mean();
+            baseEdp = edp.mean();
+        }
+        double de = baseEnergy > 0
+                        ? (1.0 - energy.mean() / baseEnergy) * 100
+                        : 0;
+        double dedp =
+            baseEdp > 0 ? (1.0 - edp.mean() / baseEdp) * 100 : 0;
+        std::printf("%-22s %14.1f %14.1f %9.1f%% %9.1f%% %8.0f\n",
+                    pool.label.c_str(), energy.mean() / 1e3,
+                    makespan.mean(), de, dedp, migr.mean());
+    }
+    if (!spec.footer.empty())
+        std::printf("\n%s\n", spec.footer.c_str());
+
+    if (lastSim)
+        writeOutputs(opts, lastSim->statRegistry());
+    return 0;
+}
+
+// --- kind = single (one container, spec-built) ----------------------
+
+int
+runSingle(const ExperimentSpec &spec, const Options &opts)
+{
+    banner(spec.figure.c_str(), spec.title.c_str());
+    WorkloadRegistry reg = makeRegistry(spec);
+    WorkloadRegistry::Resolved resolved = reg.resolve(spec.workloadRef);
+    Module mod = resolved.provider->makeWorkload(resolved.params);
+    MultiIsaBinary bin = compileModule(mod);
+
+    OsConfig cfg;
+    for (const std::string &ref : spec.singleMachineRefs)
+        cfg.nodes.push_back(spec.cluster.makeNode(ref));
+    cfg.net.latencyUs = spec.cluster.latencyUs;
+    cfg.net.gbitPerSec = spec.cluster.gbitPerSec;
+    if (spec.cluster.hasFaults)
+        cfg.net.faults = spec.cluster.faults;
+    cfg.quantum = spec.quantum;
+    cfg.dsmMode = spec.dsmMode == "remote" ? DsmMode::RemoteAccess
+                                           : DsmMode::MigratePages;
+
+    std::printf("\nworkload %s (", spec.workloadRef.c_str());
+    bool first = true;
+    for (const std::string &key : resolved.params.keys()) {
+        std::printf("%s%s=%s", first ? "" : ", ", key.c_str(),
+                    resolved.params.getString(key, "").c_str());
+        first = false;
+    }
+    std::printf(") on %zu node(s), dsm=%s, quantum=%llu\n",
+                cfg.nodes.size(), spec.dsmMode.c_str(),
+                static_cast<unsigned long long>(cfg.quantum));
+    for (const NodeSpec &n : cfg.nodes)
+        std::printf("  node %s: %s, %d cores @ %.2f GHz\n",
+                    n.name.c_str(), isaName(n.isa), n.cores,
+                    n.freqGHz);
+
+    ReplicatedOS os(bin, cfg);
+    os.load(spec.startNode);
+    OsRunResult r = os.run();
+
+    for (const std::string &line : r.output)
+        std::printf("  %s\n", line.c_str());
+    std::printf("finished=%s exit=%lld instrs=%llu makespan=%.6f s\n",
+                r.finished ? "yes" : "no",
+                static_cast<long long>(r.exitCode),
+                static_cast<unsigned long long>(r.totalInstrs),
+                r.makespanSeconds);
+
+    writeOutputs(opts, os.statRegistry());
+    return r.finished ? 0 : 1;
+}
+
+} // namespace
+
+int
+runExperiment(const ExperimentSpec &spec, const Options &opts)
+{
+    switch (spec.kind) {
+      case ExperimentKind::Overhead: return runOverhead(spec, opts);
+      case ExperimentKind::Sustained: return runSustained(spec, opts);
+      case ExperimentKind::Rack: return runRack(spec, opts);
+      case ExperimentKind::Single: return runSingle(spec, opts);
+    }
+    return 2;
+}
+
+} // namespace xisa::exp

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Drives a parsed ExperimentSpec end to end: instantiates the nodes,
+ * OS containers, cluster simulator, and scheduler policies the spec
+ * describes and reproduces the paper-style report of the matching
+ * legacy bench -- byte-identically, which the conf-equivalence tests
+ * pin against the original binaries.
+ */
+
+#ifndef XISA_EXP_RUNNER_HH
+#define XISA_EXP_RUNNER_HH
+
+#include "exp/options.hh"
+#include "exp/spec.hh"
+
+namespace xisa::exp {
+
+/** Run one experiment; returns a process exit status. */
+int runExperiment(const ExperimentSpec &spec, const Options &opts);
+
+} // namespace xisa::exp
+
+#endif // XISA_EXP_RUNNER_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Typed experiment specifications parsed from `.conf` files.
+ *
+ * A spec has two halves. The ClusterSpec is the hardware: node presets
+ * or overrides ([node.*]), machines binding a node to power/load scale
+ * ([machine.*]), pools of machines with a scheduling policy ([pool.*]),
+ * and the link/sim/fault/crash plan ([net], [sim], [faults],
+ * [crashes]). The ExperimentSpec is the study: which kind of run
+ * (overhead sweep, sustained or rack scheduling study, single
+ * container), which workloads at which parameters, how many seeded
+ * sets, and how the rows are labelled.
+ *
+ * parseExperiment() applies defaults, validates cross-references
+ * (every pool machine must name a [machine.*], every policy must be a
+ * scheduler policy, ...), and finishes with requireAllUsed() so any
+ * key no consumer understood fails with its file:line.
+ * serializeSpec() emits the canonical conf text -- every effective
+ * value, defaults materialized -- and parse(serialize(s)) == s, which
+ * the round-trip tests pin.
+ */
+
+#ifndef XISA_EXP_SPEC_HH
+#define XISA_EXP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsm/faults.hh"
+#include "exp/config.hh"
+#include "exp/registry.hh"
+#include "sched/cluster.hh"
+#include "workload/workloads.hh"
+
+namespace xisa::exp {
+
+/** The kinds of experiment the runner can drive. */
+enum class ExperimentKind { Overhead, Sustained, Rack, Single };
+
+const char *kindName(ExperimentKind k);
+
+/** [node.NAME]: a NodeSpec derived from a builtin preset. Zero-valued
+ *  fields inherit the preset's value. */
+struct NodeOverride {
+    std::string name;
+    std::string base; ///< "xeno" or "aether"
+    int cores = 0;
+    double freqGHz = 0;
+    double idleWatts = 0;
+    double maxWatts = 0;
+    int memPenaltyCycles = 0;
+};
+
+/** [machine.NAME]: one server of a pool. */
+struct MachineSpec {
+    std::string name;
+    std::string node; ///< "xeno", "aether", or a [node.*] name
+    double powerScale = 1.0;
+    double loadWeight = 1.0;
+};
+
+/** [pool.NAME]: machines + policy + display labels. */
+struct PoolSpec {
+    std::string name;
+    /** Machine references, `NAME` or `NAME*COUNT`, in order. */
+    std::vector<std::string> machineRefs;
+    Policy policy = Policy::StaticBalanced;
+    bool baseline = false;
+    std::string label;      ///< rack-row label (defaults to name)
+    std::string column;     ///< sustained column header
+    int columnWidth = 0;    ///< header field width (0 = 21/25 default)
+    std::string mkspLabel;  ///< sustained makespan-ratio header
+    std::string shortLabel; ///< sustained summary-line label
+};
+
+/** One scripted machine failure (time/downtime in seconds). */
+struct CrashSpec {
+    int machine = 0;
+    double time = 0;
+};
+
+/** The hardware half of a spec. */
+struct ClusterSpec {
+    std::vector<NodeOverride> nodes;
+    std::vector<MachineSpec> machines;
+    std::vector<PoolSpec> pools;
+    // [sim]
+    double rebalancePeriod = 1.0;
+    double migrationFixedSeconds = 0.05;
+    double workingSetMib = 2.0;
+    double sleepFraction = 1.0;
+    double checkpointPeriod = 5.0;
+    // [net]
+    double latencyUs = 1.2;
+    double gbitPerSec = 40.0;
+    // [faults] -- hasFaults false means the perfect link (and the
+    // FaultConfig below is ignored).
+    bool hasFaults = false;
+    FaultConfig faults;
+    // [crashes]
+    std::vector<CrashSpec> crashPlan;
+    double crashDownSeconds = 30.0;
+
+    /** Resolve a node reference ("xeno", "aether", or override name);
+     *  throws ConfigError on an unknown name. */
+    NodeSpec makeNode(const std::string &ref) const;
+    /** Expand a pool's machine refs into scheduler Machines. */
+    std::vector<Machine> makePool(const PoolSpec &pool) const;
+    /** The ClusterSim configuration this spec describes. */
+    ClusterSim::Config simConfig() const;
+    const MachineSpec *findMachine(const std::string &name) const;
+    const NodeOverride *findNode(const std::string &name) const;
+};
+
+/** A named [paramset.NAME] forwarded to the workload registry. */
+struct ParamSetSpec {
+    std::string name;
+    ParameterSet params;
+};
+
+/** The full experiment description. */
+struct ExperimentSpec {
+    std::string source; ///< file/diagnostic name (not serialized)
+    ExperimentKind kind = ExperimentKind::Overhead;
+    std::string figure;
+    std::string title;
+    std::string footer;
+    std::string benchName = "xisa_exp";
+
+    // kind = overhead
+    std::vector<std::string> workloads; ///< registry refs
+    std::vector<std::string> isas;      ///< "aether" / "xeno"
+    std::vector<ProblemClass> classes, classesQuick;
+    std::vector<int> threads, threadsQuick;
+
+    // kind = sustained / rack
+    int sets = 0, setsQuick = 0;
+    uint64_t seedBase = 0;
+    int jobsPerSet = 40;               ///< sustained
+    int waves = 5;                     ///< rack
+    int jobsPerWavePerMachine = 7;     ///< rack
+    int poolMachines = 8;              ///< rack job-set scale basis
+
+    // kind = single
+    std::string workloadRef;
+    std::string singleMachines; ///< raw node-ref list (serialized form)
+    std::vector<std::string> singleMachineRefs; ///< parsed from above
+    int startNode = 0;
+    uint64_t quantum = 4000;
+    std::string dsmMode = "migrate"; ///< "migrate" | "remote"
+
+    std::vector<ParamSetSpec> paramSets;
+    ClusterSpec cluster;
+
+    /** The class/thread/set sweeps for the current mode. */
+    const std::vector<ProblemClass> &activeClasses(bool quick) const
+    {
+        return quick && !classesQuick.empty() ? classesQuick : classes;
+    }
+    const std::vector<int> &activeThreads(bool quick) const
+    {
+        return quick && !threadsQuick.empty() ? threadsQuick : threads;
+    }
+    int activeSets(bool quick) const
+    {
+        return quick && setsQuick > 0 ? setsQuick : sets;
+    }
+};
+
+/** Parse + validate a spec; consumes the whole Config (leftover keys
+ *  throw). */
+ExperimentSpec parseExperiment(Config &conf);
+/** Convenience: parseFile + parseExperiment. */
+ExperimentSpec parseExperimentFile(const std::string &path);
+
+/** Canonical conf text: every effective value, defaults materialized.
+ *  parse(serialize(s)) reproduces s (the round-trip invariant). */
+std::string serializeSpec(const ExperimentSpec &spec);
+
+/** Build a registry seeded with the builtin workload table plus the
+ *  spec's parameter sets. */
+WorkloadRegistry makeRegistry(const ExperimentSpec &spec);
+
+/** Parse "static-balanced" etc.; throws ConfigError otherwise. */
+Policy parsePolicy(const std::string &s);
+
+} // namespace xisa::exp
+
+#endif // XISA_EXP_SPEC_HH

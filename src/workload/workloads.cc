@@ -5,73 +5,107 @@
 
 namespace xisa {
 
+const WorkloadDesc &
+workloadDesc(WorkloadId id)
+{
+    const std::vector<WorkloadDesc> &table = workloadTable();
+    for (const WorkloadDesc &d : table)
+        if (d.id == id)
+            return d;
+    panic("workloadDesc: bad id %d", static_cast<int>(id));
+}
+
+const WorkloadDesc *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadDesc &d : workloadTable())
+        if (name == d.name)
+            return &d;
+    return nullptr;
+}
+
 const char *
 workloadName(WorkloadId id)
 {
-    switch (id) {
-      case WorkloadId::CG: return "cg";
-      case WorkloadId::IS: return "is";
-      case WorkloadId::FT: return "ft";
-      case WorkloadId::EP: return "ep";
-      case WorkloadId::MG: return "mg";
-      case WorkloadId::SP: return "sp";
-      case WorkloadId::BT: return "bt";
-      case WorkloadId::BZIP: return "bzip";
-      case WorkloadId::VERUS: return "verus";
-      case WorkloadId::REDIS: return "redis";
-    }
-    return "?";
+    return workloadDesc(id).name;
 }
+
+namespace {
+
+/** The problem classes, described once (name + working-set scale). */
+struct ClassDesc {
+    ProblemClass cls;
+    const char *name;
+    int scale;
+};
+
+constexpr ClassDesc kClasses[] = {
+    {ProblemClass::A, "A", 1},
+    {ProblemClass::B, "B", 4},
+    {ProblemClass::C, "C", 16},
+};
+
+const ClassDesc *
+classDesc(ProblemClass cls)
+{
+    for (const ClassDesc &d : kClasses)
+        if (d.cls == cls)
+            return &d;
+    return nullptr;
+}
+
+} // namespace
 
 const char *
 className(ProblemClass cls)
 {
-    switch (cls) {
-      case ProblemClass::A: return "A";
-      case ProblemClass::B: return "B";
-      case ProblemClass::C: return "C";
+    const ClassDesc *d = classDesc(cls);
+    return d ? d->name : "?";
+}
+
+bool
+parseProblemClass(const std::string &s, ProblemClass *out)
+{
+    for (const ClassDesc &d : kClasses) {
+        if (s == d.name ||
+            (s.size() == 1 && s[0] == d.name[0] + ('a' - 'A'))) {
+            *out = d.cls;
+            return true;
+        }
     }
-    return "?";
+    return false;
 }
 
 int
 classScale(ProblemClass cls)
 {
-    switch (cls) {
-      case ProblemClass::A: return 1;
-      case ProblemClass::B: return 4;
-      case ProblemClass::C: return 16;
-    }
-    return 1;
+    const ClassDesc *d = classDesc(cls);
+    return d ? d->scale : 1;
 }
 
 std::vector<WorkloadId>
 allWorkloads()
 {
-    return {WorkloadId::CG, WorkloadId::IS, WorkloadId::FT,
-            WorkloadId::EP, WorkloadId::MG, WorkloadId::SP,
-            WorkloadId::BT, WorkloadId::BZIP, WorkloadId::VERUS,
-            WorkloadId::REDIS};
+    std::vector<WorkloadId> out;
+    for (const WorkloadDesc &d : workloadTable())
+        out.push_back(d.id);
+    return out;
 }
 
 std::vector<WorkloadId>
 npbWorkloads()
 {
-    return {WorkloadId::CG, WorkloadId::IS, WorkloadId::FT,
-            WorkloadId::EP, WorkloadId::MG, WorkloadId::SP,
-            WorkloadId::BT};
+    std::vector<WorkloadId> out;
+    for (const WorkloadDesc &d : workloadTable())
+        if (d.threadCapable)
+            out.push_back(d.id);
+    return out;
 }
 
 bool
 supportsThreads(WorkloadId id)
 {
-    switch (id) {
-      case WorkloadId::BZIP: case WorkloadId::VERUS:
-      case WorkloadId::REDIS:
-        return false;
-      default:
-        return true;
-    }
+    return workloadDesc(id).threadCapable;
 }
 
 namespace {
@@ -1174,29 +1208,49 @@ buildRedis(ProblemClass cls)
     return mb.finish();
 }
 
+// Uniform-signature shims over the kernels above: the table stores one
+// builder type; serial kernels ignore the (validated to be 1) count.
+
+Module buildCgT(ProblemClass c, int t) { return buildCg(c, t); }
+Module buildIsT(ProblemClass c, int t) { return buildIs(c, t); }
+Module buildFtT(ProblemClass c, int t) { return buildFt(c, t); }
+Module buildEpT(ProblemClass c, int t) { return buildEp(c, t); }
+Module buildMgT(ProblemClass c, int t) { return buildMg(c, t); }
+Module buildSpT(ProblemClass c, int t) { return buildSp(c, t); }
+Module buildBtT(ProblemClass c, int t) { return buildBt(c, t); }
+Module buildBzipT(ProblemClass c, int) { return buildBzip(c); }
+Module buildVerusT(ProblemClass c, int) { return buildVerus(c); }
+Module buildRedisT(ProblemClass c, int) { return buildRedis(c); }
+
 } // namespace
+
+const std::vector<WorkloadDesc> &
+workloadTable()
+{
+    static const std::vector<WorkloadDesc> table = {
+        {WorkloadId::CG, "cg", true, buildCgT},
+        {WorkloadId::IS, "is", true, buildIsT},
+        {WorkloadId::FT, "ft", true, buildFtT},
+        {WorkloadId::EP, "ep", true, buildEpT},
+        {WorkloadId::MG, "mg", true, buildMgT},
+        {WorkloadId::SP, "sp", true, buildSpT},
+        {WorkloadId::BT, "bt", true, buildBtT},
+        {WorkloadId::BZIP, "bzip", false, buildBzipT},
+        {WorkloadId::VERUS, "verus", false, buildVerusT},
+        {WorkloadId::REDIS, "redis", false, buildRedisT},
+    };
+    return table;
+}
 
 Module
 buildWorkload(WorkloadId id, ProblemClass cls, int nthreads)
 {
     if (nthreads < 1 || nthreads > kMaxThreads)
         fatal("buildWorkload: nthreads %d out of range", nthreads);
-    if (nthreads > 1 && !supportsThreads(id))
-        fatal("workload '%s' is serial-only", workloadName(id));
-    int64_t T = nthreads;
-    switch (id) {
-      case WorkloadId::CG: return buildCg(cls, T);
-      case WorkloadId::IS: return buildIs(cls, T);
-      case WorkloadId::FT: return buildFt(cls, T);
-      case WorkloadId::EP: return buildEp(cls, T);
-      case WorkloadId::MG: return buildMg(cls, T);
-      case WorkloadId::SP: return buildSp(cls, T);
-      case WorkloadId::BT: return buildBt(cls, T);
-      case WorkloadId::BZIP: return buildBzip(cls);
-      case WorkloadId::VERUS: return buildVerus(cls);
-      case WorkloadId::REDIS: return buildRedis(cls);
-    }
-    panic("buildWorkload: bad id");
+    const WorkloadDesc &d = workloadDesc(id);
+    if (nthreads > 1 && !d.threadCapable)
+        fatal("workload '%s' is serial-only", d.name);
+    return d.build(cls, nthreads);
 }
 
 } // namespace xisa

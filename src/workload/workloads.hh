@@ -46,10 +46,33 @@ enum class WorkloadId {
 /** NPB-style problem classes. */
 enum class ProblemClass { A, B, C };
 
+/**
+ * One workload, described once. Adding a workload is one record in
+ * workloadTable() (name, thread-capability, builder); every query
+ * below -- and the exp/ WorkloadRegistry -- derives from the table,
+ * so there are no parallel switches to keep in sync.
+ */
+struct WorkloadDesc {
+    WorkloadId id;
+    const char *name;    ///< short name, e.g. "cg"
+    bool threadCapable;  ///< accepts nthreads > 1 (the NPB-like set)
+    Module (*build)(ProblemClass cls, int nthreads);
+};
+
+/** The registration table, in WorkloadId order. */
+const std::vector<WorkloadDesc> &workloadTable();
+
+/** Descriptor lookup; null for an unknown name. */
+const WorkloadDesc *findWorkload(const std::string &name);
+/** Descriptor of an id (never null for a valid id). */
+const WorkloadDesc &workloadDesc(WorkloadId id);
+
 /** Short name, e.g. "cg". */
 const char *workloadName(WorkloadId id);
 /** "A"/"B"/"C". */
 const char *className(ProblemClass cls);
+/** Parse "A"/"B"/"C" (also lowercase); false on anything else. */
+bool parseProblemClass(const std::string &s, ProblemClass *out);
 
 /** All workloads. */
 std::vector<WorkloadId> allWorkloads();

@@ -1,0 +1,42 @@
+# Script-mode runner for the conf-equivalence guard.
+#
+#   cmake -DLEGACY=<legacy bench binary> -DRUNNER=<xisa_exp binary>
+#         -DCONF=<experiment .conf> -DOUT=<scratch file prefix>
+#         -P conf_equiv_check.cmake
+#
+# Runs the legacy bench and `xisa_exp CONF` in XISA_QUICK mode and
+# fails unless their stdout is byte-identical: a checked-in conf that
+# mirrors a legacy bench must reproduce its report exactly, or the
+# config-driven platform has drifted from the paper harnesses.
+
+foreach(var LEGACY RUNNER CONF OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "conf_equiv_check.cmake: ${var} not set")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env XISA_QUICK=1 ${LEGACY}
+    OUTPUT_FILE ${OUT}.legacy
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${LEGACY} exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env XISA_QUICK=1 ${RUNNER} ${CONF}
+    OUTPUT_FILE ${OUT}.conf
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${RUNNER} ${CONF} exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}.legacy ${OUT}.conf
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "xisa_exp ${CONF} differs from ${LEGACY} "
+            "(see ${OUT}.legacy vs ${OUT}.conf); conf-driven runs "
+            "must reproduce the legacy report byte-for-byte")
+endif()

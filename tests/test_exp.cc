@@ -1,0 +1,437 @@
+/**
+ * @file
+ * The config-driven experiment platform: the conf parser (grammar,
+ * macros, diagnostics, unknown-key tracking), the workload registry
+ * (providers, named parameter sets, reference resolution), and the
+ * experiment specs (defaults, validation, serialize round-trip).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/config.hh"
+#include "exp/registry.hh"
+#include "exp/spec.hh"
+
+using namespace xisa;
+using namespace xisa::exp;
+
+namespace {
+
+// --- Config: grammar ------------------------------------------------
+
+TEST(Config, ParsesSectionsKeysAndComments)
+{
+    Config c = Config::parseString("top = 1  # trailing\n"
+                                   "# full-line comment\n"
+                                   "[alpha]\n"
+                                   "name = hello\n"
+                                   "list = a, b , c\n"
+                                   "[beta.sub]\n"
+                                   "x = 2\n",
+                                   "t");
+    EXPECT_EQ(c.getInt("", "top", 0), 1);
+    EXPECT_EQ(c.getString("alpha", "name", ""), "hello");
+    EXPECT_EQ(c.getList("alpha", "list"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(c.hasSection("beta.sub"));
+    EXPECT_EQ(c.sectionsWithPrefix("beta."),
+              std::vector<std::string>{"beta.sub"});
+    EXPECT_EQ(c.getInt("beta.sub", "x", 0), 2);
+    EXPECT_NO_THROW(c.requireAllUsed()); // every key was consumed
+}
+
+TEST(Config, QuotingAndEscapes)
+{
+    Config c = Config::parseString(
+        "plain = 'kept # verbatim'\n"
+        "esc = \"line1\\nline2\\t\\\"q\\\" \\\\\"\n",
+        "t");
+    EXPECT_EQ(c.getString("", "plain", ""), "kept # verbatim");
+    EXPECT_EQ(c.getString("", "esc", ""), "line1\nline2\t\"q\" \\");
+}
+
+TEST(Config, MacroExpansion)
+{
+    Config c = Config::parseString("root = /data\n"
+                                   "sub = $(root)/runs\n"
+                                   "[s]\n"
+                                   "deep = $(sub)/x\n",
+                                   "t");
+    EXPECT_EQ(c.getString("s", "deep", ""), "/data/runs/x");
+}
+
+TEST(Config, MacroCycleFails)
+{
+    EXPECT_THROW(Config::parseString("a = $(b)\nb = $(a)\nc = $(a)\n",
+                                     "t")
+                     .getString("", "c", ""),
+                 ConfigError);
+}
+
+// --- Config: malformed input ----------------------------------------
+
+TEST(Config, MalformedInputsThrowWithLineNumbers)
+{
+    auto fails = [](const std::string &text, const char *what) {
+        try {
+            Config::parseString(text, "bad.conf");
+            FAIL() << "expected ConfigError for: " << what;
+        } catch (const ConfigError &e) {
+            EXPECT_NE(std::string(e.what()).find("bad.conf"),
+                      std::string::npos)
+                << what;
+        }
+    };
+    fails("just a line\n", "no equals sign");
+    fails("[unclosed\n", "missing bracket");
+    fails("[]\nx = 1\n", "empty section name");
+    fails("k e y = 1\n", "space in key");
+    fails("q = 'abc\n", "unterminated quote");
+    fails("e = \"a\\qb\"\n", "bad escape");
+    fails("x = $(nope)\n", "undefined macro");
+    fails("x = $(broken\n", "unterminated macro");
+    fails("x = 1\nx = 2\n", "duplicate key");
+    fails("[s]\na = 1\n[s]\nb = 2\n", "duplicate section");
+}
+
+TEST(Config, DuplicateKeyNamesFirstLine)
+{
+    try {
+        Config::parseString("x = 1\ny = 2\nx = 3\n", "d.conf");
+        FAIL();
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("d.conf:3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("first at line 1"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(Config, MissingFileThrows)
+{
+    EXPECT_THROW(Config::parseFile("/nonexistent/xisa.conf"),
+                 ConfigError);
+}
+
+// --- Config: typed getters ------------------------------------------
+
+TEST(Config, TypedGettersAndDefaults)
+{
+    Config c = Config::parseString("i = 0x10\nd = 2.5\nb1 = yes\n"
+                                   "b2 = off\n",
+                                   "t");
+    EXPECT_EQ(c.getInt("", "i", 0), 16); // base-0 integers
+    EXPECT_DOUBLE_EQ(c.getDouble("", "d", 0), 2.5);
+    EXPECT_TRUE(c.getBool("", "b1", false));
+    EXPECT_FALSE(c.getBool("", "b2", true));
+    EXPECT_EQ(c.getInt("", "absent", 42), 42);
+    EXPECT_EQ(c.getString("nosec", "absent", "d"), "d");
+}
+
+TEST(Config, TypedGetterRejectsMalformedValues)
+{
+    Config c = Config::parseString("i = 3x\nd = nan-ish\nb = maybe\n",
+                                   "t");
+    EXPECT_THROW(c.getInt("", "i", 0), ConfigError);
+    EXPECT_THROW(c.getDouble("", "d", 0), ConfigError);
+    EXPECT_THROW(c.getBool("", "b", false), ConfigError);
+}
+
+TEST(Config, RequireThrowsOnMissing)
+{
+    Config c = Config::parseString("x = 1\n", "t");
+    EXPECT_THROW(c.requireString("", "missing"), ConfigError);
+    EXPECT_THROW(c.requireInt("sec", "missing"), ConfigError);
+}
+
+// --- Config: unknown-key diagnostics --------------------------------
+
+TEST(Config, UnknownKeysListedWithLocation)
+{
+    Config c = Config::parseString("known = 1\n"
+                                   "[s]\n"
+                                   "typo_key = 2\n",
+                                   "u.conf");
+    c.getInt("", "known", 0);
+    try {
+        c.requireAllUsed();
+        FAIL() << "expected unknown-key diagnostics";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("s.typo_key"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    }
+}
+
+// --- Registry -------------------------------------------------------
+
+TEST(Registry, GlobalSeededFromWorkloadTable)
+{
+    WorkloadRegistry &reg = WorkloadRegistry::global();
+    EXPECT_EQ(reg.names().size(), workloadTable().size());
+    EXPECT_NE(reg.find("cg"), nullptr);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+    EXPECT_TRUE(reg.require("cg").threadCapable());
+    EXPECT_FALSE(reg.require("bzip").threadCapable());
+}
+
+TEST(Registry, RequireListsKnownNames)
+{
+    try {
+        WorkloadRegistry::global().require("spx");
+        FAIL();
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("cg"), std::string::npos);
+    }
+}
+
+TEST(Registry, ResolveLayersDefaultsSetsAndOverrides)
+{
+    WorkloadRegistry reg;
+    reg.add(makeTableProvider(workloadDesc(WorkloadId::CG)));
+    ParameterSet big;
+    big.set("class", "C");
+    big.set("nthreads", "8");
+    reg.defineParamSet("big", big);
+
+    auto r0 = reg.resolve("cg");
+    EXPECT_EQ(r0.params.getString("class", ""), "A");
+    EXPECT_EQ(r0.params.getInt("nthreads", 0), 1);
+
+    auto r1 = reg.resolve("cg@big");
+    EXPECT_EQ(r1.params.getString("class", ""), "C");
+    EXPECT_EQ(r1.params.getInt("nthreads", 0), 8);
+
+    ParameterSet over;
+    over.set("nthreads", "2");
+    auto r2 = reg.resolve("cg @ big", over);
+    EXPECT_EQ(r2.params.getString("class", ""), "C");
+    EXPECT_EQ(r2.params.getInt("nthreads", 0), 2);
+}
+
+TEST(Registry, ResolveRejectsUnknownSetAndParams)
+{
+    WorkloadRegistry reg;
+    reg.add(makeTableProvider(workloadDesc(WorkloadId::CG)));
+    EXPECT_THROW(reg.resolve("cg@nosuch"), ConfigError);
+    ParameterSet bad;
+    bad.set("klass", "A"); // typo'd parameter name
+    EXPECT_THROW(reg.resolve("cg", bad), ConfigError);
+}
+
+TEST(Registry, BuildValidatesParameterValues)
+{
+    WorkloadRegistry reg;
+    reg.add(makeTableProvider(workloadDesc(WorkloadId::CG)));
+    reg.add(makeTableProvider(workloadDesc(WorkloadId::BZIP)));
+    ParameterSet badClass;
+    badClass.set("class", "D");
+    EXPECT_THROW(reg.build("cg", badClass), ConfigError);
+    ParameterSet serialThreads;
+    serialThreads.set("nthreads", "4"); // bzip is serial-only
+    EXPECT_THROW(reg.build("bzip", serialThreads), ConfigError);
+    EXPECT_NO_THROW(reg.build("cg"));
+}
+
+TEST(Registry, DuplicateProviderRejected)
+{
+    WorkloadRegistry reg;
+    reg.add(makeTableProvider(workloadDesc(WorkloadId::CG)));
+    EXPECT_THROW(
+        reg.add(makeTableProvider(workloadDesc(WorkloadId::CG))),
+        ConfigError);
+}
+
+// --- Spec: defaults and validation ----------------------------------
+
+const char *kMinimalOverhead = "kind = overhead\n"
+                               "figure = F\n"
+                               "title = T\n"
+                               "workloads = cg\n";
+
+TEST(Spec, OverheadDefaults)
+{
+    Config c = Config::parseString(kMinimalOverhead, "o.conf");
+    ExperimentSpec s = parseExperiment(c);
+    EXPECT_EQ(s.kind, ExperimentKind::Overhead);
+    EXPECT_EQ(s.isas, (std::vector<std::string>{"aether", "xeno"}));
+    EXPECT_EQ(s.classes.size(), 3u);
+    EXPECT_EQ(s.classesQuick.size(), 1u);
+    EXPECT_EQ(s.threads, (std::vector<int>{1, 2, 4, 8}));
+    EXPECT_EQ(s.threadsQuick, (std::vector<int>{1, 4}));
+    EXPECT_EQ(s.activeThreads(true), (std::vector<int>{1, 4}));
+    EXPECT_EQ(s.activeThreads(false), (std::vector<int>{1, 2, 4, 8}));
+    // Cluster defaults match ClusterSim::Config's.
+    ClusterSim::Config cc = s.cluster.simConfig();
+    EXPECT_DOUBLE_EQ(cc.rebalancePeriod, 1.0);
+    EXPECT_DOUBLE_EQ(cc.workingSetBytesPerScale, 2.0 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(cc.net.latencyUs, 1.2);
+    EXPECT_TRUE(cc.crashes.empty());
+}
+
+TEST(Spec, UnknownKeyAnywhereFails)
+{
+    Config c = Config::parseString(std::string(kMinimalOverhead) +
+                                       "[sim]\nrebalance_perood = 2\n",
+                                   "o.conf");
+    EXPECT_THROW(parseExperiment(c), ConfigError);
+}
+
+TEST(Spec, MissingRequiredKeysFail)
+{
+    Config noTitle =
+        Config::parseString("kind = overhead\nfigure = F\n"
+                            "workloads = cg\n",
+                            "t");
+    EXPECT_THROW(parseExperiment(noTitle), ConfigError);
+    Config noSeed = Config::parseString(
+        "kind = rack\nfigure = F\ntitle = T\nsets = 2\n", "t");
+    EXPECT_THROW(parseExperiment(noSeed), ConfigError);
+    Config badKind = Config::parseString(
+        "kind = sideways\nfigure = F\ntitle = T\n", "t");
+    EXPECT_THROW(parseExperiment(badKind), ConfigError);
+}
+
+TEST(Spec, CrossReferencesValidated)
+{
+    auto parse = [](const std::string &extra) {
+        Config c = Config::parseString(
+            "kind = rack\nfigure = F\ntitle = T\n"
+            "sets = 1\nseed_base = 1\n" +
+                extra,
+            "x.conf");
+        return parseExperiment(c);
+    };
+    // Pool referencing an unknown machine.
+    EXPECT_THROW(parse("[pool.a]\nmachines = ghost\n"
+                       "policy = static-balanced\nbaseline = true\n"),
+                 ConfigError);
+    // Machine referencing an unknown node.
+    EXPECT_THROW(parse("[machine.m]\nnode = ghost\n"
+                       "[pool.a]\nmachines = m\n"
+                       "policy = static-balanced\nbaseline = true\n"),
+                 ConfigError);
+    // Unknown policy name.
+    EXPECT_THROW(parse("[machine.m]\nnode = xeno\n"
+                       "[pool.a]\nmachines = m\n"
+                       "policy = round-robin\nbaseline = true\n"),
+                 ConfigError);
+    // No baseline pool.
+    EXPECT_THROW(parse("[machine.m]\nnode = xeno\n"
+                       "[pool.a]\nmachines = m\n"
+                       "policy = static-balanced\n"),
+                 ConfigError);
+    // All valid: machine count expansion works.
+    ExperimentSpec s =
+        parse("[machine.m]\nnode = xeno\n"
+              "[pool.a]\nmachines = m*3\n"
+              "policy = static-balanced\nbaseline = true\n");
+    EXPECT_EQ(s.cluster.makePool(s.cluster.pools[0]).size(), 3u);
+}
+
+TEST(Spec, NodeOverrideInheritsPreset)
+{
+    Config c = Config::parseString(std::string(kMinimalOverhead) +
+                                       "isas = fast_arm\n"
+                                       "[node.fast_arm]\n"
+                                       "base = aether\n"
+                                       "freq_ghz = 3.0\n",
+                                   "n.conf");
+    ExperimentSpec s = parseExperiment(c);
+    NodeSpec n = s.cluster.makeNode("fast_arm");
+    NodeSpec preset = makeAetherServer();
+    EXPECT_EQ(n.name, "fast_arm");
+    EXPECT_DOUBLE_EQ(n.freqGHz, 3.0);            // overridden
+    EXPECT_EQ(n.cores, preset.cores);            // inherited
+    EXPECT_DOUBLE_EQ(n.idleWatts, preset.idleWatts);
+}
+
+TEST(Spec, WorkloadRefsValidatedAgainstRegistry)
+{
+    Config badRef = Config::parseString("kind = overhead\nfigure = F\n"
+                                        "title = T\nworkloads = spx\n",
+                                        "t");
+    EXPECT_THROW(parseExperiment(badRef), ConfigError);
+    Config badSet = Config::parseString(
+        "kind = overhead\nfigure = F\n"
+        "title = T\nworkloads = cg@nosuch\n",
+        "t");
+    EXPECT_THROW(parseExperiment(badSet), ConfigError);
+    Config good = Config::parseString(
+        "kind = overhead\nfigure = F\ntitle = T\n"
+        "workloads = cg@big\n"
+        "[paramset.big]\nclass = B\n",
+        "t");
+    ExperimentSpec s = parseExperiment(good);
+    auto r = makeRegistry(s).resolve("cg@big");
+    EXPECT_EQ(r.params.getString("class", ""), "B");
+}
+
+TEST(Spec, CrashPlanParsed)
+{
+    Config c = Config::parseString(
+        "kind = sustained\nfigure = F\ntitle = T\n"
+        "sets = 1\nseed_base = 7\n"
+        "[machine.m]\nnode = xeno\n"
+        "[pool.a]\nmachines = m*2\n"
+        "policy = static-balanced\nbaseline = true\n"
+        "[crashes]\ndown_seconds = 12\nplan = 0@30, 1@55.5\n",
+        "c.conf");
+    ExperimentSpec s = parseExperiment(c);
+    ClusterSim::Config cc = s.cluster.simConfig();
+    ASSERT_EQ(cc.crashes.size(), 2u);
+    EXPECT_EQ(cc.crashes[0].machine, 0);
+    EXPECT_DOUBLE_EQ(cc.crashes[0].time, 30);
+    EXPECT_DOUBLE_EQ(cc.crashes[1].time, 55.5);
+    EXPECT_DOUBLE_EQ(cc.crashes[1].downSeconds, 12);
+}
+
+// --- Spec: serialize round-trip -------------------------------------
+
+void
+expectRoundTrip(const std::string &text, const char *name)
+{
+    Config c1 = Config::parseString(text, name);
+    ExperimentSpec s1 = parseExperiment(c1);
+    std::string canon = serializeSpec(s1);
+    Config c2 = Config::parseString(canon, "canon");
+    ExperimentSpec s2 = parseExperiment(c2);
+    EXPECT_EQ(serializeSpec(s2), canon)
+        << name << ": canonical form is not a fixed point";
+}
+
+TEST(Spec, SerializeRoundTripOverhead)
+{
+    expectRoundTrip(kMinimalOverhead, "overhead");
+}
+
+TEST(Spec, SerializeRoundTripFullCluster)
+{
+    expectRoundTrip(
+        "kind = rack\nfigure = \"Rack (x)\"\ntitle = \"deep, dive\"\n"
+        "sets = 3\nsets_quick = 1\nseed_base = 4200\nwaves = 4\n"
+        "[node.armn]\nbase = aether\ncores = 16\nfreq_ghz = 3.0\n"
+        "[machine.x86]\nnode = xeno\n"
+        "[machine.arm]\nnode = armn\npower_scale = 0.1\n"
+        "[pool.base]\nmachines = x86*8\npolicy = static-balanced\n"
+        "baseline = true\nlabel = \"8x86 (baseline)\"\n"
+        "[pool.mix]\nmachines = x86*4, arm*4\n"
+        "policy = dynamic-unbalanced\nlabel = 4x4\n"
+        "[net]\nlatency_us = 5.0\ngbit_per_sec = 10\n"
+        "[sim]\nsleep_fraction = 0.25\n"
+        "[faults]\nseed = 9\ndrop_prob = 0.02\n"
+        "[crashes]\ndown_seconds = 20\nplan = 1@40, 3@90\n"
+        "[footer]\ntext = \"multi\\nline\"\n",
+        "full");
+}
+
+TEST(Spec, SerializeRoundTripSingleWithParamSets)
+{
+    expectRoundTrip("kind = single\nfigure = F\ntitle = T\n"
+                    "workload = cg@big\nmachines = xeno, aether\n"
+                    "[paramset.big]\nclass = B\nnthreads = 4\n"
+                    "[os]\nquantum = 2000\ndsm_mode = remote\n",
+                    "single");
+}
+
+} // namespace

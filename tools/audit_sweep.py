@@ -27,12 +27,14 @@ VIOLATION_RE = re.compile(r"\[audit\] VIOLATION at ([^:]+): (.*)")
 TRACE_DUMP_RE = re.compile(r"xisa_audit_violation_\d+\.trace\.json")
 
 
-def commands(build_dir, crash):
+def commands(build_dir, crash, confs_dir=None):
     """The per-seed command matrix: probe first (fast, focussed), then
     the paper's scheduling benches in quick mode. With --crash the
     matrix is the node-failure recovery scenario instead: the probe's
     crash legs (byte-identity against a crash-free run with the auditor
-    armed) plus the crashy sustained bench."""
+    armed) plus the crashy sustained bench. With --confs DIR, every
+    .conf in DIR runs through xisa_exp under the same audit/perturb
+    environment, so config-driven experiments join the hunt."""
     probe = os.path.join(build_dir, "src", "check", "audit_probe")
     if crash:
         cmds = [("audit_probe_crash", [probe, "--crash"])]
@@ -47,6 +49,18 @@ def commands(build_dir, crash):
     for name, path in (("fig12", fig12), ("fig13", fig13)):
         if os.path.exists(path):
             cmds.append((name, [path]))
+    if confs_dir:
+        runner = os.path.join(build_dir, "src", "exp", "xisa_exp")
+        if not os.path.exists(runner):
+            print(f"audit_sweep: {runner} not built but --confs given",
+                  file=sys.stderr)
+            sys.exit(2)
+        for entry in sorted(os.listdir(confs_dir)):
+            if not entry.endswith(".conf"):
+                continue
+            name = "conf_" + os.path.splitext(entry)[0]
+            cmds.append((name,
+                         [runner, os.path.join(confs_dir, entry)]))
     return cmds
 
 
@@ -100,12 +114,15 @@ def main():
                     help="sweep the node-failure recovery scenarios "
                          "(audit_probe --crash + crashy sustained "
                          "bench) instead of the default matrix")
+    ap.add_argument("--confs", metavar="DIR",
+                    help="also sweep every experiment .conf in DIR "
+                         "through xisa_exp (ignored with --crash)")
     args = ap.parse_args()
 
     if args.seeds < 1:
         print("audit_sweep: --seeds must be >= 1", file=sys.stderr)
         sys.exit(2)
-    cmds = commands(args.build_dir, args.crash)
+    cmds = commands(args.build_dir, args.crash, args.confs)
     if not os.path.exists(cmds[0][1][0]):
         print(f"audit_sweep: {cmds[0][1][0]} not built "
               "(build the audit_probe target first)", file=sys.stderr)

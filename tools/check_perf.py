@@ -12,12 +12,21 @@ baseline (bench/baselines/BENCH_interp.json):
     run is more than --max-regression (default 25%) slower than the
     baseline recorded wall time. Faster is always fine.
 
+With --conf EXPERIMENT.conf the fresh JSON is additionally checked
+against the experiment spec it claims to implement: the row set must be
+exactly the conf's (workloads x isas x classes x threads) sweep for the
+JSON's mode, so a bench and its conf cannot drift apart silently.
+
 Exit status: 0 ok, 1 regression/mismatch, 2 usage error.
 """
 
 import argparse
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import xisa_conf
 
 
 def load(path):
@@ -33,6 +42,44 @@ def row_key(row):
     return (row["workload"], row["isa"], row["class"], row["threads"])
 
 
+def conf_cells(conf_path, mode):
+    """The (workload, isa, class, threads) sweep an overhead conf
+    describes, in the JSON's spelling."""
+    try:
+        conf = xisa_conf.parse_file(conf_path)
+    except (OSError, xisa_conf.ConfError) as e:
+        print(f"check_perf: cannot read {conf_path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if conf.get("", "kind") != "overhead":
+        print(f"check_perf: {conf_path}: --conf wants an overhead "
+              "experiment", file=sys.stderr)
+        sys.exit(2)
+
+    def isa_label(ref):
+        base = ref
+        node = conf.sections.get(f"node.{ref}")
+        if node is not None:
+            base = node.get("base", ref)
+        return {"aether": "Aether64", "xeno": "Xeno64"}.get(base, ref)
+
+    def sweep(key, quick_key, default, quick_default):
+        full = conf.get_list("", key) or default
+        if mode != "quick":
+            return full
+        return conf.get_list("", quick_key) or quick_default
+
+    workloads = [w.split("@")[0].strip()
+                 for w in conf.get_list("", "workloads")]
+    isas = [isa_label(i)
+            for i in (conf.get_list("", "isas") or ["aether", "xeno"])]
+    classes = sweep("classes", "classes_quick", ["A", "B", "C"], ["A"])
+    threads = [int(t) for t in sweep("threads", "threads_quick",
+                                     ["1", "2", "4", "8"], ["1", "4"])]
+    return {(w, i, c, t) for w in workloads for i in isas
+            for c in classes for t in threads}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="BENCH_interp.json from this run")
@@ -40,11 +87,22 @@ def main():
     ap.add_argument("--max-regression", type=float, default=0.25,
                     help="allowed fractional wall-time slowdown "
                          "(default 0.25 = 25%%)")
+    ap.add_argument("--conf", metavar="FILE",
+                    help="experiment .conf whose sweep the fresh rows "
+                         "must match exactly")
     args = ap.parse_args()
 
     fresh = load(args.fresh)
     base = load(args.baseline)
     failures = []
+
+    if args.conf:
+        want = conf_cells(args.conf, fresh.get("mode"))
+        got = {row_key(r) for r in fresh.get("rows", [])}
+        if got != want:
+            failures.append(
+                f"rows diverge from {args.conf}: "
+                f"missing={sorted(want - got)} extra={sorted(got - want)}")
 
     if fresh.get("mode") != base.get("mode"):
         failures.append(

@@ -1,0 +1,152 @@
+"""Minimal reader for the xisa_exp `.conf` dialect.
+
+Python-side mirror of src/exp/config.cc for the tools that enumerate
+experiments from the same files the runner consumes (check_perf.py,
+audit_sweep.py, CI). Covers the subset the tools need: sections,
+key = value, quote-aware # comments, single-/double-quoted values with
+\\n \\t \\\\ \\" escapes, $(globalkey) macros, and comma lists. It does
+NOT validate -- xisa_exp --print-spec is the authority on what a conf
+means; this module only needs to read back what the parser accepted.
+"""
+
+import re
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9_.\-\[\]]+$")
+
+
+class ConfError(ValueError):
+    pass
+
+
+def _strip_comment(raw, where):
+    out = []
+    quote = None
+    esc = False
+    for ch in raw:
+        if quote:
+            out.append(ch)
+            if esc:
+                esc = False
+            elif quote == '"' and ch == "\\":
+                esc = True
+            elif ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            out.append(ch)
+            continue
+        if ch == "#":
+            break
+        out.append(ch)
+    if quote:
+        raise ConfError(f"{where}: unterminated quote")
+    return "".join(out).strip()
+
+
+def _unquote(value, where):
+    if len(value) >= 2 and value[0] == "'" and value[-1] == "'":
+        return value[1:-1]
+    if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+        out = []
+        body = value[1:-1]
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch != "\\":
+                out.append(ch)
+                i += 1
+                continue
+            if i + 1 >= len(body):
+                raise ConfError(f"{where}: dangling backslash")
+            nxt = body[i + 1]
+            mapped = {"n": "\n", "t": "\t", "\\": "\\", '"': '"'}.get(nxt)
+            if mapped is None:
+                raise ConfError(f"{where}: bad escape \\{nxt}")
+            out.append(mapped)
+            i += 2
+        return "".join(out)
+    return value
+
+
+class Conf:
+    """Parsed conf: `sections` maps section name ('' = global) to an
+    insertion-ordered {key: value} dict."""
+
+    def __init__(self, sections, name):
+        self.sections = sections
+        self.name = name
+
+    def get(self, section, key, default=None):
+        return self.sections.get(section, {}).get(key, default)
+
+    def get_list(self, section, key):
+        value = self.get(section, key)
+        if value is None:
+            return []
+        return [item.strip() for item in value.split(",")]
+
+    def sections_with_prefix(self, prefix):
+        return [s for s in self.sections if s.startswith(prefix)]
+
+
+def _expand(value, globals_, where, depth=0):
+    if depth > 8:
+        raise ConfError(f"{where}: macro expansion too deep")
+    out = []
+    i = 0
+    while i < len(value):
+        if value[i] == "$" and value[i + 1:i + 2] == "(":
+            close = value.find(")", i + 2)
+            if close < 0:
+                raise ConfError(f"{where}: unterminated $(")
+            ref = value[i + 2:close]
+            if ref not in globals_:
+                raise ConfError(f"{where}: $({ref}) undefined")
+            out.append(_expand(globals_[ref], globals_, where, depth + 1))
+            i = close + 1
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def parse_string(text, name="<conf>"):
+    sections = {"": {}}
+    raw_globals = {}
+    current = ""
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        where = f"{name}:{lineno}"
+        line = _strip_comment(raw, where)
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ConfError(f"{where}: missing ']'")
+            sec = line[1:-1].strip()
+            if not sec or not _KEY_RE.match(sec):
+                raise ConfError(f"{where}: bad section name '{sec}'")
+            if sec in sections:
+                raise ConfError(f"{where}: duplicate section [{sec}]")
+            sections[sec] = {}
+            current = sec
+            continue
+        if "=" not in line:
+            raise ConfError(f"{where}: expected 'key = value'")
+        key, _, value = line.partition("=")
+        key = key.strip()
+        if not _KEY_RE.match(key):
+            raise ConfError(f"{where}: bad key name '{key}'")
+        value = _unquote(_expand(value.strip(), raw_globals, where),
+                         where)
+        if key in sections[current]:
+            raise ConfError(f"{where}: duplicate key '{key}'")
+        sections[current][key] = value
+        if current == "":
+            raw_globals[key] = value
+    return Conf(sections, name)
+
+
+def parse_file(path):
+    with open(path) as f:
+        return parse_string(f.read(), path)
