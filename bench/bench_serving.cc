@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Serving under SLOs: the open-loop REDIS scenario (ROADMAP item 2).
+ *
+ * A seeded Poisson/Zipf request stream is sharded across REDIS kernel
+ * instances on a xeno + aether pair; the hot shards melt on aether and
+ * the migrate scenario live-migrates them to xeno mid-traffic. The
+ * spec below is the in-code twin of examples/confs/serving_slo.conf --
+ * the conf-equivalence test compares the two stdouts byte-for-byte, so
+ * keep them in lockstep.
+ *
+ * --fault-crash=M@T injects a node crash mid-traffic; T is a FRACTION
+ * of the run (serving-kind convention), not seconds, so the same
+ * scenario exercises quick and full streams alike.
+ */
+
+#include "common.hh"
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+
+using namespace xisa;
+using namespace xisa::bench;
+
+namespace {
+
+/** The in-code twin of examples/confs/serving_slo.conf. */
+exp::ExperimentSpec
+servingSpec()
+{
+    exp::ExperimentSpec s;
+    s.kind = exp::ExperimentKind::Serving;
+    s.figure = "Serving under SLOs";
+    s.title = "open-loop REDIS: live shard migration vs static "
+              "placement";
+    s.benchName = "serving_slo";
+    s.singleMachines = "xeno, aether";
+    s.singleMachineRefs = {"xeno", "aether"};
+
+    exp::TrafficSpec &t = s.traffic;
+    t.seed = 42;
+    t.clients = 200000;
+    t.requestHz = 0.26;
+    t.duration = 2.0;
+    t.durationQuick = 0.25;
+    t.zipfSkew = 0.99;
+    t.keySpace = 65536;
+    t.getFraction = 0.9;
+    t.sloUs = 800.0;
+    t.shards = 8;
+    t.placement = {1, 1, 1, 1, 1, 1, 1, 1};
+    t.migratePlan = {{6, 0.3, 0}, {1, 0.45, 0}, {5, 0.55, 0}};
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseCommonArgs(
+        argc, argv,
+        exp::kOptObs | exp::kOptQuick | exp::kOptPerfJson |
+            exp::kOptFault | exp::kOptConfig,
+        "  --fault-crash=M@T   crash machine M at fraction T of the "
+        "run (repeatable)");
+
+    exp::ExperimentSpec spec = servingSpec();
+    for (const CrashEvent &c : opts.scriptedCrashes) {
+        if (c.machine < 0 ||
+            c.machine >=
+                static_cast<int>(spec.singleMachineRefs.size()) ||
+            c.time < 0 || c.time >= 1) {
+            std::fprintf(stderr,
+                         "--fault-crash: machine in [0, %zu), time a "
+                         "fraction in [0, 1)\n",
+                         spec.singleMachineRefs.size());
+            return 2;
+        }
+        spec.cluster.crashPlan.push_back({c.machine, c.time});
+        spec.cluster.crashDownSeconds = opts.faultDownSeconds;
+    }
+    return exp::runExperiment(spec, opts);
+}

@@ -8,6 +8,7 @@
 #include "exp/sweep.hh"
 #include "isa/isa.hh"
 #include "sched/jobsets.hh"
+#include "traffic/traffic.hh"
 #include "util/stats.hh"
 
 namespace xisa::exp {
@@ -407,6 +408,160 @@ runSingle(const ExperimentSpec &spec, const Options &opts)
     return r.finished ? 0 : 1;
 }
 
+// --- kind = serving (open-loop REDIS under SLOs) --------------------
+
+int
+runServing(const ExperimentSpec &spec, const Options &opts)
+{
+    banner(spec.figure.c_str(), spec.title.c_str());
+    const bool quick = quickMode();
+    const TrafficSpec &t = spec.traffic;
+    const double duration = t.activeDuration(quick);
+
+    traffic::TrafficConfig tc;
+    tc.seed = t.seed;
+    tc.clients = t.clients;
+    tc.requestHz = t.requestHz;
+    tc.durationSeconds = duration;
+    tc.zipfSkew = t.zipfSkew;
+    tc.keySpace = t.keySpace;
+    tc.getFraction = t.getFraction;
+    tc.shards = t.shards;
+
+    const double t0 = wallNow();
+    traffic::ServingProfile prof = traffic::ServingProfile::calibrate();
+    std::vector<traffic::Request> reqs = traffic::generateRequests(tc);
+
+    traffic::ServingConfig base;
+    for (const std::string &ref : spec.singleMachineRefs)
+        base.nodes.push_back(spec.cluster.makeNode(ref));
+    base.placement = t.placement;
+    base.sloUs = t.sloUs;
+    for (const CrashSpec &cs : spec.cluster.crashPlan)
+        base.crashes.push_back({cs.machine, cs.time * duration,
+                                spec.cluster.crashDownSeconds});
+
+    std::printf("\n%llu requests over %.3f s (%.0f req/s offered), "
+                "%d shards on %zu nodes, slo %.0f us\n",
+                static_cast<unsigned long long>(reqs.size()), duration,
+                tc.totalRate(), t.shards, base.nodes.size(), t.sloUs);
+    std::printf("calibrated: xeno get/set %.1f/%.1f us, aether "
+                "get/set %.1f/%.1f us, migrate %.2f ms, "
+                "failover %.2f ms%s\n",
+                prof.getSeconds[size_t(IsaId::Xeno64)] * 1e6,
+                prof.setSeconds[size_t(IsaId::Xeno64)] * 1e6,
+                prof.getSeconds[size_t(IsaId::Aether64)] * 1e6,
+                prof.setSeconds[size_t(IsaId::Aether64)] * 1e6,
+                prof.migrateSeconds * 1e3, prof.failoverSeconds * 1e3,
+                base.crashes.empty()
+                    ? ""
+                    : ", crash plan active");
+
+    struct Row {
+        const char *scenario;
+        traffic::ServingResult r;
+    };
+    std::vector<Row> rows;
+    obs::StatRegistry reg;
+    // Stats detach when their sim dies, so the sims must outlive
+    // writeOutputs below or --stats-json dumps an empty registry.
+    std::vector<std::unique_ptr<traffic::ServingSim>> sims;
+    sims.push_back(std::make_unique<traffic::ServingSim>(
+        base, prof, reg, "serving.static"));
+    rows.push_back({"static", sims.back()->run(reqs)});
+    if (!t.migratePlan.empty()) {
+        traffic::ServingConfig cfg = base;
+        for (const ShardMigrationSpec &m : t.migratePlan)
+            cfg.migrations.push_back(
+                {m.shard, m.time * duration, m.node});
+        sims.push_back(std::make_unique<traffic::ServingSim>(
+            cfg, prof, reg, "serving.migrate"));
+        rows.push_back({"migrate", sims.back()->run(reqs)});
+    }
+    const double wallSeconds = wallNow() - t0;
+
+    std::printf("\n%-8s %10s %10s %10s %10s %10s %10s %7s %5s %6s\n",
+                "scenario", "requests", "p50(us)", "p99(us)",
+                "p99.9(us)", "max(us)", "slo-viol", "viol%", "migr",
+                "failov");
+    for (const Row &row : rows) {
+        const traffic::ServingResult &r = row.r;
+        std::printf("%-8s %10llu %10.1f %10.1f %10.1f %10.1f %10llu "
+                    "%6.2f%% %5llu %6llu\n",
+                    row.scenario,
+                    static_cast<unsigned long long>(r.requests),
+                    r.p50Us, r.p99Us, r.p999Us, r.maxUs,
+                    static_cast<unsigned long long>(r.sloViolations),
+                    r.requests
+                        ? 100.0 * static_cast<double>(r.sloViolations) /
+                              static_cast<double>(r.requests)
+                        : 0.0,
+                    static_cast<unsigned long long>(r.migrations),
+                    static_cast<unsigned long long>(r.failovers));
+    }
+    for (const Row &row : rows) {
+        std::printf("%-8s cumulative slo violations by decile:",
+                    row.scenario);
+        for (uint64_t v : row.r.violationsByDecile)
+            std::printf(" %llu", static_cast<unsigned long long>(v));
+        std::printf("\n");
+    }
+    if (rows.size() == 2) {
+        const traffic::ServingResult &s = rows[0].r;
+        const traffic::ServingResult &m = rows[1].r;
+        std::printf("\nmigrate vs static: p99 %.1f -> %.1f us "
+                    "(%+.1f%%), slo violations %llu -> %llu\n",
+                    s.p99Us, m.p99Us,
+                    s.p99Us > 0
+                        ? (m.p99Us / s.p99Us - 1.0) * 100.0
+                        : 0.0,
+                    static_cast<unsigned long long>(s.sloViolations),
+                    static_cast<unsigned long long>(m.sloViolations));
+    }
+    if (!spec.footer.empty())
+        std::printf("\n%s\n", spec.footer.c_str());
+
+    if (!opts.perfJsonPath.empty()) {
+        std::FILE *f = std::fopen(opts.perfJsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.perfJsonPath.c_str());
+            return 1;
+        }
+        writeJsonHeader(f, spec.benchName.c_str(), quick,
+                        sweepThreads(), rows.size(), wallSeconds);
+        std::fprintf(f, "  \"rows\": [\n");
+        for (size_t k = 0; k < rows.size(); ++k) {
+            const traffic::ServingResult &r = rows[k].r;
+            std::fprintf(
+                f,
+                "    {\"scenario\": \"%s\", \"requests\": %llu, "
+                "\"p50_us\": %.6f, \"p99_us\": %.6f, "
+                "\"p999_us\": %.6f, \"max_us\": %.6f, "
+                "\"slo_violations\": %llu, \"violation_pct\": %.6f, "
+                "\"migrations\": %llu, \"failovers\": %llu}%s\n",
+                rows[k].scenario,
+                static_cast<unsigned long long>(r.requests), r.p50Us,
+                r.p99Us, r.p999Us, r.maxUs,
+                static_cast<unsigned long long>(r.sloViolations),
+                r.requests
+                    ? 100.0 * static_cast<double>(r.sloViolations) /
+                          static_cast<double>(r.requests)
+                    : 0.0,
+                static_cast<unsigned long long>(r.migrations),
+                static_cast<unsigned long long>(r.failovers),
+                k + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "perf json: %s\n",
+                     opts.perfJsonPath.c_str());
+    }
+
+    writeOutputs(opts, reg);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -417,6 +572,7 @@ runExperiment(const ExperimentSpec &spec, const Options &opts)
       case ExperimentKind::Sustained: return runSustained(spec, opts);
       case ExperimentKind::Rack: return runRack(spec, opts);
       case ExperimentKind::Single: return runSingle(spec, opts);
+      case ExperimentKind::Serving: return runServing(spec, opts);
     }
     return 2;
 }

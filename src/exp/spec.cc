@@ -116,6 +116,28 @@ sectionSuffix(const std::string &section)
                                     : section.substr(dot + 1);
 }
 
+/** Split a comma-separated reference list, trimming spaces. */
+std::vector<std::string>
+splitRefList(const std::string &raw)
+{
+    std::vector<std::string> refs;
+    std::string cur;
+    for (char ch : raw + ",") {
+        if (ch == ',') {
+            while (!cur.empty() && cur.front() == ' ')
+                cur.erase(cur.begin());
+            while (!cur.empty() && cur.back() == ' ')
+                cur.pop_back();
+            if (!cur.empty())
+                refs.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    return refs;
+}
+
 } // namespace
 
 const char *
@@ -126,6 +148,7 @@ kindName(ExperimentKind k)
       case ExperimentKind::Sustained: return "sustained";
       case ExperimentKind::Rack: return "rack";
       case ExperimentKind::Single: return "single";
+      case ExperimentKind::Serving: return "serving";
     }
     return "?";
 }
@@ -409,10 +432,12 @@ parseExperiment(Config &conf)
         s.kind = ExperimentKind::Rack;
     else if (kindStr == "single")
         s.kind = ExperimentKind::Single;
+    else if (kindStr == "serving")
+        s.kind = ExperimentKind::Serving;
     else
         specFail(conf, "unknown kind '" + kindStr +
-                           "' (want overhead, sustained, rack, or "
-                           "single)");
+                           "' (want overhead, sustained, rack, "
+                           "single, or serving)");
     s.figure = conf.requireString("", "figure");
     s.title = conf.requireString("", "title");
     s.benchName = conf.getString("", "bench_name", s.benchName);
@@ -498,21 +523,7 @@ parseExperiment(Config &conf)
         if (s.dsmMode != "migrate" && s.dsmMode != "remote")
             specFail(conf, "[os] dsm_mode must be migrate or remote, "
                            "got '" + s.dsmMode + "'");
-        std::vector<std::string> refs;
-        std::string cur;
-        for (char ch : s.singleMachines + ",") {
-            if (ch == ',') {
-                while (!cur.empty() && cur.front() == ' ')
-                    cur.erase(cur.begin());
-                while (!cur.empty() && cur.back() == ' ')
-                    cur.pop_back();
-                if (!cur.empty())
-                    refs.push_back(cur);
-                cur.clear();
-            } else {
-                cur.push_back(ch);
-            }
-        }
+        std::vector<std::string> refs = splitRefList(s.singleMachines);
         if (refs.empty())
             specFail(conf, "single experiments need a machines list");
         for (const std::string &ref : refs) {
@@ -526,6 +537,121 @@ parseExperiment(Config &conf)
             s.startNode >= static_cast<int>(refs.size()))
             specFail(conf, "start_node out of range");
         s.singleMachineRefs = refs;
+        break;
+      }
+      case ExperimentKind::Serving: {
+        s.singleMachines = conf.requireString("", "machines");
+        std::vector<std::string> refs = splitRefList(s.singleMachines);
+        if (refs.empty())
+            specFail(conf, "serving experiments need a machines list");
+        for (const std::string &ref : refs) {
+            try {
+                s.cluster.makeNode(ref);
+            } catch (const ConfigError &e) {
+                specFail(conf, e.what());
+            }
+        }
+        s.singleMachineRefs = refs;
+        const int nodeCount = static_cast<int>(refs.size());
+
+        TrafficSpec &t = s.traffic;
+        t.seed = static_cast<uint64_t>(conf.getInt(
+            "traffic", "seed", static_cast<int64_t>(t.seed)));
+        t.clients = conf.getInt("traffic", "clients", t.clients);
+        t.requestHz =
+            conf.getDouble("traffic", "request_hz", t.requestHz);
+        t.duration = conf.getDouble("traffic", "duration", t.duration);
+        t.durationQuick = conf.getDouble("traffic", "duration_quick",
+                                         t.duration / 8.0);
+        t.zipfSkew = conf.getDouble("traffic", "zipf_skew", t.zipfSkew);
+        t.keySpace = conf.getInt("traffic", "key_space", t.keySpace);
+        t.getFraction =
+            conf.getDouble("traffic", "get_fraction", t.getFraction);
+        t.sloUs = conf.getDouble("traffic", "slo_us", t.sloUs);
+        t.shards =
+            static_cast<int>(conf.getInt("traffic", "shards", t.shards));
+        if (t.clients < 1)
+            specFail(conf, "[traffic] clients must be >= 1");
+        if (t.requestHz <= 0 || t.duration <= 0 || t.durationQuick <= 0)
+            specFail(conf, "[traffic] request_hz, duration and "
+                           "duration_quick must be > 0");
+        if (t.zipfSkew < 0 || t.zipfSkew >= 1)
+            specFail(conf, "[traffic] zipf_skew must be in [0, 1)");
+        if (t.keySpace < 1 || t.keySpace > (int64_t{1} << 24))
+            specFail(conf, "[traffic] key_space must be in [1, 2^24]");
+        if (t.getFraction < 0 || t.getFraction > 1)
+            specFail(conf, "[traffic] get_fraction must be in [0, 1]");
+        if (t.sloUs <= 0)
+            specFail(conf, "[traffic] slo_us must be > 0");
+        if (t.shards < 1 || t.shards > 256)
+            specFail(conf, "[traffic] shards must be in [1, 256]");
+        if (static_cast<double>(t.clients) * t.requestHz * t.duration >
+            2e7)
+            specFail(conf, "[traffic] clients * request_hz * duration "
+                           "exceeds 20M requests");
+        if (conf.has("traffic", "placement")) {
+            for (const std::string &p :
+                 conf.getList("traffic", "placement")) {
+                try {
+                    t.placement.push_back(std::stoi(p));
+                } catch (const std::exception &) {
+                    specFail(conf, "[traffic] bad placement entry '" +
+                                       p + "'");
+                }
+            }
+            if (static_cast<int>(t.placement.size()) != t.shards)
+                specFail(conf, "[traffic] placement must list one "
+                               "machine per shard");
+        } else {
+            for (int i = 0; i < t.shards; ++i)
+                t.placement.push_back(i % nodeCount);
+        }
+        for (int p : t.placement)
+            if (p < 0 || p >= nodeCount)
+                specFail(conf, "[traffic] placement machine index "
+                               "out of range");
+        if (conf.has("traffic", "migrate_plan")) {
+            for (const std::string &ev :
+                 conf.getList("traffic", "migrate_plan")) {
+                size_t at = ev.find('@');
+                size_t arrow = ev.find("->");
+                if (at == std::string::npos ||
+                    arrow == std::string::npos || arrow < at)
+                    specFail(conf,
+                             "[traffic] migrate_plan entries are "
+                             "SHARD@FRAC->NODE, got '" + ev + "'");
+                ShardMigrationSpec m;
+                try {
+                    m.shard = std::stoi(ev.substr(0, at));
+                    m.time = std::stod(
+                        ev.substr(at + 1, arrow - at - 1));
+                    m.node = std::stoi(ev.substr(arrow + 2));
+                } catch (const std::exception &) {
+                    specFail(conf, "[traffic] bad migrate_plan entry "
+                                   "'" + ev + "'");
+                }
+                if (m.shard < 0 || m.shard >= t.shards)
+                    specFail(conf, "[traffic] migrate_plan shard out "
+                                   "of range");
+                if (m.time < 0 || m.time >= 1)
+                    specFail(conf, "[traffic] migrate_plan times are "
+                                   "fractions of the run, in [0, 1)");
+                if (m.node < 0 || m.node >= nodeCount)
+                    specFail(conf, "[traffic] migrate_plan machine "
+                                   "index out of range");
+                t.migratePlan.push_back(m);
+            }
+        }
+        // Serving reinterprets [crashes] plan times as fractions of
+        // the active duration so quick mode keeps the same schedule.
+        for (const CrashSpec &cs : s.cluster.crashPlan) {
+            if (cs.machine < 0 || cs.machine >= nodeCount)
+                specFail(conf, "[crashes] machine index out of range "
+                               "for the serving machines list");
+            if (cs.time < 0 || cs.time >= 1)
+                specFail(conf, "[crashes] serving crash times are "
+                               "fractions of the run, in [0, 1)");
+        }
         break;
       }
     }
@@ -654,6 +780,9 @@ serializeSpec(const ExperimentSpec &s)
         w.kv("machines", s.singleMachines);
         w.kv("start_node", s.startNode);
         break;
+      case ExperimentKind::Serving:
+        w.kv("machines", s.singleMachines);
+        break;
     }
 
     for (const ParamSetSpec &ps : s.paramSets) {
@@ -686,6 +815,30 @@ serializeSpec(const ExperimentSpec &s)
         w.kv("column_width", p.columnWidth);
         w.kv("mksp_label", p.mkspLabel);
         w.kv("short_label", p.shortLabel);
+    }
+
+    if (s.kind == ExperimentKind::Serving) {
+        const TrafficSpec &t = s.traffic;
+        w.section("traffic");
+        w.kv("seed", t.seed);
+        w.kv("clients", static_cast<uint64_t>(t.clients));
+        w.kv("request_hz", t.requestHz);
+        w.kv("duration", t.duration);
+        w.kv("duration_quick", t.durationQuick);
+        w.kv("zipf_skew", t.zipfSkew);
+        w.kv("key_space", static_cast<uint64_t>(t.keySpace));
+        w.kv("get_fraction", t.getFraction);
+        w.kv("slo_us", t.sloUs);
+        w.kv("shards", t.shards);
+        w.kv("placement", intListString(t.placement));
+        if (!t.migratePlan.empty()) {
+            std::vector<std::string> plan;
+            for (const ShardMigrationSpec &m : t.migratePlan)
+                plan.push_back(std::to_string(m.shard) + "@" +
+                               fmtDouble(m.time) + "->" +
+                               std::to_string(m.node));
+            w.kv("migrate_plan", joinList(plan));
+        }
     }
 
     w.section("net");

@@ -8,8 +8,9 @@
  * and the link/sim/fault/crash plan ([net], [sim], [faults],
  * [crashes]). The ExperimentSpec is the study: which kind of run
  * (overhead sweep, sustained or rack scheduling study, single
- * container), which workloads at which parameters, how many seeded
- * sets, and how the rows are labelled.
+ * container, open-loop serving with its [traffic] stream), which
+ * workloads at which parameters, how many seeded sets, and how the
+ * rows are labelled.
  *
  * parseExperiment() applies defaults, validates cross-references
  * (every pool machine must name a [machine.*], every policy must be a
@@ -36,7 +37,7 @@
 namespace xisa::exp {
 
 /** The kinds of experiment the runner can drive. */
-enum class ExperimentKind { Overhead, Sustained, Rack, Single };
+enum class ExperimentKind { Overhead, Sustained, Rack, Single, Serving };
 
 const char *kindName(ExperimentKind k);
 
@@ -113,6 +114,39 @@ struct ClusterSpec {
     const NodeOverride *findNode(const std::string &name) const;
 };
 
+/** One scripted shard move in a serving experiment. `time` is a
+ *  FRACTION of the active traffic duration (quick mode shrinks the
+ *  run; fractions keep the schedule structurally identical). */
+struct ShardMigrationSpec {
+    int shard = 0;
+    double time = 0; ///< in [0, 1) of the run
+    int node = 0;
+};
+
+/** The [traffic] section of a serving experiment (kind = serving):
+ *  the open-loop REDIS request stream and its SLO. */
+struct TrafficSpec {
+    uint64_t seed = 42;
+    int64_t clients = 200000;   ///< simulated client population
+    double requestHz = 0.5;     ///< per-client arrival rate
+    double duration = 2.0;      ///< sim seconds of traffic
+    double durationQuick = 0;   ///< quick-mode duration (0: duration/8)
+    double zipfSkew = 0.99;     ///< YCSB theta, 0 = uniform
+    int64_t keySpace = 65536;
+    double getFraction = 0.9;
+    double sloUs = 800.0;
+    int shards = 8;
+    std::vector<int> placement; ///< shard -> machine index
+    std::vector<ShardMigrationSpec> migratePlan;
+
+    double activeDuration(bool quick) const
+    {
+        if (!quick)
+            return duration;
+        return durationQuick > 0 ? durationQuick : duration / 8.0;
+    }
+};
+
 /** A named [paramset.NAME] forwarded to the workload registry. */
 struct ParamSetSpec {
     std::string name;
@@ -142,13 +176,16 @@ struct ExperimentSpec {
     int jobsPerWavePerMachine = 7;     ///< rack
     int poolMachines = 8;              ///< rack job-set scale basis
 
-    // kind = single
+    // kind = single / serving
     std::string workloadRef;
     std::string singleMachines; ///< raw node-ref list (serialized form)
     std::vector<std::string> singleMachineRefs; ///< parsed from above
     int startNode = 0;
     uint64_t quantum = 4000;
     std::string dsmMode = "migrate"; ///< "migrate" | "remote"
+
+    // kind = serving
+    TrafficSpec traffic;
 
     std::vector<ParamSetSpec> paramSets;
     ClusterSpec cluster;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Open-loop traffic generation and serving simulation for the REDIS
+ * scenario (ROADMAP item 2): the paper's heterogeneous-ISA story told
+ * in SLO terms instead of makespan.
+ *
+ * The generator produces one seeded request stream -- Poisson
+ * inter-arrivals, Zipf key popularity, a configurable GET/SET mix --
+ * and shards it across REDIS kernel instances by key hash. ServingSim
+ * then replays the stream against a node placement: each shard is a
+ * single-server FIFO queue whose per-request service cost comes from a
+ * ServingProfile calibrated by executing the real REDIS workload
+ * through the interpreter on each ISA, and whose live-migration pause
+ * is measured from a real cross-ISA ReplicatedOS migration of that
+ * binary. Shards can be live-migrated between nodes mid-traffic and
+ * nodes can crash (shards fail over to the lowest-index survivor), so
+ * tail latency under "migrate under load" can be compared against a
+ * static placement.
+ *
+ * Determinism is the contract: the stream is generated sequentially
+ * from one Rng, shards simulate independently (runSweep-parallel, but
+ * every per-request quantity depends only on the stream and the
+ * config), and the final accounting pass -- histogram fills, SLO
+ * counters -- runs in global request order. Same seed therefore means
+ * byte-identical stats output regardless of XISA_BENCH_THREADS. The
+ * few transcendentals involved (exp/log/pow for the samplers) are
+ * implemented here from IEEE-exact primitives instead of libm, so the
+ * bytes also hold across platforms and libm versions.
+ */
+
+#ifndef XISA_TRAFFIC_TRAFFIC_HH
+#define XISA_TRAFFIC_TRAFFIC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/node.hh"
+#include "obs/registry.hh"
+#include "util/rng.hh"
+
+namespace xisa::traffic {
+
+/** Natural log from IEEE-exact primitives (frexp + atanh series);
+ *  bit-reproducible across platforms, ~1e-14 relative error. x > 0. */
+double detLog(double x);
+/** exp(x), same contract as detLog. */
+double detExp(double x);
+/** x^y for x > 0, via detExp(y * detLog(x)). */
+double detPow(double x, double y);
+
+/** SplitMix64 finalizer: the keyed hash for sharding and per-key
+ *  service-cost spread. */
+uint64_t mix64(uint64_t x);
+
+/** Knobs of the open-loop generator ([traffic] in a serving conf). */
+struct TrafficConfig {
+    uint64_t seed = 42;
+    /** Simulated client population; the aggregate arrival process is
+     *  Poisson at clients * requestHz (open loop: arrivals never wait
+     *  for completions). */
+    int64_t clients = 200000;
+    double requestHz = 0.5; ///< per-client request rate, Hz
+    double durationSeconds = 2.0;
+    double zipfSkew = 0.99; ///< YCSB theta; 0 = uniform keys
+    int64_t keySpace = 65536;
+    double getFraction = 0.9; ///< rest are SETs
+    int shards = 8;           ///< REDIS kernel instances
+
+    double totalRate() const
+    {
+        return static_cast<double>(clients) * requestHz;
+    }
+};
+
+/** One generated request. */
+struct Request {
+    double arrival = 0;  ///< sim-clock seconds
+    uint32_t key = 0;    ///< scrambled key in [0, keySpace)
+    uint16_t shard = 0;  ///< mix64(key) % shards
+    bool isGet = true;
+};
+
+/**
+ * YCSB-style Zipf(theta) sampler over ranks [0, n): rank 0 is the
+ * hottest. theta in [0, 1); theta = 0 degenerates to uniform.
+ */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(int64_t n, double theta);
+    int64_t sample(Rng &rng) const;
+
+  private:
+    int64_t n_ = 1;
+    double theta_ = 0;
+    double alpha_ = 0, zetan_ = 0, eta_ = 0, zetaHalf_ = 0;
+};
+
+/** Generate the full request stream, sorted by arrival time. */
+std::vector<Request> generateRequests(const TrafficConfig &cfg);
+
+/**
+ * Per-ISA service costs of one REDIS request plus the disruption costs
+ * of moving or losing a shard. calibrate() measures them by running
+ * the real workload through the full stack; synthetic() returns fixed
+ * numbers with the same shape for fast unit tests.
+ */
+struct ServingProfile {
+    /** Seconds to serve one GET/SET, indexed by IsaId. */
+    std::array<double, kNumIsas> getSeconds{};
+    std::array<double, kNumIsas> setSeconds{};
+    /** Pause a shard sees while live-migrating between ISAs. */
+    double migrateSeconds = 0;
+    /** Outage from losing a shard's node: failure detection, directory
+     *  reconstruction and journal replay on the survivor (PR 5). */
+    double failoverSeconds = 0;
+    /** Peak extra service cost right after a move (cold pages/caches
+     *  paged in on demand by the hDSM), decaying linearly to zero over
+     *  coldRequests requests. */
+    double coldFactor = 1.0;
+    int coldRequests = 256;
+
+    /**
+     * Execute REDIS class A through the interpreter on each ISA for
+     * the per-op costs, and measure migrateSeconds from a real
+     * cross-ISA ReplicatedOS live migration of that binary.
+     * Deterministic (pure simulation); one-time cost of a few
+     * interpreter runs.
+     */
+    static ServingProfile calibrate();
+    /** Fixed plausible values (Xeno ~25 us GET, Aether ~3x); for unit
+     *  tests that should not pay for calibration. */
+    static ServingProfile synthetic();
+};
+
+/** Scripted live migration of one shard. */
+struct ShardMigration {
+    int shard = 0;
+    double time = 0; ///< sim-clock seconds
+    int node = 0;    ///< destination
+};
+
+/** Scripted node crash. */
+struct NodeCrash {
+    int node = 0;
+    double time = 0;
+    double downSeconds = 30.0;
+};
+
+/** A serving scenario: nodes, placement, and the event schedule. */
+struct ServingConfig {
+    std::vector<NodeSpec> nodes;
+    /** shard -> node index; size must equal the stream's shard count. */
+    std::vector<int> placement;
+    std::vector<ShardMigration> migrations; ///< applied in time order
+    std::vector<NodeCrash> crashes;
+    double sloUs = 1000.0;
+};
+
+/** Aggregate outcome of one scenario replay. */
+struct ServingResult {
+    uint64_t requests = 0, gets = 0, sets = 0;
+    uint64_t sloViolations = 0;
+    uint64_t migrations = 0, failovers = 0;
+    double p50Us = 0, p99Us = 0, p999Us = 0, maxUs = 0;
+    /** Cumulative SLO violations after each tenth of the stream (in
+     *  arrival order); monotone by construction, pinned by tests. */
+    std::array<uint64_t, 10> violationsByDecile{};
+    /** Requests served per node, total and after the first crash. */
+    std::vector<uint64_t> servedByNode;
+    std::vector<uint64_t> servedByNodeAfterCrash;
+};
+
+/**
+ * Replays a request stream against a ServingConfig. Shards simulate in
+ * parallel (runSweep); accounting and histogram fills run in global
+ * request order, so stats bytes are independent of the worker count.
+ * Stats register on `reg` under `prefix` (e.g. "serving.static").
+ */
+class ServingSim
+{
+  public:
+    ServingSim(ServingConfig cfg, ServingProfile prof,
+               obs::StatRegistry &reg, const std::string &prefix);
+
+    ServingResult run(const std::vector<Request> &reqs);
+
+    const ServingConfig &config() const { return cfg_; }
+
+  private:
+    ServingConfig cfg_;
+    ServingProfile prof_;
+    obs::Counter requests_, gets_, sets_;
+    obs::Counter sloViolations_, migrations_, failovers_;
+    obs::Histogram latencyUs_;
+    std::vector<obs::Counter> nodeServed_;
+};
+
+} // namespace xisa::traffic
+
+#endif // XISA_TRAFFIC_TRAFFIC_HH

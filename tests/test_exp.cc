@@ -434,4 +434,55 @@ TEST(Spec, SerializeRoundTripSingleWithParamSets)
                     "single");
 }
 
+TEST(Spec, SerializeRoundTripServing)
+{
+    expectRoundTrip(
+        "kind = serving\nfigure = \"Serving under SLOs\"\n"
+        "title = \"open-loop REDIS\"\nmachines = xeno, aether\n"
+        "[traffic]\nseed = 9\nclients = 5000\nrequest_hz = 2.5\n"
+        "duration = 1.5\nduration_quick = 0.2\nzipf_skew = 0.9\n"
+        "key_space = 8192\nget_fraction = 0.85\nslo_us = 650\n"
+        "shards = 4\nplacement = 0, 1, 1, 1\n"
+        "migrate_plan = 1@0.4->0, 3@0.6->0\n"
+        "[crashes]\ndown_seconds = 25\nplan = 0@0.7\n",
+        "serving");
+}
+
+TEST(Spec, ServingDefaultsMaterialize)
+{
+    // Omitting [traffic] keys must materialize the defaults: placement
+    // round-robins over the machines and quick duration is an eighth.
+    Config c = Config::parseString("kind = serving\nfigure = F\n"
+                                   "title = T\nmachines = xeno, "
+                                   "aether\n[traffic]\nshards = 5\n",
+                                   "serving-defaults");
+    ExperimentSpec s = parseExperiment(c);
+    ASSERT_EQ(s.traffic.placement.size(), 5u);
+    EXPECT_EQ(s.traffic.placement,
+              (std::vector<int>{0, 1, 0, 1, 0}));
+    EXPECT_EQ(s.traffic.durationQuick, s.traffic.duration / 8.0);
+    EXPECT_EQ(s.traffic.seed, 42u);
+    EXPECT_TRUE(s.traffic.migratePlan.empty());
+}
+
+TEST(Spec, ServingRejectsBadTraffic)
+{
+    auto expectFail = [](const std::string &body) {
+        Config c = Config::parseString(
+            "kind = serving\nfigure = F\ntitle = T\n"
+            "machines = xeno, aether\n" + body, "serving-bad");
+        EXPECT_THROW(parseExperiment(c), ConfigError) << body;
+    };
+    expectFail("[traffic]\nzipf_skew = 1.0\n");
+    expectFail("[traffic]\nget_fraction = 1.5\n");
+    expectFail("[traffic]\nshards = 0\n");
+    expectFail("[traffic]\nplacement = 0, 1\n"); // size != shards
+    expectFail("[traffic]\nplacement = 0, 0, 0, 0, 0, 0, 0, 9\n");
+    expectFail("[traffic]\nmigrate_plan = 1@1.5->0\n"); // frac >= 1
+    expectFail("[traffic]\nmigrate_plan = 99@0.5->0\n");
+    expectFail("[traffic]\nmigrate_plan = nonsense\n");
+    expectFail("[crashes]\nplan = 0@40\n"); // serving wants fractions
+    expectFail("[crashes]\nplan = 7@0.5\n");
+}
+
 } // namespace

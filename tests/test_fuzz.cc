@@ -14,14 +14,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <sstream>
+#include <string>
 
 #include "compiler/compile.hh"
 #include "dsm/dsm.hh"
 #include "ir/builder.hh"
 #include "ir/interp.hh"
+#include "obs/registry.hh"
 #include "os/os.hh"
+#include "traffic/traffic.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "workload/workloads.hh"
@@ -419,6 +424,60 @@ TEST_P(FastSlowFuzz, FastPathIsObservationallyIdentical)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FastSlowFuzz, ::testing::Range(0, 100));
+
+// --- Traffic/serving determinism fuzz --------------------------------
+
+/**
+ * 50 seeded serving scenarios, each with a seed-derived shape (client
+ * count, rate, skew, shard count, placement, a migration, a crash),
+ * each run twice: single-threaded and with 4 sweep workers. The stats
+ * bytes must match exactly -- the serving layer's determinism contract
+ * is that the worker count can never leak into a result.
+ */
+TEST(TrafficFuzz, ServingStatsBytesStableAcross50Seeds)
+{
+    for (uint64_t seed = 0; seed < 50; ++seed) {
+        traffic::TrafficConfig tc;
+        tc.seed = seed;
+        tc.clients = 200 + static_cast<int64_t>(seed % 11) * 50;
+        tc.requestHz = 8.0 + static_cast<double>(seed % 5);
+        tc.durationSeconds = 0.15;
+        tc.zipfSkew = 0.09 * static_cast<double>(seed % 11);
+        tc.keySpace = 256 << (seed % 3);
+        tc.getFraction = 0.5 + 0.04 * static_cast<double>(seed % 10);
+        tc.shards = 1 + static_cast<int>(seed % 6);
+        std::vector<traffic::Request> reqs =
+            traffic::generateRequests(tc);
+
+        traffic::ServingConfig sc;
+        sc.nodes = {makeXenoServer(), makeAetherServer()};
+        for (int s = 0; s < tc.shards; ++s)
+            sc.placement.push_back(
+                static_cast<int>((seed + static_cast<uint64_t>(s)) %
+                                 2));
+        sc.sloUs = 500.0 + 100.0 * static_cast<double>(seed % 4);
+        sc.migrations = {{static_cast<int>(seed) % tc.shards,
+                          0.02 + 0.002 * static_cast<double>(seed),
+                          static_cast<int>(seed % 2)}};
+        sc.crashes = {{static_cast<int>(seed % 2),
+                       0.05 + 0.001 * static_cast<double>(seed), 30.0}};
+
+        std::string dumps[2];
+        const char *threads[2] = {"1", "4"};
+        for (int i = 0; i < 2; ++i) {
+            setenv("XISA_BENCH_THREADS", threads[i], 1);
+            obs::StatRegistry reg;
+            traffic::ServingSim sim(
+                sc, traffic::ServingProfile::synthetic(), reg, "fz");
+            sim.run(reqs);
+            std::ostringstream os;
+            reg.dumpJson(os);
+            dumps[i] = os.str();
+        }
+        unsetenv("XISA_BENCH_THREADS");
+        ASSERT_EQ(dumps[0], dumps[1]) << "seed " << seed;
+    }
+}
 
 } // namespace
 } // namespace xisa

@@ -6,6 +6,7 @@
  * trace-event JSON shape, and an end-to-end migration trace.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -195,6 +196,115 @@ TEST(StatRegistry, HistogramPercentilesMatchOracle)
     EXPECT_NEAR(h.sum(), sum, 1e-6 * sum);
     EXPECT_NEAR(h.mean(), sum / samples.size(),
                 1e-6 * (sum / samples.size()));
+}
+
+/** The histogram's nearest-rank convention, computed exactly from the
+ *  raw samples: rank = ceil(q * n), 1-based into the sorted order. */
+double
+exactPercentile(std::vector<double> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    if (q <= 0.0)
+        return samples.front();
+    if (q >= 1.0)
+        return samples.back();
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    if (rank < 1)
+        rank = 1;
+    return samples[rank - 1];
+}
+
+/** Feed `samples` to a histogram and check percentile(q) against the
+ *  exact nearest-rank reference for the tail quantiles the serving
+ *  report uses. Bucketing bounds the relative error by the bucket
+ *  width: high/low <= (0.5 + 1/32)/0.5, so mid is within ~3.2% of any
+ *  sample in the bucket. */
+void
+expectTailPercentilesExact(const std::vector<double> &samples,
+                           const char *what)
+{
+    obs::StatRegistry reg;
+    obs::Histogram h(reg, "h");
+    for (double v : samples)
+        h.add(v);
+    for (double q : {0.5, 0.99, 0.999}) {
+        double exact = exactPercentile(samples, q);
+        EXPECT_NEAR(h.percentile(q), exact, 0.032 * exact)
+            << what << " q=" << q;
+    }
+}
+
+TEST(StatRegistry, HistogramExactPercentileSingleValue)
+{
+    // Degenerate distribution: every percentile must be EXACTLY the
+    // value (the clamp to [min, max] collapses the bucket midpoint).
+    obs::StatRegistry reg;
+    obs::Histogram h(reg, "h");
+    for (int i = 0; i < 1000; ++i)
+        h.add(123.456);
+    for (double q : {0.001, 0.5, 0.99, 0.999, 1.0})
+        EXPECT_EQ(h.percentile(q), 123.456) << "q=" << q;
+}
+
+TEST(StatRegistry, HistogramExactPercentileBimodal)
+{
+    // 50/50 split across three decades: the even-count median must
+    // take the LOWER mode (nearest-rank convention, rank n/2), and the
+    // tail quantiles the upper one. An off-by-one in the cumulative
+    // scan (seen > rank instead of seen >= rank) flips the median to
+    // the wrong mode -- that is the bucket-boundary bias this pins.
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(1.0);
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(1000.0);
+    expectTailPercentilesExact(samples, "bimodal");
+
+    obs::StatRegistry reg;
+    obs::Histogram h(reg, "h");
+    for (double v : samples)
+        h.add(v);
+    EXPECT_LT(h.percentile(0.5), 2.0);
+    EXPECT_GT(h.percentile(0.51), 500.0);
+}
+
+TEST(StatRegistry, HistogramExactPercentileRareTail)
+{
+    // 990 fast + 10 slow requests: p99 sits exactly on the boundary
+    // rank (ceil(0.99 * 1000) = 990, still the fast mode) and p99.9
+    // inside the slow mode. This is the serving report's shape.
+    std::vector<double> samples;
+    for (int i = 0; i < 990; ++i)
+        samples.push_back(100.0);
+    for (int i = 0; i < 10; ++i)
+        samples.push_back(50000.0);
+    expectTailPercentilesExact(samples, "rare-tail");
+
+    obs::StatRegistry reg;
+    obs::Histogram h(reg, "h");
+    for (double v : samples)
+        h.add(v);
+    EXPECT_LT(h.percentile(0.99), 200.0);
+    EXPECT_GT(h.percentile(0.991), 10000.0);
+}
+
+TEST(StatRegistry, HistogramExactPercentilePowerLaw)
+{
+    // Pareto-ish tail (u^-1.5 over a seeded LCG) plus exact powers of
+    // two salted in: samples landing exactly on bucket edges must not
+    // shift the rank scan.
+    std::vector<double> samples;
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 20000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        double u = (static_cast<double>(state >> 11) + 1.0) /
+                   9007199254740993.0;
+        samples.push_back(std::pow(u, -1.5));
+    }
+    for (int e = 0; e < 16; ++e)
+        samples.push_back(static_cast<double>(1 << e));
+    expectTailPercentilesExact(samples, "power-law");
 }
 
 TEST(StatRegistry, ScopedStatEpochReadsDeltas)
