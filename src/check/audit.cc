@@ -36,6 +36,33 @@ auditRequested()
     return envFlag("XISA_AUDIT");
 }
 
+void
+SuperblockAudit::onSuperblock(Event ev, uint32_t funcId,
+                              uint32_t instrIdx, uint64_t instrsNow)
+{
+    switch (ev) {
+      case Event::Enter: ++enters_; break;
+      case Event::Deopt: ++deopts_; break;
+      case Event::Exit: ++exits_; break;
+    }
+    if (inSlice_ && instrsNow < watermark_) {
+        std::ostringstream os;
+        os << "live instruction count went backwards within a run "
+           << "slice: " << watermark_ << " -> " << instrsNow << " at "
+           << (ev == Event::Enter   ? "enter"
+               : ev == Event::Deopt ? "deopt"
+                                    : "exit")
+           << " func " << funcId << " instr " << instrIdx
+           << " (block-local progress lost or double-counted across "
+           << "a deoptimization)";
+        audit_.violation("superblock", os.str());
+    }
+    watermark_ = instrsNow;
+    // An Exit ends the slice: the next event belongs to a new quantum,
+    // possibly a different thread with a smaller instruction count.
+    inSlice_ = ev != Event::Exit;
+}
+
 InvariantAuditor::InvariantAuditor(DsmSpace &dsm,
                                    const obs::StatRegistry *reg,
                                    const Interconnect *net,
@@ -293,21 +320,45 @@ InvariantAuditor::checkStatShims(const char *where)
         mismatch("page-transfer counters", s.pagesTransferred, in);
 
     if (reg_) {
-        auto regCheck = [&](const char *name, uint64_t want) {
-            if (const obs::Counter *c = reg_->findCounter(name))
-                if (c->value() != want)
-                    mismatch(name, want, c->value());
+        if (!handles_.resolved) {
+            handles_.readFaults = reg_->findCounter("dsm.read_faults");
+            handles_.writeFaults = reg_->findCounter("dsm.write_faults");
+            handles_.invalidations =
+                reg_->findCounter("dsm.invalidations");
+            handles_.pageTransfers =
+                reg_->findCounter("dsm.page_transfers");
+            handles_.bytesTransferred =
+                reg_->findCounter("dsm.bytes_transferred");
+            handles_.extraCycles = reg_->findCounter("dsm.extra_cycles");
+            if (net_) {
+                handles_.netMessages =
+                    reg_->findCounter(netPrefix_ + ".messages");
+                handles_.netBytes =
+                    reg_->findCounter(netPrefix_ + ".bytes");
+            }
+            handles_.resolved = true;
+        }
+        auto regCheck = [&](const char *name, const obs::Counter *c,
+                            uint64_t want) {
+            if (c && c->value() != want)
+                mismatch(name, want, c->value());
         };
-        regCheck("dsm.read_faults", s.readFaults);
-        regCheck("dsm.write_faults", s.writeFaults);
-        regCheck("dsm.invalidations", s.invalidations);
-        regCheck("dsm.page_transfers", s.pagesTransferred);
-        regCheck("dsm.bytes_transferred", s.bytesTransferred);
-        regCheck("dsm.extra_cycles", s.extraCycles);
+        regCheck("dsm.read_faults", handles_.readFaults, s.readFaults);
+        regCheck("dsm.write_faults", handles_.writeFaults,
+                 s.writeFaults);
+        regCheck("dsm.invalidations", handles_.invalidations,
+                 s.invalidations);
+        regCheck("dsm.page_transfers", handles_.pageTransfers,
+                 s.pagesTransferred);
+        regCheck("dsm.bytes_transferred", handles_.bytesTransferred,
+                 s.bytesTransferred);
+        regCheck("dsm.extra_cycles", handles_.extraCycles,
+                 s.extraCycles);
         if (net_) {
             regCheck((netPrefix_ + ".messages").c_str(),
-                     net_->messages());
-            regCheck((netPrefix_ + ".bytes").c_str(), net_->bytes());
+                     handles_.netMessages, net_->messages());
+            regCheck((netPrefix_ + ".bytes").c_str(), handles_.netBytes,
+                     net_->bytes());
         }
     }
 }

@@ -44,6 +44,7 @@
 
 #include "dsm/dsm.hh"
 #include "machine/interp.hh"
+#include "machine/interp_threaded.hh"
 
 namespace xisa {
 
@@ -54,6 +55,40 @@ namespace check {
 
 /** True if XISA_AUDIT is set (auditors should be wired up). */
 bool auditRequested();
+
+class InvariantAuditor;
+
+/**
+ * Superblock-boundary probe of the invariant auditor (DESIGN.md §10):
+ * installed into every node's threaded engine when XISA_AUDIT=1. The
+ * engine fires Enter / Deopt / Exit events with the thread's live
+ * instruction count (committed ctx.instrs plus unmaterialized
+ * block-local progress); within one run() slice -- the events between
+ * two Exits -- that count must be non-decreasing, or the engine lost or
+ * double-counted instructions across a deoptimization. Quanta run
+ * sequentially on the host, so one probe per container suffices.
+ *
+ * Keeps plain counters only (the auditor's invisibility contract).
+ */
+class SuperblockAudit final : public SuperblockObserver
+{
+  public:
+    explicit SuperblockAudit(InvariantAuditor &audit) : audit_(audit) {}
+    void onSuperblock(Event ev, uint32_t funcId, uint32_t instrIdx,
+                      uint64_t instrsNow) override;
+
+    uint64_t enters() const { return enters_; }
+    uint64_t deopts() const { return deopts_; }
+    uint64_t exits() const { return exits_; }
+
+  private:
+    InvariantAuditor &audit_;
+    bool inSlice_ = false;
+    uint64_t watermark_ = 0; ///< last instrsNow seen in this slice
+    uint64_t enters_ = 0;
+    uint64_t deopts_ = 0;
+    uint64_t exits_ = 0;
+};
 
 class InvariantAuditor
 {
@@ -107,6 +142,10 @@ class InvariantAuditor
     uint64_t checksRun() const { return checks_; }
     uint64_t roundTripsChecked() const { return roundTrips_; }
 
+    /** The superblock-boundary probe to install into each node's
+     *  interpreter (Interp::setSuperblockObserver). */
+    SuperblockAudit &superblockAudit() { return sbAudit_; }
+
     /** Print the replay line, dump a trace if enabled, and panic. */
     [[noreturn]] void violation(const char *where,
                                 const std::string &detail);
@@ -121,6 +160,26 @@ class InvariantAuditor
     const Interconnect *net_;
     std::string netPrefix_;
     Context ctx_;
+    SuperblockAudit sbAudit_{*this};
+    /**
+     * Registry handles for the shim cross-check, resolved on the first
+     * sweep and reused: findCounter is a string-keyed map probe, and
+     * checkStatShims runs every 64th protocol step -- re-looking up the
+     * same eight fixed names each sweep made the lookup itself the
+     * auditor's hottest path. Handles stay valid for the auditor's
+     * lifetime (components outlive it; see ReplicatedOS member order).
+     */
+    struct StatHandles {
+        bool resolved = false;
+        const obs::Counter *readFaults = nullptr;
+        const obs::Counter *writeFaults = nullptr;
+        const obs::Counter *invalidations = nullptr;
+        const obs::Counter *pageTransfers = nullptr;
+        const obs::Counter *bytesTransferred = nullptr;
+        const obs::Counter *extraCycles = nullptr;
+        const obs::Counter *netMessages = nullptr;
+        const obs::Counter *netBytes = nullptr;
+    } handles_;
     // Plain counters on purpose: registry-attached audit stats would
     // change snapshot()/dump() output and break golden comparisons
     // under XISA_AUDIT=1.

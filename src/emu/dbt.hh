@@ -34,6 +34,29 @@
 
 namespace xisa {
 
+/**
+ * True if a TCG-style translation block cannot continue straight-line
+ * execution past `op`: unconditional transfers, calls, indirect jumps,
+ * system traps and thread exit. This is the block-boundary rule
+ * Translator::translate() charges (chaining for B, block exit for
+ * calls, jump-cache exit for Ret), and the superblock discoverer in
+ * machine/interp_threaded.cc terminates superblock growth at exactly
+ * the same ops, so the real engine's block shapes match the ones the
+ * DBT cost model prices. Inline on purpose: the machine layer consumes
+ * it without linking against the emu library.
+ */
+inline bool
+emuBlockBoundary(MOp op)
+{
+    switch (op) {
+      case MOp::B: case MOp::Bl: case MOp::Blr: case MOp::Ret:
+      case MOp::SysCall: case MOp::Hlt:
+        return true;
+      default:
+        return false;
+    }
+}
+
 /** Guest-to-host instruction translator. */
 class Translator
 {

@@ -1,7 +1,7 @@
 /**
  * @file
  * Sesc-style INI configuration files for the experiment platform
- * (DESIGN.md §10, ROADMAP item 5).
+ * (ROADMAP item 5).
  *
  * Real simulators describe machines declaratively; the `.conf`
  * hierarchy of sesc is the model here. The dialect:

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -44,12 +45,21 @@ banner(const char *figure, const char *what)
     std::printf("==============================================================\n");
 }
 
-/** Run a workload to completion on a single node of the given spec. */
+/**
+ * Run a workload to completion on a single node of the given spec.
+ * `execCache` (optional) shares predecoded streams and lowered
+ * superblocks with every other container handed the same cache --
+ * sweep drivers pass one cache per compiled binary so repeated cells
+ * decode it once (DESIGN.md §10); it must only ever span containers
+ * executing the identical binary.
+ */
 inline OsRunResult
-runSingleNode(const MultiIsaBinary &bin, const NodeSpec &spec)
+runSingleNode(const MultiIsaBinary &bin, const NodeSpec &spec,
+              std::shared_ptr<ExecCache> execCache = nullptr)
 {
     OsConfig cfg;
     cfg.nodes = {spec};
+    cfg.execCache = std::move(execCache);
     ReplicatedOS os(bin, cfg);
     os.load(0);
     return os.run();

@@ -1,5 +1,6 @@
 #include "machine/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
@@ -14,7 +15,13 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
         fatal("cache size must be a multiple of lineBytes * assoc");
     numSets_ = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
     lineShift_ = static_cast<uint32_t>(std::countr_zero(cfg.lineBytes));
-    lines_.assign(static_cast<size_t>(numSets_) * cfg.assoc, Line{});
+    pow2Sets_ = (numSets_ & (numSets_ - 1)) == 0;
+    if (pow2Sets_) {
+        setShift_ = static_cast<uint32_t>(std::countr_zero(numSets_));
+        setMask_ = numSets_ - 1;
+    }
+    tags_.assign(static_cast<size_t>(numSets_) * cfg.assoc, ~0ull);
+    lastUse_.assign(static_cast<size_t>(numSets_) * cfg.assoc, 0);
 }
 
 void
@@ -29,40 +36,67 @@ Cache::accessSlow(uint64_t lineAddr)
 {
     ++accesses_;
     ++clock_;
-    uint32_t set = static_cast<uint32_t>(lineAddr % numSets_);
-    uint64_t tag = lineAddr / numSets_;
-    Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
-    Line *victim = base;
+    uint32_t set;
+    uint64_t tag;
+    if (pow2Sets_) {
+        set = static_cast<uint32_t>(lineAddr & setMask_);
+        tag = lineAddr >> setShift_;
+    } else {
+        set = static_cast<uint32_t>(lineAddr % numSets_);
+        tag = lineAddr / numSets_;
+    }
+    uint64_t *const tagBase = &tags_[static_cast<size_t>(set) * cfg_.assoc];
+    uint64_t *const useBase =
+        &lastUse_[static_cast<size_t>(set) * cfg_.assoc];
+    // Hit probe: a pure tag compare. Invalid ways always carry the
+    // reserved tag ~0 (constructor and flush() both restore it), which
+    // no reachable line address produces, so no validity check is
+    // needed and the scan touches only the tag array.
     for (uint32_t w = 0; w < cfg_.assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = clock_;
-            lastLineAddr_ = lineAddr;
-            lastLine_ = &line;
+        if (tagBase[w] == tag) {
+            useBase[w] = clock_;
+            memo_[lineAddr & (kMemoSize - 1)] = {lineAddr, &useBase[w]};
+            lastUsePtr_ = &useBase[w];
             return 0;
-        }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lastUse < victim->lastUse) {
-            victim = &line;
         }
     }
     ++misses_;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = clock_;
-    lastLineAddr_ = lineAddr;
-    lastLine_ = victim;
+    // Victim selection (must stay bit-identical to the historical
+    // single-pass scan): the last invalid way if any way is invalid,
+    // otherwise the first way holding the minimum LRU stamp.
+    uint32_t victim = 0;
+    for (uint32_t w = 1; w < cfg_.assoc; ++w) {
+        if (useBase[w] == 0) {
+            victim = w;
+        } else if (useBase[victim] != 0 && useBase[w] < useBase[victim]) {
+            victim = w;
+        }
+    }
+    // The evicted line may still be named by a memo slot; drop it so a
+    // later access cannot memo-hit a line that is no longer resident.
+    if (useBase[victim] != 0) {
+        uint64_t evicted = pow2Sets_
+                               ? (tagBase[victim] << setShift_) | set
+                               : tagBase[victim] * numSets_ + set;
+        MemoEntry &ev = memo_[evicted & (kMemoSize - 1)];
+        if (ev.lineAddr == evicted)
+            ev = MemoEntry{};
+    }
+    tagBase[victim] = tag;
+    useBase[victim] = clock_;
+    memo_[lineAddr & (kMemoSize - 1)] = {lineAddr, &useBase[victim]};
+    lastUsePtr_ = &useBase[victim];
     return cfg_.missPenalty;
 }
 
 void
 Cache::flush()
 {
-    for (Line &line : lines_)
-        line.valid = false;
-    lastLineAddr_ = ~0ull;
-    lastLine_ = nullptr;
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
+    std::fill(tags_.begin(), tags_.end(), ~0ull);
+    for (MemoEntry &m : memo_)
+        m = MemoEntry{};
+    lastUsePtr_ = nullptr;
 }
 
 } // namespace xisa

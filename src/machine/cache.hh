@@ -56,23 +56,53 @@ class Cache
      * Touch `addr`; returns this level's miss penalty in cycles (0 on
      * hit). The caller chains levels (L1 miss -> L2 access).
      *
-     * The inline body is a last-line memo: a repeat access to the most
-     * recently touched line skips the set scan and just refreshes its
-     * LRU stamp -- byte-identical counter and replacement behaviour to
-     * the full lookup (the memo always names the last line touched, and
-     * every install/evict goes through accessSlow which re-points it).
+     * The inline body is a hot-line memo: a small direct-mapped table
+     * of recently hit lines, each pointing straight at its LRU stamp
+     * slot. A memo hit skips the set scan and just refreshes the stamp
+     * -- byte-identical counter and replacement behaviour to the full
+     * lookup, because the memo only ever names currently resident
+     * lines: every install goes through accessSlow, which also drops
+     * the memo entry of any line it evicts. Multiple entries matter for
+     * data streams: a loop walking several arrays alternates between a
+     * handful of lines, which a single-entry memo would thrash.
      */
     uint32_t
     access(uint64_t addr)
     {
         uint64_t lineAddr = addr >> lineShift_;
-        if (lineAddr == lastLineAddr_) {
+        MemoEntry &m = memo_[lineAddr & (kMemoSize - 1)];
+        if (m.lineAddr == lineAddr) {
             ++accesses_;
-            lastLine_->lastUse = ++clock_;
+            *m.stampPtr = ++clock_;
+            lastUsePtr_ = m.stampPtr;
             return 0;
         }
         return accessSlow(lineAddr);
     }
+
+    /**
+     * Batch-apply `n` accesses that are guaranteed memo hits on the
+     * last-touched line (the threaded engine's straight-line I-fetches:
+     * between two line-boundary fetches nothing else touches this
+     * cache, so every one of them would take the memo branch above).
+     * Counter, clock and LRU-stamp state end up exactly as n access()
+     * calls would leave them. The caller owns the guarantee; anything
+     * that might have re-pointed the memo must flush the batch first.
+     */
+    void
+    bulkMemoHits(uint64_t n)
+    {
+        accesses_.add(n);
+        clock_ += n;
+        *lastUsePtr_ = clock_;
+    }
+
+    /** One hot-line memo slot: a resident line and its stamp slot. */
+    struct MemoEntry {
+        uint64_t lineAddr = ~0ull; ///< ~0 marks an empty slot
+        uint64_t *stampPtr = nullptr;
+    };
+    static constexpr uint32_t kMemoSize = 16; ///< power of two
 
     /** Deprecated shim over the registry-backed counters. */
     CacheStats stats() const
@@ -96,22 +126,28 @@ class Cache
     const CacheConfig &config() const { return cfg_; }
 
   private:
-    struct Line {
-        uint64_t tag = ~0ull;
-        uint64_t lastUse = 0;
-        bool valid = false;
-    };
-
     /** Full set scan for addresses missing the last-line memo. */
     uint32_t accessSlow(uint64_t lineAddr);
 
     CacheConfig cfg_;
     uint32_t numSets_;
     uint32_t lineShift_;
-    std::vector<Line> lines_; ///< numSets_ * assoc, set-major
+    // Set index / tag split. Sets are almost always a power of two;
+    // keep the division fallback for exotic geometries.
+    bool pow2Sets_ = false;
+    uint32_t setShift_ = 0;
+    uint64_t setMask_ = 0;
+    // Structure-of-arrays line state, set-major, so one set's tags scan
+    // within a single host cache line. A line is valid iff its lastUse
+    // stamp is nonzero (stamps come from ++clock_, so live lines are
+    // always >= 1). Invalid ways always carry tag ~0, which no
+    // reachable line address produces, so the hit probe never needs
+    // the validity check.
+    std::vector<uint64_t> tags_;    ///< numSets_ * assoc
+    std::vector<uint64_t> lastUse_; ///< numSets_ * assoc; 0 = invalid
     uint64_t clock_ = 0;
-    uint64_t lastLineAddr_ = ~0ull; ///< memo tag (line address)
-    Line *lastLine_ = nullptr;      ///< line of the last access
+    MemoEntry memo_[kMemoSize];      ///< direct-mapped hot-line memo
+    uint64_t *lastUsePtr_ = nullptr; ///< stamp slot of the last access
     obs::Counter accesses_;
     obs::Counter misses_;
 };

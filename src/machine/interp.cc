@@ -3,56 +3,72 @@
 #include <cmath>
 #include <cstring>
 
+#include "machine/interp_threaded.hh"
 #include "obs/trace.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 
 namespace xisa {
 
-bool
-evalCond(Cond cond, const Flags &f)
-{
-    switch (cond) {
-      case Cond::EQ: return f.eq;
-      case Cond::NE: return !f.eq;
-      case Cond::LT: return f.lt;
-      case Cond::LE: return f.lt || f.eq;
-      case Cond::GT: return !(f.lt || f.eq);
-      case Cond::GE: return !f.lt;
-      case Cond::ULT: return f.ult;
-      case Cond::ULE: return f.ult || f.eq;
-      case Cond::UGT: return !(f.ult || f.eq);
-      case Cond::UGE: return !f.ult;
-      case Cond::Always: return true;
-    }
-    return false;
-}
-
 Interp::Interp(const MultiIsaBinary &bin, IsaId isa, const NodeSpec &spec)
     : bin_(bin), isa_(isa), abi_(AbiInfo::of(isa)), spec_(spec),
       codeMap_(bin, isa), fastPath_(!slowPathRequested()),
-      pre_(bin.ir.functions.size())
+      pre_(bin.ir.functions.size()), execSig_(execTimingSig(spec))
 {
     XISA_CHECK(spec.isa == isa, "node ISA does not match interpreter ISA");
+#if XISA_THREADED_CAPABLE
+    if (fastPath_ && threadedRequested())
+        threaded_ = std::make_unique<ThreadedEngine>(*this);
+#endif
+}
+
+Interp::~Interp() = default;
+
+void
+Interp::setSuperblockObserver(SuperblockObserver *obs)
+{
+    if (threaded_)
+        threaded_->setObserver(obs);
+}
+
+void
+Interp::shareExecCache(std::shared_ptr<ExecCache> cache)
+{
+    execCache_ = cache;
+    if (threaded_)
+        threaded_->shareCache(std::move(cache));
 }
 
 const std::vector<PreInstr> &
 Interp::predecoded(uint32_t funcId)
 {
-    std::vector<PreInstr> &p = pre_[funcId];
-    const FuncImage &img = bin_.image[static_cast<int>(isa_)][funcId];
-    if (!p.empty() || img.code.empty())
-        return p;
-    const uint64_t base = bin_.funcAddr[static_cast<int>(isa_)][funcId];
-    p.resize(img.code.size());
-    for (size_t i = 0; i < img.code.size(); ++i) {
-        PreInstr &pi = p[i];
-        pi.in = img.code[i];
-        pi.fetchAddr = base + img.instrOff[i];
-        pi.nextAddr = base + img.instrOff[i + 1];
-        pi.cost = spec_.cost(pi.in.op);
+    if (pre_[funcId])
+        return *pre_[funcId];
+    if (execCache_) {
+        if (auto cached = execCache_->pre(isa_, funcId, execSig_)) {
+            pre_[funcId] = std::move(cached);
+            return *pre_[funcId];
+        }
     }
-    return p;
+    const FuncImage &img = bin_.image[static_cast<int>(isa_)][funcId];
+    auto built = std::make_shared<std::vector<PreInstr>>();
+    if (!img.code.empty()) {
+        const uint64_t base =
+            bin_.funcAddr[static_cast<int>(isa_)][funcId];
+        built->resize(img.code.size());
+        for (size_t i = 0; i < img.code.size(); ++i) {
+            PreInstr &pi = (*built)[i];
+            pi.in = img.code[i];
+            pi.fetchAddr = base + img.instrOff[i];
+            pi.nextAddr = base + img.instrOff[i + 1];
+            pi.cost = spec_.cost(pi.in.op);
+        }
+    }
+    pre_[funcId] = std::move(built);
+    if (execCache_)
+        pre_[funcId] =
+            execCache_->setPre(isa_, funcId, execSig_, pre_[funcId]);
+    return *pre_[funcId];
 }
 
 void
@@ -105,8 +121,16 @@ StepResult
 Interp::run(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
             uint64_t maxInstrs)
 {
-    return fastPath_ ? runImpl<true>(ctx, mem, core, l2, maxInstrs)
-                     : runImpl<false>(ctx, mem, core, l2, maxInstrs);
+    if (!fastPath_)
+        return runImpl<false>(ctx, mem, core, l2, maxInstrs);
+#if XISA_THREADED_CAPABLE
+    // Profiling and the migration-check observer both need a callback
+    // per instruction/check with a live PC, which superblocks batch
+    // away -- those modes run the plain fast path.
+    if (threaded_ && !profiling_ && !observer_)
+        return threaded_->run(ctx, mem, core, l2, maxInstrs);
+#endif
+    return runImpl<true>(ctx, mem, core, l2, maxInstrs);
 }
 
 template <bool kFast>
@@ -589,5 +613,10 @@ Interp::runImpl(ThreadContext &ctx, MemPort &mem, Core &core, Cache &l2,
     syncPc();
     return finish(StopReason::Budget);
 }
+
+// The threaded engine deoptimizes into the fast reference loop from
+// another translation unit (interp_threaded.cc).
+template StepResult Interp::runImpl<true>(ThreadContext &, MemPort &,
+                                          Core &, Cache &, uint64_t);
 
 } // namespace xisa

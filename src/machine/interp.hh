@@ -15,6 +15,7 @@
 #define XISA_MACHINE_INTERP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "binary/multibinary.hh"
@@ -24,6 +25,10 @@
 
 namespace xisa {
 
+class ThreadedEngine;
+class ExecCache;
+class SuperblockObserver;
+
 /** Architectural condition flags produced by Cmp/CmpImm/FCmp. */
 struct Flags {
     bool eq = false;
@@ -31,8 +36,34 @@ struct Flags {
     bool ult = false; ///< unsigned less-than
 };
 
-/** Evaluate a condition code against the flags. */
-bool evalCond(Cond cond, const Flags &flags);
+/** Evaluate a condition code against the flags. Inline: this is the
+ *  hottest predicate of both dispatch engines (BCond/CSet uops).
+ *  Branchless: the flags form a 3-bit index and each condition is an
+ *  8-entry truth table packed into one byte, so evaluation is a table
+ *  load and a shift instead of a jump table the branch predictor has
+ *  to disambiguate across every conditional uop in flight. */
+inline bool
+evalCond(Cond cond, const Flags &f)
+{
+    // Bit i of kTruth[cond] = condition holds for flag index i, where
+    // i = eq | lt<<1 | ult<<2 (impossible combinations are don't-care
+    // but filled in consistently).
+    static constexpr uint8_t kTruth[] = {
+        0xAA, // EQ:  eq
+        0x55, // NE:  !eq
+        0xCC, // LT:  lt
+        0xEE, // LE:  lt || eq
+        0x11, // GT:  !(lt || eq)
+        0x33, // GE:  !lt
+        0xF0, // ULT: ult
+        0xF2, // ULE: ult || eq
+        0x0D, // UGT: !(ult || eq)
+        0x0F, // UGE: !ult
+        0xFF, // Always
+    };
+    unsigned idx = (f.eq ? 1u : 0u) | (f.lt ? 2u : 0u) | (f.ult ? 4u : 0u);
+    return (kTruth[static_cast<unsigned>(cond)] >> idx) & 1u;
+}
 
 /** Architectural state of one thread (the paper's R_i). */
 struct ThreadContext {
@@ -111,6 +142,7 @@ class Interp
      * @param spec timing model of the node this interpreter belongs to
      */
     Interp(const MultiIsaBinary &bin, IsaId isa, const NodeSpec &spec);
+    ~Interp(); // out of line: ThreadedEngine is incomplete here
 
     /**
      * Run `ctx` for at most `maxInstrs` instructions.
@@ -137,8 +169,20 @@ class Interp
     std::vector<int64_t> readTrapArgs(const ThreadContext &ctx,
                                       const IRFunction &callee) const;
 
-    /** Install (or clear) the migration-check observer. */
+    /** Install (or clear) the migration-check observer. While one is
+     *  installed run() bypasses the threaded engine: the observer's
+     *  per-check callback needs the reference engine's live PC. */
     void setMigCheckObserver(MigCheckObserver *obs) { observer_ = obs; }
+
+    /** Install (or clear) the superblock-boundary observer (audit). */
+    void setSuperblockObserver(SuperblockObserver *obs);
+
+    /**
+     * Share predecoded streams and lowered superblocks through `cache`
+     * (see ExecCache). Call before the first run(); streams already
+     * built privately are not retroactively published.
+     */
+    void shareExecCache(std::shared_ptr<ExecCache> cache);
 
     /** Enable per-machine-instruction execution counting. */
     void enableProfile();
@@ -169,6 +213,10 @@ class Interp
     StepResult runImpl(ThreadContext &ctx, MemPort &mem, Core &core,
                        Cache &l2, uint64_t maxInstrs);
 
+    /** The threaded engine lowers from bin_/spec_ and deopts into
+     *  runImpl<true>; it is an extension of this class, not a client. */
+    friend class ThreadedEngine;
+
     const MultiIsaBinary &bin_;
     IsaId isa_;
     const AbiInfo &abi_;
@@ -180,8 +228,13 @@ class Interp
     MigCheckObserver *observer_ = nullptr;
     bool profiling_ = false;
     bool fastPath_ = true;
-    std::vector<std::vector<PreInstr>> pre_; ///< [funcId][instr idx]
+    /** Per-function predecoded streams, shared-immutable so ExecCache
+     *  can hand one copy to every node of a sweep. [funcId] */
+    std::vector<std::shared_ptr<const std::vector<PreInstr>>> pre_;
     std::vector<std::vector<uint64_t>> profile_;
+    uint64_t execSig_ = 0; ///< execTimingSig(spec_), the cache key
+    std::shared_ptr<ExecCache> execCache_;
+    std::unique_ptr<ThreadedEngine> threaded_;
 };
 
 } // namespace xisa

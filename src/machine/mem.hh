@@ -90,7 +90,7 @@ class MemPort
 
     // --- Software TLB (direct-mapped, per port) ------------------------
 
-    static constexpr unsigned kTlbBits = 6;
+    static constexpr unsigned kTlbBits = 10;
     static constexpr unsigned kTlbSize = 1u << kTlbBits;
     static constexpr uint64_t kNoPage = ~0ull;
 

@@ -80,6 +80,8 @@ ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
         nodes_.emplace_back(s, bin_);
         if (cfg_.profile)
             nodes_.back().interp->enableProfile();
+        if (cfg_.execCache)
+            nodes_.back().interp->shareExecCache(cfg_.execCache);
     }
 
     // Attach every component stat to this container's registry. Done
@@ -125,6 +127,11 @@ ReplicatedOS::ReplicatedOS(const MultiIsaBinary &bin, OsConfig cfg)
                 cfg_.net.faults.seed,
                 check::SchedulePerturber::envSeed()});
         auditor_->attach();
+        // Probe the threaded engines' superblock boundaries (no-op on
+        // nodes running without the threaded engine).
+        for (NodeRuntime &nr : nodes_)
+            nr.interp->setSuperblockObserver(
+                &auditor_->superblockAudit());
     }
 }
 

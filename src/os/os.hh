@@ -79,6 +79,15 @@ struct OsConfig {
      * to a build without the layer (golden-guarded).
      */
     RecoveryConfig recovery;
+    /**
+     * Optional shared cache of predecoded streams and lowered
+     * superblocks (DESIGN.md §10). Sweep drivers that construct many
+     * containers from one binary (bench::runSweep) hand the same cache
+     * to every container, so each (ISA, function, timing-signature)
+     * artifact is built once per process instead of once per cell.
+     * Null (the default) keeps per-interpreter private artifacts.
+     */
+    std::shared_ptr<ExecCache> execCache;
 
     /** Two-node ARM + x86 testbed matching the paper's setup. */
     static OsConfig dualServer();

@@ -30,6 +30,20 @@ slowPathRequested()
     return envFlag("XISA_SLOW_PATH");
 }
 
+/**
+ * True unless XISA_THREADED=0: components built while it is unset (or
+ * set to anything but "0") use the superblock threaded-code engine on
+ * top of the fast path (DESIGN.md §10). Like XISA_SLOW_PATH the flag is
+ * sampled at component construction, so differential tests can pin an
+ * instance to the plain fast path by flipping it around construction.
+ */
+inline bool
+threadedRequested()
+{
+    const char *v = std::getenv("XISA_THREADED");
+    return !(v && v[0] == '0' && v[1] == '\0');
+}
+
 } // namespace xisa
 
 #endif // XISA_UTIL_ENV_HH

@@ -23,6 +23,7 @@
 
 #include "compiler/compile.hh"
 #include "dsm/dsm.hh"
+#include "machine/interp_threaded.hh"
 #include "machine/mem.hh"
 #include "os/os.hh"
 #include "util/rng.hh"
@@ -299,6 +300,151 @@ INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadDifferential,
                          ::testing::Values(WorkloadId::CG,
                                            WorkloadId::IS,
                                            WorkloadId::EP));
+
+// ---------------------------------------------------------------------
+// Superblock threaded engine: the deopt contract (DESIGN.md §10).
+//
+// The engine retires straight-line code in compiled superblocks and
+// materializes interpreter state only when it must hand off -- at a
+// migration trap, on a software-TLB miss inside a block (shootdowns,
+// page steals), or when the quantum runs dry mid-stream. These tests
+// force each hand-off while a block is hot and require the run to stay
+// observationally identical to the plain predecoded fast path
+// (XISA_THREADED=0), while a boundary observer proves the deopt paths
+// actually fired and that no block-local progress was lost.
+// ---------------------------------------------------------------------
+
+/** Scope that pins the plain predecoded fast path (no superblocks). */
+struct NoThreadedGuard {
+    NoThreadedGuard() { setenv("XISA_THREADED", "0", 1); }
+    ~NoThreadedGuard() { unsetenv("XISA_THREADED"); }
+};
+
+/** Scope arming the schedule perturber for contained constructions. */
+struct PerturbGuard {
+    explicit PerturbGuard(const char *seed)
+    {
+        setenv("XISA_PERTURB", seed, 1);
+    }
+    ~PerturbGuard() { unsetenv("XISA_PERTURB"); }
+};
+
+/** Counts superblock-boundary events and re-checks the monotonicity
+ *  contract the invariant auditor enforces in production: within one
+ *  run() slice the live instruction count never decreases. */
+struct CountingObserver final : SuperblockObserver {
+    uint64_t enters = 0;
+    uint64_t deopts = 0;
+    uint64_t exits = 0;
+    uint64_t watermark = 0;
+    bool inSlice = false;
+    bool monotone = true;
+
+    void
+    onSuperblock(Event ev, uint32_t, uint32_t, uint64_t now) override
+    {
+        if (ev == Event::Enter)
+            ++enters;
+        else if (ev == Event::Deopt)
+            ++deopts;
+        else
+            ++exits;
+        if (inSlice && now < watermark)
+            monotone = false;
+        watermark = now;
+        inSlice = ev != Event::Exit;
+    }
+};
+
+/** captureRun with a superblock observer installed on every node and a
+ *  ping-pong migration schedule. */
+RunCapture
+captureObserved(const MultiIsaBinary &bin, uint64_t quantum,
+                CountingObserver &obs)
+{
+    OsConfig cfg = OsConfig::dualServer();
+    cfg.quantum = quantum;
+    ReplicatedOS os(bin, cfg);
+    for (int n = 0; n < static_cast<int>(cfg.nodes.size()); ++n)
+        os.interp(n).setSuperblockObserver(&obs);
+    os.load(0);
+    os.onQuantum = [](ReplicatedOS &self) {
+        self.migrateProcess(1 - self.threadNode(0));
+    };
+    RunCapture c;
+    c.res = os.run();
+    c.stats = os.statRegistry().snapshot();
+    c.image = os.dsm().pageImage();
+    c.migrations = os.migrations().size();
+    return c;
+}
+
+TEST(ThreadedDeopt, MigrationTrapMidBlockIsObservationallyInvisible)
+{
+    Module mod = buildWorkload(WorkloadId::CG, ProblemClass::A, 2);
+    MultiIsaBinary bin = compileModule(mod);
+    CountingObserver obs;
+    RunCapture threaded = captureObserved(bin, 700, obs);
+    RunCapture plain;
+    {
+        NoThreadedGuard guard;
+        plain = captureRun(bin, true, 700);
+    }
+    expectIdentical(threaded, plain, "migration-trap deopt");
+    EXPECT_GE(threaded.migrations, 1u)
+        << "schedule never migrated; the test lost its trigger";
+#if XISA_THREADED_CAPABLE
+    EXPECT_GT(obs.enters, 0u) << "no superblock ever entered";
+    EXPECT_GT(obs.deopts, 0u)
+        << "quantum 700 never expired mid-block; deopt path untested";
+    EXPECT_TRUE(obs.monotone)
+        << "block-local progress lost or double-counted at a deopt";
+#endif
+}
+
+TEST(ThreadedDeopt, TlbShootdownInsideBlockDeoptsAndRefaults)
+{
+    // Migration flushes the destination TLB and hDSM page steals shoot
+    // down live translations; a threaded load/store whose inline probe
+    // then misses must deopt to the reference step, re-fault the page,
+    // and resume -- with bit-identical accounting to the fast path.
+    Module mod = buildWorkload(WorkloadId::IS, ProblemClass::A, 2);
+    MultiIsaBinary bin = compileModule(mod);
+    CountingObserver obs;
+    RunCapture threaded = captureObserved(bin, 900, obs);
+    RunCapture plain;
+    {
+        NoThreadedGuard guard;
+        plain = captureRun(bin, true, 900);
+    }
+    expectIdentical(threaded, plain, "TLB-shootdown deopt");
+    auto inval = threaded.stats.find("dsm.invalidations");
+    ASSERT_NE(inval, threaded.stats.end());
+    EXPECT_GT(inval->second, 0.0)
+        << "no shootdowns happened; the test lost its trigger";
+#if XISA_THREADED_CAPABLE
+    EXPECT_GT(obs.deopts, 0u)
+        << "no mid-block hand-off ever fired under shootdown pressure";
+    EXPECT_TRUE(obs.monotone);
+#endif
+}
+
+TEST(ThreadedDeopt, PerturbedScheduleOverlayMatchesFastPath)
+{
+    // XISA_PERTURB jitters quantum boundaries and migration timing;
+    // under the same seed the threaded engine and the plain fast path
+    // must still agree on every observable.
+    Module mod = buildWorkload(WorkloadId::CG, ProblemClass::A, 2);
+    MultiIsaBinary bin = compileModule(mod);
+    RunCapture threaded, plain;
+    {
+        PerturbGuard seed("20260809");
+        threaded = captureRun(bin, true, 1100);
+        NoThreadedGuard guard;
+        plain = captureRun(bin, true, 1100);
+    }
+    expectIdentical(threaded, plain, "perturbed overlay");
+}
 
 } // namespace
 } // namespace xisa

@@ -376,11 +376,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FaultImageFuzz,
                          ::testing::Range(0, 200));
 
 /**
- * Fast-path differential property (DESIGN.md §7): for random programs
- * under an adversarial migration schedule, the predecoded/TLB engine
- * and the XISA_SLOW_PATH reference must agree on every observable --
- * output, exit code, instruction count, simulated makespan, every stat
- * value, and the final memory image. 100 seeds.
+ * Fast-path differential property (DESIGN.md §7, §10): for random
+ * programs under an adversarial migration schedule, all three dispatch
+ * engines -- the superblock threaded engine (the default), the plain
+ * predecoded fast path (XISA_THREADED=0), and the XISA_SLOW_PATH
+ * reference -- must agree on every observable: output, exit code,
+ * instruction count, simulated makespan, every stat value, and the
+ * final memory image. 100 seeds.
  */
 class FastSlowFuzz : public ::testing::TestWithParam<int> {};
 
@@ -409,18 +411,28 @@ TEST_P(FastSlowFuzz, FastPathIsObservationallyIdentical)
         return c;
     };
 
-    Capture fast = capture();
+    Capture fast = capture(); // superblock threaded engine (default)
+    setenv("XISA_THREADED", "0", 1);
+    Capture plain = capture(); // predecoded fast path, no superblocks
+    unsetenv("XISA_THREADED");
     setenv("XISA_SLOW_PATH", "1", 1);
     Capture slow = capture();
     unsetenv("XISA_SLOW_PATH");
 
-    ASSERT_EQ(fast.res.output, slow.res.output) << "seed " << GetParam();
-    ASSERT_EQ(fast.res.exitCode, slow.res.exitCode);
-    ASSERT_EQ(fast.res.totalInstrs, slow.res.totalInstrs);
-    ASSERT_EQ(fast.res.makespanSeconds, slow.res.makespanSeconds);
-    ASSERT_TRUE(fast.image == slow.image)
-        << "seed " << GetParam() << ": final memory images differ";
-    ASSERT_EQ(fast.stats, slow.stats) << "seed " << GetParam();
+    auto expectSame = [&](const Capture &a, const Capture &b,
+                          const char *leg) {
+        ASSERT_EQ(a.res.output, b.res.output)
+            << leg << " seed " << GetParam();
+        ASSERT_EQ(a.res.exitCode, b.res.exitCode) << leg;
+        ASSERT_EQ(a.res.totalInstrs, b.res.totalInstrs) << leg;
+        ASSERT_EQ(a.res.makespanSeconds, b.res.makespanSeconds) << leg;
+        ASSERT_TRUE(a.image == b.image)
+            << leg << " seed " << GetParam()
+            << ": final memory images differ";
+        ASSERT_EQ(a.stats, b.stats) << leg << " seed " << GetParam();
+    };
+    expectSame(fast, slow, "threaded-vs-reference");
+    expectSame(fast, plain, "threaded-vs-fastpath");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FastSlowFuzz, ::testing::Range(0, 100));

@@ -11,6 +11,11 @@ baseline (bench/baselines/BENCH_interp.json):
   - Wall time is machine-dependent; the gate only fails when the fresh
     run is more than --max-regression (default 25%) slower than the
     baseline recorded wall time. Faster is always fine.
+  - --min-mips FLOOR additionally enforces an absolute simulated-MIPS
+    floor on overhead JSONs (simulated_instrs / wall_seconds / 1e6):
+    the threaded-engine throughput gate. Unlike the relative wall gate
+    it cannot be eroded by repeatedly re-baselining on slower runs --
+    dropping below the floor fails no matter what the baseline says.
 
 With --conf EXPERIMENT.conf the fresh JSON is additionally checked
 against the experiment spec it claims to implement: the row set must be
@@ -185,6 +190,10 @@ def main():
     ap.add_argument("--max-p99-regression", type=float, default=0.10,
                     help="allowed fractional p99/p99.9 latency growth "
                          "for serving JSONs (default 0.10 = 10%%)")
+    ap.add_argument("--min-mips", type=float, metavar="FLOOR",
+                    help="absolute simulated-MIPS floor for overhead "
+                         "JSONs; below it the gate fails regardless of "
+                         "the baseline")
     ap.add_argument("--conf", metavar="FILE",
                     help="experiment .conf whose sweep the fresh rows "
                          "must match exactly")
@@ -203,6 +212,10 @@ def main():
         if is_serving(fresh) != is_serving(base):
             print("check_perf: fresh and baseline are different "
                   "experiment kinds", file=sys.stderr)
+            return 2
+        if args.min_mips is not None:
+            print("check_perf: --min-mips only applies to overhead "
+                  "JSONs (serving rows have no mips)", file=sys.stderr)
             return 2
         base_rows = check_serving(fresh, base, args, failures)
         failures += wall_gate(fresh, base, args)
@@ -248,6 +261,18 @@ def main():
                         f"{br[field]} -> {fr[field]}")
 
     failures += wall_gate(fresh, base, args)
+
+    # --- absolute throughput floor ------------------------------------
+    if args.min_mips is not None:
+        mips = fresh.get("mips")
+        if not mips:
+            failures.append("mips missing from fresh json (--min-mips)")
+        else:
+            print(f"mips: fresh {mips:.2f}, floor {args.min_mips:.2f}")
+            if mips < args.min_mips:
+                failures.append(
+                    f"simulated MIPS {mips:.2f} below the --min-mips "
+                    f"floor {args.min_mips:.2f}")
 
     if failures:
         for f in failures:
