@@ -88,6 +88,7 @@ main(int argc, char **argv)
                 "fail", "rstr", "lost s", "recov s", "retries");
 
     double baseEdp = 0;
+    uint64_t deferred = 0;
     obs::StatRegistry *lastStats = nullptr;
     static std::vector<ClusterSim *> sims; // keep alive for obs dump
     for (double drop : dropRates) {
@@ -133,6 +134,9 @@ main(int argc, char **argv)
             recovered += r.recoveredWorkSeconds;
         }
         lastStats = &sim->statRegistry();
+        if (const obs::Counter *d = sim->statRegistry().findCounter(
+                "xfault.crashes_deferred"))
+            deferred += d->value();
         if (drop == 0.0)
             baseEdp = edp.mean();
         std::printf("%5.2f%% | %9.1f %7.1f %10.1f | %4d %4d %4d %8.1f"
@@ -150,6 +154,10 @@ main(int argc, char **argv)
     std::printf("\nEDP degrades with fault intensity: retries inflate "
                 "migration cost,\ncrash rollback discards work the "
                 "energy meter already charged.\n");
+    if (deferred > 0)
+        std::printf("%llu crash(es) hit an already-down machine and "
+                    "were deferred past its reboot.\n",
+                    static_cast<unsigned long long>(deferred));
     if (lastStats)
         writeOutputs(fa, *lastStats);
     return 0;

@@ -11,6 +11,7 @@
  * total machine count.
  */
 
+#include <chrono>
 #include <memory>
 
 #include "common.hh"
@@ -45,8 +46,8 @@ bigPeriodicSet(uint64_t seed, int machines)
 int
 main(int argc, char **argv)
 {
-    Options opts = parseCommonArgs(argc, argv,
-                                   kOptObs | kOptQuick | kOptConfig);
+    Options opts = parseCommonArgs(
+        argc, argv, kOptObs | kOptPerfJson | kOptQuick | kOptConfig);
     banner("Rack scale", "heterogeneous mixes vs an all-x86 rack "
                          "(paper Section 1/9 prediction)");
     JobProfileTable table = JobProfileTable::calibrate();
@@ -65,7 +66,9 @@ main(int argc, char **argv)
     std::printf("\n%-22s %14s %14s %10s %10s %8s\n", "rack mix",
                 "energy(kJ)", "makespan(s)", "dE", "dEDP", "migr");
     double baseEnergy[8] = {}, baseEdp[8] = {};
+    uint64_t schedEvents = 0;
     std::unique_ptr<ClusterSim> lastSim; // outlives the loop: obs dump
+    const auto t0 = std::chrono::steady_clock::now();
     for (const Mix &mix : mixes) {
         RunningStat energy, makespan, edp, migr;
         for (int set = 0; set < numSets; ++set) {
@@ -79,6 +82,7 @@ main(int argc, char **argv)
             makespan.add(r.makespan);
             edp.add(r.edp);
             migr.add(r.migrations);
+            schedEvents += sim->eventsProcessed();
             lastSim = std::move(sim);
         }
         if (mix.arm == 0) {
@@ -98,6 +102,39 @@ main(int argc, char **argv)
                 "energy savings toward the\nrack scale, as the paper "
                 "predicts -- until the ARM share starts stretching\n"
                 "the makespan enough to erode EDP.\n");
+    // Scheduler event throughput, same shape as the rack-kind runner
+    // JSON so tools/check_perf.py --min-events-per-sec gates both.
+    if (!opts.perfJsonPath.empty()) {
+        const double wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::FILE *f = std::fopen(opts.perfJsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                        opts.perfJsonPath.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"bench_rack_scale\",\n"
+                     "  \"mode\": \"%s\",\n"
+                     "  \"sweep_threads\": %d,\n"
+                     "  \"configs\": %zu,\n"
+                     "  \"wall_seconds\": %.6f,\n"
+                     "  \"sched_events\": %llu,\n"
+                     "  \"events_per_sec\": %.2f\n"
+                     "}\n",
+                     quickMode() ? "quick" : "full", sweepThreads(),
+                     sizeof(mixes) / sizeof(mixes[0]) *
+                         static_cast<size_t>(numSets),
+                     wallSeconds,
+                     static_cast<unsigned long long>(schedEvents),
+                     wallSeconds > 0 ? schedEvents / wallSeconds : 0.0);
+        std::fclose(f);
+        std::fprintf(stderr, "perf json: %s\n",
+                     opts.perfJsonPath.c_str());
+    }
     if (lastSim)
         writeOutputs(opts, lastSim->statRegistry());
     return 0;

@@ -351,13 +351,23 @@ runRack(const ExperimentSpec &spec, const Options &opts)
 {
     banner(spec.figure.c_str(), spec.title.c_str());
     JobProfileTable table = JobProfileTable::calibrate();
+    const bool quick = quickMode();
     const ClusterSpec &cl = spec.cluster;
-    const int numSets = spec.activeSets(quickMode());
+    const int numSets = spec.activeSets(quick);
 
     std::printf("\n%-22s %14s %14s %10s %10s %8s\n", "rack mix",
                 "energy(kJ)", "makespan(s)", "dE", "dEDP", "migr");
+    struct PoolRow {
+        const PoolSpec *pool;
+        double energyKj = 0;
+        double makespan = 0;
+        double migrations = 0;
+    };
+    std::vector<PoolRow> poolRows;
+    uint64_t schedEvents = 0;
     double baseEnergy = 0, baseEdp = 0;
     std::unique_ptr<ClusterSim> lastSim;
+    const double t0 = wallNow();
     for (const PoolSpec &pool : cl.pools) {
         RunningStat energy, makespan, edp, migr;
         for (int set = 0; set < numSets; ++set) {
@@ -371,6 +381,7 @@ runRack(const ExperimentSpec &spec, const Options &opts)
             makespan.add(r.makespan);
             edp.add(r.edp);
             migr.add(r.migrations);
+            schedEvents += sim->eventsProcessed();
             lastSim = std::move(sim);
         }
         if (pool.baseline) {
@@ -385,9 +396,48 @@ runRack(const ExperimentSpec &spec, const Options &opts)
         std::printf("%-22s %14.1f %14.1f %9.1f%% %9.1f%% %8.0f\n",
                     pool.label.c_str(), energy.mean() / 1e3,
                     makespan.mean(), de, dedp, migr.mean());
+        poolRows.push_back({&pool, energy.mean() / 1e3,
+                            makespan.mean(), migr.mean()});
     }
+    const double wallSeconds = wallNow() - t0;
     if (!spec.footer.empty())
         std::printf("\n%s\n", spec.footer.c_str());
+
+    // Rack perf JSON reports scheduler event throughput -- the gate
+    // tools/check_perf.py applies via --min-events-per-sec -- instead
+    // of interpreter MIPS: rack runs exercise ClusterSim, not the
+    // instruction-level machine.
+    if (!opts.perfJsonPath.empty()) {
+        std::FILE *f = std::fopen(opts.perfJsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.perfJsonPath.c_str());
+            return 1;
+        }
+        writeJsonHeader(f, spec.benchName.c_str(), quick,
+                        sweepThreads(),
+                        cl.pools.size() * static_cast<size_t>(numSets),
+                        wallSeconds);
+        std::fprintf(f,
+                     "  \"sched_events\": %llu,\n"
+                     "  \"events_per_sec\": %.2f,\n"
+                     "  \"rows\": [\n",
+                     static_cast<unsigned long long>(schedEvents),
+                     wallSeconds > 0 ? schedEvents / wallSeconds : 0.0);
+        for (size_t k = 0; k < poolRows.size(); ++k) {
+            const PoolRow &row = poolRows[k];
+            std::fprintf(
+                f,
+                "    {\"pool\": \"%s\", \"energy_kj\": %.6f, "
+                "\"makespan_seconds\": %.6f, \"migrations\": %.1f}%s\n",
+                row.pool->label.c_str(), row.energyKj, row.makespan,
+                row.migrations, k + 1 < poolRows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "perf json: %s\n",
+                     opts.perfJsonPath.c_str());
+    }
 
     if (lastSim)
         writeOutputs(opts, lastSim->statRegistry());

@@ -258,6 +258,7 @@ ClusterSpec::simConfig() const
         ev.downSeconds = crashDownSeconds;
         c.crashes.push_back(ev);
     }
+    c.topo = topo;
     return c;
 }
 
@@ -364,6 +365,26 @@ parseClusterSections(Config &conf, ClusterSpec &c)
         f.partitionLenMsgs = static_cast<uint64_t>(
             conf.getInt("faults", "partition_len",
                         static_cast<int64_t>(f.partitionLenMsgs)));
+    }
+
+    if (conf.hasSection("topology")) {
+        TopologyConfig &t = c.topo;
+        t.machinesPerRack = static_cast<int>(conf.getInt(
+            "topology", "machines_per_rack", t.machinesPerRack));
+        t.racksPerPod = static_cast<int>(
+            conf.getInt("topology", "racks_per_pod", t.racksPerPod));
+        t.torOversub =
+            conf.getDouble("topology", "tor_oversub", t.torOversub);
+        t.aggOversub =
+            conf.getDouble("topology", "agg_oversub", t.aggOversub);
+        t.rackHopUs =
+            conf.getDouble("topology", "rack_hop_us", t.rackHopUs);
+        t.aggHopUs =
+            conf.getDouble("topology", "agg_hop_us", t.aggHopUs);
+        t.localityBias = conf.getDouble("topology", "locality_bias",
+                                        t.localityBias);
+        if (const char *err = topologyConfigError(t))
+            specFail(conf, std::string("[topology] ") + err);
     }
 
     if (conf.hasSection("crashes")) {
@@ -865,6 +886,18 @@ serializeSpec(const ExperimentSpec &s)
         w.kv("degrade_len", f.degradeLenMsgs);
         w.kv("partition_period", f.partitionPeriodMsgs);
         w.kv("partition_len", f.partitionLenMsgs);
+    }
+
+    if (s.cluster.topo.machinesPerRack > 0) {
+        const TopologyConfig &t = s.cluster.topo;
+        w.section("topology");
+        w.kv("machines_per_rack", t.machinesPerRack);
+        w.kv("racks_per_pod", t.racksPerPod);
+        w.kv("tor_oversub", t.torOversub);
+        w.kv("agg_oversub", t.aggOversub);
+        w.kv("rack_hop_us", t.rackHopUs);
+        w.kv("agg_hop_us", t.aggHopUs);
+        w.kv("locality_bias", t.localityBias);
     }
 
     if (!s.cluster.crashPlan.empty()) {

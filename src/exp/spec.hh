@@ -102,6 +102,9 @@ struct ClusterSpec {
     // [crashes]
     std::vector<CrashSpec> crashPlan;
     double crashDownSeconds = 30.0;
+    // [topology] -- machinesPerRack 0 means flat (section omitted
+    // from the canonical serialization).
+    TopologyConfig topo;
 
     /** Resolve a node reference ("xeno", "aether", or override name);
      *  throws ConfigError on an unknown name. */

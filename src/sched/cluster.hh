@@ -1,7 +1,7 @@
 /**
  * @file
  * Cluster-level scheduling simulation (Section 6 "Job Scheduling",
- * Figs. 12 and 13).
+ * Figs. 12 and 13), event-driven (DESIGN.md §11).
  *
  * The paper compares, over randomized job sets:
  *  - static policies that assign jobs at arrival and can never move
@@ -12,12 +12,21 @@
  *    jobs migrating between the servers.
  *
  * Machines accrue energy through the utilization-proportional power
- * model; an idle machine with nothing queued drops into a low-power
- * state (the consolidation premise of Section 2). The ARM machine's
- * power can be scaled by the McPAT FinFET projection (x0.1), as in the
- * paper's evaluation. Migration charges a cost derived from the
- * measured stack-transformation latency plus working-set transfer over
- * the interconnect model.
+ * model; an idle machine drops into a low-power state (the
+ * consolidation premise of Section 2). The ARM machine's power can be
+ * scaled by the McPAT FinFET projection (x0.1), as in the paper's
+ * evaluation. Migration charges a cost derived from the measured
+ * stack-transformation latency plus working-set transfer over the
+ * interconnect model, inflated by the rack/pod topology when one is
+ * configured.
+ *
+ * The simulator is a true discrete-event core: every running job
+ * carries an absolute completion timestamp (recomputed only when it is
+ * (re)placed), completions and reboots live in an indexed min-heap,
+ * and energy accrues lazily per machine between its own state changes.
+ * The pre-heap stepping loop survives behind XISA_SLOW_SCHED=1 as a
+ * differential oracle: both drivers share every state-mutation helper,
+ * so their ClusterResult, stdout, and stats JSON are bit-identical.
  */
 
 #ifndef XISA_SCHED_CLUSTER_HH
@@ -30,6 +39,7 @@
 #include "machine/node.hh"
 #include "obs/registry.hh"
 #include "sched/profile.hh"
+#include "sched/topology.hh"
 
 namespace xisa {
 
@@ -63,7 +73,9 @@ const char *policyName(Policy p);
 
 /** One machine failure: at `time`, `machine` dies and stays down for
  *  `downSeconds` (power drops to zero, its work is lost back to the
- *  last checkpoint). */
+ *  last checkpoint). A crash aimed at a machine that is already down
+ *  is deferred to its reboot instant (back-to-back failure); the
+ *  deferral is counted by `sched.crashes_deferred`. */
 struct CrashEvent {
     double time = 0;
     int machine = 0;
@@ -101,14 +113,17 @@ class ClusterSim
         /** Working set shipped on migration, bytes per class unit
          *  (multiplied by classScale). */
         double workingSetBytesPerScale = 2.0 * 1024 * 1024;
-        /** Power drawn by an idle machine with an empty queue, as a
-         *  fraction of idle power. 1.0 matches the paper's testbed
-         *  (machines stay up for the whole experiment); lower values
-         *  model the consolidation low-power states of Section 2. */
+        /** Power drawn by an idle machine, as a fraction of idle
+         *  power. 1.0 matches the paper's testbed (machines stay up
+         *  for the whole experiment); lower values model the
+         *  consolidation low-power states of Section 2. */
         double sleepFraction = 1.0;
         /** Link model; net.faults makes migration transfers lossy
          *  (retries inflate the charged migration cost). */
         Interconnect::Config net;
+        /** Rack/pod hierarchy shaping migration and failover costs;
+         *  default-constructed = flat (bit-identical to no model). */
+        TopologyConfig topo;
         /** Machine failures to inject (empty = immortal machines; the
          *  fault-free event sequence is then bit-identical to a build
          *  without the fault layer). */
@@ -136,40 +151,53 @@ class ClusterSim
      *  across every run() call on this instance. */
     obs::StatRegistry &statRegistry() { return stats_; }
 
+    /** Events processed across every run() (the `sched.events`
+     *  counter): the numerator of the events/sec throughput gate. */
+    uint64_t eventsProcessed() const { return eventsStat_.value(); }
+
   private:
     struct RunningJob {
         Job job;
-        double remainingFraction = 1.0;
         double durationHere = 0; ///< full-job seconds on this machine
+        /** Absolute completion instant; recomputed only when the job
+         *  is (re)placed, never decremented per step. */
+        double endTime = 0;
         double startedAt = 0;
-        /** remainingFraction at the last checkpoint (restart target). */
+        /** Fraction still to run as of the last checkpoint/placement
+         *  (restart target, on THIS machine's clock). */
         double ckptRemaining = 1.0;
+        /** Completion event handle (event driver; -1 under the
+         *  stepping oracle). */
+        int evHandle = -1;
     };
     struct MachineState {
         std::vector<RunningJob> running;
         std::vector<Job> queue;
         /** Checkpointed jobs waiting to restart (crash recovery). */
         std::vector<RunningJob> restartQueue;
-        int usedThreads = 0;
+        // Thread bookkeeping (running + queued) lives in the Run's
+        // compact per-machine arrays, not here: the placement and
+        // rebalance scans walk every machine, and at fleet scale
+        // striding through these fat structs is the scans' whole cost.
         double energy = 0;
+        /** Last instant energy was accrued to (lazy accrual). */
+        double energyMark = 0;
+        /** Down right now (power 0, no placements). */
+        bool down = false;
     };
 
+    /** Per-run() engine state shared by both drivers (cluster.cc). */
+    struct Run;
+
     int capacity(int m) const;
-    bool tryStart(MachineState &ms, int m, const Job &job, double now);
-    int pickMachine(const std::vector<MachineState> &st, Policy policy,
-                    int threads,
-                    const std::vector<char> &alive) const;
-    double load(const MachineState &ms, int m) const;
     bool dynamic(Policy p) const
     {
         return p == Policy::DynamicBalanced ||
                p == Policy::DynamicUnbalanced;
     }
-    double migrationCost(const Job &job);
-    /** Admit a checkpointed job on `m` if capacity allows, charging
-     *  the restart overhead; parks it in the restart queue otherwise. */
-    void placeRestart(std::vector<MachineState> &st, int m,
-                      RunningJob rj, double now);
+    /** Checkpoint-image transfer cost from `from` to `to` (-1 from =
+     *  fresh admission: flat link, no topology inflation). */
+    double migrationCost(const Job &job, int from, int to);
     /** Interned trace span name of a job, cached per job id (restarts
      *  and rebalances re-begin the span without re-interning). */
     const char *jobSpanName(int id);
@@ -177,6 +205,10 @@ class ClusterSim
     std::vector<Machine> machines_;
     const JobProfileTable &profiles_;
     Config cfg_;
+    Topology topo_;
+    /** XISA_SLOW_SCHED sampled at construction: run() uses the
+     *  stepping oracle instead of the event heap. */
+    bool slowSched_ = false;
 
     /** Declared before the counters so they detach from a live
      *  registry on destruction. */
@@ -189,11 +221,20 @@ class ClusterSim
     obs::Counter enqueues_;
     obs::Counter migrationsStat_;
     obs::Counter rebalanceTicks_;
+    /** Simulation events processed (loop iterations; identical for
+     *  both drivers by construction). */
+    obs::Counter eventsStat_;
+    /** Rebalance ticks whose move budget was exhausted before the
+     *  pool balanced (the truncation the old fixed 64-move cap hid). */
+    obs::Counter rebalanceCapStat_;
     // Fault/recovery counters (xfault.*).
     obs::Counter crashesStat_;
     obs::Counter failoversStat_;
     obs::Counter restartsStat_;
     obs::Counter checkpointsStat_;
+    /** Crash events that found their machine already down and were
+     *  deferred to its reboot instant. */
+    obs::Counter crashesDeferredStat_;
     obs::Gauge lostSecondsStat_;
     obs::Gauge recoveredSecondsStat_;
 

@@ -1,0 +1,117 @@
+#include "sched/events.hh"
+
+#include "util/logging.hh"
+
+namespace xisa {
+
+bool
+EventHeap::before(int a, int b) const
+{
+    const SchedEvent &ea = nodes_[static_cast<size_t>(a)].ev;
+    const SchedEvent &eb = nodes_[static_cast<size_t>(b)].ev;
+    if (ea.time != eb.time)
+        return ea.time < eb.time;
+    if (ea.kind != eb.kind)
+        return static_cast<int>(ea.kind) < static_cast<int>(eb.kind);
+    if (ea.machine != eb.machine)
+        return ea.machine < eb.machine;
+    return ea.seq < eb.seq;
+}
+
+void
+EventHeap::place(size_t i, int handle)
+{
+    heap_[i] = handle;
+    nodes_[static_cast<size_t>(handle)].pos = static_cast<int>(i);
+}
+
+void
+EventHeap::siftUp(size_t i)
+{
+    int h = heap_[i];
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!before(h, heap_[parent]))
+            break;
+        place(i, heap_[parent]);
+        i = parent;
+    }
+    place(i, h);
+}
+
+void
+EventHeap::siftDown(size_t i)
+{
+    int h = heap_[i];
+    size_t n = heap_.size();
+    for (;;) {
+        size_t kid = 2 * i + 1;
+        if (kid >= n)
+            break;
+        if (kid + 1 < n && before(heap_[kid + 1], heap_[kid]))
+            ++kid;
+        if (!before(heap_[kid], h))
+            break;
+        place(i, heap_[kid]);
+        i = kid;
+    }
+    place(i, h);
+}
+
+int
+EventHeap::push(const SchedEvent &ev)
+{
+    int h;
+    if (!free_.empty()) {
+        h = free_.back();
+        free_.pop_back();
+        nodes_[static_cast<size_t>(h)].ev = ev;
+    } else {
+        h = static_cast<int>(nodes_.size());
+        nodes_.push_back(Node{ev, -1});
+    }
+    heap_.push_back(h);
+    siftUp(heap_.size() - 1);
+    return h;
+}
+
+const SchedEvent &
+EventHeap::top() const
+{
+    XISA_CHECK(!heap_.empty(), "EventHeap::top on empty heap");
+    return nodes_[static_cast<size_t>(heap_.front())].ev;
+}
+
+SchedEvent
+EventHeap::pop()
+{
+    XISA_CHECK(!heap_.empty(), "EventHeap::pop on empty heap");
+    int h = heap_.front();
+    SchedEvent ev = nodes_[static_cast<size_t>(h)].ev;
+    erase(h);
+    return ev;
+}
+
+void
+EventHeap::erase(int handle)
+{
+    XISA_CHECK(handle >= 0 &&
+                   handle < static_cast<int>(nodes_.size()) &&
+                   nodes_[static_cast<size_t>(handle)].pos >= 0,
+               "EventHeap::erase of a dead handle");
+    size_t i =
+        static_cast<size_t>(nodes_[static_cast<size_t>(handle)].pos);
+    nodes_[static_cast<size_t>(handle)].pos = -1;
+    free_.push_back(handle);
+    int last = heap_.back();
+    heap_.pop_back();
+    if (i == heap_.size())
+        return; // erased the tail
+    place(i, last);
+    // The hole's replacement can be out of order in either direction.
+    siftUp(i);
+    siftDown(static_cast<size_t>(
+        nodes_[static_cast<size_t>(last)].pos));
+}
+
+} // namespace xisa

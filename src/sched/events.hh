@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Indexed min-heap of scheduler events for the event-driven ClusterSim
+ * core (DESIGN.md §11).
+ *
+ * The heap holds the two event populations whose size is unbounded and
+ * whose members are cancelled/rescheduled mid-run: job completions
+ * (one per running job, erased on migration or crash) and machine
+ * reboots (one per down machine). The remaining event sources -- job
+ * arrivals and crash injections (pre-sorted streams consumed by a
+ * cursor) and the checkpoint/rebalance epochs (single recurring
+ * candidates, gated on running work) -- are cheaper as scalars and are
+ * merged into the next-event choice by the driver.
+ *
+ * Tie-break contract: events are ordered by (time, kind, machine,
+ * seq). Reboots sort before completions at the same instant, machines
+ * in ascending index, and completions on one machine in placement
+ * order (seq is a monotone placement counter), which reproduces the
+ * stepping loop's machine-scan order exactly.
+ */
+
+#ifndef XISA_SCHED_EVENTS_HH
+#define XISA_SCHED_EVENTS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xisa {
+
+/** Heap-managed event kinds; lower value wins ties at equal time. */
+enum class EvKind : int {
+    Reboot = 0,     ///< a down machine comes back at downUntil
+    Completion = 1, ///< a running job reaches its endTime
+};
+
+/** One heap entry. */
+struct SchedEvent {
+    double time = 0;
+    EvKind kind = EvKind::Completion;
+    int machine = 0;
+    /** Placement sequence number: orders same-machine completions the
+     *  way the stepping loop encounters them (running-vector order). */
+    uint64_t seq = 0;
+};
+
+/**
+ * Binary min-heap with stable integer handles so the simulator can
+ * erase a specific event (migrated or crashed job) in O(log n) without
+ * scanning. Handles are recycled; a popped or erased handle must not
+ * be reused by the caller.
+ */
+class EventHeap
+{
+  public:
+    /** Insert an event; returns its handle. */
+    int push(const SchedEvent &ev);
+    /** Remove the event behind `handle` (must be live). */
+    void erase(int handle);
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+    /** Smallest event by (time, kind, machine, seq); heap non-empty. */
+    const SchedEvent &top() const;
+    /** Pop and return the smallest event, freeing its handle. */
+    SchedEvent pop();
+
+  private:
+    struct Node {
+        SchedEvent ev;
+        int pos = -1; ///< index in heap_, -1 when free
+    };
+
+    bool before(int a, int b) const;
+    void siftUp(size_t i);
+    void siftDown(size_t i);
+    void place(size_t i, int handle);
+
+    std::vector<int> heap_;   ///< handles, heap-ordered
+    std::vector<Node> nodes_; ///< handle -> event + heap position
+    std::vector<int> free_;   ///< recycled handles
+};
+
+} // namespace xisa
+
+#endif // XISA_SCHED_EVENTS_HH

@@ -1,0 +1,59 @@
+#include "sched/topology.hh"
+
+#include <cstdio>
+#include <string>
+
+namespace xisa {
+
+const char *
+topologyConfigError(const TopologyConfig &cfg)
+{
+    if (cfg.machinesPerRack < 0)
+        return "machines_per_rack must be >= 0";
+    if (cfg.machinesPerRack == 0) {
+        // Disabled model: the remaining knobs are inert, but a conf
+        // that sets them without a rack size is almost certainly a
+        // typo'd hierarchy, so reject the contradiction.
+        TopologyConfig flat;
+        flat.machinesPerRack = cfg.machinesPerRack;
+        if (!(cfg == flat))
+            return "topology knobs set but machines_per_rack is 0 "
+                   "(set machines_per_rack to enable the hierarchy)";
+        return nullptr;
+    }
+    if (cfg.racksPerPod < 0)
+        return "racks_per_pod must be >= 0 (0 = single pod)";
+    if (!(cfg.torOversub >= 1.0))
+        return "tor_oversub must be >= 1";
+    if (!(cfg.aggOversub >= 1.0))
+        return "agg_oversub must be >= 1";
+    if (!(cfg.rackHopUs >= 0.0))
+        return "rack_hop_us must be >= 0";
+    if (!(cfg.aggHopUs >= 0.0))
+        return "agg_hop_us must be >= 0";
+    if (!(cfg.localityBias >= 0.0))
+        return "locality_bias must be >= 0";
+    return nullptr;
+}
+
+std::string
+describeTopology(const TopologyConfig &cfg, int machines)
+{
+    if (cfg.machinesPerRack <= 0)
+        return "flat";
+    int racks =
+        (machines + cfg.machinesPerRack - 1) / cfg.machinesPerRack;
+    int pods = cfg.racksPerPod > 0
+                   ? (racks + cfg.racksPerPod - 1) / cfg.racksPerPod
+                   : 1;
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "%d racks x %d machines in %d pod%s "
+                  "(tor x%g, agg x%g)",
+                  racks, cfg.machinesPerRack, pods,
+                  pods == 1 ? "" : "s", cfg.torOversub,
+                  cfg.aggOversub);
+    return buf;
+}
+
+} // namespace xisa

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Hierarchical datacenter interconnect for the cluster scheduler
+ * (DESIGN.md §11): machines -> top-of-rack switch -> aggregation
+ * layer, with oversubscription at each boundary.
+ *
+ * The paper's closing argument extrapolates ISA migration from a pair
+ * of servers to rack and datacenter scale; at that scale migration and
+ * failover costs are shaped by where the peers sit in the tree.
+ * Machines under one ToR exchange working sets at full link speed;
+ * crossing the ToR divides bandwidth by the ToR oversubscription
+ * ratio and adds a hop latency; crossing the aggregation layer (into
+ * another pod) pays both ratios and both hop latencies. Placement can
+ * be biased toward the rack of a job's checkpoint image so failover
+ * prefers short transfers.
+ *
+ * Machines are mapped to the tree by index: machine m sits in rack
+ * m / machinesPerRack, and rack r in pod r / racksPerPod (one pod for
+ * everything when racksPerPod is 0). machinesPerRack == 0 disables the
+ * model entirely: every distance is zero and every factor is exactly
+ * 1.0, and the simulator's cost arithmetic is bit-identical to the
+ * flat interconnect.
+ */
+
+#ifndef XISA_SCHED_TOPOLOGY_HH
+#define XISA_SCHED_TOPOLOGY_HH
+
+#include <string>
+
+namespace xisa {
+
+/** [topology] conf section / ClusterSim::Config knob. */
+struct TopologyConfig {
+    /** Machines under one ToR switch; 0 = flat (model disabled). */
+    int machinesPerRack = 0;
+    /** Racks under one aggregation switch; 0 = a single pod. */
+    int racksPerPod = 0;
+    /** Bandwidth divisor for crossing the ToR (>= 1). */
+    double torOversub = 1.0;
+    /** Additional bandwidth divisor for crossing pods (>= 1). */
+    double aggOversub = 1.0;
+    /** Extra one-way latency for leaving the rack, microseconds. */
+    double rackHopUs = 0.0;
+    /** Extra one-way latency for leaving the pod, microseconds
+     *  (added on top of rackHopUs). */
+    double aggHopUs = 0.0;
+    /** Placement penalty per switch boundary, in weighted-load units:
+     *  pickMachine scores a candidate as load + bias * hops when the
+     *  job has state on a source machine. 0 = placement stays blind
+     *  to the hierarchy even when costs are not. */
+    double localityBias = 0.0;
+
+    bool operator==(const TopologyConfig &o) const
+    {
+        return machinesPerRack == o.machinesPerRack &&
+               racksPerPod == o.racksPerPod &&
+               torOversub == o.torOversub &&
+               aggOversub == o.aggOversub &&
+               rackHopUs == o.rackHopUs && aggHopUs == o.aggHopUs &&
+               localityBias == o.localityBias;
+    }
+};
+
+/** Distance/cost oracle over the machine tree. */
+class Topology
+{
+  public:
+    Topology() = default;
+    explicit Topology(const TopologyConfig &cfg) : cfg_(cfg) {}
+
+    bool enabled() const { return cfg_.machinesPerRack > 0; }
+    const TopologyConfig &config() const { return cfg_; }
+
+    int rackOf(int m) const
+    {
+        return enabled() ? m / cfg_.machinesPerRack : 0;
+    }
+    int podOf(int m) const
+    {
+        return cfg_.racksPerPod > 0 ? rackOf(m) / cfg_.racksPerPod : 0;
+    }
+
+    /** Switch boundaries between two machines: 0 same rack (or model
+     *  disabled), 1 cross-rack within a pod, 2 cross-pod. */
+    int hops(int a, int b) const
+    {
+        if (!enabled() || a == b || rackOf(a) == rackOf(b))
+            return 0;
+        return podOf(a) == podOf(b) ? 1 : 2;
+    }
+
+    /** Multiplier on working-set transfer seconds (oversubscription
+     *  product along the path); exactly 1.0 intra-rack. */
+    double bandwidthFactor(int a, int b) const
+    {
+        switch (hops(a, b)) {
+          case 1: return cfg_.torOversub;
+          case 2: return cfg_.torOversub * cfg_.aggOversub;
+          default: return 1.0;
+        }
+    }
+
+    /** Extra path latency in seconds; exactly 0.0 intra-rack. */
+    double extraLatencySeconds(int a, int b) const
+    {
+        switch (hops(a, b)) {
+          case 1: return cfg_.rackHopUs * 1e-6;
+          case 2: return (cfg_.rackHopUs + cfg_.aggHopUs) * 1e-6;
+          default: return 0.0;
+        }
+    }
+
+    /** True when placementPenalty(from, *) can be non-zero: the model
+     *  is on, a bias is set, and the job has a known source. */
+    bool biasActive(int from) const
+    {
+        return enabled() && from >= 0 && cfg_.localityBias != 0.0;
+    }
+
+    /** Placement score penalty for putting a job whose state lives on
+     *  `from` onto `cand`; 0 when disabled or from is unknown (-1). */
+    double placementPenalty(int from, int cand) const
+    {
+        if (!enabled() || from < 0 || cfg_.localityBias == 0.0)
+            return 0.0;
+        return cfg_.localityBias * hops(from, cand);
+    }
+
+  private:
+    TopologyConfig cfg_;
+};
+
+/** nullptr if `cfg` is well-formed, else a static error string
+ *  (shared by conf validation and the simulator constructor). */
+const char *topologyConfigError(const TopologyConfig &cfg);
+
+/** One-line human description ("25 racks x 40 machines in 5 pods
+ *  (tor x4, agg x2)", or "flat"). */
+std::string describeTopology(const TopologyConfig &cfg, int machines);
+
+} // namespace xisa
+
+#endif // XISA_SCHED_TOPOLOGY_HH

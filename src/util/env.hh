@@ -31,6 +31,20 @@ slowPathRequested()
 }
 
 /**
+ * True if XISA_SLOW_SCHED is set: ClusterSims built while it is set
+ * drive the run with the pre-heap stepping loop (rescan every machine
+ * per event) instead of the event heap -- the differential oracle for
+ * the event-driven core (DESIGN.md §11). Like XISA_SLOW_PATH the flag
+ * is sampled at construction, so equivalence tests flip it between
+ * constructing the oracle and fast instances.
+ */
+inline bool
+slowSchedRequested()
+{
+    return envFlag("XISA_SLOW_SCHED");
+}
+
+/**
  * True unless XISA_THREADED=0: components built while it is unset (or
  * set to anything but "0") use the superblock threaded-code engine on
  * top of the fast path (DESIGN.md §10). Like XISA_SLOW_PATH the flag is

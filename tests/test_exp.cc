@@ -485,4 +485,60 @@ TEST(Spec, ServingRejectsBadTraffic)
     expectFail("[crashes]\nplan = 7@0.5\n");
 }
 
+// --- Spec: [topology] -----------------------------------------------
+
+TEST(Spec, TopologyParsedAndValidated)
+{
+    Config c = Config::parseString(
+        "kind = rack\nfigure = F\ntitle = T\n"
+        "sets = 1\nseed_base = 7\nwaves = 2\n"
+        "[machine.m]\nnode = xeno\n"
+        "[pool.a]\nmachines = m*4\n"
+        "policy = dynamic-balanced\nbaseline = true\n"
+        "[topology]\nmachines_per_rack = 2\nracks_per_pod = 2\n"
+        "tor_oversub = 4.0\nagg_oversub = 2.0\n"
+        "rack_hop_us = 5.0\nagg_hop_us = 20.0\n"
+        "locality_bias = 0.5\n",
+        "topo.conf");
+    ExperimentSpec s = parseExperiment(c);
+    ClusterSim::Config cc = s.cluster.simConfig();
+    EXPECT_EQ(cc.topo.machinesPerRack, 2);
+    EXPECT_EQ(cc.topo.racksPerPod, 2);
+    EXPECT_DOUBLE_EQ(cc.topo.torOversub, 4.0);
+    EXPECT_DOUBLE_EQ(cc.topo.aggOversub, 2.0);
+    EXPECT_DOUBLE_EQ(cc.topo.rackHopUs, 5.0);
+    EXPECT_DOUBLE_EQ(cc.topo.aggHopUs, 20.0);
+    EXPECT_DOUBLE_EQ(cc.topo.localityBias, 0.5);
+
+    auto expectFail = [](const std::string &topoBody) {
+        Config bad = Config::parseString(
+            "kind = rack\nfigure = F\ntitle = T\n"
+            "sets = 1\nseed_base = 7\nwaves = 2\n"
+            "[machine.m]\nnode = xeno\n"
+            "[pool.a]\nmachines = m*4\n"
+            "policy = dynamic-balanced\nbaseline = true\n"
+            "[topology]\n" + topoBody, "topo-bad.conf");
+        EXPECT_THROW(parseExperiment(bad), ConfigError) << topoBody;
+    };
+    expectFail("machines_per_rack = 2\ntor_oversub = 0.5\n");
+    expectFail("machines_per_rack = -1\n");
+    // Knobs without a rack size: a typo'd hierarchy, not flat.
+    expectFail("locality_bias = 0.5\n");
+}
+
+TEST(Spec, SerializeRoundTripTopology)
+{
+    expectRoundTrip(
+        "kind = rack\nfigure = F\ntitle = T\n"
+        "sets = 2\nseed_base = 11\nwaves = 3\n"
+        "[machine.m]\nnode = xeno\n"
+        "[pool.a]\nmachines = m*8\n"
+        "policy = dynamic-balanced\nbaseline = true\n"
+        "[topology]\nmachines_per_rack = 4\nracks_per_pod = 2\n"
+        "tor_oversub = 4.0\nagg_oversub = 2.0\n"
+        "rack_hop_us = 5.0\nagg_hop_us = 20.0\n"
+        "locality_bias = 0.5\n",
+        "topo-roundtrip");
+}
+
 } // namespace

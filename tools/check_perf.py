@@ -30,6 +30,17 @@ baseline EXACTLY, while the tail percentiles are allowed to drift up to
 the tail never fails. With --conf the scenario set must match the conf
 (static always, migrate iff the conf has a migrate_plan).
 
+Fleet-kind JSONs (rows keyed by "pool", from rack/fleet confs run
+through xisa_exp --json) carry the event-driven cluster scheduler's
+throughput: sched_events (deterministic, must match the baseline
+EXACTLY -- the event count is identical for both schedule drivers by
+construction, so drift means the schedule itself changed) and
+events_per_sec. --min-events-per-sec FLOOR enforces an absolute
+scheduler-throughput floor, the cluster-sim analogue of --min-mips: the
+old per-quantum stepping loop runs two orders of magnitude below it at
+fleet scale, so the gate catches any reintroduction of per-step
+machine scans no matter how the baseline wall time drifts.
+
 Exit status: 0 ok, 1 regression/mismatch, 2 usage error.
 """
 
@@ -118,6 +129,55 @@ def is_serving(doc):
     return bool(rows) and "scenario" in rows[0]
 
 
+def is_fleet(doc):
+    return "sched_events" in doc
+
+
+def check_fleet(fresh, base, args, failures):
+    """Gate a fleet-kind JSON: per-pool results and the event count
+    exactly, wall time within budget, events/sec above the floor."""
+    # The simulator is seeded and deterministic, and sched_events is
+    # identical for the event core and the stepping oracle by
+    # construction: any drift is a schedule change, never noise.
+    if fresh.get("sched_events") != base.get("sched_events"):
+        failures.append(
+            f"sched_events drifted: baseline={base.get('sched_events')} "
+            f"fresh={fresh.get('sched_events')} "
+            "(schedule change, not a perf regression)")
+    fresh_rows = {r["pool"]: r for r in fresh.get("rows", [])}
+    base_rows = {r["pool"]: r for r in base.get("rows", [])}
+    if set(fresh_rows) != set(base_rows):
+        failures.append(
+            f"pool sets differ: only-fresh="
+            f"{sorted(set(fresh_rows) - set(base_rows))} only-baseline="
+            f"{sorted(set(base_rows) - set(fresh_rows))}")
+    else:
+        for name, br in base_rows.items():
+            fr = fresh_rows[name]
+            for field in ("energy_kj", "makespan_seconds",
+                          "migrations"):
+                if fr.get(field) != br.get(field):
+                    failures.append(
+                        f"{name}: {field} drifted "
+                        f"{br.get(field)} -> {fr.get(field)} "
+                        "(semantics change, not a perf regression)")
+    failures += wall_gate(fresh, base, args)
+    if args.min_events_per_sec is not None:
+        eps = fresh.get("events_per_sec")
+        if not eps:
+            failures.append("events_per_sec missing from fresh json "
+                            "(--min-events-per-sec)")
+        else:
+            print(f"events/sec: fresh {eps:.0f}, floor "
+                  f"{args.min_events_per_sec:.0f}")
+            if eps < args.min_events_per_sec:
+                failures.append(
+                    f"scheduler throughput {eps:.0f} events/sec below "
+                    f"the --min-events-per-sec floor "
+                    f"{args.min_events_per_sec:.0f}")
+    return base_rows
+
+
 def conf_scenarios(conf, conf_path):
     """The scenario set a serving conf's runner emits."""
     if conf.get("", "kind") != "serving":
@@ -194,6 +254,10 @@ def main():
                     help="absolute simulated-MIPS floor for overhead "
                          "JSONs; below it the gate fails regardless of "
                          "the baseline")
+    ap.add_argument("--min-events-per-sec", type=float, metavar="FLOOR",
+                    help="absolute scheduler-event throughput floor "
+                         "for fleet JSONs; below it the gate fails "
+                         "regardless of the baseline")
     ap.add_argument("--conf", metavar="FILE",
                     help="experiment .conf whose sweep the fresh rows "
                          "must match exactly")
@@ -207,6 +271,34 @@ def main():
         failures.append(
             f"mode mismatch: fresh={fresh.get('mode')} "
             f"baseline={base.get('mode')}")
+
+    if is_fleet(fresh) or is_fleet(base):
+        if is_fleet(fresh) != is_fleet(base):
+            print("check_perf: fresh and baseline are different "
+                  "experiment kinds", file=sys.stderr)
+            return 2
+        if args.min_mips is not None:
+            print("check_perf: --min-mips only applies to overhead "
+                  "JSONs (fleet rows have no mips)", file=sys.stderr)
+            return 2
+        if args.conf:
+            print("check_perf: --conf row checking is not implemented "
+                  "for fleet JSONs", file=sys.stderr)
+            return 2
+        base_rows = check_fleet(fresh, base, args, failures)
+        if failures:
+            for f in failures:
+                print(f"check_perf: FAIL: {f}", file=sys.stderr)
+            return 1
+        print(f"check_perf: OK ({len(base_rows)} fleet pools, "
+              f"events/sec fresh={fresh.get('events_per_sec')}, "
+              f"baseline={base.get('events_per_sec')})")
+        return 0
+
+    if args.min_events_per_sec is not None:
+        print("check_perf: --min-events-per-sec only applies to fleet "
+              "JSONs", file=sys.stderr)
+        return 2
 
     if is_serving(fresh) or is_serving(base):
         if is_serving(fresh) != is_serving(base):
