@@ -15,6 +15,11 @@
  *   --fault-drop P        single drop probability instead of the sweep
  *   --fault-seed S        fault-plan + crash-plan seed (default 1)
  *   --fault-partition P,L every P messages, L sends fail fast
+ *                         (sugar: FaultPlan normalizes the pair into
+ *                         a whole-link cut-set, the degenerate
+ *                         FaultCut with an empty sideA -- one code
+ *                         path with the topology-derived cuts, same
+ *                         bytes as the pre-cut-set implementation)
  *   --fault-crashes N     machine crashes per run (default 2)
  *   --fault-down SEC      crash downtime, seconds (default 30)
  *   --fault-crash M@T     crash machine M at T seconds (repeatable;

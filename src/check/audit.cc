@@ -85,6 +85,23 @@ InvariantAuditor::onProtocolStep(const char *what, uint64_t vpage)
 {
     ++checks_;
     ++steps_;
+    // Partition-protocol violations arrive as dedicated step tags:
+    // the DSM detects the condition (it owns the cut and epoch
+    // state), the auditor turns it into a replayable panic.
+    if (std::strcmp(what, "cross_cut_delivery") == 0) {
+        std::ostringstream os;
+        os << "message about page 0x" << std::hex << vpage
+           << " delivered across an open partition cut";
+        violation(what, os.str());
+    }
+    if (std::strcmp(what, "epoch_regression") == 0) {
+        std::ostringstream os;
+        os << "stale pre-heal message about page 0x" << std::hex
+           << vpage
+           << " applied: per-peer epoch went backwards (the fence "
+           << "is down)";
+        violation(what, os.str());
+    }
     checkPage(what, vpage, /*bytes=*/true);
     // The affected page is checked exhaustively on every step; the
     // whole directory and the stat shims are swept periodically to
@@ -116,6 +133,13 @@ void
 InvariantAuditor::checkPage(const char *where, uint64_t vpage,
                             bool bytes)
 {
+    // Membership alone (not partActive_) gates the exemption: the heal
+    // clears partActive_ before it drains the outbox and re-syncs, so
+    // a divergent page is legitimately still inconsistent for the few
+    // protocol steps inside healPartition() itself. The set is cleared
+    // by the heal, which re-arms the check.
+    if (dsm_.divergent_.count(vpage))
+        return; // replicas straddle(d) an open cut; re-synced at heal
     const bool vdso = dsm_.isVdso(vpage);
     auto it = dsm_.dirs_.find(vpage);
     if (it == dsm_.dirs_.end()) {

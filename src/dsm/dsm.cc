@@ -1,5 +1,6 @@
 #include "dsm/dsm.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "obs/trace.hh"
@@ -46,6 +47,11 @@ DsmSpace::DsmSpace(int numNodes, Interconnect *net,
         ports_.emplace_back(*this, n);
     nodeStats_ = std::vector<NodeStats>(static_cast<size_t>(numNodes));
     alive_.assign(static_cast<size_t>(numNodes), 1);
+    cutSide_.assign(static_cast<size_t>(numNodes), 0);
+    nodeEpoch_.assign(static_cast<size_t>(numNodes), 1);
+    epochSeen_.assign(static_cast<size_t>(numNodes) *
+                          static_cast<size_t>(numNodes),
+                      0);
 }
 
 void
@@ -101,18 +107,36 @@ DsmSpace::journalCommit()
 }
 
 DsmSpace::Xfer
-DsmSpace::xfer(int peer, uint64_t bytes, int forNode)
+DsmSpace::xfer(int peer, uint64_t bytes, int forNode, uint64_t vpage)
 {
     double freq = freqGHz_[static_cast<size_t>(forNode)];
+    if (partActive_ && cutSide_[static_cast<size_t>(peer)] !=
+                           cutSide_[static_cast<size_t>(forNode)]) {
+        // The peer is across the cut: fail fast at link latency, no
+        // wire traffic, no fault decision. The detector is told this
+        // is a cut (suspicion capped below Dead) -- the peer is
+        // unreachable, not gone, and fencing it would be split-brain.
+        Xfer x;
+        x.ok = false;
+        x.fenced = true;
+        x.cycles = static_cast<uint64_t>(net_->transferSeconds(0) *
+                                         freq * 1e9);
+        ++cutRejects_;
+        if (fd_)
+            fd_->observeCut(peer);
+        return x;
+    }
     if (!fd_) {
         // Legacy contract (possibly with a circuit breaker layered on):
         // no recovery to run, so an undeliverable message is fatal.
-        auto r = net_->reliableSendTo(peer, bytes, freq);
+        auto r = net_->reliableSendTo(peer, bytes, freq, forNode);
         if (!r.delivered)
             fatal("dsm: transfer to node %d failed fast with no "
                   "recovery armed (open circuit on a dead link?)",
                   peer);
-        return {r.cycles, r.duplicate, true};
+        noteDelivery(forNode, peer, vpage,
+                     nodeEpoch_[static_cast<size_t>(forNode)]);
+        return {r.cycles, r.duplicate, true, false};
     }
     Xfer x;
     // With the breaker open most rounds fail fast and only the seeded
@@ -120,10 +144,12 @@ DsmSpace::xfer(int peer, uint64_t bytes, int forNode)
     // declared death is bounded but larger than the miss threshold.
     constexpr int kMaxRounds = 4096;
     for (int round = 0; round < kMaxRounds; ++round) {
-        auto r = net_->reliableSendTo(peer, bytes, freq);
+        auto r = net_->reliableSendTo(peer, bytes, freq, forNode);
         x.cycles += r.cycles;
         if (r.delivered) {
             x.duplicate = r.duplicate;
+            noteDelivery(forNode, peer, vpage,
+                         nodeEpoch_[static_cast<size_t>(forNode)]);
             return x;
         }
         if (fd_->dead(peer)) {
@@ -135,6 +161,142 @@ DsmSpace::xfer(int peer, uint64_t bytes, int forNode)
     fatal("dsm: transfer to node %d failed %d rounds without the "
           "detector declaring it dead",
           peer, kMaxRounds);
+}
+
+void
+DsmSpace::noteDelivery(int from, int to, uint64_t vpage, uint64_t epoch)
+{
+    if (partActive_ && cutSide_[static_cast<size_t>(from)] !=
+                           cutSide_[static_cast<size_t>(to)])
+        // Auditor-enforced: nothing may be delivered across an open
+        // cut. By construction xfer() fails fast first, so reaching
+        // this tag means the partition check regressed.
+        auditStep("cross_cut_delivery", vpage);
+    uint64_t &seen = epochSeen_[static_cast<size_t>(to) *
+                                    static_cast<size_t>(numNodes_) +
+                                static_cast<size_t>(from)];
+    if (epoch < seen ||
+        epoch < nodeEpoch_[static_cast<size_t>(from)])
+        // Auditor-enforced: the epoch a receiver sees from each peer
+        // is monotone, and a message may not arrive from a sender's
+        // PAST epoch (heals mint a new one everywhere). Only a stale
+        // pre-heal message applied without the fence (the
+        // setEpochFencing(false) knob) can get here.
+        auditStep("epoch_regression", vpage);
+    else
+        seen = epoch;
+}
+
+void
+DsmSpace::beginPartition(const std::vector<int> &minority)
+{
+    XISA_CHECK(!partActive_, "dsm: partitions do not nest");
+    XISA_CHECK(!minority.empty(), "dsm: empty minority side");
+    std::fill(cutSide_.begin(), cutSide_.end(), 0);
+    for (int n : minority) {
+        XISA_CHECK(n >= 0 && n < numNodes_,
+                   "dsm: partition member out of range");
+        cutSide_[static_cast<size_t>(n)] = 1;
+    }
+    int minoritySize = 0;
+    for (char c : cutSide_)
+        minoritySize += c;
+    XISA_CHECK(minoritySize < numNodes_,
+               "dsm: partition needs nodes on both sides");
+    partActive_ = true;
+    auditStep("partition_begin", 0);
+}
+
+void
+DsmSpace::healPartition()
+{
+    XISA_CHECK(partActive_, "dsm: no partition to heal");
+    partActive_ = false;
+    // Every heal mints a new epoch on every node FIRST: anything
+    // still carrying a pre-heal stamp is now provably stale. The
+    // mint is unconditional -- fencing only controls whether the
+    // receiver ENFORCES it by rejecting, so the knob-off shape below
+    // is recognizably wrong to the auditor.
+    for (uint64_t &e : nodeEpoch_)
+        ++e;
+    if (fencing_) {
+        for (const FencedMsg &m : outbox_) {
+            if (m.epoch < nodeEpoch_[static_cast<size_t>(m.from)]) {
+                ++fencedMessages_;
+                auditStep("fenced_stale", m.vpage);
+                continue;
+            }
+            applyStaleInval(m.to, m.vpage); // unreachable with the
+                                            // fence up; kept for the
+                                            // knob-off shape below
+        }
+        outbox_.clear();
+        resyncDivergent();
+    } else {
+        // Regression knob: no rejection, no re-sync -- the deferred
+        // pre-heal messages apply as if the partition never happened.
+        // This is the split-brain shape the chaos tests pin down: the
+        // minority's stale invalidations kill the majority's good
+        // copies, and the auditor (via noteDelivery's epoch check)
+        // flags every one as an epoch regression.
+        for (const FencedMsg &m : outbox_) {
+            noteDelivery(m.from, m.to, m.vpage, m.epoch);
+            applyStaleInval(m.to, m.vpage);
+        }
+        outbox_.clear();
+        divergent_.clear();
+    }
+    auditStep("partition_heal", 0);
+}
+
+void
+DsmSpace::applyStaleInval(int to, uint64_t vpage)
+{
+    Dir &d = dir(vpage);
+    size_t sn = static_cast<size_t>(to);
+    if (d.state[sn] == PageState::Invalid)
+        return;
+    d.state[sn] = PageState::Invalid;
+    mem_[sn].dropPage(vpage);
+    ports_[sn].tlbDropPage(vpage);
+}
+
+void
+DsmSpace::resyncDivergent()
+{
+    for (uint64_t vpage : divergent_) {
+        Dir &d = dir(vpage);
+        // The majority side is authoritative. A page living purely on
+        // the minority was never contested; it survives as-is.
+        int majHolder = -1;
+        for (int n = 0; n < numNodes_; ++n) {
+            size_t sn = static_cast<size_t>(n);
+            if (cutSide_[sn] ||
+                d.state[sn] == PageState::Invalid)
+                continue;
+            if (majHolder < 0 ||
+                d.state[sn] == PageState::Modified)
+                majHolder = n;
+        }
+        if (majHolder < 0)
+            continue;
+        bool dropped = false;
+        for (int n = 0; n < numNodes_; ++n) {
+            size_t sn = static_cast<size_t>(n);
+            if (!cutSide_[sn] || d.state[sn] == PageState::Invalid)
+                continue;
+            d.state[sn] = PageState::Invalid;
+            mem_[sn].dropPage(vpage);
+            ports_[sn].tlbDropPage(vpage);
+            dropped = true;
+        }
+        if (dropped) {
+            ++pagesResynced_;
+            journalTouch(vpage, majHolder);
+            auditStep("partition_resync", vpage);
+        }
+    }
+    divergent_.clear();
 }
 
 void
@@ -224,6 +386,9 @@ DsmSpace::registerStats(obs::StatRegistry &reg)
     reg.attach("dsm.extra_cycles", extraCycles_);
     reg.attach("xfault.pages_recovered", pagesRecovered_);
     reg.attach("xfault.pages_rehomed", pagesRehomed_);
+    reg.attach("xfault.cut_rejects", cutRejects_);
+    reg.attach("xfault.fenced_messages", fencedMessages_);
+    reg.attach("xfault.pages_resynced", pagesResynced_);
     if (journal_)
         journal_->registerStats(reg);
     for (int n = 0; n < numNodes_; ++n) {
@@ -348,8 +513,17 @@ DsmSpace::faultRead(int node, uint64_t vpage)
             }
             d.state[static_cast<size_t>(node)] = PageState::Shared;
         };
-        Xfer sent = xfer(holder, vm::kPageSize + kMsgHeader, node);
+        Xfer sent = xfer(holder, vm::kPageSize + kMsgHeader, node,
+                         vpage);
         cyc += sent.cycles;
+        if (sent.fenced)
+            // The only copy lives across an open cut. A real node
+            // would block here until the heal; the simulator makes
+            // the dependency fatal so chaos tests must keep each
+            // side's working set on its own side of the cut.
+            fatal("dsm: node %d read-faulted page 0x%llx whose only "
+                  "copy is across an active partition",
+                  node, static_cast<unsigned long long>(vpage));
         if (!sent.ok)
             continue; // holder died mid-transfer; directory rebuilt
         applyCopy();
@@ -391,8 +565,13 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
                         mem_[static_cast<size_t>(holder)].page(vpage),
                         vm::kPageSize);
         };
-        Xfer sent = xfer(holder, vm::kPageSize + kMsgHeader, node);
+        Xfer sent = xfer(holder, vm::kPageSize + kMsgHeader, node,
+                         vpage);
         cyc += sent.cycles;
+        if (sent.fenced)
+            fatal("dsm: node %d write-faulted page 0x%llx whose only "
+                  "copy is across an active partition",
+                  node, static_cast<unsigned long long>(vpage));
         if (!sent.ok)
             continue; // holder died mid-transfer; directory rebuilt
         applyCopy();
@@ -420,8 +599,21 @@ DsmSpace::faultWrite(int node, uint64_t vpage)
                 // The backing page is gone; both translations die.
                 ports_[static_cast<size_t>(n)].tlbDropPage(vpage);
             };
-            Xfer sent = xfer(n, kMsgHeader, node);
+            Xfer sent = xfer(n, kMsgHeader, node, vpage);
             cyc += sent.cycles;
+            if (sent.fenced) {
+                // The invalidation cannot cross the cut: defer it
+                // into the fenced outbox (stamped with the sender's
+                // CURRENT epoch, which the heal will make stale) and
+                // leave n's copy in place. The page now has replicas
+                // on both sides with different histories -- divergent
+                // until the heal re-syncs it.
+                outbox_.push_back(
+                    {node, n, vpage,
+                     nodeEpoch_[static_cast<size_t>(node)]});
+                divergent_.insert(vpage);
+                break;
+            }
             if (!sent.ok)
                 break; // n died; recovery already dropped its copy
             applyInval();
@@ -687,6 +879,9 @@ void
 DsmSpace::checkInvariants() const
 {
     for (const auto &[vpage, d] : dirs_) {
+        if (divergent_.count(vpage))
+            continue; // straddles the cut (or the heal is mid-drain);
+                      // re-synced and cleared by healPartition()
         int modified = 0, shared = 0;
         for (int n = 0; n < numNodes_; ++n) {
             if (d.state[static_cast<size_t>(n)] == PageState::Modified)
@@ -714,6 +909,9 @@ DsmSpace::checkInvariants() const
 void
 DsmSpace::saveState(ByteWriter &w) const
 {
+    XISA_CHECK(!partActive_,
+               "dsm: cannot snapshot during an active partition "
+               "(heal first; the fenced outbox is not serialized)");
     w.u32(static_cast<uint32_t>(numNodes_));
     for (int n = 0; n < numNodes_; ++n) {
         const auto &pages = mem_[static_cast<size_t>(n)].pageMap();

@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -206,6 +207,49 @@ class DsmSpace
     void journalCommit();
     const PageJournal *journal() const { return journal_.get(); }
 
+    // ---- topology partitions & epoch fencing (DESIGN.md §12) --------
+
+    /**
+     * Cut the node set in two: `minority` on one side, everyone else
+     * on the other. While the partition is active every cross-cut
+     * transfer fails fast at link latency (xfault.cut_rejects, the
+     * detector suspecting -- never fencing -- the far side), and a
+     * cross-cut invalidation is DEFERRED into the fenced outbox,
+     * leaving the target's copy stale; such pages are tracked as
+     * divergent and exempted from the coherence invariants until the
+     * heal re-syncs them. Both sides must be non-empty; partitions do
+     * not nest.
+     */
+    void beginPartition(const std::vector<int> &minority);
+    /**
+     * Heal the active partition. With fencing on (the default), every
+     * node first advances its partition epoch, so the deferred
+     * pre-heal messages in the outbox -- each stamped with its
+     * sender's epoch at send time -- are recognizably stale and
+     * REJECTED (xfault.fenced_messages); the minority then rejoins via
+     * directory re-sync: every divergent page drops its minority-side
+     * copies and the majority copy is authoritative
+     * (xfault.pages_resynced), exactly the "healed minority rejoins by
+     * re-sync, not by replaying pre-heal writes" rule that prevents
+     * split-brain. With fencing off (setEpochFencing(false), a
+     * regression knob for the chaos tests) the heal instead applies
+     * the stale outbox messages verbatim -- the split-brain failure
+     * mode, which the auditor flags as an epoch regression.
+     */
+    void healPartition();
+    bool partitionActive() const { return partActive_; }
+    /** Partition epoch of `node` (starts at 1; +1 per heal). */
+    uint64_t nodeEpoch(int node) const
+    {
+        return nodeEpoch_[static_cast<size_t>(node)];
+    }
+    /** Regression knob: disable the epoch fence (default on). */
+    void setEpochFencing(bool on) { fencing_ = on; }
+    /** Stale pre-heal messages the epoch fence rejected. */
+    uint64_t fencedMessages() const { return fencedMessages_.value(); }
+    /** Divergent pages re-synced from the majority side at heals. */
+    uint64_t pagesResynced() const { return pagesResynced_.value(); }
+
     /**
      * Install a hook invoked after every protocol step (fault, fill,
      * broadcast) with a tag and the affected vpage. One observer at a
@@ -278,11 +322,28 @@ class DsmSpace
          *  directory has been rebuilt and the caller must re-resolve
          *  holders before retrying. */
         bool ok = true;
+        /** Rejected by an active partition: `peer` is across the cut
+         *  and alive. The caller must defer (invalidations) or give
+         *  up (page fetches); retrying cannot succeed until the
+         *  heal. */
+        bool fenced = false;
     };
-    /** Reliable transfer to `peer` charged at `forNode`'s clock. The
-     *  legacy reliableSend() when recovery is unarmed; peer-aware with
-     *  death handling otherwise. */
-    Xfer xfer(int peer, uint64_t bytes, int forNode);
+    /** Reliable transfer to `peer` charged at `forNode`'s clock, for
+     *  protocol traffic about `vpage`. The legacy reliableSend() when
+     *  recovery is unarmed; peer-aware with death handling otherwise.
+     *  Fails fast (fenced) across an active partition cut. */
+    Xfer xfer(int peer, uint64_t bytes, int forNode, uint64_t vpage);
+    /** Record one DELIVERED protocol message `from` -> `to` carrying
+     *  `epoch`: flags cross-cut deliveries and per-peer epoch
+     *  regressions to the auditor, then advances the seen-epoch
+     *  watermark. */
+    void noteDelivery(int from, int to, uint64_t vpage, uint64_t epoch);
+    /** Apply one stale outbox invalidation verbatim (fencing-off
+     *  path): drops `to`'s copy as if the pre-heal message arrived. */
+    void applyStaleInval(int to, uint64_t vpage);
+    /** Drop every minority-side copy of each divergent page; the
+     *  majority copy (when one exists) becomes authoritative. */
+    void resyncDivergent();
     /** Capture `vpage`'s content on `node` into the journal (no-op
      *  unless recovery is armed). */
     void journalTouch(uint64_t vpage, int node);
@@ -333,6 +394,29 @@ class DsmSpace
     std::vector<char> alive_; ///< sized numNodes_, all 1 at ctor
     bool recovering_ = false; ///< inside recoverDeadNode's sweep
     std::function<void(int)> deathHandler_;
+    // Topology-partition state (all inert until beginPartition()).
+    bool partActive_ = false; ///< a cut is currently open
+    bool fencing_ = true;     ///< epoch fence armed (regression knob)
+    std::vector<char> cutSide_; ///< 1 = minority side of the last cut
+    /** Per-node partition epoch (starts at 1, +1 per heal). */
+    std::vector<uint64_t> nodeEpoch_;
+    /** Highest epoch `to` has seen from `from` (index to*N + from):
+     *  the per-peer monotonicity watermark the auditor checks. */
+    std::vector<uint64_t> epochSeen_;
+    /** One deferred cross-cut message, stamped with the sender's
+     *  epoch at send time (which is what makes it recognizably stale
+     *  after the heal bumps every epoch). */
+    struct FencedMsg {
+        int from = 0;
+        int to = 0;
+        uint64_t vpage = 0;
+        uint64_t epoch = 0;
+    };
+    std::vector<FencedMsg> outbox_; ///< deferred cross-cut invals
+    /** Pages whose replicas straddle the cut with suppressed
+     *  invalidations: exempt from coherence checks until the heal
+     *  re-syncs them (ordered for deterministic re-sync order). */
+    std::set<uint64_t> divergent_;
     /** RemoteAccess mode: home node of each page (first toucher). */
     std::unordered_map<uint64_t, int> home_;
     std::vector<SimMemory> mem_;   ///< per-node backing store
@@ -355,6 +439,9 @@ class DsmSpace
     obs::Counter extraCycles_;
     obs::Counter pagesRecovered_; ///< sole copies restored from journal
     obs::Counter pagesRehomed_;   ///< orphaned pages given a new home
+    obs::Counter cutRejects_;     ///< transfers refused by a live cut
+    obs::Counter fencedMessages_; ///< stale pre-heal messages rejected
+    obs::Counter pagesResynced_;  ///< divergent pages re-synced at heal
     std::vector<NodeStats> nodeStats_; ///< sized numNodes_ at ctor
 };
 

@@ -7,6 +7,9 @@ namespace xisa {
 bool
 FaultConfig::empty() const
 {
+    for (const FaultCut &c : cutSets)
+        if (c.periodMsgs != 0 && c.lenMsgs != 0)
+            return false;
     return dropProb <= 0 && dupProb <= 0 && spikeProb <= 0 &&
            (degradeFactor == 1.0 || degradePeriodMsgs == 0 ||
             degradeLenMsgs == 0) &&
@@ -18,6 +21,20 @@ FaultPlan::FaultPlan(const FaultConfig &cfg)
     : cfg_(cfg), rng_(cfg.seed), empty_(cfg.empty())
 {
     std::sort(cfg_.scriptedDrops.begin(), cfg_.scriptedDrops.end());
+    // The legacy whole-link windows are sugar for a one-entry cut-set
+    // with an empty sideA (every pair crosses). Normalizing here keeps
+    // a single partition code path in nextBetween(); the decision
+    // stream is unchanged because the legacy branch consumed no rng
+    // draws, so an equivalent check in the same position preserves
+    // every downstream draw.
+    if (cfg_.partitionPeriodMsgs != 0 && cfg_.partitionLenMsgs != 0) {
+        FaultCut whole;
+        whole.periodMsgs = cfg_.partitionPeriodMsgs;
+        whole.lenMsgs = cfg_.partitionLenMsgs;
+        cfg_.cutSets.insert(cfg_.cutSets.begin(), std::move(whole));
+        cfg_.partitionPeriodMsgs = 0;
+        cfg_.partitionLenMsgs = 0;
+    }
 }
 
 bool
@@ -28,17 +45,35 @@ FaultPlan::inWindow(uint64_t period, uint64_t len) const
     return msgIndex_ % period >= period - std::min(len, period);
 }
 
+bool
+FaultPlan::crosses(const FaultCut &cut, int from, int to)
+{
+    if (cut.sideA.empty())
+        return true; // whole-link cut: every message crosses
+    if (from < 0 || to < 0)
+        return false; // a sided cut cannot match a peer-less message
+    auto inA = [&](int n) {
+        return std::find(cut.sideA.begin(), cut.sideA.end(), n) !=
+               cut.sideA.end();
+    };
+    return inA(from) != inA(to);
+}
+
 FaultDecision
-FaultPlan::next()
+FaultPlan::nextBetween(int from, int to)
 {
     FaultDecision d;
     if (empty_) {
         ++msgIndex_;
         return d;
     }
-    if (inWindow(cfg_.partitionPeriodMsgs, cfg_.partitionLenMsgs)) {
+    for (const FaultCut &cut : cfg_.cutSets) {
+        if (!inWindow(cut.periodMsgs, cut.lenMsgs) ||
+            !crosses(cut, from, to))
+            continue;
         d.delivered = false;
         d.partitioned = true;
+        d.sidedCut = !cut.sideA.empty();
         ++msgIndex_;
         return d;
     }

@@ -29,11 +29,45 @@
 namespace xisa {
 
 /**
+ * One named cut-set: a topology-derived partition of the peer set.
+ * While one of its windows is open, every message whose endpoints
+ * straddle the cut fails fast exactly like the legacy whole-link
+ * partition (no wire traffic, latency-only cost). `sideA` lists the
+ * peers on one side of the cut -- typically the members of one rack or
+ * pod, as produced by Topology::rackCut()/podCut(). An EMPTY sideA
+ * severs the whole link (every pair crosses, peer-less sends
+ * included), which is exactly what the legacy
+ * partitionPeriodMsgs/LenMsgs fields meant: FaultPlan normalizes those
+ * fields into a whole-link cut at construction, so the legacy flag is
+ * sugar for a one-entry cut-set.
+ */
+struct FaultCut {
+    /** Peers on one side of the cut; empty = whole-link cut. */
+    std::vector<int> sideA;
+    /** Window schedule, message-index space (like every window here):
+     *  every `periodMsgs` messages the cut is open for `lenMsgs`. */
+    uint64_t periodMsgs = 0;
+    uint64_t lenMsgs = 0;
+};
+
+/**
  * One fault schedule. Probabilities are per message; windows are
  * expressed in message-index space (message k counts every send()
  * attempt on the link, retries included), which keeps the model
  * deterministic without requiring the interconnect to track simulated
  * time.
+ *
+ * UNITS -- message indices vs duration fractions. This struct is the
+ * single place where the two time bases meet, so the conversion rule
+ * lives here: every window in a FaultConfig (partition, degrade,
+ * cut-set) counts MESSAGES, because the interconnect has no wall
+ * clock; every time in the conf surface above it ([failures] at/heal,
+ * serving [crashes] time) is a FRACTION of the experiment's active
+ * duration in [0, 1), because conf authors think in wall time. The
+ * layer that owns a clock converts exactly once at parse time
+ * (`t = fraction * durationSeconds`, see exp::applyFailures), and
+ * nothing downstream ever mixes the bases: a fraction never reaches a
+ * FaultPlan, a message index never appears in a conf.
  */
 struct FaultConfig {
     uint64_t seed = 0x5eedf417u;
@@ -53,11 +87,16 @@ struct FaultConfig {
      *  messages, the next `degradeLenMsgs` are degraded. 0 = never. */
     uint64_t degradePeriodMsgs = 0;
     uint64_t degradeLenMsgs = 0;
-    /** Link-partition windows: every `partitionPeriodMsgs` messages the
-     *  link is down for `partitionLenMsgs` attempts (sends fail fast
-     *  with no wire traffic). 0 = never. */
+    /** Legacy whole-link partition windows: every
+     *  `partitionPeriodMsgs` messages the link is down for
+     *  `partitionLenMsgs` attempts (sends fail fast with no wire
+     *  traffic). 0 = never. Normalized into a whole-link FaultCut at
+     *  FaultPlan construction; prefer cutSets in new code. */
     uint64_t partitionPeriodMsgs = 0;
     uint64_t partitionLenMsgs = 0;
+    /** Topology-level partitions: named cut-sets, each with its own
+     *  window schedule. Only messages that cross an open cut fail. */
+    std::vector<FaultCut> cutSets;
     /** Scripted drops by absolute message index (0-based), for tests
      *  that pin exact retry/accounting behaviour. */
     std::vector<uint64_t> scriptedDrops;
@@ -120,6 +159,11 @@ struct FaultDecision {
     bool duplicated = false;
     /** Link down: the send fails fast, nothing crosses the wire. */
     bool partitioned = false;
+    /** The partition came from a SIDED cut-set (a topology partition,
+     *  not a dead link): the far side should be suspected, never
+     *  declared dead -- a cut heals. False for whole-link cuts, which
+     *  keep the legacy partition-to-death escalation. */
+    bool sidedCut = false;
     double extraLatencySeconds = 0;
     double bandwidthFactor = 1.0; ///< multiplies serialization time
 };
@@ -133,13 +177,27 @@ class FaultPlan
     explicit FaultPlan(const FaultConfig &cfg);
 
     bool empty() const { return empty_; }
-    /** Decide the fate of the next message (advances the stream). */
-    FaultDecision next();
+    /** Effective config after constructor normalization (the legacy
+     *  partition pair folded into a whole-link cut-set). */
+    const FaultConfig &config() const { return cfg_; }
+    /** Decide the fate of the next message (advances the stream).
+     *  Equivalent to nextBetween(-1, -1): a peer-less message crosses
+     *  whole-link cuts but never a sided one. */
+    FaultDecision next() { return nextBetween(-1, -1); }
+    /**
+     * Decide the fate of the next message sent from `from` to `to`
+     * (advances the stream). A cut-set window only fires when the
+     * endpoints straddle the cut; everything else is identical to
+     * next(), so on a config without sided cuts the decision stream is
+     * byte-identical for any (from, to).
+     */
+    FaultDecision nextBetween(int from, int to);
     /** Messages decided so far. */
     uint64_t messagesSeen() const { return msgIndex_; }
 
   private:
     bool inWindow(uint64_t period, uint64_t len) const;
+    static bool crosses(const FaultCut &cut, int from, int to);
 
     FaultConfig cfg_;
     Rng rng_;

@@ -7,7 +7,7 @@
 namespace xisa {
 
 Interconnect::SendResult
-Interconnect::send(uint64_t bytes, double freqGHz)
+Interconnect::send(uint64_t bytes, double freqGHz, int from, int to)
 {
     SendResult r;
     if (plan_.empty()) {
@@ -15,11 +15,12 @@ Interconnect::send(uint64_t bytes, double freqGHz)
         r.cycles = charge(bytes, freqGHz);
         return r;
     }
-    FaultDecision d = plan_.next();
+    FaultDecision d = plan_.nextBetween(from, to);
     if (d.partitioned) {
         // Fail-fast NIC error: nothing crossed the wire, the sender
         // only paid the link latency to learn the path is down.
         r.status = SendStatus::Partitioned;
+        r.sidedCut = d.sidedCut;
         r.seconds = cfg_.latencyUs * 1e-6;
         r.cycles = static_cast<uint64_t>(r.seconds * freqGHz * 1e9);
         ++partitionRejects_;
@@ -65,14 +66,20 @@ Interconnect::deadSend(uint64_t bytes, double freqGHz)
 }
 
 Interconnect::SendResult
-Interconnect::sendTo(int peer, uint64_t bytes, double freqGHz)
+Interconnect::sendTo(int peer, uint64_t bytes, double freqGHz, int self)
 {
     if (!detector_)
-        return send(bytes, freqGHz);
+        return send(bytes, freqGHz, self, peer);
     detector_->tick();
-    SendResult r = detector_->crashed(peer) ? deadSend(bytes, freqGHz)
-                                            : send(bytes, freqGHz);
-    detector_->observeSend(peer, r.status == SendStatus::Delivered);
+    SendResult r = detector_->crashed(peer)
+                       ? deadSend(bytes, freqGHz)
+                       : send(bytes, freqGHz, self, peer);
+    if (r.sidedCut)
+        // A topology cut, not a dead host: suspicion may not escalate
+        // to a death verdict (the cut will heal; a fence would not).
+        detector_->observeCut(peer);
+    else
+        detector_->observeSend(peer, r.status == SendStatus::Delivered);
     return r;
 }
 
@@ -95,10 +102,11 @@ Interconnect::circuitOpen(int peer) const
 }
 
 Interconnect::ReliableResult
-Interconnect::reliableSendTo(int peer, uint64_t bytes, double freqGHz)
+Interconnect::reliableSendTo(int peer, uint64_t bytes, double freqGHz,
+                             int self)
 {
     const bool breakerOn = cfg_.retry.breakerThreshold > 0;
-    if (!detector_ && !breakerOn)
+    if (!detector_ && !breakerOn && self < 0)
         return reliableSend(bytes, freqGHz);
 
     ReliableResult total;
@@ -124,7 +132,7 @@ Interconnect::reliableSendTo(int peer, uint64_t bytes, double freqGHz)
                         cfg_.retry.breakerProbeSpread + 1)));
             ++circuitProbes_;
         }
-        SendResult r = sendTo(peer, bytes, freqGHz);
+        SendResult r = sendTo(peer, bytes, freqGHz, self);
         ++total.attempts;
         total.seconds += r.seconds;
         total.cycles += r.cycles;

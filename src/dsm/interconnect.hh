@@ -54,6 +54,10 @@ class Interconnect
         SendStatus status = SendStatus::Delivered;
         /** Delivered twice; the receiver must apply idempotently. */
         bool duplicate = false;
+        /** Partitioned by a SIDED cut-set (topology partition): the
+         *  peer is unreachable, not dead -- the detector clamps at
+         *  Suspect instead of escalating toward a death verdict. */
+        bool sidedCut = false;
         /** Sender-side wall time of the attempt (delivery time, or the
          *  wasted wire time of a loss; retry timeouts are the caller's
          *  or reliableSend()'s concern). */
@@ -107,8 +111,12 @@ class Interconnect
      * traffic (the bytes were sent, then lost); partitioned attempts
      * fail fast with no wire traffic and cost only the link latency.
      * A duplicate delivery counts the retransmission as extra traffic.
+     * `from`/`to` identify the endpoints for sided cut-set windows;
+     * the default (-1, -1) is a peer-less message, which crosses
+     * whole-link cuts only -- byte-identical to the historical send().
      */
-    SendResult send(uint64_t bytes, double freqGHz);
+    SendResult send(uint64_t bytes, double freqGHz, int from = -1,
+                    int to = -1);
 
     /**
      * Send until delivered, charging ack timeouts and capped
@@ -123,9 +131,13 @@ class Interconnect
      * detector's link-event clock, fails (without consuming a fault
      * decision) when `peer` has actually crashed, and feeds the
      * outcome to the detector as evidence. Without an armed detector
-     * this is exactly send().
+     * this is exactly send(). A sided-cut rejection is fed through
+     * FailureDetector::observeCut (suspicion clamped below Dead).
+     * `self` names the sending peer for cut-set windows; -1 (every
+     * legacy caller) leaves sided cuts unmatched.
      */
-    SendResult sendTo(int peer, uint64_t bytes, double freqGHz);
+    SendResult sendTo(int peer, uint64_t bytes, double freqGHz,
+                      int self = -1);
 
     /**
      * Peer-aware reliable transfer. With neither a failure detector
@@ -142,7 +154,7 @@ class Interconnect
      *    probe closes the circuit.
      */
     ReliableResult reliableSendTo(int peer, uint64_t bytes,
-                                  double freqGHz);
+                                  double freqGHz, int self = -1);
 
     /** Arm the crash-tolerance layer: the detector is owned by the
      *  caller (the OS container or the test) and shared with the DSM. */

@@ -109,6 +109,23 @@ FailureDetector::observeSend(int peer, bool delivered)
     return miss(peer);
 }
 
+void
+FailureDetector::observeCut(int node)
+{
+    Obs &o = obs_[static_cast<size_t>(node)];
+    if (o.state == PeerState::Dead)
+        return; // the fence predates the cut; it stands
+    ++o.misses;
+    if (o.state == PeerState::Alive && o.misses >= o.suspectAt)
+        o.state = PeerState::Suspect;
+    // Clamp below the death threshold: no number of cut rejections
+    // alone may produce a death verdict. One genuine miss on top of a
+    // long partition can still tip the peer over, which is the
+    // intended asymmetry -- real silence keeps its meaning.
+    if (o.misses >= o.deadAt)
+        o.misses = o.deadAt - 1;
+}
+
 bool
 FailureDetector::heartbeatRound()
 {

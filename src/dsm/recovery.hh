@@ -145,6 +145,15 @@ class FailureDetector
      */
     bool observeSend(int peer, bool delivered);
     /**
+     * Feed one cross-partition rejection toward `peer`: evidence the
+     * far side is unreachable, not that it died. Counts a miss and can
+     * raise Suspect, but clamps the state machine below Dead -- a cut
+     * heals, a death does not, and fencing a merely-partitioned peer
+     * is exactly the split-brain the partition epochs exist to
+     * prevent. A peer already declared Dead stays Dead.
+     */
+    void observeCut(int peer);
+    /**
      * One heartbeat round: ticks the clock and probes every node.
      * Heartbeats ride a control channel that fault injection does not
      * touch, so a miss means the peer has actually crashed -- data-send

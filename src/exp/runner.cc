@@ -6,6 +6,7 @@
 #include <memory>
 #include <tuple>
 
+#include "check/perturb.hh"
 #include "compiler/compile.hh"
 #include "exp/sweep.hh"
 #include "isa/isa.hh"
@@ -499,6 +500,35 @@ runSingle(const ExperimentSpec &spec, const Options &opts)
 
 // --- kind = serving (open-loop REDIS under SLOs) --------------------
 
+} // namespace
+
+void
+applyFailures(const ExperimentSpec &spec, double durationSeconds,
+              traffic::ServingConfig &cfg)
+{
+    if (spec.failures.empty())
+        return;
+    const Topology topo(spec.cluster.topo);
+    const int nodes = static_cast<int>(cfg.nodes.size());
+    cfg.nodeRack.clear();
+    for (int nd = 0; nd < nodes; ++nd)
+        cfg.nodeRack.push_back(topo.rackOf(nd));
+    for (const FailureSpec &f : spec.failures) {
+        const double at = f.at * durationSeconds;
+        const double heal = f.heal * durationSeconds;
+        for (int nd = 0; nd < nodes; ++nd) {
+            const bool member = f.kind == "agg"
+                                    ? topo.podOf(nd) == f.domain
+                                    : topo.rackOf(nd) == f.domain;
+            if (member)
+                cfg.crashes.push_back({nd, at, heal - at});
+        }
+        cfg.brownouts.push_back({at, heal, spec.shedDeciles});
+    }
+}
+
+namespace {
+
 int
 runServing(const ExperimentSpec &spec, const Options &opts)
 {
@@ -509,6 +539,12 @@ runServing(const ExperimentSpec &spec, const Options &opts)
 
     traffic::TrafficConfig tc;
     tc.seed = t.seed;
+    // XISA_PERTURB overlay: reshape the request stream per sweep seed
+    // while keeping the outage/crash schedule fixed, so audit sweeps
+    // exercise fresh traffic against the same failure plan (the
+    // serving analogue of the cluster link's fault overlay).
+    if (check::SchedulePerturber::enabled())
+        tc.seed ^= check::SchedulePerturber::envSeed() * 0x9e3779b97f4a7c15ull;
     tc.clients = t.clients;
     tc.requestHz = t.requestHz;
     tc.durationSeconds = duration;
@@ -529,6 +565,7 @@ runServing(const ExperimentSpec &spec, const Options &opts)
     for (const CrashSpec &cs : spec.cluster.crashPlan)
         base.crashes.push_back({cs.machine, cs.time * duration,
                                 spec.cluster.crashDownSeconds});
+    applyFailures(spec, duration, base);
 
     std::printf("\n%llu requests over %.3f s (%.0f req/s offered), "
                 "%d shards on %zu nodes, slo %.0f us\n",
@@ -545,6 +582,12 @@ runServing(const ExperimentSpec &spec, const Options &opts)
                 base.crashes.empty()
                     ? ""
                     : ", crash plan active");
+    if (!spec.failures.empty())
+        std::printf("failure plan: %zu domain outage(s) over %zu "
+                    "racked nodes, %zu node crashes scheduled, "
+                    "shedding %d decile(s) while degraded\n",
+                    spec.failures.size(), base.nodes.size(),
+                    base.crashes.size(), spec.shedDeciles);
 
     struct Row {
         const char *scenario;
@@ -588,6 +631,17 @@ runServing(const ExperimentSpec &spec, const Options &opts)
                     static_cast<unsigned long long>(r.migrations),
                     static_cast<unsigned long long>(r.failovers));
     }
+    if (!base.brownouts.empty()) {
+        for (const Row &row : rows)
+            std::printf("%-8s degraded: %llu shed, %llu of %llu slo "
+                        "violations inside failure windows\n",
+                        row.scenario,
+                        static_cast<unsigned long long>(row.r.shed),
+                        static_cast<unsigned long long>(
+                            row.r.violationsDegraded),
+                        static_cast<unsigned long long>(
+                            row.r.sloViolations));
+    }
     for (const Row &row : rows) {
         std::printf("%-8s cumulative slo violations by decile:",
                     row.scenario);
@@ -622,13 +676,22 @@ runServing(const ExperimentSpec &spec, const Options &opts)
         std::fprintf(f, "  \"rows\": [\n");
         for (size_t k = 0; k < rows.size(); ++k) {
             const traffic::ServingResult &r = rows[k].r;
+            char degraded[96] = "";
+            if (!spec.failures.empty())
+                std::snprintf(
+                    degraded, sizeof degraded,
+                    ", \"shed\": %llu, "
+                    "\"slo_violations_degraded\": %llu",
+                    static_cast<unsigned long long>(r.shed),
+                    static_cast<unsigned long long>(
+                        r.violationsDegraded));
             std::fprintf(
                 f,
                 "    {\"scenario\": \"%s\", \"requests\": %llu, "
                 "\"p50_us\": %.6f, \"p99_us\": %.6f, "
                 "\"p999_us\": %.6f, \"max_us\": %.6f, "
                 "\"slo_violations\": %llu, \"violation_pct\": %.6f, "
-                "\"migrations\": %llu, \"failovers\": %llu}%s\n",
+                "\"migrations\": %llu, \"failovers\": %llu%s}%s\n",
                 rows[k].scenario,
                 static_cast<unsigned long long>(r.requests), r.p50Us,
                 r.p99Us, r.p999Us, r.maxUs,
@@ -639,7 +702,7 @@ runServing(const ExperimentSpec &spec, const Options &opts)
                     : 0.0,
                 static_cast<unsigned long long>(r.migrations),
                 static_cast<unsigned long long>(r.failovers),
-                k + 1 < rows.size() ? "," : "");
+                degraded, k + 1 < rows.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);

@@ -562,9 +562,25 @@ parseExperiment(Config &conf)
       }
       case ExperimentKind::Serving: {
         s.singleMachines = conf.requireString("", "machines");
-        std::vector<std::string> refs = splitRefList(s.singleMachines);
+        // Serving fleets can be large, so the machines list accepts
+        // the pool-style NAME*COUNT shorthand ("xeno*500").
+        std::vector<std::string> refs;
+        for (const std::string &raw : splitRefList(s.singleMachines)) {
+            std::string name;
+            int count = 0;
+            try {
+                splitMachineRef(raw, &name, &count, "machines list");
+            } catch (const ConfigError &e) {
+                specFail(conf, e.what());
+            }
+            for (int i = 0; i < count; ++i)
+                refs.push_back(name);
+        }
         if (refs.empty())
             specFail(conf, "serving experiments need a machines list");
+        if (refs.size() > 4096)
+            specFail(conf, "serving machines list expands to more "
+                           "than 4096 nodes");
         for (const std::string &ref : refs) {
             try {
                 s.cluster.makeNode(ref);
@@ -673,9 +689,85 @@ parseExperiment(Config &conf)
                 specFail(conf, "[crashes] serving crash times are "
                                "fractions of the run, in [0, 1)");
         }
+        // [failures]: correlated domain outages. Windows are
+        // fractions of the active duration, like every serving
+        // schedule (the conversion to seconds happens once, in
+        // applyFailures).
+        if (conf.hasSection("failures")) {
+            if (s.cluster.topo.machinesPerRack <= 0)
+                specFail(conf,
+                         "[failures] needs [topology] "
+                         "machines_per_rack to define the failure "
+                         "domains");
+            s.failureSeed = static_cast<uint64_t>(conf.getInt(
+                "failures", "seed",
+                static_cast<int64_t>(s.failureSeed)));
+            s.shedDeciles = static_cast<int>(conf.getInt(
+                "failures", "shed_deciles", s.shedDeciles));
+            if (s.shedDeciles < 1 || s.shedDeciles > 10)
+                specFail(conf,
+                         "[failures] shed_deciles must be in [1, 10]");
+            const int perRack = s.cluster.topo.machinesPerRack;
+            const int racks = (nodeCount + perRack - 1) / perRack;
+            const int pods =
+                s.cluster.topo.racksPerPod > 0
+                    ? (racks + s.cluster.topo.racksPerPod - 1) /
+                          s.cluster.topo.racksPerPod
+                    : 1;
+            for (const std::string &ev :
+                 conf.getList("failures", "plan")) {
+                size_t colon = ev.find(':');
+                size_t at = ev.find('@');
+                size_t dots = ev.find("..");
+                if (colon == std::string::npos ||
+                    at == std::string::npos ||
+                    dots == std::string::npos || at < colon ||
+                    dots < at)
+                    specFail(conf, "[failures] plan entries are "
+                                   "KIND:DOMAIN@AT..HEAL, got '" +
+                                       ev + "'");
+                FailureSpec f;
+                f.kind = ev.substr(0, colon);
+                try {
+                    f.domain = std::stoi(
+                        ev.substr(colon + 1, at - colon - 1));
+                    f.at = std::stod(
+                        ev.substr(at + 1, dots - at - 1));
+                    f.heal = std::stod(ev.substr(dots + 2));
+                } catch (const std::exception &) {
+                    specFail(conf, "[failures] bad plan entry '" +
+                                       ev + "'");
+                }
+                if (f.kind != "tor" && f.kind != "agg" &&
+                    f.kind != "pdu" && f.kind != "partition")
+                    specFail(conf,
+                             "[failures] kind must be tor, agg, pdu, "
+                             "or partition, got '" + f.kind + "'");
+                const int domains = f.kind == "agg" ? pods : racks;
+                if (f.domain < 0 || f.domain >= domains)
+                    specFail(conf,
+                             "[failures] " + f.kind + " domain " +
+                                 std::to_string(f.domain) +
+                                 " out of range (topology has " +
+                                 std::to_string(domains) + ")");
+                if (!(f.at >= 0 && f.at < f.heal && f.heal <= 1))
+                    specFail(conf,
+                             "[failures] windows are fractions of "
+                             "the run with 0 <= at < heal <= 1, got "
+                             "'" + ev + "'");
+                s.failures.push_back(f);
+            }
+            if (s.failures.empty())
+                specFail(conf, "[failures] needs a plan list");
+        }
         break;
       }
     }
+
+    if (s.kind != ExperimentKind::Serving &&
+        conf.hasSection("failures"))
+        specFail(conf, "[failures] is only meaningful for "
+                       "kind = serving");
 
     // Workload references (overhead + single) must resolve against the
     // registry carrying this spec's parameter sets.
@@ -907,6 +999,18 @@ serializeSpec(const ExperimentSpec &s)
         for (const CrashSpec &cs : s.cluster.crashPlan)
             plan.push_back(std::to_string(cs.machine) + "@" +
                            fmtDouble(cs.time));
+        w.kv("plan", joinList(plan));
+    }
+
+    if (s.kind == ExperimentKind::Serving && !s.failures.empty()) {
+        w.section("failures");
+        w.kv("seed", s.failureSeed);
+        w.kv("shed_deciles", s.shedDeciles);
+        std::vector<std::string> plan;
+        for (const FailureSpec &f : s.failures)
+            plan.push_back(f.kind + ":" + std::to_string(f.domain) +
+                           "@" + fmtDouble(f.at) + ".." +
+                           fmtDouble(f.heal));
         w.kv("plan", joinList(plan));
     }
 

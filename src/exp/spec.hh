@@ -117,6 +117,27 @@ struct ClusterSpec {
     const NodeOverride *findNode(const std::string &name) const;
 };
 
+/**
+ * One correlated failure in a serving experiment ([failures] plan):
+ * a whole failure domain goes out at once. `kind` picks the domain
+ * type -- `tor` (a rack loses its top-of-rack switch), `pdu` (a rack
+ * loses power), `agg` (a pod loses its aggregation switch), or
+ * `partition` (a rack is cut off from the rest of the fleet but keeps
+ * running; at the serving level its nodes are unreachable for the
+ * window, and at the DSM level the same scenario is a
+ * Topology::rackCut cut-set with epoch-fenced rejoin). `domain` is
+ * the rack index (tor/pdu/partition) or pod index (agg) under the
+ * spec's [topology]. `at`/`heal` are FRACTIONS of the active traffic
+ * duration, converted to seconds once by exp::applyFailures -- the
+ * unit rule FaultConfig documents.
+ */
+struct FailureSpec {
+    std::string kind; ///< "tor" | "agg" | "pdu" | "partition"
+    int domain = 0;   ///< rack or pod index under [topology]
+    double at = 0;    ///< outage start, in [0, 1) of the run
+    double heal = 0;  ///< outage end, in (at, 1]
+};
+
 /** One scripted shard move in a serving experiment. `time` is a
  *  FRACTION of the active traffic duration (quick mode shrinks the
  *  run; fractions keep the schedule structurally identical). */
@@ -189,6 +210,13 @@ struct ExperimentSpec {
 
     // kind = serving
     TrafficSpec traffic;
+    /** [failures]: correlated domain outages (serving only). */
+    std::vector<FailureSpec> failures;
+    /** [failures] seed, reserved for randomized chaos schedules. */
+    uint64_t failureSeed = 0xd04a11;
+    /** Coldest popularity deciles shed while any failure window is
+     *  open (BrownoutWindow::shedDeciles for every window). */
+    int shedDeciles = 3;
 
     std::vector<ParamSetSpec> paramSets;
     ClusterSpec cluster;

@@ -67,6 +67,30 @@ ClusterSim::ClusterSim(std::vector<Machine> machines,
             fatal("crash event downSeconds must be > 0 (got %g)",
                   ev.downSeconds);
     }
+    if (!cfg_.outages.empty() && !topo_.enabled())
+        fatal("domain outages need a [topology] (rack/pod indices "
+              "are meaningless on a flat pool)");
+    const int numRacks =
+        topo_.enabled() ? topo_.rackOf(static_cast<int>(
+                              machines_.size() - 1)) + 1
+                        : 0;
+    const int numPods =
+        topo_.enabled() ? topo_.podOf(static_cast<int>(
+                              machines_.size() - 1)) + 1
+                        : 0;
+    for (const DomainOutage &ev : cfg_.outages) {
+        const bool pod = ev.kind == DomainKind::Agg;
+        const int domains = pod ? numPods : numRacks;
+        if (ev.domain < 0 || ev.domain >= domains)
+            fatal("domain outage names %s %d of %d",
+                  pod ? "pod" : "rack", ev.domain, domains);
+        if (!(ev.healSeconds > 0))
+            fatal("domain outage healSeconds must be > 0 (got %g)",
+                  ev.healSeconds);
+        if (ev.staggerSeconds < 0)
+            fatal("domain outage staggerSeconds must be >= 0 (got %g)",
+                  ev.staggerSeconds);
+    }
     stats_.attach("sched.jobs_started", jobsStarted_);
     stats_.attach("sched.jobs_completed", jobsCompleted_);
     stats_.attach("sched.enqueues", enqueues_);
@@ -79,6 +103,8 @@ ClusterSim::ClusterSim(std::vector<Machine> machines,
     stats_.attach("xfault.restarts", restartsStat_);
     stats_.attach("xfault.checkpoints", checkpointsStat_);
     stats_.attach("xfault.crashes_deferred", crashesDeferredStat_);
+    stats_.attach("xfault.domain_outages", domainOutagesStat_);
+    stats_.attach("xfault.isolations", isolationsStat_);
     stats_.attach("xfault.lost_seconds", lostSecondsStat_);
     stats_.attach("xfault.recovered_seconds", recoveredSecondsStat_);
     net_.registerStats(stats_, "net");
@@ -189,12 +215,34 @@ struct ClusterSim::Run {
     bool faulty = false;
     double nextCkpt;
     std::vector<double> downUntil;
+    /** In the load index (placeable): !down && !isolated. Every
+     *  bumpUsed/bumpQueued consults this to keep the index honest. */
     std::vector<char> alive;
     int crashCount = 0;
     int failovers = 0;
     double lostWork = 0;
     double recoveredWork = 0;
     std::map<int, int> restartCounts;
+
+    /** One ToR/agg isolation edge: at `time`, `machine` leaves
+     *  (start) or rejoins (heal) the reachable set. Expanded from
+     *  DomainOutage at run start into a (time, machine)-sorted stream
+     *  both drivers consume through one cursor -- starts share the
+     *  outage instant (atomic isolation), heals are staggered. */
+    struct IsoEvent {
+        double time = 0;
+        int machine = 0;
+        bool start = true;
+    };
+    std::vector<IsoEvent> isoEvents;
+    size_t nextIso = 0;
+    /** Currently isolated (unreachable but powered: jobs keep
+     *  running, queues stay parked, no placements in or out). */
+    std::vector<char> isolated;
+    /** Scheduled rejoin instant of an isolated machine (parking
+     *  heuristic when the whole pool is unavailable). */
+    std::vector<double> isolatedUntil;
+    int isoCount = 0; ///< machines isolated (members x events)
 
     /** Compact per-machine thread counters (sum of running[].threads
      *  and queue[].threads). They live here rather than in
@@ -366,6 +414,8 @@ struct ClusterSim::Run {
     {
         usedThreads.assign(sim.machines_.size(), 0);
         queuedThreads.assign(sim.machines_.size(), 0);
+        isolated.assign(sim.machines_.size(), 0);
+        isolatedUntil.assign(sim.machines_.size(), 0.0);
         uniformWeights = true;
         for (const Machine &m : sim.machines_)
             uniformWeights &=
@@ -396,6 +446,63 @@ struct ClusterSim::Run {
         std::stable_sort(arrivals.begin(), arrivals.end(),
                          [](const Job &a, const Job &b) {
                              return a.arrival < b.arrival;
+                         });
+        // Expand correlated outages before the crash sort: Pdu events
+        // become per-machine CrashEvents (atomic down at the outage
+        // instant, staggered seeded reboots) so every crash/restart
+        // path -- deferral, rollback, failover, reboot -- applies
+        // unchanged; Tor/Agg events become isolation edges consumed
+        // by isolationPhase. Both drivers run this same expansion.
+        const int M = static_cast<int>(sim.machines_.size());
+        for (const DomainOutage &ev : sim.cfg_.outages) {
+            Rng jitter(ev.seed);
+            int lo, hi; // member machine range [lo, hi)
+            if (ev.kind == DomainKind::Agg) {
+                const int rpp = S.topo_.config().racksPerPod;
+                const int mpp =
+                    rpp > 0
+                        ? rpp * S.topo_.config().machinesPerRack
+                        : M;
+                lo = ev.domain * mpp;
+                hi = std::min(M, lo + mpp);
+            } else {
+                const int mpr = S.topo_.config().machinesPerRack;
+                lo = ev.domain * mpr;
+                hi = std::min(M, lo + mpr);
+            }
+            for (int m = lo; m < hi; ++m) {
+                // Member k rejoins at heal + k*stagger + seeded
+                // jitter: the reboot storm is spread out instead of
+                // thundering-herding the admission pass.
+                const int k = m - lo;
+                const double jit =
+                    ev.staggerSeconds > 0
+                        ? jitter.uniform(0.0, ev.staggerSeconds)
+                        : 0.0;
+                const double held =
+                    ev.healSeconds + k * ev.staggerSeconds + jit;
+                if (ev.kind == DomainKind::Pdu) {
+                    CrashEvent c;
+                    c.time = ev.time;
+                    c.machine = m;
+                    c.downSeconds = held;
+                    c.avoidRack = S.topo_.rackOf(m);
+                    crashes.push_back(c);
+                } else {
+                    isoEvents.push_back({ev.time, m, true});
+                    isoEvents.push_back({ev.time + held, m, false});
+                    isolatedUntil[static_cast<size_t>(m)] = std::max(
+                        isolatedUntil[static_cast<size_t>(m)],
+                        ev.time + held);
+                }
+            }
+            ++S.domainOutagesStat_;
+        }
+        std::stable_sort(isoEvents.begin(), isoEvents.end(),
+                         [](const IsoEvent &a, const IsoEvent &b) {
+                             return a.time != b.time
+                                        ? a.time < b.time
+                                        : a.machine < b.machine;
                          });
         std::stable_sort(crashes.begin(), crashes.end(),
                          [](const CrashEvent &a, const CrashEvent &b) {
@@ -653,10 +760,54 @@ struct ClusterSim::Run {
         return best;
     }
 
+    /**
+     * pickMachine, but prefer a candidate OUTSIDE `avoidRack`: this
+     * crash is one leg of a correlated rack outage, so the rest of
+     * that rack is dying at this very instant and the locality bias
+     * toward the checkpoint's rack would restart work onto doomed
+     * machines. Falls back to the plain pick when nothing outside the
+     * rack can take the job (a one-rack pool still restarts its own
+     * work at reboot). Only outage-expanded crashes route here.
+     */
+    int pickMachineAvoiding(int threads, int from, int avoidRack) const
+    {
+        const size_t W = static_cast<size_t>(lidx.words);
+        const uint64_t *rm =
+            rackMask.data() + static_cast<size_t>(avoidRack) * W;
+        if (uniformWeights && !S.topo_.biasActive(from)) {
+            if (lidx.aliveCnt > 0)
+                for (int v = lidx.minL; v <= lidx.maxL; ++v) {
+                    if (!lidx.cnt[v])
+                        continue;
+                    int c = lidx.firstIn(v, nullptr, rm);
+                    if (c >= 0)
+                        return c;
+                }
+            return lidx.argmin(); // doomed-rack machines (or nobody)
+        }
+        int best = -1;
+        double bestScore = std::numeric_limits<double>::infinity();
+        for (size_t m = 0; m < usedThreads.size(); ++m) {
+            if (!alive[m] || rackIdx[m] == avoidRack)
+                continue;
+            double score =
+                (usedThreads[m] + queuedThreads[m] + threads) /
+                    S.machines_[m].loadWeight +
+                S.topo_.placementPenalty(from, static_cast<int>(m));
+            if (score < bestScore) {
+                bestScore = score;
+                best = static_cast<int>(m);
+            }
+        }
+        return best >= 0 ? best : pickMachine(threads, from);
+    }
+
     void reboot(size_t m)
     {
         accrue(m); // closes the zero-power downtime interval
         st[m].down = false;
+        if (isolated[m])
+            return; // still unreachable: rejoins at the heal edge
         alive[m] = 1;
         // Re-enter the load index at whatever load accumulated while
         // down (static policies leave the queue parked on the dead
@@ -708,6 +859,44 @@ struct ClusterSim::Run {
     }
 
     /**
+     * Phase 3.5: ToR/agg isolation edges due at this instant. A start
+     * removes the member from the placement pool atomically with the
+     * rest of its domain -- running jobs continue (the machine is
+     * powered, just unreachable), its queue stays parked, and no new
+     * work can land on it. A heal re-indexes the machine at whatever
+     * load accumulated and immediately admits parked work, at the
+     * same instant under both drivers. A machine that is ALSO down
+     * (crashed mid-isolation) defers its index rejoin to whichever of
+     * reboot/heal happens last.
+     */
+    void isolationPhase()
+    {
+        while (nextIso < isoEvents.size() &&
+               isoEvents[nextIso].time <= now + kEps) {
+            const IsoEvent ev = isoEvents[nextIso++];
+            size_t m = static_cast<size_t>(ev.machine);
+            if (ev.start) {
+                if (isolated[m]++ == 0 && !st[m].down) {
+                    lidx.del(ev.machine,
+                             usedThreads[m] + queuedThreads[m]);
+                    alive[m] = 0;
+                }
+                ++isoCount;
+                ++S.isolationsStat_;
+                OBS_TRACE_INSTANT(kJobTrackBase - 1, "sched",
+                                  "isolate", now);
+            } else {
+                if (--isolated[m] == 0 && !st[m].down) {
+                    alive[m] = 1;
+                    lidx.add(ev.machine,
+                             usedThreads[m] + queuedThreads[m]);
+                    startFromQueue(ev.machine);
+                }
+            }
+        }
+    }
+
+    /**
      * Phase 4: machine crashes. The machine goes dark, its in-flight
      * jobs roll back to their last checkpoint and restart -- on
      * another live machine under the dynamic policies (failover), or
@@ -741,9 +930,11 @@ struct ClusterSim::Run {
             accrue(cm); // close the powered interval
             downUntil[cm] = ev.time + ev.downSeconds;
             st[cm].down = true;
-            lidx.del(static_cast<int>(cm),
-                     usedThreads[cm] + queuedThreads[cm]);
-            alive[cm] = 0;
+            if (alive[cm]) { // an isolated machine is already deindexed
+                lidx.del(static_cast<int>(cm),
+                         usedThreads[cm] + queuedThreads[cm]);
+                alive[cm] = 0;
+            }
             if (useHeap)
                 heap.push(SchedEvent{downUntil[cm], EvKind::Reboot,
                                      ev.machine, 0});
@@ -771,7 +962,11 @@ struct ClusterSim::Run {
                 int target = ev.machine;
                 if (isDynamic) {
                     int cand =
-                        pickMachine(rj.job.threads, ev.machine);
+                        ev.avoidRack >= 0
+                            ? pickMachineAvoiding(rj.job.threads,
+                                                  ev.machine,
+                                                  ev.avoidRack)
+                            : pickMachine(rj.job.threads, ev.machine);
                     if (cand >= 0)
                         target = cand;
                 }
@@ -794,7 +989,11 @@ struct ClusterSim::Run {
                 parkedJobs -= parked.size();
                 queuedThreads[cm] = 0;
                 for (Job &job : parked) {
-                    int cand = pickMachine(job.threads, -1);
+                    int cand =
+                        ev.avoidRack >= 0
+                            ? pickMachineAvoiding(job.threads, -1,
+                                                  ev.avoidRack)
+                            : pickMachine(job.threads, -1);
                     if (cand < 0) {
                         pushQueue(cm, job);
                     } else if (!tryStart(cand, job)) {
@@ -814,10 +1013,19 @@ struct ClusterSim::Run {
             const Job job = arrivals[next++];
             int m = pickMachine(job.threads, -1);
             if (m < 0) {
-                // Every machine is down: park on the first to reboot.
+                // Every machine is down or isolated: park on the
+                // first to come back (reboot or isolation heal).
+                // With no outages configured availableAt() IS
+                // downUntil, bit-identical to the pre-outage scan.
+                auto availableAt = [&](size_t k) {
+                    return isolated[k]
+                               ? std::max(downUntil[k],
+                                          isolatedUntil[k])
+                               : downUntil[k];
+                };
                 size_t soonest = 0;
                 for (size_t k = 1; k < downUntil.size(); ++k)
-                    if (downUntil[k] < downUntil[soonest])
+                    if (availableAt(k) < availableAt(soonest))
                         soonest = k;
                 pushQueue(soonest, job);
                 ++S.enqueues_;
@@ -1055,6 +1263,8 @@ struct ClusterSim::Run {
         double tNext = std::numeric_limits<double>::infinity();
         if (next < arrivals.size())
             tNext = std::min(tNext, arrivals[next].arrival);
+        if (nextIso < isoEvents.size())
+            tNext = std::min(tNext, isoEvents[nextIso].time);
         if (isDynamic && runningCount > 0)
             tNext = std::min(tNext, nextTick);
         if (faulty) {
@@ -1106,8 +1316,10 @@ struct ClusterSim::Run {
                 fail(-1, m, "queuedThreads out of sync with queue");
             if (!std::isfinite(ms.energy) || ms.energy < 0)
                 fail(-1, m, "energy accumulator corrupt");
-            if (ms.down == static_cast<bool>(alive[m]))
-                fail(-1, m, "down flag out of sync with alive set");
+            bool placeable = !ms.down && !isolated[m];
+            if (placeable != static_cast<bool>(alive[m]))
+                fail(-1, m,
+                     "alive set out of sync with down/isolated state");
             // Load-index membership: every alive machine's bit sits
             // in exactly the bucket of its current load; dead
             // machines are not indexed at all (checked below via the
@@ -1172,6 +1384,7 @@ struct ClusterSim::Run {
             for (int m : due)
                 completeDue(m);
             checkpointPhase();
+            isolationPhase();
             crashPhase();
             arrivalPhase();
             rebalancePhase();
@@ -1202,6 +1415,7 @@ struct ClusterSim::Run {
             for (size_t m = 0; m < st.size(); ++m)
                 completeDue(static_cast<int>(m));
             checkpointPhase();
+            isolationPhase();
             crashPhase();
             arrivalPhase();
             rebalancePhase();
@@ -1228,6 +1442,7 @@ struct ClusterSim::Run {
                       : 0;
         res.crashes = crashCount;
         res.failovers = failovers;
+        res.isolations = isoCount;
         res.lostWorkSeconds = lostWork;
         res.recoveredWorkSeconds = recoveredWork;
         res.restartCounts = std::move(restartCounts);

@@ -80,6 +80,48 @@ struct CrashEvent {
     double time = 0;
     int machine = 0;
     double downSeconds = 30.0;
+    /** >= 0 when this crash is one leg of a rack-level correlated
+     *  outage (DomainOutage expansion): failover placement then
+     *  prefers a machine OUTSIDE this rack -- the rest of the failure
+     *  domain is going down at the same instant, so the locality bias
+     *  toward the checkpoint's rack would steer restarts onto doomed
+     *  machines. -1 (every scripted [crashes] event) keeps the legacy
+     *  rack-blind/rack-seeking placement bit-identical. */
+    int avoidRack = -1;
+};
+
+/** Failure-domain kind of one correlated outage. */
+enum class DomainKind : uint8_t {
+    Tor, ///< ToR switch dies: the rack is isolated, machines keep
+         ///< running local work but accept no placements
+    Agg, ///< aggregation switch dies: the whole pod is isolated
+    Pdu, ///< power distribution unit dies: the rack loses power
+         ///< (machines crash, work rolls back to the checkpoint)
+};
+
+/**
+ * One correlated failure event: at `time`, every machine in the named
+ * failure domain (rack for Tor/Pdu, pod for Agg) fails ATOMICALLY --
+ * one timestamp, all members. Recovery is deliberately not atomic:
+ * member k of the domain comes back at
+ * `time + healSeconds + k * staggerSeconds + jitter`, where jitter is
+ * drawn uniformly from [0, staggerSeconds) out of a stream seeded by
+ * `seed` -- a staggered reboot storm with seeded restart backoff, so a
+ * rack powering back on does not thundering-herd the scheduler with
+ * simultaneous rejoins. Requires a [topology] (the domain indices are
+ * meaningless on a flat pool).
+ */
+struct DomainOutage {
+    DomainKind kind = DomainKind::Tor;
+    /** Rack index (Tor/Pdu) or pod index (Agg). */
+    int domain = 0;
+    double time = 0;
+    /** Base outage length; member k heals staggered after this. */
+    double healSeconds = 30.0;
+    /** Per-member reboot spacing (and jitter bound), seconds. */
+    double staggerSeconds = 0.5;
+    /** Seeds the per-member restart-backoff jitter stream. */
+    uint64_t seed = 0xd04a11ull;
 };
 
 /** Result of simulating one job set under one policy. */
@@ -93,6 +135,9 @@ struct ClusterResult {
     // Fault/recovery outcome (all zero on a fault-free run).
     int crashes = 0;
     int failovers = 0; ///< restarts placed on a different machine
+    /** Machines taken off the placement pool by ToR/agg isolation
+     *  outages (running work continued; nothing was lost). */
+    int isolations = 0;
     double lostWorkSeconds = 0; ///< progress discarded to checkpoints
     /** Progress the checkpoints preserved across crashes: work the
      *  restarted jobs did NOT have to redo. */
@@ -128,6 +173,13 @@ class ClusterSim
          *  fault-free event sequence is then bit-identical to a build
          *  without the fault layer). */
         std::vector<CrashEvent> crashes;
+        /** Correlated failure-domain outages (ToR/agg isolation, PDU
+         *  power loss). Pdu outages expand into staggered per-machine
+         *  CrashEvents at run start; Tor/Agg outages isolate their
+         *  members (no placements in or out, running work continues)
+         *  until a staggered rejoin. Empty = no domain failures, and
+         *  the simulator is bit-identical to a build without them. */
+        std::vector<DomainOutage> outages;
         /** Jobs checkpoint this often (seconds); on a crash they
          *  restart from the last checkpoint. Only active when crashes
          *  are scheduled. */
@@ -235,6 +287,10 @@ class ClusterSim
     /** Crash events that found their machine already down and were
      *  deferred to its reboot instant. */
     obs::Counter crashesDeferredStat_;
+    /** Correlated outage events processed (one per DomainOutage). */
+    obs::Counter domainOutagesStat_;
+    /** Machines isolated by ToR/agg outages (members x events). */
+    obs::Counter isolationsStat_;
     obs::Gauge lostSecondsStat_;
     obs::Gauge recoveredSecondsStat_;
 

@@ -36,6 +36,32 @@ topologyConfigError(const TopologyConfig &cfg)
     return nullptr;
 }
 
+FaultCut
+Topology::rackCut(int rack, int numMachines, uint64_t periodMsgs,
+                  uint64_t lenMsgs) const
+{
+    FaultCut cut;
+    cut.periodMsgs = periodMsgs;
+    cut.lenMsgs = lenMsgs;
+    for (int m = 0; m < numMachines; ++m)
+        if (rackOf(m) == rack)
+            cut.sideA.push_back(m);
+    return cut;
+}
+
+FaultCut
+Topology::podCut(int pod, int numMachines, uint64_t periodMsgs,
+                 uint64_t lenMsgs) const
+{
+    FaultCut cut;
+    cut.periodMsgs = periodMsgs;
+    cut.lenMsgs = lenMsgs;
+    for (int m = 0; m < numMachines; ++m)
+        if (podOf(m) == pod)
+            cut.sideA.push_back(m);
+    return cut;
+}
+
 std::string
 describeTopology(const TopologyConfig &cfg, int machines)
 {

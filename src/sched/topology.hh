@@ -27,6 +27,8 @@
 
 #include <string>
 
+#include "dsm/faults.hh"
+
 namespace xisa {
 
 /** [topology] conf section / ClusterSim::Config knob. */
@@ -125,6 +127,20 @@ class Topology
             return 0.0;
         return cfg_.localityBias * hops(from, cand);
     }
+
+    /**
+     * Cut-set derived from the topology graph: the members of `rack`
+     * (out of a `numMachines` fleet) form sideA, severing the rack
+     * from everything else -- the fault-plan shape of a ToR outage.
+     * The window schedule is the caller's, in message-index space
+     * like every FaultPlan window (see FaultConfig's unit note).
+     */
+    FaultCut rackCut(int rack, int numMachines, uint64_t periodMsgs,
+                     uint64_t lenMsgs) const;
+    /** Same for an aggregation-switch outage: `pod`'s members form
+     *  sideA, severing the pod from the rest of the fleet. */
+    FaultCut podCut(int pod, int numMachines, uint64_t periodMsgs,
+                    uint64_t lenMsgs) const;
 
   private:
     TopologyConfig cfg_;

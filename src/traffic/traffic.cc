@@ -156,6 +156,7 @@ generateRequests(const TrafficConfig &cfg)
         r.key = static_cast<uint32_t>(mix64(rank) % keySpace);
         r.shard = static_cast<uint16_t>(mix64(r.key) % shards);
         r.isGet = rng.uniform() < cfg.getFraction;
+        r.decile = static_cast<uint8_t>(rank * 10 / keySpace);
         out.push_back(r);
     }
     return out;
@@ -238,6 +239,11 @@ ServingSim::ServingSim(ServingConfig cfg, ServingProfile prof,
     reg.attach(prefix + ".slo_violations", sloViolations_);
     reg.attach(prefix + ".migrations", migrations_);
     reg.attach(prefix + ".failovers", failovers_);
+    if (!cfg_.brownouts.empty()) {
+        reg.attach(prefix + ".shed", shed_);
+        reg.attach(prefix + ".slo_violations_degraded",
+                   violationsDegraded_);
+    }
     reg.attach(prefix + ".latency_us", latencyUs_);
     nodeServed_.reserve(cfg_.nodes.size());
     for (size_t i = 0; i < cfg_.nodes.size(); ++i) {
@@ -258,6 +264,15 @@ ServingSim::run(const std::vector<Request> &reqs)
     for (int nd : cfg_.placement)
         if (nd < 0 || nd >= numNodes)
             panic("ServingSim: placement references node %d", nd);
+    if (!cfg_.nodeRack.empty() &&
+        cfg_.nodeRack.size() != cfg_.nodes.size())
+        panic("ServingSim: nodeRack has %zu entries for %zu nodes",
+              cfg_.nodeRack.size(), cfg_.nodes.size());
+    for (const BrownoutWindow &w : cfg_.brownouts)
+        if (w.end < w.start || w.shedDeciles < 1 || w.shedDeciles > 10)
+            panic("ServingSim: bad brownout window [%g, %g) "
+                  "shed_deciles=%d",
+                  w.start, w.end, w.shedDeciles);
 
     std::vector<std::vector<uint32_t>> perShard(shards);
     for (size_t i = 0; i < n; ++i)
@@ -304,6 +319,15 @@ ServingSim::run(const std::vector<Request> &reqs)
                 return false;
         return true;
     };
+    // Pure function of (arrival, decile) and the config, so shedding
+    // decisions are identical on every worker layout.
+    auto shedNow = [&](const Request &r) {
+        for (const BrownoutWindow &w : cfg_.brownouts)
+            if (r.arrival >= w.start && r.arrival < w.end &&
+                static_cast<int>(r.decile) >= 10 - w.shedDeciles)
+                return true;
+        return false;
+    };
 
     // Simulate the shards in parallel. Every per-request quantity is a
     // pure function of the stream and the config, and the workers
@@ -328,11 +352,35 @@ ServingSim::run(const std::vector<Request> &reqs)
                 if (ev.isCrash) {
                     if (ev.node != node)
                         return;
+                    // Failure-domain-aware failover: the dead node's
+                    // rack is usually failing with it (ToR or PDU), so
+                    // prefer the lowest-index survivor OUTSIDE that
+                    // rack and only fall back to a rack-mate when no
+                    // other rack has capacity. An empty nodeRack map
+                    // keeps the legacy rack-blind scan byte-for-byte.
+                    const int deadRack = cfg_.nodeRack.empty()
+                                             ? -1
+                                             : cfg_.nodeRack[static_cast<
+                                                   size_t>(ev.node)];
                     int survivor = -1;
-                    for (int cand = 0; cand < numNodes; ++cand) {
-                        if (cand != ev.node && alive(cand, ev.time)) {
-                            survivor = cand;
-                            break;
+                    if (deadRack >= 0) {
+                        for (int cand = 0; cand < numNodes; ++cand) {
+                            if (cand != ev.node &&
+                                cfg_.nodeRack[static_cast<size_t>(
+                                    cand)] != deadRack &&
+                                alive(cand, ev.time)) {
+                                survivor = cand;
+                                break;
+                            }
+                        }
+                    }
+                    if (survivor < 0) {
+                        for (int cand = 0; cand < numNodes; ++cand) {
+                            if (cand != ev.node &&
+                                alive(cand, ev.time)) {
+                                survivor = cand;
+                                break;
+                            }
                         }
                     }
                     if (survivor >= 0) {
@@ -377,6 +425,18 @@ ServingSim::run(const std::vector<Request> &reqs)
 
             for (uint32_t idx : perShard[s]) {
                 const Request &r = reqs[idx];
+                if (shedNow(r)) {
+                    // Shed at the door: no service, no queueing, and
+                    // the shard clock stays put. Events up to the
+                    // arrival still fire so node state keeps moving.
+                    while (ei < evs.size() &&
+                           evs[ei].time <= r.arrival)
+                        apply(evs[ei++]);
+                    latSeconds[idx] = 0.0;
+                    finishAt[idx] = r.arrival;
+                    servedOn[idx] = -1;
+                    continue;
+                }
                 for (;;) {
                     double start = std::max(r.arrival, clock);
                     while (ei < evs.size() &&
@@ -424,10 +484,27 @@ ServingSim::run(const std::vector<Request> &reqs)
         if (firstCrash < 0.0 || c.time < firstCrash)
             firstCrash = c.time;
 
+    auto inBrownout = [&](double t) {
+        for (const BrownoutWindow &w : cfg_.brownouts)
+            if (t >= w.start && t < w.end)
+                return true;
+        return false;
+    };
+
     for (size_t i = 0; i < n; ++i) {
+        ++requests_;
+        if (servedOn[i] < 0) {
+            // Shed at the door: counted as a request (and as shed),
+            // but it never ran, so it contributes no latency sample,
+            // no GET/SET split, and no SLO violation.
+            ++shed_;
+            ++res.shed;
+            res.violationsByDecile[i * 10 / (n ? n : 1)] =
+                res.sloViolations;
+            continue;
+        }
         const double us = latSeconds[i] * 1e6;
         latencyUs_.add(us);
-        ++requests_;
         if (reqs[i].isGet) {
             ++gets_;
             ++res.gets;
@@ -438,6 +515,10 @@ ServingSim::run(const std::vector<Request> &reqs)
         if (us > cfg_.sloUs) {
             ++sloViolations_;
             ++res.sloViolations;
+            if (inBrownout(reqs[i].arrival)) {
+                ++violationsDegraded_;
+                ++res.violationsDegraded;
+            }
         }
         const int nd = servedOn[i];
         ++nodeServed_[static_cast<size_t>(nd)];

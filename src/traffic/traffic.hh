@@ -80,6 +80,10 @@ struct Request {
     uint32_t key = 0;    ///< scrambled key in [0, keySpace)
     uint16_t shard = 0;  ///< mix64(key) % shards
     bool isGet = true;
+    /** Popularity decile of the key's Zipf rank: 0 = hottest tenth of
+     *  the key space, 9 = coldest. Brownout shedding drops the
+     *  coldest deciles first. */
+    uint8_t decile = 0;
 };
 
 /**
@@ -149,13 +153,40 @@ struct NodeCrash {
     double downSeconds = 30.0;
 };
 
+/**
+ * One brownout window: degraded-mode serving while a failure domain
+ * is out. Inside [start, end) every shard sheds requests for the
+ * coldest `shedDeciles` tenths of the key popularity distribution
+ * (lowest-decile keys first: a dropped cold GET costs one client a
+ * miss; a queue full of cold keys costs every hot key its SLO).
+ * Shed requests complete instantly with no service, are counted in
+ * ServingResult::shed, and never count as SLO violations; violations
+ * of requests that do run inside a window are additionally tagged in
+ * violationsDegraded so degraded-mode SLO attainment is accounted
+ * separately from steady-state.
+ */
+struct BrownoutWindow {
+    double start = 0;
+    double end = 0;
+    /** Coldest popularity deciles to shed, 1..10. */
+    int shedDeciles = 1;
+};
+
 /** A serving scenario: nodes, placement, and the event schedule. */
 struct ServingConfig {
     std::vector<NodeSpec> nodes;
     /** shard -> node index; size must equal the stream's shard count. */
     std::vector<int> placement;
+    /** node -> rack index (failure-domain map). Empty = rack-blind
+     *  legacy failover, byte-identical to before the map existed;
+     *  otherwise size must equal nodes.size() and crash failover
+     *  prefers a survivor OUTSIDE the dead node's rack (the rest of
+     *  the domain is usually failing with it). */
+    std::vector<int> nodeRack;
     std::vector<ShardMigration> migrations; ///< applied in time order
     std::vector<NodeCrash> crashes;
+    /** Degraded-mode windows (typically spanning a domain outage). */
+    std::vector<BrownoutWindow> brownouts;
     double sloUs = 1000.0;
 };
 
@@ -163,6 +194,12 @@ struct ServingConfig {
 struct ServingResult {
     uint64_t requests = 0, gets = 0, sets = 0;
     uint64_t sloViolations = 0;
+    /** Violations among requests that arrived inside a brownout
+     *  window (degraded-mode attainment, accounted separately;
+     *  included in sloViolations too). */
+    uint64_t violationsDegraded = 0;
+    /** Requests shed by brownout windows (never SLO violations). */
+    uint64_t shed = 0;
     uint64_t migrations = 0, failovers = 0;
     double p50Us = 0, p99Us = 0, p999Us = 0, maxUs = 0;
     /** Cumulative SLO violations after each tenth of the stream (in
@@ -194,6 +231,9 @@ class ServingSim
     ServingProfile prof_;
     obs::Counter requests_, gets_, sets_;
     obs::Counter sloViolations_, migrations_, failovers_;
+    /** Attached only when brownout windows are configured, so a
+     *  window-free scenario's stats output stays byte-identical. */
+    obs::Counter shed_, violationsDegraded_;
     obs::Histogram latencyUs_;
     std::vector<obs::Counter> nodeServed_;
 };

@@ -489,6 +489,43 @@ TEST(CheckAuditor, FlagsAggregatePerNodeCounterDrift)
     EXPECT_THROW(auditor.deepCheck("planted"), PanicError);
 }
 
+TEST(CheckAuditor, UnfencedHealTripsEpochRegression)
+{
+    Interconnect net;
+    DsmSpace dsm(2, &net, {1.0, 1.0});
+    dsm.setEpochFencing(false);
+    check::InvariantAuditor auditor = makeAuditor(dsm);
+    auditor.attach();
+    uint64_t a = 0xA;
+    dsm.populate(0, kPage * vm::kPageSize, &a, 8);
+    uint64_t got = 0;
+    dsm.port(1).read(kPage * vm::kPageSize, &got, 8); // both Shared
+    dsm.beginPartition({1});
+    uint64_t c = 0xC;
+    dsm.port(1).write(kPage * vm::kPageSize, &c, 8); // INVAL deferred
+    // With the fence down, the heal replays the stale pre-heal INVAL:
+    // the per-peer epoch goes backwards and the auditor must flag it.
+    EXPECT_THROW(dsm.healPartition(), PanicError);
+}
+
+TEST(CheckAuditor, FencedHealPassesAudit)
+{
+    Interconnect net;
+    DsmSpace dsm(2, &net, {1.0, 1.0});
+    check::InvariantAuditor auditor = makeAuditor(dsm);
+    auditor.attach();
+    uint64_t a = 0xA;
+    dsm.populate(0, kPage * vm::kPageSize, &a, 8);
+    uint64_t got = 0;
+    dsm.port(1).read(kPage * vm::kPageSize, &got, 8);
+    dsm.beginPartition({1});
+    uint64_t c = 0xC;
+    dsm.port(1).write(kPage * vm::kPageSize, &c, 8);
+    EXPECT_NO_THROW(dsm.healPartition());
+    EXPECT_EQ(dsm.fencedMessages(), 1u);
+    auditor.deepCheck("after fenced heal");
+}
+
 // --- Auditor: OS integration and golden safety -----------------------
 
 TEST(CheckAuditor, StackRoundTripRunsAndAuditedRunIsIdentical)

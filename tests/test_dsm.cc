@@ -141,6 +141,90 @@ TEST(DsmProperty, RandomOpsMatchShadowMemoryAcrossThreeNodes)
     EXPECT_GT(dsm.stats().invalidations, 10u);
 }
 
+TEST_F(DsmFixture, FencedHealRejectsMinorityWritesAndResyncs)
+{
+    uint64_t a = 0xA;
+    dsm.populate(0, kBase, &a, 8);
+    uint64_t got = 0;
+    dsm.port(1).read(kBase, &got, 8); // both Shared
+    ASSERT_EQ(got, 0xAu);
+
+    dsm.beginPartition({1});
+    EXPECT_TRUE(dsm.partitionActive());
+    EXPECT_EQ(dsm.nodeEpoch(0), 1u);
+    EXPECT_EQ(dsm.nodeEpoch(1), 1u);
+
+    // The minority writes during the cut: its upgrade INVAL for node
+    // 0's copy cannot cross, so it is deferred into the fenced outbox
+    // and both sides keep serving their own (now divergent) copy.
+    uint64_t c = 0xC;
+    dsm.port(1).write(kBase, &c, 8);
+    dsm.port(0).read(kBase, &got, 8);
+    EXPECT_EQ(got, 0xAu) << "majority must keep its pre-cut value";
+    dsm.port(1).read(kBase, &got, 8);
+    EXPECT_EQ(got, 0xCu) << "minority serves its own write locally";
+
+    dsm.healPartition();
+    EXPECT_FALSE(dsm.partitionActive());
+    // The heal minted a new epoch everywhere, recognized the deferred
+    // INVAL as stale (sent under epoch 1, received under epoch 2), and
+    // re-synced the divergent page from the majority side.
+    EXPECT_EQ(dsm.nodeEpoch(0), 2u);
+    EXPECT_EQ(dsm.nodeEpoch(1), 2u);
+    EXPECT_EQ(dsm.fencedMessages(), 1u);
+    EXPECT_EQ(dsm.pagesResynced(), 1u);
+    dsm.port(0).read(kBase, &got, 8);
+    EXPECT_EQ(got, 0xAu) << "majority copy is authoritative after heal";
+    dsm.port(1).read(kBase, &got, 8);
+    EXPECT_EQ(got, 0xAu) << "minority rejoins by re-sync, not replay";
+    dsm.checkInvariants();
+}
+
+TEST_F(DsmFixture, UnfencedHealReplaysSplitBrainWrite)
+{
+    // Regression shape: with the epoch fence off, the heal applies the
+    // stale pre-heal INVAL verbatim, killing the majority's good copy;
+    // the majority then refetches the minority's partition-era write.
+    dsm.setEpochFencing(false);
+    uint64_t a = 0xA;
+    dsm.populate(0, kBase, &a, 8);
+    uint64_t got = 0;
+    dsm.port(1).read(kBase, &got, 8); // both Shared
+
+    dsm.beginPartition({1});
+    uint64_t c = 0xC;
+    dsm.port(1).write(kBase, &c, 8); // INVAL deferred across the cut
+    dsm.healPartition();
+
+    EXPECT_EQ(dsm.fencedMessages(), 0u) << "fence off: nothing rejected";
+    EXPECT_EQ(dsm.pagesResynced(), 0u) << "fence off: no re-sync";
+    // Epochs still advance at every heal -- fencing only controls
+    // whether the receiver ENFORCES them by rejecting stale messages.
+    EXPECT_EQ(dsm.nodeEpoch(0), 2u);
+    EXPECT_EQ(dsm.nodeEpoch(1), 2u);
+    dsm.port(0).read(kBase, &got, 8);
+    EXPECT_EQ(got, 0xCu)
+        << "split-brain: the minority's pre-heal write won";
+}
+
+TEST_F(DsmFixture, PartitionFencingCountersReachTheRegistry)
+{
+    obs::StatRegistry reg;
+    dsm.registerStats(reg);
+    uint64_t a = 0xA;
+    dsm.populate(0, kBase, &a, 8);
+    uint64_t got = 0;
+    dsm.port(1).read(kBase, &got, 8);
+    dsm.beginPartition({1});
+    uint64_t c = 0xC;
+    dsm.port(1).write(kBase, &c, 8);
+    dsm.healPartition();
+    EXPECT_EQ(reg.counterValue("xfault.fenced_messages"), 1u);
+    EXPECT_EQ(reg.counterValue("xfault.pages_resynced"), 1u);
+    // The deferred INVAL was first refused by the live cut.
+    EXPECT_EQ(reg.counterValue("xfault.cut_rejects"), 1u);
+}
+
 TEST(Interconnect, CostModelIsLatencyPlusBandwidth)
 {
     Interconnect::Config cfg;

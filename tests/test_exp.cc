@@ -526,6 +526,90 @@ TEST(Spec, TopologyParsedAndValidated)
     expectFail("locality_bias = 0.5\n");
 }
 
+// --- Spec: [failures] -----------------------------------------------
+
+TEST(Spec, FailuresParsedAndValidated)
+{
+    Config c = Config::parseString(
+        "kind = serving\nfigure = F\ntitle = T\n"
+        "machines = xeno*8\n"
+        "[topology]\nmachines_per_rack = 2\nracks_per_pod = 2\n"
+        "[traffic]\nshards = 4\n"
+        "[failures]\nseed = 99\nshed_deciles = 4\n"
+        "plan = tor:1@0.25..0.5, agg:0@0.6..0.9\n",
+        "failures.conf");
+    ExperimentSpec s = parseExperiment(c);
+    EXPECT_EQ(s.failureSeed, 99u);
+    EXPECT_EQ(s.shedDeciles, 4);
+    ASSERT_EQ(s.failures.size(), 2u);
+    EXPECT_EQ(s.failures[0].kind, "tor");
+    EXPECT_EQ(s.failures[0].domain, 1);
+    EXPECT_DOUBLE_EQ(s.failures[0].at, 0.25);
+    EXPECT_DOUBLE_EQ(s.failures[0].heal, 0.5);
+    EXPECT_EQ(s.failures[1].kind, "agg");
+    EXPECT_EQ(s.failures[1].domain, 0);
+    // The NAME*COUNT shorthand expanded to eight nodes.
+    EXPECT_EQ(s.singleMachineRefs.size(), 8u);
+    EXPECT_EQ(s.singleMachineRefs.front(), "xeno");
+}
+
+TEST(Spec, FailuresRejectBadPlans)
+{
+    auto expectFail = [](const std::string &extra) {
+        Config c = Config::parseString(
+            "kind = serving\nfigure = F\ntitle = T\n"
+            "machines = xeno*8\n"
+            "[topology]\nmachines_per_rack = 2\nracks_per_pod = 2\n"
+            "[traffic]\nshards = 4\n" + extra, "failures-bad.conf");
+        EXPECT_THROW(parseExperiment(c), ConfigError) << extra;
+    };
+    expectFail("[failures]\nplan = volcano:0@0.2..0.4\n"); // bad kind
+    expectFail("[failures]\nplan = tor:9@0.2..0.4\n");   // no rack 9
+    expectFail("[failures]\nplan = agg:2@0.2..0.4\n");   // no pod 2
+    expectFail("[failures]\nplan = tor:0@0.5..0.4\n");   // heal < at
+    expectFail("[failures]\nplan = tor:0@0.2..1.5\n");   // heal > 1
+    expectFail("[failures]\nplan = nonsense\n");
+    expectFail("[failures]\nseed = 7\n");                // empty plan
+    expectFail(
+        "[failures]\nshed_deciles = 0\nplan = tor:0@0.1..0.2\n");
+    expectFail(
+        "[failures]\nshed_deciles = 11\nplan = tor:0@0.1..0.2\n");
+}
+
+TEST(Spec, FailuresRequireTopologyAndServingKind)
+{
+    // Domain indices are meaningless without a [topology].
+    Config noTopo = Config::parseString(
+        "kind = serving\nfigure = F\ntitle = T\n"
+        "machines = xeno*8\n[traffic]\nshards = 4\n"
+        "[failures]\nplan = tor:0@0.2..0.4\n",
+        "failures-notopo.conf");
+    EXPECT_THROW(parseExperiment(noTopo), ConfigError);
+    // And only the serving kind consumes the section.
+    Config rack = Config::parseString(
+        "kind = rack\nfigure = F\ntitle = T\n"
+        "sets = 1\nseed_base = 7\nwaves = 2\n"
+        "[machine.m]\nnode = xeno\n"
+        "[pool.a]\nmachines = m*4\n"
+        "policy = dynamic-balanced\nbaseline = true\n"
+        "[topology]\nmachines_per_rack = 2\n"
+        "[failures]\nplan = tor:0@0.2..0.4\n",
+        "failures-rack.conf");
+    EXPECT_THROW(parseExperiment(rack), ConfigError);
+}
+
+TEST(Spec, SerializeRoundTripFailures)
+{
+    expectRoundTrip(
+        "kind = serving\nfigure = F\ntitle = T\n"
+        "machines = xeno*6, aether*2\n"
+        "[topology]\nmachines_per_rack = 2\nracks_per_pod = 2\n"
+        "[traffic]\nseed = 9\nshards = 4\n"
+        "[failures]\nseed = 13\nshed_deciles = 2\n"
+        "plan = tor:1@0.25..0.5, pdu:0@0.6..0.9\n",
+        "failures-roundtrip");
+}
+
 TEST(Spec, SerializeRoundTripTopology)
 {
     expectRoundTrip(

@@ -117,6 +117,66 @@ TEST(FaultPlan, PartitionWindowsMatchConfiguredDuty)
     }
 }
 
+TEST(FaultPlan, LegacyPartitionFlagsNormalizeToWholeLinkCut)
+{
+    // The legacy partition_period/partition_len pair is sugar: the
+    // constructor folds it into a whole-link cut-set (empty sideA),
+    // so there is exactly one partition code path.
+    FaultConfig legacy;
+    legacy.partitionPeriodMsgs = 8;
+    legacy.partitionLenMsgs = 2;
+    FaultPlan plan(legacy);
+    ASSERT_EQ(plan.config().cutSets.size(), 1u);
+    EXPECT_TRUE(plan.config().cutSets[0].sideA.empty());
+    EXPECT_EQ(plan.config().cutSets[0].periodMsgs, 8u);
+    EXPECT_EQ(plan.config().cutSets[0].lenMsgs, 2u);
+    EXPECT_EQ(plan.config().partitionPeriodMsgs, 0u);
+    EXPECT_EQ(plan.config().partitionLenMsgs, 0u);
+
+    // ... and the decision stream is identical to a directly
+    // configured whole-link cut-set.
+    FaultConfig direct;
+    FaultCut whole;
+    whole.periodMsgs = 8;
+    whole.lenMsgs = 2;
+    direct.cutSets.push_back(whole);
+    FaultPlan a(legacy), b(direct);
+    for (int i = 0; i < 256; ++i) {
+        FaultDecision da = a.next(), db = b.next();
+        ASSERT_EQ(da.partitioned, db.partitioned) << "msg " << i;
+        ASSERT_EQ(da.sidedCut, db.sidedCut) << "msg " << i;
+        EXPECT_FALSE(da.sidedCut); // whole-link cuts are not sided
+    }
+}
+
+TEST(FaultPlan, SidedCutOnlySeversCrossPairs)
+{
+    FaultConfig cfg;
+    FaultCut cut;
+    cut.sideA = {0, 1};
+    cut.periodMsgs = 4;
+    cut.lenMsgs = 4; // always inside the window
+    cfg.cutSets.push_back(cut);
+    EXPECT_FALSE(cfg.empty());
+
+    FaultPlan plan(cfg);
+    // Crossing the cut: severed, and marked sided so the failure
+    // detector clamps at Suspect instead of declaring death.
+    FaultDecision cross = plan.nextBetween(0, 2);
+    EXPECT_TRUE(cross.partitioned);
+    EXPECT_TRUE(cross.sidedCut);
+    EXPECT_FALSE(cross.delivered);
+    // Same side: unaffected.
+    FaultDecision same = plan.nextBetween(0, 1);
+    EXPECT_TRUE(same.delivered);
+    FaultDecision far = plan.nextBetween(2, 3);
+    EXPECT_TRUE(far.delivered);
+    // Unknown endpoints (legacy peer-less send) never cross a SIDED
+    // cut -- only whole-link cuts sever anonymous traffic.
+    FaultDecision anon = plan.next();
+    EXPECT_TRUE(anon.delivered);
+}
+
 // --- Interconnect send/reliableSend ----------------------------------
 
 TEST(FaultyInterconnect, PerfectLinkSendMatchesCharge)
@@ -869,6 +929,103 @@ TEST(ServingChaos, CrashMidTrafficFailsOverAndKeepsServing)
     EXPECT_EQ(r.violationsByDecile[3], 833u);
     EXPECT_EQ(r.violationsByDecile[4], 1140u);
     EXPECT_EQ(r.violationsByDecile[9], 1140u);
+}
+
+/** The fixed-seed ToR-outage scenario: 4 nodes in 2 racks, all shards
+ *  on rack 0, whose switch dies 15% into the run and heals at 40%; a
+ *  brownout window spanning the outage sheds the 3 coldest deciles. */
+traffic::ServingConfig
+torOutageConfig()
+{
+    traffic::ServingConfig sc;
+    sc.nodes = {makeXenoServer(), makeXenoServer(), makeAetherServer(),
+                makeAetherServer()};
+    sc.nodeRack = {0, 0, 1, 1};
+    sc.placement = {0, 1, 0, 1};
+    sc.sloUs = 800.0;
+    // The whole rack at one timestamp: a correlated ToR outage, not
+    // two independent crashes.
+    sc.crashes = {{0, 0.075, 0.125}, {1, 0.075, 0.125}};
+    sc.brownouts = {{0.075, 0.2, 3}};
+    return sc;
+}
+
+std::vector<traffic::Request>
+torOutageStream()
+{
+    traffic::TrafficConfig tc;
+    tc.seed = 11;
+    tc.clients = 1000;
+    tc.requestHz = 20.0;
+    tc.durationSeconds = 0.5;
+    tc.zipfSkew = 0.99;
+    tc.keySpace = 4096;
+    tc.getFraction = 0.9;
+    tc.shards = 4;
+    return traffic::generateRequests(tc);
+}
+
+TEST(ServingChaos, TorOutageFailsOverOutsideRackAndSheds)
+{
+    obs::StatRegistry reg;
+    traffic::ServingSim sim(torOutageConfig(),
+                            traffic::ServingProfile::synthetic(), reg,
+                            "torchaos");
+    traffic::ServingResult r = sim.run(torOutageStream());
+
+    // Every shard failed over exactly once, and the failovers landed
+    // OUTSIDE the dead rack: nothing was served by rack 0 after the
+    // outage began, even though node 1 was just as dead as node 0 and
+    // a rack-blind scan would have picked it for node 0's shards.
+    EXPECT_EQ(r.failovers, 4u);
+    EXPECT_EQ(r.servedByNodeAfterCrash[0], 0u);
+    EXPECT_EQ(r.servedByNodeAfterCrash[1], 0u);
+    EXPECT_GT(r.servedByNodeAfterCrash[2], 0u);
+
+    // Survivors kept serving: the stream completes, with shed
+    // requests accounted separately from served ones.
+    EXPECT_EQ(r.shed + r.gets + r.sets, r.requests);
+    EXPECT_GT(r.shed, 0u);
+    EXPECT_EQ(reg.counterValue("torchaos.shed"), r.shed);
+    EXPECT_EQ(reg.counterValue("torchaos.slo_violations_degraded"),
+              r.violationsDegraded);
+
+    // Degraded-window violations are a subset of the total.
+    EXPECT_LE(r.violationsDegraded, r.sloViolations);
+    EXPECT_GT(r.violationsDegraded, 0u);
+
+    // Fixed-seed golden: exact counts, pinned so any change to the
+    // failover policy, the shedding predicate, or the accounting
+    // order is a conscious diff.
+    EXPECT_EQ(r.requests, 9953u);
+    EXPECT_EQ(r.shed, 95u);
+    EXPECT_EQ(r.sloViolations, 1154u);
+    EXPECT_EQ(r.violationsDegraded, 1153u);
+    EXPECT_EQ(r.servedByNodeAfterCrash[2], 8365u);
+}
+
+TEST(ServingChaos, TorOutageRunBytesIdenticalAcrossWorkerCounts)
+{
+    traffic::ServingResult runs[2];
+    const char *threads[2] = {"1", "5"};
+    for (int i = 0; i < 2; ++i) {
+        setenv("XISA_BENCH_THREADS", threads[i], 1);
+        obs::StatRegistry reg;
+        traffic::ServingSim sim(torOutageConfig(),
+                                traffic::ServingProfile::synthetic(),
+                                reg, "torchaos");
+        runs[i] = sim.run(torOutageStream());
+    }
+    unsetenv("XISA_BENCH_THREADS");
+    EXPECT_EQ(runs[0].shed, runs[1].shed);
+    EXPECT_EQ(runs[0].sloViolations, runs[1].sloViolations);
+    EXPECT_EQ(runs[0].violationsDegraded, runs[1].violationsDegraded);
+    EXPECT_EQ(runs[0].p99Us, runs[1].p99Us);
+    EXPECT_EQ(runs[0].maxUs, runs[1].maxUs);
+    EXPECT_EQ(runs[0].servedByNode, runs[1].servedByNode);
+    EXPECT_EQ(runs[0].servedByNodeAfterCrash,
+              runs[1].servedByNodeAfterCrash);
+    EXPECT_EQ(runs[0].violationsByDecile, runs[1].violationsByDecile);
 }
 
 TEST(ServingChaos, CrashRunBytesIdenticalAcrossWorkerCounts)

@@ -422,6 +422,159 @@ TEST(ClusterSim, CrossRackOversubInflatesMigrationCost)
     EXPECT_GT(oversub.makespan, flat.makespan);
 }
 
+// --- Correlated failure domains -------------------------------------
+
+TEST(Topology, RackAndPodCutsListDomainMembers)
+{
+    TopologyConfig c;
+    c.machinesPerRack = 4;
+    c.racksPerPod = 2;
+    Topology t(c);
+    FaultCut rack1 = t.rackCut(1, 10, 100, 10);
+    EXPECT_EQ(rack1.sideA, (std::vector<int>{4, 5, 6, 7}));
+    EXPECT_EQ(rack1.periodMsgs, 100u);
+    EXPECT_EQ(rack1.lenMsgs, 10u);
+    // A trailing partial rack contributes only the machines that exist.
+    EXPECT_EQ(t.rackCut(2, 10, 1, 1).sideA, (std::vector<int>{8, 9}));
+    EXPECT_EQ(t.podCut(0, 12, 1, 1).sideA,
+              (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(t.podCut(1, 12, 1, 1).sideA,
+              (std::vector<int>{8, 9, 10, 11}));
+}
+
+/** A ToR outage removes the whole rack from the placement pool at one
+ *  instant -- no crashes, no lost work -- and arrivals land on the
+ *  surviving rack until the staggered heal readmits the members. */
+TEST(ClusterSim, TorOutageIsolatesRackAtomically)
+{
+    std::vector<Machine> pool(4, customX86(8, 1.0));
+    ClusterSim::Config cfg;
+    cfg.topo.machinesPerRack = 2;
+    cfg.rebalancePeriod = 1e9; // isolate outage-driven placement
+    double d = table().seconds(WorkloadId::CG, ProblemClass::C, 1,
+                               IsaId::Xeno64);
+    DomainOutage out;
+    out.kind = DomainKind::Tor;
+    out.domain = 1;
+    out.time = 0;
+    out.healSeconds = 0.25 * d;
+    out.staggerSeconds = 0;
+    cfg.outages = {out};
+    ClusterSim sim(pool, table(), cfg);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(mkJob(i, 1, 0.0));
+    ClusterResult r = sim.run(jobs, Policy::DynamicBalanced);
+    EXPECT_EQ(r.isolations, 2);
+    EXPECT_EQ(r.crashes, 0) << "isolation is not a crash";
+    EXPECT_DOUBLE_EQ(r.lostWorkSeconds, 0.0);
+    auto snap = sim.statRegistry().snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("xfault.domain_outages"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.at("xfault.isolations"), 2.0);
+    // All four t=0 jobs landed on the surviving rack {0,1}; the
+    // isolated machines only paid idle/sleep power.
+    EXPECT_GT(r.energyJoules[0], r.energyJoules[2]);
+    EXPECT_GT(r.energyJoules[1], r.energyJoules[3]);
+}
+
+/** A PDU outage expands into per-machine crashes whose failovers
+ *  avoid the dying rack even against a strong same-rack locality
+ *  bias: the rest of the failure domain goes down at the same
+ *  instant, so checkpoint-affine placement would be doomed. */
+TEST(ClusterSim, PduOutageFailsOverOutsideItsRack)
+{
+    std::vector<Machine> pool(4, customX86(8, 1.0));
+    ClusterSim::Config cfg;
+    cfg.topo.machinesPerRack = 2;
+    cfg.topo.localityBias = 5.0; // would steer restarts rack-local
+    cfg.checkpointPeriod = 2e-3;
+    cfg.rebalancePeriod = 1e9;
+    double d = table().seconds(WorkloadId::CG, ProblemClass::C, 1,
+                               IsaId::Xeno64);
+    DomainOutage out;
+    out.kind = DomainKind::Pdu;
+    out.domain = 1;
+    out.time = 0.5 * d;
+    out.healSeconds = 5e-3;
+    out.staggerSeconds = 1e-3;
+    cfg.outages = {out};
+    ClusterSim sim(pool, table(), cfg);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(mkJob(i, 1, 0.0));
+    ClusterResult r = sim.run(jobs, Policy::DynamicBalanced);
+    EXPECT_EQ(r.crashes, 2);
+    EXPECT_EQ(r.failovers, 2);
+    EXPECT_EQ(r.isolations, 0);
+    // The crash iteration checkpoints before crashPhase runs, so the
+    // rolled-back progress is recovered rather than lost.
+    EXPECT_GT(r.recoveredWorkSeconds, 0.0);
+    // Both failovers landed outside rack 1: machines 0 and 1 each
+    // finish their own job plus a restarted one, so each burns more
+    // energy than either briefly-crashed rack-1 machine.
+    EXPECT_GT(r.energyJoules[0], r.energyJoules[2]);
+    EXPECT_GT(r.energyJoules[1], r.energyJoules[3]);
+    EXPECT_GT(r.makespan, 0.5 * d);
+
+    // The seeded jitter stream makes the whole schedule replayable:
+    // an identical sim produces bit-identical results.
+    ClusterSim again(pool, table(), cfg);
+    std::vector<Job> jobs2;
+    for (int i = 0; i < 4; ++i)
+        jobs2.push_back(mkJob(i, 1, 0.0));
+    ClusterResult r2 = again.run(jobs2, Policy::DynamicBalanced);
+    EXPECT_EQ(r.makespan, r2.makespan);
+    EXPECT_EQ(r.totalEnergy, r2.totalEnergy);
+    EXPECT_EQ(r.energyJoules, r2.energyJoules);
+}
+
+/** Outage expansion runs identically under the event heap and the
+ *  stepping oracle: isolation edges, PDU crash legs and staggered
+ *  rejoins are bit-identical across drivers. */
+TEST(ClusterSim, OutagesMatchSteppingOracle)
+{
+    auto runCase = [&](bool slow) {
+        if (slow)
+            setenv("XISA_SLOW_SCHED", "1", 1);
+        else
+            unsetenv("XISA_SLOW_SCHED");
+        std::vector<Machine> pool(4, customX86(8, 1.0));
+        ClusterSim::Config cfg;
+        cfg.topo.machinesPerRack = 2;
+        cfg.checkpointPeriod = 1e-3;
+        cfg.rebalancePeriod = 2e-3;
+        DomainOutage tor;
+        tor.kind = DomainKind::Tor;
+        tor.domain = 0;
+        tor.time = 1e-3;
+        tor.healSeconds = 3e-3;
+        tor.staggerSeconds = 0.5e-3;
+        DomainOutage pdu;
+        pdu.kind = DomainKind::Pdu;
+        pdu.domain = 1;
+        pdu.time = 2e-3;
+        pdu.healSeconds = 2e-3;
+        pdu.staggerSeconds = 0.5e-3;
+        cfg.outages = {tor, pdu};
+        ClusterSim sim(pool, table(), cfg);
+        ClusterResult r = sim.run(makeSustainedSet(5, 16),
+                                  Policy::DynamicBalanced);
+        unsetenv("XISA_SLOW_SCHED");
+        return r;
+    };
+    ClusterResult ev = runCase(false);
+    ClusterResult slow = runCase(true);
+    EXPECT_EQ(ev.makespan, slow.makespan);
+    EXPECT_EQ(ev.totalEnergy, slow.totalEnergy);
+    EXPECT_EQ(ev.energyJoules, slow.energyJoules);
+    EXPECT_EQ(ev.isolations, slow.isolations);
+    EXPECT_EQ(ev.crashes, slow.crashes);
+    EXPECT_EQ(ev.failovers, slow.failovers);
+    EXPECT_EQ(ev.migrations, slow.migrations);
+    EXPECT_GT(ev.isolations, 0);
+    EXPECT_GT(ev.crashes, 0);
+}
+
 // --- Driver equivalence: event heap vs stepping oracle --------------
 
 struct SweepOutcome {

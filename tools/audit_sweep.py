@@ -27,15 +27,32 @@ VIOLATION_RE = re.compile(r"\[audit\] VIOLATION at ([^:]+): (.*)")
 TRACE_DUMP_RE = re.compile(r"xisa_audit_violation_\d+\.trace\.json")
 
 
-def commands(build_dir, crash, confs_dir=None):
+def commands(build_dir, crash, confs_dir=None, fleet=False):
     """The per-seed command matrix: probe first (fast, focussed), then
     the paper's scheduling benches in quick mode. With --crash the
     matrix is the node-failure recovery scenario instead: the probe's
     crash legs (byte-identity against a crash-free run with the auditor
     armed) plus the crashy sustained bench. With --confs DIR, every
     .conf in DIR runs through xisa_exp under the same audit/perturb
-    environment, so config-driven experiments join the hunt."""
+    environment, so config-driven experiments join the hunt. With
+    --fleet the matrix is the 1000-machine rack-outage conf alone:
+    each seed reshapes the request stream (the runner folds
+    XISA_PERTURB into the traffic seed) against the same outage plan,
+    with the auditor armed throughout."""
     probe = os.path.join(build_dir, "src", "check", "audit_probe")
+    if fleet:
+        runner = os.path.join(build_dir, "src", "exp", "xisa_exp")
+        if not os.path.exists(runner):
+            print(f"audit_sweep: {runner} not built but --fleet given",
+                  file=sys.stderr)
+            sys.exit(2)
+        conf = os.path.join("examples", "confs",
+                            "fleet_rack_outage.conf")
+        if not os.path.exists(conf):
+            print(f"audit_sweep: {conf} not found (run --fleet from "
+                  "the repo root)", file=sys.stderr)
+            sys.exit(2)
+        return [("fleet_rack_outage", [runner, conf])]
     if crash:
         cmds = [("audit_probe_crash", [probe, "--crash"])]
         bench = os.path.join(build_dir, "bench", "bench_fault_sustained")
@@ -117,12 +134,17 @@ def main():
     ap.add_argument("--confs", metavar="DIR",
                     help="also sweep every experiment .conf in DIR "
                          "through xisa_exp (ignored with --crash)")
+    ap.add_argument("--fleet", action="store_true",
+                    help="sweep the 1000-machine rack-outage conf "
+                         "(fleet_rack_outage.conf) instead of the "
+                         "default matrix; takes precedence over "
+                         "--crash/--confs")
     args = ap.parse_args()
 
     if args.seeds < 1:
         print("audit_sweep: --seeds must be >= 1", file=sys.stderr)
         sys.exit(2)
-    cmds = commands(args.build_dir, args.crash, args.confs)
+    cmds = commands(args.build_dir, args.crash, args.confs, args.fleet)
     if not os.path.exists(cmds[0][1][0]):
         print(f"audit_sweep: {cmds[0][1][0]} not built "
               "(build the audit_probe target first)", file=sys.stderr)

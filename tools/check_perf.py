@@ -214,8 +214,13 @@ def check_serving(fresh, base, args, failures):
         fr = fresh_rows[name]
         # The serving simulator is seeded and deterministic: counts
         # drifting means the semantics changed, which always fails.
+        # The degraded-mode counters (shed, slo_violations_degraded)
+        # only appear on confs with a [failures] plan; skip them on
+        # older baselines that predate the fields.
         for field in ("requests", "slo_violations", "migrations",
-                      "failovers"):
+                      "failovers", "shed", "slo_violations_degraded"):
+            if field not in br and field not in fr:
+                continue
             if fr.get(field) != br.get(field):
                 failures.append(
                     f"{name}: {field} drifted "
